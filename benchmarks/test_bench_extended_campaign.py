@@ -1,0 +1,67 @@
+"""E12 -- extension: the campaign run across the whole year.
+
+The paper's stated future work ("more data over longer periods of time
+and over varying meteorological conditions"), executed: the same fleet
+from February to November under the full-year Helsinki profile.  Expected
+shape: the paper-snapshot census is unchanged (5.6 %); additional
+failures accrue with exposure -- concentrated in the known-unreliable
+vendor-B series and in the warm months -- and still no cold common cause.
+
+This is the suite's one genuinely long benchmark (~1 min per round).
+"""
+
+import datetime as dt
+
+from conftest import record
+
+from repro import Experiment, ExperimentConfig
+from repro.analysis.failures import find_common_cause_clusters
+from repro.analysis.reliability import kaplan_meier, lifetimes_from_results
+from repro.climate.sites import HELSINKI_FULL_YEAR
+from repro.sim.clock import DAY
+
+
+def run_extended():
+    config = ExperimentConfig(
+        seed=7, climate=HELSINKI_FULL_YEAR, end_date=dt.datetime(2010, 11, 1)
+    )
+    return Experiment(config).run()
+
+
+def test_bench_extended_campaign(benchmark):
+    results = benchmark.pedantic(run_extended, rounds=1, iterations=1)
+
+    snapshot = results.snapshot
+    assert snapshot is not None
+    lifetimes = lifetimes_from_results(results)
+    failures = [lt for lt in lifetimes if lt.failed]
+    survival = kaplan_meier(lifetimes)
+    clusters = find_common_cause_clusters(results.fault_log.events)
+    cold_clusters = 0
+    outside = results.outside_temperature()
+    for cluster in clusters:
+        for event in cluster.events:
+            window = outside.window(event.time - 3600.0, event.time + 3600.0)
+            if not window.empty and window.mean() < 0.0:
+                cold_clusters += 1
+
+    assert snapshot.failure_rate_percent <= 17.0
+    assert cold_clusters == 0
+
+    failed_vendors = sorted(
+        results.fleet.host(lt.host_id).spec.vendor_id for lt in failures
+    )
+    record(
+        benchmark,
+        paper_snapshot_rate_pct=5.6,
+        measured_snapshot_rate_pct=round(snapshot.failure_rate_percent, 1),
+        months_simulated=8.6,
+        failures_by_november=len(failures),
+        failed_vendors=failed_vendors,
+        final_survival=round(survival[-1].survival, 2) if survival else 1.0,
+        first_failure_day=(
+            round(min(lt.duration_s for lt in failures) / DAY, 1) if failures else None
+        ),
+        cold_common_cause_clusters=cold_clusters,
+        total_runs=results.ledger.total_runs,
+    )

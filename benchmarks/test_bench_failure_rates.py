@@ -1,0 +1,49 @@
+"""E5 -- Section 4: the host failure-rate census.
+
+Paper: "Of the eighteen hosts installed initially, one has encountered
+two transient system failures ... A failure rate of 5.6 % may seem harsh
+initially, but Intel has reported a comparable rate of 4.46 % during
+their experiment."  Also: "None of the hosts in the control group have
+failed yet, and neither has the new host that replaced host #15."
+
+The benchmark times the snapshot-census construction from the run's
+fault log.
+"""
+
+from conftest import record
+
+from repro.analysis.failures import INTEL_FAILURE_RATE_PERCENT
+from repro.core.results import take_snapshot
+
+
+def test_bench_failure_rate_census(benchmark, full_results):
+    snapshot_time = full_results.snapshot.time
+    snapshot = benchmark(
+        take_snapshot,
+        full_results.config,
+        full_results.ledger,
+        full_results.fault_log,
+        snapshot_time,
+    )
+    assert snapshot.initially_installed == 18
+    assert snapshot.failure_rate_percent <= 17.0
+    assert snapshot.basement_failed <= 1
+
+    failed_vendors = sorted(
+        {
+            full_results.fleet.host(hid).spec.vendor_id
+            for hid in snapshot.failed_host_ids
+        }
+    )
+    record(
+        benchmark,
+        paper_failure_rate_pct=5.6,
+        measured_failure_rate_pct=round(snapshot.failure_rate_percent, 1),
+        intel_reported_pct=INTEL_FAILURE_RATE_PERCENT,
+        paper_failed_hosts="#15 only (known-unreliable vendor-B series)",
+        measured_failed_hosts=list(snapshot.failed_host_ids),
+        measured_failed_vendors=failed_vendors,
+        paper_control_group_failures=0,
+        measured_control_group_failures=snapshot.basement_failed,
+        measured_tent_failures=snapshot.tent_failed,
+    )

@@ -1,0 +1,36 @@
+"""E2 -- Fig. 2: dates of when (tent) servers were installed.
+
+Paper: prototype Feb 12; testing starts Feb 19; staged installs through
+Mar 13 ("the last of the hosts was installed March 13th"); host #15
+replaced after its Mar 17 failure.  The figure shows ten tent rows
+(01, 02, 03, 06, 10, 14, 15, 11, 18 and the replacement 19).
+
+The benchmark times the timeline reconstruction from a finished run.
+"""
+
+from conftest import record
+
+from repro.analysis.figures import fig2_timeline
+
+
+def test_bench_fig2_install_timeline(benchmark, full_results):
+    timeline = benchmark(fig2_timeline, full_results)
+    clock = full_results.clock
+    assert len(timeline.rows) == 10
+    assert timeline.host_ids()[-1] == 19
+    first = timeline.rows[0]
+    replacement = next(r for r in timeline.rows if r.host_id == 19)
+    record(
+        benchmark,
+        paper_first_install="2010-02-19",
+        measured_first_install=clock.format(first.install_time)[:10],
+        paper_last_initial_install="2010-03-13",
+        measured_last_initial_install=clock.format(
+            max(r.install_time for r in timeline.rows if r.replacement_for is None)
+        )[:10],
+        paper_replacement_after="2010-03-17",
+        measured_replacement_install=clock.format(replacement.install_time)[:10],
+        paper_tent_rows=10,
+        measured_tent_rows=len(timeline.rows),
+        measured_row_order=",".join(f"{r.host_id:02d}" for r in timeline.rows),
+    )

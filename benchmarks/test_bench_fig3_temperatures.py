@@ -1,0 +1,42 @@
+"""E3 -- Fig. 3: temperatures outside and inside the tent.
+
+Paper shape: the tent runs warmer than outside; each marked intervention
+(R: reflective foil, I: inner tent removed, B: bottom tarpaulin removed,
+F: fan installed) narrows the inside/outside gap; inside data begins only
+when the Lascar logger arrives; outside dips to about -22 degC.
+
+The benchmark times the full figure regeneration (outlier removal
+included) from a finished run.
+"""
+
+from conftest import record
+
+from repro.analysis.figures import fig3_temperatures
+
+
+def test_bench_fig3_temperature_series(benchmark, full_results):
+    data = benchmark(fig3_temperatures, full_results)
+    clock = full_results.clock
+    excess = data.inside_excess()
+
+    pre_mods = excess.window(clock.at(2010, 3, 1), clock.at(2010, 3, 5))
+    post_mods = excess.window(clock.at(2010, 4, 10), clock.at(2010, 5, 10))
+    assert set("RIBF") <= set(data.events)
+    assert post_mods.mean() < pre_mods.mean()
+    assert data.outside.min() < -18.0
+
+    record(
+        benchmark,
+        paper_outside_min_c=-22.0,
+        measured_outside_min_c=round(data.outside.min(), 1),
+        paper_shape="inside gap narrows after each of R, I, B, F",
+        measured_excess_before_mods_c=round(pre_mods.mean(), 1),
+        measured_excess_after_mods_c=round(post_mods.mean(), 1),
+        measured_events={
+            letter: clock.format(t) for letter, t in sorted(data.events.items())
+        },
+        paper_inside_data_from="early March (logger arrived late)",
+        measured_inside_data_from=clock.format(data.inside.times[0])[:10],
+        measured_outside_samples=len(data.outside),
+        measured_inside_samples=len(data.inside),
+    )

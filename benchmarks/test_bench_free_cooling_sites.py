@@ -1,0 +1,45 @@
+"""E11 -- the geographic-extension argument (paper Section 1).
+
+Paper: "Using outside air to cool the data center can yield energy
+savings from 40 % to 67 %, according to HP and Intel respectively" and
+"If we can bring the server equipment to tolerate North European
+conditions, we have shown that Intel's results from New Mexico and HP's
+from North East England can be extended to most parts of the globe."
+
+The benchmark times the four-site year-long feasibility sweep and records
+the free-cooling fraction and cooling-energy savings per site.  Expected
+shape: Helsinki ~ NE England > New Mexico >> Singapore, with the
+colder sites comfortably past the 40-67 % band the industry reports
+claimed.
+"""
+
+from conftest import record
+
+from repro.analysis.freecooling import compare_sites
+from repro.climate.sites import ALL_SITES
+
+
+def test_bench_free_cooling_by_site(benchmark):
+    ranked = benchmark.pedantic(
+        lambda: compare_sites(ALL_SITES, seed=0), rounds=3, iterations=1
+    )
+    by_site = {a.site: a for a in ranked}
+
+    helsinki = by_site["helsinki-2010-full-year"]
+    new_mexico = by_site["new-mexico-full-year"]
+    singapore = by_site["singapore-full-year"]
+
+    assert helsinki.free_fraction > new_mexico.free_fraction > singapore.free_fraction
+    assert helsinki.cooling_energy_savings > 0.67  # beats Intel's claim
+
+    record(
+        benchmark,
+        paper_claims="HP ~40 % (NE England), Intel ~67 % (New Mexico) savings",
+        **{
+            a.site.replace("-", "_"): (
+                f"free {100 * a.free_fraction:.0f} % of hours, "
+                f"saves {100 * a.cooling_energy_savings:.0f} % of cooling energy"
+            )
+            for a in ranked
+        },
+    )

@@ -1,0 +1,36 @@
+"""E7 -- Section 4.2.2: the memory failure-ratio estimate.
+
+Paper: "we have estimated the amount of memory pages read and written to
+lie in the ballpark of 3.2 billion.  If the estimate is correct, and the
+six faulty archives are caused by a single memory page fault each, the
+failure ratio is around one in 570 million."
+
+The benchmark times the estimate over the full run's ledger.
+"""
+
+from conftest import record
+
+from repro.analysis.memory_errors import (
+    PAPER_RATIO_ONE_IN,
+    estimate_memory_error_ratio,
+    paper_estimate,
+)
+
+
+def test_bench_memory_error_ratio(benchmark, full_results):
+    estimate = benchmark(
+        estimate_memory_error_ratio, full_results.ledger, full_results.fleet.tree
+    )
+    assert estimate.faulty_archives > 0
+    assert estimate.within_factor_of_paper(factor=4.0)
+
+    record(
+        benchmark,
+        paper_page_ops_billions=3.2,
+        measured_page_ops_billions=round(estimate.total_page_ops / 1e9, 2),
+        paper_ratio_one_in_millions=PAPER_RATIO_ONE_IN / 1e6,
+        paper_arithmetic_one_in_millions=round(paper_estimate().ratio_one_in / 1e6),
+        measured_ratio_one_in_millions=round(estimate.ratio_one_in / 1e6),
+        measured_faulty_archives=estimate.faulty_archives,
+        measured_runs=estimate.total_runs,
+    )

@@ -1,0 +1,41 @@
+"""E1 -- Section 3.1: the prototype weekend (Feb 12-15).
+
+Paper: the generic PC between plastic boxes "survived the test, remaining
+operational for the whole weekend"; the local station "recorded
+temperatures as low as -10.2 degC for the weekend, with an average of
+-9.2 degC"; lm-sensors "showed that the CPU had been operating in
+temperatures as low as -4 degC".
+
+The benchmark times a complete prototype-phase simulation (weather,
+shelter thermal model, host, station) and records paper-vs-measured.
+"""
+
+import datetime as dt
+
+from conftest import record
+
+from repro import Experiment, ExperimentConfig
+
+
+def run_prototype_phase():
+    exp = Experiment(ExperimentConfig(seed=7))
+    results = exp.run(until=dt.datetime(2010, 2, 16))
+    return results.prototype
+
+
+def test_bench_prototype_weekend(benchmark):
+    proto = benchmark.pedantic(run_prototype_phase, rounds=3, iterations=1)
+    assert proto.survived
+    assert proto.cpu_min_c < 0.0
+    assert -14.0 < proto.outside_mean_c < -5.0
+    record(
+        benchmark,
+        paper_outside_min_c=-10.2,
+        measured_outside_min_c=round(proto.outside_min_c, 1),
+        paper_outside_mean_c=-9.2,
+        measured_outside_mean_c=round(proto.outside_mean_c, 1),
+        paper_cpu_min_c=-4.0,
+        measured_cpu_min_c=round(proto.cpu_min_c, 1),
+        paper_survived=True,
+        measured_survived=proto.survived,
+    )

@@ -1,0 +1,38 @@
+"""E10 -- Section 5: the new cluster's PUE.
+
+Paper: 75 kW peak IT load; three CRACs drawing 6.9 kW total; a 44.7 kW
+chilled-water HVAC unit; a 3.8 kW roof liquid-cooling unit.  "If we could
+just sum those figures up, the new cluster's power usage effectiveness
+(PUE) rating would be a rather efficient 1.74."
+
+The benchmark times the budget arithmetic plus the free-air counterfactual
+the whole paper argues for.
+"""
+
+import pytest
+from conftest import record
+
+from repro.analysis.pue import paper_breakdown
+
+
+def test_bench_pue_arithmetic(benchmark):
+    breakdown = benchmark(paper_breakdown)
+    conventional = breakdown.conventional
+    free_air = breakdown.free_air
+
+    assert conventional.pue == pytest.approx(1.74, abs=0.005)
+    assert free_air.pue < 1.1
+
+    record(
+        benchmark,
+        paper_it_load_kw=75.0,
+        paper_cooling_kw="6.9 + 44.7 + 3.8 = 55.4",
+        measured_cooling_kw=round(conventional.cooling_total_kw, 1),
+        paper_pue=1.74,
+        measured_pue=round(conventional.pue, 3),
+        free_air_pue=round(free_air.pue, 3),
+        cooling_energy_saved_pct=round(
+            100 * conventional.cooling_energy_savings_vs(free_air)
+        ),
+        reference_claims="HP ~40 %, Intel ~67 % savings from outside-air cooling",
+    )

@@ -1,0 +1,59 @@
+"""E8 -- Section 4.2.1: the sensor-chip cold failure.
+
+Paper sequence on the longest-running host after the -22 degC episode:
+plausible readings below -4 degC, then erroneous -111 degC readings, then
+the chip vanishing after a re-detection attempt, then full recovery via a
+warm reboot a week later -- and no recurrence.
+
+The benchmark times a Monte-Carlo reproduction of the failure sequence
+(500 chips through a scripted cold night), and the census from the full
+campaign is recorded alongside.
+"""
+
+import numpy as np
+from conftest import record
+
+from repro.hardware.sensors import SensorChip, SensorState
+
+
+def cold_night_monte_carlo(n_chips=500, hours=14, die_temp_c=-8.0):
+    """Fraction of chips latching during one deep-cold night, and the
+    recovery verdict of every latched chip after redetect + warm reboot."""
+    latched = 0
+    recovered = 0
+    for seed in range(n_chips):
+        chip = SensorChip(np.random.default_rng(seed))
+        for hour in range(hours):
+            chip.exposure_step(die_temp_c, 3600.0, hour * 3600.0)
+        if chip.ever_latched:
+            latched += 1
+            chip.read(die_temp_c, hours * 3600.0)
+            chip.redetect()
+            chip.warm_reboot()
+            recovered += chip.state is SensorState.OK
+    return latched, recovered
+
+
+def test_bench_sensor_cold_latch(benchmark, full_results):
+    latched, recovered = benchmark.pedantic(
+        cold_night_monte_carlo, rounds=3, iterations=1
+    )
+    assert 0 < latched < 500
+    assert recovered == latched  # warm reboot always recovers, as in the paper
+
+    campaign_latched = [
+        h for h in full_results.fleet.hosts.values() if h.sensor.ever_latched
+    ]
+    erroneous = full_results.monitoring.erroneous_readings()
+    record(
+        benchmark,
+        paper_story="readings < -4 degC -> -111 degC -> chip lost on redetect -> warm reboot recovers",
+        mc_latch_fraction_one_night=round(latched / 500, 3),
+        mc_recovery_fraction=1.0,
+        campaign_latched_hosts=[h.host_id for h in campaign_latched],
+        campaign_erroneous_readings=len(erroneous),
+        campaign_latch_dates=[
+            full_results.clock.format(h.sensor.latch_time)[:10]
+            for h in campaign_latched
+        ],
+    )

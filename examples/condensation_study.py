@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Condensation risk study (paper Section 5's central safety question).
+
+"A central question concerns whether water can condense in the hardware,
+potentially short circuiting the electrical components."  The paper
+argues the powered cases stay above the dewpoint.  This example sweeps a
+whole synthetic winter and reports, for several case-heating levels, how
+often the case surface would dip below the ambient dewpoint.
+
+Usage::
+
+    python examples/condensation_study.py [--seed N]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.climate.generator import WeatherGenerator
+from repro.climate.profiles import HELSINKI_2010
+from repro.climate.psychro import condensation_margin, dewpoint
+from repro.sim.clock import HOUR, SimClock
+from repro.sim.rng import RngStreams
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    clock = SimClock()
+    weather = WeatherGenerator(HELSINKI_2010, RngStreams(args.seed), clock)
+    times = np.arange(clock.at(2010, 2, 12), clock.at(2010, 5, 12), HOUR)
+    air = weather.temperature(times)
+    rh = weather.relative_humidity(times)
+
+    print(f"Swept {len(times)} hours of winter/spring air "
+          f"({air.min():.1f} .. {air.max():.1f} degC, "
+          f"RH up to {rh.max():.0f} %).")
+    print()
+    print(f"{'case rise over air':<22}{'hours below dewpoint':>22}{'min margin':>14}")
+    for rise_c in (0.0, 1.0, 2.0, 4.0, 8.0):
+        margin = condensation_margin(air + rise_c, air, rh)
+        condensing_hours = int((margin <= 0.0).sum())
+        print(f"{rise_c:>8.1f} degC{'':<10}{condensing_hours:>22}{margin.min():>12.1f} C")
+
+    print()
+    worst = int(np.argmin(condensation_margin(air, air, rh)))
+    print("Worst instant for an unpowered box: "
+          f"{clock.format(float(times[worst]))}, air {air[worst]:.1f} degC, "
+          f"RH {rh[worst]:.0f} %, dewpoint {dewpoint(air[worst], rh[worst]):.1f} degC.")
+    print()
+    print("Conclusion (as in the paper): any realistic internal power draw")
+    print("keeps case surfaces above the dewpoint; only a powered-off box in")
+    print("near-saturated air flirts with condensation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""The plastic-box prototype weekend, hour by hour (paper Section 3.1).
+
+Re-creates the Feb 12-15 test: a generic PC sandwiched between two hard
+plastic boxes on the roof terrace, watched over one deeply cold weekend.
+Prints an hourly log of outside air, box-interior air, and CPU
+temperature, then the verdict the paper reached ("we deemed the test a
+success and scheduled a more extended test").
+
+Usage::
+
+    python examples/prototype_weekend.py [--seed N]
+"""
+
+import argparse
+
+from repro.climate.generator import WeatherGenerator
+from repro.climate.profiles import HELSINKI_2010
+from repro.hardware.faults import FaultLog
+from repro.hardware.host import Host
+from repro.hardware.vendors import VENDOR_A
+from repro.sim.clock import HOUR, SimClock
+from repro.sim.rng import RngStreams
+from repro.thermal.enclosure import PlasticBoxShelter
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    clock = SimClock()
+    streams = RngStreams(args.seed)
+    weather = WeatherGenerator(HELSINKI_2010, streams, clock)
+    shelter = PlasticBoxShelter("plastic-boxes", weather)
+    pc = Host(0, VENDOR_A, streams)
+    fault_log = FaultLog()
+
+    start = clock.at(2010, 2, 12, 16)
+    end = clock.at(2010, 2, 15, 10)
+    pc.install(shelter, start)
+
+    print(f"{'time':<17}{'outside':>9}{'box':>8}{'CPU':>8}")
+    cpu_min = float("inf")
+    t = start
+    step = 300.0
+    while t <= end:
+        shelter.set_it_load(pc.average_power_w)
+        shelter.advance(t)
+        pc.tick(step, t, fault_log)
+        if not pc.running:
+            print(f"{clock.format(t)}  THE PROTOTYPE DIED")
+            return
+        cpu = pc.cpu_temp_c()
+        cpu_min = min(cpu_min, cpu)
+        if (t - start) % (6 * HOUR) < step:  # print every 6 hours
+            outside = float(weather.temperature(t))
+            print(
+                f"{clock.format(t):<17}"
+                f"{outside:>8.1f}C{shelter.intake_temp_c:>7.1f}C{cpu:>7.1f}C"
+            )
+        t += step
+
+    print()
+    print(f"CPU operated as low as {cpu_min:.1f} degC "
+          f"(paper: 'temperatures as low as -4 degC').")
+    print("The prototype survived the whole weekend -- test deemed a success;")
+    print("the extended tent campaign begins the following Friday.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""PUE calculator for the paper's Section 5 cluster, and your own.
+
+Reproduces the department-cluster arithmetic (75 kW IT; 6.9 + 44.7 +
+3.8 kW of cooling; PUE 1.74) and the free-air counterfactual, and lets
+you price an arbitrary plant from the command line.
+
+Usage::
+
+    python examples/pue_calculator.py
+    python examples/pue_calculator.py --it-load 120 --cooling crac=9.5 chiller=51 fans=2
+"""
+
+import argparse
+
+from repro.analysis.pue import CoolingPlant, paper_breakdown
+
+
+def parse_component(text: str):
+    name, _, kw = text.partition("=")
+    if not name or not kw:
+        raise argparse.ArgumentTypeError(f"expected NAME=KW, got {text!r}")
+    return name, float(kw)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--it-load", type=float, help="IT load in kW")
+    parser.add_argument(
+        "--cooling", nargs="*", type=parse_component, default=[],
+        help="cooling components as NAME=KW pairs",
+    )
+    args = parser.parse_args()
+
+    breakdown = paper_breakdown()
+    print(breakdown.conventional.describe())
+    print()
+    print(breakdown.free_air.describe())
+    savings = breakdown.conventional.cooling_energy_savings_vs(breakdown.free_air)
+    print()
+    print(f"Free air cuts cooling energy by {100 * savings:.0f} % "
+          "(HP and Intel claimed 40-67 % total savings).")
+
+    if args.it_load is not None:
+        plant = CoolingPlant(
+            name="your plant",
+            it_load_kw=args.it_load,
+            cooling_components_kw=tuple(args.cooling),
+        )
+        print()
+        print(plant.describe())
+
+
+if __name__ == "__main__":
+    main()

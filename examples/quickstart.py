@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Quickstart: run the zero-degrees experiment and print its story.
+
+By default this runs the first three weeks (prototype weekend, first
+installs, the -22 degC cold snap) in a couple of seconds; pass ``--full``
+for the complete Feb 12 - May 12 campaign (~20 s), which includes the
+paper-snapshot census of Mar 27.
+
+Usage::
+
+    python examples/quickstart.py [--full] [--seed N]
+"""
+
+import argparse
+import datetime as dt
+
+from repro import Experiment, ExperimentConfig
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="run the whole campaign")
+    parser.add_argument("--seed", type=int, default=7, help="master seed (default 7)")
+    args = parser.parse_args()
+
+    config = ExperimentConfig(seed=args.seed)
+    experiment = Experiment(config)
+    until = None if args.full else dt.datetime(2010, 3, 5)
+    print(f"Running the experiment (seed={args.seed}, "
+          f"{'full campaign' if args.full else 'first three weeks'})...")
+    results = experiment.run(until=until)
+
+    print()
+    print(results.summary())
+    print()
+
+    outside = results.outside_temperature()
+    print(f"The weather station logged {len(outside)} outside readings; "
+          f"the coldest was {outside.min():.1f} degC.")
+    if results.prototype is not None and results.prototype.survived:
+        print("The plastic-box prototype survived its weekend, so the tent "
+              "campaign went ahead -- exactly as it did in the paper.")
+
+
+if __name__ == "__main__":
+    main()

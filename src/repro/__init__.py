@@ -1,0 +1,32 @@
+"""Reproduction of *Running Servers around Zero Degrees* (GreenNetworking 2010).
+
+The paper ran 19 off-the-shelf computers outdoors through a Finnish winter,
+cooled by unconditioned outside air, and reported on temperatures, relative
+humidities, and the faults encountered.  This package rebuilds the entire
+study as a deterministic discrete-event simulation:
+
+- :mod:`repro.sim` -- the discrete-event engine and seeded randomness,
+- :mod:`repro.climate` -- a synthetic Finnish winter and psychrometrics,
+- :mod:`repro.thermal` -- the tent / plastic-box / basement enclosures,
+- :mod:`repro.hardware` -- hosts, sensors, disks, switches, fault models,
+- :mod:`repro.workload` -- the tar+bzip2+md5sum synthetic load,
+- :mod:`repro.monitoring` -- data loggers, power meter, rsync collector,
+- :mod:`repro.analysis` -- time-series, failure and PUE analysis,
+- :mod:`repro.core` -- the experiment orchestration and paper-style reports.
+
+Quickstart::
+
+    from repro import Experiment, ExperimentConfig
+
+    exp = Experiment(ExperimentConfig(seed=7))
+    results = exp.run()
+    print(results.summary())
+"""
+
+from repro.core.config import ExperimentConfig
+from repro.core.experiment import Experiment
+from repro.core.results import ExperimentResults
+
+__all__ = ["Experiment", "ExperimentConfig", "ExperimentResults"]
+
+__version__ = "1.0.0"

@@ -1,0 +1,183 @@
+"""Terminal rendering of the paper's figures.
+
+The repository is plotting-library-free, so the examples and the CLI
+render Figs. 3 and 4 as Unicode line charts: a fixed character grid, one
+glyph per series, an annotated y-axis, and event markers (the R/I/B/F
+letters) along the time axis -- enough to *see* the tent cool after each
+intervention without leaving the terminal.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.series import TimeSeries
+
+#: Eighths-block glyphs for sparklines, low to high.
+_SPARK_LEVELS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """One-line overview of a sequence, resampled to ``width`` glyphs."""
+    vals = np.asarray(list(values), dtype=float)
+    if vals.size == 0:
+        return ""
+    if width <= 0:
+        raise ValueError("width must be positive")
+    # Bucket means, then map to the eight block heights.
+    idx = np.linspace(0, vals.size, width + 1).astype(int)
+    buckets = [vals[a:b].mean() if b > a else vals[min(a, vals.size - 1)]
+               for a, b in zip(idx, idx[1:])]
+    lo, hi = float(min(buckets)), float(max(buckets))
+    span = hi - lo
+    chars = []
+    for v in buckets:
+        frac = 0.5 if span == 0 else (v - lo) / span
+        chars.append(_SPARK_LEVELS[1 + int(round(frac * (len(_SPARK_LEVELS) - 2)))])
+    return "".join(chars)
+
+
+class ChartCanvas:
+    """A character grid with data-space coordinates."""
+
+    def __init__(
+        self,
+        width: int,
+        height: int,
+        x_range: Tuple[float, float],
+        y_range: Tuple[float, float],
+    ) -> None:
+        if width < 10 or height < 4:
+            raise ValueError("canvas too small to be legible")
+        x_lo, x_hi = x_range
+        y_lo, y_hi = y_range
+        if x_hi <= x_lo or y_hi <= y_lo:
+            raise ValueError("ranges must have positive extent")
+        self.width = width
+        self.height = height
+        self.x_range = (float(x_lo), float(x_hi))
+        self.y_range = (float(y_lo), float(y_hi))
+        self._grid: List[List[str]] = [[" "] * width for _ in range(height)]
+
+    def _col(self, x: float) -> Optional[int]:
+        x_lo, x_hi = self.x_range
+        col = int((x - x_lo) / (x_hi - x_lo) * (self.width - 1))
+        return col if 0 <= col < self.width else None
+
+    def _row(self, y: float) -> Optional[int]:
+        y_lo, y_hi = self.y_range
+        row = int((y_hi - y) / (y_hi - y_lo) * (self.height - 1))
+        return row if 0 <= row < self.height else None
+
+    def plot_series(self, series: TimeSeries, glyph: str) -> None:
+        """Draw a series, one bucket-mean point per column."""
+        if series.empty:
+            return
+        if len(glyph) != 1:
+            raise ValueError("glyph must be a single character")
+        x_lo, x_hi = self.x_range
+        edges = np.linspace(x_lo, x_hi, self.width + 1)
+        idx = np.searchsorted(series.times, edges)
+        for col in range(self.width):
+            a, b = idx[col], idx[col + 1]
+            if b <= a:
+                continue
+            row = self._row(float(series.values[a:b].mean()))
+            if row is not None:
+                self._grid[row][col] = glyph
+
+    def mark_event(self, x: float, label: str) -> None:
+        """Drop a one-character label in the bottom row at ``x``."""
+        col = self._col(x)
+        if col is not None and label:
+            self._grid[self.height - 1][col] = label[0]
+
+    def render(self, y_label: str = "") -> str:
+        """The chart with a numeric y-axis gutter."""
+        y_lo, y_hi = self.y_range
+        lines = []
+        for i, row in enumerate(self._grid):
+            y_val = y_hi - i * (y_hi - y_lo) / (self.height - 1)
+            gutter = f"{y_val:>8.1f} |" if i % 4 == 0 else " " * 8 + " |"
+            lines.append(gutter + "".join(row))
+        lines.append(" " * 8 + " +" + "-" * self.width)
+        if y_label:
+            lines.insert(0, " " * 9 + y_label)
+        return "\n".join(lines)
+
+
+def render_fig2_gantt(timeline, clock, width: int = 70) -> str:
+    """Fig. 2 as a Gantt strip: one row per tent host, bars from install.
+
+    ``timeline`` is a :class:`repro.analysis.figures.Fig2Timeline`; rows
+    removed from the tent (host #15) end their bar at the removal time,
+    marked ``x``; replacements are annotated.
+    """
+    if width < 20:
+        raise ValueError("width too small for a legible gantt")
+    if not timeline.rows:
+        return "(no installs)"
+    t0 = timeline.test_start
+    t1 = max(
+        r.removed_time if r.removed_time is not None else r.install_time
+        for r in timeline.rows
+    )
+    t1 = max(t1, t0 + 1.0)
+    span = t1 - t0
+
+    def col(t: float) -> int:
+        return int((t - t0) / span * (width - 1))
+
+    lines = [
+        f"{'':>9}{clock.format(t0)[:10]}{'':>{max(1, width - 20)}}{clock.format(t1)[:10]}"
+    ]
+    for row in timeline.rows:
+        bar = [" "] * width
+        start = col(row.install_time)
+        end = col(row.removed_time) if row.removed_time is not None else width - 1
+        for i in range(start, max(start + 1, end + 1)):
+            bar[i] = "="
+        bar[start] = "|"
+        if row.removed_time is not None:
+            bar[min(end, width - 1)] = "x"
+        note = ""
+        if row.replacement_for is not None:
+            note = f"  (replaces #{row.replacement_for:02d})"
+        elif row.removed_time is not None:
+            note = "  (taken indoors)"
+        lines.append(f"host #{row.host_id:02d} {''.join(bar)}{note}")
+    return "\n".join(lines)
+
+
+def dual_series_chart(
+    first: TimeSeries,
+    second: TimeSeries,
+    first_glyph: str = "o",
+    second_glyph: str = ".",
+    events: Optional[Dict[str, float]] = None,
+    width: int = 90,
+    height: int = 18,
+    y_label: str = "",
+) -> str:
+    """Two series on one canvas -- the Fig. 3/Fig. 4 layout.
+
+    ``events`` maps single-letter labels (the paper's R/I/B/F) to times,
+    drawn along the bottom row.
+    """
+    if first.empty and second.empty:
+        raise ValueError("nothing to plot")
+    xs = [s for s in (first, second) if not s.empty]
+    x_lo = min(float(s.times[0]) for s in xs)
+    x_hi = max(float(s.times[-1]) for s in xs)
+    y_lo = min(s.min() for s in xs)
+    y_hi = max(s.max() for s in xs)
+    pad = 0.05 * (y_hi - y_lo) or 1.0
+    canvas = ChartCanvas(width, height, (x_lo, x_hi), (y_lo - pad, y_hi + pad))
+    canvas.plot_series(first, first_glyph)
+    canvas.plot_series(second, second_glyph)
+    for label, when in (events or {}).items():
+        canvas.mark_event(when, label)
+    return canvas.render(y_label=y_label)

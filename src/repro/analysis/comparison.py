@@ -1,0 +1,135 @@
+"""Comparing two experiment runs.
+
+Scenario studies (the A5 sealed-tent counterfactual, seed sweeps, harsher
+winters) always end in the same question: *what changed?*
+:func:`compare_runs` lines two finished runs up on their overlapping
+window and reports the deltas that matter to the paper -- tent climate,
+failure census, wrong-hash census -- as one typed object with a readable
+table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # avoid a core <-> analysis import cycle
+    from repro.core.results import ExperimentResults
+
+
+@dataclass(frozen=True)
+class SeriesDelta:
+    """Mean/extreme difference between one quantity in two runs."""
+
+    quantity: str
+    mean_a: float
+    mean_b: float
+    max_a: float
+    max_b: float
+
+    @property
+    def mean_delta(self) -> float:
+        """``mean_b - mean_a``."""
+        return self.mean_b - self.mean_a
+
+
+@dataclass(frozen=True)
+class RunComparison:
+    """The aligned differences between two finished runs."""
+
+    label_a: str
+    label_b: str
+    window: Tuple[float, float]
+    tent_temperature: Optional[SeriesDelta]
+    tent_humidity: Optional[SeriesDelta]
+    failure_events: Tuple[int, int]
+    failed_hosts: Tuple[int, int]
+    wrong_hashes: Tuple[int, int]
+    total_runs: Tuple[int, int]
+
+    def describe(self) -> str:
+        """Side-by-side table."""
+        a, b = self.label_a, self.label_b
+        lines = [f"{'quantity':<26}{a:>14}{b:>14}"]
+        if self.tent_temperature is not None:
+            t = self.tent_temperature
+            lines.append(f"{'tent mean temp (degC)':<26}{t.mean_a:>14.1f}{t.mean_b:>14.1f}")
+            lines.append(f"{'tent max temp (degC)':<26}{t.max_a:>14.1f}{t.max_b:>14.1f}")
+        if self.tent_humidity is not None:
+            h = self.tent_humidity
+            lines.append(f"{'tent mean RH (%)':<26}{h.mean_a:>14.1f}{h.mean_b:>14.1f}")
+        lines.append(
+            f"{'failure events':<26}{self.failure_events[0]:>14}{self.failure_events[1]:>14}"
+        )
+        lines.append(
+            f"{'hosts failed':<26}{self.failed_hosts[0]:>14}{self.failed_hosts[1]:>14}"
+        )
+        lines.append(
+            f"{'wrong hashes':<26}{self.wrong_hashes[0]:>14}{self.wrong_hashes[1]:>14}"
+        )
+        lines.append(
+            f"{'workload runs':<26}{self.total_runs[0]:>14}{self.total_runs[1]:>14}"
+        )
+        return "\n".join(lines)
+
+
+def _series_delta(quantity, series_a, series_b, window) -> Optional[SeriesDelta]:
+    start, end = window
+    a = series_a.window(start, end)
+    b = series_b.window(start, end)
+    if a.empty or b.empty:
+        return None
+    return SeriesDelta(
+        quantity=quantity,
+        mean_a=a.mean(),
+        mean_b=b.mean(),
+        max_a=a.max(),
+        max_b=b.max(),
+    )
+
+
+def compare_runs(
+    results_a: "ExperimentResults",
+    results_b: "ExperimentResults",
+    label_a: str = "run A",
+    label_b: str = "run B",
+) -> RunComparison:
+    """Align two runs on their shared window and diff the key censuses.
+
+    The runs should share a clock epoch (all standard configurations do);
+    the comparison window is the overlap of the two campaigns.
+    """
+    if results_a.clock != results_b.clock:
+        raise ValueError("runs use different clock epochs; cannot align")
+    window = (0.0, min(results_a.end_time, results_b.end_time))
+    if window[1] <= window[0]:
+        raise ValueError("runs do not overlap in time")
+
+    census_a = results_a.overall_census()
+    census_b = results_b.overall_census()
+    return RunComparison(
+        label_a=label_a,
+        label_b=label_b,
+        window=window,
+        tent_temperature=_series_delta(
+            "tent temperature",
+            results_a.inside_temperature_raw(),
+            results_b.inside_temperature_raw(),
+            window,
+        ),
+        tent_humidity=_series_delta(
+            "tent humidity",
+            results_a.inside_humidity_raw(),
+            results_b.inside_humidity_raw(),
+            window,
+        ),
+        failure_events=(len(census_a.failure_events), len(census_b.failure_events)),
+        failed_hosts=(census_a.hosts_failed, census_b.hosts_failed),
+        wrong_hashes=(
+            results_a.ledger.total_wrong_hashes,
+            results_b.ledger.total_wrong_hashes,
+        ),
+        total_runs=(results_a.ledger.total_runs, results_b.ledger.total_runs),
+    )

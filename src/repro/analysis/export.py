@@ -1,0 +1,153 @@
+"""Exporting a finished run to flat files.
+
+The original study's data lived as flat files rsynced off the hosts; a
+downstream user of this reproduction usually wants the same: CSV series
+for the instruments, a TSV fault log, and a JSON metadata header.  All
+writers are plain-text, dependency-free, and round-trippable (the readers
+live here too and the tests exercise both directions).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.analysis.series import TimeSeries
+from repro.hardware.faults import FaultEvent, FaultKind, FaultLog
+
+PathLike = Union[str, Path]
+
+
+# ----------------------------------------------------------------------
+# Time series <-> CSV
+# ----------------------------------------------------------------------
+def series_to_csv(series: TimeSeries, value_name: str = "value") -> str:
+    """Render a series as ``time_s,<value_name>`` CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["time_s", value_name])
+    for time, value in series:
+        writer.writerow([f"{time:.1f}", f"{value:.4f}"])
+    return buffer.getvalue()
+
+
+def series_from_csv(text: str) -> Tuple[TimeSeries, str]:
+    """Parse CSV text back into ``(series, value_name)``."""
+    reader = csv.reader(io.StringIO(text))
+    header = next(reader, None)
+    if not header or len(header) != 2 or header[0] != "time_s":
+        raise ValueError("expected a 'time_s,<name>' header")
+    times: List[float] = []
+    values: List[float] = []
+    for row in reader:
+        if not row:
+            continue
+        if len(row) != 2:
+            raise ValueError(f"malformed CSV row: {row!r}")
+        times.append(float(row[0]))
+        values.append(float(row[1]))
+    return TimeSeries(np.array(times), np.array(values)), header[1]
+
+
+def write_series_csv(series: TimeSeries, path: PathLike, value_name: str = "value") -> Path:
+    """Write a series to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(series_to_csv(series, value_name), encoding="ascii")
+    return path
+
+
+def read_series_csv(path: PathLike) -> Tuple[TimeSeries, str]:
+    """Read a series written by :func:`write_series_csv`."""
+    return series_from_csv(Path(path).read_text(encoding="ascii"))
+
+
+# ----------------------------------------------------------------------
+# Fault log <-> TSV
+# ----------------------------------------------------------------------
+def fault_log_to_tsv(log: FaultLog) -> str:
+    """Render the fault census as tab-separated text."""
+    lines = ["time_s\tkind\thost_id\tdetail"]
+    for event in log:
+        host = "" if event.host_id is None else str(event.host_id)
+        lines.append(f"{event.time:.1f}\t{event.kind.name}\t{host}\t{event.detail}")
+    return "\n".join(lines) + "\n"
+
+
+def fault_log_from_tsv(text: str) -> FaultLog:
+    """Parse TSV text back into a :class:`FaultLog`."""
+    lines = text.splitlines()
+    if not lines or lines[0] != "time_s\tkind\thost_id\tdetail":
+        raise ValueError("missing fault-log header")
+    log = FaultLog()
+    for line in lines[1:]:
+        if not line:
+            continue
+        fields = line.split("\t")
+        if len(fields) != 4:
+            raise ValueError(f"malformed fault row: {line!r}")
+        time_s, kind_name, host_s, detail = fields
+        try:
+            kind = FaultKind[kind_name]
+        except KeyError:
+            raise ValueError(f"unknown fault kind {kind_name!r}") from None
+        log.record(
+            FaultEvent(
+                time=float(time_s),
+                kind=kind,
+                host_id=int(host_s) if host_s else None,
+                detail=detail,
+            )
+        )
+    return log
+
+
+# ----------------------------------------------------------------------
+# Whole-run dump
+# ----------------------------------------------------------------------
+def export_run(results, directory: PathLike) -> Dict[str, Path]:
+    """Dump a finished run into ``directory``.
+
+    Writes the four instrument series, the fault log, and a ``meta.json``
+    header; returns a name -> path map.  The directory is created if
+    missing; existing files are overwritten (exports are derived data).
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: Dict[str, Path] = {}
+
+    series_files = {
+        "outside_temperature": (results.outside_temperature(), "temp_c"),
+        "outside_humidity": (results.outside_humidity(), "rh_percent"),
+        "inside_temperature": (results.inside_temperature_raw(), "temp_c"),
+        "inside_humidity": (results.inside_humidity_raw(), "rh_percent"),
+    }
+    for name, (series, value_name) in series_files.items():
+        written[name] = write_series_csv(series, directory / f"{name}.csv", value_name)
+
+    faults_path = directory / "faults.tsv"
+    faults_path.write_text(fault_log_to_tsv(results.fault_log), encoding="utf-8")
+    written["faults"] = faults_path
+
+    meta = {
+        "paper": "Running Servers around Zero Degrees (GreenNetworking 2010)",
+        "seed": results.config.seed,
+        "campaign_start": results.clock.format(0.0),
+        "campaign_end": results.clock.format(results.end_time),
+        "total_runs": results.ledger.total_runs,
+        "wrong_hashes": results.ledger.total_wrong_hashes,
+        "fault_events": len(results.fault_log),
+        "snapshot_failure_rate_percent": (
+            None
+            if results.snapshot is None
+            else round(results.snapshot.failure_rate_percent, 2)
+        ),
+    }
+    meta_path = directory / "meta.json"
+    meta_path.write_text(json.dumps(meta, indent=2) + "\n", encoding="ascii")
+    written["meta"] = meta_path
+    return written

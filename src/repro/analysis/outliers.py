@@ -1,0 +1,113 @@
+"""Removal of the logger-carried-indoors outliers.
+
+Section 3.3: "we have been forced to remove a number of outliers in the
+measurements caused by removing the data logger and carrying it indoors.
+These outliers have been removed from the graphs."
+
+The detector exploits the episode's signature: the tent sits near (often
+well below) outside temperature, so a download trip shows up as an abrupt
+jump *into the office comfort band* followed, half an hour later, by an
+abrupt drop back.  A sample is flagged when both
+
+- its value lies inside the indoor band, and
+- it belongs to a contiguous indoor-band stretch entered via a jump of at
+  least ``jump_c`` degrees per sample step.
+
+The jump condition keeps legitimately mild tent afternoons (a slow drift
+into 18-20 degC territory in May) from being discarded.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.analysis.series import TimeSeries
+
+#: Office comfort band the logger sees during a download trip.
+DEFAULT_INDOOR_BAND_C = (18.0, 25.0)
+
+
+def detect_removal_outliers(
+    temps_c: np.ndarray,
+    jump_c: float = 4.0,
+    indoor_band_c: Tuple[float, float] = DEFAULT_INDOOR_BAND_C,
+) -> np.ndarray:
+    """Boolean mask of samples judged to be indoors-download outliers.
+
+    Parameters
+    ----------
+    temps_c:
+        The logged temperature sequence (regular or irregular cadence).
+    jump_c:
+        Minimum one-step change that counts as "carried through a door".
+    indoor_band_c:
+        Temperatures a sample must lie in to be suspect at all.
+    """
+    temps = np.asarray(temps_c, dtype=float)
+    if temps.ndim != 1:
+        raise ValueError("temperature sequence must be 1-D")
+    if jump_c <= 0:
+        raise ValueError("jump threshold must be positive")
+    low, high = indoor_band_c
+    if high <= low:
+        raise ValueError("indoor band must have positive width")
+
+    n = len(temps)
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+
+    in_band = (temps >= low) & (temps <= high)
+    mask = np.zeros(n, dtype=bool)
+
+    i = 0
+    while i < n:
+        if not in_band[i]:
+            i += 1
+            continue
+        # Found the start of an in-band stretch; find its extent.
+        j = i
+        while j + 1 < n and in_band[j + 1]:
+            j += 1
+        entered_by_jump = i > 0 and (temps[i] - temps[i - 1]) >= jump_c
+        exited_by_jump = j + 1 < n and (temps[j] - temps[j + 1]) >= jump_c
+        # A download trip shows the jump on at least one side (a stretch at
+        # the very start/end of the record can only show one).
+        boundary_stretch = i == 0 or j == n - 1
+        if entered_by_jump or exited_by_jump or (boundary_stretch and in_band[i]):
+            # Boundary stretches are only discarded when short -- a long
+            # warm tail in May is real weather, not a download trip.
+            if entered_by_jump or exited_by_jump or (j - i + 1) <= 5:
+                mask[i : j + 1] = True
+        i = j + 1
+    return mask
+
+
+def remove_removal_outliers(
+    series: TimeSeries,
+    jump_c: float = 4.0,
+    indoor_band_c: Tuple[float, float] = DEFAULT_INDOOR_BAND_C,
+) -> TimeSeries:
+    """A copy of ``series`` with the detected outlier samples dropped."""
+    mask = detect_removal_outliers(series.values, jump_c=jump_c, indoor_band_c=indoor_band_c)
+    return series.where(~mask)
+
+
+def remove_with_companion(
+    primary: TimeSeries,
+    companion: TimeSeries,
+    jump_c: float = 4.0,
+    indoor_band_c: Tuple[float, float] = DEFAULT_INDOOR_BAND_C,
+) -> Tuple[TimeSeries, TimeSeries]:
+    """Drop outliers from a temperature series and its co-sampled companion.
+
+    The Lascar logs temperature and RH on the same timestamps; when a
+    temperature sample is discarded as an indoors outlier, the RH sample
+    taken at the same instant must go with it.
+    """
+    if len(primary) != len(companion) or not np.array_equal(primary.times, companion.times):
+        raise ValueError("primary and companion must share identical timestamps")
+    mask = detect_removal_outliers(primary.values, jump_c=jump_c, indoor_band_c=indoor_band_c)
+    keep = ~mask
+    return primary.where(keep), companion.where(keep)

@@ -1,0 +1,131 @@
+"""Power usage effectiveness: the Section 5 cluster arithmetic.
+
+The paper sizes the department's new cluster: a 75 kW peak IT load cooled
+by three CRAC units (6.9 kW total), a water-chilling HVAC unit (44.7 kW)
+and a roof-top liquid cooling unit (3.8 kW).  "If we could just sum those
+figures up, the new cluster's power usage effectiveness (PUE) rating would
+be a rather efficient 1.74.  Unfortunately, such is not the case, as our
+existing CRACs take care of some of the thermal load.  This means that for
+PUE, the situation is worse, and more energy is wasted."
+
+:class:`CoolingPlant` reproduces the sum, the PUE, and the what-if numbers
+the whole paper motivates: replace the plant with free-air fans and watch
+the cooling overhead collapse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class CoolingPlant:
+    """A named inventory of cooling-power components (kW)."""
+
+    name: str
+    it_load_kw: float
+    cooling_components_kw: Tuple[Tuple[str, float], ...]
+
+    def __post_init__(self) -> None:
+        if self.it_load_kw <= 0:
+            raise ValueError("IT load must be positive")
+        for label, kw in self.cooling_components_kw:
+            if kw < 0:
+                raise ValueError(f"cooling component {label!r} has negative power")
+
+    @property
+    def cooling_total_kw(self) -> float:
+        """Sum of all cooling-plant draws."""
+        return sum(kw for _, kw in self.cooling_components_kw)
+
+    @property
+    def facility_total_kw(self) -> float:
+        """IT plus cooling (the paper's optimistic sum: no lighting, UPS...)."""
+        return self.it_load_kw + self.cooling_total_kw
+
+    @property
+    def pue(self) -> float:
+        """Power usage effectiveness: facility power over IT power."""
+        return self.facility_total_kw / self.it_load_kw
+
+    @property
+    def cooling_overhead_fraction(self) -> float:
+        """Cooling power as a fraction of facility power."""
+        return self.cooling_total_kw / self.facility_total_kw
+
+    def replace_cooling(self, name: str, components_kw: Dict[str, float]) -> "CoolingPlant":
+        """The same IT load under a different cooling plant."""
+        return CoolingPlant(
+            name=name,
+            it_load_kw=self.it_load_kw,
+            cooling_components_kw=tuple(sorted(components_kw.items())),
+        )
+
+    def cooling_energy_savings_vs(self, other: "CoolingPlant") -> float:
+        """Fraction of *cooling* energy saved by switching to ``other``.
+
+        Intel's air-economizer estimate of ~67 % and HP's ~40 % savings
+        are statements of this kind (the exact baseline varies by report).
+        """
+        if self.cooling_total_kw == 0:
+            return 0.0
+        return 1.0 - other.cooling_total_kw / self.cooling_total_kw
+
+    def describe(self) -> str:
+        """Multi-line budget table as plain text."""
+        lines = [f"{self.name}: IT load {self.it_load_kw:.1f} kW"]
+        for label, kw in self.cooling_components_kw:
+            lines.append(f"  {label:<38s} {kw:6.1f} kW")
+        lines.append(f"  {'cooling total':<38s} {self.cooling_total_kw:6.1f} kW")
+        lines.append(f"  PUE = {self.facility_total_kw:.1f} / {self.it_load_kw:.1f} = {self.pue:.2f}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class PueBreakdown:
+    """Paper-vs-alternative comparison used by the E10 benchmark."""
+
+    conventional: CoolingPlant
+    free_air: CoolingPlant
+
+    @property
+    def pue_delta(self) -> float:
+        """PUE improvement from going free-air."""
+        return self.conventional.pue - self.free_air.pue
+
+    def summary_rows(self) -> "list[tuple[str, float, float, float]]":
+        """Rows of (name, cooling kW, facility kW, PUE) for the bench table."""
+        return [
+            (
+                plant.name,
+                plant.cooling_total_kw,
+                plant.facility_total_kw,
+                plant.pue,
+            )
+            for plant in (self.conventional, self.free_air)
+        ]
+
+
+#: The department's new cluster exactly as Section 5 itemises it.
+PAPER_CLUSTER_PLANT = CoolingPlant(
+    name="CS department cluster (retrofitted CRACs)",
+    it_load_kw=75.0,
+    cooling_components_kw=(
+        ("3x computer-room air conditioning (CRAC)", 6.9),
+        ("HVAC chilled-water unit", 44.7),
+        ("roof liquid cooling unit", 3.8),
+    ),
+)
+
+#: A free-air alternative: the tent writ large.  Fans sized at ~4 % of the
+#: IT load, the ballpark of air-economizer retrofits.
+FREE_AIR_PLANT = PAPER_CLUSTER_PLANT.replace_cooling(
+    "free-air economizer (paper's proposal)",
+    {"intake/exhaust fans": 3.0},
+)
+
+
+def paper_breakdown() -> PueBreakdown:
+    """The conventional-vs-free-air comparison for the E10 benchmark."""
+    return PueBreakdown(conventional=PAPER_CLUSTER_PLANT, free_air=FREE_AIR_PLANT)

@@ -1,0 +1,175 @@
+"""A small time-series container for instrument data.
+
+Figures 3 and 4 are built from irregularly sampled instrument series (the
+Lascar logger pauses during download trips, collection rounds skip failed
+switches).  :class:`TimeSeries` wraps parallel ``times``/``values`` arrays
+with the handful of operations the figures and statistics need: window
+slicing, masking, resampling to a regular grid, and daily aggregation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.sim.clock import DAY, SimClock
+
+
+class TimeSeries:
+    """Immutable pair of (times, values), times strictly increasing.
+
+    Parameters
+    ----------
+    times / values:
+        Parallel arrays.  Times must be strictly increasing; values may be
+        any float quantity (degC, %RH, W).
+    """
+
+    def __init__(self, times: np.ndarray, values: np.ndarray) -> None:
+        times = np.asarray(times, dtype=float)
+        values = np.asarray(values, dtype=float)
+        if times.ndim != 1 or values.ndim != 1:
+            raise ValueError("times and values must be 1-D")
+        if len(times) != len(values):
+            raise ValueError(f"length mismatch: {len(times)} times, {len(values)} values")
+        if len(times) > 1 and not np.all(np.diff(times) > 0):
+            raise ValueError("times must be strictly increasing")
+        self.times = times
+        self.values = values
+
+    # ------------------------------------------------------------------
+    # Basics
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __repr__(self) -> str:
+        if len(self) == 0:
+            return "TimeSeries(empty)"
+        return (
+            f"TimeSeries(n={len(self)}, "
+            f"t=[{self.times[0]:.0f}..{self.times[-1]:.0f}]s, "
+            f"v=[{self.values.min():.2f}..{self.values.max():.2f}])"
+        )
+
+    def __iter__(self) -> Iterator[Tuple[float, float]]:
+        return zip(self.times, self.values)
+
+    @property
+    def empty(self) -> bool:
+        """True when the series holds no samples."""
+        return len(self) == 0
+
+    def min(self) -> float:
+        """Minimum value; raises on empty series."""
+        self._require_data()
+        return float(self.values.min())
+
+    def max(self) -> float:
+        """Maximum value; raises on empty series."""
+        self._require_data()
+        return float(self.values.max())
+
+    def mean(self) -> float:
+        """Arithmetic mean; raises on empty series."""
+        self._require_data()
+        return float(self.values.mean())
+
+    def std(self) -> float:
+        """Standard deviation; raises on empty series."""
+        self._require_data()
+        return float(self.values.std())
+
+    def _require_data(self) -> None:
+        if self.empty:
+            raise ValueError("operation undefined on an empty TimeSeries")
+
+    # ------------------------------------------------------------------
+    # Selection
+    # ------------------------------------------------------------------
+    def window(self, start: float, end: float) -> "TimeSeries":
+        """Samples with ``start <= t < end``."""
+        if end < start:
+            raise ValueError("window end before start")
+        mask = (self.times >= start) & (self.times < end)
+        return TimeSeries(self.times[mask], self.values[mask])
+
+    def where(self, mask: np.ndarray) -> "TimeSeries":
+        """Samples selected by a boolean mask."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != self.times.shape:
+            raise ValueError("mask shape mismatch")
+        return TimeSeries(self.times[mask], self.values[mask])
+
+    # ------------------------------------------------------------------
+    # Transformation
+    # ------------------------------------------------------------------
+    def resample(self, grid: np.ndarray) -> "TimeSeries":
+        """Linear interpolation onto ``grid`` (must lie within the span)."""
+        self._require_data()
+        grid = np.asarray(grid, dtype=float)
+        if grid.size and (grid[0] < self.times[0] - 1e-9 or grid[-1] > self.times[-1] + 1e-9):
+            raise ValueError("resample grid extends beyond the series span")
+        return TimeSeries(grid, np.interp(grid, self.times, self.values))
+
+    def rolling_mean(self, window_s: float) -> "TimeSeries":
+        """Centred moving average over a time window (irregular-safe)."""
+        self._require_data()
+        if window_s <= 0:
+            raise ValueError("window must be positive")
+        half = window_s / 2.0
+        out = np.empty_like(self.values)
+        left = np.searchsorted(self.times, self.times - half, side="left")
+        right = np.searchsorted(self.times, self.times + half, side="right")
+        csum = np.concatenate(([0.0], np.cumsum(self.values)))
+        counts = right - left
+        out = (csum[right] - csum[left]) / counts
+        return TimeSeries(self.times.copy(), out)
+
+    def daily_aggregate(
+        self, clock: SimClock, reducer: Callable[[np.ndarray], float]
+    ) -> "TimeSeries":
+        """One value per calendar day, via ``reducer`` (e.g. ``np.min``).
+
+        The returned times are each day's midnight.
+        """
+        self._require_data()
+        day_starts: List[float] = []
+        day_values: List[float] = []
+        first_midnight = clock.midnight_before(float(self.times[0]))
+        day = first_midnight
+        while day <= self.times[-1]:
+            mask = (self.times >= day) & (self.times < day + DAY)
+            if np.any(mask):
+                day_starts.append(day)
+                day_values.append(float(reducer(self.values[mask])))
+            day += DAY
+        return TimeSeries(np.array(day_starts), np.array(day_values))
+
+    # ------------------------------------------------------------------
+    # Combination
+    # ------------------------------------------------------------------
+    def aligned_difference(self, other: "TimeSeries") -> "TimeSeries":
+        """``self - other`` on self's times (other interpolated).
+
+        Used for the inside-minus-outside temperature excess of Fig. 3.
+        Only the overlapping span is kept.
+        """
+        self._require_data()
+        other._require_data()
+        start = max(self.times[0], other.times[0])
+        end = min(self.times[-1], other.times[-1])
+        if start > end:
+            raise ValueError("series do not overlap in time")
+        clipped = self.window(start, end + 1e-9)
+        other_vals = np.interp(clipped.times, other.times, other.values)
+        return TimeSeries(clipped.times, clipped.values - other_vals)
+
+    @staticmethod
+    def from_pairs(pairs: "list[tuple[float, float]]") -> "TimeSeries":
+        """Build from ``[(t, v), ...]`` (sorted by time by the caller)."""
+        if not pairs:
+            return TimeSeries(np.zeros(0), np.zeros(0))
+        times, values = zip(*pairs)
+        return TimeSeries(np.array(times, dtype=float), np.array(values, dtype=float))

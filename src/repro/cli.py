@@ -1,0 +1,181 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``
+    Run the experiment (optionally truncated) and print the summary or
+    the full paper-style report.
+``figures``
+    Run the campaign and render Figs. 3 and 4 as terminal charts, plus
+    the Fig. 2 install timeline as text.
+``pue``
+    Print the Section 5 PUE arithmetic (no simulation needed).
+``sites``
+    The geographic-extension analysis: free-cooling feasibility for
+    Helsinki, NE England, New Mexico, and Singapore.
+``export``
+    Run the campaign and dump the instrument series, fault log, and
+    metadata as CSV/TSV/JSON into a directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime as _dt
+import sys
+from typing import List, Optional
+
+from repro import Experiment, ExperimentConfig
+
+
+def _parse_date(text: str) -> _dt.datetime:
+    try:
+        return _dt.datetime.strptime(text, "%Y-%m-%d")
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected YYYY-MM-DD, got {text!r}"
+        ) from None
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument schema (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Running Servers around Zero Degrees'.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run the experiment and print results")
+    run.add_argument("--seed", type=int, default=7, help="master seed")
+    run.add_argument(
+        "--until", type=_parse_date, default=None,
+        help="truncate the campaign at this date (YYYY-MM-DD)",
+    )
+    run.add_argument(
+        "--report", action="store_true",
+        help="print the full paper-style report instead of the summary",
+    )
+
+    figures = sub.add_parser("figures", help="render Figs. 1-4 in the terminal")
+    figures.add_argument("--seed", type=int, default=7)
+    figures.add_argument("--width", type=int, default=90)
+    figures.add_argument(
+        "--until", type=_parse_date, default=None,
+        help="truncate the campaign at this date (YYYY-MM-DD)",
+    )
+
+    sub.add_parser("pue", help="the Section 5 PUE arithmetic")
+
+    sites = sub.add_parser("sites", help="free-cooling feasibility by site")
+    sites.add_argument(
+        "--intake-limit", type=float, default=27.0,
+        help="allowed server intake temperature ceiling (degC)",
+    )
+    sites.add_argument("--seed", type=int, default=0)
+
+    export = sub.add_parser("export", help="dump a run to flat files")
+    export.add_argument("directory", help="output directory")
+    export.add_argument("--seed", type=int, default=7)
+    export.add_argument(
+        "--until", type=_parse_date, default=None,
+        help="truncate the campaign at this date (YYYY-MM-DD)",
+    )
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    results = Experiment(ExperimentConfig(seed=args.seed)).run(until=args.until)
+    if args.report:
+        from repro.core.reporting import full_report
+
+        print(full_report(results))
+    else:
+        print(results.summary())
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.analysis.asciiplot import dual_series_chart, render_fig2_gantt
+    from repro.analysis.figures import (
+        fig1_schematic,
+        fig2_timeline,
+        fig3_temperatures,
+        fig4_humidities,
+    )
+
+    results = Experiment(ExperimentConfig(seed=args.seed)).run(until=args.until)
+    clock = results.clock
+
+    print(fig1_schematic())
+    print()
+
+    timeline = fig2_timeline(results)
+    print("Fig. 2 -- dates of when servers were installed (tent group)")
+    print(render_fig2_gantt(timeline, clock, width=max(40, args.width - 20)))
+    print()
+
+    fig3 = fig3_temperatures(results)
+    print("Fig. 3 -- temperatures outside (.) and inside (o) the tent; "
+          "letters mark modifications")
+    print(dual_series_chart(
+        fig3.inside, fig3.outside, "o", ".",
+        events=fig3.events, width=args.width, y_label="degC",
+    ))
+    print()
+
+    fig4 = fig4_humidities(results)
+    print("Fig. 4 -- relative humidities outside (.) and inside (o) the tent")
+    print(dual_series_chart(
+        fig4.inside, fig4.outside, "o", ".", width=args.width, y_label="% RH",
+    ))
+    return 0
+
+
+def _cmd_pue(_args: argparse.Namespace) -> int:
+    from repro.core.reporting import pue_report
+
+    print(pue_report())
+    return 0
+
+
+def _cmd_sites(args: argparse.Namespace) -> int:
+    from repro.analysis.freecooling import compare_sites
+    from repro.climate.sites import ALL_SITES
+
+    print(f"Free-cooling feasibility at a {args.intake_limit:.0f} degC intake ceiling")
+    print("(the paper: surviving Finnish winter extends Intel's New Mexico and")
+    print(" HP's North-East England results 'to most parts of the globe'):")
+    for assessment in compare_sites(
+        ALL_SITES, intake_limit_c=args.intake_limit, seed=args.seed
+    ):
+        print(f"  {assessment.describe()}")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.analysis.export import export_run
+
+    results = Experiment(ExperimentConfig(seed=args.seed)).run(until=args.until)
+    written = export_run(results, args.directory)
+    for name in sorted(written):
+        print(f"  {name:<22} -> {written[name]}")
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "figures": _cmd_figures,
+    "pue": _cmd_pue,
+    "sites": _cmd_sites,
+    "export": _cmd_export,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

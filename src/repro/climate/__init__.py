@@ -1,0 +1,41 @@
+"""Weather substrate: a synthetic Finnish winter and psychrometrics.
+
+The paper's outside data came from the SMEAR III weather station next to the
+Helsinki CS building; winter 2009-2010 reached -22 degC.  We replace the real
+atmosphere with :class:`repro.climate.generator.WeatherGenerator`, a seeded
+stochastic model calibrated so the paper's anchor conditions occur:
+
+- the prototype weekend (Feb 12-15) averages about -9.2 degC with a minimum
+  near -10.2 degC,
+- a late-February cold snap reaches about -22 degC,
+- spring warming through March-May, with outside relative humidity swinging
+  widely (including the 80-90 %+ episodes the paper highlights).
+
+:mod:`repro.climate.psychro` implements the Magnus-formula psychrometrics
+(dewpoint, RH, absolute humidity, condensation margins) used throughout.
+"""
+
+from repro.climate.generator import WeatherGenerator, WeatherSample
+from repro.climate.profiles import HELSINKI_2010, ClimateProfile
+from repro.climate.psychro import (
+    absolute_humidity,
+    condensation_margin,
+    dewpoint,
+    relative_humidity_from_dewpoint,
+    saturation_vapor_pressure,
+)
+from repro.climate.station import StationReading, WeatherStation
+
+__all__ = [
+    "WeatherGenerator",
+    "WeatherSample",
+    "ClimateProfile",
+    "HELSINKI_2010",
+    "WeatherStation",
+    "StationReading",
+    "saturation_vapor_pressure",
+    "dewpoint",
+    "relative_humidity_from_dewpoint",
+    "absolute_humidity",
+    "condensation_margin",
+]

@@ -1,0 +1,123 @@
+"""Climate profiles for the sites the paper compares itself against.
+
+The introduction frames the contribution geographically: "If we can bring
+the server equipment to tolerate North European conditions, we have shown
+that Intel's results from New Mexico and HP's from North East England can
+be extended to most parts of the globe."  These full-year profiles make
+that argument computable (see :mod:`repro.analysis.freecooling`):
+
+- :data:`HELSINKI_FULL_YEAR` -- the paper's own site, extended across
+  2010 (its stated future work: "more data over longer periods of time
+  and over varying meteorological conditions"),
+- :data:`NEW_MEXICO_FULL_YEAR` -- Intel's air-economizer proof of
+  concept ran in a high-desert climate near Albuquerque,
+- :data:`NE_ENGLAND_FULL_YEAR` -- HP's Wynyard data centre uses cool
+  maritime air from the North Sea,
+- :data:`SINGAPORE_FULL_YEAR` -- a deliberately hostile counterexample:
+  equatorial air that is never cold enough for free cooling.
+
+Monthly anchor means follow standard climate normals for each location;
+variability parameters are set to each climate's character (continental,
+high desert, maritime, equatorial).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Sequence, Tuple
+
+from repro.climate.profiles import ClimateProfile, ColdSnap
+
+
+def _monthly_anchors(year: int, means_c: Sequence[float]) -> Tuple[Tuple[_dt.datetime, float], ...]:
+    """Anchor points on the 15th of each month, plus clamped year ends."""
+    if len(means_c) != 12:
+        raise ValueError("need exactly 12 monthly means")
+    anchors = [(_dt.datetime(year, 1, 1), means_c[0])]
+    for month, mean in enumerate(means_c, start=1):
+        anchors.append((_dt.datetime(year, month, 15), mean))
+    anchors.append((_dt.datetime(year + 1, 1, 1), means_c[-1]))
+    return tuple(anchors)
+
+
+#: The paper's site across all of 2010 (cold winter, the notable July
+#: heat wave of that year, cold December).
+HELSINKI_FULL_YEAR = ClimateProfile(
+    name="helsinki-2010-full-year",
+    anchors=_monthly_anchors(
+        2010, [-11.0, -9.0, -4.0, 3.5, 10.5, 14.5, 21.5, 17.0, 11.0, 4.5, -1.0, -7.5]
+    ),
+    diurnal_amplitude_c=3.2,
+    synoptic_std_c=3.0,
+    synoptic_corr_hours=60.0,
+    dewpoint_depression_mean_c=2.4,
+    dewpoint_depression_std_c=1.5,
+    diurnal_depression_c=4.0,
+    wind_mean_ms=3.8,
+    latitude_deg=60.2,
+    cold_snaps=(
+        ColdSnap(peak=_dt.datetime(2010, 2, 21, 5, 0), depth_c=9.5, sigma_days=1.0),
+        ColdSnap(peak=_dt.datetime(2010, 12, 22, 6, 0), depth_c=8.0, sigma_days=1.5),
+    ),
+)
+
+#: Intel's proof-of-concept site: high desert near Albuquerque, NM.
+#: Hot summer days but large diurnal swing and very dry air.
+NEW_MEXICO_FULL_YEAR = ClimateProfile(
+    name="new-mexico-full-year",
+    anchors=_monthly_anchors(
+        2010, [1.5, 4.5, 8.5, 13.0, 18.5, 24.0, 25.5, 24.0, 20.0, 13.5, 6.5, 1.5]
+    ),
+    diurnal_amplitude_c=8.0,
+    synoptic_std_c=2.5,
+    synoptic_corr_hours=72.0,
+    dewpoint_depression_mean_c=14.0,
+    dewpoint_depression_std_c=4.0,
+    diurnal_depression_c=8.0,
+    wind_mean_ms=3.5,
+    solar_noon_peak_wm2=900.0,
+    latitude_deg=35.1,
+)
+
+#: HP's Wynyard site: maritime North-East England, cool and damp all year.
+NE_ENGLAND_FULL_YEAR = ClimateProfile(
+    name="ne-england-full-year",
+    anchors=_monthly_anchors(
+        2010, [3.5, 3.5, 5.5, 7.5, 10.5, 13.5, 15.5, 15.5, 13.5, 10.0, 6.5, 4.0]
+    ),
+    diurnal_amplitude_c=3.0,
+    synoptic_std_c=2.2,
+    synoptic_corr_hours=48.0,
+    dewpoint_depression_mean_c=2.0,
+    dewpoint_depression_std_c=1.2,
+    diurnal_depression_c=3.0,
+    wind_mean_ms=5.5,
+    solar_noon_peak_wm2=450.0,
+    latitude_deg=54.6,
+)
+
+#: The counterexample: equatorial Singapore, where outside air is never
+#: below the intake ceiling and free cooling buys nothing.
+SINGAPORE_FULL_YEAR = ClimateProfile(
+    name="singapore-full-year",
+    anchors=_monthly_anchors(
+        2010, [26.5, 27.0, 27.5, 28.0, 28.5, 28.5, 28.0, 28.0, 27.5, 27.5, 27.0, 26.5]
+    ),
+    diurnal_amplitude_c=2.5,
+    synoptic_std_c=0.8,
+    synoptic_corr_hours=48.0,
+    dewpoint_depression_mean_c=2.5,
+    dewpoint_depression_std_c=0.8,
+    diurnal_depression_c=3.0,
+    wind_mean_ms=2.5,
+    solar_noon_peak_wm2=950.0,
+    latitude_deg=1.35,
+)
+
+#: The comparison set used by the geographic-extension analysis.
+ALL_SITES = (
+    HELSINKI_FULL_YEAR,
+    NE_ENGLAND_FULL_YEAR,
+    NEW_MEXICO_FULL_YEAR,
+    SINGAPORE_FULL_YEAR,
+)

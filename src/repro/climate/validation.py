@@ -1,0 +1,180 @@
+"""Statistical QA for the weather generator.
+
+The whole reproduction stands on the synthetic atmosphere, so the
+generator gets its own validation battery: estimators that recover, from
+a generated series alone, the structure the profile promised --
+
+- :func:`diurnal_cycle` -- amplitude and phase of the daily temperature
+  cycle (the afternoon maximum),
+- :func:`autocorrelation_time_hours` -- the synoptic persistence scale,
+- :func:`seasonal_trend_c_per_day` -- the winter-to-spring warming,
+- :func:`validate_profile` -- the bundle, compared against the profile's
+  declared parameters.
+
+Tests use these to assert the generator produces what the profile says;
+users can point them at their own calibrations.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.climate.generator import WeatherGenerator
+from repro.climate.profiles import ClimateProfile
+from repro.sim.clock import DAY, HOUR, SimClock
+from repro.sim.rng import RngStreams
+
+
+def diurnal_cycle(times_s: np.ndarray, temps_c: np.ndarray, clock: SimClock) -> Tuple[float, float]:
+    """Fit ``a*cos(2*pi*(h - peak)/24)`` to the detrended daily cycle.
+
+    Returns ``(amplitude_c, peak_hour)``.  Uses the first Fourier mode of
+    the hour-of-day means -- robust to weather noise and seasonal trend.
+    """
+    if len(times_s) != len(temps_c):
+        raise ValueError("times and temps must align")
+    if len(times_s) < 48:
+        raise ValueError("need at least two days of data")
+    hours = np.array([clock.hour_of_day(float(t)) for t in times_s])
+    # Remove the slow trend so February-to-May warming doesn't leak in.
+    detrended = temps_c - np.poly1d(np.polyfit(times_s, temps_c, 2))(times_s)
+    angle = 2.0 * math.pi * hours / 24.0
+    a = 2.0 * float(np.mean(detrended * np.cos(angle)))
+    b = 2.0 * float(np.mean(detrended * np.sin(angle)))
+    amplitude = math.hypot(a, b)
+    peak_hour = (math.degrees(math.atan2(b, a)) / 15.0) % 24.0
+    return amplitude, peak_hour
+
+
+def autocorrelation_time_hours(
+    times_s: np.ndarray, values: np.ndarray, max_lag_hours: float = 240.0
+) -> float:
+    """e-folding time of the series' autocorrelation (hour-grid data).
+
+    The input must be regularly sampled; the lag where the empirical
+    autocorrelation first drops below ``1/e`` is returned (linearly
+    interpolated).
+    """
+    if len(times_s) < 10:
+        raise ValueError("series too short")
+    steps = np.diff(times_s)
+    if not np.allclose(steps, steps[0]):
+        raise ValueError("autocorrelation needs regular sampling")
+    step_h = float(steps[0]) / HOUR
+    x = values - values.mean()
+    denom = float(np.dot(x, x))
+    if denom == 0.0:
+        raise ValueError("constant series has no correlation time")
+    target = 1.0 / math.e
+    previous = 1.0
+    max_lag = int(max_lag_hours / step_h)
+    for lag in range(1, min(max_lag, len(x) - 1)):
+        rho = float(np.dot(x[:-lag], x[lag:])) / denom
+        if rho < target:
+            # Linear interpolation between the straddling lags.
+            frac = (previous - target) / (previous - rho)
+            return (lag - 1 + frac) * step_h
+        previous = rho
+    return max_lag_hours
+
+
+def seasonal_trend_c_per_day(times_s: np.ndarray, temps_c: np.ndarray) -> float:
+    """Least-squares warming rate over the span (degC/day)."""
+    if len(times_s) < 2:
+        raise ValueError("need at least two samples")
+    slope_per_s = float(np.polyfit(times_s, temps_c, 1)[0])
+    return slope_per_s * DAY
+
+
+def dominant_period_hours(
+    times_s: np.ndarray, values: np.ndarray, min_period_hours: float = 3.0
+) -> float:
+    """Period (hours) of the strongest spectral peak in a regular series.
+
+    A detrended periodogram over periods longer than ``min_period_hours``;
+    for any series with a live diurnal cycle (outside air, the tent, the
+    webcam's brightness) the answer should be 24.
+    """
+    if len(times_s) < 8:
+        raise ValueError("series too short for a periodogram")
+    steps = np.diff(times_s)
+    if not np.allclose(steps, steps[0]):
+        raise ValueError("periodogram needs regular sampling")
+    step_h = float(steps[0]) / HOUR
+    x = np.asarray(values, dtype=float)
+    x = x - np.poly1d(np.polyfit(times_s, x, 2))(times_s)
+    spectrum = np.abs(np.fft.rfft(x)) ** 2
+    freqs = np.fft.rfftfreq(len(x), d=step_h)  # cycles per hour
+    usable = freqs > 0
+    usable &= (1.0 / np.maximum(freqs, 1e-12)) >= min_period_hours
+    if not usable.any():
+        raise ValueError("no usable frequencies below the period floor")
+    # Exclude the near-DC band (periods over a third of the record):
+    # synoptic power lives there and is not a "cycle" of the record.
+    record_hours = len(x) * step_h
+    usable &= (1.0 / np.maximum(freqs, 1e-12)) <= record_hours / 3.0
+    peak = int(np.argmax(np.where(usable, spectrum, 0.0)))
+    return float(1.0 / freqs[peak])
+
+
+@dataclass(frozen=True)
+class ProfileValidation:
+    """Recovered-vs-declared structure for one generated series."""
+
+    profile_name: str
+    declared_diurnal_amplitude_c: float
+    recovered_diurnal_amplitude_c: float
+    recovered_peak_hour: float
+    declared_synoptic_corr_hours: float
+    recovered_corr_hours: float
+    recovered_trend_c_per_day: float
+
+    @property
+    def diurnal_recovered(self) -> bool:
+        """Amplitude within a factor of ~2 and peak in the afternoon.
+
+        Cloud damping means the recovered amplitude is *below* the
+        clear-sky parameter; a factor-two band plus a 12-18 h peak window
+        is the meaningful check.
+        """
+        ok_amp = (
+            0.3 * self.declared_diurnal_amplitude_c
+            <= self.recovered_diurnal_amplitude_c
+            <= 2.0 * self.declared_diurnal_amplitude_c
+        )
+        return ok_amp and 11.0 <= self.recovered_peak_hour <= 19.0
+
+
+def validate_profile(
+    profile: ClimateProfile, seed: int = 0, span_days: Optional[int] = None
+) -> ProfileValidation:
+    """Generate a series from ``profile`` and recover its structure."""
+    clock = SimClock(profile.start)
+    weather = WeatherGenerator(profile, RngStreams(seed), clock)
+    end = weather.end_time if span_days is None else min(
+        weather.end_time, weather.start_time + span_days * DAY
+    )
+    times = np.arange(weather.start_time, end, HOUR)
+    temps = np.asarray(weather.temperature(times))
+    amplitude, peak = diurnal_cycle(times, temps, clock)
+    # Correlation time measured on *detrended* daily means: the seasonal
+    # warming would otherwise dominate and the autocorrelation would never
+    # decay within the window.
+    n_days = len(temps) // 24
+    daily = temps[: n_days * 24].reshape(n_days, 24).mean(axis=1)
+    daily_times = times[: n_days * 24 : 24]
+    daily_anomaly = daily - np.poly1d(np.polyfit(daily_times, daily, 2))(daily_times)
+    corr_h = autocorrelation_time_hours(daily_times, daily_anomaly, max_lag_hours=480.0)
+    return ProfileValidation(
+        profile_name=profile.name,
+        declared_diurnal_amplitude_c=profile.diurnal_amplitude_c,
+        recovered_diurnal_amplitude_c=amplitude,
+        recovered_peak_hour=peak,
+        declared_synoptic_corr_hours=profile.synoptic_corr_hours,
+        recovered_corr_hours=corr_h,
+        recovered_trend_c_per_day=seasonal_trend_c_per_day(times, temps),
+    )

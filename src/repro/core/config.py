@@ -1,0 +1,225 @@
+"""Experiment configuration: the paper's campaign as data.
+
+Every date below is stated in, or inferred from, the paper:
+
+- prototype weekend: Friday Feb 12 to Monday Feb 15 (Section 3.1),
+- main test start: Friday Feb 19,
+- staged installs through "the last of the hosts was installed March
+  13th", shown host-by-host in Fig. 2,
+- host #15's failures on Sat Mar 7, 04:40 and Wed Mar 17, 12:20, with the
+  replacement (#19) installed after the second,
+- the Lascar logger "arrived late" (inside data in Figs. 3-4 begins in
+  early March),
+- tent modifications R, I, B, F applied "in order of appearance" through
+  March,
+- the paper snapshot around Mar 27 ("two weeks of operation" for a Mar 13
+  install), with the campaign continuing to mid-May ("three months" for
+  the first host).
+
+Where Fig. 2 is garbled in the source text, the plan keeps every date the
+prose states and fills the rest consistently (see DESIGN.md section 5).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.climate.profiles import HELSINKI_2010, ClimateProfile
+from repro.hardware.faults import MemoryFaultModel, TransientFaultModel
+from repro.thermal.tent import Modification
+
+
+@dataclass(frozen=True)
+class HostPlan:
+    """One host's place in the campaign."""
+
+    host_id: int
+    vendor_id: str
+    group: str  # "tent" | "basement" | "spare"
+    install_date: Optional[_dt.datetime]
+    twin_id: Optional[int] = None  # the pairwise-identical unit in the other group
+
+    def __post_init__(self) -> None:
+        if self.group not in ("tent", "basement", "spare"):
+            raise ValueError(f"unknown group {self.group!r}")
+        if self.group != "spare" and self.install_date is None:
+            raise ValueError("non-spare hosts need an install date")
+
+
+@dataclass(frozen=True)
+class TentModificationPlan:
+    """One scheduled envelope intervention."""
+
+    date: _dt.datetime
+    modification: Modification
+
+
+def paper_host_plans() -> Tuple[HostPlan, ...]:
+    """The default 18+1 host fleet with the Fig. 2 install schedule.
+
+    Tent hosts carry the numbers Fig. 2 labels (01, 02, 03, 06, 10, 14,
+    15, 11, 18 plus replacement 19); basement twins take the remaining
+    numbers, paired install-date for install-date.
+    """
+    feb19 = _dt.datetime(2010, 2, 19, 16, 0)
+    feb24 = _dt.datetime(2010, 2, 24, 15, 0)
+    mar05 = _dt.datetime(2010, 3, 5, 15, 0)
+    mar10 = _dt.datetime(2010, 3, 10, 15, 0)
+    mar13 = _dt.datetime(2010, 3, 13, 14, 0)
+
+    pairs = [
+        # (tent id, basement id, vendor, install date)
+        (1, 4, "A", feb19),
+        (2, 5, "A", feb19),
+        (3, 7, "A", feb19),
+        (6, 8, "A", feb24),
+        (10, 9, "A", mar05),
+        (14, 16, "B", mar10),
+        (15, 17, "B", mar10),
+        (11, 12, "C", mar13),
+        (18, 13, "C", mar13),
+    ]
+    plans: List[HostPlan] = []
+    for tent_id, base_id, vendor_id, date in pairs:
+        plans.append(
+            HostPlan(tent_id, vendor_id, "tent", date, twin_id=base_id)
+        )
+        plans.append(
+            HostPlan(base_id, vendor_id, "basement", date, twin_id=tent_id)
+        )
+    # The 19th server: vendor-B spare that replaced #15 on March 17th.
+    plans.append(HostPlan(19, "B", "spare", None, twin_id=None))
+    plans.sort(key=lambda p: p.host_id)
+    return tuple(plans)
+
+
+def paper_modification_plans() -> Tuple[TentModificationPlan, ...]:
+    """The R, I, B, F schedule, plus the half-open door.
+
+    Fig. 3 letters the first four "in order of appearance"; the text adds
+    that "the last modification to normal operation was to let the outer
+    front door remain in a half-open position".
+    """
+    return (
+        TentModificationPlan(_dt.datetime(2010, 3, 5, 13, 0), Modification.REFLECTIVE_FOIL),
+        TentModificationPlan(_dt.datetime(2010, 3, 12, 13, 0), Modification.INNER_TENT_REMOVED),
+        TentModificationPlan(_dt.datetime(2010, 3, 18, 13, 0), Modification.BOTTOM_TARP_REMOVED),
+        TentModificationPlan(_dt.datetime(2010, 3, 24, 13, 0), Modification.FAN_INSTALLED),
+        TentModificationPlan(_dt.datetime(2010, 3, 26, 13, 0), Modification.DOOR_HALF_OPEN),
+    )
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything a run needs; defaults reproduce the paper's campaign.
+
+    Attributes
+    ----------
+    seed:
+        Master seed for every random stream.
+    climate:
+        Weather calibration profile.
+    prototype_start / prototype_end:
+        The plastic-box weekend.
+    test_start:
+        Tent erection and first installs.
+    snapshot_date:
+        "At the time of writing": where the paper's censuses are taken.
+    end_date:
+        Full campaign end (the first host's three months).
+    host_plans / modification_plans:
+        Fleet and tent-intervention schedules.
+    lascar_arrival:
+        First instant of tent-internal logging.
+    logger_download_interval_days / logger_download_duration_min:
+        The carry-indoors data-download trips (outlier source).
+    tick_interval_s:
+        Fleet/enclosure integration step.
+    transient_model / memory_model:
+        Fault-model parameters.
+    switch_defect_mean_life_hours:
+        Mean powered life of the defective 8-port switches.
+    failures_before_indoors:
+        Operator policy: after this many failures a host is taken indoors
+        and memtested (2 for the paper's host #15).
+    inspection_delay_hours:
+        How long a down host waits for the operator (failures were found
+        on the next working day).
+    sensor_reboot_delay_days:
+        "After a week, we risked a warm system reboot."
+    boot_duration_min:
+        BIOS + OS bring-up time after an operator reset; the host answers
+        nothing (and runs no load) while booting.
+    tent_model:
+        ``"single"`` (the campaign default: one lumped thermal node) or
+        ``"two-node"`` (the air+mass fidelity model from the A4 ablation).
+    """
+
+    seed: int = 7
+    climate: ClimateProfile = HELSINKI_2010
+    prototype_start: _dt.datetime = _dt.datetime(2010, 2, 12, 16, 0)
+    prototype_end: _dt.datetime = _dt.datetime(2010, 2, 15, 10, 0)
+    test_start: _dt.datetime = _dt.datetime(2010, 2, 19, 12, 0)
+    snapshot_date: _dt.datetime = _dt.datetime(2010, 3, 27, 12, 0)
+    end_date: _dt.datetime = _dt.datetime(2010, 5, 12, 12, 0)
+    host_plans: Tuple[HostPlan, ...] = field(default_factory=paper_host_plans)
+    modification_plans: Tuple[TentModificationPlan, ...] = field(
+        default_factory=paper_modification_plans
+    )
+    lascar_arrival: _dt.datetime = _dt.datetime(2010, 3, 1, 12, 0)
+    logger_download_interval_days: float = 10.0
+    logger_download_duration_min: float = 35.0
+    tick_interval_s: float = 300.0
+    transient_model: TransientFaultModel = field(default_factory=TransientFaultModel)
+    memory_model: MemoryFaultModel = field(default_factory=MemoryFaultModel)
+    switch_defect_mean_life_hours: float = 190.0
+    failures_before_indoors: int = 2
+    inspection_delay_hours: float = 30.0
+    sensor_reboot_delay_days: float = 7.0
+    boot_duration_min: float = 4.0
+    tent_model: str = "single"
+
+    def __post_init__(self) -> None:
+        if self.prototype_end <= self.prototype_start:
+            raise ValueError("prototype must end after it starts")
+        if self.test_start < self.prototype_end:
+            raise ValueError("main test cannot start before the prototype ends")
+        if self.end_date <= self.test_start:
+            raise ValueError("campaign must end after it starts")
+        if not self.climate.start <= self.prototype_start:
+            raise ValueError("climate profile does not cover the prototype")
+        if not self.climate.end >= self.end_date:
+            raise ValueError("climate profile does not cover the campaign end")
+        if self.tick_interval_s <= 0:
+            raise ValueError("tick interval must be positive")
+        if self.failures_before_indoors < 1:
+            raise ValueError("failures_before_indoors must be >= 1")
+        if self.tent_model not in ("single", "two-node"):
+            raise ValueError(f"unknown tent model {self.tent_model!r}")
+        ids = [p.host_id for p in self.host_plans]
+        if len(ids) != len(set(ids)):
+            raise ValueError("duplicate host ids in the plan")
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def plans_by_group(self, group: str) -> List[HostPlan]:
+        """All host plans in one group, sorted by id."""
+        return [p for p in self.host_plans if p.group == group]
+
+    def plan_for(self, host_id: int) -> HostPlan:
+        """The plan for one host id."""
+        for plan in self.host_plans:
+            if plan.host_id == host_id:
+                return plan
+        raise KeyError(f"no host {host_id} in the plan")
+
+    def with_end(self, end_date: _dt.datetime) -> "ExperimentConfig":
+        """A copy ending earlier/later (tests use short campaigns)."""
+        return replace(self, end_date=end_date)
+
+    def with_seed(self, seed: int) -> "ExperimentConfig":
+        """A copy under a different master seed."""
+        return replace(self, seed=seed)

@@ -1,0 +1,280 @@
+"""The operator playbook: what the experimenters did when things broke.
+
+Section 4.2.1, turned into policy:
+
+- a **down host** is inspected on the next working visit (the paper found
+  the Saturday-04:40 failure "on the following Monday").  The first
+  failure earns a reset in place and a "transient" mark; reaching the
+  configured failure budget (two, like host #15) gets the host taken
+  indoors, memtested, and left to run in the office -- and, if it was a
+  tent host, a spare is installed in its stead;
+- a **sensor anomaly** (-111 degC readings) gets a re-detection attempt --
+  which, as in the paper, makes the chip vanish -- followed a week later
+  by a warm reboot that recovers it;
+- an **unreachable host** points at a dead switch: the operator re-cables
+  its hosts (to the surviving tent switch, or to a healthy replacement
+  from stock), and -- the first time -- bench-tests the never-deployed
+  spare, which manifests the identical inherent failure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.config import ExperimentConfig
+from repro.core.deployment import Fleet
+from repro.hardware.faults import FaultEvent, FaultKind, FaultLog
+from repro.hardware.host import Host, HostState
+from repro.hardware.sensors import SensorState
+from repro.hardware.switch import NetworkSwitch
+from repro.monitoring.collector import MonitoringHost, NetworkPath
+from repro.sim.clock import DAY, HOUR
+from repro.sim.engine import Simulator
+
+
+class OperatorPolicy:
+    """Reactive maintenance, wired to the monitoring host's callbacks.
+
+    Construct it, then build the :class:`MonitoringHost` with this
+    object's ``on_*`` methods, then call :meth:`bind_monitoring`.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: ExperimentConfig,
+        fleet: Fleet,
+        fault_log: FaultLog,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.fleet = fleet
+        self.fault_log = fault_log
+        self.monitoring: Optional[MonitoringHost] = None
+
+        self.failure_counts: Dict[int, int] = {}
+        self.memtest_verdicts: Dict[int, bool] = {}
+        #: host id -> all S.M.A.R.T. long self-tests passed (wrong-hash triage).
+        self.smart_verdicts: Dict[int, bool] = {}
+        self._reviewed_fault_count = 0
+        #: ``(time, failed_host_id, replacement_host_id)``
+        self.replacements: List[Tuple[float, int, int]] = []
+        #: ``(time, dead_switch_name, new_switch_name)``
+        self.switch_repairs: List[Tuple[float, str, str]] = []
+        self.spare_bench_result: Optional[bool] = None
+
+        self._inspections_pending: Set[int] = set()
+        self._sensor_handling: Set[int] = set()
+        self._switch_repairs_pending: Set[str] = set()
+
+    def __repr__(self) -> str:
+        return (
+            f"OperatorPolicy(inspections={sum(self.failure_counts.values())}, "
+            f"replacements={len(self.replacements)}, "
+            f"switch_repairs={len(self.switch_repairs)})"
+        )
+
+    def bind_monitoring(self, monitoring: MonitoringHost) -> None:
+        """Attach the monitoring host whose topology the policy repairs."""
+        self.monitoring = monitoring
+
+    # ------------------------------------------------------------------
+    # Down hosts
+    # ------------------------------------------------------------------
+    def on_down_host(self, time: float, host: Host) -> None:
+        """Collection round found a host not answering SSH."""
+        if host.host_id in self._inspections_pending:
+            return
+        if host.state is not HostState.FAILED:
+            return
+        self._inspections_pending.add(host.host_id)
+        delay = self.config.inspection_delay_hours * HOUR
+        self.sim.schedule(
+            delay, lambda: self._inspect_host(host), label=f"inspect.{host.hostname}"
+        )
+
+    def _inspect_host(self, host: Host) -> None:
+        time = self.sim.now
+        self._inspections_pending.discard(host.host_id)
+        if host.state is not HostState.FAILED:
+            return
+        count = self.failure_counts.get(host.host_id, 0) + 1
+        self.failure_counts[host.host_id] = count
+        if count < self.config.failures_before_indoors:
+            # "The failure was initially marked as transient and the host
+            # resumed normal operations in the tent."  The power cycle
+            # itself takes a few minutes of BIOS and OS bring-up.
+            host.begin_boot(time)
+            self.sim.schedule(
+                self.config.boot_duration_min * 60.0,
+                lambda: host.finish_boot(self.sim.now),
+                label=f"boot.{host.hostname}",
+            )
+            return
+        self._take_indoors(host, time)
+
+    def _take_indoors(self, host: Host, time: float) -> None:
+        was_tent_host = host.enclosure is self.fleet.tent
+        host.move_to(self.fleet.indoors, time)
+        host.reset(time)
+        survived = host.run_memtest(4.0, time)
+        self.memtest_verdicts[host.host_id] = survived
+        if not survived:
+            self.fault_log.record(
+                FaultEvent(
+                    time=time,
+                    kind=FaultKind.MEMTEST,
+                    host_id=host.host_id,
+                    detail="Memtest86+ caused a system failure within hours",
+                )
+            )
+            # "After this, the host was left to operate in an indoors
+            # environment."  The crash ends the memtest, not the host.
+        if was_tent_host:
+            self._replace_in_tent(host, time)
+
+    def _replace_in_tent(self, failed_host: Host, time: float) -> None:
+        spare = self._find_spare(failed_host.spec.vendor_id)
+        if spare is None:
+            return
+        install_at = time + 1 * DAY
+
+        def install() -> None:
+            now = self.sim.now
+            self.fleet.install(spare.host_id, self.fleet.tent, now)
+            if self.monitoring is not None:
+                self.monitoring.register(spare, [self.fleet.next_tent_switch()])
+            self.replacements.append((now, failed_host.host_id, spare.host_id))
+
+        self.sim.schedule_at(install_at, install, label=f"replace.{failed_host.hostname}")
+
+    def _find_spare(self, vendor_id: str) -> Optional[Host]:
+        for plan in self.config.plans_by_group("spare"):
+            host = self.fleet.host(plan.host_id)
+            if host.state is HostState.STAGED and plan.vendor_id == vendor_id:
+                return host
+        return None
+
+    # ------------------------------------------------------------------
+    # Weekly lab review (the Section 4.2.2 diagnostic chain)
+    # ------------------------------------------------------------------
+    def weekly_review(self) -> None:
+        """Triage fault-log entries accumulated since the last review.
+
+        For every new wrong-hash event the operators run the affected
+        host's S.M.A.R.T. long self-tests -- the step that, in the paper,
+        ruled the disks out and left non-ECC memory as "the current
+        conjecture of a failure cause".
+        """
+        time = self.sim.now
+        new_events = self.fault_log.events[self._reviewed_fault_count :]
+        self._reviewed_fault_count = len(self.fault_log.events)
+        for event in new_events:
+            if event.kind is not FaultKind.WRONG_HASH or event.host_id is None:
+                continue
+            host = self.fleet.host(event.host_id)
+            if not host.running:
+                continue
+            passed = host.storage.run_long_self_tests(time)
+            previous = self.smart_verdicts.get(event.host_id, True)
+            self.smart_verdicts[event.host_id] = previous and passed
+
+    def memory_conjecture_holds(self) -> bool:
+        """The paper's conclusion: every triaged drive passed its long
+        test, so the corruption must come from (non-ECC) memory."""
+        return all(self.smart_verdicts.values()) if self.smart_verdicts else False
+
+    # ------------------------------------------------------------------
+    # Sensor anomalies
+    # ------------------------------------------------------------------
+    def on_sensor_anomaly(self, time: float, host: Host) -> None:
+        """Collection round pulled a -111 degC reading (or a vanished chip)."""
+        if host.host_id in self._sensor_handling:
+            return
+        self._sensor_handling.add(host.host_id)
+        delay = self.config.inspection_delay_hours * HOUR
+        self.sim.schedule(
+            delay, lambda: self._handle_sensor(host), label=f"sensor.{host.hostname}"
+        )
+
+    def _handle_sensor(self, host: Host) -> None:
+        # "we tried to redetect the sensor chip ... Instead, the opposite
+        # resulted, and the sensor chip ceased to be detected at all."
+        if host.sensor.state is SensorState.ERRATIC:
+            host.sensor.redetect()
+        if host.sensor.state is SensorState.UNDETECTED:
+            delay = self.config.sensor_reboot_delay_days * DAY
+
+            def reboot() -> None:
+                if host.running:
+                    host.warm_reboot(self.sim.now)
+                self._sensor_handling.discard(host.host_id)
+
+            self.sim.schedule(delay, reboot, label=f"warm-reboot.{host.hostname}")
+        else:
+            self._sensor_handling.discard(host.host_id)
+
+    # ------------------------------------------------------------------
+    # Network repairs
+    # ------------------------------------------------------------------
+    def on_unreachable(self, time: float, path: NetworkPath) -> None:
+        """Collection round could not reach a host: suspect the switch chain."""
+        dead = [s for s in path.switches if not s.operational]
+        for switch in dead:
+            if switch.name in self._switch_repairs_pending:
+                continue
+            self._switch_repairs_pending.add(switch.name)
+            self.sim.schedule(
+                self.config.inspection_delay_hours * HOUR,
+                lambda s=switch: self._repair_switch(s),
+                label=f"repair.{switch.name}",
+            )
+
+    def _repair_switch(self, dead_switch: NetworkSwitch) -> None:
+        time = self.sim.now
+        replacement = self._pick_replacement_switch(dead_switch)
+        self.fleet.swap_tent_switch(dead_switch, replacement)
+        if self.monitoring is not None:
+            for path in self.monitoring.paths.values():
+                if dead_switch in path.switches:
+                    new_chain = [
+                        replacement if s is dead_switch else s for s in path.switches
+                    ]
+                    path.reroute(new_chain)
+        self.switch_repairs.append((time, dead_switch.name, replacement.name))
+        self._switch_repairs_pending.discard(dead_switch.name)
+        if self.spare_bench_result is None:
+            # First failure prompts the post-mortem: a long soak test of the
+            # never-deployed spare ("after some testing, the remaining
+            # switch ... manifested an identical failure state").
+            self.spare_bench_result = self.fleet.spare_switch.bench_test(
+                duration_hours=500.0, time=time
+            )
+            if not self.spare_bench_result:
+                self.fault_log.record(
+                    FaultEvent(
+                        time=time,
+                        kind=FaultKind.SWITCH,
+                        host_id=None,
+                        detail=f"{self.fleet.spare_switch.name} (bench test: identical failure)",
+                    )
+                )
+
+    def _pick_replacement_switch(self, dead_switch: NetworkSwitch) -> NetworkSwitch:
+        # A dead *tent* switch: prefer the surviving tent switch while it
+        # has free ports (the paper's operators re-cabled before sourcing
+        # a replacement).  Any other switch goes straight to stock -- the
+        # basement never borrows tent gear.
+        was_tent_switch = (
+            dead_switch in self.fleet.tent_switches
+            or dead_switch in self.fleet.active_tent_switches
+        )
+        if was_tent_switch:
+            for candidate in self.fleet.active_tent_switches:
+                if candidate is dead_switch or not candidate.operational:
+                    continue
+                spare_ports = NetworkSwitch.PORT_COUNT - len(candidate.connected())
+                displaced = len(dead_switch.connected())
+                if spare_ports >= displaced:
+                    return candidate
+        return self.fleet.provision_replacement_switch()

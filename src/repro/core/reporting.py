@@ -1,0 +1,224 @@
+"""Paper-style textual reports.
+
+Each function renders one slice of Section 4/5 from an
+:class:`~repro.core.results.ExperimentResults`, in the voice of the
+paper's own summary sentences.  The benchmarks print these next to the
+paper's numbers so EXPERIMENTS.md can record paper-vs-measured.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.failures import (
+    INTEL_FAILURE_RATE_PERCENT,
+    failures_by_host,
+    find_common_cause_clusters,
+)
+from repro.analysis.memory_errors import paper_estimate
+from repro.analysis.pue import paper_breakdown
+from repro.core.results import ExperimentResults
+from repro.hardware.faults import FaultKind
+from repro.workload.bzip2 import bzip2recover
+
+
+def prototype_report(results: ExperimentResults) -> str:
+    """Section 3.1: the plastic-box weekend."""
+    if results.prototype is None:
+        return "prototype phase not run"
+    p = results.prototype
+    lines = [
+        "== Prototype weekend (plastic boxes, Feb 12-15) ==",
+        p.describe(),
+        f"  paper: outside as low as -10.2 degC, average -9.2 degC; "
+        f"CPU operating as low as -4 degC; prototype survived",
+    ]
+    return "\n".join(lines)
+
+
+def conditions_report(results: ExperimentResults) -> str:
+    """Section 4.1: temperatures and humidities."""
+    outside_t = results.outside_temperature()
+    outside_rh = results.outside_humidity()
+    inside_t = results.inside_temperature_raw()
+    inside_rh = results.inside_humidity_raw()
+    lines = ["== Conditions (Section 4.1) =="]
+    lines.append(
+        f"outside: {outside_t.min():.1f} .. {outside_t.max():.1f} degC, "
+        f"RH {outside_rh.min():.0f} .. {outside_rh.max():.0f} %"
+    )
+    if not inside_t.empty:
+        lines.append(
+            f"tent:    {inside_t.min():.1f} .. {inside_t.max():.1f} degC, "
+            f"RH {inside_rh.min():.0f} .. {inside_rh.max():.0f} % "
+            f"(from Lascar arrival onward)"
+        )
+        lines.append(
+            f"tent RH spread {inside_rh.std():.1f} % vs outside {outside_rh.std():.1f} % "
+            f"(the tent retains more stable humidities)"
+        )
+    mods = results.tent.modification_times()
+    if mods:
+        marks = ", ".join(
+            f"{letter}@{results.clock.format(t)}" for letter, t in sorted(mods.items(), key=lambda kv: kv[1])
+        )
+        lines.append(f"tent modifications: {marks}")
+    return "\n".join(lines)
+
+
+def faults_report(results: ExperimentResults) -> str:
+    """Section 4.2: the failure census."""
+    lines = ["== Faults encountered (Section 4.2) =="]
+    snapshot = results.snapshot
+    if snapshot is not None:
+        lines.append(
+            f"at the paper snapshot: {len(snapshot.failed_host_ids)} of "
+            f"{snapshot.initially_installed} initially installed hosts failed "
+            f"({snapshot.failure_rate_percent:.1f} %; paper: 5.6 %, Intel: "
+            f"{INTEL_FAILURE_RATE_PERCENT} %)"
+        )
+    per_host = failures_by_host(results.fault_log.events)
+    for host_id in sorted(per_host):
+        host = results.fleet.host(host_id)
+        lines.append(
+            f"  host #{host_id:02d} (vendor {host.spec.vendor_id}): "
+            f"{per_host[host_id]} system failure(s), "
+            f"{host.reset_count} reset(s)"
+        )
+    sensor_hosts = [
+        h for h in results.fleet.hosts.values() if h.sensor.ever_latched
+    ]
+    for host in sensor_hosts:
+        lines.append(
+            f"  host #{host.host_id:02d}: sensor chip latched at "
+            f"{results.clock.format(host.sensor.latch_time)} "
+            f"({host.sensor.erroneous_reading_count()} readings of -111 degC)"
+        )
+    switch_events = results.fault_log.of_kind(FaultKind.SWITCH)
+    for event in switch_events:
+        lines.append(f"  switch: {event.detail} at {results.clock.format(event.time)}")
+    clusters = find_common_cause_clusters(results.fault_log.events)
+    lines.append(
+        f"common-cause clusters (>=2 hosts, same kind, 48 h): {len(clusters)} "
+        f"(paper expected and found none attributable to the environment)"
+    )
+    return "\n".join(lines)
+
+
+def wrong_hash_report(results: ExperimentResults) -> str:
+    """Section 4.2.2: wrong hashes and the memory-error arithmetic."""
+    ledger = results.ledger
+    lines = ["== Wrong hashes (Section 4.2.2) =="]
+    lines.append(
+        f"{ledger.total_wrong_hashes} wrong md5sums in {ledger.total_runs} runs "
+        f"(paper: 5 in 27,627)"
+    )
+    for host_id in ledger.hosts_with_wrong_hashes():
+        host = results.fleet.host(host_id)
+        group = "tent" if host.enclosure is results.fleet.tent else host.enclosure.name
+        ecc = "ECC" if host.spec.ecc_memory else "non-ECC"
+        lines.append(
+            f"  host #{host_id:02d} ({ecc}, {group}): {ledger.wrong_per_host[host_id]}"
+        )
+    archive = ledger.most_recent_stored_archive()
+    if archive is not None:
+        report = bzip2recover(archive)
+        lines.append(f"  bzip2recover on the most recent stored tarball: {report.summary()}")
+        lines.append("  paper: 'only a single one of the 396 bzip2 compression blocks'")
+    if results.policy.smart_verdicts:
+        all_passed = results.policy.memory_conjecture_holds()
+        verdict = (
+            "all drives passed their S.M.A.R.T. long test runs -- the memory "
+            "conjecture holds" if all_passed else "some drives FAILED their long tests"
+        )
+        lines.append(f"  weekly triage: {verdict}")
+    estimate = results.memory_error_estimate()
+    lines.append(estimate.describe())
+    lines.append(f"paper's own estimate: {paper_estimate().describe()}")
+    return "\n".join(lines)
+
+
+def reliability_report(results: ExperimentResults) -> str:
+    """Beyond the paper: confidence intervals and survival analysis."""
+    from repro.analysis.reliability import (
+        kaplan_meier,
+        lifetimes_from_results,
+        rates_are_consistent,
+        wilson_interval,
+    )
+    from repro.sim.clock import DAY
+
+    lines = ["== Reliability statistics (extension) =="]
+    snapshot = results.snapshot
+    if snapshot is not None:
+        failed = len(snapshot.failed_host_ids)
+        lo, hi = wilson_interval(failed, snapshot.initially_installed)
+        lines.append(
+            f"snapshot census {failed}/{snapshot.initially_installed}: "
+            f"95 % CI {100 * lo:.1f}-{100 * hi:.1f} % "
+            f"(contains Intel's 4.46 %: "
+            f"{'yes' if lo <= 0.0446 <= hi else 'no'})"
+        )
+        consistent = rates_are_consistent(
+            failed, snapshot.initially_installed, 40, 896
+        )
+        lines.append(
+            f"two-proportion test vs Intel-scale trial: "
+            f"{'consistent' if consistent else 'different'} at 95 %"
+        )
+    lifetimes = lifetimes_from_results(results)
+    points = kaplan_meier(lifetimes)
+    if points:
+        for point in points:
+            lines.append(
+                f"  survival {point.survival:.2f} after "
+                f"{point.time_s / DAY:.1f} days ({point.at_risk} at risk)"
+            )
+    else:
+        lines.append("  no host failures: survival curve flat at 1.0")
+    return "\n".join(lines)
+
+
+def heat_budget_report(results: ExperimentResults) -> str:
+    """Beyond the paper: the tent's envelope recovered from telemetry."""
+    from repro.analysis.heatbudget import estimate_ua_by_era, summarize
+
+    estimates = estimate_ua_by_era(results)
+    lines = ["== Empirical heat budget (extension) =="]
+    if not estimates:
+        lines.append("no tent-internal data (run ended before the Lascar arrived)")
+        return "\n".join(lines)
+    lines.append(summarize(estimates, results.clock))
+    lines.append(
+        "each airflow intervention shows up as a conductance step -- the "
+        "quantitative version of the paper's Fig. 3 event marks"
+    )
+    return "\n".join(lines)
+
+
+def pue_report() -> str:
+    """Section 5: the cluster's PUE arithmetic (static, no run needed)."""
+    breakdown = paper_breakdown()
+    lines = ["== PUE of the new cluster (Section 5) =="]
+    lines.append(breakdown.conventional.describe())
+    lines.append(breakdown.free_air.describe())
+    lines.append(
+        f"cooling energy saved by free air: "
+        f"{100 * breakdown.conventional.cooling_energy_savings_vs(breakdown.free_air):.0f} % "
+        f"(HP/Intel claim 40-67 % total-energy savings)"
+    )
+    return "\n".join(lines)
+
+
+def full_report(results: ExperimentResults) -> str:
+    """Everything, in paper order."""
+    sections: List[str] = [
+        prototype_report(results),
+        conditions_report(results),
+        faults_report(results),
+        wrong_hash_report(results),
+        reliability_report(results),
+        heat_budget_report(results),
+        pue_report(),
+    ]
+    return "\n\n".join(sections)

@@ -1,0 +1,70 @@
+"""Machine-room substrate: hosts, components, sensors, storage, switches.
+
+The paper's fleet (Section 3.4) is 19 computers in three form factors:
+
+- vendor **A** -- small-shop "clone" desktops in medium tower cases, two
+  hard drives in a Linux md software mirror,
+- vendor **B** -- mass-manufactured small-form-factor workstations, one
+  drive, *known-unreliable series with bad airflow*,
+- vendor **C** -- 2U rack servers with five drives (hardware mirror plus a
+  three-drive stripe set with parity).
+
+This package models each host down to the component level the paper's
+fault census touches: the lm-sensors chip (including its cold-induced
+-111 degC failure mode), non-ECC memory that flips bits roughly once per
+570 million page operations, S.M.A.R.T.-reporting disks in RAID layouts,
+and the defective 8-port switches that shared the tent's network.
+"""
+
+from repro.hardware.components import Cpu, MemoryBank, PowerSupply
+from repro.hardware.faults import (
+    FaultEvent,
+    FaultKind,
+    MemoryFaultModel,
+    TransientFaultModel,
+    hazard_probability,
+)
+from repro.hardware.host import Host, HostState
+from repro.hardware.memtest import MemtestReport, MemtestSession
+from repro.hardware.sensors import SensorChip, SensorState
+from repro.hardware.smart import SmartAttribute, SmartTable
+from repro.hardware.storage import (
+    Disk,
+    HardwareMirror,
+    MdSoftwareMirror,
+    StorageSubsystem,
+    StripeWithParity,
+)
+from repro.hardware.switch import NetworkSwitch, SwitchState
+from repro.hardware.vendors import VENDOR_A, VENDOR_B, VENDOR_C, FormFactor, VendorSpec
+
+__all__ = [
+    "VendorSpec",
+    "FormFactor",
+    "VENDOR_A",
+    "VENDOR_B",
+    "VENDOR_C",
+    "Cpu",
+    "MemoryBank",
+    "PowerSupply",
+    "SensorChip",
+    "SensorState",
+    "SmartAttribute",
+    "SmartTable",
+    "Disk",
+    "MdSoftwareMirror",
+    "HardwareMirror",
+    "StripeWithParity",
+    "StorageSubsystem",
+    "NetworkSwitch",
+    "SwitchState",
+    "Host",
+    "HostState",
+    "MemtestSession",
+    "MemtestReport",
+    "FaultKind",
+    "FaultEvent",
+    "TransientFaultModel",
+    "MemoryFaultModel",
+    "hazard_probability",
+]

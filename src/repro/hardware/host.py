@@ -1,0 +1,305 @@
+"""A complete host: the unit of the paper's fleet.
+
+A :class:`Host` composes a vendor spec with a CPU, a memory bank, a sensor
+chip, and a storage subsystem, draws intake air from whatever
+:class:`~repro.thermal.enclosure.Enclosure` it currently sits in, and can
+
+- suffer transient system failures (hazard scaled by its personal frailty
+  and its case temperature),
+- be reset, warm-rebooted, moved indoors, or retired by the operator --
+  the actions Section 4.2.1 narrates for host #15 and the sensor-chip
+  host,
+- run a Memtest86+ session, which is what finally condemned host #15.
+
+The host does not schedule itself; the fleet in :mod:`repro.core` ticks it
+and the workload drives its duty cycle.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Tuple
+
+from repro.hardware.components import Cpu, MemoryBank, PowerSupply
+from repro.hardware.faults import (
+    FaultEvent,
+    FaultKind,
+    FaultLog,
+    TransientFaultModel,
+    hazard_probability,
+)
+from repro.hardware.sensors import SensorChip, SensorReading
+from repro.hardware.storage import StorageSubsystem
+from repro.hardware.vendors import VendorSpec
+from repro.sim.rng import RngStreams
+from repro.thermal.enclosure import Enclosure
+
+#: Water-ingress hazard per (mm/h of precipitation reaching the case) per
+#: hour of powered operation.  A bare host in steady snowfall dies within
+#: days; a sheltered one never sees the term.
+WATER_INGRESS_RATE_PER_MM = 0.12
+
+#: Stress multiplier a Memtest86+ run applies to the transient hazard.
+#: Memtest hammers exactly the subsystem the defective series is weak in,
+#: so the factor is large: a lemon that has already failed twice "causes
+#: another system failure within a few hours", while a sound host sails
+#: through (its base hazard is four orders of magnitude lower).
+_MEMTEST_STRESS_FACTOR = 40.0
+
+
+class HostState(enum.Enum):
+    """Lifecycle of a host within the experiment."""
+
+    STAGED = "staged"  # procured, not yet installed
+    RUNNING = "running"
+    BOOTING = "booting"  # power-cycled, BIOS + OS still coming up
+    FAILED = "failed"  # down, awaiting operator attention
+    RETIRED = "retired"  # withdrawn from the experiment
+
+
+class Host:
+    """One computer of the fleet.
+
+    Parameters
+    ----------
+    host_id:
+        The paper's server number (1-19).
+    spec:
+        Vendor specification.
+    streams:
+        Parent RNG family; the host spawns its own child family so fleets
+        of any size stay draw-for-draw reproducible.
+    transient_model:
+        Shared hazard parameters for transient system failures.
+    memory_fault_ratio:
+        Per-page-op bit-flip probability for the memory bank.
+    """
+
+    def __init__(
+        self,
+        host_id: int,
+        spec: VendorSpec,
+        streams: RngStreams,
+        transient_model: Optional[TransientFaultModel] = None,
+        memory_fault_ratio: float = 1.0 / 570e6,
+    ) -> None:
+        self.host_id = host_id
+        self.hostname = f"host{host_id:02d}"
+        self.spec = spec
+        self._streams = streams.spawn(f"host.{host_id:02d}")
+        self.transient_model = (
+            transient_model if transient_model is not None else TransientFaultModel()
+        )
+        self.frailty = self.transient_model.draw_frailty(self._streams.stream("frailty"))
+
+        self.cpu = Cpu(spec)
+        self.memory = MemoryBank(spec, self._streams.stream("memory"), memory_fault_ratio)
+        self.psu = PowerSupply()
+        self.sensor = SensorChip(self._streams.stream("sensor"))
+        self.storage = StorageSubsystem(self.hostname, spec, self._streams.stream("storage"))
+        self._fault_rng = self._streams.stream("transient")
+
+        self.state = HostState.STAGED
+        self.enclosure: Optional[Enclosure] = None
+        self.installed_at: Optional[float] = None
+        self.retired_at: Optional[float] = None
+        self.uptime_s = 0.0
+        self.reset_count = 0
+        #: ``(time, note)`` operator log, mirroring the paper's narrative.
+        self.event_log: List[Tuple[float, str]] = []
+
+    def __repr__(self) -> str:
+        where = self.enclosure.name if self.enclosure is not None else "nowhere"
+        return (
+            f"Host(#{self.host_id:02d} vendor {self.spec.vendor_id}, "
+            f"{self.state.value} in {where})"
+        )
+
+    # ------------------------------------------------------------------
+    # Placement and lifecycle
+    # ------------------------------------------------------------------
+    def install(self, enclosure: Enclosure, time: float) -> None:
+        """Place the host in an enclosure and power it on."""
+        if self.state is HostState.RETIRED:
+            raise RuntimeError(f"{self.hostname} is retired")
+        self.enclosure = enclosure
+        if self.installed_at is None:
+            self.installed_at = time
+        self.state = HostState.RUNNING
+        self.storage.record_power_cycle()
+        self.event_log.append((time, f"installed in {enclosure.name}"))
+
+    def move_to(self, enclosure: Enclosure, time: float) -> None:
+        """Relocate a host (e.g. taken indoors after repeated failures)."""
+        if self.enclosure is None:
+            raise RuntimeError(f"{self.hostname} was never installed")
+        self.event_log.append(
+            (time, f"moved from {self.enclosure.name} to {enclosure.name}")
+        )
+        self.enclosure = enclosure
+
+    def reset(self, time: float) -> None:
+        """Operator reset after a failure; the host resumes immediately.
+
+        The zero-downtime convenience form of :meth:`begin_boot` +
+        :meth:`finish_boot`, used where boot latency is irrelevant
+        (bench work, tests).  Only valid from the FAILED state.
+        """
+        if self.state is not HostState.FAILED:
+            raise RuntimeError(
+                f"{self.hostname} is not failed (state={self.state.value})"
+            )
+        self.begin_boot(time)
+        self.finish_boot(time)
+
+    def begin_boot(self, time: float) -> None:
+        """Start a power cycle: the host goes dark while BIOS/OS come up.
+
+        Valid from FAILED (an operator reset) or RUNNING (a deliberate
+        restart).  The host answers nothing until :meth:`finish_boot`.
+        """
+        if self.state not in (HostState.FAILED, HostState.RUNNING):
+            raise RuntimeError(
+                f"{self.hostname} cannot boot from state {self.state.value}"
+            )
+        was_failed = self.state is HostState.FAILED
+        self.state = HostState.BOOTING
+        self.cpu.busy = False
+        if was_failed:
+            self.reset_count += 1
+            self.event_log.append((time, "reset after failure (booting)"))
+        else:
+            self.event_log.append((time, "restart (booting)"))
+
+    def finish_boot(self, time: float) -> None:
+        """Boot completes; the host is back in service."""
+        if self.state is not HostState.BOOTING:
+            raise RuntimeError(
+                f"{self.hostname} is not booting (state={self.state.value})"
+            )
+        self.state = HostState.RUNNING
+        self.storage.record_power_cycle()
+        self.event_log.append((time, "boot complete"))
+
+    def warm_reboot(self, time: float) -> None:
+        """Warm reboot: recovers the sensor chip, keeps everything running."""
+        self.sensor.warm_reboot()
+        self.storage.record_power_cycle()
+        self.event_log.append((time, "warm reboot (sensor chip recovered)"))
+
+    def retire(self, time: float) -> None:
+        """Withdraw the host from the experiment permanently."""
+        self.state = HostState.RETIRED
+        self.retired_at = time
+        self.cpu.busy = False
+        self.event_log.append((time, "retired"))
+
+    @property
+    def running(self) -> bool:
+        """Whether the host is powered and working."""
+        return self.state is HostState.RUNNING
+
+    # ------------------------------------------------------------------
+    # Thermal and power
+    # ------------------------------------------------------------------
+    @property
+    def power_w(self) -> float:
+        """Instantaneous wall draw (0 when down)."""
+        if not self.running:
+            return 0.0
+        return self.spec.active_power_w if self.cpu.busy else self.spec.idle_power_w
+
+    @property
+    def average_power_w(self) -> float:
+        """Duty-cycle average draw used for enclosure heat budgets."""
+        if not self.running:
+            return 0.0
+        return self.spec.average_power_w()
+
+    def intake_temp_c(self) -> float:
+        """Current intake air temperature from the enclosure."""
+        if self.enclosure is None:
+            raise RuntimeError(f"{self.hostname} has no enclosure")
+        return self.enclosure.intake_temp_c
+
+    def case_temp_c(self) -> float:
+        """Case-interior air temperature."""
+        return self.spec.case_temp_c(self.intake_temp_c(), self.power_w)
+
+    def cpu_temp_c(self) -> float:
+        """True die temperature (what a healthy sensor would report)."""
+        return self.cpu.temperature_c(self.intake_temp_c(), self.power_w)
+
+    def sensor_poll(self, time: float) -> SensorReading:
+        """Poll the lm-sensors chip, as the 20-minute collection round does."""
+        return self.sensor.read(self.cpu_temp_c(), time)
+
+    # ------------------------------------------------------------------
+    # Time advance
+    # ------------------------------------------------------------------
+    def tick(self, dt_s: float, time: float, fault_log: Optional[FaultLog] = None) -> None:
+        """Advance ``dt_s`` seconds of operation.
+
+        Accrues uptime, exposes the sensor chip to the current die
+        temperature, ticks the disks, and samples the transient-failure
+        hazard.  A strike powers the host down and logs the event.
+        """
+        if not self.running:
+            return
+        self.uptime_s += dt_s
+        case = self.case_temp_c()
+        intake = self.intake_temp_c()
+        self.sensor.exposure_step(self.cpu_temp_c(), dt_s, time)
+        self.storage.tick(dt_s, case, time)
+        if not self.storage.operational:
+            self._fail(time, fault_log, FaultKind.DISK, "storage array lost")
+            return
+        # Water reaching a powered chassis (unsheltered or leaky enclosure)
+        # melts, pools, and eventually shorts something.
+        precip = getattr(self.enclosure, "intake_precip_mm_h", 0.0)
+        if precip > 0.0:
+            rate = WATER_INGRESS_RATE_PER_MM * precip
+            if self._fault_rng.random() < hazard_probability(rate, dt_s):
+                self._fail(
+                    time, fault_log, FaultKind.WATER_INGRESS,
+                    f"{precip:.1f} mm/h reaching the case",
+                )
+                return
+        struck = self.transient_model.sample_failure(
+            self._fault_rng,
+            dt_s,
+            self.spec.defective_series,
+            self.frailty,
+            case,
+            intake,
+        )
+        if struck:
+            self._fail(time, fault_log, FaultKind.TRANSIENT_SYSTEM, "")
+
+    def _fail(self, time: float, fault_log: Optional[FaultLog], kind: FaultKind, detail: str) -> None:
+        self.state = HostState.FAILED
+        self.cpu.busy = False
+        self.event_log.append((time, f"FAILED: {kind.value} {detail}".rstrip()))
+        if fault_log is not None:
+            fault_log.record(FaultEvent(time=time, kind=kind, host_id=self.host_id, detail=detail))
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def run_memtest(self, duration_hours: float, time: float) -> bool:
+        """Run Memtest86+ for ``duration_hours``; True if the host survives.
+
+        The paper: "A standard Memtest86+ run caused another system failure
+        within a few hours" on host #15.  Memtest stresses the memory
+        subsystem, multiplying the transient hazard; lemons rarely survive.
+        """
+        if duration_hours < 0:
+            raise ValueError("duration cannot be negative")
+        rate = self.transient_model.rate_per_hour(
+            self.spec.defective_series, self.frailty, case_temp_c=45.0, intake_temp_c=21.0
+        )
+        p_fail = hazard_probability(rate * _MEMTEST_STRESS_FACTOR, duration_hours * 3600.0)
+        survived = self._fault_rng.random() >= p_fail
+        verdict = "passed" if survived else "failed"
+        self.event_log.append((time, f"memtest {verdict} ({duration_hours:.0f}h)"))
+        return survived

@@ -1,0 +1,163 @@
+"""A Memtest86+ session model.
+
+Host #15's death certificate reads: "A standard Memtest86+ run caused
+another system failure within a few hours."  The one-line hazard in
+:meth:`repro.hardware.host.Host.run_memtest` keeps the campaign cheap;
+this module models the session itself for the diagnostics-minded user:
+the classic test patterns in order, per-pass timing derived from the
+installed memory and platform speed, and -- on a failing host -- *which*
+pattern was running when the machine died.
+
+The two models agree by construction: :class:`MemtestSession` consumes
+the same hazard arithmetic, just spread over the pattern schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.hardware.faults import hazard_probability
+
+#: The classic Memtest86+ pattern sequence (name, relative duration).
+#: Relative durations follow the tool's real pass profile: moving
+#: inversions dominate; the bit-fade test at the end is a long soak.
+PATTERNS: Tuple[Tuple[str, float], ...] = (
+    ("address walking ones", 0.03),
+    ("own address", 0.05),
+    ("moving inversions, ones & zeros", 0.12),
+    ("moving inversions, 8-bit pattern", 0.14),
+    ("moving inversions, random pattern", 0.18),
+    ("block move, 64-byte blocks", 0.12),
+    ("moving inversions, 32-bit shifting", 0.16),
+    ("random number sequence", 0.10),
+    ("modulo 20, ones & zeros", 0.10),
+)
+
+#: Scan throughput of an era platform, MiB of RAM tested per second per
+#: pattern unit; sets the wall-clock of one pass.
+_SCAN_MIB_PER_S = 180.0
+
+
+@dataclass(frozen=True)
+class PatternResult:
+    """One pattern's outcome within a pass."""
+
+    pass_number: int
+    pattern: str
+    duration_s: float
+    crashed: bool
+
+
+@dataclass(frozen=True)
+class MemtestReport:
+    """A finished (or fatally interrupted) Memtest86+ session."""
+
+    host_id: int
+    memory_mib: int
+    passes_requested: int
+    results: Tuple[PatternResult, ...]
+
+    @property
+    def survived(self) -> bool:
+        """Whether the host completed every requested pass."""
+        return not any(r.crashed for r in self.results)
+
+    @property
+    def crash_point(self) -> Optional[PatternResult]:
+        """The pattern in flight when the system failed, if any."""
+        for result in self.results:
+            if result.crashed:
+                return result
+        return None
+
+    @property
+    def elapsed_s(self) -> float:
+        """Total session wall-clock."""
+        return sum(r.duration_s for r in self.results)
+
+    def describe(self) -> str:
+        """The operator's one-line summary."""
+        if self.survived:
+            passes = self.results[-1].pass_number if self.results else 0
+            return (
+                f"host{self.host_id:02d}: {passes} pass(es) over "
+                f"{self.memory_mib} MiB completed without error"
+            )
+        crash = self.crash_point
+        hours = self.elapsed_s / 3600.0
+        return (
+            f"host{self.host_id:02d}: system failure after {hours:.1f} h, "
+            f"during '{crash.pattern}' (pass {crash.pass_number})"
+        )
+
+
+def pass_duration_s(memory_mib: int) -> float:
+    """Wall-clock of one full pass over ``memory_mib`` of RAM."""
+    if memory_mib <= 0:
+        raise ValueError("memory size must be positive")
+    return memory_mib / _SCAN_MIB_PER_S * sum(w for _, w in PATTERNS) * 60.0
+
+
+class MemtestSession:
+    """Run Memtest86+ against a host's hazard profile.
+
+    Parameters
+    ----------
+    host:
+        The machine under test (supplies memory size, hazard profile, and
+        its fault RNG stream, so sessions are deterministic per host).
+    stress_factor:
+        Hazard multiplier while the test hammers memory; matches the
+        campaign's :data:`~repro.hardware.host._MEMTEST_STRESS_FACTOR`.
+    """
+
+    def __init__(self, host, stress_factor: float = 40.0) -> None:
+        if stress_factor <= 0:
+            raise ValueError("stress factor must be positive")
+        self.host = host
+        self.stress_factor = stress_factor
+
+    def run(self, passes: int = 1, time: float = 0.0) -> MemtestReport:
+        """Execute ``passes`` full passes (or die trying)."""
+        if passes < 1:
+            raise ValueError("need at least one pass")
+        host = self.host
+        rate = host.transient_model.rate_per_hour(
+            host.spec.defective_series,
+            host.frailty,
+            case_temp_c=45.0,
+            intake_temp_c=21.0,
+        ) * self.stress_factor
+        rng = host._streams.stream("memtest")
+        total_weight = sum(w for _, w in PATTERNS)
+        pass_s = pass_duration_s(host.spec.memory_mib)
+
+        results: List[PatternResult] = []
+        for pass_number in range(1, passes + 1):
+            for pattern, weight in PATTERNS:
+                duration = pass_s * weight / total_weight
+                crashed = bool(rng.random() < hazard_probability(rate, duration))
+                results.append(
+                    PatternResult(
+                        pass_number=pass_number,
+                        pattern=pattern,
+                        duration_s=duration,
+                        crashed=crashed,
+                    )
+                )
+                if crashed:
+                    return MemtestReport(
+                        host_id=host.host_id,
+                        memory_mib=host.spec.memory_mib,
+                        passes_requested=passes,
+                        results=tuple(results),
+                    )
+        return MemtestReport(
+            host_id=host.host_id,
+            memory_mib=host.spec.memory_mib,
+            passes_requested=passes,
+            results=tuple(results),
+        )

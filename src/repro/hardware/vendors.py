@@ -1,0 +1,199 @@
+"""Vendor specifications for the three form factors of Section 3.4.
+
+A :class:`VendorSpec` is everything that differs between the paper's three
+hardware populations: case and disk layout, ECC or not, power envelope, and
+how well the case moves air (the vendor-B series' known defect is elevated
+hardware temperatures "due to bad air flow circulation").
+
+Power and thermal coefficients are calibrated so that
+
+- the tent's nine hosts dissipate roughly 0.9 kW,
+- a vendor-A CPU at idle sits ~5 degC above intake air (which is how the
+  paper's prototype could log a -4 degC CPU during a -9 degC weekend),
+- a vendor-B case runs ~10 degC hotter than a vendor-A case at like load.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+
+class FormFactor(enum.Enum):
+    """Case style of a host."""
+
+    MEDIUM_TOWER = "medium tower"
+    SMALL_FORM_FACTOR = "small form factor"
+    RACK_2U = "2U rack"
+
+
+class DiskLayout(enum.Enum):
+    """Storage arrangement, matching Section 3.4 exactly."""
+
+    #: Two drives in a Linux multiple-devices (md) software mirror.
+    MD_SOFTWARE_MIRROR = "md software mirror (2 disks)"
+    #: A single drive (the SFF case fits no more).
+    SINGLE_DISK = "single disk"
+    #: Five drives: two in a hardware mirror, three in a stripe set with parity.
+    MIRROR_PLUS_RAID5 = "hw mirror (2) + stripe with parity (3)"
+
+    @property
+    def disk_count(self) -> int:
+        """Number of physical drives in the layout."""
+        return {
+            DiskLayout.MD_SOFTWARE_MIRROR: 2,
+            DiskLayout.SINGLE_DISK: 1,
+            DiskLayout.MIRROR_PLUS_RAID5: 5,
+        }[self]
+
+
+@dataclass(frozen=True)
+class VendorSpec:
+    """Hardware population description.
+
+    Attributes
+    ----------
+    vendor_id:
+        ``"A"``, ``"B"``, or ``"C"``.
+    description:
+        The paper's characterisation of the vendor.
+    form_factor / disk_layout:
+        Physical build.
+    ecc_memory:
+        Whether the memory has error-correcting parity.  The paper's three
+        wrong-hash hosts all "contain memory chips without error-correcting
+        parities"; only the vendor-C servers have ECC.
+    memory_mib:
+        Installed RAM (drives the page-op census scale).
+    idle_power_w / active_power_w:
+        Electrical draw at idle and during the archival burst.
+    cpu_idle_power_w / cpu_active_power_w:
+        CPU package share of the above.
+    case_rise_k_per_w:
+        Case-interior air rise above intake per watt of host power.  Bad
+        airflow (vendor B) means a high coefficient.
+    cpu_theta_k_per_w:
+        CPU temperature rise above case air per watt of CPU power.
+    defective_series:
+        The known-unreliable population flag (vendor B).
+    compress_mb_per_s:
+        tar+bzip2 throughput of the platform (bzip2 is CPU-bound, so this
+        is effectively a CPU-speed rating); sets how long the archival
+        burst keeps the CPU busy.
+    operating_range_c:
+        Manufacturer-specified intake temperature range; operating outside
+        it is what the whole experiment is about.
+    """
+
+    vendor_id: str
+    description: str
+    form_factor: FormFactor
+    disk_layout: DiskLayout
+    ecc_memory: bool
+    memory_mib: int
+    idle_power_w: float
+    active_power_w: float
+    cpu_idle_power_w: float
+    cpu_active_power_w: float
+    case_rise_k_per_w: float
+    cpu_theta_k_per_w: float
+    defective_series: bool
+    compress_mb_per_s: float = 2.1
+    operating_range_c: Tuple[float, float] = (10.0, 35.0)
+
+    def __post_init__(self) -> None:
+        if self.active_power_w < self.idle_power_w:
+            raise ValueError("active power below idle power")
+        if self.cpu_active_power_w > self.active_power_w:
+            raise ValueError("CPU power cannot exceed host power")
+        if self.memory_mib <= 0:
+            raise ValueError("memory size must be positive")
+        if self.compress_mb_per_s <= 0:
+            raise ValueError("compression throughput must be positive")
+
+    def average_power_w(self, duty_cycle: float = 0.3) -> float:
+        """Mean draw for an archival duty cycle (burst fraction of period)."""
+        if not 0.0 <= duty_cycle <= 1.0:
+            raise ValueError("duty cycle must be in [0, 1]")
+        return self.idle_power_w + duty_cycle * (self.active_power_w - self.idle_power_w)
+
+    def case_temp_c(self, intake_c: float, host_power_w: float) -> float:
+        """Case-interior air temperature for the given intake and draw."""
+        return intake_c + self.case_rise_k_per_w * host_power_w
+
+    def cpu_temp_c(self, intake_c: float, host_power_w: float, cpu_power_w: float) -> float:
+        """CPU temperature: intake plus case rise plus the package's own rise."""
+        return self.case_temp_c(intake_c, host_power_w) + self.cpu_theta_k_per_w * cpu_power_w
+
+    def within_spec(self, intake_c: float) -> bool:
+        """Whether intake air is inside the manufacturer's range."""
+        low, high = self.operating_range_c
+        return low <= intake_c <= high
+
+
+#: Small local vendor building "cloned" desktops from COTS parts.
+VENDOR_A = VendorSpec(
+    vendor_id="A",
+    description="small-vendor COTS clone desktop, medium tower",
+    form_factor=FormFactor.MEDIUM_TOWER,
+    disk_layout=DiskLayout.MD_SOFTWARE_MIRROR,
+    ecc_memory=False,
+    memory_mib=2048,
+    idle_power_w=70.0,
+    active_power_w=115.0,
+    cpu_idle_power_w=12.0,
+    cpu_active_power_w=48.0,
+    case_rise_k_per_w=0.035,
+    cpu_theta_k_per_w=0.22,
+    defective_series=False,
+    compress_mb_per_s=2.1,
+)
+
+#: Large vendor's mass-manufactured small-form-factor workstation; the
+#: series the department already knew to be unreliable (bad airflow).
+VENDOR_B = VendorSpec(
+    vendor_id="B",
+    description="large-vendor SFF workstation, known-unreliable series",
+    form_factor=FormFactor.SMALL_FORM_FACTOR,
+    disk_layout=DiskLayout.SINGLE_DISK,
+    ecc_memory=False,
+    memory_mib=1024,
+    idle_power_w=48.0,
+    active_power_w=80.0,
+    cpu_idle_power_w=10.0,
+    cpu_active_power_w=40.0,
+    case_rise_k_per_w=0.16,
+    cpu_theta_k_per_w=0.30,
+    defective_series=True,
+    compress_mb_per_s=1.6,
+)
+
+#: Large vendor's 2U heavy-duty rack server.
+VENDOR_C = VendorSpec(
+    vendor_id="C",
+    description="large-vendor 2U rack server, five disks",
+    form_factor=FormFactor.RACK_2U,
+    disk_layout=DiskLayout.MIRROR_PLUS_RAID5,
+    ecc_memory=True,
+    memory_mib=8192,
+    idle_power_w=165.0,
+    active_power_w=235.0,
+    cpu_idle_power_w=25.0,
+    cpu_active_power_w=80.0,
+    case_rise_k_per_w=0.025,
+    cpu_theta_k_per_w=0.15,
+    defective_series=False,
+    compress_mb_per_s=3.4,
+    operating_range_c=(10.0, 35.0),
+)
+
+VENDORS = {"A": VENDOR_A, "B": VENDOR_B, "C": VENDOR_C}
+
+
+def vendor(vendor_id: str) -> VendorSpec:
+    """Look up a vendor spec by its letter."""
+    try:
+        return VENDORS[vendor_id]
+    except KeyError:
+        raise KeyError(f"unknown vendor {vendor_id!r}; expected one of {sorted(VENDORS)}") from None

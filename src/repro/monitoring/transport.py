@@ -1,0 +1,149 @@
+"""The SSH/rsync transfer path of the monitoring rounds.
+
+Section 3.5: "The transfer is done using public-key authentication
+through an OpenSSH tunnel, and new files are transferred by the rsync
+program."  Two properties of that pipeline matter to the reproduction:
+
+- rsync is *incremental*: each round moves only the md5sum lines and
+  sensor samples produced since the previous successful round (plus a
+  fixed SSH/rsync session overhead), so the monitoring host's own load --
+  which the paper explicitly counts as part of the synthetic workload --
+  is proportional to fresh data, not archive size;
+- a round that cannot reach a host moves nothing, and the *next*
+  successful round carries the backlog.
+
+:class:`RsyncChannel` models one host's channel; :class:`TransferLedger`
+aggregates the monitoring host's traffic for analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: Fixed per-session cost: TCP + SSH handshake + rsync file-list exchange.
+SSH_SESSION_OVERHEAD_BYTES = 4096
+#: One md5sum result line: hash (32 hex), path, timestamp.
+MD5_LINE_BYTES = 96
+#: One serialised sensor sample pulled from lm-sensors output.
+SENSOR_SAMPLE_BYTES = 160
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One host's transfer within one collection round."""
+
+    time: float
+    host_id: int
+    new_md5_lines: int
+    new_sensor_samples: int
+    bytes_moved: int
+
+    def __post_init__(self) -> None:
+        if min(self.new_md5_lines, self.new_sensor_samples, self.bytes_moved) < 0:
+            raise ValueError("transfer counts cannot be negative")
+
+
+class RsyncChannel:
+    """Incremental transfer state for one monitored host.
+
+    The channel tracks how much produced data has already been synced;
+    :meth:`sync` moves the delta and returns the record.  Failed rounds
+    simply never call :meth:`sync`, so backlog accumulates naturally.
+    """
+
+    def __init__(self, host_id: int) -> None:
+        self.host_id = host_id
+        self._synced_md5_lines = 0
+        self._synced_sensor_samples = 0
+        self.total_bytes = 0
+        self.sessions = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"RsyncChannel(host {self.host_id}, sessions={self.sessions}, "
+            f"{self.total_bytes} B)"
+        )
+
+    def pending(self, produced_md5_lines: int, produced_sensor_samples: int) -> int:
+        """Bytes a sync right now would move (excluding session overhead)."""
+        new_md5 = max(0, produced_md5_lines - self._synced_md5_lines)
+        new_sensor = max(0, produced_sensor_samples - self._synced_sensor_samples)
+        return new_md5 * MD5_LINE_BYTES + new_sensor * SENSOR_SAMPLE_BYTES
+
+    def sync(
+        self, time: float, produced_md5_lines: int, produced_sensor_samples: int
+    ) -> TransferRecord:
+        """Run one rsync session against the host's current output."""
+        if produced_md5_lines < self._synced_md5_lines:
+            raise ValueError("produced md5 count went backwards")
+        if produced_sensor_samples < self._synced_sensor_samples:
+            raise ValueError("produced sensor count went backwards")
+        new_md5 = produced_md5_lines - self._synced_md5_lines
+        new_sensor = produced_sensor_samples - self._synced_sensor_samples
+        payload = new_md5 * MD5_LINE_BYTES + new_sensor * SENSOR_SAMPLE_BYTES
+        record = TransferRecord(
+            time=time,
+            host_id=self.host_id,
+            new_md5_lines=new_md5,
+            new_sensor_samples=new_sensor,
+            bytes_moved=payload + SSH_SESSION_OVERHEAD_BYTES,
+        )
+        self._synced_md5_lines = produced_md5_lines
+        self._synced_sensor_samples = produced_sensor_samples
+        self.total_bytes += record.bytes_moved
+        self.sessions += 1
+        return record
+
+
+class TransferLedger:
+    """The monitoring host's aggregate rsync traffic."""
+
+    def __init__(self) -> None:
+        self.records: List[TransferRecord] = []
+        self._channels: Dict[int, RsyncChannel] = {}
+
+    def __repr__(self) -> str:
+        return f"TransferLedger({len(self.records)} transfers, {self.total_bytes} B)"
+
+    def channel(self, host_id: int) -> RsyncChannel:
+        """The per-host channel, created on first use."""
+        chan = self._channels.get(host_id)
+        if chan is None:
+            chan = RsyncChannel(host_id)
+            self._channels[host_id] = chan
+        return chan
+
+    def record_sync(
+        self,
+        time: float,
+        host_id: int,
+        produced_md5_lines: int,
+        produced_sensor_samples: int,
+    ) -> TransferRecord:
+        """Sync one host and log the transfer."""
+        record = self.channel(host_id).sync(
+            time, produced_md5_lines, produced_sensor_samples
+        )
+        self.records.append(record)
+        return record
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes moved across all hosts and rounds."""
+        return sum(r.bytes_moved for r in self.records)
+
+    @property
+    def total_sessions(self) -> int:
+        """rsync sessions run (successful host contacts)."""
+        return len(self.records)
+
+    def bytes_for_host(self, host_id: int) -> int:
+        """Traffic attributable to one host."""
+        return sum(r.bytes_moved for r in self.records if r.host_id == host_id)
+
+    def mean_session_bytes(self) -> float:
+        """Average transfer size (0 before any session)."""
+        if not self.records:
+            return 0.0
+        return self.total_bytes / len(self.records)

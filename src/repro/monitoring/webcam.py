@@ -1,0 +1,158 @@
+"""The terrace webcam.
+
+Footnote 1 of the paper: "An hourly webcam image of the terrace (with the
+tent) is available at http://www.cs.helsinki.fi/Exactum-kamera/".  The
+webcam was the experiment's only *visual* instrument -- the operators
+could glance at it to see daylight, snowfall on the tent, and whether the
+tent was still standing.
+
+The model produces one frame's worth of metadata per hour: scene
+brightness (driven by solar irradiance), a snowfall flag, and snow-cover
+on the tent fabric (accumulating during sub-zero precipitation, ablating
+in sun and warmth).  The analysis value is cross-validation: brightness
+must track the weather generator's solar series, giving an instrument
+that is independent of the thermal chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.climate.generator import WeatherGenerator
+from repro.sim.clock import HOUR
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.rng import RngStreams
+
+#: Solar irradiance that saturates the camera's auto-exposure.
+_FULL_BRIGHT_WM2 = 350.0
+#: Snow-cover ablation rates (fraction per hour).
+_MELT_RATE_WARM = 0.25
+_MELT_RATE_SUN = 0.10
+
+
+@dataclass(frozen=True)
+class WebcamFrame:
+    """Metadata extracted from one hourly frame."""
+
+    time: float
+    brightness: float  # [0, 1]: night to overexposed noon
+    snowing: bool
+    tent_snow_cover: float  # [0, 1] fraction of fabric under snow
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.brightness <= 1.0:
+            raise ValueError("brightness must be in [0, 1]")
+        if not 0.0 <= self.tent_snow_cover <= 1.0:
+            raise ValueError("snow cover must be in [0, 1]")
+
+    @property
+    def night(self) -> bool:
+        """Too dark to see the tent."""
+        return self.brightness < 0.05
+
+
+class TerraceWebcam:
+    """Hourly frame-metadata producer for the roof terrace.
+
+    Parameters
+    ----------
+    weather:
+        The atmosphere in view.
+    streams:
+        RNG family (uses the ``webcam.noise`` stream for exposure jitter).
+    period_s:
+        Frame cadence; the real camera shot hourly.
+    """
+
+    def __init__(
+        self,
+        weather: WeatherGenerator,
+        streams: Optional[RngStreams] = None,
+        period_s: float = HOUR,
+    ) -> None:
+        if period_s <= 0:
+            raise ValueError("frame period must be positive")
+        self.weather = weather
+        self.period_s = period_s
+        streams = streams if streams is not None else RngStreams(0)
+        self._rng = streams.stream("webcam.noise")
+        self.frames: List[WebcamFrame] = []
+        self._snow_cover = 0.0
+        self._last_time: Optional[float] = None
+        self._handle: Optional[EventHandle] = None
+
+    def __repr__(self) -> str:
+        return f"TerraceWebcam(frames={len(self.frames)})"
+
+    # ------------------------------------------------------------------
+    def capture(self, time: float) -> WebcamFrame:
+        """Shoot one frame at ``time`` and append it."""
+        sample = self.weather.sample(time)
+        dt_h = 0.0 if self._last_time is None else (time - self._last_time) / HOUR
+        self._advance_snow_cover(sample, dt_h)
+        self._last_time = time
+
+        exposure = min(1.0, sample.solar_wm2 / _FULL_BRIGHT_WM2)
+        jitter = 1.0 + self._rng.normal(0.0, 0.03)
+        frame = WebcamFrame(
+            time=time,
+            brightness=float(np.clip(exposure * jitter, 0.0, 1.0)),
+            snowing=sample.snowing,
+            tent_snow_cover=self._snow_cover,
+        )
+        self.frames.append(frame)
+        return frame
+
+    def _advance_snow_cover(self, sample, dt_h: float) -> None:
+        if dt_h <= 0:
+            return
+        if sample.snowing:
+            # Fresh snow settles on the fabric (saturating accumulation).
+            gain = 0.15 * sample.precip_mm_h * dt_h
+            self._snow_cover = min(1.0, self._snow_cover + gain)
+        else:
+            melt = 0.0
+            if sample.temp_c > 0.0:
+                melt += _MELT_RATE_WARM * dt_h
+            if sample.solar_wm2 > 50.0:
+                melt += _MELT_RATE_SUN * dt_h
+            self._snow_cover = max(0.0, self._snow_cover - melt)
+
+    def attach(self, sim: Simulator, start: Optional[float] = None) -> None:
+        """Start the hourly capture loop."""
+        if self._handle is not None:
+            raise RuntimeError("webcam already attached")
+        first = sim.now if start is None else start
+        self._handle = sim.every(
+            self.period_s, lambda: self.capture(sim.now), start=first, label="webcam"
+        )
+
+    def detach(self) -> None:
+        """Stop capturing."""
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    # ------------------------------------------------------------------
+    # Analysis accessors
+    # ------------------------------------------------------------------
+    def times(self) -> np.ndarray:
+        """Frame times."""
+        return np.array([f.time for f in self.frames])
+
+    def brightness_series(self) -> np.ndarray:
+        """Brightness per frame."""
+        return np.array([f.brightness for f in self.frames])
+
+    def snowfall_frames(self) -> List[WebcamFrame]:
+        """Frames during which it was snowing."""
+        return [f for f in self.frames if f.snowing]
+
+    def daylight_fraction(self) -> float:
+        """Fraction of frames with a visible (non-night) scene."""
+        if not self.frames:
+            return 0.0
+        return sum(1 for f in self.frames if not f.night) / len(self.frames)

@@ -1,0 +1,110 @@
+"""Simulated calendar time.
+
+The experiment ran against real dates (prototype started Friday,
+February 12th 2010; host #15 failed Saturday, March 7th at 04:40), so the
+simulator needs more than a bare float: it needs a clock that converts
+between simulated seconds and calendar timestamps.
+
+All simulated time is a float number of seconds since the clock epoch.
+The epoch defaults to midnight on the day the paper's prototype test began.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Iterator
+
+SECOND = 1.0
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 86400.0
+WEEK = 7 * DAY
+
+#: Midnight at the start of the paper's prototype weekend (Friday).
+PAPER_EPOCH = _dt.datetime(2010, 2, 12, 0, 0, 0)
+
+
+class SimClock:
+    """Convert between simulated seconds and calendar datetimes.
+
+    Parameters
+    ----------
+    epoch:
+        Calendar time corresponding to simulated time ``0.0``.  Defaults to
+        :data:`PAPER_EPOCH` (2010-02-12 00:00).
+    """
+
+    def __init__(self, epoch: _dt.datetime = PAPER_EPOCH) -> None:
+        self.epoch = epoch
+
+    def __repr__(self) -> str:
+        return f"SimClock(epoch={self.epoch.isoformat()})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SimClock) and other.epoch == self.epoch
+
+    def __hash__(self) -> int:
+        return hash(("SimClock", self.epoch))
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def to_datetime(self, sim_seconds: float) -> _dt.datetime:
+        """Calendar timestamp at ``sim_seconds`` after the epoch."""
+        return self.epoch + _dt.timedelta(seconds=sim_seconds)
+
+    def to_seconds(self, when: _dt.datetime) -> float:
+        """Simulated seconds at calendar instant ``when``.
+
+        Negative if ``when`` precedes the epoch; the engine rejects
+        scheduling into the past, but conversion itself is total.
+        """
+        return (when - self.epoch).total_seconds()
+
+    def at(self, *args: int, **kwargs: int) -> float:
+        """Simulated seconds for ``datetime(*args, **kwargs)``.
+
+        ``clock.at(2010, 3, 7, 4, 40)`` reads like the timestamps the paper
+        reports ("Saturday, March 7th at 04:40").
+        """
+        return self.to_seconds(_dt.datetime(*args, **kwargs))
+
+    # ------------------------------------------------------------------
+    # Calendar decomposition (used by the climate's diurnal cycles)
+    # ------------------------------------------------------------------
+    def hour_of_day(self, sim_seconds: float) -> float:
+        """Fractional hour of the local day in ``[0, 24)``."""
+        t = self.to_datetime(sim_seconds)
+        return t.hour + t.minute / 60.0 + t.second / 3600.0 + t.microsecond / 3.6e9
+
+    def day_of_year(self, sim_seconds: float) -> float:
+        """Fractional day of the year, 1-based (Jan 1st noon = 1.5)."""
+        t = self.to_datetime(sim_seconds)
+        start = _dt.datetime(t.year, 1, 1)
+        return 1.0 + (t - start).total_seconds() / DAY
+
+    def day_index(self, sim_seconds: float) -> int:
+        """Whole days elapsed since the epoch (floor)."""
+        return int(sim_seconds // DAY)
+
+    def midnight_before(self, sim_seconds: float) -> float:
+        """Simulated time of the most recent midnight at/before the instant."""
+        t = self.to_datetime(sim_seconds)
+        midnight = _dt.datetime(t.year, t.month, t.day)
+        return self.to_seconds(midnight)
+
+    def iter_days(self, start: float, end: float) -> Iterator[float]:
+        """Yield the simulated time of each midnight in ``[start, end)``.
+
+        The first yielded value is the first midnight at or after ``start``.
+        """
+        t = self.midnight_before(start)
+        if t < start:
+            t += DAY
+        while t < end:
+            yield t
+            t += DAY
+
+    def format(self, sim_seconds: float) -> str:
+        """Human-readable timestamp, e.g. ``'2010-03-07 04:40'``."""
+        return self.to_datetime(sim_seconds).strftime("%Y-%m-%d %H:%M")

@@ -1,0 +1,216 @@
+"""The discrete-event engine.
+
+A :class:`Simulator` owns a priority queue of timestamped callbacks and a
+:class:`~repro.sim.clock.SimClock`.  Components schedule one-shot or periodic
+events; the experiment driver calls :meth:`Simulator.run_until`.
+
+Determinism rules:
+
+- ties in time break by scheduling order (a monotone sequence number), so a
+  run is a pure function of (config, master seed);
+- callbacks may schedule further events, including at the current instant,
+  but never in the past.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional
+
+from repro.sim.clock import SimClock
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the engine (e.g. scheduling into the past)."""
+
+
+class EventHandle:
+    """Cancellable reference to a scheduled event.
+
+    Cancellation is lazy: the heap entry stays queued and is discarded when
+    it surfaces.  ``handle.cancelled`` is readable at any time.
+    """
+
+    __slots__ = ("time", "seq", "callback", "cancelled", "label")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], None], label: str) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback: Optional[Callable[[], None]] = callback
+        self.cancelled = False
+        self.label = label
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+        self.callback = None
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else f"at {self.time:.1f}s"
+        return f"EventHandle({self.label!r}, {state})"
+
+
+class Simulator:
+    """Event loop with calendar-aware time.
+
+    Parameters
+    ----------
+    clock:
+        Calendar mapping; defaults to a clock at the paper's epoch.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> seen = []
+    >>> _ = sim.schedule(10.0, lambda: seen.append(sim.now))
+    >>> sim.run_until(60.0)
+    >>> seen
+    [10.0]
+    """
+
+    def __init__(self, clock: Optional[SimClock] = None) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self.now: float = 0.0
+        self._queue: List[EventHandle] = []
+        self._seq = itertools.count()
+        self._events_fired = 0
+        self._running = False
+        #: Optional trace hook ``(time, label)`` called before each event
+        #: fires; labels come from the ``label=`` scheduling argument.
+        #: Used by tests and by anyone debugging event ordering.
+        self.on_event: Optional[Callable[[float, str], None]] = None
+
+    def __repr__(self) -> str:
+        return (
+            f"Simulator(now={self.now:.1f}s [{self.clock.format(self.now)}], "
+            f"pending={self.pending_count})"
+        )
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    @property
+    def pending_count(self) -> int:
+        """Number of queued, non-cancelled events."""
+        return sum(1 for h in self._queue if not h.cancelled)
+
+    @property
+    def events_fired(self) -> int:
+        """Total callbacks executed so far."""
+        return self._events_fired
+
+    def schedule(
+        self, delay: float, callback: Callable[[], None], label: str = ""
+    ) -> EventHandle:
+        """Run ``callback`` after ``delay`` simulated seconds."""
+        return self.schedule_at(self.now + delay, callback, label)
+
+    def schedule_at(
+        self, time: float, callback: Callable[[], None], label: str = ""
+    ) -> EventHandle:
+        """Run ``callback`` at absolute simulated time ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule {label or callback!r} at {time:.1f}s, "
+                f"which is before now ({self.now:.1f}s)"
+            )
+        handle = EventHandle(time, next(self._seq), callback, label)
+        heapq.heappush(self._queue, handle)  # type: ignore[arg-type]
+        return handle
+
+    def schedule_datetime(
+        self, when: Any, callback: Callable[[], None], label: str = ""
+    ) -> EventHandle:
+        """Run ``callback`` at the calendar instant ``when`` (a datetime)."""
+        return self.schedule_at(self.clock.to_seconds(when), callback, label)
+
+    def every(
+        self,
+        period: float,
+        callback: Callable[[], None],
+        start: Optional[float] = None,
+        label: str = "",
+    ) -> EventHandle:
+        """Run ``callback`` periodically, first at ``start`` (default: now + period).
+
+        Returns the handle of the *first* occurrence; cancelling it stops
+        the whole recurrence (each firing re-checks the shared handle).
+        """
+        first = self.now + period if start is None else start
+        control = EventHandle(first, -1, lambda: None, label or "periodic")
+
+        def fire() -> None:
+            if control.cancelled:
+                return
+            callback()
+            if not control.cancelled:
+                self.schedule(period, fire, label)
+
+        self.schedule_at(first, fire, label)
+        return control
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending event, or ``None`` if the queue is empty."""
+        self._drop_cancelled()
+        return self._queue[0].time if self._queue else None
+
+    def step(self) -> bool:
+        """Fire the single next event.  Returns ``False`` if none remain."""
+        self._drop_cancelled()
+        if not self._queue:
+            return False
+        handle = heapq.heappop(self._queue)
+        self.now = handle.time
+        callback = handle.callback
+        handle.callback = None
+        if callback is not None:
+            self._events_fired += 1
+            if self.on_event is not None:
+                self.on_event(handle.time, handle.label)
+            callback()
+        return True
+
+    def run_until(self, end: float) -> None:
+        """Fire all events with ``time <= end``, then advance the clock to ``end``."""
+        if end < self.now:
+            raise SimulationError(f"run_until({end}) is before now ({self.now})")
+        if self._running:
+            raise SimulationError("run_until called re-entrantly from a callback")
+        self._running = True
+        try:
+            while True:
+                next_time = self.peek_time()
+                if next_time is None or next_time > end:
+                    break
+                self.step()
+            self.now = end
+        finally:
+            self._running = False
+
+    def run_until_datetime(self, when: Any) -> None:
+        """:meth:`run_until` with a calendar instant."""
+        self.run_until(self.clock.to_seconds(when))
+
+    def run(self) -> None:
+        """Fire every queued event (including newly spawned ones) until empty."""
+        while self.step():
+            pass
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _drop_cancelled(self) -> None:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+
+
+# heapq compares tuples of (time, seq) via EventHandle ordering:
+def _handle_lt(self: EventHandle, other: EventHandle) -> bool:
+    return (self.time, self.seq) < (other.time, other.seq)
+
+
+EventHandle.__lt__ = _handle_lt  # type: ignore[assignment]

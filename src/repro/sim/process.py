@@ -1,0 +1,114 @@
+"""Generator-based simulated processes.
+
+Long-lived behaviours (a host's archival loop, the collector's rsync rounds)
+read more naturally as coroutines than as chains of callbacks.  A process is
+a Python generator that yields either
+
+- a ``float`` -- "sleep this many simulated seconds", or
+- ``wait_until(t)`` -- "sleep until absolute simulated time ``t``".
+
+Example::
+
+    def archiver(sim, host):
+        yield host.start_fuzz          # de-synchronise, as the paper does
+        while True:
+            host.run_cycle(sim.now)
+            yield 600.0                # every 10 minutes
+
+    Process(sim, archiver(sim, host), name="archiver.host01")
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional, Union
+
+from repro.sim.engine import EventHandle, SimulationError, Simulator
+
+
+class _WaitUntil:
+    __slots__ = ("time",)
+
+    def __init__(self, time: float) -> None:
+        self.time = float(time)
+
+    def __repr__(self) -> str:
+        return f"wait_until({self.time})"
+
+
+def wait_until(time: float) -> _WaitUntil:
+    """Yieldable command: resume the process at absolute time ``time``."""
+    return _WaitUntil(time)
+
+
+Yieldable = Union[float, int, _WaitUntil]
+
+
+class Process:
+    """Drive a generator as a simulated process.
+
+    The process starts immediately: its code up to the first ``yield`` runs
+    at the current simulated instant.  When the generator returns, the
+    process is finished; :attr:`alive` turns ``False``.
+
+    Parameters
+    ----------
+    sim:
+        The simulator providing time and scheduling.
+    generator:
+        The process body.
+    name:
+        Label used in reprs and engine traces.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        generator: Generator[Yieldable, None, None],
+        name: str = "process",
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self._generator = generator
+        self._pending: Optional[EventHandle] = None
+        self.alive = True
+        self._advance()
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else "finished"
+        return f"Process({self.name!r}, {state})"
+
+    def stop(self) -> None:
+        """Terminate the process; a pending sleep is cancelled."""
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+        if self.alive:
+            self.alive = False
+            self._generator.close()
+
+    # ------------------------------------------------------------------
+    def _advance(self) -> None:
+        self._pending = None
+        if not self.alive:
+            return
+        try:
+            command = next(self._generator)
+        except StopIteration:
+            self.alive = False
+            return
+        self._schedule(command)
+
+    def _schedule(self, command: Yieldable) -> None:
+        if isinstance(command, _WaitUntil):
+            wake = command.time
+        elif isinstance(command, (int, float)):
+            delay = float(command)
+            if delay < 0:
+                raise SimulationError(f"{self.name}: negative sleep {delay}")
+            wake = self.sim.now + delay
+        else:
+            raise SimulationError(
+                f"{self.name}: processes may yield floats or wait_until(), "
+                f"got {command!r}"
+            )
+        self._pending = self.sim.schedule_at(wake, self._advance, label=self.name)

@@ -1,0 +1,34 @@
+"""Enclosure substrate: the tent, the prototype's plastic boxes, the basement.
+
+The paper's tent is modelled as a single thermal mass exchanging heat with
+the outside air (:mod:`repro.thermal.heatbalance`), heated by the installed
+IT load and by sunlight, and ventilated at a rate set by the envelope
+configuration.  The four modification events the paper marks under Fig. 3 --
+R (reflective foil), I (inner tent removed), B (bottom tarpaulin partially
+removed), F (desk fan installed) -- each change the envelope parameters.
+
+The control group's basement is a trivially stable enclosure; the prototype
+weekend's plastic boxes are a nearly transparent one ("did not really impede
+air flow or contain any heat").
+"""
+
+from repro.thermal.enclosure import (
+    BasementMachineRoom,
+    Enclosure,
+    OutdoorAmbient,
+    PlasticBoxShelter,
+)
+from repro.thermal.heatbalance import LumpedThermalNode, MoistureNode
+from repro.thermal.tent import Modification, Tent, TentEnvelope
+
+__all__ = [
+    "Enclosure",
+    "BasementMachineRoom",
+    "PlasticBoxShelter",
+    "OutdoorAmbient",
+    "LumpedThermalNode",
+    "MoistureNode",
+    "Tent",
+    "TentEnvelope",
+    "Modification",
+]

@@ -1,0 +1,172 @@
+"""Enclosures: where a host's intake air comes from.
+
+Every host draws intake air from exactly one :class:`Enclosure`.  The
+experiment advances each enclosure along simulated time; hosts then read
+``intake_temp_c`` / ``intake_rh_percent`` when they need their thermal state.
+
+Concrete enclosures:
+
+- :class:`OutdoorAmbient` -- bare outside air (reference),
+- :class:`PlasticBoxShelter` -- the prototype weekend's two plastic boxes,
+  which "did not really impede air flow or contain any heat",
+- :class:`BasementMachineRoom` -- the control group's shelter basement with
+  stable office-type air conditioning,
+- :class:`repro.thermal.tent.Tent` -- the real subject of the paper.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Optional
+
+from repro.climate.generator import WeatherGenerator
+from repro.sim.clock import DAY
+from repro.thermal.heatbalance import LumpedThermalNode, MoistureNode
+
+
+class Enclosure(abc.ABC):
+    """Base class: a source of intake air for hosts.
+
+    Subclasses maintain ``intake_temp_c`` and ``intake_rh_percent`` and
+    update them in :meth:`advance`.  ``it_load_w`` is the total electrical
+    power currently dissipated inside the enclosure; the fleet updates it
+    whenever hosts start, stop, or change load.
+    """
+
+    #: Fraction of falling precipitation the enclosure keeps off the
+    #: hardware (1.0 = fully shielded, 0.0 = bare sky).
+    precipitation_protection: float = 1.0
+
+    def __init__(self, name: str, weather: WeatherGenerator) -> None:
+        self.name = name
+        self.weather = weather
+        self.it_load_w = 0.0
+        self.intake_temp_c = 0.0
+        self.intake_rh_percent = 50.0
+        #: Water reaching the equipment right now (mm/h).
+        self.intake_precip_mm_h = 0.0
+        self._last_time: Optional[float] = None
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}({self.name!r}, intake={self.intake_temp_c:.1f}degC, "
+            f"RH={self.intake_rh_percent:.0f}%, load={self.it_load_w:.0f}W)"
+        )
+
+    def set_it_load(self, watts: float) -> None:
+        """Update the dissipated IT load (W)."""
+        if watts < 0:
+            raise ValueError("IT load cannot be negative")
+        self.it_load_w = watts
+
+    def advance(self, time: float) -> None:
+        """Advance internal state to simulated ``time``.
+
+        Time must be non-decreasing across calls.
+        """
+        if self._last_time is not None and time < self._last_time - 1e-9:
+            raise ValueError(
+                f"enclosure {self.name!r} advanced backwards: "
+                f"{self._last_time:.1f} -> {time:.1f}"
+            )
+        dt = 0.0 if self._last_time is None else time - self._last_time
+        self._update(time, dt)
+        leak = 1.0 - self.precipitation_protection
+        if leak > 0.0:
+            self.intake_precip_mm_h = leak * float(self.weather.precipitation(time))
+        else:
+            self.intake_precip_mm_h = 0.0
+        self._last_time = time
+
+    @abc.abstractmethod
+    def _update(self, time: float, dt_s: float) -> None:
+        """Subclass hook: recompute intake conditions at ``time``."""
+
+
+class OutdoorAmbient(Enclosure):
+    """No enclosure at all: intake air is the outside air -- and so is
+    the outside snow, which is why nobody runs servers like this."""
+
+    precipitation_protection = 0.0
+
+    def _update(self, time: float, dt_s: float) -> None:
+        sample = self.weather.sample(time)
+        self.intake_temp_c = sample.temp_c
+        self.intake_rh_percent = sample.rh_percent
+
+
+class PlasticBoxShelter(Enclosure):
+    """The prototype's sandwich of two hard plastic boxes.
+
+    A nearly transparent enclosure: large effective conductance, tiny
+    thermal mass, a whisper of solar gain -- but it does its one job,
+    keeping snow off the computer internals (a sliver blows in sideways).
+    With one ~90 W PC inside, the steady-state excess over outside air is
+    only one or two degrees, which is how the prototype's CPU could report
+    -4 degC during a -9 degC weekend (case excess plus the CPU's own rise
+    over intake).
+    """
+
+    precipitation_protection = 0.97
+
+    def __init__(
+        self,
+        name: str,
+        weather: WeatherGenerator,
+        ua_w_per_k: float = 55.0,
+        capacity_j_per_k: float = 9000.0,
+        solar_aperture_m2: float = 0.15,
+    ) -> None:
+        super().__init__(name, weather)
+        self.ua_w_per_k = ua_w_per_k
+        self.solar_aperture_m2 = solar_aperture_m2
+        first = weather.sample(weather.start_time)
+        self._node = LumpedThermalNode(capacity_j_per_k, first.temp_c)
+        self._moisture = MoistureNode(first.temp_c, first.rh_percent)
+        self.intake_temp_c = first.temp_c
+        self.intake_rh_percent = first.rh_percent
+
+    def _update(self, time: float, dt_s: float) -> None:
+        sample = self.weather.sample(time)
+        solar_w = self.solar_aperture_m2 * sample.solar_wm2
+        self._node.step(dt_s, self.it_load_w + solar_w, self.ua_w_per_k, sample.temp_c)
+        # The boxes barely slow air exchange: ~40 air changes/hour.
+        self._moisture.step(dt_s, 40.0, sample.temp_c, sample.rh_percent)
+        self.intake_temp_c = self._node.temp_c
+        self.intake_rh_percent = self._moisture.relative_humidity(self._node.temp_c)
+
+
+class BasementMachineRoom(Enclosure):
+    """The control group's basement shelter with office-type conditioning.
+
+    The paper: "the control group operates in a very sparsely furnished
+    environment with stable, office-type air conditioning.  The operating
+    conditions are therefore well within specifications."  The CRAC holds a
+    setpoint regardless of the (small) IT load; only a faint diurnal wiggle
+    remains.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        weather: WeatherGenerator,
+        setpoint_c: float = 21.0,
+        setpoint_rh_percent: float = 32.0,
+        diurnal_wiggle_c: float = 0.4,
+        diurnal_wiggle_rh: float = 2.0,
+    ) -> None:
+        super().__init__(name, weather)
+        self.setpoint_c = setpoint_c
+        self.setpoint_rh_percent = setpoint_rh_percent
+        self.diurnal_wiggle_c = diurnal_wiggle_c
+        self.diurnal_wiggle_rh = diurnal_wiggle_rh
+        self.intake_temp_c = setpoint_c
+        self.intake_rh_percent = setpoint_rh_percent
+
+    def _update(self, time: float, dt_s: float) -> None:
+        phase = 2.0 * math.pi * (time % DAY) / DAY
+        self.intake_temp_c = self.setpoint_c + self.diurnal_wiggle_c * math.sin(phase)
+        self.intake_rh_percent = self.setpoint_rh_percent + self.diurnal_wiggle_rh * math.sin(
+            phase + 1.0
+        )

@@ -1,0 +1,121 @@
+"""First-order heat and moisture balances.
+
+The tent (and the prototype's plastic boxes) are modelled as single
+well-mixed nodes:
+
+- :class:`LumpedThermalNode` integrates
+  ``C dT/dt = Q_in - UA (T - T_ambient)`` with explicit Euler substeps,
+- :class:`MoistureNode` relaxes the inside absolute humidity toward the
+  outside value at the ventilation air-change rate.
+
+Explicit Euler is adequate because the experiment advances enclosures once
+a simulated minute while the node time constants are tens of minutes; the
+integrator still guards against instability by substepping when
+``dt > C / (2 UA)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.climate.psychro import absolute_humidity, rh_from_absolute_humidity
+
+
+class LumpedThermalNode:
+    """A single thermal mass coupled to an ambient temperature.
+
+    Parameters
+    ----------
+    capacity_j_per_k:
+        Effective heat capacity (air plus the fraction of equipment and
+        fabric mass that follows air temperature on the hour scale).
+    initial_temp_c:
+        Starting node temperature.
+    """
+
+    def __init__(self, capacity_j_per_k: float, initial_temp_c: float) -> None:
+        if capacity_j_per_k <= 0:
+            raise ValueError("thermal capacity must be positive")
+        self.capacity = capacity_j_per_k
+        self.temp_c = initial_temp_c
+
+    def __repr__(self) -> str:
+        return f"LumpedThermalNode(T={self.temp_c:.2f}degC, C={self.capacity:.0f}J/K)"
+
+    def step(self, dt_s: float, heat_in_w: float, ua_w_per_k: float, ambient_c: float) -> float:
+        """Advance ``dt_s`` seconds; return the new node temperature.
+
+        ``heat_in_w`` is the net internal gain (IT load + solar); the
+        conductance ``ua_w_per_k`` couples the node to ``ambient_c``.
+        """
+        if dt_s < 0:
+            raise ValueError("dt must be non-negative")
+        if ua_w_per_k < 0:
+            raise ValueError("UA must be non-negative")
+        if dt_s == 0:
+            return self.temp_c
+        # Substep for stability: explicit Euler needs dt < 2C/UA; use C/(2UA).
+        if ua_w_per_k > 0:
+            max_dt = self.capacity / (2.0 * ua_w_per_k)
+            substeps = max(1, int(math.ceil(dt_s / max_dt)))
+        else:
+            substeps = 1
+        h = dt_s / substeps
+        t = self.temp_c
+        for _ in range(substeps):
+            dT = (heat_in_w - ua_w_per_k * (t - ambient_c)) * h / self.capacity
+            t += dT
+        self.temp_c = t
+        return t
+
+    def equilibrium(self, heat_in_w: float, ua_w_per_k: float, ambient_c: float) -> float:
+        """Steady-state temperature for constant forcing (for tests/sizing)."""
+        if ua_w_per_k <= 0:
+            raise ValueError("equilibrium undefined for UA <= 0")
+        return ambient_c + heat_in_w / ua_w_per_k
+
+    def time_constant_s(self, ua_w_per_k: float) -> float:
+        """First-order time constant ``C / UA`` in seconds."""
+        if ua_w_per_k <= 0:
+            raise ValueError("time constant undefined for UA <= 0")
+        return self.capacity / ua_w_per_k
+
+
+class MoistureNode:
+    """Inside absolute humidity relaxing toward the outside value.
+
+    Ventilation exchanges air, not just heat: the inside vapor density
+    approaches the outside vapor density at the air-change rate.  The tent
+    adds no moisture of its own (no occupants, sealed hardware), matching
+    the paper's observation that inside RH is a *smoothed* copy of outside
+    conditions re-expressed at the warmer inside temperature.
+    """
+
+    def __init__(self, initial_temp_c: float, initial_rh_percent: float) -> None:
+        self.vapor_g_m3 = float(absolute_humidity(initial_temp_c, initial_rh_percent))
+
+    def __repr__(self) -> str:
+        return f"MoistureNode(vapor={self.vapor_g_m3:.2f} g/m^3)"
+
+    def step(
+        self,
+        dt_s: float,
+        air_changes_per_hour: float,
+        outside_temp_c: float,
+        outside_rh_percent: float,
+    ) -> float:
+        """Advance ``dt_s`` seconds; return the inside vapor density (g/m^3)."""
+        if dt_s < 0:
+            raise ValueError("dt must be non-negative")
+        if air_changes_per_hour < 0:
+            raise ValueError("air-change rate must be non-negative")
+        target = float(absolute_humidity(outside_temp_c, outside_rh_percent))
+        rate = air_changes_per_hour / 3600.0
+        # Exact solution of the linear relaxation over the step.
+        decay = math.exp(-rate * dt_s)
+        self.vapor_g_m3 = target + (self.vapor_g_m3 - target) * decay
+        return self.vapor_g_m3
+
+    def relative_humidity(self, inside_temp_c: float) -> float:
+        """Inside RH (%) given the current vapor content and temperature."""
+        return float(rh_from_absolute_humidity(inside_temp_c, self.vapor_g_m3))

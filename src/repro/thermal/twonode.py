@@ -1,0 +1,129 @@
+"""A two-node tent: the fidelity check for DESIGN.md decision 1.
+
+The campaign model treats the tent as a *single* thermal mass.  Physically
+the tent is at least two: the air (tiny capacity, directly ventilated)
+and the "mass" -- equipment chassis and fabric -- that stores most of the
+heat and talks to the air through a film conductance.  This module
+implements that richer model::
+
+    C_a dT_a/dt = q_air + h (T_m - T_a) - UA (T_a - T_out)
+    C_m dT_m/dt = q_mass - h (T_m - T_a)
+
+so the A4 ablation can show the two models share steady states exactly
+and differ only in sub-hour transients -- below the resolution of the
+paper's figures, which is what justifies the simpler node.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.climate.generator import WeatherGenerator
+from repro.thermal.enclosure import Enclosure
+from repro.thermal.heatbalance import MoistureNode
+from repro.thermal.tent import ModifiableEnvelopeMixin, TentEnvelope
+
+
+class TwoNodeTent(ModifiableEnvelopeMixin, Enclosure):
+    """Air + equipment-mass tent model sharing :class:`TentEnvelope`.
+
+    Parameters
+    ----------
+    name / weather / envelope:
+        As for :class:`repro.thermal.tent.Tent`.
+    air_capacity_j_per_k:
+        The tent's air volume (~15 m^3 of air ~ 18 kJ/K, padded for the
+        boundary layer).
+    mass_capacity_j_per_k:
+        Chassis and fabric mass that follows the air on the hour scale.
+    coupling_w_per_k:
+        Film conductance between mass and air.
+    mass_heat_fraction:
+        Share of the IT load dissipated into the mass node (heat leaves
+        hosts through their chassis before it reaches tent air).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        weather: WeatherGenerator,
+        envelope: Optional[TentEnvelope] = None,
+        air_capacity_j_per_k: float = 22_000.0,
+        mass_capacity_j_per_k: float = 140_000.0,
+        coupling_w_per_k: float = 65.0,
+        mass_heat_fraction: float = 0.6,
+    ) -> None:
+        if not 0.0 <= mass_heat_fraction <= 1.0:
+            raise ValueError("mass_heat_fraction must be in [0, 1]")
+        if min(air_capacity_j_per_k, mass_capacity_j_per_k, coupling_w_per_k) <= 0:
+            raise ValueError("capacities and coupling must be positive")
+        super().__init__(name, weather)
+        self.envelope = envelope if envelope is not None else TentEnvelope()
+        self.air_capacity = air_capacity_j_per_k
+        self.mass_capacity = mass_capacity_j_per_k
+        self.coupling = coupling_w_per_k
+        self.mass_heat_fraction = mass_heat_fraction
+        first = weather.sample(weather.start_time)
+        self.air_temp_c = first.temp_c
+        self.mass_temp_c = first.temp_c
+        self._moisture = MoistureNode(first.temp_c, first.rh_percent)
+        self.intake_temp_c = first.temp_c
+        self.intake_rh_percent = first.rh_percent
+        self._init_modifications()
+
+    def __repr__(self) -> str:
+        return (
+            f"TwoNodeTent({self.name!r}, air={self.air_temp_c:.1f}degC, "
+            f"mass={self.mass_temp_c:.1f}degC)"
+        )
+
+    # ------------------------------------------------------------------
+    def _update(self, time: float, dt_s: float) -> None:
+        sample = self.weather.sample(time)
+        ua = self.envelope.ua_w_per_k(sample.wind_ms)
+        solar = self.envelope.solar_gain_w(sample.solar_wm2)
+        q_mass = self.mass_heat_fraction * self.it_load_w + solar
+        q_air = (1.0 - self.mass_heat_fraction) * self.it_load_w
+
+        if dt_s > 0:
+            # Explicit Euler stability: the air node is the stiff one.
+            max_dt = min(
+                self.air_capacity / (2.0 * (self.coupling + ua)),
+                self.mass_capacity / (2.0 * self.coupling),
+            )
+            substeps = max(1, int(math.ceil(dt_s / max_dt)))
+            h = dt_s / substeps
+            t_a, t_m = self.air_temp_c, self.mass_temp_c
+            for _ in range(substeps):
+                flow_me = self.coupling * (t_m - t_a)
+                d_a = (q_air + flow_me - ua * (t_a - sample.temp_c)) * h / self.air_capacity
+                d_m = (q_mass - flow_me) * h / self.mass_capacity
+                t_a += d_a
+                t_m += d_m
+            self.air_temp_c, self.mass_temp_c = t_a, t_m
+
+        ach = self.envelope.air_changes_per_hour(sample.wind_ms)
+        self._moisture.step(dt_s, ach, sample.temp_c, sample.rh_percent)
+        self.intake_temp_c = self.air_temp_c
+        self.intake_rh_percent = self._moisture.relative_humidity(self.air_temp_c)
+
+    # ------------------------------------------------------------------
+    def steady_state_air_excess_c(self, wind_ms: float, irradiance_wm2: float = 0.0) -> float:
+        """Equilibrium air excess: identical to the single-node value.
+
+        At steady state every watt entering the mass flows on into the
+        air and out through the envelope, so ``(q_air + q_mass) / UA`` --
+        the same expression the single node uses.  This identity is the
+        core of the A4 ablation.
+        """
+        ua = self.envelope.ua_w_per_k(wind_ms)
+        total = self.it_load_w + self.envelope.solar_gain_w(irradiance_wm2)
+        return total / ua
+
+    def steady_state_mass_excess_c(self, wind_ms: float, irradiance_wm2: float = 0.0) -> float:
+        """Equilibrium mass excess over *outside*: air excess plus the
+        film drop needed to push the mass's own heat into the air."""
+        solar = self.envelope.solar_gain_w(irradiance_wm2)
+        q_mass = self.mass_heat_fraction * self.it_load_w + solar
+        return self.steady_state_air_excess_c(wind_ms, irradiance_wm2) + q_mass / self.coupling

@@ -1,0 +1,203 @@
+"""The 10-minute archival loop each host executes.
+
+Section 3.5, mechanised:
+
+- every 10 minutes: ``tar`` + ``bzip2`` the kernel tree, ``md5sum`` the
+  tarball, compare with the reference; a mismatch *stores* the tarball
+  (for later ``bzip2recover`` inspection), a match overwrites it next
+  cycle;
+- a one-off start fuzz of 0-119 seconds de-synchronises hosts;
+- the CPU is busy for the duration of the burst, idle otherwise (which is
+  what modulates host power and CPU temperature between polls).
+
+Results accumulate in a :class:`WorkloadLedger`: total run counts per host
+and a full record of every wrong hash -- the paper's "5 out of a total of
+27627 test runs" census.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.hardware.faults import FaultEvent, FaultKind, FaultLog
+from repro.hardware.host import Host
+from repro.sim.clock import MINUTE
+from repro.sim.engine import Simulator
+from repro.sim.process import Process
+from repro.workload.bzip2 import Archive, Bzip2Model
+from repro.workload.digest import verify_archive
+from repro.workload.kernel_tree import KernelSourceTree
+
+#: The paper's cycle period: "Each host executes its synthetic load every
+#: 10 minutes."
+CYCLE_PERIOD_S = 10 * MINUTE
+#: Start fuzz: "each host sleeps for 0 to 119 seconds".
+START_FUZZ_MAX_S = 119
+
+
+@dataclass(frozen=True)
+class CycleResult:
+    """Outcome of one archive-and-verify run."""
+
+    time: float
+    host_id: int
+    hash_ok: bool
+    corrupted_block_count: int
+    stored: bool  # mismatching tarballs are kept for inspection
+
+    def __post_init__(self) -> None:
+        if self.hash_ok and self.corrupted_block_count:
+            raise ValueError("a clean archive cannot have corrupted blocks")
+
+
+class WorkloadLedger:
+    """Fleet-wide census of synthetic-load runs.
+
+    Stores per-host totals and every wrong-hash event (with its archive,
+    so the analysis can run ``bzip2recover`` on "the most recent" as the
+    paper did).
+    """
+
+    def __init__(self) -> None:
+        self.runs_per_host: Dict[int, int] = {}
+        self.wrong_per_host: Dict[int, int] = {}
+        self.wrong_hash_results: List[CycleResult] = []
+        self.stored_archives: List[Archive] = []
+
+    def __repr__(self) -> str:
+        return f"WorkloadLedger(runs={self.total_runs}, wrong={self.total_wrong_hashes})"
+
+    def record(self, result: CycleResult, archive: Optional[Archive] = None) -> None:
+        """Account one cycle."""
+        self.runs_per_host[result.host_id] = self.runs_per_host.get(result.host_id, 0) + 1
+        if not result.hash_ok:
+            self.wrong_per_host[result.host_id] = (
+                self.wrong_per_host.get(result.host_id, 0) + 1
+            )
+            self.wrong_hash_results.append(result)
+            if archive is not None:
+                self.stored_archives.append(archive)
+
+    @property
+    def total_runs(self) -> int:
+        """All synthetic-load runs across the fleet."""
+        return sum(self.runs_per_host.values())
+
+    @property
+    def total_wrong_hashes(self) -> int:
+        """Runs whose md5sum differed from the reference."""
+        return sum(self.wrong_per_host.values())
+
+    @property
+    def wrong_hash_ratio(self) -> float:
+        """Wrong hashes per run (0 when nothing ran)."""
+        if self.total_runs == 0:
+            return 0.0
+        return self.total_wrong_hashes / self.total_runs
+
+    def hosts_with_wrong_hashes(self) -> List[int]:
+        """Host ids that reported at least one wrong hash, sorted."""
+        return sorted(self.wrong_per_host)
+
+    def most_recent_stored_archive(self) -> Optional[Archive]:
+        """The archive the paper recovered ("the most recent")."""
+        return self.stored_archives[-1] if self.stored_archives else None
+
+
+class ArchiverProcess:
+    """The synthetic-load loop on one host.
+
+    Parameters
+    ----------
+    sim:
+        The simulator.
+    host:
+        The host running the load.
+    ledger:
+        Fleet-wide census to report into.
+    tree:
+        Source tree (shared across the fleet; the department installed the
+        same kernel snapshot everywhere).
+    fault_log:
+        Experiment fault log for wrong-hash events.
+    burst_duration_s:
+        How long one tar+bzip2+md5sum burst keeps the CPU busy.  Defaults
+        to the vendor's compression throughput applied to the tree size
+        (bzip2 is CPU-bound, so slower platforms stay busy longer).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        ledger: WorkloadLedger,
+        tree: Optional[KernelSourceTree] = None,
+        fault_log: Optional[FaultLog] = None,
+        burst_duration_s: Optional[float] = None,
+    ) -> None:
+        if burst_duration_s is None:
+            size_mb = (tree if tree is not None else KernelSourceTree()).total_bytes / 1e6
+            burst_duration_s = size_mb / host.spec.compress_mb_per_s
+        if burst_duration_s <= 0 or burst_duration_s >= CYCLE_PERIOD_S:
+            raise ValueError("burst must be positive and shorter than the cycle period")
+        self.sim = sim
+        self.host = host
+        self.ledger = ledger
+        self.tree = tree if tree is not None else KernelSourceTree()
+        self.model = Bzip2Model(self.tree)
+        self.fault_log = fault_log
+        self.burst_duration_s = burst_duration_s
+        self._rng = host._streams.stream("workload")
+        self.process = Process(sim, self._loop(), name=f"archiver.{host.hostname}")
+
+    def __repr__(self) -> str:
+        return f"ArchiverProcess({self.host.hostname}, alive={self.process.alive})"
+
+    def stop(self) -> None:
+        """Terminate the loop (host retired or experiment over)."""
+        self.process.stop()
+        self.host.cpu.busy = False
+
+    # ------------------------------------------------------------------
+    def _loop(self):
+        # "some fuzz is added to the starting phase: each host sleeps for
+        # 0 to 119 seconds before commencing the archival process."
+        yield float(self._rng.integers(0, START_FUZZ_MAX_S + 1))
+        while True:
+            cycle_start = self.sim.now
+            if self.host.running:
+                self.host.cpu.busy = True
+                yield self.burst_duration_s
+                # The burst may have ended with the host failed mid-cycle;
+                # such a run produces no result (the monitoring host simply
+                # finds no new md5sum).
+                if self.host.running:
+                    self._complete_cycle(self.sim.now)
+                self.host.cpu.busy = False
+            remainder = CYCLE_PERIOD_S - (self.sim.now - cycle_start)
+            yield max(0.0, remainder)
+
+    def _complete_cycle(self, time: float) -> None:
+        uncorrected = self.host.memory.perform_page_ops(
+            self.tree.page_ops_per_cycle(), time
+        )
+        archive = self.model.compress(self.host.host_id, time, uncorrected, self._rng)
+        ok = verify_archive(self.tree, archive)
+        result = CycleResult(
+            time=time,
+            host_id=self.host.host_id,
+            hash_ok=ok,
+            corrupted_block_count=len(archive.corrupted_blocks),
+            stored=not ok,
+        )
+        self.ledger.record(result, archive=None if ok else archive)
+        if not ok and self.fault_log is not None:
+            self.fault_log.record(
+                FaultEvent(
+                    time=time,
+                    kind=FaultKind.WRONG_HASH,
+                    host_id=self.host.host_id,
+                    detail=f"{len(archive.corrupted_blocks)} corrupted block(s)",
+                )
+            )

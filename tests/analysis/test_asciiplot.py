@@ -1,0 +1,105 @@
+"""Tests for the terminal chart renderer."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.asciiplot import ChartCanvas, dual_series_chart, sparkline
+from repro.analysis.series import TimeSeries
+
+
+def series(values, start=0.0, step=60.0):
+    values = np.asarray(values, dtype=float)
+    return TimeSeries(start + step * np.arange(len(values)), values)
+
+
+class TestSparkline:
+    def test_width_respected(self):
+        assert len(sparkline(range(100), width=40)) == 40
+
+    def test_monotone_input_monotone_glyphs(self):
+        line = sparkline(range(64), width=8)
+        levels = [" ▁▂▃▄▅▆▇█".index(c) for c in line]
+        assert levels == sorted(levels)
+
+    def test_constant_input_renders_mid_level(self):
+        line = sparkline([5.0] * 30, width=10)
+        assert len(set(line)) == 1
+
+    def test_empty_input(self):
+        assert sparkline([]) == ""
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            sparkline([1, 2], width=0)
+
+
+class TestChartCanvas:
+    def test_render_dimensions(self):
+        canvas = ChartCanvas(40, 10, (0.0, 100.0), (0.0, 1.0))
+        rendered = canvas.render()
+        lines = rendered.splitlines()
+        assert len(lines) == 11  # grid rows + axis line
+        assert all(len(line) >= 40 for line in lines[:-1])
+
+    def test_series_lands_in_the_right_rows(self):
+        canvas = ChartCanvas(20, 11, (0.0, 19.0), (0.0, 10.0))
+        low = series([0.0] * 20, step=1.0)
+        canvas.plot_series(low, "x")
+        rendered = canvas.render().splitlines()
+        # Bottom grid row (index 10) holds the zeros.
+        assert "x" in rendered[10]
+        assert "x" not in rendered[0]
+
+    def test_event_marks_bottom_row(self):
+        canvas = ChartCanvas(20, 10, (0.0, 100.0), (0.0, 1.0))
+        canvas.mark_event(50.0, "R")
+        rendered = canvas.render().splitlines()
+        assert "R" in rendered[9]
+
+    def test_out_of_range_event_ignored(self):
+        canvas = ChartCanvas(20, 10, (0.0, 100.0), (0.0, 1.0))
+        canvas.mark_event(500.0, "R")
+        assert "R" not in canvas.render()
+
+    def test_too_small_canvas_rejected(self):
+        with pytest.raises(ValueError):
+            ChartCanvas(5, 2, (0.0, 1.0), (0.0, 1.0))
+
+    def test_zero_extent_range_rejected(self):
+        with pytest.raises(ValueError):
+            ChartCanvas(40, 10, (1.0, 1.0), (0.0, 1.0))
+
+    def test_multichar_glyph_rejected(self):
+        canvas = ChartCanvas(20, 10, (0.0, 10.0), (0.0, 1.0))
+        with pytest.raises(ValueError):
+            canvas.plot_series(series([0.5]), "ab")
+
+
+class TestDualSeriesChart:
+    def test_both_glyphs_appear(self):
+        a = series(np.sin(np.linspace(0, 6, 200)) * 10)
+        b = series(np.cos(np.linspace(0, 6, 200)) * 10)
+        chart = dual_series_chart(a, b, "o", ".", width=60, height=12)
+        assert "o" in chart and "." in chart
+
+    def test_events_rendered(self):
+        a = series(np.linspace(-5, 5, 100))
+        b = series(np.linspace(5, -5, 100))
+        chart = dual_series_chart(a, b, events={"R": 3000.0}, width=40, height=10)
+        assert "R" in chart
+
+    def test_y_label_shown(self):
+        a = series([1.0, 2.0, 3.0])
+        chart = dual_series_chart(a, a, y_label="degC", width=40, height=10)
+        assert "degC" in chart
+
+    def test_empty_pair_rejected(self):
+        empty = TimeSeries(np.zeros(0), np.zeros(0))
+        with pytest.raises(ValueError):
+            dual_series_chart(empty, empty)
+
+    def test_one_empty_series_tolerated(self):
+        a = series([1.0, 2.0, 3.0])
+        empty = TimeSeries(np.zeros(0), np.zeros(0))
+        chart = dual_series_chart(a, empty, width=40, height=10)
+        assert "o" in chart

@@ -1,0 +1,53 @@
+"""Tests for the run-comparison tool."""
+
+import datetime as dt
+
+import pytest
+
+from repro import Experiment
+from repro.analysis.comparison import SeriesDelta, compare_runs
+from repro.core.scenarios import no_modifications, paper_campaign
+
+
+@pytest.fixture(scope="module")
+def run_pair():
+    until = dt.datetime(2010, 3, 20)
+    modded = Experiment(paper_campaign(seed=5)).run(until=until)
+    sealed = Experiment(no_modifications(seed=5)).run(until=until)
+    return modded, sealed
+
+
+class TestCompareRuns:
+    def test_sealed_tent_shows_as_warmer(self, run_pair):
+        modded, sealed = run_pair
+        comparison = compare_runs(modded, sealed, "paper", "sealed")
+        assert comparison.tent_temperature is not None
+        assert comparison.tent_temperature.mean_delta > 3.0
+
+    def test_workload_census_carried_over(self, run_pair):
+        modded, sealed = run_pair
+        comparison = compare_runs(modded, sealed)
+        assert comparison.total_runs[0] == modded.ledger.total_runs
+        assert comparison.total_runs[1] == sealed.ledger.total_runs
+
+    def test_describe_renders_table(self, run_pair):
+        modded, sealed = run_pair
+        text = compare_runs(modded, sealed, "paper", "sealed").describe()
+        assert "paper" in text and "sealed" in text
+        assert "tent mean temp" in text
+        assert "wrong hashes" in text
+
+    def test_window_is_the_overlap(self, run_pair):
+        modded, sealed = run_pair
+        comparison = compare_runs(modded, sealed)
+        assert comparison.window == (0.0, min(modded.end_time, sealed.end_time))
+
+    def test_identical_runs_have_zero_delta(self, run_pair):
+        modded, _ = run_pair
+        comparison = compare_runs(modded, modded)
+        assert comparison.tent_temperature.mean_delta == pytest.approx(0.0)
+        assert comparison.failure_events[0] == comparison.failure_events[1]
+
+    def test_series_delta_arithmetic(self):
+        delta = SeriesDelta("x", mean_a=1.0, mean_b=3.5, max_a=2.0, max_b=4.0)
+        assert delta.mean_delta == pytest.approx(2.5)

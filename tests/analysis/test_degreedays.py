@@ -1,0 +1,70 @@
+"""Tests for the degree-day arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.degreedays import DegreeDays, degree_days, profile_degree_days
+from repro.analysis.series import TimeSeries
+from repro.climate.sites import HELSINKI_FULL_YEAR, SINGAPORE_FULL_YEAR
+from repro.sim.clock import DAY, HOUR
+
+
+def constant_series(temp_c, days=10):
+    times = HOUR * np.arange(days * 24 + 1)
+    return TimeSeries(times, np.full(len(times), float(temp_c)))
+
+
+class TestDegreeDays:
+    def test_constant_cold_is_pure_heating(self):
+        dd = degree_days(constant_series(8.0, days=10), base_c=18.0)
+        assert dd.heating == pytest.approx(100.0, rel=0.01)  # 10 degC x 10 d
+        assert dd.cooling == pytest.approx(0.0, abs=1e-9)
+        assert dd.cooling_fraction == 0.0
+
+    def test_constant_hot_is_pure_cooling(self):
+        dd = degree_days(constant_series(28.0, days=5), base_c=18.0)
+        assert dd.cooling == pytest.approx(50.0, rel=0.01)
+        assert dd.heating == pytest.approx(0.0, abs=1e-9)
+        assert dd.cooling_fraction == 1.0
+
+    def test_at_base_nothing_accrues(self):
+        dd = degree_days(constant_series(18.0), base_c=18.0)
+        assert dd.heating == pytest.approx(0.0, abs=1e-9)
+        assert dd.cooling == pytest.approx(0.0, abs=1e-9)
+
+    def test_span_reported(self):
+        dd = degree_days(constant_series(0.0, days=7))
+        assert dd.span_days == pytest.approx(7.0)
+
+    def test_validation(self):
+        empty = TimeSeries(np.zeros(0), np.zeros(0))
+        with pytest.raises(ValueError):
+            degree_days(empty)
+        single = TimeSeries(np.array([0.0]), np.array([5.0]))
+        with pytest.raises(ValueError):
+            degree_days(single)
+
+    def test_describe(self):
+        text = degree_days(constant_series(8.0)).describe()
+        assert "heating degree-days" in text
+
+
+class TestProfileDegreeDays:
+    def test_helsinki_is_a_heating_climate(self):
+        dd = profile_degree_days(HELSINKI_FULL_YEAR, base_c=18.0, seed=0)
+        # Nordic rule of thumb: ~4000-5000 HDD at an 18 degC base.
+        assert 3000 < dd.heating < 6500
+        assert dd.cooling < 0.1 * dd.heating
+        assert dd.cooling_fraction < 0.1
+
+    def test_singapore_is_a_cooling_climate(self):
+        dd = profile_degree_days(SINGAPORE_FULL_YEAR, base_c=18.0, seed=0)
+        assert dd.cooling > 10 * max(dd.heating, 1.0)
+        assert dd.cooling_fraction > 0.9
+
+    def test_cooling_fraction_tracks_free_cooling_ranking(self):
+        # The facilities view and the free-cooling view must agree on
+        # which site wants chillers.
+        helsinki = profile_degree_days(HELSINKI_FULL_YEAR, seed=0)
+        singapore = profile_degree_days(SINGAPORE_FULL_YEAR, seed=0)
+        assert helsinki.cooling_fraction < singapore.cooling_fraction

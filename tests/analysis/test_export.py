@@ -1,0 +1,111 @@
+"""Tests for flat-file export of a finished run."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.export import (
+    export_run,
+    fault_log_from_tsv,
+    fault_log_to_tsv,
+    read_series_csv,
+    series_from_csv,
+    series_to_csv,
+    write_series_csv,
+)
+from repro.analysis.series import TimeSeries
+from repro.hardware.faults import FaultEvent, FaultKind, FaultLog
+
+
+def sample_series():
+    return TimeSeries(np.array([0.0, 60.0, 120.0]), np.array([-9.25, -9.5, -10.0]))
+
+
+class TestSeriesCsv:
+    def test_roundtrip(self):
+        text = series_to_csv(sample_series(), "temp_c")
+        parsed, name = series_from_csv(text)
+        assert name == "temp_c"
+        assert list(parsed.times) == [0.0, 60.0, 120.0]
+        assert parsed.values == pytest.approx(sample_series().values)
+
+    def test_header_required(self):
+        with pytest.raises(ValueError):
+            series_from_csv("a,b\n1,2\n")
+
+    def test_malformed_row_rejected(self):
+        with pytest.raises(ValueError):
+            series_from_csv("time_s,temp_c\n1,2,3\n")
+
+    def test_file_roundtrip(self, tmp_path):
+        path = write_series_csv(sample_series(), tmp_path / "t.csv", "temp_c")
+        parsed, name = read_series_csv(path)
+        assert name == "temp_c"
+        assert len(parsed) == 3
+
+    def test_empty_series(self):
+        empty = TimeSeries(np.zeros(0), np.zeros(0))
+        parsed, _name = series_from_csv(series_to_csv(empty))
+        assert parsed.empty
+
+
+class TestFaultLogTsv:
+    def sample_log(self):
+        log = FaultLog()
+        log.record(FaultEvent(100.0, FaultKind.TRANSIENT_SYSTEM, host_id=15))
+        log.record(FaultEvent(200.0, FaultKind.SWITCH, host_id=None, detail="tent-sw1"))
+        log.record(FaultEvent(300.0, FaultKind.WRONG_HASH, host_id=3, detail="1 block"))
+        return log
+
+    def test_roundtrip(self):
+        log = self.sample_log()
+        parsed = fault_log_from_tsv(fault_log_to_tsv(log))
+        assert len(parsed) == 3
+        assert parsed.events[0].kind is FaultKind.TRANSIENT_SYSTEM
+        assert parsed.events[1].host_id is None
+        assert parsed.events[1].detail == "tent-sw1"
+        assert parsed.events[2].detail == "1 block"
+
+    def test_header_required(self):
+        with pytest.raises(ValueError):
+            fault_log_from_tsv("nope\n")
+
+    def test_unknown_kind_rejected(self):
+        text = "time_s\tkind\thost_id\tdetail\n1.0\tGREMLIN\t1\t\n"
+        with pytest.raises(ValueError):
+            fault_log_from_tsv(text)
+
+
+class TestExportRun:
+    def test_exports_all_artifacts(self, short_results, tmp_path):
+        written = export_run(short_results, tmp_path / "dump")
+        expected = {
+            "outside_temperature",
+            "outside_humidity",
+            "inside_temperature",
+            "inside_humidity",
+            "faults",
+            "meta",
+        }
+        assert set(written) == expected
+        for path in written.values():
+            assert path.exists()
+
+    def test_meta_json_contents(self, short_results, tmp_path):
+        written = export_run(short_results, tmp_path)
+        meta = json.loads(written["meta"].read_text())
+        assert meta["seed"] == short_results.config.seed
+        assert meta["total_runs"] == short_results.ledger.total_runs
+        assert "Zero Degrees" in meta["paper"]
+
+    def test_exported_series_roundtrip(self, short_results, tmp_path):
+        written = export_run(short_results, tmp_path)
+        parsed, name = read_series_csv(written["outside_temperature"])
+        assert name == "temp_c"
+        assert len(parsed) == len(short_results.outside_temperature())
+
+    def test_exported_faults_roundtrip(self, short_results, tmp_path):
+        written = export_run(short_results, tmp_path)
+        parsed = fault_log_from_tsv(written["faults"].read_text())
+        assert len(parsed) == len(short_results.fault_log)

@@ -1,0 +1,127 @@
+"""Tests for failure-rate census and common-cause clustering."""
+
+import pytest
+
+from repro.analysis.failures import (
+    INTEL_FAILURE_RATE_PERCENT,
+    CommonCauseCluster,
+    FailureCensus,
+    census_from_events,
+    failures_by_host,
+    find_common_cause_clusters,
+)
+from repro.hardware.faults import FaultEvent, FaultKind
+from repro.sim.clock import DAY, HOUR
+
+
+def transient(time, host_id):
+    return FaultEvent(time=time, kind=FaultKind.TRANSIENT_SYSTEM, host_id=host_id)
+
+
+class TestFailureCensus:
+    def test_paper_headline_rate(self):
+        # "Of the eighteen hosts installed initially, one has encountered
+        # two transient system failures ... A failure rate of 5.6%."
+        census = FailureCensus(group="all", hosts_total=18, hosts_failed=1)
+        assert census.failure_rate_percent == pytest.approx(5.6, abs=0.1)
+
+    def test_comparable_to_intel(self):
+        census = FailureCensus(group="all", hosts_total=18, hosts_failed=1)
+        assert census.comparable_to_intel()
+        assert INTEL_FAILURE_RATE_PERCENT == 4.46
+
+    def test_wildly_higher_rate_not_comparable(self):
+        census = FailureCensus(group="all", hosts_total=18, hosts_failed=9)
+        assert not census.comparable_to_intel()
+
+    def test_zero_hosts_rate_zero(self):
+        assert FailureCensus("x", 0, 0).failure_rate_percent == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FailureCensus("x", 3, 5)
+        with pytest.raises(ValueError):
+            FailureCensus("x", -1, 0)
+
+    def test_describe_mentions_intel(self):
+        text = FailureCensus("tent", 9, 1).describe()
+        assert "tent" in text and "4.46" in text
+
+
+class TestCensusFromEvents:
+    def test_counts_distinct_failed_hosts(self):
+        events = [transient(0.0, 15), transient(100.0, 15), transient(200.0, 3)]
+        census = census_from_events("all", list(range(1, 19)), events)
+        assert census.hosts_failed == 2  # host 15 counted once
+
+    def test_ignores_hosts_outside_group(self):
+        events = [transient(0.0, 15)]
+        census = census_from_events("basement", [4, 5, 7], events)
+        assert census.hosts_failed == 0
+
+    def test_wrong_hash_not_a_system_failure(self):
+        events = [FaultEvent(0.0, FaultKind.WRONG_HASH, host_id=3)]
+        census = census_from_events("all", [3], events)
+        assert census.hosts_failed == 0
+
+    def test_disk_loss_counts(self):
+        events = [FaultEvent(0.0, FaultKind.DISK, host_id=14)]
+        census = census_from_events("all", [14], events)
+        assert census.hosts_failed == 1
+
+
+class TestCommonCauseClustering:
+    def test_simultaneous_failures_cluster(self):
+        events = [transient(0.0, 1), transient(HOUR, 2), transient(2 * HOUR, 3)]
+        clusters = find_common_cause_clusters(events, window_hours=48.0)
+        assert len(clusters) == 1
+        assert clusters[0].host_ids == (1, 2, 3)
+
+    def test_distant_failures_do_not_cluster(self):
+        events = [transient(0.0, 1), transient(10 * DAY, 2)]
+        assert find_common_cause_clusters(events, window_hours=48.0) == []
+
+    def test_repeat_failures_on_one_host_do_not_cluster(self):
+        # The paper's host #15 failing twice is not a common cause.
+        events = [transient(0.0, 15), transient(HOUR, 15)]
+        assert find_common_cause_clusters(events) == []
+
+    def test_different_kinds_kept_apart(self):
+        events = [
+            transient(0.0, 1),
+            FaultEvent(HOUR, FaultKind.DISK, host_id=2),
+        ]
+        assert find_common_cause_clusters(events) == []
+
+    def test_chained_window_extends_cluster(self):
+        # Each event within 48h of the previous: one long cluster.
+        events = [transient(i * 40 * HOUR, i) for i in range(1, 5)]
+        clusters = find_common_cause_clusters(events, window_hours=48.0)
+        assert len(clusters) == 1
+        assert clusters[0].span_hours == pytest.approx(120.0)
+
+    def test_infrastructure_events_ignored(self):
+        events = [
+            FaultEvent(0.0, FaultKind.SWITCH, host_id=None),
+            FaultEvent(HOUR, FaultKind.SWITCH, host_id=None),
+        ]
+        assert find_common_cause_clusters(events) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            find_common_cause_clusters([], window_hours=0.0)
+        with pytest.raises(ValueError):
+            find_common_cause_clusters([], min_hosts=1)
+
+
+class TestFailuresByHost:
+    def test_counts_system_failures_only(self):
+        events = [
+            transient(0.0, 15),
+            transient(1.0, 15),
+            FaultEvent(2.0, FaultKind.WRONG_HASH, host_id=15),
+            FaultEvent(3.0, FaultKind.MEMTEST, host_id=15),
+            FaultEvent(4.0, FaultKind.SWITCH, host_id=None),
+        ]
+        counts = failures_by_host(events)
+        assert counts == {15: 3}

@@ -1,0 +1,26 @@
+"""Tests for the Fig. 1 schematic rendering."""
+
+from repro.analysis.figures import fig1_schematic
+
+
+class TestFig1Schematic:
+    def test_mentions_every_modification_letter(self):
+        text = fig1_schematic()
+        for marker in ("foil cover R", "removed at I", "removed at B", "at F", "door D"):
+            assert marker in text
+
+    def test_mentions_the_structural_elements(self):
+        text = fig1_schematic()
+        for element in ("outer fabric", "inner tent", "tarpaulin", "terrace"):
+            assert element in text
+
+    def test_shows_the_hosts(self):
+        assert "[HOST]" in fig1_schematic()
+
+    def test_stable_render(self):
+        assert fig1_schematic() == fig1_schematic()
+
+    def test_no_leading_or_trailing_blank_lines(self):
+        text = fig1_schematic()
+        assert not text.startswith("\n")
+        assert not text.endswith("\n")

@@ -1,0 +1,103 @@
+"""Tests for the free-cooling feasibility analysis."""
+
+import pytest
+
+from repro.analysis.freecooling import (
+    SiteAssessment,
+    assess_site,
+    compare_sites,
+    intake_limit_sensitivity,
+)
+from repro.climate.sites import (
+    ALL_SITES,
+    HELSINKI_FULL_YEAR,
+    NEW_MEXICO_FULL_YEAR,
+    SINGAPORE_FULL_YEAR,
+)
+
+
+@pytest.fixture(scope="module")
+def helsinki():
+    return assess_site(HELSINKI_FULL_YEAR, seed=0)
+
+
+class TestAssessment:
+    def test_helsinki_is_essentially_always_free(self, helsinki):
+        # The paper's thesis: a Finnish site needs no chillers.
+        assert helsinki.free_fraction > 0.97
+
+    def test_singapore_is_essentially_never_free(self):
+        assessment = assess_site(SINGAPORE_FULL_YEAR, seed=0)
+        assert assessment.free_fraction < 0.3
+
+    def test_new_mexico_between(self):
+        assessment = assess_site(NEW_MEXICO_FULL_YEAR, seed=0)
+        assert 0.6 < assessment.free_fraction < 0.98
+
+    def test_savings_increase_with_free_fraction(self):
+        ranked = compare_sites(ALL_SITES, seed=0)
+        savings = [a.cooling_energy_savings for a in ranked]
+        assert savings == sorted(savings, reverse=True)
+
+    def test_blended_cooling_bounds(self, helsinki):
+        # Blended draw sits between fans-only and fans + full chillers.
+        assert helsinki.fan_kw <= helsinki.blended_cooling_kw
+        assert helsinki.blended_cooling_kw <= (
+            helsinki.fan_kw + helsinki.chiller_cooling_kw
+        )
+
+    def test_full_year_swept(self, helsinki):
+        assert helsinki.hours_total >= 364 * 24
+
+    def test_describe_mentions_site(self, helsinki):
+        assert "helsinki" in helsinki.describe()
+
+
+class TestCompareSites:
+    def test_ranked_best_first(self):
+        ranked = compare_sites(ALL_SITES, seed=0)
+        fractions = [a.free_fraction for a in ranked]
+        assert fractions == sorted(fractions, reverse=True)
+
+    def test_helsinki_beats_new_mexico(self):
+        # The geographic-extension claim, quantified.
+        ranked = {a.site: a.free_fraction for a in compare_sites(ALL_SITES, seed=0)}
+        assert ranked["helsinki-2010-full-year"] > ranked["new-mexico-full-year"]
+        assert ranked["new-mexico-full-year"] > ranked["singapore-full-year"]
+
+
+class TestSensitivity:
+    def test_fraction_monotone_in_ceiling(self):
+        points = intake_limit_sensitivity(
+            NEW_MEXICO_FULL_YEAR, limits_c=[20.0, 25.0, 30.0, 35.0], seed=0
+        )
+        fractions = [f for _limit, f in points]
+        assert fractions == sorted(fractions)
+
+    def test_generous_ceiling_reaches_unity(self):
+        points = intake_limit_sensitivity(
+            SINGAPORE_FULL_YEAR, limits_c=[45.0], seed=0
+        )
+        assert points[0][1] == pytest.approx(1.0)
+
+
+class TestValidation:
+    def test_free_hours_bounded(self):
+        with pytest.raises(ValueError):
+            SiteAssessment(
+                site="x", intake_limit_c=27.0, approach_c=2.0,
+                hours_total=10, hours_free=11, outside_min_c=0.0,
+                outside_max_c=1.0, chiller_cooling_kw=55.4, fan_kw=3.0,
+            )
+
+    def test_negative_approach_rejected(self):
+        with pytest.raises(ValueError):
+            assess_site(HELSINKI_FULL_YEAR, approach_c=-1.0)
+
+    def test_empty_assessment_fraction_zero(self):
+        assessment = SiteAssessment(
+            site="x", intake_limit_c=27.0, approach_c=2.0,
+            hours_total=0, hours_free=0, outside_min_c=0.0,
+            outside_max_c=1.0, chiller_cooling_kw=55.4, fan_kw=3.0,
+        )
+        assert assessment.free_fraction == 0.0

@@ -1,0 +1,74 @@
+"""Tests for the Section 4.2.2 memory-error arithmetic."""
+
+import pytest
+
+from repro.analysis.memory_errors import (
+    PAPER_RATIO_ONE_IN,
+    MemoryErrorEstimate,
+    estimate_memory_error_ratio,
+    paper_estimate,
+)
+from repro.workload.archiver import CycleResult, WorkloadLedger
+from repro.workload.kernel_tree import KernelSourceTree
+
+
+class TestPaperEstimate:
+    def test_paper_numbers_give_paper_ratio(self):
+        est = paper_estimate()
+        # 3.2e9 / 6 ~ 533 M; the paper rounds to "around one in 570 million".
+        assert est.ratio_one_in == pytest.approx(533e6, rel=0.01)
+        assert est.within_factor_of_paper(factor=1.5)
+
+    def test_paper_constant(self):
+        assert PAPER_RATIO_ONE_IN == 570e6
+
+    def test_describe_sentence(self):
+        text = paper_estimate().describe()
+        assert "million" in text and "27627" in text
+
+
+class TestEstimateFromLedger:
+    def _ledger(self, runs, wrong):
+        ledger = WorkloadLedger()
+        for i in range(runs):
+            ok = i >= wrong
+            ledger.record(
+                CycleResult(float(i), host_id=1, hash_ok=ok,
+                            corrupted_block_count=0 if ok else 1, stored=not ok)
+            )
+        return ledger
+
+    def test_ratio_from_run_census(self):
+        tree = KernelSourceTree()
+        ledger = self._ledger(runs=1000, wrong=2)
+        est = estimate_memory_error_ratio(ledger, tree)
+        assert est.total_runs == 1000
+        assert est.faulty_archives == 2
+        assert est.total_page_ops == 1000 * tree.page_ops_per_cycle()
+        assert est.ratio_one_in == pytest.approx(
+            1000 * tree.page_ops_per_cycle() / 2
+        )
+
+    def test_no_faults_means_no_ratio(self):
+        est = estimate_memory_error_ratio(self._ledger(runs=10, wrong=0))
+        assert est.ratio_one_in is None
+        assert est.fault_probability_per_page_op is None
+        assert not est.within_factor_of_paper()
+        assert "no faulty archives" in est.describe()
+
+    def test_paper_scale_census_lands_near_paper_ratio(self):
+        # 27,627 runs with 5 wrong hashes -> ratio within ~2x of 570 M.
+        est = estimate_memory_error_ratio(self._ledger(runs=27_627, wrong=5))
+        assert est.within_factor_of_paper(factor=2.0)
+
+    def test_probability_is_inverse_of_ratio(self):
+        est = estimate_memory_error_ratio(self._ledger(runs=1000, wrong=4))
+        assert est.fault_probability_per_page_op == pytest.approx(
+            1.0 / est.ratio_one_in
+        )
+
+
+class TestValidation:
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryErrorEstimate(total_runs=-1, total_page_ops=0, faulty_archives=0)

@@ -1,0 +1,96 @@
+"""Tests for logger-removal outlier detection."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.outliers import (
+    detect_removal_outliers,
+    remove_removal_outliers,
+    remove_with_companion,
+)
+from repro.analysis.series import TimeSeries
+
+
+def cold_background(n, temp=-5.0):
+    return np.full(n, temp)
+
+
+class TestDetection:
+    def test_download_trip_detected(self):
+        temps = cold_background(30)
+        temps[10:15] = 21.0  # carried indoors
+        mask = detect_removal_outliers(temps)
+        assert mask[10:15].all()
+        assert not mask[:10].any()
+        assert not mask[15:].any()
+
+    def test_slow_warm_drift_not_flagged(self):
+        # A genuinely warm spring afternoon climbs gradually into the
+        # indoor band; no door-jump, no flag.
+        temps = np.linspace(5.0, 21.0, 40)
+        mask = detect_removal_outliers(temps)
+        assert not mask.any()
+
+    def test_trip_at_start_of_record_flagged_when_short(self):
+        temps = cold_background(20)
+        temps[:3] = 21.0
+        mask = detect_removal_outliers(temps)
+        assert mask[:3].all()
+
+    def test_long_boundary_stretch_kept(self):
+        # A record that *ends* with a week of mild weather is weather.
+        temps = np.concatenate([cold_background(10), np.full(20, 19.0)])
+        # Entered gradually (no jump >= 4 degC within one step)?  Here the
+        # step is 24 degrees, so craft a gradual entry instead.
+        temps = np.concatenate([np.linspace(-5, 19, 15), np.full(20, 19.0)])
+        mask = detect_removal_outliers(temps)
+        assert not mask[-20:].any()
+
+    def test_cold_samples_never_flagged(self):
+        temps = cold_background(50, temp=-15.0)
+        assert not detect_removal_outliers(temps).any()
+
+    def test_exit_jump_alone_suffices(self):
+        # Logger placed indoors before the record started warm... the trip
+        # ends with the drop back outdoors.
+        temps = np.concatenate([np.full(4, 21.0), cold_background(20)])
+        mask = detect_removal_outliers(temps)
+        assert mask[:4].all()
+
+    def test_empty_input(self):
+        assert detect_removal_outliers(np.zeros(0)).shape == (0,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            detect_removal_outliers(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            detect_removal_outliers(np.zeros(3), jump_c=0.0)
+        with pytest.raises(ValueError):
+            detect_removal_outliers(np.zeros(3), indoor_band_c=(25.0, 18.0))
+
+
+class TestRemoval:
+    def test_remove_returns_clean_series(self):
+        temps = cold_background(30)
+        temps[10:13] = 21.0
+        ts = TimeSeries(60.0 * np.arange(30), temps)
+        cleaned = remove_removal_outliers(ts)
+        assert len(cleaned) == 27
+        assert cleaned.max() < 0.0
+
+    def test_companion_dropped_on_same_timestamps(self):
+        temps = cold_background(30)
+        temps[10:13] = 21.0
+        rh = np.linspace(60.0, 90.0, 30)
+        t = 60.0 * np.arange(30)
+        temp_ts = TimeSeries(t, temps)
+        rh_ts = TimeSeries(t, rh)
+        clean_t, clean_rh = remove_with_companion(temp_ts, rh_ts)
+        assert len(clean_t) == len(clean_rh) == 27
+        assert np.array_equal(clean_t.times, clean_rh.times)
+
+    def test_companion_timestamp_mismatch_rejected(self):
+        a = TimeSeries(np.arange(3.0), np.zeros(3))
+        b = TimeSeries(np.arange(3.0) + 1.0, np.zeros(3))
+        with pytest.raises(ValueError):
+            remove_with_companion(a, b)

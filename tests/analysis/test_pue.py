@@ -1,0 +1,76 @@
+"""Tests for the Section 5 PUE arithmetic."""
+
+import pytest
+
+from repro.analysis.pue import (
+    FREE_AIR_PLANT,
+    PAPER_CLUSTER_PLANT,
+    CoolingPlant,
+    paper_breakdown,
+)
+
+
+class TestPaperCluster:
+    def test_it_load_is_75_kw(self):
+        assert PAPER_CLUSTER_PLANT.it_load_kw == 75.0
+
+    def test_cooling_components_sum(self):
+        # 6.9 (CRACs) + 44.7 (HVAC chiller) + 3.8 (roof unit) = 55.4 kW.
+        assert PAPER_CLUSTER_PLANT.cooling_total_kw == pytest.approx(55.4)
+
+    def test_pue_is_1_74(self):
+        # "the new cluster's power usage effectiveness (PUE) rating would
+        # be a rather efficient 1.74"
+        assert PAPER_CLUSTER_PLANT.pue == pytest.approx(1.74, abs=0.005)
+
+    def test_cooling_overhead_fraction(self):
+        assert PAPER_CLUSTER_PLANT.cooling_overhead_fraction == pytest.approx(
+            55.4 / 130.4
+        )
+
+    def test_describe_table(self):
+        text = PAPER_CLUSTER_PLANT.describe()
+        assert "75.0 kW" in text
+        assert "1.74" in text
+
+
+class TestFreeAirAlternative:
+    def test_free_air_pue_near_unity(self):
+        assert 1.0 < FREE_AIR_PLANT.pue < 1.1
+
+    def test_same_it_load(self):
+        assert FREE_AIR_PLANT.it_load_kw == PAPER_CLUSTER_PLANT.it_load_kw
+
+    def test_cooling_savings_large(self):
+        savings = PAPER_CLUSTER_PLANT.cooling_energy_savings_vs(FREE_AIR_PLANT)
+        assert savings > 0.9
+
+    def test_breakdown_rows(self):
+        breakdown = paper_breakdown()
+        rows = breakdown.summary_rows()
+        assert len(rows) == 2
+        names, cooling, facility, pues = zip(*rows)
+        assert cooling[0] > cooling[1]
+        assert pues[0] > pues[1]
+        assert breakdown.pue_delta == pytest.approx(pues[0] - pues[1])
+
+
+class TestCoolingPlant:
+    def test_replace_cooling(self):
+        plant = PAPER_CLUSTER_PLANT.replace_cooling("fans", {"fans": 2.0})
+        assert plant.cooling_total_kw == 2.0
+        assert plant.it_load_kw == 75.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CoolingPlant(name="bad", it_load_kw=0.0, cooling_components_kw=())
+        with pytest.raises(ValueError):
+            CoolingPlant(
+                name="bad", it_load_kw=10.0,
+                cooling_components_kw=(("crac", -1.0),),
+            )
+
+    def test_zero_cooling_savings(self):
+        plant = PAPER_CLUSTER_PLANT.replace_cooling("none", {})
+        assert plant.cooling_energy_savings_vs(FREE_AIR_PLANT) == 0.0
+        assert plant.pue == pytest.approx(1.0)

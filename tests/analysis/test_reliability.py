@@ -1,0 +1,153 @@
+"""Tests for the reliability statistics."""
+
+import pytest
+
+from repro.analysis.reliability import (
+    Lifetime,
+    SurvivalPoint,
+    kaplan_meier,
+    lifetimes_from_results,
+    mtbf_hours,
+    rates_are_consistent,
+    wilson_interval,
+)
+from repro.sim.clock import DAY
+
+
+class TestWilsonInterval:
+    def test_paper_census_interval(self):
+        # 1 failure in 18 hosts: the interval is wide and contains both
+        # the paper's 5.6 % and Intel's 4.46 % -- the statistical meaning
+        # of "a comparable rate".
+        lo, hi = wilson_interval(1, 18)
+        assert lo < 0.0446 < hi
+        assert lo < 0.056 < hi
+
+    def test_zero_failures_interval_starts_at_zero(self):
+        lo, hi = wilson_interval(0, 18)
+        assert lo == 0.0
+        assert 0.0 < hi < 0.25
+
+    def test_all_failures_interval_ends_at_one(self):
+        lo, hi = wilson_interval(18, 18)
+        assert hi == 1.0
+        assert 0.75 < lo < 1.0
+
+    def test_interval_narrows_with_more_hosts(self):
+        lo_small, hi_small = wilson_interval(10, 180)
+        lo_big, hi_big = wilson_interval(100, 1800)
+        assert (hi_big - lo_big) < (hi_small - lo_small)
+
+    def test_interval_contains_point_estimate(self):
+        lo, hi = wilson_interval(3, 20)
+        assert lo < 3 / 20 < hi
+
+    def test_higher_confidence_wider(self):
+        lo95, hi95 = wilson_interval(1, 18, confidence=0.95)
+        lo99, hi99 = wilson_interval(1, 18, confidence=0.99)
+        assert (hi99 - lo99) > (hi95 - lo95)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+        with pytest.raises(ValueError):
+            wilson_interval(1, 18, confidence=0.42)
+
+
+class TestRateComparison:
+    def test_paper_vs_intel_is_consistent(self):
+        # 1/18 vs Intel's 4.46 % of ~900 blades: not distinguishable.
+        assert rates_are_consistent(1, 18, 40, 896)
+
+    def test_wildly_different_rates_inconsistent(self):
+        assert not rates_are_consistent(15, 18, 40, 896)
+
+    def test_identical_zero_rates_consistent(self):
+        assert rates_are_consistent(0, 18, 0, 896)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rates_are_consistent(0, 0, 1, 10)
+
+
+class TestMtbf:
+    def test_simple_ratio(self):
+        assert mtbf_hours(7200.0 * 10, 2) == pytest.approx(10.0)
+
+    def test_no_failures_yet(self):
+        assert mtbf_hours(1e6, 0) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mtbf_hours(-1.0, 1)
+        with pytest.raises(ValueError):
+            mtbf_hours(1.0, -1)
+
+
+class TestKaplanMeier:
+    def test_no_failures_flat_curve(self):
+        lifetimes = [Lifetime(i, 100.0 * DAY, failed=False) for i in range(5)]
+        assert kaplan_meier(lifetimes) == []
+
+    def test_single_failure_steps_once(self):
+        lifetimes = [
+            Lifetime(1, 10.0, failed=True),
+            Lifetime(2, 20.0, failed=False),
+            Lifetime(3, 20.0, failed=False),
+        ]
+        points = kaplan_meier(lifetimes)
+        assert len(points) == 1
+        assert points[0].survival == pytest.approx(2.0 / 3.0)
+        assert points[0].at_risk == 3
+
+    def test_censoring_reduces_risk_set(self):
+        lifetimes = [
+            Lifetime(1, 10.0, failed=False),  # censored before the failure
+            Lifetime(2, 20.0, failed=True),
+            Lifetime(3, 30.0, failed=False),
+        ]
+        points = kaplan_meier(lifetimes)
+        # At t=20 only hosts 2 and 3 are at risk.
+        assert points[0].at_risk == 2
+        assert points[0].survival == pytest.approx(0.5)
+
+    def test_survival_non_increasing(self):
+        lifetimes = [Lifetime(i, float(i), failed=i % 2 == 0) for i in range(1, 20)]
+        points = kaplan_meier(lifetimes)
+        values = [p.survival for p in points]
+        assert values == sorted(values, reverse=True)
+
+    def test_empty_input(self):
+        assert kaplan_meier([]) == []
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Lifetime(1, -1.0, failed=True)
+
+
+class TestFromResults:
+    def test_one_observation_per_installed_host(self, short_results):
+        lifetimes = lifetimes_from_results(short_results)
+        installed = [
+            hid
+            for hid in short_results.tent_host_ids()
+            + short_results.basement_host_ids()
+            if short_results.fleet.host(hid).installed_at is not None
+        ]
+        assert len(lifetimes) == len(installed)
+
+    def test_survivors_censored_at_end(self, short_results):
+        lifetimes = lifetimes_from_results(short_results)
+        for lt in lifetimes:
+            host = short_results.fleet.host(lt.host_id)
+            if not lt.failed:
+                expected = short_results.end_time - host.installed_at
+                assert lt.duration_s == pytest.approx(expected)
+
+    def test_full_campaign_has_failures(self, full_results):
+        lifetimes = lifetimes_from_results(full_results)
+        assert any(lt.failed for lt in lifetimes)
+        points = kaplan_meier(lifetimes)
+        assert points and points[-1].survival < 1.0

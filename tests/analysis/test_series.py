@@ -1,0 +1,151 @@
+"""Tests for the TimeSeries container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.series import TimeSeries
+from repro.sim.clock import DAY, HOUR, SimClock
+
+
+def make_series(n=10, start=0.0, step=600.0, values=None):
+    times = start + step * np.arange(n)
+    if values is None:
+        values = np.sin(np.arange(n))
+    return TimeSeries(times, np.asarray(values, dtype=float))
+
+
+class TestConstruction:
+    def test_parallel_arrays(self):
+        ts = make_series(5)
+        assert len(ts) == 5
+        assert not ts.empty
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            TimeSeries(np.arange(3.0), np.arange(4.0))
+
+    def test_non_increasing_times_rejected(self):
+        with pytest.raises(ValueError):
+            TimeSeries(np.array([0.0, 2.0, 1.0]), np.zeros(3))
+
+    def test_duplicate_times_rejected(self):
+        with pytest.raises(ValueError):
+            TimeSeries(np.array([0.0, 1.0, 1.0]), np.zeros(3))
+
+    def test_from_pairs(self):
+        ts = TimeSeries.from_pairs([(0.0, 1.0), (60.0, 2.0)])
+        assert list(ts) == [(0.0, 1.0), (60.0, 2.0)]
+
+    def test_from_empty_pairs(self):
+        assert TimeSeries.from_pairs([]).empty
+
+
+class TestStatistics:
+    def test_min_max_mean_std(self):
+        ts = make_series(values=[1.0, 2.0, 3.0, 4.0], n=4)
+        assert ts.min() == 1.0
+        assert ts.max() == 4.0
+        assert ts.mean() == 2.5
+        assert ts.std() == pytest.approx(np.std([1, 2, 3, 4]))
+
+    def test_empty_statistics_raise(self):
+        empty = TimeSeries(np.zeros(0), np.zeros(0))
+        for op in (empty.min, empty.max, empty.mean, empty.std):
+            with pytest.raises(ValueError):
+                op()
+
+
+class TestSelection:
+    def test_window_half_open(self):
+        ts = make_series(n=5, step=10.0)
+        window = ts.window(10.0, 30.0)
+        assert list(window.times) == [10.0, 20.0]
+
+    def test_window_end_before_start_rejected(self):
+        with pytest.raises(ValueError):
+            make_series().window(10.0, 0.0)
+
+    def test_where_mask(self):
+        ts = make_series(n=4, values=[1.0, -1.0, 2.0, -2.0])
+        positive = ts.where(ts.values > 0)
+        assert list(positive.values) == [1.0, 2.0]
+
+    def test_where_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            make_series(n=4).where(np.array([True, False]))
+
+
+class TestResample:
+    def test_interpolates_linearly(self):
+        ts = TimeSeries(np.array([0.0, 10.0]), np.array([0.0, 10.0]))
+        out = ts.resample(np.array([5.0]))
+        assert out.values[0] == pytest.approx(5.0)
+
+    def test_grid_outside_span_rejected(self):
+        ts = make_series(n=3, step=10.0)
+        with pytest.raises(ValueError):
+            ts.resample(np.array([-5.0]))
+
+
+class TestRollingMean:
+    def test_constant_series_unchanged(self):
+        ts = make_series(n=20, values=np.full(20, 3.0))
+        smoothed = ts.rolling_mean(HOUR)
+        assert np.allclose(smoothed.values, 3.0)
+
+    def test_smooths_alternating_series(self):
+        values = np.tile([0.0, 10.0], 50)
+        ts = TimeSeries(600.0 * np.arange(100), values)
+        smoothed = ts.rolling_mean(2 * HOUR)
+        assert smoothed.values[10:-10].std() < ts.values.std() / 2
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            make_series().rolling_mean(0.0)
+
+    @given(st.lists(st.floats(min_value=-50.0, max_value=50.0), min_size=2, max_size=40))
+    @settings(max_examples=100, deadline=None)
+    def test_rolling_mean_bounded_by_extremes(self, values):
+        ts = TimeSeries(60.0 * np.arange(len(values)), np.array(values))
+        smoothed = ts.rolling_mean(10 * 60.0)
+        assert smoothed.values.min() >= min(values) - 1e-9
+        assert smoothed.values.max() <= max(values) + 1e-9
+
+
+class TestDailyAggregate:
+    def test_daily_min(self):
+        clock = SimClock()
+        times = np.array([0.0, HOUR, DAY, DAY + HOUR])
+        values = np.array([5.0, 3.0, 10.0, 20.0])
+        ts = TimeSeries(times, values)
+        daily = ts.daily_aggregate(clock, np.min)
+        assert list(daily.times) == [0.0, DAY]
+        assert list(daily.values) == [3.0, 10.0]
+
+    def test_days_without_samples_skipped(self):
+        clock = SimClock()
+        ts = TimeSeries(np.array([0.0, 3 * DAY]), np.array([1.0, 2.0]))
+        daily = ts.daily_aggregate(clock, np.mean)
+        assert list(daily.times) == [0.0, 3 * DAY]
+
+
+class TestAlignedDifference:
+    def test_difference_on_shared_span(self):
+        a = TimeSeries(np.array([0.0, 10.0, 20.0]), np.array([5.0, 6.0, 7.0]))
+        b = TimeSeries(np.array([0.0, 20.0]), np.array([1.0, 3.0]))
+        diff = a.aligned_difference(b)
+        assert list(diff.values) == pytest.approx([4.0, 4.0, 4.0])
+
+    def test_non_overlapping_rejected(self):
+        a = TimeSeries(np.array([0.0, 1.0]), np.zeros(2))
+        b = TimeSeries(np.array([100.0, 101.0]), np.zeros(2))
+        with pytest.raises(ValueError):
+            a.aligned_difference(b)
+
+    def test_clips_to_overlap(self):
+        a = TimeSeries(np.array([0.0, 10.0, 20.0, 30.0]), np.ones(4))
+        b = TimeSeries(np.array([10.0, 20.0]), np.zeros(2))
+        diff = a.aligned_difference(b)
+        assert list(diff.times) == [10.0, 20.0]

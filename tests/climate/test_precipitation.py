@@ -1,0 +1,90 @@
+"""Tests for the precipitation process and its enclosure coupling."""
+
+import numpy as np
+import pytest
+
+from repro.climate.generator import WeatherGenerator, WeatherSample
+from repro.climate.profiles import HELSINKI_2010
+from repro.sim.clock import HOUR, SimClock
+from repro.sim.rng import RngStreams
+from repro.thermal.enclosure import BasementMachineRoom, OutdoorAmbient, PlasticBoxShelter
+from repro.thermal.tent import Tent
+
+
+@pytest.fixture(scope="module")
+def weather():
+    return WeatherGenerator(HELSINKI_2010, RngStreams(7))
+
+
+@pytest.fixture(scope="module")
+def campaign_times():
+    clock = SimClock()
+    return np.arange(clock.at(2010, 2, 12), clock.at(2010, 5, 12), HOUR)
+
+
+class TestPrecipitationProcess:
+    def test_non_negative_everywhere(self, weather, campaign_times):
+        assert np.all(np.asarray(weather.precipitation(campaign_times)) >= 0.0)
+
+    def test_it_does_precipitate_in_a_finnish_winter(self, weather, campaign_times):
+        precip = np.asarray(weather.precipitation(campaign_times))
+        wet_fraction = (precip > 0.0).mean()
+        assert 0.02 < wet_fraction < 0.5
+
+    def test_precipitation_requires_cloud(self, weather, campaign_times):
+        precip = np.asarray(weather.precipitation(campaign_times))
+        cloud = np.asarray(weather.cloud_fraction(campaign_times))
+        assert np.all(cloud[precip > 0.1] > 0.6)
+
+    def test_snow_flag_follows_temperature(self, weather, campaign_times):
+        snowy = 0
+        for t in campaign_times:
+            sample = weather.sample(float(t))
+            if sample.precip_mm_h > 0.0 and sample.snowing:
+                snowy += 1
+                assert sample.temp_c <= 0.5
+                if snowy >= 20:
+                    break
+        assert snowy > 0  # February in Helsinki snows
+
+    def test_sample_validation(self):
+        with pytest.raises(ValueError):
+            WeatherSample(
+                time=0.0, temp_c=0.0, dewpoint_c=-1.0, rh_percent=90.0,
+                wind_ms=1.0, solar_wm2=0.0, cloud_fraction=0.9, precip_mm_h=-1.0,
+            )
+
+
+class TestEnclosureProtection:
+    def find_wet_instant(self, weather, campaign_times):
+        for t in campaign_times:
+            if float(weather.precipitation(float(t))) > 0.3:
+                return float(t)
+        pytest.skip("no precipitation at this seed")
+
+    def test_bare_sky_passes_everything(self, weather, campaign_times):
+        t = self.find_wet_instant(weather, campaign_times)
+        outdoors = OutdoorAmbient("outside", weather)
+        outdoors.advance(t)
+        assert outdoors.intake_precip_mm_h == pytest.approx(
+            float(weather.precipitation(t))
+        )
+
+    def test_tent_keeps_hardware_dry(self, weather, campaign_times):
+        t = self.find_wet_instant(weather, campaign_times)
+        tent = Tent("tent", weather)
+        tent.advance(t)
+        assert tent.intake_precip_mm_h == 0.0
+
+    def test_basement_keeps_hardware_dry(self, weather, campaign_times):
+        t = self.find_wet_instant(weather, campaign_times)
+        basement = BasementMachineRoom("basement", weather)
+        basement.advance(t)
+        assert basement.intake_precip_mm_h == 0.0
+
+    def test_plastic_boxes_leak_a_sliver(self, weather, campaign_times):
+        t = self.find_wet_instant(weather, campaign_times)
+        shelter = PlasticBoxShelter("boxes", weather)
+        shelter.advance(t)
+        full = float(weather.precipitation(t))
+        assert 0.0 < shelter.intake_precip_mm_h < 0.1 * full

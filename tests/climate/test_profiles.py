@@ -1,0 +1,99 @@
+"""Tests for climate calibration profiles."""
+
+import datetime as dt
+
+import pytest
+
+from repro.climate.profiles import HELSINKI_2010, ClimateProfile, ColdSnap
+
+
+def make_profile(**overrides):
+    base = dict(
+        name="test",
+        anchors=(
+            (dt.datetime(2010, 2, 1), -8.0),
+            (dt.datetime(2010, 3, 1), -4.0),
+            (dt.datetime(2010, 4, 1), 2.0),
+        ),
+    )
+    base.update(overrides)
+    return ClimateProfile(**base)
+
+
+class TestValidation:
+    def test_needs_two_anchors(self):
+        with pytest.raises(ValueError):
+            make_profile(anchors=((dt.datetime(2010, 2, 1), -8.0),))
+
+    def test_anchors_must_be_sorted(self):
+        with pytest.raises(ValueError):
+            make_profile(
+                anchors=(
+                    (dt.datetime(2010, 3, 1), -4.0),
+                    (dt.datetime(2010, 2, 1), -8.0),
+                )
+            )
+
+    def test_correlation_times_positive(self):
+        with pytest.raises(ValueError):
+            make_profile(synoptic_corr_hours=0.0)
+
+    def test_cold_snap_depth_must_be_magnitude(self):
+        with pytest.raises(ValueError):
+            ColdSnap(peak=dt.datetime(2010, 2, 21), depth_c=-5.0)
+
+    def test_cold_snap_sigma_positive(self):
+        with pytest.raises(ValueError):
+            ColdSnap(peak=dt.datetime(2010, 2, 21), depth_c=5.0, sigma_days=0.0)
+
+
+class TestSeasonalMean:
+    def test_interpolates_at_anchor(self):
+        profile = make_profile()
+        assert profile.seasonal_mean(dt.datetime(2010, 3, 1)) == pytest.approx(-4.0)
+
+    def test_interpolates_between_anchors(self):
+        profile = make_profile()
+        # Halfway Feb 1 -> Mar 1 (14 days of 28).
+        mid = dt.datetime(2010, 2, 15)
+        assert profile.seasonal_mean(mid) == pytest.approx(-6.0, abs=0.01)
+
+    def test_clamps_before_first_anchor(self):
+        profile = make_profile()
+        assert profile.seasonal_mean(dt.datetime(2010, 1, 1)) == -8.0
+
+    def test_clamps_after_last_anchor(self):
+        profile = make_profile()
+        assert profile.seasonal_mean(dt.datetime(2010, 6, 1)) == 2.0
+
+    def test_start_end_properties(self):
+        profile = make_profile()
+        assert profile.start == dt.datetime(2010, 2, 1)
+        assert profile.end == dt.datetime(2010, 4, 1)
+
+
+class TestHelsinki2010:
+    def test_covers_the_campaign(self):
+        assert HELSINKI_2010.start <= dt.datetime(2010, 2, 12)
+        assert HELSINKI_2010.end >= dt.datetime(2010, 5, 12)
+
+    def test_prototype_weekend_anchor(self):
+        # Section 3.1: the prototype weekend averaged -9.2 degC.
+        mean = HELSINKI_2010.seasonal_mean(dt.datetime(2010, 2, 13))
+        assert -10.0 < mean < -8.5
+
+    def test_has_the_minus_22_snap(self):
+        feb_snaps = [s for s in HELSINKI_2010.cold_snaps if s.peak.month == 2]
+        assert feb_snaps, "the late-February -22 degC episode must be scripted"
+        # Seasonal (~ -9) minus depth must land near -20 before noise.
+        snap = feb_snaps[0]
+        base = HELSINKI_2010.seasonal_mean(snap.peak)
+        assert base - snap.depth_c < -17.0
+
+    def test_spring_warms_up(self):
+        feb = HELSINKI_2010.seasonal_mean(dt.datetime(2010, 2, 15))
+        may = HELSINKI_2010.seasonal_mean(dt.datetime(2010, 5, 10))
+        assert may > feb + 10.0
+
+    def test_helsinki_latitude(self):
+        assert HELSINKI_2010.latitude_deg == pytest.approx(60.2)

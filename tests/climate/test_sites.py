@@ -1,0 +1,81 @@
+"""Tests for the multi-site climate profiles."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.climate.generator import WeatherGenerator
+from repro.climate.sites import (
+    ALL_SITES,
+    HELSINKI_FULL_YEAR,
+    NE_ENGLAND_FULL_YEAR,
+    NEW_MEXICO_FULL_YEAR,
+    SINGAPORE_FULL_YEAR,
+    _monthly_anchors,
+)
+from repro.sim.clock import HOUR, SimClock
+from repro.sim.rng import RngStreams
+
+
+def annual_temps(profile, seed=3):
+    clock = SimClock(profile.start)
+    weather = WeatherGenerator(profile, RngStreams(seed), clock)
+    times = np.arange(weather.start_time, weather.end_time, 6 * HOUR)
+    return np.asarray(weather.temperature(times))
+
+
+class TestMonthlyAnchors:
+    def test_fourteen_anchor_points(self):
+        anchors = _monthly_anchors(2010, list(range(12)))
+        assert len(anchors) == 14
+        assert anchors[0][0] == dt.datetime(2010, 1, 1)
+        assert anchors[-1][0] == dt.datetime(2011, 1, 1)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            _monthly_anchors(2010, [0.0] * 11)
+
+    def test_ends_clamped_to_adjacent_months(self):
+        anchors = _monthly_anchors(2010, [5.0] + [0.0] * 10 + [7.0])
+        assert anchors[0][1] == 5.0
+        assert anchors[-1][1] == 7.0
+
+
+class TestSiteCharacter:
+    def test_all_sites_cover_a_full_year(self):
+        for site in ALL_SITES:
+            assert (site.end - site.start).days >= 364
+
+    def test_helsinki_has_a_cold_winter(self):
+        temps = annual_temps(HELSINKI_FULL_YEAR)
+        assert temps.min() < -15.0
+
+    def test_helsinki_summer_is_warm(self):
+        # 2010's July heat wave: the follow-up campaign's stress case.
+        temps = annual_temps(HELSINKI_FULL_YEAR)
+        assert temps.max() > 20.0
+
+    def test_new_mexico_is_a_high_desert(self):
+        profile = NEW_MEXICO_FULL_YEAR
+        # Big diurnal swing and very dry air are what made Intel's
+        # economizer viable there.
+        assert profile.diurnal_amplitude_c > 2 * HELSINKI_FULL_YEAR.diurnal_amplitude_c
+        assert profile.dewpoint_depression_mean_c > 10.0
+
+    def test_new_mexico_summers_exceed_intake_ceilings(self):
+        temps = annual_temps(NEW_MEXICO_FULL_YEAR)
+        assert temps.max() > 28.0
+
+    def test_ne_england_is_mild_maritime(self):
+        temps = annual_temps(NE_ENGLAND_FULL_YEAR)
+        assert temps.min() > -12.0
+        assert temps.max() < 28.0
+
+    def test_singapore_never_cools_down(self):
+        temps = annual_temps(SINGAPORE_FULL_YEAR)
+        assert temps.min() > 18.0
+
+    def test_site_names_distinct(self):
+        names = [s.name for s in ALL_SITES]
+        assert len(set(names)) == len(names)

@@ -1,0 +1,126 @@
+"""Tests for the weather-generator validation battery."""
+
+import numpy as np
+import pytest
+
+from repro.climate.profiles import HELSINKI_2010
+from repro.climate.sites import NEW_MEXICO_FULL_YEAR, SINGAPORE_FULL_YEAR
+from repro.climate.validation import (
+    autocorrelation_time_hours,
+    diurnal_cycle,
+    seasonal_trend_c_per_day,
+    validate_profile,
+)
+from repro.sim.clock import DAY, HOUR, SimClock
+
+
+class TestDiurnalCycle:
+    def test_recovers_pure_cosine(self):
+        clock = SimClock()
+        times = np.arange(0.0, 30 * DAY, HOUR)
+        hours = np.array([clock.hour_of_day(t) for t in times])
+        temps = 5.0 * np.cos(2 * np.pi * (hours - 14.0) / 24.0)
+        amplitude, peak = diurnal_cycle(times, temps, clock)
+        assert amplitude == pytest.approx(5.0, rel=0.05)
+        assert peak == pytest.approx(14.0, abs=0.5)
+
+    def test_trend_does_not_corrupt_amplitude(self):
+        clock = SimClock()
+        times = np.arange(0.0, 30 * DAY, HOUR)
+        hours = np.array([clock.hour_of_day(t) for t in times])
+        temps = 3.0 * np.cos(2 * np.pi * (hours - 15.0) / 24.0) + times / DAY * 0.3
+        amplitude, peak = diurnal_cycle(times, temps, clock)
+        assert amplitude == pytest.approx(3.0, rel=0.1)
+
+    def test_needs_two_days(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            diurnal_cycle(np.arange(10.0), np.arange(10.0), clock)
+
+
+class TestAutocorrelationTime:
+    def test_recovers_ar1_scale(self):
+        rng = np.random.default_rng(5)
+        corr_steps = 48.0
+        rho = np.exp(-1.0 / corr_steps)
+        n = 20_000
+        x = np.empty(n)
+        x[0] = rng.normal()
+        for i in range(1, n):
+            x[i] = rho * x[i - 1] + np.sqrt(1 - rho * rho) * rng.normal()
+        times = HOUR * np.arange(n)
+        recovered = autocorrelation_time_hours(times, x, max_lag_hours=400.0)
+        assert recovered == pytest.approx(48.0, rel=0.3)
+
+    def test_irregular_sampling_rejected(self):
+        with pytest.raises(ValueError):
+            autocorrelation_time_hours(
+                np.array([0.0, 1.0, 3.0, 7.0] * 5), np.arange(20.0)
+            )
+
+    def test_constant_series_rejected(self):
+        with pytest.raises(ValueError):
+            autocorrelation_time_hours(HOUR * np.arange(100.0), np.ones(100))
+
+
+class TestSeasonalTrend:
+    def test_recovers_linear_warming(self):
+        times = np.arange(0.0, 60 * DAY, HOUR)
+        temps = -9.0 + 0.2 * times / DAY
+        assert seasonal_trend_c_per_day(times, temps) == pytest.approx(0.2, rel=0.01)
+
+
+class TestValidateProfile:
+    def test_helsinki_winter_structure_recovered(self):
+        report = validate_profile(HELSINKI_2010, seed=0)
+        assert report.diurnal_recovered
+        # Winter -> spring: the campaign warms a fifth of a degree a day.
+        assert 0.05 < report.recovered_trend_c_per_day < 0.5
+        # Synoptic persistence in the multi-day band.
+        assert 20.0 < report.recovered_corr_hours < 300.0
+
+    def test_desert_diurnal_amplitude_larger_than_maritime(self):
+        desert = validate_profile(NEW_MEXICO_FULL_YEAR, seed=0, span_days=120)
+        tropics = validate_profile(SINGAPORE_FULL_YEAR, seed=0, span_days=120)
+        assert (
+            desert.recovered_diurnal_amplitude_c
+            > 1.5 * tropics.recovered_diurnal_amplitude_c
+        )
+
+    def test_afternoon_peak_everywhere(self):
+        for profile in (HELSINKI_2010, NEW_MEXICO_FULL_YEAR):
+            report = validate_profile(profile, seed=1, span_days=90)
+            assert 11.0 <= report.recovered_peak_hour <= 19.0
+
+
+class TestDominantPeriod:
+    def test_pure_daily_cycle_found(self):
+        from repro.climate.validation import dominant_period_hours
+
+        times = HOUR * np.arange(24 * 30)
+        values = np.cos(2 * np.pi * times / (24 * HOUR))
+        period = dominant_period_hours(times, values)
+        assert period == pytest.approx(24.0, rel=0.1)
+
+    def test_generated_weather_is_diurnal(self):
+        from repro.climate.generator import WeatherGenerator
+        from repro.climate.validation import dominant_period_hours
+        from repro.sim.rng import RngStreams
+
+        weather = WeatherGenerator(HELSINKI_2010, RngStreams(4))
+        clock = SimClock()
+        times = np.arange(clock.at(2010, 4, 1), clock.at(2010, 5, 1), HOUR)
+        solar = np.asarray(weather.solar_irradiance(times))
+        assert dominant_period_hours(times, solar) == pytest.approx(24.0, rel=0.1)
+
+    def test_irregular_sampling_rejected(self):
+        from repro.climate.validation import dominant_period_hours
+
+        with pytest.raises(ValueError):
+            dominant_period_hours(np.array([0.0, 1.0, 5.0] * 5), np.arange(15.0))
+
+    def test_too_short_rejected(self):
+        from repro.climate.validation import dominant_period_hours
+
+        with pytest.raises(ValueError):
+            dominant_period_hours(np.arange(4.0), np.arange(4.0))

@@ -1,0 +1,152 @@
+"""End-to-end assertions over the full Feb-May campaign.
+
+These tests check the *shape* of the paper's findings at the default
+seed: who failed, by roughly what rate, and which instruments saw what.
+"""
+
+import pytest
+
+from repro.analysis.failures import find_common_cause_clusters
+from repro.hardware.faults import FaultKind
+from repro.hardware.host import HostState
+
+
+class TestSnapshotCensus:
+    def test_snapshot_taken_at_paper_date(self, full_results):
+        snapshot = full_results.snapshot
+        assert snapshot is not None
+        assert full_results.clock.format(snapshot.time).startswith("2010-03-27")
+
+    def test_failure_rate_comparable_to_paper(self, full_results):
+        # Paper: 1/18 = 5.6 %; Intel: 4.46 %.  Shape: low single digits,
+        # not a cold-driven massacre.
+        snapshot = full_results.snapshot
+        assert 0.0 <= snapshot.failure_rate_percent <= 17.0
+
+    def test_control_group_clean_at_snapshot(self, full_results):
+        # "None of the hosts in the control group have failed yet."
+        assert full_results.snapshot.basement_failed <= 1
+
+    def test_failed_hosts_are_the_defective_series(self, full_results):
+        for host_id in full_results.snapshot.failed_host_ids:
+            host = full_results.fleet.host(host_id)
+            assert host.spec.vendor_id == "B", (
+                "at the default seed, snapshot failures should come from "
+                "the known-unreliable SFF series"
+            )
+
+
+class TestWrongHashes:
+    def test_wrong_hash_rate_matches_paper_ballpark(self, full_results):
+        # Paper: 5 / 27,627 ~ 1.8e-4 per run.
+        ratio = full_results.ledger.wrong_hash_ratio
+        assert 0.3e-4 < ratio < 6.0e-4
+
+    def test_only_non_ecc_hosts_report_wrong_hashes(self, full_results):
+        for host_id in full_results.ledger.hosts_with_wrong_hashes():
+            assert not full_results.fleet.host(host_id).spec.ecc_memory
+
+    def test_ecc_hosts_still_see_corrected_faults_eventually(self, full_results):
+        ecc_hosts = [
+            h for h in full_results.fleet.hosts.values() if h.spec.ecc_memory
+        ]
+        assert all(h.memory.uncorrected_fault_count == 0 for h in ecc_hosts)
+
+    def test_stored_archives_have_few_corrupted_blocks(self, full_results):
+        # Section 4.2.2: single block of 396 corrupted.
+        for archive in full_results.ledger.stored_archives:
+            assert archive.block_count == 396
+            assert 1 <= len(archive.corrupted_blocks) <= 2
+
+    def test_memory_error_ratio_within_factor_of_paper(self, full_results):
+        estimate = full_results.memory_error_estimate()
+        assert estimate.within_factor_of_paper(factor=4.0)
+
+
+class TestFaultNarrative:
+    def test_host_15_story(self, full_results):
+        # Two failures -> taken indoors -> replaced by #19 in the tent.
+        policy = full_results.policy
+        assert policy.replacements
+        _, old_id, new_id = policy.replacements[0]
+        assert new_id == 19
+        replaced = full_results.fleet.host(old_id)
+        assert replaced.enclosure is full_results.fleet.indoors
+        assert full_results.fleet.host(19).installed_at is not None
+        # "A standard Memtest86+ run caused another system failure."
+        assert policy.memtest_verdicts[old_id] is False
+
+    def test_sensor_chip_latched_during_cold_snap(self, full_results):
+        latched = [
+            h for h in full_results.fleet.hosts.values() if h.sensor.ever_latched
+        ]
+        assert latched, "the -22 degC episode should latch at least one chip"
+        for host in latched:
+            when = full_results.clock.to_datetime(host.sensor.latch_time)
+            assert when.month == 2, "latch should happen in the February snap"
+
+    def test_sensor_recovered_by_warm_reboot(self, full_results):
+        # "After a week, we risked a warm system reboot, which caused the
+        # sensor chip to work again."
+        from repro.hardware.sensors import SensorState
+
+        for host in full_results.fleet.hosts.values():
+            if host.sensor.ever_latched and host.running:
+                assert host.sensor.state is SensorState.OK
+
+    def test_erroneous_readings_collected(self, full_results):
+        assert len(full_results.monitoring.erroneous_readings()) > 0
+
+    def test_both_tent_switches_failed(self, full_results):
+        assert all(not s.operational for s in full_results.fleet.tent_switches)
+        switch_events = full_results.fault_log.of_kind(FaultKind.SWITCH)
+        assert len(switch_events) >= 2
+
+    def test_spare_switch_manifested_identical_failure(self, full_results):
+        assert full_results.policy.spare_bench_result is False
+
+    def test_no_environmental_common_cause(self, full_results):
+        # Research question 3: the cold never kills several hosts at once.
+        # (The 13-week campaign may produce the odd coincidental pairing of
+        # independent spring-time transients; what must NOT happen is a
+        # cluster during sub-zero weather.)
+        clusters = find_common_cause_clusters(
+            full_results.fault_log.events, window_hours=48.0
+        )
+        assert len(clusters) <= 1
+        outside = full_results.outside_temperature()
+        for cluster in clusters:
+            for event in cluster.events:
+                window = outside.window(event.time - 3600.0, event.time + 3600.0)
+                assert window.mean() > 0.0, (
+                    "a common-cause cluster coincided with sub-zero weather"
+                )
+
+
+class TestConditions:
+    def test_outside_minimum_near_minus_22(self, full_results):
+        assert full_results.outside_temperature().min() == pytest.approx(-22.0, abs=3.5)
+
+    def test_tent_stays_warmer_than_outside_on_average(self, full_results):
+        from repro.analysis.figures import fig3_temperatures
+
+        excess = fig3_temperatures(full_results).inside_excess()
+        assert excess.mean() > 2.0
+        assert excess.min() > -2.0
+
+    def test_high_rh_episodes_survived(self, full_results):
+        # Section 5: RH above 80-90 % was "not a certified cause" of failure.
+        outside_rh = full_results.outside_humidity()
+        assert (outside_rh.values > 85.0).mean() > 0.05
+
+    def test_powermeter_tracks_tent_load(self, full_results):
+        meter = full_results.powermeter
+        assert meter.energy_kwh > 100.0  # ~0.9 kW for weeks
+        assert 400.0 < meter.watts_series()[-1] < 1400.0
+
+    def test_most_hosts_survived_the_winter(self, full_results):
+        running = [
+            h for h in full_results.fleet.hosts.values()
+            if h.state is HostState.RUNNING
+        ]
+        assert len(running) >= 15

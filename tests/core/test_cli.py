@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.seed == 7
+        assert args.until is None
+        assert not args.report
+
+    def test_run_until_parses_date(self):
+        args = build_parser().parse_args(["run", "--until", "2010-03-01"])
+        assert args.until.month == 3
+
+    def test_bad_date_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--until", "March 1st"])
+
+    def test_sites_intake_limit(self):
+        args = build_parser().parse_args(["sites", "--intake-limit", "30"])
+        assert args.intake_limit == 30.0
+
+
+class TestCommands:
+    def test_pue_prints_the_paper_number(self, capsys):
+        assert main(["pue"]) == 0
+        out = capsys.readouterr().out
+        assert "1.74" in out
+
+    def test_sites_ranks_helsinki_over_singapore(self, capsys):
+        assert main(["sites"]) == 0
+        out = capsys.readouterr().out
+        assert out.index("helsinki") < out.index("singapore")
+
+    def test_run_truncated_prints_summary(self, capsys):
+        assert main(["run", "--until", "2010-02-22", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Prototype" in out
+        assert "Workload" in out
+
+    def test_run_report_mode(self, capsys):
+        assert main(["run", "--until", "2010-02-22", "--report"]) == 0
+        out = capsys.readouterr().out
+        assert "PUE of the new cluster" in out
+
+
+class TestExportCommand:
+    def test_export_writes_flat_files(self, tmp_path, capsys):
+        assert main(["export", str(tmp_path / "dump"), "--until", "2010-02-22"]) == 0
+        out = capsys.readouterr().out
+        assert "meta.json" in out
+        assert (tmp_path / "dump" / "outside_temperature.csv").exists()
+        assert (tmp_path / "dump" / "faults.tsv").exists()

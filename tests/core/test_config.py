@@ -1,0 +1,134 @@
+"""Tests for the experiment configuration."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.config import (
+    ExperimentConfig,
+    HostPlan,
+    paper_host_plans,
+    paper_modification_plans,
+)
+from repro.thermal.tent import Modification
+
+
+class TestPaperHostPlans:
+    def test_eighteen_installed_plus_one_spare(self):
+        plans = paper_host_plans()
+        assert len(plans) == 19
+        assert sum(1 for p in plans if p.group == "spare") == 1
+
+    def test_nine_per_group(self):
+        # "yielding a symmetric nine hosts in the basement and nine in the tent"
+        plans = paper_host_plans()
+        assert sum(1 for p in plans if p.group == "tent") == 9
+        assert sum(1 for p in plans if p.group == "basement") == 9
+
+    def test_vendor_mix_matches_paper(self):
+        # "ten hosts from vendor A, four from B, and four from C" (+1 B spare)
+        plans = paper_host_plans()
+        installed = [p for p in plans if p.group != "spare"]
+        by_vendor = {}
+        for p in installed:
+            by_vendor[p.vendor_id] = by_vendor.get(p.vendor_id, 0) + 1
+        assert by_vendor == {"A": 10, "B": 4, "C": 4}
+
+    def test_pairwise_twins_are_identical_and_synchronised(self):
+        # "Computers are thus installed pairwise so that identical units are
+        # placed into the control group ... and the test group ..."
+        plans = {p.host_id: p for p in paper_host_plans()}
+        for plan in plans.values():
+            if plan.twin_id is None:
+                continue
+            twin = plans[plan.twin_id]
+            assert twin.twin_id == plan.host_id
+            assert twin.vendor_id == plan.vendor_id
+            assert twin.install_date == plan.install_date
+            assert {plan.group, twin.group} == {"tent", "basement"}
+
+    def test_host_15_is_a_vendor_b_tent_host(self):
+        plan = next(p for p in paper_host_plans() if p.host_id == 15)
+        assert plan.vendor_id == "B"
+        assert plan.group == "tent"
+
+    def test_replacement_19_is_vendor_b_spare(self):
+        plan = next(p for p in paper_host_plans() if p.host_id == 19)
+        assert plan.vendor_id == "B"
+        assert plan.group == "spare"
+        assert plan.install_date is None
+
+    def test_install_dates_span_feb19_to_mar13(self):
+        dates = [p.install_date for p in paper_host_plans() if p.install_date]
+        assert min(dates).date() == dt.date(2010, 2, 19)
+        assert max(dates).date() == dt.date(2010, 3, 13)
+
+
+class TestModificationPlans:
+    def test_letters_in_paper_order(self):
+        letters = [p.modification.letter for p in paper_modification_plans()]
+        # Fig. 3 order of appearance R, I, B, F; the door came last.
+        assert letters == ["R", "I", "B", "F", "D"]
+
+    def test_dates_ascending(self):
+        dates = [p.date for p in paper_modification_plans()]
+        assert dates == sorted(dates)
+
+    def test_all_in_march(self):
+        assert all(p.date.month == 3 for p in paper_modification_plans())
+
+
+class TestConfigValidation:
+    def test_default_config_valid(self):
+        config = ExperimentConfig()
+        assert config.prototype_start < config.prototype_end <= config.test_start
+
+    def test_prototype_must_precede_campaign(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(test_start=dt.datetime(2010, 2, 13))
+
+    def test_campaign_must_end_after_start(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(end_date=dt.datetime(2010, 2, 19))
+
+    def test_climate_must_cover_campaign(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(end_date=dt.datetime(2010, 8, 1))
+
+    def test_duplicate_host_ids_rejected(self):
+        plans = paper_host_plans() + (
+            HostPlan(1, "A", "spare", None),
+        )
+        with pytest.raises(ValueError):
+            ExperimentConfig(host_plans=plans)
+
+    def test_host_plan_group_validated(self):
+        with pytest.raises(ValueError):
+            HostPlan(1, "A", "garage", dt.datetime(2010, 2, 19))
+
+    def test_non_spare_needs_date(self):
+        with pytest.raises(ValueError):
+            HostPlan(1, "A", "tent", None)
+
+
+class TestConfigViews:
+    def test_plans_by_group_sorted(self):
+        config = ExperimentConfig()
+        tent_ids = [p.host_id for p in config.plans_by_group("tent")]
+        assert tent_ids == sorted(tent_ids)
+        assert len(tent_ids) == 9
+
+    def test_plan_for_lookup(self):
+        config = ExperimentConfig()
+        assert config.plan_for(15).vendor_id == "B"
+        with pytest.raises(KeyError):
+            config.plan_for(99)
+
+    def test_with_end_copies(self):
+        config = ExperimentConfig()
+        short = config.with_end(dt.datetime(2010, 3, 1))
+        assert short.end_date == dt.datetime(2010, 3, 1)
+        assert config.end_date != short.end_date
+
+    def test_with_seed_copies(self):
+        assert ExperimentConfig().with_seed(11).seed == 11

@@ -1,0 +1,234 @@
+"""Tests for the operator policy."""
+
+import pytest
+
+from repro.climate.generator import WeatherGenerator
+from repro.core.config import ExperimentConfig
+from repro.core.deployment import Fleet
+from repro.core.protocol import OperatorPolicy
+from repro.hardware.faults import FaultEvent, FaultKind, FaultLog, TransientFaultModel
+from repro.hardware.host import HostState
+from repro.hardware.sensors import SensorState
+from repro.monitoring.collector import MonitoringHost
+from repro.sim.clock import DAY, HOUR
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+
+
+@pytest.fixture
+def rig():
+    config = ExperimentConfig(
+        seed=7,
+        transient_model=TransientFaultModel(
+            base_rate_per_hour=0.0, defective_rate_per_hour=0.0
+        ),
+    )
+    sim = Simulator()
+    streams = RngStreams(config.seed)
+    weather = WeatherGenerator(config.climate, streams, sim.clock)
+    fault_log = FaultLog()
+    fleet = Fleet(sim, config, streams, weather, fault_log)
+    policy = OperatorPolicy(sim, config, fleet, fault_log)
+    monitoring = MonitoringHost(
+        sim,
+        on_down_host=policy.on_down_host,
+        on_unreachable=policy.on_unreachable,
+        on_sensor_anomaly=policy.on_sensor_anomaly,
+    )
+    policy.bind_monitoring(monitoring)
+    start = sim.clock.to_seconds(config.test_start)
+    sim.run_until(start)
+    fleet.power_tent_switches()
+    fleet.start_ticking(start)
+    return sim, fleet, policy, monitoring, fault_log
+
+
+def install_tent_host(sim, fleet, monitoring, host_id):
+    host = fleet.install(host_id, fleet.tent, sim.now)
+    monitoring.register(host, [fleet.next_tent_switch()])
+    return host
+
+
+def force_failure(host, sim, fault_log):
+    host.transient_model = TransientFaultModel(
+        base_rate_per_hour=1e9, defective_rate_per_hour=1e9
+    )
+    host.tick(300.0, sim.now, fault_log)
+    host.transient_model = TransientFaultModel(
+        base_rate_per_hour=0.0, defective_rate_per_hour=0.0
+    )
+    assert host.state is HostState.FAILED
+
+
+class TestDownHostHandling:
+    def test_first_failure_reset_in_place(self, rig):
+        sim, fleet, policy, monitoring, fault_log = rig
+        host = install_tent_host(sim, fleet, monitoring, 15)
+        force_failure(host, sim, fault_log)
+        monitoring.collect_round()
+        sim.run_until(sim.now + 2 * DAY)
+        assert host.running
+        assert host.enclosure is fleet.tent  # resumed in the tent
+        assert policy.failure_counts[15] == 1
+
+    def test_second_failure_taken_indoors_and_replaced(self, rig):
+        sim, fleet, policy, monitoring, fault_log = rig
+        host = install_tent_host(sim, fleet, monitoring, 15)
+        for _ in range(2):
+            force_failure(host, sim, fault_log)
+            monitoring.collect_round()
+            sim.run_until(sim.now + 3 * DAY)
+        assert host.enclosure is fleet.indoors
+        assert host.running  # "left to operate in an indoors environment"
+        assert policy.replacements
+        _, old_id, new_id = policy.replacements[0]
+        assert (old_id, new_id) == (15, 19)
+        assert fleet.host(19).running
+        assert fleet.host(19).enclosure is fleet.tent
+
+    def test_memtest_run_on_indoors_intake(self, rig):
+        sim, fleet, policy, monitoring, fault_log = rig
+        host = install_tent_host(sim, fleet, monitoring, 15)
+        for _ in range(2):
+            force_failure(host, sim, fault_log)
+            monitoring.collect_round()
+            sim.run_until(sim.now + 3 * DAY)
+        assert 15 in policy.memtest_verdicts
+
+    def test_basement_host_not_replaced(self, rig):
+        sim, fleet, policy, monitoring, fault_log = rig
+        host = fleet.install(17, fleet.basement, sim.now)
+        monitoring.register(host, [fleet.next_basement_switch()])
+        for _ in range(2):
+            force_failure(host, sim, fault_log)
+            monitoring.collect_round()
+            sim.run_until(sim.now + 3 * DAY)
+        assert policy.replacements == []
+
+    def test_repeated_rounds_schedule_single_inspection(self, rig):
+        sim, fleet, policy, monitoring, fault_log = rig
+        host = install_tent_host(sim, fleet, monitoring, 15)
+        force_failure(host, sim, fault_log)
+        monitoring.collect_round()
+        monitoring.collect_round()
+        monitoring.collect_round()
+        sim.run_until(sim.now + 2 * DAY)
+        assert policy.failure_counts[15] == 1
+
+
+class TestWeeklyReview:
+    def test_wrong_hash_triggers_smart_triage(self, rig):
+        sim, fleet, policy, monitoring, fault_log = rig
+        host = install_tent_host(sim, fleet, monitoring, 1)
+        fault_log.record(
+            FaultEvent(sim.now, FaultKind.WRONG_HASH, host_id=1, detail="1 block")
+        )
+        policy.weekly_review()
+        assert policy.smart_verdicts == {1: True}
+        assert all(d.smart.self_tests for d in host.storage.disks)
+        assert policy.memory_conjecture_holds()
+
+    def test_events_reviewed_once(self, rig):
+        sim, fleet, policy, monitoring, fault_log = rig
+        host = install_tent_host(sim, fleet, monitoring, 1)
+        fault_log.record(
+            FaultEvent(sim.now, FaultKind.WRONG_HASH, host_id=1, detail="1 block")
+        )
+        policy.weekly_review()
+        tests_after_first = len(host.storage.disks[0].smart.self_tests)
+        policy.weekly_review()
+        assert len(host.storage.disks[0].smart.self_tests) == tests_after_first
+
+    def test_non_hash_events_ignored(self, rig):
+        sim, fleet, policy, monitoring, fault_log = rig
+        install_tent_host(sim, fleet, monitoring, 1)
+        fault_log.record(
+            FaultEvent(sim.now, FaultKind.SWITCH, host_id=None, detail="tent-sw1")
+        )
+        policy.weekly_review()
+        assert policy.smart_verdicts == {}
+        assert not policy.memory_conjecture_holds()
+
+    def test_failed_media_breaks_the_conjecture(self, rig):
+        sim, fleet, policy, monitoring, fault_log = rig
+        host = install_tent_host(sim, fleet, monitoring, 1)
+        host.storage.disks[0].fail(sim.now)
+        # Keep the host "running" for triage purposes: only storage died.
+        fault_log.record(
+            FaultEvent(sim.now, FaultKind.WRONG_HASH, host_id=1, detail="1 block")
+        )
+        policy.weekly_review()
+        assert policy.smart_verdicts == {1: False}
+        assert not policy.memory_conjecture_holds()
+
+
+class TestSensorHandling:
+    def test_anomaly_redetect_then_warm_reboot(self, rig):
+        sim, fleet, policy, monitoring, fault_log = rig
+        host = install_tent_host(sim, fleet, monitoring, 1)
+        host.sensor.state = SensorState.ERRATIC
+        monitoring.collect_round()
+        # Inspection (~30 h) performs the redetect, losing the chip.
+        sim.run_until(sim.now + 2 * DAY)
+        assert host.sensor.state is SensorState.UNDETECTED
+        # A week later the warm reboot recovers it.
+        sim.run_until(sim.now + 8 * DAY)
+        assert host.sensor.state is SensorState.OK
+
+    def test_anomaly_handled_once_until_recovery(self, rig):
+        sim, fleet, policy, monitoring, fault_log = rig
+        host = install_tent_host(sim, fleet, monitoring, 1)
+        host.sensor.state = SensorState.ERRATIC
+        monitoring.collect_round()
+        monitoring.collect_round()
+        assert 1 in policy._sensor_handling
+
+
+class TestSwitchRepairs:
+    def test_dead_switch_rerouted_and_spare_bench_tested(self, rig):
+        sim, fleet, policy, monitoring, fault_log = rig
+        hosts = [install_tent_host(sim, fleet, monitoring, hid) for hid in (1, 2)]
+        dead = monitoring.paths[1].switches[0]
+        dead.fail(sim.now)
+        monitoring.collect_round()
+        sim.run_until(sim.now + 2 * DAY)
+        assert all(p.up for p in monitoring.paths.values())
+        assert policy.switch_repairs
+        assert policy.spare_bench_result is not None
+
+    def test_spare_failure_logged_as_switch_event(self, rig):
+        sim, fleet, policy, monitoring, fault_log = rig
+        install_tent_host(sim, fleet, monitoring, 1)
+        dead = monitoring.paths[1].switches[0]
+        dead.fail(sim.now)
+        monitoring.collect_round()
+        sim.run_until(sim.now + 2 * DAY)
+        if policy.spare_bench_result is False:
+            details = [e.detail for e in fault_log.of_kind(FaultKind.SWITCH)]
+            assert any("identical failure" in d for d in details)
+
+    def test_repair_prefers_surviving_tent_switch(self, rig):
+        sim, fleet, policy, monitoring, fault_log = rig
+        for hid in (1, 2, 3):
+            install_tent_host(sim, fleet, monitoring, hid)
+        dead = fleet.tent_switches[0]
+        survivor = fleet.tent_switches[1]
+        dead.fail(sim.now)
+        monitoring.collect_round()
+        sim.run_until(sim.now + 2 * DAY)
+        for path in monitoring.paths.values():
+            assert path.switches[0] is survivor
+
+
+class TestBootDowntime:
+    def test_first_failure_reset_incurs_boot_downtime(self, rig):
+        sim, fleet, policy, monitoring, fault_log = rig
+        host = install_tent_host(sim, fleet, monitoring, 15)
+        force_failure(host, sim, fault_log)
+        monitoring.collect_round()
+        # Just past the 30 h inspection the host is booting, not yet up.
+        sim.run_until(sim.now + 30 * HOUR + 120.0)
+        assert host.state is HostState.BOOTING
+        # The configured boot duration later it is back in service.
+        sim.run_until(sim.now + HOUR)
+        assert host.running

@@ -1,0 +1,70 @@
+"""Tests for the paper-style textual reports."""
+
+from repro.core.reporting import (
+    conditions_report,
+    faults_report,
+    full_report,
+    prototype_report,
+    pue_report,
+    wrong_hash_report,
+)
+
+
+class TestSectionReports:
+    def test_prototype_report(self, full_results):
+        text = prototype_report(full_results)
+        assert "Prototype weekend" in text
+        assert "-10.2" in text  # the paper's own number is quoted alongside
+
+    def test_conditions_report(self, full_results):
+        text = conditions_report(full_results)
+        assert "outside:" in text
+        assert "tent:" in text
+        assert "R@" in text  # modification marks
+
+    def test_faults_report(self, full_results):
+        text = faults_report(full_results)
+        assert "5.6" in text  # paper's rate quoted
+        assert "common-cause clusters" in text
+
+    def test_wrong_hash_report(self, full_results):
+        text = wrong_hash_report(full_results)
+        assert "27,627" in text or "27627" in text
+        assert "bzip2recover" in text
+        assert "million" in text
+
+    def test_pue_report_static(self):
+        text = pue_report()
+        assert "1.74" in text
+        assert "75.0 kW" in text
+
+    def test_reliability_report(self, full_results):
+        from repro.core.reporting import reliability_report
+
+        text = reliability_report(full_results)
+        assert "95 % CI" in text
+        assert "survival" in text
+
+    def test_heat_budget_report(self, full_results):
+        from repro.core.reporting import heat_budget_report
+
+        text = heat_budget_report(full_results)
+        assert "UA (W/K)" in text
+        assert "pre-mods" in text
+
+    def test_smart_triage_appears_in_wrong_hash_report(self, full_results):
+        text = wrong_hash_report(full_results)
+        if full_results.policy.smart_verdicts:
+            assert "S.M.A.R.T. long test" in text
+
+    def test_full_report_concatenates_everything(self, full_results):
+        text = full_report(full_results)
+        for marker in (
+            "Prototype weekend",
+            "Conditions",
+            "Faults",
+            "Reliability statistics",
+            "Empirical heat budget",
+            "PUE",
+        ):
+            assert marker in text

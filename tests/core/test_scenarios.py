@@ -1,0 +1,72 @@
+"""Tests for the canned experiment scenarios."""
+
+import datetime as dt
+
+import pytest
+
+from repro import Experiment
+from repro.core.scenarios import (
+    conditioned_tent,
+    extended_year,
+    harsher_winter,
+    no_modifications,
+    paper_campaign,
+)
+
+
+class TestConstructors:
+    def test_paper_campaign_is_the_default(self):
+        assert paper_campaign(seed=3) == paper_campaign(seed=3)
+        assert paper_campaign().modification_plans  # R/I/B/F present
+
+    def test_no_modifications_strips_the_plan(self):
+        assert no_modifications().modification_plans == ()
+
+    def test_conditioned_tent_applies_everything_on_day_one(self):
+        config = conditioned_tent()
+        assert len(config.modification_plans) == 5
+        for plan in config.modification_plans:
+            assert (plan.date - config.test_start) < dt.timedelta(hours=2)
+
+    def test_extended_year_reaches_november(self):
+        config = extended_year()
+        assert config.end_date.month == 11
+        assert "full-year" in config.climate.name
+
+    def test_harsher_winter_deepens_the_snaps(self):
+        base = paper_campaign()
+        harsh = harsher_winter(extra_depth_c=6.0)
+        for mild, severe in zip(base.climate.cold_snaps, harsh.climate.cold_snaps):
+            assert severe.depth_c == pytest.approx(mild.depth_c + 6.0)
+
+    def test_harsher_winter_validates(self):
+        with pytest.raises(ValueError):
+            harsher_winter(extra_depth_c=-1.0)
+
+
+class TestScenarioBehaviour:
+    UNTIL = dt.datetime(2010, 3, 20)
+
+    def test_sealed_tent_runs_hotter(self):
+        modded = Experiment(paper_campaign(seed=5)).run(until=self.UNTIL)
+        sealed = Experiment(no_modifications(seed=5)).run(until=self.UNTIL)
+        clock = modded.clock
+        window = (clock.at(2010, 3, 6), clock.at(2010, 3, 20))
+        modded_mean = modded.inside_temperature_raw().window(*window).mean()
+        sealed_mean = sealed.inside_temperature_raw().window(*window).mean()
+        assert sealed_mean > modded_mean
+
+    def test_conditioned_tent_runs_cooler_than_paper(self):
+        modded = Experiment(paper_campaign(seed=5)).run(until=self.UNTIL)
+        shed = Experiment(conditioned_tent(seed=5)).run(until=self.UNTIL)
+        clock = modded.clock
+        window = (clock.at(2010, 3, 6), clock.at(2010, 3, 20))
+        assert (
+            shed.inside_temperature_raw().window(*window).mean()
+            < modded.inside_temperature_raw().window(*window).mean()
+        )
+
+    def test_harsher_winter_is_colder(self):
+        mild = Experiment(paper_campaign(seed=5)).run(until=dt.datetime(2010, 2, 25))
+        harsh = Experiment(harsher_winter(seed=5)).run(until=dt.datetime(2010, 2, 25))
+        assert harsh.outside_temperature().min() < mild.outside_temperature().min() - 3.0

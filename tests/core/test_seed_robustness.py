@@ -1,0 +1,84 @@
+"""Invariants that must hold at *every* seed, not just the default.
+
+The headline tests pin seed 7, whose draw happens to match the paper's
+narrative exactly.  These tests run several short campaigns under other
+seeds and check the structural invariants -- the claims that should be
+properties of the model, not of one lucky draw.
+"""
+
+import datetime as dt
+
+import pytest
+
+from repro import Experiment, ExperimentConfig
+
+_SEEDS = (1, 2, 3, 11)
+_UNTIL = dt.datetime(2010, 3, 12)
+
+
+@pytest.fixture(scope="module", params=_SEEDS)
+def seeded_results(request):
+    return Experiment(ExperimentConfig(seed=request.param)).run(until=_UNTIL)
+
+
+class TestInvariants:
+    def test_prototype_always_cold(self, seeded_results):
+        proto = seeded_results.prototype
+        assert proto.outside_mean_c < -4.0
+        assert proto.cpu_min_c > proto.outside_min_c
+
+    def test_wrong_hashes_never_on_ecc_hosts(self, seeded_results):
+        for host_id in seeded_results.ledger.hosts_with_wrong_hashes():
+            assert not seeded_results.fleet.host(host_id).spec.ecc_memory
+
+    def test_wrong_hash_rate_in_paper_band(self, seeded_results):
+        ledger = seeded_results.ledger
+        if ledger.total_runs >= 10_000:
+            assert ledger.wrong_hash_ratio < 1e-3
+
+    def test_tent_warmer_than_outside_on_average(self, seeded_results):
+        inside = seeded_results.inside_temperature_raw()
+        if inside.empty:
+            pytest.skip("run truncated before Lascar arrival")
+        outside = seeded_results.outside_temperature()
+        excess = inside.aligned_difference(outside)
+        assert excess.mean() > 0.0
+
+    def test_humidities_always_in_bounds(self, seeded_results):
+        for series in (
+            seeded_results.outside_humidity(),
+            seeded_results.inside_humidity_raw(),
+        ):
+            if series.empty:
+                continue
+            assert series.min() >= 0.0
+            assert series.max() <= 100.0
+
+    def test_lascar_never_records_before_arrival(self, seeded_results):
+        inside = seeded_results.inside_temperature_raw()
+        if not inside.empty:
+            assert inside.times[0] >= seeded_results.lascar.arrival_time
+
+    def test_fault_log_times_within_run(self, seeded_results):
+        for event in seeded_results.fault_log.events:
+            assert 0.0 <= event.time <= seeded_results.end_time
+
+    def test_failed_hosts_actually_logged(self, seeded_results):
+        from repro.hardware.host import HostState
+
+        logged = {
+            e.host_id for e in seeded_results.fault_log.events if e.host_id is not None
+        }
+        for host in seeded_results.fleet.hosts.values():
+            if host.state is HostState.FAILED:
+                assert host.host_id in logged
+
+    def test_transfer_ledger_consistent(self, seeded_results):
+        transfers = seeded_results.transfers
+        assert transfers.total_sessions == len(transfers.records)
+        assert transfers.total_bytes >= transfers.total_sessions * 4096
+
+    def test_power_meter_reads_tent_hosts_only(self, seeded_results):
+        meter_hosts = {h.host_id for h in seeded_results.powermeter.hosts}
+        tent_plan = set(seeded_results.tent_host_ids()) | {19}
+        assert meter_hosts <= tent_plan

@@ -1,0 +1,100 @@
+"""Tests for the Memtest86+ session model."""
+
+import pytest
+
+from repro.hardware.faults import TransientFaultModel
+from repro.hardware.host import Host
+from repro.hardware.memtest import (
+    PATTERNS,
+    MemtestSession,
+    pass_duration_s,
+)
+from repro.hardware.vendors import VENDOR_A, VENDOR_B
+from repro.sim.rng import RngStreams
+
+
+def make_host(spec=VENDOR_A, seed=5, **model_kwargs):
+    model = TransientFaultModel(**model_kwargs)
+    return Host(1, spec, RngStreams(seed), transient_model=model)
+
+
+class TestPatterns:
+    def test_classic_sequence_present(self):
+        names = [name for name, _w in PATTERNS]
+        assert any("walking ones" in n for n in names)
+        assert any("moving inversions" in n for n in names)
+        assert sum(w for _n, w in PATTERNS) == pytest.approx(1.0)
+
+    def test_pass_duration_scales_with_memory(self):
+        assert pass_duration_s(2048) == pytest.approx(2 * pass_duration_s(1024))
+
+    def test_pass_duration_validates(self):
+        with pytest.raises(ValueError):
+            pass_duration_s(0)
+
+
+class TestSession:
+    def test_sound_host_completes_all_passes(self):
+        host = make_host(base_rate_per_hour=0.0, frailty_sigma=0.0)
+        report = MemtestSession(host).run(passes=2)
+        assert report.survived
+        assert report.crash_point is None
+        assert report.results[-1].pass_number == 2
+        assert len(report.results) == 2 * len(PATTERNS)
+        assert "completed without error" in report.describe()
+
+    def test_lemon_dies_mid_pattern(self):
+        host = make_host(
+            spec=VENDOR_B, defective_rate_per_hour=5.0, frailty_sigma=0.0
+        )
+        report = MemtestSession(host).run(passes=4)
+        assert not report.survived
+        crash = report.crash_point
+        assert crash is not None
+        assert crash.crashed
+        # The session stops at the crash.
+        assert report.results[-1] is crash
+        assert "system failure" in report.describe()
+
+    def test_elapsed_time_reasonable(self):
+        # ~2 GiB at era speeds: one pass in the tens-of-minutes band.
+        host = make_host(base_rate_per_hour=0.0, frailty_sigma=0.0)
+        report = MemtestSession(host).run(passes=1)
+        assert 10 * 60 < report.elapsed_s < 4 * 3600
+
+    def test_deterministic_per_host_stream(self):
+        a = MemtestSession(make_host(seed=9)).run(passes=1)
+        b = MemtestSession(make_host(seed=9)).run(passes=1)
+        assert a.survived == b.survived
+        assert len(a.results) == len(b.results)
+
+    def test_validation(self):
+        host = make_host()
+        with pytest.raises(ValueError):
+            MemtestSession(host).run(passes=0)
+        with pytest.raises(ValueError):
+            MemtestSession(host, stress_factor=0.0)
+
+    def test_agrees_with_campaign_hazard_statistically(self):
+        # The detailed session and the host's one-shot hazard should give
+        # similar failure probabilities for the same machine profile.
+        detailed = 0
+        oneshot = 0
+        n = 120
+        for seed in range(n):
+            host = MemtestSession(
+                make_host(spec=VENDOR_B, seed=seed,
+                          defective_rate_per_hour=0.05, frailty_sigma=0.0)
+            )
+            report = host.run(passes=8)
+            detailed += not report.survived
+        for seed in range(n):
+            host = make_host(
+                spec=VENDOR_B, seed=seed + 10_000,
+                defective_rate_per_hour=0.05, frailty_sigma=0.0,
+            )
+            oneshot += not host.run_memtest(
+                duration_hours=8 * pass_duration_s(VENDOR_B.memory_mib) / 3600.0,
+                time=0.0,
+            )
+        assert abs(detailed - oneshot) < 0.25 * n

@@ -1,0 +1,97 @@
+"""Tests for S.M.A.R.T. tables and self-tests."""
+
+import pytest
+
+from repro.hardware.smart import (
+    ATTR_POWER_CYCLES,
+    ATTR_POWER_ON_HOURS,
+    ATTR_REALLOCATED_SECTORS,
+    ATTR_TEMPERATURE,
+    SmartAttribute,
+    SmartTable,
+)
+
+
+class TestAttributes:
+    def test_fresh_table_has_standard_attributes(self):
+        table = SmartTable()
+        names = [a.name for a in table.attributes()]
+        assert "Power_On_Hours" in names
+        assert "Reallocated_Sector_Ct" in names
+        assert "Temperature_Celsius" in names
+
+    def test_attributes_listed_in_id_order(self):
+        ids = [a.attr_id for a in SmartTable().attributes()]
+        assert ids == sorted(ids)
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(KeyError):
+            SmartTable().attribute(250)
+
+    def test_attribute_value_bounds(self):
+        with pytest.raises(ValueError):
+            SmartAttribute(1, "bad", value=300)
+
+
+class TestCounters:
+    def test_uptime_accrues_in_hours(self):
+        table = SmartTable()
+        table.accrue_uptime(7200.0)
+        assert table.attribute(ATTR_POWER_ON_HOURS).raw == pytest.approx(2.0)
+
+    def test_negative_uptime_rejected(self):
+        with pytest.raises(ValueError):
+            SmartTable().accrue_uptime(-1.0)
+
+    def test_power_cycles_count(self):
+        table = SmartTable()
+        table.record_power_cycle()
+        table.record_power_cycle()
+        assert table.attribute(ATTR_POWER_CYCLES).raw == 2
+
+    def test_temperature_updates(self):
+        table = SmartTable()
+        table.set_temperature(34.5)
+        assert table.attribute(ATTR_TEMPERATURE).raw == 34.5
+
+
+class TestReallocations:
+    def test_reallocations_degrade_health(self):
+        table = SmartTable()
+        table.add_reallocated_sectors(100)
+        attr = table.attribute(ATTR_REALLOCATED_SECTORS)
+        assert attr.raw == 100
+        assert attr.value < 100
+        assert attr.worst == attr.value
+
+    def test_health_never_reaches_zero(self):
+        table = SmartTable()
+        table.add_reallocated_sectors(1_000_000)
+        assert table.attribute(ATTR_REALLOCATED_SECTORS).value >= 1
+
+    def test_massive_reallocation_trips_threshold(self):
+        table = SmartTable()
+        table.add_reallocated_sectors(2000)
+        assert table.attribute(ATTR_REALLOCATED_SECTORS).failing
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            SmartTable().add_reallocated_sectors(-1)
+
+
+class TestSelfTests:
+    def test_healthy_media_passes(self):
+        # Section 4.2.2: all wrong-hash drives passed their long tests.
+        table = SmartTable()
+        result = table.run_long_self_test(time=100.0, media_healthy=True)
+        assert result.passed
+        assert table.self_tests == [result]
+
+    def test_bad_media_fails(self):
+        table = SmartTable()
+        assert not table.run_long_self_test(time=0.0, media_healthy=False).passed
+
+    def test_worn_out_drive_fails_even_with_readable_media(self):
+        table = SmartTable()
+        table.add_reallocated_sectors(2000)
+        assert not table.run_long_self_test(time=0.0, media_healthy=True).passed

@@ -1,0 +1,112 @@
+"""Tests for the defective 8-port switches."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.switch import NetworkSwitch, SwitchState
+
+
+def make_switch(seed=1, **kwargs):
+    return NetworkSwitch("sw", np.random.default_rng(seed), **kwargs)
+
+
+class TestPorts:
+    def test_connect_and_carries(self):
+        sw = make_switch()
+        sw.connect("host01")
+        assert sw.carries("host01")
+        assert not sw.carries("host02")
+
+    def test_connect_is_idempotent(self):
+        sw = make_switch()
+        sw.connect("host01")
+        sw.connect("host01")
+        assert sw.connected() == ["host01"]
+
+    def test_port_capacity_enforced(self):
+        sw = make_switch()
+        for i in range(8):
+            sw.connect(f"host{i:02d}")
+        with pytest.raises(ValueError):
+            sw.connect("host09")
+
+    def test_disconnect_frees_port(self):
+        sw = make_switch()
+        for i in range(8):
+            sw.connect(f"host{i:02d}")
+        sw.disconnect("host00")
+        sw.connect("host09")  # no raise
+        assert not sw.carries("host00")
+
+    def test_disconnect_unknown_is_noop(self):
+        sw = make_switch()
+        sw.disconnect("ghost")  # no raise
+
+
+class TestFailureDynamics:
+    def test_defective_units_whine(self):
+        assert make_switch(inherent_defect=True).whines
+        assert not make_switch(inherent_defect=False).whines
+
+    def test_failed_switch_carries_nothing(self):
+        sw = make_switch()
+        sw.connect("host01")
+        sw.fail(100.0)
+        assert not sw.carries("host01")
+        assert sw.failed_at == 100.0
+        assert sw.state is SwitchState.FAILED
+
+    def test_defective_switch_fails_within_weeks(self):
+        # Mean life ~190 h: across seeds, essentially all die in 6 weeks.
+        failed = 0
+        for seed in range(50):
+            sw = make_switch(seed=seed, inherent_defect=True)
+            for hour in range(24 * 42):
+                sw.tick(3600.0, float(hour))
+            failed += not sw.operational
+        assert failed >= 48
+
+    def test_healthy_switch_survives_the_campaign(self):
+        failed = 0
+        for seed in range(50):
+            sw = make_switch(seed=seed, inherent_defect=False)
+            for day in range(90):
+                sw.tick(86_400.0, float(day))
+            failed += not sw.operational
+        assert failed <= 2
+
+    def test_tick_accrues_powered_hours(self):
+        sw = make_switch(inherent_defect=False)
+        sw.tick(7200.0, 0.0)
+        assert sw.powered_hours == pytest.approx(2.0)
+
+    def test_dead_switch_stops_aging(self):
+        sw = make_switch()
+        sw.fail(0.0)
+        sw.tick(3600.0, 1.0)
+        assert sw.powered_hours == 0.0
+
+
+class TestBenchTest:
+    def test_defective_spare_usually_fails_long_soak(self):
+        # The paper's spare "manifested an identical failure state".
+        failures = 0
+        for seed in range(100):
+            sw = make_switch(seed=seed, inherent_defect=True)
+            if not sw.bench_test(duration_hours=500.0, time=0.0):
+                failures += 1
+        assert failures > 80
+
+    def test_healthy_unit_passes_bench(self):
+        sw = make_switch(inherent_defect=False)
+        assert sw.bench_test(duration_hours=500.0, time=0.0)
+        assert sw.powered_hours == 500.0
+
+    def test_bench_test_of_dead_switch_reports_failure(self):
+        sw = make_switch()
+        sw.fail(0.0)
+        assert not sw.bench_test(1.0, time=1.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            make_switch().bench_test(-1.0, time=0.0)

@@ -1,0 +1,106 @@
+"""Tests for the vendor specifications of Section 3.4."""
+
+import pytest
+
+from repro.hardware.vendors import (
+    VENDOR_A,
+    VENDOR_B,
+    VENDOR_C,
+    DiskLayout,
+    FormFactor,
+    VendorSpec,
+    vendor,
+)
+
+
+class TestPaperFidelity:
+    def test_vendor_a_is_a_tower_with_md_mirror(self):
+        assert VENDOR_A.form_factor is FormFactor.MEDIUM_TOWER
+        assert VENDOR_A.disk_layout is DiskLayout.MD_SOFTWARE_MIRROR
+        assert VENDOR_A.disk_layout.disk_count == 2
+
+    def test_vendor_b_is_sff_single_disk_defective_series(self):
+        assert VENDOR_B.form_factor is FormFactor.SMALL_FORM_FACTOR
+        assert VENDOR_B.disk_layout.disk_count == 1
+        assert VENDOR_B.defective_series
+
+    def test_vendor_c_is_2u_with_five_disks(self):
+        assert VENDOR_C.form_factor is FormFactor.RACK_2U
+        assert VENDOR_C.disk_layout is DiskLayout.MIRROR_PLUS_RAID5
+        assert VENDOR_C.disk_layout.disk_count == 5
+
+    def test_only_the_servers_have_ecc(self):
+        # Section 4.2.2: wrong-hash hosts all lacked error-correcting parity.
+        assert not VENDOR_A.ecc_memory
+        assert not VENDOR_B.ecc_memory
+        assert VENDOR_C.ecc_memory
+
+    def test_bad_airflow_makes_vendor_b_run_hot(self):
+        a_case = VENDOR_A.case_temp_c(21.0, VENDOR_A.average_power_w())
+        b_case = VENDOR_B.case_temp_c(21.0, VENDOR_B.average_power_w())
+        assert b_case > a_case + 2.0
+
+
+class TestThermalArithmetic:
+    def test_case_temp_linear_in_power(self):
+        assert VENDOR_A.case_temp_c(10.0, 100.0) == pytest.approx(
+            10.0 + 0.035 * 100.0
+        )
+
+    def test_cpu_temp_stacks_rises(self):
+        cpu = VENDOR_A.cpu_temp_c(intake_c=0.0, host_power_w=70.0, cpu_power_w=12.0)
+        case = VENDOR_A.case_temp_c(0.0, 70.0)
+        assert cpu == pytest.approx(case + VENDOR_A.cpu_theta_k_per_w * 12.0)
+
+    def test_prototype_cpu_can_read_minus_four(self):
+        # Paper: outside -9 degC weekend, boxes add ~2 degC, CPU read -4 degC.
+        cpu = VENDOR_A.cpu_temp_c(
+            intake_c=-9.2 + 2.0,
+            host_power_w=VENDOR_A.idle_power_w,
+            cpu_power_w=VENDOR_A.cpu_idle_power_w,
+        )
+        assert cpu == pytest.approx(-4.0, abs=2.0)
+
+
+class TestPower:
+    def test_average_between_idle_and_active(self):
+        avg = VENDOR_A.average_power_w(duty_cycle=0.3)
+        assert VENDOR_A.idle_power_w < avg < VENDOR_A.active_power_w
+
+    def test_duty_cycle_bounds_checked(self):
+        with pytest.raises(ValueError):
+            VENDOR_A.average_power_w(duty_cycle=1.5)
+
+    def test_fleet_heat_budget_scale(self):
+        # 5xA + 2xB + 2xC in the tent: just under a kilowatt.
+        total = (
+            5 * VENDOR_A.average_power_w()
+            + 2 * VENDOR_B.average_power_w()
+            + 2 * VENDOR_C.average_power_w()
+        )
+        assert 700.0 < total < 1100.0
+
+
+class TestSpecValidation:
+    def test_within_spec_range(self):
+        assert VENDOR_A.within_spec(21.0)
+        assert not VENDOR_A.within_spec(-10.0)
+        assert not VENDOR_A.within_spec(45.0)
+
+    def test_lookup_by_letter(self):
+        assert vendor("A") is VENDOR_A
+        assert vendor("C") is VENDOR_C
+
+    def test_unknown_vendor_raises(self):
+        with pytest.raises(KeyError):
+            vendor("Z")
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            VendorSpec(
+                vendor_id="X", description="bad", form_factor=FormFactor.MEDIUM_TOWER,
+                disk_layout=DiskLayout.SINGLE_DISK, ecc_memory=False, memory_mib=1024,
+                idle_power_w=100.0, active_power_w=50.0,  # active < idle
+                cpu_idle_power_w=10.0, cpu_active_power_w=20.0,
+                case_rise_k_per_w=0.05, cpu_theta_k_per_w=0.2, defective_series=False,
+            )

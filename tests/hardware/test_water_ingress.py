@@ -1,0 +1,76 @@
+"""Tests for the water-ingress fault path."""
+
+import pytest
+
+from repro.climate.generator import WeatherGenerator
+from repro.climate.profiles import HELSINKI_2010
+from repro.hardware.faults import FaultKind, FaultLog, TransientFaultModel
+from repro.hardware.host import Host, HostState
+from repro.hardware.vendors import VENDOR_A
+from repro.sim.clock import DAY, SimClock
+from repro.sim.rng import RngStreams
+from repro.thermal.enclosure import OutdoorAmbient
+
+
+def quiet_model():
+    return TransientFaultModel(base_rate_per_hour=0.0, defective_rate_per_hour=0.0)
+
+
+@pytest.fixture
+def outdoors():
+    weather = WeatherGenerator(HELSINKI_2010, RngStreams(9))
+    return OutdoorAmbient("outside", weather)
+
+
+class TestWaterIngress:
+    def test_dry_host_never_dies_of_water(self, outdoors):
+        host = Host(1, VENDOR_A, RngStreams(9), transient_model=quiet_model())
+        t = SimClock().at(2010, 2, 20)
+        host.install(outdoors, t)
+        outdoors.intake_precip_mm_h = 0.0
+        for k in range(1000):
+            host.tick(300.0, t + k * 300.0)
+        assert host.running
+
+    def test_soaked_host_eventually_shorts(self, outdoors):
+        log = FaultLog()
+        host = Host(1, VENDOR_A, RngStreams(9), transient_model=quiet_model())
+        t = SimClock().at(2010, 2, 20)
+        host.install(outdoors, t)
+        outdoors.intake_precip_mm_h = 2.0  # steady snowfall on bare hardware
+        for k in range(12 * 24 * 7):  # up to a week
+            host.tick(300.0, t + k * 300.0, log)
+            if not host.running:
+                break
+        assert host.state is HostState.FAILED
+        events = log.of_kind(FaultKind.WATER_INGRESS)
+        assert events and events[0].host_id == 1
+        assert "mm/h" in events[0].detail
+
+    def test_water_failures_count_in_the_census(self):
+        from repro.analysis.failures import census_from_events, failures_by_host
+        from repro.hardware.faults import FaultEvent
+
+        events = [FaultEvent(0.0, FaultKind.WATER_INGRESS, host_id=3)]
+        census = census_from_events("exposed", [3], events)
+        assert census.hosts_failed == 1
+        assert failures_by_host(events) == {3: 1}
+
+    def test_unsheltered_fleet_dies_within_weeks_statistically(self):
+        # The reason the tent exists: bare hosts under Finnish winter
+        # precipitation mostly die inside a month.
+        weather = WeatherGenerator(HELSINKI_2010, RngStreams(13))
+        clock = SimClock()
+        start = clock.at(2010, 2, 19)
+        deaths = 0
+        for seed in range(10):
+            outdoors = OutdoorAmbient("outside", weather)
+            host = Host(seed + 1, VENDOR_A, RngStreams(seed), transient_model=quiet_model())
+            host.install(outdoors, start)
+            t = start
+            while t < start + 30 * DAY and host.running:
+                outdoors.advance(t)
+                host.tick(1800.0, t)
+                t += 1800.0
+            deaths += not host.running
+        assert deaths >= 6

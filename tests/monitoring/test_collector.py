@@ -1,0 +1,157 @@
+"""Tests for the 20-minute monitoring/collection rounds."""
+
+import numpy as np
+import pytest
+
+from repro.climate.generator import WeatherGenerator
+from repro.climate.profiles import HELSINKI_2010
+from repro.hardware.faults import TransientFaultModel
+from repro.hardware.host import Host
+from repro.hardware.switch import NetworkSwitch
+from repro.hardware.vendors import VENDOR_A
+from repro.monitoring.collector import COLLECTION_PERIOD_S, MonitoringHost, NetworkPath
+from repro.sim.clock import HOUR, SimClock
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+from repro.thermal.enclosure import BasementMachineRoom
+
+
+def make_rig(host_count=2):
+    sim = Simulator()
+    weather = WeatherGenerator(HELSINKI_2010, RngStreams(4))
+    basement = BasementMachineRoom("basement", weather)
+    basement.advance(0.0)
+    switch = NetworkSwitch("sw1", np.random.default_rng(4))
+    hosts = []
+    for i in range(host_count):
+        host = Host(
+            i + 1, VENDOR_A, RngStreams(4),
+            transient_model=TransientFaultModel(base_rate_per_hour=0.0),
+        )
+        host.install(basement, 0.0)
+        hosts.append(host)
+    return sim, hosts, switch
+
+
+class TestTopology:
+    def test_register_connects_ports(self):
+        sim, hosts, switch = make_rig()
+        monitoring = MonitoringHost(sim)
+        monitoring.register(hosts[0], [switch])
+        assert switch.carries("host01")
+
+    def test_double_register_rejected(self):
+        sim, hosts, switch = make_rig()
+        monitoring = MonitoringHost(sim)
+        monitoring.register(hosts[0], [switch])
+        with pytest.raises(ValueError):
+            monitoring.register(hosts[0], [switch])
+
+    def test_unregister_frees_port(self):
+        sim, hosts, switch = make_rig()
+        monitoring = MonitoringHost(sim)
+        monitoring.register(hosts[0], [switch])
+        monitoring.unregister(hosts[0])
+        assert not switch.carries("host01")
+
+    def test_path_reroute(self):
+        sim, hosts, switch = make_rig()
+        other = NetworkSwitch("sw2", np.random.default_rng(5))
+        path = NetworkPath(hosts[0], [switch])
+        path.reroute([other])
+        assert other.carries("host01")
+        assert not switch.carries("host01")
+        assert path.up
+
+
+class TestCollection:
+    def test_healthy_round_collects_everyone(self):
+        sim, hosts, switch = make_rig(3)
+        monitoring = MonitoringHost(sim)
+        for host in hosts:
+            monitoring.register(host, [switch])
+        round_ = monitoring.collect_round()
+        assert round_.collected_host_ids == (1, 2, 3)
+        assert round_.all_quiet
+        assert len(monitoring.sensor_records) == 3
+
+    def test_down_host_detected_and_callback_fired(self):
+        seen = []
+        sim, hosts, switch = make_rig(2)
+        monitoring = MonitoringHost(sim, on_down_host=lambda t, h: seen.append(h.host_id))
+        for host in hosts:
+            monitoring.register(host, [switch])
+        hosts[0].retire(0.0)
+        round_ = monitoring.collect_round()
+        assert round_.down_host_ids == (1,)
+        assert round_.collected_host_ids == (2,)
+        assert seen == [1]
+
+    def test_dead_switch_makes_hosts_unreachable(self):
+        seen = []
+        sim, hosts, switch = make_rig(2)
+        monitoring = MonitoringHost(
+            sim, on_unreachable=lambda t, p: seen.append(p.host.host_id)
+        )
+        for host in hosts:
+            monitoring.register(host, [switch])
+        switch.fail(0.0)
+        round_ = monitoring.collect_round()
+        assert round_.unreachable_host_ids == (1, 2)
+        assert round_.collected_host_ids == ()
+        assert seen == [1, 2]
+        # Unreachable hosts contribute no sensor records.
+        assert monitoring.sensor_records == []
+
+    def test_erratic_sensor_flagged_as_anomaly(self):
+        seen = []
+        sim, hosts, switch = make_rig(1)
+        monitoring = MonitoringHost(
+            sim, on_sensor_anomaly=lambda t, h: seen.append(h.host_id)
+        )
+        monitoring.register(hosts[0], [switch])
+        hosts[0].sensor.state = hosts[0].sensor.state.__class__.ERRATIC
+        round_ = monitoring.collect_round()
+        assert round_.sensor_anomaly_host_ids == (1,)
+        assert seen == [1]
+        assert len(monitoring.erroneous_readings()) == 1
+
+    def test_records_for_host_filters(self):
+        sim, hosts, switch = make_rig(2)
+        monitoring = MonitoringHost(sim)
+        for host in hosts:
+            monitoring.register(host, [switch])
+        monitoring.collect_round()
+        monitoring.collect_round()
+        assert len(monitoring.records_for_host(1)) == 2
+        assert len(monitoring.records_for_host(2)) == 2
+
+
+class TestPeriodicRounds:
+    def test_twenty_minute_cadence(self):
+        sim, hosts, switch = make_rig(1)
+        monitoring = MonitoringHost(sim)
+        monitoring.register(hosts[0], [switch])
+        monitoring.attach(start=0.0)
+        sim.run_until(HOUR)
+        # Rounds at 0, 20, 40, 60 minutes.
+        assert len(monitoring.rounds) == 4
+        assert COLLECTION_PERIOD_S == 1200.0
+
+    def test_attach_twice_rejected(self):
+        sim, hosts, switch = make_rig(1)
+        monitoring = MonitoringHost(sim)
+        monitoring.attach()
+        with pytest.raises(RuntimeError):
+            monitoring.attach()
+
+    def test_detach_stops_rounds(self):
+        sim, hosts, switch = make_rig(1)
+        monitoring = MonitoringHost(sim)
+        monitoring.register(hosts[0], [switch])
+        monitoring.attach(start=0.0)
+        sim.run_until(HOUR)
+        monitoring.detach()
+        count = len(monitoring.rounds)
+        sim.run_until(3 * HOUR)
+        assert len(monitoring.rounds) == count

@@ -1,0 +1,81 @@
+"""Tests for typed log records and the line format."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.monitoring.records import (
+    HashRecord,
+    LoggerRecord,
+    SensorRecord,
+    parse_line,
+    to_line,
+)
+
+
+class TestRoundTrips:
+    def test_sensor_record(self):
+        record = SensorRecord(time=1200.0, host_id=15, cpu_temp_c=-4.25)
+        parsed = parse_line(to_line(record))
+        assert isinstance(parsed, SensorRecord)
+        assert parsed.host_id == 15
+        assert parsed.cpu_temp_c == pytest.approx(-4.25)
+
+    def test_sensor_record_with_absent_chip(self):
+        record = SensorRecord(time=1200.0, host_id=1, cpu_temp_c=None)
+        parsed = parse_line(to_line(record))
+        assert parsed.cpu_temp_c is None
+
+    def test_logger_record(self):
+        record = LoggerRecord(time=60.0, temp_c=-9.5, rh_percent=87.5)
+        parsed = parse_line(to_line(record))
+        assert isinstance(parsed, LoggerRecord)
+        assert parsed.temp_c == pytest.approx(-9.5)
+        assert parsed.rh_percent == pytest.approx(87.5)
+
+    def test_hash_record_ok_and_mismatch(self):
+        ok = parse_line(to_line(HashRecord(time=0.0, host_id=3, hash_ok=True)))
+        bad = parse_line(to_line(HashRecord(time=0.0, host_id=3, hash_ok=False)))
+        assert ok.hash_ok and not bad.hash_ok
+
+    @given(
+        time=st.floats(min_value=0.0, max_value=1e8),
+        host_id=st.integers(min_value=0, max_value=99),
+        temp=st.one_of(st.none(), st.floats(min_value=-120.0, max_value=120.0)),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_sensor_roundtrip_property(self, time, host_id, temp):
+        record = SensorRecord(time=time, host_id=host_id, cpu_temp_c=temp)
+        parsed = parse_line(to_line(record))
+        assert parsed.host_id == host_id
+        assert parsed.time == pytest.approx(time, abs=0.06)
+        if temp is None:
+            assert parsed.cpu_temp_c is None
+        else:
+            assert parsed.cpu_temp_c == pytest.approx(temp, abs=0.006)
+
+
+class TestMalformedInput:
+    def test_empty_line_rejected(self):
+        with pytest.raises(ValueError):
+            parse_line("")
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ValueError):
+            parse_line("mystery\t1\t2")
+
+    def test_wrong_field_count_rejected(self):
+        with pytest.raises(ValueError):
+            parse_line("sensor\t100.0\t15")
+
+    def test_non_numeric_field_rejected(self):
+        with pytest.raises(ValueError):
+            parse_line("logger\tabc\t1.0\t2.0")
+
+    def test_bad_hash_verdict_rejected(self):
+        with pytest.raises(ValueError):
+            parse_line("hash\t0.0\t3\tmaybe")
+
+    def test_unknown_record_type_to_line(self):
+        with pytest.raises(TypeError):
+            to_line(object())  # type: ignore[arg-type]

@@ -1,0 +1,114 @@
+"""Tests for the terrace webcam model."""
+
+import numpy as np
+import pytest
+
+from repro.climate.generator import WeatherGenerator
+from repro.climate.profiles import HELSINKI_2010
+from repro.monitoring.webcam import TerraceWebcam, WebcamFrame
+from repro.sim.clock import DAY, HOUR, SimClock
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+
+
+@pytest.fixture(scope="module")
+def weather():
+    return WeatherGenerator(HELSINKI_2010, RngStreams(23))
+
+
+class TestFrames:
+    def test_night_frames_are_dark(self, weather):
+        cam = TerraceWebcam(weather, RngStreams(23))
+        frame = cam.capture(SimClock().at(2010, 2, 20, 2, 0))
+        assert frame.night
+        assert frame.brightness < 0.05
+
+    def test_spring_noon_is_bright(self, weather):
+        cam = TerraceWebcam(weather, RngStreams(23))
+        # Scan a week of noons: at least one mostly-clear noon is bright.
+        brightest = 0.0
+        for day in range(7):
+            t = SimClock().at(2010, 4, 20 + day, 12, 0)
+            brightest = max(brightest, cam.capture(t).brightness)
+        assert brightest > 0.5
+
+    def test_brightness_tracks_solar_series(self, weather):
+        # Cross-validation: the camera is an independent solar instrument.
+        cam = TerraceWebcam(weather, RngStreams(23))
+        clock = SimClock()
+        times = np.arange(clock.at(2010, 3, 1), clock.at(2010, 3, 8), HOUR)
+        for t in times:
+            cam.capture(float(t))
+        solar = np.asarray(weather.solar_irradiance(times))
+        brightness = cam.brightness_series()
+        correlation = np.corrcoef(solar, brightness)[0, 1]
+        assert correlation > 0.9
+
+    def test_frame_validation(self):
+        with pytest.raises(ValueError):
+            WebcamFrame(time=0.0, brightness=1.5, snowing=False, tent_snow_cover=0.0)
+        with pytest.raises(ValueError):
+            WebcamFrame(time=0.0, brightness=0.5, snowing=False, tent_snow_cover=-0.1)
+
+
+class TestSnowCover:
+    def test_snowfall_accumulates_cover(self, weather):
+        cam = TerraceWebcam(weather, RngStreams(23))
+        clock = SimClock()
+        t = clock.at(2010, 2, 19)
+        snowy_frames = 0
+        while t < clock.at(2010, 3, 19) and snowy_frames < 5:
+            frame = cam.capture(t)
+            if frame.snowing:
+                snowy_frames += 1
+            t += HOUR
+        if snowy_frames == 0:
+            pytest.skip("no snowfall at this seed")
+        assert max(f.tent_snow_cover for f in cam.frames) > 0.0
+
+    def test_cover_bounded(self, weather):
+        cam = TerraceWebcam(weather, RngStreams(23))
+        clock = SimClock()
+        t = clock.at(2010, 2, 12)
+        while t < clock.at(2010, 4, 12):
+            frame = cam.capture(t)
+            assert 0.0 <= frame.tent_snow_cover <= 1.0
+            t += 3 * HOUR
+
+    def test_warm_sunny_days_melt_the_cover(self, weather):
+        cam = TerraceWebcam(weather, RngStreams(23))
+        cam._snow_cover = 1.0
+        cam._last_time = SimClock().at(2010, 4, 25, 8, 0)
+        t = SimClock().at(2010, 4, 25, 9, 0)
+        for _ in range(48):
+            frame = cam.capture(t)
+            t += HOUR
+        assert frame.tent_snow_cover < 0.5
+
+
+class TestAttachment:
+    def test_hourly_cadence(self, weather):
+        sim = Simulator()
+        start = SimClock().at(2010, 2, 19)
+        sim.run_until(start)
+        cam = TerraceWebcam(weather, RngStreams(23))
+        cam.attach(sim)
+        sim.run_until(start + DAY)
+        assert len(cam.frames) == 25  # inclusive endpoints
+
+    def test_attach_twice_rejected(self, weather):
+        sim = Simulator()
+        cam = TerraceWebcam(weather, RngStreams(23))
+        cam.attach(sim)
+        with pytest.raises(RuntimeError):
+            cam.attach(sim)
+
+    def test_daylight_fraction_reasonable_for_march(self, weather):
+        sim = Simulator()
+        start = SimClock().at(2010, 3, 1)
+        sim.run_until(start)
+        cam = TerraceWebcam(weather, RngStreams(23))
+        cam.attach(sim)
+        sim.run_until(start + 7 * DAY)
+        # Helsinki in March: roughly 11 hours of usable light.
+        assert 0.25 < cam.daylight_fraction() < 0.75

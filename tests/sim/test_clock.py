@@ -1,0 +1,95 @@
+"""Tests for the simulated calendar clock."""
+
+import datetime as dt
+
+import pytest
+
+from repro.sim.clock import DAY, HOUR, MINUTE, PAPER_EPOCH, SECOND, WEEK, SimClock
+
+
+class TestConstants:
+    def test_time_unit_relations(self):
+        assert MINUTE == 60 * SECOND
+        assert HOUR == 60 * MINUTE
+        assert DAY == 24 * HOUR
+        assert WEEK == 7 * DAY
+
+    def test_paper_epoch_is_prototype_friday(self):
+        assert PAPER_EPOCH == dt.datetime(2010, 2, 12)
+        assert PAPER_EPOCH.weekday() == 4  # Friday
+
+
+class TestConversions:
+    def test_zero_maps_to_epoch(self, clock):
+        assert clock.to_datetime(0.0) == PAPER_EPOCH
+
+    def test_roundtrip_through_seconds(self, clock):
+        when = dt.datetime(2010, 3, 7, 4, 40)  # host #15's first failure
+        assert clock.to_datetime(clock.to_seconds(when)) == when
+
+    def test_at_matches_to_seconds(self, clock):
+        assert clock.at(2010, 3, 17, 12, 20) == clock.to_seconds(
+            dt.datetime(2010, 3, 17, 12, 20)
+        )
+
+    def test_seconds_before_epoch_are_negative(self, clock):
+        assert clock.to_seconds(dt.datetime(2010, 2, 11)) == -DAY
+
+    def test_one_week_in(self, clock):
+        assert clock.to_datetime(WEEK) == dt.datetime(2010, 2, 19)
+
+
+class TestCalendarDecomposition:
+    def test_hour_of_day_at_noon(self, clock):
+        assert clock.hour_of_day(12 * HOUR) == pytest.approx(12.0)
+
+    def test_hour_of_day_fractional(self, clock):
+        assert clock.hour_of_day(4 * HOUR + 40 * MINUTE) == pytest.approx(4.0 + 40 / 60)
+
+    def test_day_of_year_feb_12(self, clock):
+        # Jan has 31 days; Feb 12 is day 31 + 12 = 43.
+        assert clock.day_of_year(0.0) == pytest.approx(43.0)
+
+    def test_day_index_counts_whole_days(self, clock):
+        assert clock.day_index(0.0) == 0
+        assert clock.day_index(DAY - 1) == 0
+        assert clock.day_index(DAY) == 1
+
+    def test_midnight_before_midday(self, clock):
+        assert clock.midnight_before(10 * DAY + 13 * HOUR) == 10 * DAY
+
+    def test_midnight_before_exact_midnight(self, clock):
+        assert clock.midnight_before(3 * DAY) == 3 * DAY
+
+
+class TestIterDays:
+    def test_yields_each_midnight(self, clock):
+        days = list(clock.iter_days(0.0, 3 * DAY))
+        assert days == [0.0, DAY, 2 * DAY]
+
+    def test_first_midnight_at_or_after_start(self, clock):
+        days = list(clock.iter_days(HOUR, 2 * DAY))
+        assert days == [DAY]
+
+    def test_empty_interval(self, clock):
+        assert list(clock.iter_days(HOUR, HOUR + MINUTE)) == []
+
+
+class TestFormatting:
+    def test_format_is_human_readable(self, clock):
+        t = clock.at(2010, 3, 7, 4, 40)
+        assert clock.format(t) == "2010-03-07 04:40"
+
+    def test_repr_mentions_epoch(self, clock):
+        assert "2010-02-12" in repr(clock)
+
+
+class TestEquality:
+    def test_same_epoch_clocks_are_equal(self):
+        assert SimClock() == SimClock(PAPER_EPOCH)
+
+    def test_different_epochs_differ(self):
+        assert SimClock() != SimClock(dt.datetime(2011, 1, 1))
+
+    def test_hashable(self):
+        assert len({SimClock(), SimClock()}) == 1

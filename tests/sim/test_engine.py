@@ -1,0 +1,154 @@
+"""Tests for the discrete-event engine."""
+
+import datetime as dt
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self, sim):
+        order = []
+        sim.schedule(30.0, lambda: order.append("late"))
+        sim.schedule(10.0, lambda: order.append("early"))
+        sim.run_until(100.0)
+        assert order == ["early", "late"]
+
+    def test_ties_break_by_scheduling_order(self, sim):
+        order = []
+        sim.schedule(10.0, lambda: order.append("first"))
+        sim.schedule(10.0, lambda: order.append("second"))
+        sim.run_until(100.0)
+        assert order == ["first", "second"]
+
+    def test_now_reflects_event_time_inside_callback(self, sim):
+        seen = []
+        sim.schedule(25.0, lambda: seen.append(sim.now))
+        sim.run_until(100.0)
+        assert seen == [25.0]
+
+    def test_run_until_advances_clock_even_without_events(self, sim):
+        sim.run_until(500.0)
+        assert sim.now == 500.0
+
+    def test_callback_may_schedule_at_current_instant(self, sim):
+        order = []
+
+        def outer():
+            order.append("outer")
+            sim.schedule(0.0, lambda: order.append("inner"))
+
+        sim.schedule(10.0, outer)
+        sim.run_until(100.0)
+        assert order == ["outer", "inner"]
+
+    def test_schedule_datetime(self, sim):
+        seen = []
+        sim.schedule_datetime(dt.datetime(2010, 2, 13), lambda: seen.append(sim.now))
+        sim.run_until(3 * 86400.0)
+        assert seen == [86400.0]
+
+    def test_events_beyond_horizon_do_not_fire(self, sim):
+        fired = []
+        sim.schedule(100.0, lambda: fired.append(1))
+        sim.run_until(99.0)
+        assert fired == []
+        sim.run_until(101.0)
+        assert fired == [1]
+
+
+class TestValidation:
+    def test_scheduling_into_the_past_raises(self, sim):
+        sim.run_until(50.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(10.0, lambda: None)
+
+    def test_run_until_backwards_raises(self, sim):
+        sim.run_until(50.0)
+        with pytest.raises(SimulationError):
+            sim.run_until(10.0)
+
+    def test_reentrant_run_until_raises(self, sim):
+        def bad():
+            sim.run_until(100.0)
+
+        sim.schedule(10.0, bad)
+        with pytest.raises(SimulationError):
+            sim.run_until(50.0)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim):
+        fired = []
+        handle = sim.schedule(10.0, lambda: fired.append(1))
+        handle.cancel()
+        sim.run_until(100.0)
+        assert fired == []
+
+    def test_cancel_is_idempotent(self, sim):
+        handle = sim.schedule(10.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert handle.cancelled
+
+    def test_pending_count_ignores_cancelled(self, sim):
+        h1 = sim.schedule(10.0, lambda: None)
+        sim.schedule(20.0, lambda: None)
+        h1.cancel()
+        assert sim.pending_count == 1
+
+
+class TestPeriodic:
+    def test_every_fires_repeatedly(self, sim):
+        ticks = []
+        sim.every(10.0, lambda: ticks.append(sim.now))
+        sim.run_until(35.0)
+        assert ticks == [10.0, 20.0, 30.0]
+
+    def test_every_with_explicit_start(self, sim):
+        ticks = []
+        sim.every(10.0, lambda: ticks.append(sim.now), start=5.0)
+        sim.run_until(30.0)
+        assert ticks == [5.0, 15.0, 25.0]
+
+    def test_cancelling_control_handle_stops_recurrence(self, sim):
+        ticks = []
+        control = sim.every(10.0, lambda: ticks.append(sim.now))
+        sim.run_until(25.0)
+        control.cancel()
+        sim.run_until(100.0)
+        assert ticks == [10.0, 20.0]
+
+
+class TestStepAndPeek:
+    def test_peek_returns_next_time(self, sim):
+        sim.schedule(42.0, lambda: None)
+        assert sim.peek_time() == 42.0
+
+    def test_peek_empty_returns_none(self, sim):
+        assert sim.peek_time() is None
+
+    def test_step_fires_single_event(self, sim):
+        fired = []
+        sim.schedule(10.0, lambda: fired.append(1))
+        sim.schedule(20.0, lambda: fired.append(2))
+        assert sim.step() is True
+        assert fired == [1]
+        assert sim.now == 10.0
+
+    def test_step_on_empty_queue_returns_false(self, sim):
+        assert sim.step() is False
+
+    def test_run_drains_everything(self, sim):
+        fired = []
+        sim.schedule(10.0, lambda: fired.append(1))
+        sim.schedule(20.0, lambda: fired.append(2))
+        sim.run()
+        assert fired == [1, 2]
+
+    def test_events_fired_counter(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert sim.events_fired == 2

@@ -1,0 +1,119 @@
+"""Tests for generator-based simulated processes."""
+
+import pytest
+
+from repro.sim.engine import SimulationError
+from repro.sim.process import Process, wait_until
+
+
+class TestBasicExecution:
+    def test_body_runs_to_first_yield_immediately(self, sim):
+        log = []
+
+        def body():
+            log.append("started")
+            yield 10.0
+
+        Process(sim, body())
+        assert log == ["started"]
+
+    def test_yield_sleeps_for_delay(self, sim):
+        log = []
+
+        def body():
+            yield 10.0
+            log.append(sim.now)
+            yield 5.0
+            log.append(sim.now)
+
+        Process(sim, body())
+        sim.run_until(100.0)
+        assert log == [10.0, 15.0]
+
+    def test_wait_until_resumes_at_absolute_time(self, sim):
+        log = []
+
+        def body():
+            yield wait_until(42.0)
+            log.append(sim.now)
+
+        Process(sim, body())
+        sim.run_until(100.0)
+        assert log == [42.0]
+
+    def test_integer_delays_accepted(self, sim):
+        log = []
+
+        def body():
+            yield 7
+            log.append(sim.now)
+
+        Process(sim, body())
+        sim.run_until(100.0)
+        assert log == [7.0]
+
+    def test_finishes_when_generator_returns(self, sim):
+        def body():
+            yield 1.0
+
+        proc = Process(sim, body())
+        assert proc.alive
+        sim.run_until(100.0)
+        assert not proc.alive
+
+    def test_infinite_loop_stays_alive(self, sim):
+        def body():
+            while True:
+                yield 10.0
+
+        proc = Process(sim, body())
+        sim.run_until(1000.0)
+        assert proc.alive
+
+
+class TestStop:
+    def test_stop_cancels_pending_sleep(self, sim):
+        log = []
+
+        def body():
+            yield 10.0
+            log.append("resumed")
+
+        proc = Process(sim, body())
+        proc.stop()
+        sim.run_until(100.0)
+        assert log == []
+        assert not proc.alive
+
+    def test_stop_is_idempotent(self, sim):
+        def body():
+            yield 10.0
+
+        proc = Process(sim, body())
+        proc.stop()
+        proc.stop()
+        assert not proc.alive
+
+
+class TestValidation:
+    def test_negative_sleep_raises(self, sim):
+        def body():
+            yield -1.0
+
+        with pytest.raises(SimulationError):
+            Process(sim, body())
+
+    def test_invalid_yield_value_raises(self, sim):
+        def body():
+            yield "soon"  # type: ignore[misc]
+
+        with pytest.raises(SimulationError):
+            Process(sim, body())
+
+    def test_repr_shows_name_and_state(self, sim):
+        def body():
+            yield 1.0
+
+        proc = Process(sim, body(), name="archiver.host01")
+        assert "archiver.host01" in repr(proc)
+        assert "alive" in repr(proc)

@@ -1,0 +1,89 @@
+"""Tests for named deterministic RNG streams."""
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import RngStreams
+
+
+class TestDeterminism:
+    def test_same_seed_same_name_same_draws(self):
+        a = RngStreams(42).stream("climate.noise")
+        b = RngStreams(42).stream("climate.noise")
+        assert np.array_equal(a.normal(size=16), b.normal(size=16))
+
+    def test_different_seeds_differ(self):
+        a = RngStreams(1).stream("x")
+        b = RngStreams(2).stream("x")
+        assert not np.array_equal(a.normal(size=16), b.normal(size=16))
+
+    def test_different_names_differ(self):
+        streams = RngStreams(42)
+        a = streams.stream("weather").normal(size=16)
+        b = streams.stream("faults").normal(size=16)
+        assert not np.array_equal(a, b)
+
+    def test_stream_identity_independent_of_creation_order(self):
+        forward = RngStreams(7)
+        forward.stream("first")
+        f_second = forward.stream("second").normal(size=8)
+
+        backward = RngStreams(7)
+        b_second = backward.stream("second").normal(size=8)
+        assert np.array_equal(f_second, b_second)
+
+
+class TestCaching:
+    def test_same_name_returns_same_object(self):
+        streams = RngStreams(0)
+        assert streams.stream("a") is streams.stream("a")
+
+    def test_draws_consume_shared_state(self):
+        streams = RngStreams(0)
+        first = streams.stream("a").random()
+        second = streams.stream("a").random()
+        assert first != second
+
+
+class TestSpawn:
+    def test_children_are_independent_of_parent(self):
+        parent = RngStreams(9)
+        child = parent.spawn("host.01")
+        p = parent.stream("memory").normal(size=8)
+        c = child.stream("memory").normal(size=8)
+        assert not np.array_equal(p, c)
+
+    def test_children_with_different_names_differ(self):
+        parent = RngStreams(9)
+        a = parent.spawn("host.01").stream("memory").normal(size=8)
+        b = parent.spawn("host.02").stream("memory").normal(size=8)
+        assert not np.array_equal(a, b)
+
+    def test_spawn_is_deterministic(self):
+        a = RngStreams(9).spawn("host.01").stream("memory").normal(size=8)
+        b = RngStreams(9).spawn("host.01").stream("memory").normal(size=8)
+        assert np.array_equal(a, b)
+
+    def test_fork_seed_stable(self):
+        assert RngStreams(9).fork_seed("x") == RngStreams(9).fork_seed("x")
+        assert RngStreams(9).fork_seed("x") != RngStreams(9).fork_seed("y")
+
+
+class TestValidation:
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            RngStreams(0).stream("")
+
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(TypeError):
+            RngStreams("seven")  # type: ignore[arg-type]
+
+    def test_numpy_integer_seed_accepted(self):
+        streams = RngStreams(np.int64(5))
+        assert streams.master_seed == 5
+
+    def test_repr_lists_created_streams(self):
+        streams = RngStreams(3)
+        streams.stream("beta")
+        streams.stream("alpha")
+        assert "alpha" in repr(streams) and "beta" in repr(streams)

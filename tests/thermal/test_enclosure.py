@@ -1,0 +1,107 @@
+"""Tests for the enclosure base class and the simple enclosures."""
+
+import numpy as np
+import pytest
+
+from repro.climate.generator import WeatherGenerator
+from repro.climate.profiles import HELSINKI_2010
+from repro.sim.clock import DAY, HOUR, SimClock
+from repro.sim.rng import RngStreams
+from repro.thermal.enclosure import BasementMachineRoom, OutdoorAmbient, PlasticBoxShelter
+
+
+@pytest.fixture(scope="module")
+def weather():
+    return WeatherGenerator(HELSINKI_2010, RngStreams(11))
+
+
+def advance_through(enclosure, start, end, step=300.0):
+    t = start
+    while t <= end:
+        enclosure.advance(t)
+        t += step
+
+
+class TestOutdoorAmbient:
+    def test_intake_tracks_weather_exactly(self, weather):
+        enclosure = OutdoorAmbient("outside", weather)
+        t = SimClock().at(2010, 2, 20, 6)
+        enclosure.advance(t)
+        sample = weather.sample(t)
+        assert enclosure.intake_temp_c == sample.temp_c
+        assert enclosure.intake_rh_percent == sample.rh_percent
+
+
+class TestBasementMachineRoom:
+    def test_holds_setpoint(self, weather):
+        basement = BasementMachineRoom("basement", weather)
+        start = SimClock().at(2010, 2, 20)
+        advance_through(basement, start, start + 2 * DAY, step=HOUR)
+        assert basement.intake_temp_c == pytest.approx(21.0, abs=0.6)
+
+    def test_unaffected_by_it_load(self, weather):
+        basement = BasementMachineRoom("basement", weather)
+        t = SimClock().at(2010, 2, 20)
+        basement.advance(t)
+        unloaded = basement.intake_temp_c
+        basement.set_it_load(2000.0)
+        basement.advance(t + HOUR)
+        # Conditioned room: the CRAC absorbs the load (tiny diurnal wiggle only).
+        assert abs(basement.intake_temp_c - unloaded) < 1.0
+
+    def test_well_within_spec_all_winter(self, weather):
+        # The paper: control conditions "well within specifications".
+        basement = BasementMachineRoom("basement", weather)
+        start = SimClock().at(2010, 2, 19)
+        temps = []
+        t = start
+        while t < start + 20 * DAY:
+            basement.advance(t)
+            temps.append(basement.intake_temp_c)
+            t += HOUR
+        assert min(temps) > 15.0 and max(temps) < 30.0
+
+
+class TestPlasticBoxShelter:
+    def test_small_excess_over_outside(self, weather):
+        # "The boxes did not really impede air flow or contain any heat."
+        shelter = PlasticBoxShelter("boxes", weather)
+        shelter.set_it_load(90.0)
+        start = SimClock().at(2010, 2, 12, 16)
+        advance_through(shelter, start, start + DAY)
+        t_end = start + DAY
+        outside = float(weather.temperature(t_end))
+        excess = shelter.intake_temp_c - outside
+        assert 0.5 < excess < 5.0
+
+    def test_no_load_tracks_outside(self, weather):
+        shelter = PlasticBoxShelter("boxes", weather)
+        start = SimClock().at(2010, 2, 12, 16)
+        advance_through(shelter, start, start + DAY)
+        outside = float(weather.temperature(start + DAY))
+        assert shelter.intake_temp_c == pytest.approx(outside, abs=2.0)
+
+    def test_humidity_follows_outside_air(self, weather):
+        shelter = PlasticBoxShelter("boxes", weather)
+        shelter.set_it_load(90.0)
+        start = SimClock().at(2010, 2, 12, 16)
+        advance_through(shelter, start, start + DAY)
+        assert 0.0 <= shelter.intake_rh_percent <= 100.0
+
+
+class TestEnclosureContract:
+    def test_advancing_backwards_raises(self, weather):
+        enclosure = OutdoorAmbient("outside", weather)
+        enclosure.advance(SimClock().at(2010, 3, 1))
+        with pytest.raises(ValueError):
+            enclosure.advance(SimClock().at(2010, 2, 28))
+
+    def test_negative_it_load_rejected(self, weather):
+        enclosure = OutdoorAmbient("outside", weather)
+        with pytest.raises(ValueError):
+            enclosure.set_it_load(-1.0)
+
+    def test_repr_mentions_name_and_conditions(self, weather):
+        enclosure = BasementMachineRoom("basement", weather)
+        enclosure.advance(SimClock().at(2010, 3, 1))
+        assert "basement" in repr(enclosure)

@@ -1,0 +1,115 @@
+"""Tests for the lumped heat and moisture balances."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.climate.psychro import absolute_humidity
+from repro.thermal.heatbalance import LumpedThermalNode, MoistureNode
+
+
+class TestLumpedThermalNode:
+    def test_equilibrium_formula(self):
+        node = LumpedThermalNode(90_000.0, 0.0)
+        assert node.equilibrium(500.0, 25.0, -10.0) == pytest.approx(10.0)
+
+    def test_converges_to_equilibrium(self):
+        node = LumpedThermalNode(90_000.0, -10.0)
+        for _ in range(500):
+            node.step(300.0, 500.0, 25.0, -10.0)
+        assert node.temp_c == pytest.approx(node.equilibrium(500.0, 25.0, -10.0), abs=0.01)
+
+    def test_no_heat_relaxes_to_ambient(self):
+        node = LumpedThermalNode(50_000.0, 20.0)
+        for _ in range(500):
+            node.step(300.0, 0.0, 30.0, -5.0)
+        assert node.temp_c == pytest.approx(-5.0, abs=0.01)
+
+    def test_large_step_remains_stable(self):
+        # dt far beyond C/UA must not oscillate or blow up (substepping).
+        node = LumpedThermalNode(10_000.0, 0.0)
+        node.step(86_400.0, 100.0, 50.0, -10.0)
+        equilibrium = node.equilibrium(100.0, 50.0, -10.0)
+        assert node.temp_c == pytest.approx(equilibrium, abs=0.5)
+
+    def test_zero_dt_is_noop(self):
+        node = LumpedThermalNode(10_000.0, 5.0)
+        assert node.step(0.0, 100.0, 50.0, -10.0) == 5.0
+
+    def test_zero_ua_integrates_heat_only(self):
+        node = LumpedThermalNode(1000.0, 0.0)
+        node.step(10.0, 100.0, 0.0, -10.0)
+        assert node.temp_c == pytest.approx(1.0)  # 100 W * 10 s / 1000 J/K
+
+    def test_time_constant(self):
+        node = LumpedThermalNode(90_000.0, 0.0)
+        assert node.time_constant_s(30.0) == pytest.approx(3000.0)
+
+    @given(
+        capacity=st.floats(min_value=1e3, max_value=1e6),
+        heat=st.floats(min_value=0.0, max_value=2000.0),
+        ua=st.floats(min_value=1.0, max_value=300.0),
+        ambient=st.floats(min_value=-30.0, max_value=20.0),
+        initial=st.floats(min_value=-30.0, max_value=40.0),
+        dt=st.floats(min_value=1.0, max_value=3600.0),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_step_moves_toward_equilibrium_without_overshoot(
+        self, capacity, heat, ua, ambient, initial, dt
+    ):
+        node = LumpedThermalNode(capacity, initial)
+        equilibrium = node.equilibrium(heat, ua, ambient)
+        node.step(dt, heat, ua, ambient)
+        low, high = sorted((initial, equilibrium))
+        assert low - 1e-6 <= node.temp_c <= high + 1e-6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LumpedThermalNode(0.0, 0.0)
+        node = LumpedThermalNode(1000.0, 0.0)
+        with pytest.raises(ValueError):
+            node.step(-1.0, 0.0, 10.0, 0.0)
+        with pytest.raises(ValueError):
+            node.step(1.0, 0.0, -10.0, 0.0)
+        with pytest.raises(ValueError):
+            node.equilibrium(100.0, 0.0, 0.0)
+
+
+class TestMoistureNode:
+    def test_initial_vapor_matches_psychrometrics(self):
+        node = MoistureNode(0.0, 80.0)
+        assert node.vapor_g_m3 == pytest.approx(absolute_humidity(0.0, 80.0))
+
+    def test_relaxes_to_outside_vapor(self):
+        node = MoistureNode(20.0, 30.0)
+        for _ in range(200):
+            node.step(300.0, 10.0, -5.0, 90.0)
+        assert node.vapor_g_m3 == pytest.approx(absolute_humidity(-5.0, 90.0), rel=0.01)
+
+    def test_exact_exponential_decay(self):
+        node = MoistureNode(10.0, 50.0)
+        start = node.vapor_g_m3
+        target = absolute_humidity(0.0, 80.0)
+        ach = 6.0
+        node.step(3600.0, ach, 0.0, 80.0)  # exactly one e-folding x ach
+        expected = target + (start - target) * np.exp(-ach)
+        assert node.vapor_g_m3 == pytest.approx(expected, rel=1e-9)
+
+    def test_zero_ventilation_holds_vapor(self):
+        node = MoistureNode(10.0, 50.0)
+        start = node.vapor_g_m3
+        node.step(3600.0, 0.0, -10.0, 100.0)
+        assert node.vapor_g_m3 == start
+
+    def test_rh_recomputed_at_node_temperature(self):
+        node = MoistureNode(-10.0, 90.0)
+        # Same vapor, warmer air -> lower RH (the tent effect).
+        assert node.relative_humidity(5.0) < 90.0
+
+    def test_validation(self):
+        node = MoistureNode(0.0, 50.0)
+        with pytest.raises(ValueError):
+            node.step(-1.0, 1.0, 0.0, 50.0)
+        with pytest.raises(ValueError):
+            node.step(1.0, -1.0, 0.0, 50.0)

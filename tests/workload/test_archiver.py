@@ -1,0 +1,190 @@
+"""Tests for the 10-minute archival loop."""
+
+import pytest
+
+from repro.climate.generator import WeatherGenerator
+from repro.climate.profiles import HELSINKI_2010
+from repro.hardware.faults import FaultKind, FaultLog, TransientFaultModel
+from repro.hardware.host import Host
+from repro.hardware.vendors import VENDOR_A
+from repro.sim.clock import DAY, HOUR, MINUTE, SimClock
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+from repro.thermal.enclosure import BasementMachineRoom
+from repro.workload.archiver import (
+    CYCLE_PERIOD_S,
+    START_FUZZ_MAX_S,
+    ArchiverProcess,
+    CycleResult,
+    WorkloadLedger,
+)
+
+
+def quiet_model():
+    return TransientFaultModel(base_rate_per_hour=0.0, defective_rate_per_hour=0.0)
+
+
+def make_rig(seed=3, memory_fault_ratio=0.0):
+    sim = Simulator()
+    weather = WeatherGenerator(HELSINKI_2010, RngStreams(seed))
+    basement = BasementMachineRoom("basement", weather)
+    start = SimClock().at(2010, 2, 19)
+    sim.run_until(start)
+    basement.advance(start)
+    host = Host(
+        1, VENDOR_A, RngStreams(seed),
+        transient_model=quiet_model(), memory_fault_ratio=memory_fault_ratio,
+    )
+    host.install(basement, start)
+    ledger = WorkloadLedger()
+    return sim, host, ledger
+
+
+class TestCadence:
+    def test_one_run_per_ten_minutes(self):
+        sim, host, ledger = make_rig()
+        ArchiverProcess(sim, host, ledger)
+        sim.run_until(sim.now + 6 * HOUR + 5 * MINUTE)
+        # 6h05m admits 36 full cycles, plus one more when fuzz+burst < 5 min.
+        assert ledger.total_runs in (36, 37)
+
+    def test_start_fuzz_within_paper_bounds(self):
+        # "each host sleeps for 0 to 119 seconds"
+        for seed in range(10):
+            sim, host, ledger = make_rig(seed=seed)
+            start = sim.now
+            archiver = ArchiverProcess(sim, host, ledger, burst_duration_s=60.0)
+            sim.run_until(start + 200.0)
+            # First burst completes at fuzz + burst; fuzz <= 119 means the
+            # first result lands within 119 + 60 s.
+            if ledger.total_runs:
+                first = ledger.wrong_hash_results or None
+            sim.run_until(start + CYCLE_PERIOD_S + START_FUZZ_MAX_S + 61.0)
+            assert ledger.total_runs >= 1
+
+    def test_cpu_busy_during_burst_idle_after(self):
+        sim, host, ledger = make_rig()
+        ArchiverProcess(sim, host, ledger, burst_duration_s=170.0)
+        # Land inside the first burst (fuzz is at most 119 s).
+        sim.run_until(sim.now + START_FUZZ_MAX_S + 20.0)
+        assert host.cpu.busy
+        sim.run_until(sim.now + 400.0)
+        assert not host.cpu.busy
+
+
+class TestLedger:
+    def test_counts_per_host(self):
+        ledger = WorkloadLedger()
+        ledger.record(CycleResult(0.0, 3, True, 0, False))
+        ledger.record(CycleResult(1.0, 3, True, 0, False))
+        ledger.record(CycleResult(2.0, 5, False, 1, True))
+        assert ledger.runs_per_host == {3: 2, 5: 1}
+        assert ledger.wrong_per_host == {5: 1}
+        assert ledger.total_runs == 3
+        assert ledger.total_wrong_hashes == 1
+        assert ledger.hosts_with_wrong_hashes() == [5]
+
+    def test_wrong_hash_ratio(self):
+        ledger = WorkloadLedger()
+        assert ledger.wrong_hash_ratio == 0.0
+        ledger.record(CycleResult(0.0, 1, True, 0, False))
+        ledger.record(CycleResult(1.0, 1, False, 1, True))
+        assert ledger.wrong_hash_ratio == 0.5
+
+    def test_inconsistent_result_rejected(self):
+        with pytest.raises(ValueError):
+            CycleResult(0.0, 1, hash_ok=True, corrupted_block_count=2, stored=False)
+
+
+class TestFaultPropagation:
+    def test_high_fault_ratio_produces_wrong_hashes(self):
+        sim, host, ledger = make_rig(memory_fault_ratio=1e-5)
+        log = FaultLog()
+        ArchiverProcess(sim, host, ledger, fault_log=log)
+        sim.run_until(sim.now + DAY)
+        assert ledger.total_wrong_hashes > 0
+        assert ledger.stored_archives
+        assert log.of_kind(FaultKind.WRONG_HASH)
+        # Archives are stored exactly for the mismatches.
+        assert len(ledger.stored_archives) == ledger.total_wrong_hashes
+
+    def test_most_recent_stored_archive(self):
+        sim, host, ledger = make_rig(memory_fault_ratio=1e-5)
+        ArchiverProcess(sim, host, ledger)
+        sim.run_until(sim.now + DAY)
+        newest = ledger.most_recent_stored_archive()
+        assert newest is not None
+        assert newest.time == max(a.time for a in ledger.stored_archives)
+
+    def test_zero_ratio_never_mismatches(self):
+        sim, host, ledger = make_rig(memory_fault_ratio=0.0)
+        ArchiverProcess(sim, host, ledger)
+        sim.run_until(sim.now + DAY)
+        assert ledger.total_wrong_hashes == 0
+        assert ledger.most_recent_stored_archive() is None
+
+    def test_page_ops_accounted_on_host_memory(self):
+        sim, host, ledger = make_rig()
+        archiver = ArchiverProcess(sim, host, ledger)
+        sim.run_until(sim.now + 2 * HOUR)
+        expected = ledger.total_runs * archiver.tree.page_ops_per_cycle()
+        assert host.memory.page_ops_total == expected
+
+
+class TestFailedHost:
+    def test_down_host_produces_no_results(self):
+        sim, host, ledger = make_rig()
+        ArchiverProcess(sim, host, ledger)
+        sim.run_until(sim.now + HOUR)
+        count = ledger.total_runs
+        host.transient_model.base_rate_per_hour = 1e9
+        host.tick(300.0, sim.now)  # force the failure
+        assert not host.running
+        sim.run_until(sim.now + 3 * HOUR)
+        assert ledger.total_runs == count
+
+    def test_stop_halts_loop_and_clears_busy(self):
+        sim, host, ledger = make_rig()
+        archiver = ArchiverProcess(sim, host, ledger, burst_duration_s=170.0)
+        sim.run_until(sim.now + START_FUZZ_MAX_S + 20.0)
+        archiver.stop()
+        assert not host.cpu.busy
+        count = ledger.total_runs
+        sim.run_until(sim.now + 2 * HOUR)
+        assert ledger.total_runs == count
+
+
+class TestValidation:
+    def test_burst_must_fit_in_cycle(self):
+        sim, host, ledger = make_rig()
+        with pytest.raises(ValueError):
+            ArchiverProcess(sim, host, ledger, burst_duration_s=CYCLE_PERIOD_S)
+        with pytest.raises(ValueError):
+            ArchiverProcess(sim, host, ledger, burst_duration_s=0.0)
+
+
+class TestVendorDerivedBurst:
+    def test_default_burst_from_compression_throughput(self):
+        sim, host, ledger = make_rig()
+        archiver = ArchiverProcess(sim, host, ledger)
+        expected = archiver.tree.total_bytes / 1e6 / host.spec.compress_mb_per_s
+        assert archiver.burst_duration_s == pytest.approx(expected)
+
+    def test_slower_platform_stays_busy_longer(self):
+        from repro.hardware.vendors import VENDOR_B, VENDOR_C
+
+        sim, _host, ledger = make_rig()
+        weather_host_b = Host(
+            14, VENDOR_B, RngStreams(1), transient_model=quiet_model()
+        )
+        weather_host_c = Host(
+            11, VENDOR_C, RngStreams(1), transient_model=quiet_model()
+        )
+        burst_b = ArchiverProcess(sim, weather_host_b, ledger).burst_duration_s
+        burst_c = ArchiverProcess(sim, weather_host_c, ledger).burst_duration_s
+        assert burst_b > burst_c
+
+    def test_explicit_burst_still_honoured(self):
+        sim, host, ledger = make_rig()
+        archiver = ArchiverProcess(sim, host, ledger, burst_duration_s=100.0)
+        assert archiver.burst_duration_s == 100.0

@@ -1,0 +1,80 @@
+"""Tests for the block-structured bzip2 model and bzip2recover triage."""
+
+import numpy as np
+import pytest
+
+from repro.workload.bzip2 import Archive, Bzip2Model, bzip2recover
+from repro.workload.kernel_tree import KernelSourceTree
+
+
+def rng():
+    return np.random.default_rng(17)
+
+
+class TestArchive:
+    def test_clean_archive(self):
+        archive = Archive(host_id=1, time=0.0, block_count=396)
+        assert archive.clean
+
+    def test_corrupted_archive_not_clean(self):
+        archive = Archive(host_id=1, time=0.0, block_count=396, corrupted_blocks=frozenset({7}))
+        assert not archive.clean
+
+    def test_block_indices_validated(self):
+        with pytest.raises(ValueError):
+            Archive(host_id=1, time=0.0, block_count=10, corrupted_blocks=frozenset({10}))
+
+    def test_needs_at_least_one_block(self):
+        with pytest.raises(ValueError):
+            Archive(host_id=1, time=0.0, block_count=0)
+
+
+class TestBzip2Model:
+    def test_default_tree_has_396_blocks(self):
+        assert Bzip2Model().block_count == 396
+
+    def test_compress_without_faults_is_clean(self):
+        archive = Bzip2Model().compress(host_id=3, time=10.0, uncorrected_faults=0, rng=rng())
+        assert archive.clean
+        assert archive.host_id == 3
+        assert archive.time == 10.0
+
+    def test_single_fault_corrupts_single_block(self):
+        # Section 4.2.2: "only a single one of the 396 bzip2 compression
+        # blocks had been corrupted."
+        archive = Bzip2Model().compress(host_id=3, time=0.0, uncorrected_faults=1, rng=rng())
+        assert len(archive.corrupted_blocks) == 1
+
+    def test_multiple_faults_corrupt_at_most_that_many_blocks(self):
+        archive = Bzip2Model().compress(host_id=3, time=0.0, uncorrected_faults=5, rng=rng())
+        assert 1 <= len(archive.corrupted_blocks) <= 5
+
+    def test_corruption_location_deterministic_per_rng(self):
+        a = Bzip2Model().compress(1, 0.0, 1, np.random.default_rng(5))
+        b = Bzip2Model().compress(1, 0.0, 1, np.random.default_rng(5))
+        assert a.corrupted_blocks == b.corrupted_blocks
+
+    def test_negative_faults_rejected(self):
+        with pytest.raises(ValueError):
+            Bzip2Model().compress(1, 0.0, -1, rng())
+
+    def test_custom_tree_block_count(self):
+        tree = KernelSourceTree(total_bytes=10 * 900 * 1000)
+        assert Bzip2Model(tree).block_count == 10
+
+
+class TestBzip2Recover:
+    def test_report_counts_damage(self):
+        archive = Archive(host_id=1, time=0.0, block_count=396, corrupted_blocks=frozenset({5}))
+        report = bzip2recover(archive)
+        assert report.total_blocks == 396
+        assert report.damaged_blocks == frozenset({5})
+        assert report.recoverable_blocks == 395
+
+    def test_paper_summary_sentence(self):
+        archive = Archive(host_id=1, time=0.0, block_count=396, corrupted_blocks=frozenset({5}))
+        assert "1 of the 396" in bzip2recover(archive).summary()
+
+    def test_clean_archive_fully_recoverable(self):
+        archive = Archive(host_id=1, time=0.0, block_count=396)
+        assert bzip2recover(archive).recoverable_blocks == 396

@@ -1,0 +1,66 @@
+"""Tests for the md5sum verification model."""
+
+import numpy as np
+import pytest
+
+from repro.workload.bzip2 import Archive, Bzip2Model
+from repro.workload.digest import (
+    archive_digest,
+    block_digest,
+    reference_digest,
+    verify_archive,
+)
+from repro.workload.kernel_tree import KernelSourceTree
+
+
+@pytest.fixture
+def tree():
+    return KernelSourceTree()
+
+
+class TestReferenceDigest:
+    def test_is_32_hex_chars(self, tree):
+        digest = reference_digest(tree)
+        assert len(digest) == 32
+        int(digest, 16)  # parses as hex
+
+    def test_deterministic(self, tree):
+        assert reference_digest(tree) == reference_digest(KernelSourceTree())
+
+    def test_different_trees_different_digests(self, tree):
+        other = KernelSourceTree(total_bytes=tree.total_bytes + 4096)
+        assert reference_digest(tree) != reference_digest(other)
+
+
+class TestVerification:
+    def test_clean_archive_verifies(self, tree):
+        archive = Archive(host_id=1, time=0.0, block_count=396)
+        assert verify_archive(tree, archive)
+
+    def test_corrupted_archive_fails(self, tree):
+        archive = Archive(
+            host_id=1, time=0.0, block_count=396, corrupted_blocks=frozenset({12})
+        )
+        assert not verify_archive(tree, archive)
+
+    def test_mismatch_iff_corrupted_end_to_end(self, tree):
+        model = Bzip2Model(tree)
+        rng = np.random.default_rng(2)
+        clean = model.compress(1, 0.0, 0, rng)
+        dirty = model.compress(1, 0.0, 1, rng)
+        assert verify_archive(tree, clean)
+        assert not verify_archive(tree, dirty)
+
+    def test_damage_location_changes_digest(self, tree):
+        a = block_digest(tree, {3})
+        b = block_digest(tree, {4})
+        assert a != b
+
+    def test_block_order_irrelevant(self, tree):
+        assert block_digest(tree, [3, 5]) == block_digest(tree, [5, 3])
+
+    def test_archive_digest_matches_block_digest(self, tree):
+        archive = Archive(
+            host_id=1, time=0.0, block_count=396, corrupted_blocks=frozenset({9})
+        )
+        assert archive_digest(tree, archive) == block_digest(tree, {9})

@@ -1,0 +1,64 @@
+"""Tests for the synthetic kernel source tree arithmetic."""
+
+import pytest
+
+from repro.workload.kernel_tree import PAGE_SIZE_BYTES, KernelSourceTree
+
+
+class TestPaperArithmetic:
+    def test_default_tree_yields_396_blocks(self):
+        from repro.workload.bzip2 import BZIP2_BLOCK_BYTES
+
+        tree = KernelSourceTree()
+        blocks = -(-tree.total_bytes // BZIP2_BLOCK_BYTES)
+        assert blocks == 396
+
+    def test_page_ops_per_cycle_near_paper_ballpark(self):
+        # Paper: ~3.2e9 page ops over 27,627 runs -> ~116k per cycle.
+        tree = KernelSourceTree()
+        paper_per_cycle = 3.2e9 / 27_627
+        assert tree.page_ops_per_cycle() == pytest.approx(paper_per_cycle, rel=0.25)
+
+    def test_estimated_page_ops_scales_with_cycles(self):
+        tree = KernelSourceTree()
+        assert tree.estimated_page_ops(27_627) == pytest.approx(3.2e9, rel=0.25)
+
+    def test_page_census_consistency(self):
+        tree = KernelSourceTree()
+        assert tree.page_ops_per_cycle() == tree.source_pages + 2 * tree.archive_pages
+
+
+class TestSizeArithmetic:
+    def test_source_pages_ceiling_division(self):
+        tree = KernelSourceTree(total_bytes=PAGE_SIZE_BYTES + 1, file_count=1)
+        assert tree.source_pages == 2
+
+    def test_compressed_smaller_than_source(self):
+        tree = KernelSourceTree()
+        assert tree.compressed_bytes < tree.total_bytes
+
+    def test_compression_ratio_applied(self):
+        tree = KernelSourceTree(total_bytes=1_000_000, compression_ratio=0.25)
+        assert tree.compressed_bytes == 250_000
+
+
+class TestValidation:
+    def test_positive_size_required(self):
+        with pytest.raises(ValueError):
+            KernelSourceTree(total_bytes=0)
+
+    def test_positive_file_count_required(self):
+        with pytest.raises(ValueError):
+            KernelSourceTree(file_count=0)
+
+    def test_ratio_in_unit_interval(self):
+        with pytest.raises(ValueError):
+            KernelSourceTree(compression_ratio=1.5)
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            KernelSourceTree().estimated_page_ops(-1)
+
+    def test_describe_mentions_sizes(self):
+        text = KernelSourceTree().describe()
+        assert "files" in text and "page ops/cycle" in text
