@@ -9,13 +9,13 @@ than being a fortunate draw.
 
 Usage::
 
-    python examples/seed_sweep.py [--seeds N] [--until YYYY-MM-DD]
+    python examples/seed_sweep.py [--seeds N] [--until YYYY-MM-DD] [--jobs N]
 """
 
 import argparse
 import datetime as dt
 
-from repro.analysis.seedsweep import sweep_seeds
+from repro.runner import sweep_seeds
 
 
 def main() -> None:
@@ -27,11 +27,14 @@ def main() -> None:
         default=dt.datetime(2010, 3, 27),
         help="horizon per run (default: the paper's snapshot date)",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (default: serial)"
+    )
     args = parser.parse_args()
 
     seeds = list(range(1, args.seeds + 1))
     print(f"Running the campaign to {args.until.date()} under seeds {seeds}...")
-    summary = sweep_seeds(seeds=seeds, until=args.until)
+    summary = sweep_seeds(seeds=seeds, until=args.until, jobs=args.jobs)
 
     print()
     print(summary.describe())

@@ -33,7 +33,7 @@ from repro.analysis.reliability import (
     rates_are_consistent,
     wilson_interval,
 )
-from repro.analysis.seedsweep import SeedOutcome, SweepSummary, sweep_seeds
+from repro.analysis.seedsweep import SeedOutcome, SweepSummary
 from repro.analysis.series import TimeSeries
 from repro.analysis.timeline import CensusPoint, census_timeline
 
@@ -72,3 +72,13 @@ __all__ = [
     "SweepSummary",
     "sweep_seeds",
 ]
+
+
+def __getattr__(name: str):
+    # ``sweep_seeds`` execution lives in the runner layer; re-export it
+    # lazily so importing repro.analysis never pulls in repro.core.
+    if name == "sweep_seeds":
+        from repro.runner.pool import sweep_seeds
+
+        return sweep_seeds
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,19 +1,23 @@
 """Monte-Carlo over master seeds: the census as a distribution.
 
 The paper reports one draw of reality; the simulation can report the
-*distribution*.  :func:`sweep_seeds` runs the campaign under several
-master seeds and aggregates the quantities the paper states as point
-values -- failure rate, wrong-hash rate, sensor latches -- together with
-a Wilson interval over the pooled host population.  This is the tool for
-questions like "was 5.6 % lucky?" (answer: it is near the middle of the
-distribution) without touching the calibrated default run.
+*distribution*.  This module holds the passive aggregates -- a
+:class:`SeedOutcome` per run and the :class:`SweepSummary` with its
+Wilson interval over the pooled host population -- for questions like
+"was 5.6 % lucky?" (answer: it is near the middle of the distribution)
+without touching the calibrated default run.
+
+Execution lives in :mod:`repro.runner.pool`: ``sweep_seeds`` (re-exported
+here lazily for backwards compatibility) runs the campaigns, serially or
+process-parallel.  Keeping this module free of ``repro.core`` imports is
+deliberate -- the old function-local ``from repro import Experiment``
+papered over an import cycle the layering now rules out.
 """
 
 from __future__ import annotations
 
-import datetime as _dt
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Tuple
 
 from repro.analysis.reliability import wilson_interval
 
@@ -110,25 +114,11 @@ def outcome_from_results(seed: int, results) -> SeedOutcome:
     )
 
 
-def sweep_seeds(
-    seeds: Sequence[int],
-    until: Optional[_dt.datetime] = None,
-    config_factory=None,
-) -> SweepSummary:
-    """Run the campaign once per seed and aggregate the censuses.
+def __getattr__(name: str):
+    # Lazy compat re-export: execution moved to the runner layer, but
+    # ``from repro.analysis.seedsweep import sweep_seeds`` keeps working.
+    if name == "sweep_seeds":
+        from repro.runner.pool import sweep_seeds
 
-    ``config_factory(seed)`` builds each configuration (defaults to the
-    paper campaign); ``until`` truncates every run identically.
-    """
-    from repro import Experiment, ExperimentConfig
-
-    if not seeds:
-        raise ValueError("need at least one seed")
-    factory = config_factory if config_factory is not None else (
-        lambda seed: ExperimentConfig(seed=seed)
-    )
-    outcomes: List[SeedOutcome] = []
-    for seed in seeds:
-        results = Experiment(factory(seed)).run(until=until)
-        outcomes.append(outcome_from_results(seed, results))
-    return SweepSummary(outcomes=tuple(outcomes))
+        return sweep_seeds
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -16,6 +16,13 @@ Commands
 ``export``
     Run the campaign and dump the instrument series, fault log, and
     metadata as CSV/TSV/JSON into a directory.
+``sweep``
+    Run the campaign under several master seeds -- optionally in
+    parallel worker processes (``--jobs N``) and memoised on disk
+    (``--cache-dir``; set ``--no-cache`` to disable) -- and print the
+    aggregated census, e.g.::
+
+        python -m repro sweep --seeds 7,11,13,17 --jobs 4 --until 2010-03-01
 """
 
 from __future__ import annotations
@@ -35,6 +42,39 @@ def _parse_date(text: str) -> _dt.datetime:
         raise argparse.ArgumentTypeError(
             f"expected YYYY-MM-DD, got {text!r}"
         ) from None
+
+
+def _parse_jobs(text: str) -> int:
+    try:
+        jobs = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {text!r}"
+        ) from None
+    if jobs < 1:
+        raise argparse.ArgumentTypeError("need at least one worker process")
+    return jobs
+
+
+def _parse_seeds(text: str) -> List[int]:
+    try:
+        seeds = [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a comma-separated list of integers, got {text!r}"
+        ) from None
+    if not seeds:
+        raise argparse.ArgumentTypeError("need at least one seed")
+    return seeds
+
+
+def _default_cache_dir() -> str:
+    import os
+
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro", "runs")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -80,7 +120,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--until", type=_parse_date, default=None,
         help="truncate the campaign at this date (YYYY-MM-DD)",
     )
+
+    sweep = sub.add_parser(
+        "sweep", help="run several seeds (optionally parallel) and aggregate"
+    )
+    sweep.add_argument(
+        "--seeds", type=_parse_seeds, default=[7, 11, 13, 17],
+        help="comma-separated master seeds (default: 7,11,13,17)",
+    )
+    sweep.add_argument(
+        "--jobs", type=_parse_jobs, default=1,
+        help="worker processes (1 = serial in this process)",
+    )
+    sweep.add_argument(
+        "--until", type=_parse_date, default=None,
+        help="truncate every campaign at this date (YYYY-MM-DD)",
+    )
+    sweep.add_argument(
+        "--scenario", choices=sorted(_scenario_names()), default="paper",
+        help="named scenario to sweep (default: paper)",
+    )
+    sweep.add_argument(
+        "--cache-dir", default=None,
+        help="run-record cache directory (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro/runs)",
+    )
+    sweep.add_argument(
+        "--no-cache", action="store_true", help="disable the on-disk record cache"
+    )
     return parser
+
+
+def _scenario_names() -> List[str]:
+    from repro.core.scenarios import SCENARIOS
+
+    return list(SCENARIOS)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -162,12 +236,37 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.core.scenarios import SCENARIOS
+    from repro.runner import sweep_records
+
+    cache_dir = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir if args.cache_dir else _default_cache_dir()
+    factory = SCENARIOS[args.scenario]
+    result = sweep_records(
+        args.seeds,
+        until=args.until,
+        config_factory=lambda seed: factory(seed=seed),
+        jobs=args.jobs,
+        cache_dir=cache_dir,
+    )
+    print(result.summary.describe())
+    print(
+        f"{len(result.records)} record(s), {result.cache_hits} from cache, "
+        f"{result.cache_misses} computed in {result.elapsed_s:.1f} s "
+        f"(jobs={args.jobs}, scenario={args.scenario})"
+    )
+    return 0
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "figures": _cmd_figures,
     "pue": _cmd_pue,
     "sites": _cmd_sites,
     "export": _cmd_export,
+    "sweep": _cmd_sweep,
 }
 
 

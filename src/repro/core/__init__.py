@@ -12,20 +12,26 @@
 - :mod:`repro.core.reporting` -- paper-style textual reports.
 """
 
+from repro.core.builder import Campaign, CampaignBuilder, DEFAULT_INSTRUMENTS
 from repro.core.config import ExperimentConfig, HostPlan, TentModificationPlan
 from repro.core.deployment import Fleet, paper_install_plan
 from repro.core.experiment import Experiment
 from repro.core.protocol import OperatorPolicy
 from repro.core.results import ExperimentResults, PrototypeResult
 from repro.core.scenarios import (
+    SCENARIOS,
     conditioned_tent,
     extended_year,
     harsher_winter,
     no_modifications,
     paper_campaign,
+    scenario_config,
 )
 
 __all__ = [
+    "Campaign",
+    "CampaignBuilder",
+    "DEFAULT_INSTRUMENTS",
     "ExperimentConfig",
     "HostPlan",
     "TentModificationPlan",
@@ -35,9 +41,11 @@ __all__ = [
     "Experiment",
     "ExperimentResults",
     "PrototypeResult",
+    "SCENARIOS",
     "paper_campaign",
     "no_modifications",
     "conditioned_tent",
     "extended_year",
     "harsher_winter",
+    "scenario_config",
 ]

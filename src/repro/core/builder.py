@@ -1,0 +1,397 @@
+"""Composable campaign assembly: the builder behind :class:`Experiment`.
+
+The experiment driver used to hard-wire every subsystem in its
+``__init__``.  :class:`CampaignBuilder` replaces that: it assembles a
+:class:`Campaign` from the same parts in the same order, but lets callers
+
+- drop default instruments (``without("webcam")`` builds a campaign with
+  no terrace webcam and no webcam tick in the event queue),
+- register extra instruments through the same ``attach(sim)/detach()``
+  protocol the built-ins use (``with_instrument``), and
+- subscribe observers to the campaign event bus before anything runs
+  (``with_subscriber``).
+
+Determinism contract: a default-built campaign replays the exact event
+sequence the old hard-wired driver produced.  Named RNG streams make
+construction order irrelevant to random draws, but the simulator breaks
+time ties by scheduling order -- so the builder schedules the default
+instruments in the historical order and appends extras strictly *after*
+them.  Dropping a default removes its events wholesale without
+renumbering anything that remains on the same tick.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.climate.generator import WeatherGenerator
+from repro.climate.station import WeatherStation
+from repro.core.config import ExperimentConfig
+from repro.core.deployment import Fleet
+from repro.core.protocol import OperatorPolicy
+from repro.core.results import ExperimentResults, PrototypeResult, take_snapshot
+from repro.hardware.faults import FaultLog
+from repro.hardware.host import Host
+from repro.hardware.vendors import VENDOR_A
+from repro.monitoring.collector import MonitoringHost
+from repro.monitoring.datalogger import LascarDataLogger
+from repro.monitoring.powermeter import TechnolineCostControl
+from repro.monitoring.transport import TransferLedger
+from repro.monitoring.webcam import TerraceWebcam
+from repro.sim.clock import DAY, MINUTE, SimClock
+from repro.sim.engine import Simulator
+from repro.sim.events import EventBus, EventRecorder, SnapshotTaken
+from repro.sim.rng import RngStreams
+from repro.thermal.enclosure import PlasticBoxShelter
+
+#: Instruments a default build schedules, in their historical order.
+DEFAULT_INSTRUMENTS: Tuple[str, ...] = (
+    "prototype",
+    "lascar",
+    "powermeter",
+    "webcam",
+    "collector",
+    "weekly-review",
+    "snapshot",
+)
+
+
+class Campaign:
+    """One fully-wired campaign: subsystems, bus, and the run driver.
+
+    Build instances through :class:`CampaignBuilder`; the constructor
+    wires the subsystems exactly the way the original hard-coded
+    ``Experiment.__init__`` did, plus the event bus the fault log and
+    the run recorder subscribe to.
+    """
+
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        disabled: frozenset,
+        extra_instruments: Tuple[Tuple[str, Callable[["Campaign"], object]], ...] = (),
+        subscribers: Tuple[Callable[[EventBus], None], ...] = (),
+    ) -> None:
+        self.config = config
+        self._disabled = disabled
+        self.clock = SimClock()
+        self.sim = Simulator(self.clock)
+        self.streams = RngStreams(config.seed)
+        self.weather = WeatherGenerator(config.climate, self.streams, self.clock)
+
+        # The bus first, so every producer below can be handed it; the
+        # fault log subscribes before any producer exists, keeping
+        # census ordering identical to the old direct-record wiring.
+        self.bus = EventBus()
+        self.fault_log = FaultLog()
+        self.fault_log.attach_bus(self.bus)
+        self.recorder = EventRecorder()
+        self.recorder.attach(self.bus)
+
+        self.station = WeatherStation(self.weather, self.streams)
+        self.fleet = Fleet(
+            self.sim, config, self.streams, self.weather, self.fault_log, bus=self.bus
+        )
+        self.policy = OperatorPolicy(
+            self.sim, config, self.fleet, self.fault_log, bus=self.bus
+        )
+        self.transfers = TransferLedger()
+        self.monitoring = MonitoringHost(
+            self.sim,
+            on_down_host=self.policy.on_down_host,
+            on_unreachable=self.policy.on_unreachable,
+            on_sensor_anomaly=self.policy.on_sensor_anomaly,
+            transport=self.transfers,
+            workload_ledger=self.fleet.ledger,
+            bus=self.bus,
+        )
+        self.policy.bind_monitoring(self.monitoring)
+
+        self.lascar = LascarDataLogger(
+            self.fleet.tent,
+            self.streams,
+            arrival_time=self.clock.to_seconds(config.lascar_arrival),
+        )
+        self.powermeter = TechnolineCostControl(self.streams)
+        self.webcam = TerraceWebcam(self.weather, self.streams)
+
+        #: Extra instruments, name -> built instance (attach/detach protocol).
+        self.instruments: Dict[str, object] = {}
+        for name, factory in extra_instruments:
+            self.instruments[name] = factory(self)
+        for subscribe in subscribers:
+            subscribe(self.bus)
+
+        self.prototype_result: Optional[PrototypeResult] = None
+        self._snapshot = None
+        self._ran = False
+
+    def __repr__(self) -> str:
+        state = "finished" if self._ran else "ready"
+        return f"Campaign(seed={self.config.seed}, {state})"
+
+    def enabled(self, name: str) -> bool:
+        """Whether a default instrument survives this build."""
+        return name not in self._disabled
+
+    # ------------------------------------------------------------------
+    # Public driver
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[_dt.datetime] = None) -> ExperimentResults:
+        """Run prototype + campaign and return the results.
+
+        ``until`` truncates the campaign (tests use short horizons); the
+        default runs to ``config.end_date``.
+        """
+        if self._ran:
+            raise RuntimeError("a Campaign instance runs exactly once")
+        self._ran = True
+        end_date = until if until is not None else self.config.end_date
+        end = self.clock.to_seconds(end_date)
+        proto_end = self.clock.to_seconds(self.config.prototype_end)
+        if end < proto_end:
+            raise ValueError("campaign end precedes the prototype weekend")
+
+        self.station.attach(
+            self.sim, start=self.clock.to_seconds(self.config.prototype_start)
+        )
+        if self.enabled("prototype"):
+            self.prototype_result = self._run_prototype()
+        self._schedule_campaign(end)
+        self.sim.run_until(end)
+        return self._build_results(end)
+
+    # ------------------------------------------------------------------
+    # Phase 1: the plastic-box weekend
+    # ------------------------------------------------------------------
+    def _run_prototype(self) -> PrototypeResult:
+        start = self.clock.to_seconds(self.config.prototype_start)
+        end = self.clock.to_seconds(self.config.prototype_end)
+        shelter = PlasticBoxShelter("plastic-boxes", self.weather)
+        proto_host = Host(
+            host_id=0,
+            spec=VENDOR_A,
+            streams=self.streams,
+            transient_model=self.config.transient_model,
+            memory_fault_ratio=self.config.memory_model.page_fault_ratio,
+            bus=self.bus,
+        )
+        cpu_temps: List[float] = []
+        dt = self.config.tick_interval_s
+
+        def tick() -> None:
+            now = self.sim.now
+            if now == start:
+                proto_host.install(shelter, now)
+            shelter.set_it_load(proto_host.average_power_w)
+            shelter.advance(now)
+            if proto_host.running:
+                proto_host.tick(dt, now, self.fault_log)
+                # The tick itself can fail the host; only a survivor
+                # contributes a CPU sample.
+                if proto_host.running:
+                    cpu_temps.append(proto_host.cpu_temp_c())
+
+        handle = self.sim.every(dt, tick, start=start, label="prototype-tick")
+        self.sim.run_until(end)
+        handle.cancel()
+        survived = proto_host.running
+        if proto_host.running:
+            proto_host.retire(end)  # the borrowed boxes had to be returned
+
+        window = [r for r in self.station.readings if start <= r.time <= end]
+        temps = [r.temp_c for r in window]
+        return PrototypeResult(
+            start=start,
+            end=end,
+            outside_min_c=min(temps) if temps else float("nan"),
+            outside_mean_c=sum(temps) / len(temps) if temps else float("nan"),
+            cpu_min_c=min(cpu_temps) if cpu_temps else float("nan"),
+            survived=survived,
+        )
+
+    # ------------------------------------------------------------------
+    # Phase 2: the campaign
+    # ------------------------------------------------------------------
+    def _schedule_campaign(self, end: float) -> None:
+        test_start = self.clock.to_seconds(self.config.test_start)
+
+        def erect_tent() -> None:
+            self.fleet.power_tent_switches()
+
+        self.sim.schedule_at(test_start, erect_tent, label="erect-tent")
+        self.fleet.start_ticking(test_start)
+
+        for plan in self.config.host_plans:
+            if plan.install_date is None:
+                continue
+            self.sim.schedule_datetime(
+                plan.install_date,
+                lambda p=plan: self._install(p.host_id, p.group),
+                label=f"install.host{plan.host_id:02d}",
+            )
+
+        for mod_plan in self.config.modification_plans:
+            when = self.clock.to_seconds(mod_plan.date)
+            if when > end:
+                continue
+            self.sim.schedule_at(
+                when,
+                lambda m=mod_plan.modification, t=when: self.fleet.apply_tent_modification(m, t),
+                label=f"tent-mod.{mod_plan.modification.letter}",
+            )
+
+        if self.enabled("lascar"):
+            self.sim.schedule_at(
+                test_start, lambda: self.lascar.attach(self.sim), label="lascar"
+            )
+            trip = self.lascar.arrival_time + self.config.logger_download_interval_days * DAY
+            while trip < end:
+                self.lascar.schedule_download_trip(
+                    trip, duration_s=self.config.logger_download_duration_min * MINUTE
+                )
+                trip += self.config.logger_download_interval_days * DAY
+
+        if self.enabled("powermeter"):
+            self.sim.schedule_at(
+                test_start, lambda: self.powermeter.attach(self.sim), label="powermeter"
+            )
+        if self.enabled("webcam"):
+            self.sim.schedule_at(
+                test_start, lambda: self.webcam.attach(self.sim), label="webcam"
+            )
+        if self.enabled("collector"):
+            self.sim.schedule_at(
+                test_start + 10 * MINUTE, lambda: self.monitoring.attach(), label="collector"
+            )
+        if self.enabled("weekly-review"):
+            # Weekly lab review: triage new wrong hashes with S.M.A.R.T. runs.
+            self.sim.every(
+                7 * DAY, self.policy.weekly_review, start=test_start + 7 * DAY,
+                label="weekly-review",
+            )
+
+        if self.enabled("snapshot"):
+            snapshot_t = self.clock.to_seconds(self.config.snapshot_date)
+            if snapshot_t <= end:
+
+                def freeze_snapshot() -> None:
+                    census = take_snapshot(
+                        self.config, self.fleet.ledger, self.fault_log, snapshot_t
+                    )
+                    self._snapshot = census
+                    self.bus.publish(SnapshotTaken(time=snapshot_t, census=census))
+
+                self.sim.schedule_at(snapshot_t, freeze_snapshot, label="paper-snapshot")
+
+        # Extra instruments attach strictly after the defaults, so their
+        # presence never renumbers the defaults' same-tick tie-breaks.
+        for name, instrument in self.instruments.items():
+            self.sim.schedule_at(
+                test_start,
+                lambda i=instrument: i.attach(self.sim),
+                label=f"instrument.{name}",
+            )
+
+    def _install(self, host_id: int, group: str) -> None:
+        now = self.sim.now
+        enclosure = self.fleet.enclosure_for_group(group)
+        host = self.fleet.install(host_id, enclosure, now)
+        if group == "tent":
+            chain = [self.fleet.next_tent_switch()]
+            self.powermeter.plug_in(host)
+        else:
+            chain = [self.fleet.next_basement_switch()]
+        self.monitoring.register(host, chain)
+
+    # ------------------------------------------------------------------
+    def _build_results(self, end: float) -> ExperimentResults:
+        return ExperimentResults(
+            config=self.config,
+            clock=self.clock,
+            fleet=self.fleet,
+            station=self.station,
+            lascar=self.lascar,
+            powermeter=self.powermeter,
+            monitoring=self.monitoring,
+            policy=self.policy,
+            webcam=self.webcam,
+            fault_log=self.fault_log,
+            prototype=self.prototype_result,
+            snapshot=self._snapshot,
+            end_time=end,
+            bus=self.bus,
+            recorder=self.recorder,
+        )
+
+
+class CampaignBuilder:
+    """Fluent assembly of a :class:`Campaign`.
+
+    Examples
+    --------
+    The default build is the paper's campaign::
+
+        campaign = CampaignBuilder(ExperimentConfig(seed=7)).build()
+        results = campaign.run()
+
+    A stripped-down build with a custom instrument and a bus observer::
+
+        failures = []
+        campaign = (
+            CampaignBuilder(config)
+            .without("webcam")
+            .with_instrument("co2-meter", lambda c: Co2Meter(c.streams))
+            .with_subscriber(lambda bus: bus.subscribe(HostFailed, failures.append))
+            .build()
+        )
+    """
+
+    def __init__(self, config: Optional[ExperimentConfig] = None) -> None:
+        self.config = config if config is not None else ExperimentConfig()
+        self._disabled: set = set()
+        self._extra: List[Tuple[str, Callable[[Campaign], object]]] = []
+        self._subscribers: List[Callable[[EventBus], None]] = []
+
+    def without(self, name: str) -> "CampaignBuilder":
+        """Drop one default instrument (see :data:`DEFAULT_INSTRUMENTS`)."""
+        if name not in DEFAULT_INSTRUMENTS:
+            raise ValueError(
+                f"unknown default instrument {name!r}; "
+                f"choose from {', '.join(DEFAULT_INSTRUMENTS)}"
+            )
+        self._disabled.add(name)
+        return self
+
+    def with_instrument(
+        self, name: str, factory: Callable[[Campaign], object]
+    ) -> "CampaignBuilder":
+        """Register an extra instrument.
+
+        ``factory(campaign)`` is called at build time and must return an
+        object with the standard ``attach(sim)`` method; the campaign
+        schedules the attach at test start, after every default.
+        """
+        if name in DEFAULT_INSTRUMENTS:
+            raise ValueError(f"{name!r} is a default instrument; use without() to drop it")
+        if any(existing == name for existing, _ in self._extra):
+            raise ValueError(f"instrument {name!r} already registered")
+        self._extra.append((name, factory))
+        return self
+
+    def with_subscriber(
+        self, subscribe: Callable[[EventBus], None]
+    ) -> "CampaignBuilder":
+        """Register a bus observer; called with the bus at build time."""
+        self._subscribers.append(subscribe)
+        return self
+
+    def build(self) -> Campaign:
+        """Assemble the campaign (construction wires, nothing runs yet)."""
+        return Campaign(
+            self.config,
+            disabled=frozenset(self._disabled),
+            extra_instruments=tuple(self._extra),
+            subscribers=tuple(self._subscribers),
+        )

@@ -25,6 +25,7 @@ from repro.hardware.switch import NetworkSwitch
 from repro.hardware.vendors import vendor
 from repro.core.config import ExperimentConfig, HostPlan
 from repro.sim.engine import EventHandle, Simulator
+from repro.sim.events import EventBus, HostInstalled, SwitchDied, TentModified
 from repro.sim.rng import RngStreams
 from repro.thermal.enclosure import BasementMachineRoom, Enclosure
 from repro.thermal.tent import Tent
@@ -47,6 +48,11 @@ class Fleet:
     ----------
     sim / config / streams / weather / fault_log:
         Shared experiment plumbing.
+    bus:
+        Optional campaign event bus.  When given, the fleet *publishes*
+        installs, switch deaths, and tent modifications (and hands the
+        bus to every host it builds); the subscribed fault log keeps the
+        census.  Without a bus everything records directly, as before.
     """
 
     def __init__(
@@ -56,10 +62,12 @@ class Fleet:
         streams: RngStreams,
         weather: WeatherGenerator,
         fault_log: FaultLog,
+        bus: Optional[EventBus] = None,
     ) -> None:
         self.sim = sim
         self.config = config
         self.fault_log = fault_log
+        self.bus = bus
 
         # Enclosures ----------------------------------------------------
         if config.tent_model == "two-node":
@@ -118,11 +126,12 @@ class Fleet:
                 streams=streams,
                 transient_model=config.transient_model,
                 memory_fault_ratio=config.memory_model.page_fault_ratio,
+                bus=bus,
             )
 
         # Workload ------------------------------------------------------
         self.tree = KernelSourceTree()
-        self.ledger = WorkloadLedger()
+        self.ledger = WorkloadLedger(bus=bus)
         self.archivers: Dict[int, ArchiverProcess] = {}
         self._tick_handle: Optional[EventHandle] = None
         self._tent_switch_rr = 0
@@ -207,6 +216,15 @@ class Fleet:
             self.archivers[host_id] = ArchiverProcess(
                 self.sim, host, self.ledger, tree=self.tree, fault_log=self.fault_log
             )
+        if self.bus is not None:
+            self.bus.publish(
+                HostInstalled(
+                    time=time,
+                    host_id=host_id,
+                    enclosure=enclosure.name,
+                    group=self.config.plan_for(host_id).group,
+                )
+            )
         return host
 
     def power_tent_switches(self) -> None:
@@ -214,6 +232,16 @@ class Fleet:
         for switch in self.tent_switches:
             if switch not in self._powered_switches:
                 self._powered_switches.append(switch)
+
+    def apply_tent_modification(self, modification, time: float) -> None:
+        """Apply one envelope intervention and announce it on the bus."""
+        self.tent.apply_modification(modification, time)
+        if self.bus is not None:
+            self.bus.publish(
+                TentModified(
+                    time=time, letter=modification.letter, modification=modification
+                )
+            )
 
     # ------------------------------------------------------------------
     # Time advance
@@ -255,11 +283,15 @@ class Fleet:
             switch.tick(dt, now)
             if not switch.operational and switch.name not in self._switch_failures_logged:
                 self._switch_failures_logged.add(switch.name)
-                self.fault_log.record(
-                    FaultEvent(
-                        time=switch.failed_at if switch.failed_at is not None else now,
-                        kind=FaultKind.SWITCH,
-                        host_id=None,
-                        detail=switch.name,
+                died_at = switch.failed_at if switch.failed_at is not None else now
+                if self.bus is not None:
+                    self.bus.publish(SwitchDied(time=died_at, switch_name=switch.name))
+                else:
+                    self.fault_log.record(
+                        FaultEvent(
+                            time=died_at,
+                            kind=FaultKind.SWITCH,
+                            host_id=None,
+                            detail=switch.name,
+                        )
                     )
-                )

@@ -9,36 +9,31 @@ synthetic load, 20-minute collection rounds, the Lascar logger (late
 arrival, download trips), the Technoline meter on the tent's power feed,
 scheduled tent modifications, and the operator policy reacting to faults.
 
+:class:`Experiment` is a thin facade: the wiring lives in
+:class:`repro.core.builder.CampaignBuilder`, which assembles a
+:class:`~repro.core.builder.Campaign` around the campaign event bus.
+The facade keeps the historical attribute surface (``exp.fleet``,
+``exp.sim``, ...) and the run-once contract.
+
 Usage::
 
     exp = Experiment(ExperimentConfig(seed=7))
     results = exp.run()
     print(results.summary())
+
+Campaigns needing composition (dropped or extra instruments, bus
+subscribers) should use :class:`~repro.core.builder.CampaignBuilder`
+directly.
 """
 
 from __future__ import annotations
 
 import datetime as _dt
-from typing import List, Optional
+from typing import Optional
 
-from repro.climate.generator import WeatherGenerator
-from repro.climate.station import WeatherStation
+from repro.core.builder import Campaign, CampaignBuilder
 from repro.core.config import ExperimentConfig
-from repro.core.deployment import Fleet
-from repro.core.protocol import OperatorPolicy
-from repro.core.results import ExperimentResults, PrototypeResult, take_snapshot
-from repro.hardware.faults import FaultLog
-from repro.hardware.host import Host
-from repro.hardware.vendors import VENDOR_A
-from repro.monitoring.collector import MonitoringHost
-from repro.monitoring.datalogger import LascarDataLogger
-from repro.monitoring.powermeter import TechnolineCostControl
-from repro.monitoring.transport import TransferLedger
-from repro.monitoring.webcam import TerraceWebcam
-from repro.sim.clock import DAY, MINUTE, SimClock
-from repro.sim.engine import Simulator
-from repro.sim.rng import RngStreams
-from repro.thermal.enclosure import PlasticBoxShelter
+from repro.core.results import ExperimentResults, PrototypeResult
 
 
 class Experiment:
@@ -51,204 +46,46 @@ class Experiment:
     """
 
     def __init__(self, config: Optional[ExperimentConfig] = None) -> None:
-        self.config = config if config is not None else ExperimentConfig()
-        self.clock = SimClock()
-        self.sim = Simulator(self.clock)
-        self.streams = RngStreams(self.config.seed)
-        self.weather = WeatherGenerator(self.config.climate, self.streams, self.clock)
-        self.fault_log = FaultLog()
+        self.campaign: Campaign = CampaignBuilder(config).build()
+        c = self.campaign
+        self.config = c.config
+        self.clock = c.clock
+        self.sim = c.sim
+        self.streams = c.streams
+        self.weather = c.weather
+        self.bus = c.bus
+        self.fault_log = c.fault_log
+        self.recorder = c.recorder
+        self.station = c.station
+        self.fleet = c.fleet
+        self.policy = c.policy
+        self.transfers = c.transfers
+        self.monitoring = c.monitoring
+        self.lascar = c.lascar
+        self.powermeter = c.powermeter
+        self.webcam = c.webcam
 
-        self.station = WeatherStation(self.weather, self.streams)
-        self.fleet = Fleet(self.sim, self.config, self.streams, self.weather, self.fault_log)
-        self.policy = OperatorPolicy(self.sim, self.config, self.fleet, self.fault_log)
-        self.transfers = TransferLedger()
-        self.monitoring = MonitoringHost(
-            self.sim,
-            on_down_host=self.policy.on_down_host,
-            on_unreachable=self.policy.on_unreachable,
-            on_sensor_anomaly=self.policy.on_sensor_anomaly,
-            transport=self.transfers,
-            workload_ledger=self.fleet.ledger,
-        )
-        self.policy.bind_monitoring(self.monitoring)
+    @property
+    def prototype_result(self) -> Optional[PrototypeResult]:
+        """Phase-1 outcome (None before :meth:`run`)."""
+        return self.campaign.prototype_result
 
-        self.lascar = LascarDataLogger(
-            self.fleet.tent,
-            self.streams,
-            arrival_time=self.clock.to_seconds(self.config.lascar_arrival),
-        )
-        self.powermeter = TechnolineCostControl([], self.streams)
-        self.webcam = TerraceWebcam(self.weather, self.streams)
+    @property
+    def _snapshot(self):
+        return self.campaign._snapshot
 
-        self.prototype_result: Optional[PrototypeResult] = None
-        self._snapshot = None
-        self._ran = False
+    @property
+    def _ran(self) -> bool:
+        return self.campaign._ran
 
     def __repr__(self) -> str:
         state = "finished" if self._ran else "ready"
         return f"Experiment(seed={self.config.seed}, {state})"
 
-    # ------------------------------------------------------------------
-    # Public driver
-    # ------------------------------------------------------------------
     def run(self, until: Optional[_dt.datetime] = None) -> ExperimentResults:
         """Run prototype + campaign and return the results.
 
         ``until`` truncates the campaign (tests use short horizons); the
         default runs to ``config.end_date``.
         """
-        if self._ran:
-            raise RuntimeError("an Experiment instance runs exactly once")
-        self._ran = True
-        end_date = until if until is not None else self.config.end_date
-        end = self.clock.to_seconds(end_date)
-        proto_end = self.clock.to_seconds(self.config.prototype_end)
-        if end < proto_end:
-            raise ValueError("campaign end precedes the prototype weekend")
-
-        self.station.attach(self.sim, start=self.clock.to_seconds(self.config.prototype_start))
-        self.prototype_result = self._run_prototype()
-        self._schedule_campaign(end)
-        self.sim.run_until(end)
-        return self._build_results(end)
-
-    # ------------------------------------------------------------------
-    # Phase 1: the plastic-box weekend
-    # ------------------------------------------------------------------
-    def _run_prototype(self) -> PrototypeResult:
-        start = self.clock.to_seconds(self.config.prototype_start)
-        end = self.clock.to_seconds(self.config.prototype_end)
-        shelter = PlasticBoxShelter("plastic-boxes", self.weather)
-        proto_host = Host(
-            host_id=0,
-            spec=VENDOR_A,
-            streams=self.streams,
-            transient_model=self.config.transient_model,
-            memory_fault_ratio=self.config.memory_model.page_fault_ratio,
-        )
-        cpu_temps: List[float] = []
-        dt = self.config.tick_interval_s
-
-        def tick() -> None:
-            now = self.sim.now
-            if now == start:
-                proto_host.install(shelter, now)
-            shelter.set_it_load(proto_host.average_power_w)
-            shelter.advance(now)
-            if proto_host.running:
-                proto_host.tick(dt, now, self.fault_log)
-            if proto_host.running:
-                cpu_temps.append(proto_host.cpu_temp_c())
-
-        handle = self.sim.every(dt, tick, start=start, label="prototype-tick")
-        self.sim.run_until(end)
-        handle.cancel()
-        survived = proto_host.running
-        if proto_host.running:
-            proto_host.retire(end)  # the borrowed boxes had to be returned
-
-        window = [r for r in self.station.readings if start <= r.time <= end]
-        temps = [r.temp_c for r in window]
-        return PrototypeResult(
-            start=start,
-            end=end,
-            outside_min_c=min(temps) if temps else float("nan"),
-            outside_mean_c=sum(temps) / len(temps) if temps else float("nan"),
-            cpu_min_c=min(cpu_temps) if cpu_temps else float("nan"),
-            survived=survived,
-        )
-
-    # ------------------------------------------------------------------
-    # Phase 2: the campaign
-    # ------------------------------------------------------------------
-    def _schedule_campaign(self, end: float) -> None:
-        test_start = self.clock.to_seconds(self.config.test_start)
-
-        def erect_tent() -> None:
-            self.fleet.power_tent_switches()
-
-        self.sim.schedule_at(test_start, erect_tent, label="erect-tent")
-        self.fleet.start_ticking(test_start)
-
-        for plan in self.config.host_plans:
-            if plan.install_date is None:
-                continue
-            self.sim.schedule_datetime(
-                plan.install_date,
-                lambda p=plan: self._install(p.host_id, p.group),
-                label=f"install.host{plan.host_id:02d}",
-            )
-
-        for mod_plan in self.config.modification_plans:
-            when = self.clock.to_seconds(mod_plan.date)
-            if when > end:
-                continue
-            self.sim.schedule_at(
-                when,
-                lambda m=mod_plan.modification, t=when: self.fleet.tent.apply_modification(m, t),
-                label=f"tent-mod.{mod_plan.modification.letter}",
-            )
-
-        self.sim.schedule_at(test_start, lambda: self.lascar.attach(self.sim), label="lascar")
-        trip = self.lascar.arrival_time + self.config.logger_download_interval_days * DAY
-        while trip < end:
-            self.lascar.schedule_download_trip(
-                trip, duration_s=self.config.logger_download_duration_min * MINUTE
-            )
-            trip += self.config.logger_download_interval_days * DAY
-
-        self.sim.schedule_at(
-            test_start, lambda: self.powermeter.attach(self.sim), label="powermeter"
-        )
-        self.sim.schedule_at(
-            test_start, lambda: self.webcam.attach(self.sim), label="webcam"
-        )
-        self.sim.schedule_at(
-            test_start + 10 * MINUTE, lambda: self.monitoring.attach(), label="collector"
-        )
-        # Weekly lab review: triage new wrong hashes with S.M.A.R.T. runs.
-        self.sim.every(
-            7 * DAY, self.policy.weekly_review, start=test_start + 7 * DAY,
-            label="weekly-review",
-        )
-
-        snapshot_t = self.clock.to_seconds(self.config.snapshot_date)
-        if snapshot_t <= end:
-            self.sim.schedule_at(
-                snapshot_t,
-                lambda: setattr(
-                    self,
-                    "_snapshot",
-                    take_snapshot(self.config, self.fleet.ledger, self.fault_log, snapshot_t),
-                ),
-                label="paper-snapshot",
-            )
-
-    def _install(self, host_id: int, group: str) -> None:
-        now = self.sim.now
-        enclosure = self.fleet.enclosure_for_group(group)
-        host = self.fleet.install(host_id, enclosure, now)
-        if group == "tent":
-            chain = [self.fleet.next_tent_switch()]
-            self.powermeter.plug_in(host)
-        else:
-            chain = [self.fleet.next_basement_switch()]
-        self.monitoring.register(host, chain)
-
-    # ------------------------------------------------------------------
-    def _build_results(self, end: float) -> ExperimentResults:
-        return ExperimentResults(
-            config=self.config,
-            clock=self.clock,
-            fleet=self.fleet,
-            station=self.station,
-            lascar=self.lascar,
-            powermeter=self.powermeter,
-            monitoring=self.monitoring,
-            policy=self.policy,
-            webcam=self.webcam,
-            fault_log=self.fault_log,
-            prototype=self.prototype_result,
-            snapshot=self._snapshot,
-            end_time=end,
-        )
+        return self.campaign.run(until)

@@ -30,6 +30,7 @@ from repro.hardware.switch import NetworkSwitch
 from repro.monitoring.collector import MonitoringHost, NetworkPath
 from repro.sim.clock import DAY, HOUR
 from repro.sim.engine import Simulator
+from repro.sim.events import EventBus, HostReplaced, SwitchRepaired
 
 
 class OperatorPolicy:
@@ -45,11 +46,13 @@ class OperatorPolicy:
         config: ExperimentConfig,
         fleet: Fleet,
         fault_log: FaultLog,
+        bus: Optional[EventBus] = None,
     ) -> None:
         self.sim = sim
         self.config = config
         self.fleet = fleet
         self.fault_log = fault_log
+        self.bus = bus
         self.monitoring: Optional[MonitoringHost] = None
 
         self.failure_counts: Dict[int, int] = {}
@@ -145,6 +148,14 @@ class OperatorPolicy:
             if self.monitoring is not None:
                 self.monitoring.register(spare, [self.fleet.next_tent_switch()])
             self.replacements.append((now, failed_host.host_id, spare.host_id))
+            if self.bus is not None:
+                self.bus.publish(
+                    HostReplaced(
+                        time=now,
+                        failed_host_id=failed_host.host_id,
+                        replacement_host_id=spare.host_id,
+                    )
+                )
 
         self.sim.schedule_at(install_at, install, label=f"replace.{failed_host.hostname}")
 
@@ -243,6 +254,14 @@ class OperatorPolicy:
                     path.reroute(new_chain)
         self.switch_repairs.append((time, dead_switch.name, replacement.name))
         self._switch_repairs_pending.discard(dead_switch.name)
+        if self.bus is not None:
+            self.bus.publish(
+                SwitchRepaired(
+                    time=time,
+                    dead_switch=dead_switch.name,
+                    replacement_switch=replacement.name,
+                )
+            )
         if self.spare_bench_result is None:
             # First failure prompts the post-mortem: a long soak test of the
             # never-deployed spare ("after some testing, the remaining

@@ -114,6 +114,8 @@ class ExperimentResults:
         snapshot: Optional[SnapshotCensus],
         end_time: float,
         webcam=None,
+        bus=None,
+        recorder=None,
     ) -> None:
         self.config = config
         self.clock = clock
@@ -129,6 +131,10 @@ class ExperimentResults:
         self.end_time = end_time
         #: The terrace webcam (None for runs built without one).
         self.webcam = webcam
+        #: The campaign event bus (None for pre-bus construction paths).
+        self.bus = bus
+        #: The run's :class:`~repro.sim.events.EventRecorder` (or None).
+        self.recorder = recorder
 
     def __repr__(self) -> str:
         return (
@@ -153,6 +159,15 @@ class ExperimentResults:
     def transfers(self):
         """The monitoring host's rsync traffic ledger (None if not wired)."""
         return self.monitoring.transport
+
+    @property
+    def events(self):
+        """Recorded bus events in publish order ([] without a recorder)."""
+        return self.recorder.events if self.recorder is not None else []
+
+    def event_counts(self) -> Dict[str, int]:
+        """Recorded-event tally per event class name ({} without a recorder)."""
+        return self.recorder.counts() if self.recorder is not None else {}
 
     def tent_host_ids(self) -> List[int]:
         """Initially-installed tent host ids (excludes the spare)."""

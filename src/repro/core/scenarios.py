@@ -91,3 +91,24 @@ def harsher_winter(seed: int = 7, extra_depth_c: float = 6.0) -> ExperimentConfi
         base, name=f"{base.name}-harsher", cold_snaps=deepened
     )
     return dataclasses.replace(ExperimentConfig(seed=seed), climate=climate)
+
+
+#: Named scenarios for sweeps and the CLI: name -> ``factory(seed)``.
+SCENARIOS = {
+    "paper": paper_campaign,
+    "no-modifications": no_modifications,
+    "conditioned-tent": conditioned_tent,
+    "extended-year": extended_year,
+    "harsher-winter": harsher_winter,
+}
+
+
+def scenario_config(name: str, seed: int = 7) -> ExperimentConfig:
+    """Build a named scenario's configuration."""
+    try:
+        factory = SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; choose from {', '.join(sorted(SCENARIOS))}"
+        ) from None
+    return factory(seed=seed)

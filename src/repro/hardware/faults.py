@@ -26,6 +26,8 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.sim.events import EventBus, HostFailed, SwitchDied, WrongHash
+
 
 def hazard_probability(rate_per_hour: float, dt_s: float) -> float:
     """Probability of at least one event in ``dt_s`` at ``rate_per_hour``."""
@@ -139,13 +141,60 @@ class MemoryFaultModel:
 
 @dataclass
 class FaultLog:
-    """Append-only fault census shared across the experiment."""
+    """Append-only fault census shared across the experiment.
+
+    In a bus-wired campaign the log is a *subscriber*: producers publish
+    :class:`~repro.sim.events.HostFailed`,
+    :class:`~repro.sim.events.WrongHash`, and
+    :class:`~repro.sim.events.SwitchDied` events, and :meth:`attach_bus`
+    converts each into the :class:`FaultEvent` the census runs on.
+    Components built without a bus keep calling :meth:`record` directly.
+    """
 
     events: List[FaultEvent] = field(default_factory=list)
 
     def record(self, event: FaultEvent) -> None:
         """Append ``event`` (times must be non-decreasing per producer)."""
         self.events.append(event)
+
+    # ------------------------------------------------------------------
+    # Event-bus subscription
+    # ------------------------------------------------------------------
+    def attach_bus(self, bus: EventBus) -> None:
+        """Subscribe to the fault-bearing event types on ``bus``."""
+        bus.subscribe(HostFailed, self._on_host_failed)
+        bus.subscribe(WrongHash, self._on_wrong_hash)
+        bus.subscribe(SwitchDied, self._on_switch_died)
+
+    def _on_host_failed(self, event: HostFailed) -> None:
+        self.record(
+            FaultEvent(
+                time=event.time,
+                kind=event.kind,
+                host_id=event.host_id,
+                detail=event.detail,
+            )
+        )
+
+    def _on_wrong_hash(self, event: WrongHash) -> None:
+        self.record(
+            FaultEvent(
+                time=event.time,
+                kind=FaultKind.WRONG_HASH,
+                host_id=event.host_id,
+                detail=f"{event.corrupted_blocks} corrupted block(s)",
+            )
+        )
+
+    def _on_switch_died(self, event: SwitchDied) -> None:
+        self.record(
+            FaultEvent(
+                time=event.time,
+                kind=FaultKind.SWITCH,
+                host_id=None,
+                detail=event.switch_name,
+            )
+        )
 
     def of_kind(self, kind: FaultKind) -> List[FaultEvent]:
         """All events of one kind, in order."""

@@ -28,9 +28,10 @@ from repro.hardware.faults import (
     TransientFaultModel,
     hazard_probability,
 )
-from repro.hardware.sensors import SensorChip, SensorReading
+from repro.hardware.sensors import SensorChip, SensorReading, SensorState
 from repro.hardware.storage import StorageSubsystem
 from repro.hardware.vendors import VendorSpec
+from repro.sim.events import EventBus, HostFailed, SensorLatched
 from repro.sim.rng import RngStreams
 from repro.thermal.enclosure import Enclosure
 
@@ -73,6 +74,12 @@ class Host:
         Shared hazard parameters for transient system failures.
     memory_fault_ratio:
         Per-page-op bit-flip probability for the memory bank.
+    bus:
+        Optional campaign event bus.  When set, failures and sensor
+        latch-ups are *published* (:class:`~repro.sim.events.HostFailed`,
+        :class:`~repro.sim.events.SensorLatched`) and the subscribed
+        fault log records them; without a bus the host falls back to
+        recording into the ``fault_log`` passed to :meth:`tick`.
     """
 
     def __init__(
@@ -82,6 +89,7 @@ class Host:
         streams: RngStreams,
         transient_model: Optional[TransientFaultModel] = None,
         memory_fault_ratio: float = 1.0 / 570e6,
+        bus: Optional[EventBus] = None,
     ) -> None:
         self.host_id = host_id
         self.hostname = f"host{host_id:02d}"
@@ -98,6 +106,7 @@ class Host:
         self.sensor = SensorChip(self._streams.stream("sensor"))
         self.storage = StorageSubsystem(self.hostname, spec, self._streams.stream("storage"))
         self._fault_rng = self._streams.stream("transient")
+        self.bus = bus
 
         self.state = HostState.STAGED
         self.enclosure: Optional[Enclosure] = None
@@ -249,7 +258,14 @@ class Host:
         self.uptime_s += dt_s
         case = self.case_temp_c()
         intake = self.intake_temp_c()
+        sensor_was_ok = self.sensor.state is SensorState.OK
         self.sensor.exposure_step(self.cpu_temp_c(), dt_s, time)
+        if (
+            sensor_was_ok
+            and self.sensor.state is SensorState.ERRATIC
+            and self.bus is not None
+        ):
+            self.bus.publish(SensorLatched(time=time, host_id=self.host_id))
         self.storage.tick(dt_s, case, time)
         if not self.storage.operational:
             self._fail(time, fault_log, FaultKind.DISK, "storage array lost")
@@ -280,7 +296,12 @@ class Host:
         self.state = HostState.FAILED
         self.cpu.busy = False
         self.event_log.append((time, f"FAILED: {kind.value} {detail}".rstrip()))
-        if fault_log is not None:
+        if self.bus is not None:
+            # The subscribed fault log (and anyone else listening) hears it.
+            self.bus.publish(
+                HostFailed(time=time, host_id=self.host_id, kind=kind, detail=detail)
+            )
+        elif fault_log is not None:
             fault_log.record(FaultEvent(time=time, kind=kind, host_id=self.host_id, detail=detail))
 
     # ------------------------------------------------------------------

@@ -1,0 +1,49 @@
+"""Campaign execution: parallel multi-seed runs, records, memoisation.
+
+The runner sits above both :mod:`repro.core` and :mod:`repro.analysis`:
+it imports the experiment driver and the sweep aggregates, and nothing
+below imports it back.  That layering is what lets
+``analysis.seedsweep`` stay import-cycle-free while re-exporting
+:func:`sweep_seeds` from here for backwards compatibility.
+
+- :mod:`repro.runner.records` -- picklable :class:`RunRecord` summaries,
+  series digests, and config digests (the cache key),
+- :mod:`repro.runner.local` -- run one campaign in this process,
+- :mod:`repro.runner.pool` -- fan out over seeds with
+  :class:`~concurrent.futures.ProcessPoolExecutor` and memoise records
+  on disk.
+"""
+
+from repro.runner.local import run_recorded
+from repro.runner.pool import (
+    RunSpec,
+    SweepResult,
+    run_specs,
+    sweep_records,
+    sweep_seeds,
+)
+from repro.runner.records import (
+    RECORD_SCHEMA,
+    RunRecord,
+    SeriesDigest,
+    config_digest,
+    digest_series,
+    record_from_json_dict,
+    record_from_results,
+)
+
+__all__ = [
+    "RECORD_SCHEMA",
+    "RunRecord",
+    "RunSpec",
+    "SeriesDigest",
+    "SweepResult",
+    "config_digest",
+    "digest_series",
+    "record_from_json_dict",
+    "record_from_results",
+    "run_recorded",
+    "run_specs",
+    "sweep_records",
+    "sweep_seeds",
+]

@@ -1,0 +1,34 @@
+"""Running one campaign in this process.
+
+This module is the runner's only doorway into the experiment driver:
+the old function-local ``from repro import Experiment`` inside
+``analysis.seedsweep`` hid an import cycle (analysis is imported while
+``repro.core`` is still initialising).  The runner package sits *above*
+both core and analysis, so the import below is an ordinary module-level
+one, and :func:`run_recorded` is a top-level -- hence picklable --
+worker for :class:`concurrent.futures.ProcessPoolExecutor`.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import time as _time
+from typing import Optional
+
+from repro.core.config import ExperimentConfig
+from repro.core.experiment import Experiment
+from repro.runner.records import RunRecord, record_from_results
+
+
+def run_recorded(
+    config: ExperimentConfig, until: Optional[_dt.datetime] = None
+) -> RunRecord:
+    """Run one campaign and distil it into a :class:`RunRecord`."""
+    started = _time.perf_counter()
+    results = Experiment(config).run(until=until)
+    return record_from_results(
+        config.seed,
+        results,
+        until=until,
+        elapsed_s=_time.perf_counter() - started,
+    )

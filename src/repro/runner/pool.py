@@ -1,0 +1,220 @@
+"""Process-parallel multi-seed campaigns with on-disk memoisation.
+
+The seed sweep used to be a serial loop buried in the analysis layer.
+This module turns it into a small execution service:
+
+- :class:`RunSpec` -- one (config, horizon) unit of work, picklable;
+- :func:`run_specs` -- execute many specs, serially (``jobs=1``) or on a
+  :class:`~concurrent.futures.ProcessPoolExecutor`, with an optional
+  on-disk cache keyed by ``(config_digest, seed, until)``;
+- :func:`sweep_seeds` / :func:`sweep_records` -- the sweep API, now
+  living here so neither core nor analysis imports the runner.
+
+Determinism: each campaign is a pure function of (config, seed, until),
+so the executor only changes *where* a run happens, never what it
+returns -- serial and parallel sweeps produce byte-identical
+:class:`~repro.runner.records.RunRecord` sequences, and a cache hit is
+indistinguishable from a fresh run (minus the wall-clock field).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+import os
+import tempfile
+import time as _time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.seedsweep import SweepSummary
+from repro.core.config import ExperimentConfig
+from repro.runner.local import run_recorded
+from repro.runner.records import (
+    RECORD_SCHEMA,
+    RunRecord,
+    config_digest,
+    record_from_json_dict,
+)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One unit of sweep work: a campaign config plus its horizon."""
+
+    config: ExperimentConfig
+    until: Optional[_dt.datetime] = None
+    label: str = ""
+
+    @property
+    def seed(self) -> int:
+        """The spec's master seed."""
+        return self.config.seed
+
+    def cache_key(self) -> str:
+        """Filename-safe memoisation key: config digest, seed, horizon."""
+        digest = config_digest(self.config)
+        horizon = self.until.strftime("%Y%m%dT%H%M%S") if self.until else "full"
+        return f"{digest[:16]}-{self.config.seed}-{horizon}"
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Everything a sweep execution reports."""
+
+    records: Tuple[RunRecord, ...]
+    cache_hits: int
+    cache_misses: int
+    elapsed_s: float
+
+    @property
+    def summary(self) -> SweepSummary:
+        """The census aggregate the serial sweep always produced."""
+        return SweepSummary(
+            outcomes=tuple(record.to_outcome() for record in self.records)
+        )
+
+
+def _execute_spec(spec: RunSpec) -> RunRecord:
+    """Pool worker: run one spec (top-level, so it pickles)."""
+    return run_recorded(spec.config, until=spec.until)
+
+
+# ----------------------------------------------------------------------
+# Cache plumbing
+# ----------------------------------------------------------------------
+def _cache_path(cache_dir: str, spec: RunSpec) -> str:
+    return os.path.join(cache_dir, f"{spec.cache_key()}.json")
+
+
+def _load_cached(cache_dir: str, spec: RunSpec) -> Optional[RunRecord]:
+    path = _cache_path(cache_dir, spec)
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    try:
+        record = record_from_json_dict(data)
+    except (KeyError, TypeError, ValueError):
+        return None
+    if record.schema != RECORD_SCHEMA:
+        return None
+    if record.seed != spec.seed or record.config_digest != config_digest(spec.config):
+        return None
+    return record
+
+
+def _store_cached(cache_dir: str, spec: RunSpec, record: RunRecord) -> None:
+    os.makedirs(cache_dir, exist_ok=True)
+    path = _cache_path(cache_dir, spec)
+    fd, tmp_path = tempfile.mkstemp(dir=cache_dir, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(record.to_json_dict(), fh, sort_keys=True)
+        os.replace(tmp_path, path)
+    except OSError:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def run_specs(
+    specs: Sequence[RunSpec],
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+) -> SweepResult:
+    """Execute every spec and return the records in spec order.
+
+    ``jobs=1`` runs serially in this process; ``jobs>1`` fans out over a
+    process pool.  With ``cache_dir`` set, previously-computed records
+    are loaded instead of re-run, and fresh records are stored.
+    """
+    if not specs:
+        raise ValueError("need at least one run spec")
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    started = _time.perf_counter()
+
+    records: Dict[int, RunRecord] = {}
+    hits = 0
+    if cache_dir is not None:
+        for index, spec in enumerate(specs):
+            cached = _load_cached(cache_dir, spec)
+            if cached is not None:
+                records[index] = cached
+                hits += 1
+
+    missing = [(index, spec) for index, spec in enumerate(specs) if index not in records]
+    if missing:
+        if jobs == 1 or len(missing) == 1:
+            fresh = [_execute_spec(spec) for _, spec in missing]
+        else:
+            workers = min(jobs, len(missing))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                fresh = list(pool.map(_execute_spec, [spec for _, spec in missing]))
+        for (index, spec), record in zip(missing, fresh):
+            records[index] = record
+            if cache_dir is not None:
+                _store_cached(cache_dir, spec, record)
+
+    ordered = tuple(records[index] for index in range(len(specs)))
+    return SweepResult(
+        records=ordered,
+        cache_hits=hits,
+        cache_misses=len(missing),
+        elapsed_s=_time.perf_counter() - started,
+    )
+
+
+def _specs_for_seeds(
+    seeds: Sequence[int],
+    until: Optional[_dt.datetime],
+    config_factory: Optional[Callable[[int], ExperimentConfig]],
+) -> List[RunSpec]:
+    if not seeds:
+        raise ValueError("need at least one seed")
+    factory = config_factory if config_factory is not None else (
+        lambda seed: ExperimentConfig(seed=seed)
+    )
+    return [
+        RunSpec(config=factory(seed), until=until, label=f"seed {seed}")
+        for seed in seeds
+    ]
+
+
+def sweep_records(
+    seeds: Sequence[int],
+    until: Optional[_dt.datetime] = None,
+    config_factory: Optional[Callable[[int], ExperimentConfig]] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+) -> SweepResult:
+    """Run the campaign once per seed; full execution report."""
+    return run_specs(
+        _specs_for_seeds(seeds, until, config_factory), jobs=jobs, cache_dir=cache_dir
+    )
+
+
+def sweep_seeds(
+    seeds: Sequence[int],
+    until: Optional[_dt.datetime] = None,
+    config_factory: Optional[Callable[[int], ExperimentConfig]] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+) -> SweepSummary:
+    """Run the campaign once per seed and aggregate the censuses.
+
+    The drop-in successor of the serial loop that used to live in
+    :mod:`repro.analysis.seedsweep`; ``jobs`` and ``cache_dir`` are the
+    new knobs, and the default arguments reproduce the old behaviour
+    exactly.
+    """
+    return sweep_records(
+        seeds, until=until, config_factory=config_factory, jobs=jobs, cache_dir=cache_dir
+    ).summary

@@ -7,11 +7,14 @@ Everything in the reproduction runs on this small, dependency-free engine:
   streams derived from one master seed,
 - :class:`repro.sim.engine.Simulator` is the event loop,
 - :class:`repro.sim.process.Process` wraps Python generators as simulated
-  processes that ``yield`` delays.
+  processes that ``yield`` delays,
+- :class:`repro.sim.events.EventBus` is the typed campaign event bus
+  subsystems publish structured events on.
 """
 
 from repro.sim.clock import DAY, HOUR, MINUTE, SECOND, WEEK, SimClock
 from repro.sim.engine import EventHandle, Simulator
+from repro.sim.events import Event, EventBus, EventRecorder
 from repro.sim.process import Process, wait_until
 from repro.sim.rng import RngStreams
 
@@ -24,6 +27,9 @@ __all__ = [
     "SimClock",
     "Simulator",
     "EventHandle",
+    "Event",
+    "EventBus",
+    "EventRecorder",
     "Process",
     "wait_until",
     "RngStreams",

@@ -1,0 +1,248 @@
+"""The campaign event bus: typed, synchronous, deterministic.
+
+Subsystems used to be interrogated post-hoc — the results object walked
+live fleets, ledgers, and logs to reconstruct what happened.  The bus
+inverts that: publishers announce structured events the moment they
+occur, and any number of subscribers (the fault log, the event recorder
+a finished run exposes, tests) observe them without being threaded
+through constructor signatures.
+
+Design rules, chosen to keep runs a pure function of (config, seed):
+
+- dispatch is synchronous: ``publish`` calls every matching handler
+  before returning, so event-log ordering equals publication ordering;
+- handlers run in subscription order, and for a subclass event the
+  exact-type subscribers run before any base-class (wildcard)
+  subscribers — both orders are deterministic;
+- publishing draws no randomness and schedules nothing on the
+  simulator; the bus is pure plumbing.
+
+The payload classes mirror the campaign's narrative beats: installs,
+host failures, tent modifications, sensor latch-ups, wrong hashes,
+switch deaths, operator interventions, and the paper snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Type
+
+
+@dataclass(frozen=True)
+class Event:
+    """Base class for everything published on the bus."""
+
+    time: float
+
+
+# ----------------------------------------------------------------------
+# Fleet and hardware events
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class HostInstalled(Event):
+    """A host was placed in an enclosure and powered on."""
+
+    host_id: int
+    enclosure: str
+    group: str = ""
+
+
+@dataclass(frozen=True)
+class HostFailed(Event):
+    """A host went down (transient, disk, or water-ingress strike).
+
+    ``kind`` is a :class:`repro.hardware.faults.FaultKind`; the bus does
+    not import the hardware layer, so the field is typed loosely.
+    """
+
+    host_id: int
+    kind: Any = None
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class SensorLatched(Event):
+    """A sensor chip cold-latched into the erratic (-111 degC) state."""
+
+    host_id: int
+
+
+@dataclass(frozen=True)
+class SwitchDied(Event):
+    """A powered network switch stopped forwarding frames."""
+
+    switch_name: str
+
+
+@dataclass(frozen=True)
+class TentModified(Event):
+    """An envelope intervention (R/I/B/F/D) was applied to the tent."""
+
+    letter: str
+    modification: Any = None
+
+
+# ----------------------------------------------------------------------
+# Workload events
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WrongHash(Event):
+    """A synthetic-load run produced a mismatching md5sum."""
+
+    host_id: int
+    corrupted_blocks: int = 0
+
+
+# ----------------------------------------------------------------------
+# Monitoring events
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class HostDownObserved(Event):
+    """A collection round found a registered host not answering SSH."""
+
+    host_id: int
+
+
+@dataclass(frozen=True)
+class HostUnreachable(Event):
+    """A collection round could not reach a host through its switches."""
+
+    host_id: int
+
+
+@dataclass(frozen=True)
+class SensorAnomalyObserved(Event):
+    """A collection round pulled an implausible (-111 degC) reading."""
+
+    host_id: int
+    reading_c: Optional[float] = None
+
+
+# ----------------------------------------------------------------------
+# Operator events
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class HostReplaced(Event):
+    """The operator installed a spare in a failed tent host's stead."""
+
+    failed_host_id: int
+    replacement_host_id: int
+
+
+@dataclass(frozen=True)
+class SwitchRepaired(Event):
+    """The operator re-cabled a dead switch's hosts to a replacement."""
+
+    dead_switch: str
+    replacement_switch: str
+
+
+# ----------------------------------------------------------------------
+# Campaign events
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SnapshotTaken(Event):
+    """The paper-style census was frozen ("at the time of writing").
+
+    ``census`` is a :class:`repro.core.results.SnapshotCensus`.
+    """
+
+    census: Any = None
+
+
+class EventBus:
+    """Typed publish/subscribe hub.
+
+    Examples
+    --------
+    >>> bus = EventBus()
+    >>> seen = []
+    >>> bus.subscribe(HostFailed, seen.append)
+    >>> bus.publish(HostFailed(time=1.0, host_id=15))
+    >>> seen[0].host_id
+    15
+    """
+
+    def __init__(self) -> None:
+        self._subscribers: Dict[Type[Event], List[Callable[[Any], None]]] = {}
+        #: Published-event tally per event class name (introspection).
+        self.counts: Dict[str, int] = {}
+
+    def __repr__(self) -> str:
+        return (
+            f"EventBus(types={len(self._subscribers)}, "
+            f"published={sum(self.counts.values())})"
+        )
+
+    def subscribe(
+        self, event_type: Type[Event], handler: Callable[[Any], None]
+    ) -> Callable[[Any], None]:
+        """Call ``handler`` for every published event of ``event_type``.
+
+        Subscribing to :class:`Event` itself makes a wildcard subscriber.
+        Returns the handler, for symmetric :meth:`unsubscribe` calls.
+        """
+        if not (isinstance(event_type, type) and issubclass(event_type, Event)):
+            raise TypeError(f"{event_type!r} is not an Event subclass")
+        self._subscribers.setdefault(event_type, []).append(handler)
+        return handler
+
+    def unsubscribe(
+        self, event_type: Type[Event], handler: Callable[[Any], None]
+    ) -> None:
+        """Remove one subscription.  Missing subscriptions are ignored."""
+        handlers = self._subscribers.get(event_type)
+        if handlers and handler in handlers:
+            handlers.remove(handler)
+
+    def publish(self, event: Event) -> None:
+        """Dispatch ``event`` synchronously to every matching subscriber.
+
+        Exact-type subscribers run first, then subscribers of each base
+        class up the MRO (so :class:`Event` wildcards run last), each
+        group in subscription order.
+        """
+        name = type(event).__name__
+        self.counts[name] = self.counts.get(name, 0) + 1
+        for klass in type(event).__mro__:
+            if klass is object:
+                break
+            for handler in self._subscribers.get(klass, ()):  # type: ignore[arg-type]
+                handler(event)
+
+
+class EventRecorder:
+    """A subscriber that simply remembers everything, in publish order.
+
+    The campaign attaches one so a finished run can answer "what
+    happened, when" without re-deriving it from live object state.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+
+    def attach(self, bus: EventBus) -> None:
+        """Subscribe to every event on ``bus``."""
+        bus.subscribe(Event, self.events.append)
+
+    def detach(self, bus: EventBus) -> None:
+        """Stop recording from ``bus``."""
+        bus.unsubscribe(Event, self.events.append)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def of_type(self, event_type: Type[Event]) -> List[Event]:
+        """All recorded events of one type (subclasses included)."""
+        return [e for e in self.events if isinstance(e, event_type)]
+
+    def counts(self) -> Dict[str, int]:
+        """Recorded-event tally per event class name, sorted by name."""
+        tally: Dict[str, int] = {}
+        for event in self.events:
+            name = type(event).__name__
+            tally[name] = tally.get(name, 0) + 1
+        return dict(sorted(tally.items()))

@@ -24,6 +24,7 @@ from repro.hardware.faults import FaultEvent, FaultKind, FaultLog
 from repro.hardware.host import Host
 from repro.sim.clock import MINUTE
 from repro.sim.engine import Simulator
+from repro.sim.events import EventBus, WrongHash
 from repro.sim.process import Process
 from repro.workload.bzip2 import Archive, Bzip2Model
 from repro.workload.digest import verify_archive
@@ -56,14 +57,17 @@ class WorkloadLedger:
 
     Stores per-host totals and every wrong-hash event (with its archive,
     so the analysis can run ``bzip2recover`` on "the most recent" as the
-    paper did).
+    paper did).  When built with a campaign event bus, each mismatch is
+    published as a :class:`~repro.sim.events.WrongHash` event, which the
+    subscribed fault log turns into the census entry.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, bus: Optional[EventBus] = None) -> None:
         self.runs_per_host: Dict[int, int] = {}
         self.wrong_per_host: Dict[int, int] = {}
         self.wrong_hash_results: List[CycleResult] = []
         self.stored_archives: List[Archive] = []
+        self.bus = bus
 
     def __repr__(self) -> str:
         return f"WorkloadLedger(runs={self.total_runs}, wrong={self.total_wrong_hashes})"
@@ -78,6 +82,14 @@ class WorkloadLedger:
             self.wrong_hash_results.append(result)
             if archive is not None:
                 self.stored_archives.append(archive)
+            if self.bus is not None:
+                self.bus.publish(
+                    WrongHash(
+                        time=result.time,
+                        host_id=result.host_id,
+                        corrupted_blocks=result.corrupted_block_count,
+                    )
+                )
 
     @property
     def total_runs(self) -> int:
@@ -191,8 +203,10 @@ class ArchiverProcess:
             corrupted_block_count=len(archive.corrupted_blocks),
             stored=not ok,
         )
+        # With a bus-wired ledger the publish inside ``record`` reaches the
+        # subscribed fault log; the direct write below covers bare setups.
         self.ledger.record(result, archive=None if ok else archive)
-        if not ok and self.fault_log is not None:
+        if not ok and self.fault_log is not None and self.ledger.bus is None:
             self.fault_log.record(
                 FaultEvent(
                     time=time,

@@ -1,0 +1,132 @@
+"""Tests for the campaign builder."""
+
+import datetime as dt
+
+import pytest
+
+from repro import Experiment, ExperimentConfig
+from repro.core.builder import Campaign, CampaignBuilder, DEFAULT_INSTRUMENTS
+from repro.sim.events import HostInstalled
+
+
+class FakeInstrument:
+    """Minimal attach/detach instrument for composability tests."""
+
+    def __init__(self):
+        self.samples = []
+        self._handle = None
+
+    def attach(self, sim, start=None):
+        first = sim.now if start is None else start
+        self._handle = sim.every(
+            3600.0, lambda: self.samples.append(sim.now), start=first,
+            label="fake-instrument",
+        )
+
+    def detach(self):
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+
+class TestBuilderApi:
+    def test_default_build_is_fully_wired(self):
+        campaign = CampaignBuilder(ExperimentConfig(seed=1)).build()
+        assert isinstance(campaign, Campaign)
+        for name in DEFAULT_INSTRUMENTS:
+            assert campaign.enabled(name)
+        assert campaign.bus is not None
+        assert campaign.fleet.bus is campaign.bus
+        assert campaign.policy.bus is campaign.bus
+        assert campaign.monitoring.bus is campaign.bus
+        assert campaign.fleet.ledger.bus is campaign.bus
+
+    def test_without_unknown_instrument_rejected(self):
+        with pytest.raises(ValueError):
+            CampaignBuilder(ExperimentConfig(seed=1)).without("flux-capacitor")
+
+    def test_with_instrument_rejects_default_names(self):
+        builder = CampaignBuilder(ExperimentConfig(seed=1))
+        with pytest.raises(ValueError):
+            builder.with_instrument("webcam", lambda c: FakeInstrument())
+
+    def test_with_instrument_rejects_duplicates(self):
+        builder = CampaignBuilder(ExperimentConfig(seed=1))
+        builder.with_instrument("fake", lambda c: FakeInstrument())
+        with pytest.raises(ValueError):
+            builder.with_instrument("fake", lambda c: FakeInstrument())
+
+    def test_run_twice_rejected(self):
+        campaign = CampaignBuilder(ExperimentConfig(seed=1)).build()
+        campaign.run(until=dt.datetime(2010, 2, 16))
+        with pytest.raises(RuntimeError):
+            campaign.run(until=dt.datetime(2010, 2, 17))
+
+
+class TestComposition:
+    UNTIL = dt.datetime(2010, 2, 21)
+
+    def test_without_webcam_schedules_no_frames(self):
+        campaign = CampaignBuilder(ExperimentConfig(seed=2)).without("webcam").build()
+        campaign.run(until=self.UNTIL)
+        assert campaign.webcam.frames == []
+
+    def test_without_prototype_skips_phase_one(self):
+        campaign = (
+            CampaignBuilder(ExperimentConfig(seed=2)).without("prototype").build()
+        )
+        results = campaign.run(until=self.UNTIL)
+        assert campaign.prototype_result is None
+        assert results.prototype is None
+
+    def test_extra_instrument_attached_at_test_start(self):
+        fake = FakeInstrument()
+        campaign = (
+            CampaignBuilder(ExperimentConfig(seed=2))
+            .with_instrument("fake", lambda c: fake)
+            .build()
+        )
+        assert campaign.instruments["fake"] is fake
+        campaign.run(until=self.UNTIL)
+        test_start = campaign.clock.to_seconds(campaign.config.test_start)
+        assert fake.samples
+        assert fake.samples[0] == test_start
+
+    def test_subscriber_observes_installs(self):
+        installs = []
+        campaign = (
+            CampaignBuilder(ExperimentConfig(seed=2))
+            .with_subscriber(
+                lambda bus: bus.subscribe(HostInstalled, installs.append)
+            )
+            .build()
+        )
+        campaign.run(until=self.UNTIL)
+        # Feb 19: the first three tent/basement pairs.
+        assert {e.host_id for e in installs} == {1, 2, 3, 4, 5, 7}
+
+
+class TestFacadeEquivalence:
+    def test_experiment_facade_matches_direct_build(self):
+        until = dt.datetime(2010, 2, 22)
+        via_facade = Experiment(ExperimentConfig(seed=3)).run(until=until)
+        via_builder = CampaignBuilder(ExperimentConfig(seed=3)).build().run(until=until)
+        assert via_facade.summary() == via_builder.summary()
+        assert via_facade.ledger.runs_per_host == via_builder.ledger.runs_per_host
+        assert via_facade.fault_log.events == via_builder.fault_log.events
+        assert via_facade.event_counts() == via_builder.event_counts()
+
+    def test_extra_instrument_does_not_perturb_the_run(self):
+        until = dt.datetime(2010, 2, 22)
+        plain = CampaignBuilder(ExperimentConfig(seed=3)).build().run(until=until)
+        instrumented = (
+            CampaignBuilder(ExperimentConfig(seed=3))
+            .with_instrument("fake", lambda c: FakeInstrument())
+            .build()
+            .run(until=until)
+        )
+        assert plain.summary() == instrumented.summary()
+        assert plain.ledger.runs_per_host == instrumented.ledger.runs_per_host
+        assert list(plain.outside_temperature().values) == list(
+            instrumented.outside_temperature().values
+        )

@@ -28,6 +28,30 @@ class TestParser:
         args = build_parser().parse_args(["sites", "--intake-limit", "30"])
         assert args.intake_limit == 30.0
 
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.seeds == [7, 11, 13, 17]
+        assert args.jobs == 1
+        assert args.scenario == "paper"
+        assert not args.no_cache
+
+    def test_sweep_seed_list_parses(self):
+        args = build_parser().parse_args(["sweep", "--seeds", "3,5,9", "--jobs", "4"])
+        assert args.seeds == [3, 5, 9]
+        assert args.jobs == 4
+
+    def test_sweep_zero_jobs_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--jobs", "0"])
+
+    def test_sweep_bad_seed_list_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--seeds", "seven"])
+
+    def test_sweep_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--scenario", "lunar"])
+
 
 class TestCommands:
     def test_pue_prints_the_paper_number(self, capsys):
@@ -50,6 +74,28 @@ class TestCommands:
         assert main(["run", "--until", "2010-02-22", "--report"]) == 0
         out = capsys.readouterr().out
         assert "PUE of the new cluster" in out
+
+
+class TestSweepCommand:
+    def test_sweep_runs_and_reports_cache(self, tmp_path, capsys):
+        argv = [
+            "sweep", "--seeds", "7,11", "--jobs", "2",
+            "--until", "2010-02-21", "--cache-dir", str(tmp_path / "runs"),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "pooled failure rate" in out
+        assert "0 from cache, 2 computed" in out
+        # The repeat invocation is served from the record cache.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "2 from cache, 0 computed" in out
+
+    def test_sweep_no_cache(self, capsys):
+        argv = ["sweep", "--seeds", "7", "--until", "2010-02-21", "--no-cache"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "0 from cache, 1 computed" in out
 
 
 class TestExportCommand:

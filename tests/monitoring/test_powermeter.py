@@ -29,33 +29,43 @@ def make_hosts(n):
     return hosts
 
 
+def make_meter(hosts, **kwargs):
+    kwargs.setdefault("streams", RngStreams(1))
+    meter = TechnolineCostControl(**kwargs)
+    for host in hosts:
+        meter.plug_in(host)
+    return meter
+
+
 class TestReadings:
     def test_sums_plugged_hosts(self):
-        hosts = make_hosts(3)
-        meter = TechnolineCostControl(hosts, RngStreams(1))
+        meter = make_meter(make_hosts(3))
         assert meter.true_draw_w() == pytest.approx(3 * VENDOR_A.idle_power_w)
 
     def test_displayed_reading_close_to_truth(self):
-        hosts = make_hosts(3)
-        meter = TechnolineCostControl(hosts, RngStreams(1))
+        meter = make_meter(make_hosts(3))
         reading = meter.sample(time=0.0)
         assert reading.watts == pytest.approx(meter.true_draw_w(), rel=0.10)
 
     def test_reading_quantized_to_whole_watts(self):
-        hosts = make_hosts(2)
-        meter = TechnolineCostControl(hosts, RngStreams(1))
+        meter = make_meter(make_hosts(2))
         reading = meter.sample(time=0.0)
         assert reading.watts == round(reading.watts)
 
     def test_down_host_draws_nothing(self):
         hosts = make_hosts(1)
-        meter = TechnolineCostControl(hosts, RngStreams(1))
+        meter = make_meter(hosts)
         hosts[0].retire(0.0)
+        assert meter.true_draw_w() == 0.0
+
+    def test_starts_empty(self):
+        meter = TechnolineCostControl(RngStreams(1))
+        assert meter.hosts == []
         assert meter.true_draw_w() == 0.0
 
     def test_plug_in_adds_once(self):
         hosts = make_hosts(2)
-        meter = TechnolineCostControl(hosts[:1], RngStreams(1))
+        meter = make_meter(hosts[:1])
         meter.plug_in(hosts[1])
         meter.plug_in(hosts[1])
         assert len(meter.hosts) == 2
@@ -63,14 +73,13 @@ class TestReadings:
 
 class TestEnergyIntegration:
     def test_energy_accrues_between_samples(self):
-        hosts = make_hosts(1)  # ~70 W idle
-        meter = TechnolineCostControl(hosts, RngStreams(1), relative_error_std=0.0)
+        meter = make_meter(make_hosts(1), relative_error_std=0.0)  # ~70 W idle
         meter.sample(time=0.0)
         meter.sample(time=HOUR)
         assert meter.energy_kwh == pytest.approx(VENDOR_A.idle_power_w / 1000.0, rel=0.02)
 
     def test_first_sample_accrues_nothing(self):
-        meter = TechnolineCostControl(make_hosts(1), RngStreams(1))
+        meter = make_meter(make_hosts(1))
         meter.sample(time=0.0)
         assert meter.energy_kwh == 0.0
 
@@ -78,21 +87,21 @@ class TestEnergyIntegration:
 class TestPeriodicSampling:
     def test_attach_samples_on_cadence(self):
         sim = Simulator()
-        meter = TechnolineCostControl(make_hosts(1), RngStreams(1), period_s=10 * MINUTE)
+        meter = make_meter(make_hosts(1), period_s=10 * MINUTE)
         meter.attach(sim, start=0.0)
         sim.run_until(HOUR)
         assert len(meter.readings) == 7
 
     def test_attach_twice_rejected(self):
         sim = Simulator()
-        meter = TechnolineCostControl([], RngStreams(1))
+        meter = TechnolineCostControl(RngStreams(1))
         meter.attach(sim)
         with pytest.raises(RuntimeError):
             meter.attach(sim)
 
     def test_detach_stops(self):
         sim = Simulator()
-        meter = TechnolineCostControl(make_hosts(1), RngStreams(1), period_s=10 * MINUTE)
+        meter = make_meter(make_hosts(1), period_s=10 * MINUTE)
         meter.attach(sim, start=0.0)
         sim.run_until(HOUR)
         meter.detach()
@@ -101,7 +110,7 @@ class TestPeriodicSampling:
         assert len(meter.readings) == count
 
     def test_mean_draw(self):
-        meter = TechnolineCostControl(make_hosts(2), RngStreams(1))
+        meter = make_meter(make_hosts(2))
         assert meter.mean_draw_w() == 0.0
         meter.sample(0.0)
         meter.sample(600.0)
@@ -109,4 +118,4 @@ class TestPeriodicSampling:
 
     def test_invalid_period_rejected(self):
         with pytest.raises(ValueError):
-            TechnolineCostControl([], period_s=0.0)
+            TechnolineCostControl(period_s=0.0)

@@ -1,0 +1,108 @@
+"""Tests for the parallel sweep runner and its cache."""
+
+import datetime as dt
+
+import pytest
+
+from repro import ExperimentConfig
+from repro.analysis.seedsweep import outcome_from_results
+from repro.runner.pool import RunSpec, run_specs, sweep_records, sweep_seeds
+
+UNTIL = dt.datetime(2010, 2, 24)
+
+
+class TestRunSpec:
+    def test_cache_key_shape(self):
+        spec = RunSpec(config=ExperimentConfig(seed=7), until=UNTIL)
+        key = spec.cache_key()
+        assert key.endswith("-7-20100224T000000")
+        assert len(key.split("-")[0]) == 16
+
+    def test_full_run_key(self):
+        spec = RunSpec(config=ExperimentConfig(seed=7))
+        assert spec.cache_key().endswith("-7-full")
+
+
+class TestValidation:
+    def test_empty_specs_rejected(self):
+        with pytest.raises(ValueError):
+            run_specs([])
+
+    def test_bad_jobs_rejected(self):
+        spec = RunSpec(config=ExperimentConfig(seed=7), until=UNTIL)
+        with pytest.raises(ValueError):
+            run_specs([spec], jobs=0)
+
+    def test_empty_seed_list_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_seeds([], until=UNTIL)
+
+
+class TestDeterminism:
+    def test_serial_and_parallel_records_byte_identical(self):
+        seeds = [7, 11, 13]
+        serial = sweep_records(seeds, until=UNTIL, jobs=1)
+        parallel = sweep_records(seeds, until=UNTIL, jobs=4)
+        assert serial.records == parallel.records
+        for a, b in zip(serial.records, parallel.records):
+            assert a.canonical_json() == b.canonical_json()
+        assert [r.seed for r in parallel.records] == seeds
+
+    def test_summary_matches_legacy_serial_sweep(self):
+        # sweep_seeds is the drop-in successor of the old serial loop in
+        # analysis.seedsweep: same aggregate, whatever the job count.
+        summary = sweep_seeds([7, 11], until=UNTIL, jobs=2)
+        assert [o.seed for o in summary.outcomes] == [7, 11]
+        assert summary.describe()
+
+    def test_record_census_matches_short_fixture(self, short_results):
+        record = sweep_records([7], until=dt.datetime(2010, 3, 3), jobs=1).records[0]
+        assert record.to_outcome() == outcome_from_results(7, short_results)
+
+
+class TestCache:
+    def test_second_invocation_hits_cache(self, tmp_path):
+        cache = str(tmp_path / "runs")
+        first = sweep_records([7, 11], until=UNTIL, jobs=1, cache_dir=cache)
+        second = sweep_records([7, 11], until=UNTIL, jobs=1, cache_dir=cache)
+        assert (first.cache_hits, first.cache_misses) == (0, 2)
+        assert (second.cache_hits, second.cache_misses) == (2, 0)
+        assert second.records == first.records
+
+    def test_corrupt_cache_entry_recomputed(self, tmp_path):
+        cache = str(tmp_path / "runs")
+        spec = RunSpec(config=ExperimentConfig(seed=7), until=UNTIL)
+        sweep_records([7], until=UNTIL, jobs=1, cache_dir=cache)
+        path = tmp_path / "runs" / f"{spec.cache_key()}.json"
+        path.write_text("{not json")
+        again = sweep_records([7], until=UNTIL, jobs=1, cache_dir=cache)
+        assert (again.cache_hits, again.cache_misses) == (0, 1)
+
+    def test_different_config_never_shares_entries(self, tmp_path):
+        cache = str(tmp_path / "runs")
+        sweep_records([7], until=UNTIL, jobs=1, cache_dir=cache)
+        truncated = sweep_records(
+            [7],
+            until=UNTIL,
+            config_factory=lambda seed: ExperimentConfig(seed=seed).with_end(
+                dt.datetime(2010, 4, 1)
+            ),
+            jobs=1,
+            cache_dir=cache,
+        )
+        assert truncated.cache_hits == 0
+
+
+class TestCompatReexport:
+    def test_analysis_seedsweep_lazily_reexports(self):
+        from repro.analysis.seedsweep import sweep_seeds as via_module
+        from repro.analysis import sweep_seeds as via_package
+
+        assert via_module is sweep_seeds
+        assert via_package is sweep_seeds
+
+    def test_unknown_attribute_still_raises(self):
+        import repro.analysis.seedsweep as seedsweep
+
+        with pytest.raises(AttributeError):
+            seedsweep.does_not_exist

@@ -1,0 +1,198 @@
+"""Tests for the campaign event bus."""
+
+import pytest
+
+from repro.climate.generator import WeatherGenerator
+from repro.climate.profiles import HELSINKI_2010
+from repro.hardware.faults import FaultKind, FaultLog, TransientFaultModel
+from repro.hardware.host import Host, HostState
+from repro.hardware.vendors import VENDOR_A
+from repro.sim.clock import SimClock
+from repro.sim.events import (
+    Event,
+    EventBus,
+    EventRecorder,
+    HostFailed,
+    HostInstalled,
+    SensorLatched,
+    SnapshotTaken,
+    SwitchDied,
+    TentModified,
+    WrongHash,
+)
+from repro.sim.rng import RngStreams
+from repro.thermal.enclosure import BasementMachineRoom
+
+
+class TestDispatch:
+    def test_exact_type_dispatch(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(HostFailed, seen.append)
+        bus.publish(HostFailed(time=1.0, host_id=15))
+        bus.publish(WrongHash(time=2.0, host_id=3))
+        assert len(seen) == 1
+        assert seen[0].host_id == 15
+
+    def test_wildcard_subscriber_sees_everything(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(Event, seen.append)
+        bus.publish(HostFailed(time=1.0, host_id=15))
+        bus.publish(SwitchDied(time=2.0, switch_name="tent-sw1"))
+        assert [type(e).__name__ for e in seen] == ["HostFailed", "SwitchDied"]
+
+    def test_exact_subscribers_run_before_wildcards(self):
+        bus = EventBus()
+        order = []
+        bus.subscribe(Event, lambda e: order.append("wildcard"))
+        bus.subscribe(HostFailed, lambda e: order.append("exact"))
+        bus.publish(HostFailed(time=1.0, host_id=1))
+        assert order == ["exact", "wildcard"]
+
+    def test_subscription_order_within_type(self):
+        bus = EventBus()
+        order = []
+        bus.subscribe(HostFailed, lambda e: order.append("first"))
+        bus.subscribe(HostFailed, lambda e: order.append("second"))
+        bus.publish(HostFailed(time=1.0, host_id=1))
+        assert order == ["first", "second"]
+
+    def test_unsubscribe_stops_delivery(self):
+        bus = EventBus()
+        seen = []
+        handler = bus.subscribe(HostFailed, seen.append)
+        bus.publish(HostFailed(time=1.0, host_id=1))
+        bus.unsubscribe(HostFailed, handler)
+        bus.publish(HostFailed(time=2.0, host_id=2))
+        assert len(seen) == 1
+
+    def test_non_event_subscription_rejected(self):
+        bus = EventBus()
+        with pytest.raises(TypeError):
+            bus.subscribe(int, print)
+
+    def test_publish_tallies_counts(self):
+        bus = EventBus()
+        bus.publish(HostFailed(time=1.0, host_id=1))
+        bus.publish(HostFailed(time=2.0, host_id=2))
+        bus.publish(SwitchDied(time=3.0, switch_name="x"))
+        assert bus.counts == {"HostFailed": 2, "SwitchDied": 1}
+
+
+class TestRecorder:
+    def test_records_in_publish_order(self):
+        bus = EventBus()
+        recorder = EventRecorder()
+        recorder.attach(bus)
+        bus.publish(HostFailed(time=1.0, host_id=1))
+        bus.publish(WrongHash(time=2.0, host_id=2))
+        assert len(recorder) == 2
+        assert [type(e).__name__ for e in recorder] == ["HostFailed", "WrongHash"]
+        assert recorder.counts() == {"HostFailed": 1, "WrongHash": 1}
+
+    def test_of_type_filters(self):
+        bus = EventBus()
+        recorder = EventRecorder()
+        recorder.attach(bus)
+        bus.publish(HostFailed(time=1.0, host_id=1))
+        bus.publish(WrongHash(time=2.0, host_id=2))
+        assert [e.host_id for e in recorder.of_type(WrongHash)] == [2]
+
+    def test_detach_stops_recording(self):
+        bus = EventBus()
+        recorder = EventRecorder()
+        recorder.attach(bus)
+        bus.publish(HostFailed(time=1.0, host_id=1))
+        recorder.detach(bus)
+        bus.publish(HostFailed(time=2.0, host_id=2))
+        assert len(recorder) == 1
+
+
+def _doomed_host(bus):
+    """A running host whose next tick is (almost surely) fatal."""
+    weather = WeatherGenerator(HELSINKI_2010, RngStreams(1))
+    basement = BasementMachineRoom("basement", weather)
+    basement.advance(SimClock().at(2010, 2, 19))
+    host = Host(
+        15, VENDOR_A, RngStreams(1),
+        transient_model=TransientFaultModel(base_rate_per_hour=1e9),
+        bus=bus,
+    )
+    host.install(basement, 0.0)
+    return host
+
+
+class TestPublisherWiring:
+    def test_forced_failure_publishes_exactly_one_host_failed(self):
+        bus = EventBus()
+        fault_log = FaultLog()
+        fault_log.attach_bus(bus)
+        recorder = EventRecorder()
+        recorder.attach(bus)
+        host = _doomed_host(bus)
+        host.tick(300.0, 300.0, fault_log)
+        assert host.state is HostState.FAILED
+        failures = recorder.of_type(HostFailed)
+        assert len(failures) == 1
+        assert failures[0].host_id == 15
+        # The subscribed fault log converted it into the census entry.
+        assert len(fault_log.of_kind(FaultKind.TRANSIENT_SYSTEM)) == 1
+        assert fault_log.events[0].host_id == 15
+
+    def test_bus_and_direct_record_paths_match(self):
+        bus = EventBus()
+        bus_log = FaultLog()
+        bus_log.attach_bus(bus)
+        published = _doomed_host(bus)
+        published.tick(300.0, 300.0, bus_log)
+
+        direct_log = FaultLog()
+        direct = _doomed_host(None)
+        direct.tick(300.0, 300.0, direct_log)
+
+        assert bus_log.events == direct_log.events
+
+    def test_failed_host_stops_publishing(self):
+        bus = EventBus()
+        recorder = EventRecorder()
+        recorder.attach(bus)
+        host = _doomed_host(bus)
+        host.tick(300.0, 300.0, None)
+        host.tick(300.0, 600.0, None)  # already down: no second event
+        assert len(recorder.of_type(HostFailed)) == 1
+
+
+class TestEndToEnd:
+    def test_full_campaign_event_census(self, full_results):
+        counts = full_results.event_counts()
+        # All five scheduled tent modifications (R, I, B, F, door).
+        assert counts.get("TentModified") == 5
+        assert counts.get("SnapshotTaken") == 1
+        # 18 initial installs plus the #19 replacement.
+        assert counts.get("HostInstalled", 0) >= 18
+        assert counts.get("WrongHash", 0) == full_results.ledger.total_wrong_hashes
+
+    def test_events_property_ordered_by_time(self, full_results):
+        events = full_results.events
+        assert events, "a full campaign publishes events"
+        kinds = {type(e).__name__ for e in events}
+        assert "HostInstalled" in kinds
+        assert [e.time for e in events if isinstance(e, (TentModified, SnapshotTaken))] == sorted(
+            e.time for e in events if isinstance(e, (TentModified, SnapshotTaken))
+        )
+
+    def test_sensor_latch_published(self, full_results):
+        # Seed 7 reproduces the paper's February sensor latch-up.
+        latched = full_results.event_counts().get("SensorLatched", 0)
+        assert latched >= 1
+        hosts_latched = sum(
+            1 for h in full_results.fleet.hosts.values() if h.sensor.ever_latched
+        )
+        assert latched == hosts_latched
+
+    def test_host_installed_carries_group(self, full_results):
+        installs = [e for e in full_results.events if isinstance(e, HostInstalled)]
+        groups = {e.group for e in installs}
+        assert {"tent", "basement"} <= groups
+        assert all(e.enclosure in ("tent", "basement") for e in installs)
