@@ -23,6 +23,14 @@ Commands
     aggregated census, e.g.::
 
         python -m repro sweep --seeds 7,11,13,17 --jobs 4 --until 2010-03-01
+
+    ``--telemetry`` additionally collects metrics in every worker and
+    prints the merged hot-label tallies.
+``telemetry``
+    Run the campaign with the telemetry plane on and print the hot-label
+    / slowest-span report (where simulated events and wall time go).
+    ``run`` also accepts ``--telemetry-out FILE`` (metrics + spans as
+    JSON) and ``--run-log FILE`` (one JSON line per campaign event).
 """
 
 from __future__ import annotations
@@ -95,6 +103,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--report", action="store_true",
         help="print the full paper-style report instead of the summary",
     )
+    run.add_argument(
+        "--telemetry-out", default=None, metavar="FILE",
+        help="collect metrics/spans during the run and write them as JSON",
+    )
+    run.add_argument(
+        "--run-log", default=None, metavar="FILE",
+        help="write one JSON line per campaign event (JSONL)",
+    )
 
     figures = sub.add_parser("figures", help="render Figs. 1-4 in the terminal")
     figures.add_argument("--seed", type=int, default=7)
@@ -148,6 +164,27 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--no-cache", action="store_true", help="disable the on-disk record cache"
     )
+    sweep.add_argument(
+        "--telemetry", action="store_true",
+        help="collect metrics in every worker and print the merged tallies",
+    )
+
+    telemetry = sub.add_parser(
+        "telemetry", help="run with telemetry on and print the hot-label report"
+    )
+    telemetry.add_argument("--seed", type=int, default=7, help="master seed")
+    telemetry.add_argument(
+        "--until", type=_parse_date, default=None,
+        help="truncate the campaign at this date (YYYY-MM-DD)",
+    )
+    telemetry.add_argument(
+        "--top", type=int, default=10,
+        help="rows per report section (default: 10)",
+    )
+    telemetry.add_argument(
+        "--prometheus", action="store_true",
+        help="print the Prometheus text exposition instead of the report",
+    )
     return parser
 
 
@@ -158,13 +195,55 @@ def _scenario_names() -> List[str]:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    results = Experiment(ExperimentConfig(seed=args.seed)).run(until=args.until)
+    from repro.core.builder import CampaignBuilder
+
+    builder = CampaignBuilder(ExperimentConfig(seed=args.seed))
+    telemetry = None
+    if args.telemetry_out:
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
+        builder.with_telemetry(telemetry)
+    run_log = None
+    if args.run_log:
+        from repro.telemetry import JsonlRunLog
+
+        run_log = JsonlRunLog.open(args.run_log)
+        builder.with_subscriber(run_log.subscribe)
+    try:
+        results = builder.build().run(until=args.until)
+    finally:
+        if run_log is not None:
+            run_log.close()
     if args.report:
         from repro.core.reporting import full_report
 
         print(full_report(results))
     else:
         print(results.summary())
+    if telemetry is not None:
+        import json
+
+        with open(args.telemetry_out, "w", encoding="utf-8") as fh:
+            json.dump(telemetry.to_json_dict(), fh, indent=2, sort_keys=True)
+        print(f"telemetry -> {args.telemetry_out}")
+    if run_log is not None:
+        print(f"run log   -> {args.run_log} ({run_log.lines_written} events)")
+    return 0
+
+
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    from repro.core.builder import CampaignBuilder
+    from repro.telemetry import Telemetry
+    from repro.telemetry.report import render_report
+
+    telemetry = Telemetry()
+    builder = CampaignBuilder(ExperimentConfig(seed=args.seed))
+    builder.with_telemetry(telemetry).build().run(until=args.until)
+    if args.prometheus:
+        print(telemetry.to_prometheus_text(), end="")
+    else:
+        print(render_report(telemetry, top=args.top))
     return 0
 
 
@@ -250,6 +329,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         config_factory=lambda seed: factory(seed=seed),
         jobs=args.jobs,
         cache_dir=cache_dir,
+        telemetry=args.telemetry,
     )
     print(result.summary.describe())
     print(
@@ -257,6 +337,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"{result.cache_misses} computed in {result.elapsed_s:.1f} s "
         f"(jobs={args.jobs}, scenario={args.scenario})"
     )
+    if args.telemetry:
+        merged = result.merged_telemetry()
+        if merged is not None:
+            print()
+            print("Merged telemetry (hot labels across all workers):")
+            hottest = sorted(merged.span_counts, key=lambda kv: (-kv[1], kv[0]))[:10]
+            width = max(len(label) for label, _ in hottest) if hottest else 0
+            for label, count in hottest:
+                print(f"  {label:<{width}}  {count}")
     return 0
 
 
@@ -267,6 +356,7 @@ _COMMANDS = {
     "sites": _cmd_sites,
     "export": _cmd_export,
     "sweep": _cmd_sweep,
+    "telemetry": _cmd_telemetry,
 }
 
 

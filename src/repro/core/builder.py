@@ -72,11 +72,17 @@ class Campaign:
         disabled: frozenset,
         extra_instruments: Tuple[Tuple[str, Callable[["Campaign"], object]], ...] = (),
         subscribers: Tuple[Callable[[EventBus], None], ...] = (),
+        telemetry=None,
     ) -> None:
         self.config = config
         self._disabled = disabled
         self.clock = SimClock()
         self.sim = Simulator(self.clock)
+        #: Optional :class:`~repro.telemetry.hub.Telemetry`; ``None`` keeps
+        #: every hook site on its zero-overhead fast path.
+        self.telemetry = telemetry
+        if telemetry is not None:
+            self.sim.tracer = telemetry.spans
         self.streams = RngStreams(config.seed)
         self.weather = WeatherGenerator(config.climate, self.streams, self.clock)
 
@@ -105,6 +111,7 @@ class Campaign:
             transport=self.transfers,
             workload_ledger=self.fleet.ledger,
             bus=self.bus,
+            telemetry=telemetry,
         )
         self.policy.bind_monitoring(self.monitoring)
 
@@ -153,6 +160,14 @@ class Campaign:
         if end < proto_end:
             raise ValueError("campaign end precedes the prototype weekend")
 
+        if self.telemetry is None:
+            return self._drive(end)
+        with self.telemetry.span("campaign.run"):
+            results = self._drive(end)
+        self._record_run_metrics()
+        return results
+
+    def _drive(self, end: float) -> ExperimentResults:
         self.station.attach(
             self.sim, start=self.clock.to_seconds(self.config.prototype_start)
         )
@@ -161,6 +176,16 @@ class Campaign:
         self._schedule_campaign(end)
         self.sim.run_until(end)
         return self._build_results(end)
+
+    def _record_run_metrics(self) -> None:
+        """End-of-run engine/bus state, frozen into the metrics registry."""
+        metrics = self.telemetry.metrics
+        metrics.gauge("engine.events_fired").set(float(self.sim.events_fired))
+        metrics.gauge("engine.events_cancelled").set(float(self.sim.events_cancelled))
+        metrics.gauge("engine.pending_at_end").set(float(self.sim.pending_count))
+        metrics.gauge("engine.sim_end_s").set(float(self.sim.now))
+        for name, count in sorted(self.bus.counts.items()):
+            metrics.counter(f"bus.events.{name}").inc(count)
 
     # ------------------------------------------------------------------
     # Phase 1: the plastic-box weekend
@@ -323,6 +348,7 @@ class Campaign:
             end_time=end,
             bus=self.bus,
             recorder=self.recorder,
+            telemetry=self.telemetry,
         )
 
 
@@ -353,6 +379,7 @@ class CampaignBuilder:
         self._disabled: set = set()
         self._extra: List[Tuple[str, Callable[[Campaign], object]]] = []
         self._subscribers: List[Callable[[EventBus], None]] = []
+        self._telemetry = None
 
     def without(self, name: str) -> "CampaignBuilder":
         """Drop one default instrument (see :data:`DEFAULT_INSTRUMENTS`)."""
@@ -387,6 +414,25 @@ class CampaignBuilder:
         self._subscribers.append(subscribe)
         return self
 
+    def with_telemetry(self, telemetry=None) -> "CampaignBuilder":
+        """Opt the campaign into telemetry.
+
+        ``telemetry`` is a :class:`~repro.telemetry.hub.Telemetry` to
+        fill (pass one to share a registry across campaigns); omitted, a
+        fresh one is created.  The built campaign wires it everywhere:
+        the engine traces every event callback as ``engine.<label>``,
+        the monitoring host times and tallies each collection round, and
+        the run driver freezes end-of-run engine/bus state into gauges
+        and counters.  The finished run exposes it as
+        ``results.telemetry``.
+        """
+        if telemetry is None:
+            from repro.telemetry import Telemetry
+
+            telemetry = Telemetry()
+        self._telemetry = telemetry
+        return self
+
     def build(self) -> Campaign:
         """Assemble the campaign (construction wires, nothing runs yet)."""
         return Campaign(
@@ -394,4 +440,5 @@ class CampaignBuilder:
             disabled=frozenset(self._disabled),
             extra_instruments=tuple(self._extra),
             subscribers=tuple(self._subscribers),
+            telemetry=self._telemetry,
         )

@@ -116,6 +116,7 @@ class ExperimentResults:
         webcam=None,
         bus=None,
         recorder=None,
+        telemetry=None,
     ) -> None:
         self.config = config
         self.clock = clock
@@ -135,6 +136,10 @@ class ExperimentResults:
         self.bus = bus
         #: The run's :class:`~repro.sim.events.EventRecorder` (or None).
         self.recorder = recorder
+        #: The run's :class:`~repro.telemetry.hub.Telemetry` -- metrics
+        #: registry and span tracer -- or None for a run built without
+        #: ``CampaignBuilder.with_telemetry``.
+        self.telemetry = telemetry
 
     def __repr__(self) -> str:
         return (

@@ -7,28 +7,47 @@ the old function-local ``from repro import Experiment`` inside
 both core and analysis, so the import below is an ordinary module-level
 one, and :func:`run_recorded` is a top-level -- hence picklable --
 worker for :class:`concurrent.futures.ProcessPoolExecutor`.
+
+With ``telemetry=True`` the campaign is built through
+``CampaignBuilder.with_telemetry``: the engine traces every event
+callback, the collector times every round, the whole worker run is
+wrapped in a ``runner.run`` span, and the resulting
+:class:`~repro.telemetry.hub.TelemetrySnapshot` rides inside the
+returned record.  The default stays telemetry-free and byte-identical
+to the historical output.
 """
 
 from __future__ import annotations
 
 import datetime as _dt
-import time as _time
 from typing import Optional
 
+from repro.core.builder import CampaignBuilder
 from repro.core.config import ExperimentConfig
-from repro.core.experiment import Experiment
 from repro.runner.records import RunRecord, record_from_results
+from repro.telemetry import Stopwatch, Telemetry
 
 
 def run_recorded(
-    config: ExperimentConfig, until: Optional[_dt.datetime] = None
+    config: ExperimentConfig,
+    until: Optional[_dt.datetime] = None,
+    telemetry: bool = False,
 ) -> RunRecord:
     """Run one campaign and distil it into a :class:`RunRecord`."""
-    started = _time.perf_counter()
-    results = Experiment(config).run(until=until)
+    builder = CampaignBuilder(config)
+    hub: Optional[Telemetry] = None
+    if telemetry:
+        hub = Telemetry()
+        builder.with_telemetry(hub)
+    with Stopwatch() as watch:
+        if hub is not None:
+            with hub.span("runner.run"):
+                results = builder.build().run(until=until)
+        else:
+            results = builder.build().run(until=until)
     return record_from_results(
         config.seed,
         results,
         until=until,
-        elapsed_s=_time.perf_counter() - started,
+        elapsed_s=watch.elapsed_s,
     )

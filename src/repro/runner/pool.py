@@ -14,7 +14,10 @@ Determinism: each campaign is a pure function of (config, seed, until),
 so the executor only changes *where* a run happens, never what it
 returns -- serial and parallel sweeps produce byte-identical
 :class:`~repro.runner.records.RunRecord` sequences, and a cache hit is
-indistinguishable from a fresh run (minus the wall-clock field).
+indistinguishable from a fresh run (minus the wall-clock field).  The
+guarantee extends to telemetry-enabled sweeps: every record's metric
+and span *counts* are deterministic (only per-span wall times differ),
+so :meth:`SweepResult.merged_telemetry` is identical at any job count.
 """
 
 from __future__ import annotations
@@ -23,7 +26,6 @@ import datetime as _dt
 import json
 import os
 import tempfile
-import time as _time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -37,15 +39,22 @@ from repro.runner.records import (
     config_digest,
     record_from_json_dict,
 )
+from repro.telemetry import Stopwatch, TelemetrySnapshot, merge_snapshots
 
 
 @dataclass(frozen=True)
 class RunSpec:
-    """One unit of sweep work: a campaign config plus its horizon."""
+    """One unit of sweep work: a campaign config plus its horizon.
+
+    ``telemetry`` opts the run into metrics/span collection; it is part
+    of the cache key, so a telemetry-free cache entry is never served to
+    a telemetry-bearing request (or vice versa).
+    """
 
     config: ExperimentConfig
     until: Optional[_dt.datetime] = None
     label: str = ""
+    telemetry: bool = False
 
     @property
     def seed(self) -> int:
@@ -56,7 +65,8 @@ class RunSpec:
         """Filename-safe memoisation key: config digest, seed, horizon."""
         digest = config_digest(self.config)
         horizon = self.until.strftime("%Y%m%dT%H%M%S") if self.until else "full"
-        return f"{digest[:16]}-{self.config.seed}-{horizon}"
+        suffix = "-telemetry" if self.telemetry else ""
+        return f"{digest[:16]}-{self.config.seed}-{horizon}{suffix}"
 
 
 @dataclass(frozen=True)
@@ -75,10 +85,25 @@ class SweepResult:
             outcomes=tuple(record.to_outcome() for record in self.records)
         )
 
+    def merged_telemetry(self) -> Optional[TelemetrySnapshot]:
+        """Fleet-wide telemetry, folded across every worker's record.
+
+        Counters, histogram buckets, span fire counts, and span wall
+        time add; gauges keep the maximum.  Because each record's counts
+        are a pure function of its (config, seed, horizon), the merge is
+        identical whether the sweep ran serially or on N workers.
+        Returns ``None`` when no record carries telemetry.
+        """
+        return merge_snapshots(
+            record.telemetry
+            for record in self.records
+            if record.telemetry is not None
+        )
+
 
 def _execute_spec(spec: RunSpec) -> RunRecord:
     """Pool worker: run one spec (top-level, so it pickles)."""
-    return run_recorded(spec.config, until=spec.until)
+    return run_recorded(spec.config, until=spec.until, telemetry=spec.telemetry)
 
 
 # ----------------------------------------------------------------------
@@ -139,36 +164,37 @@ def run_specs(
         raise ValueError("need at least one run spec")
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
-    started = _time.perf_counter()
+    with Stopwatch() as watch:
+        records: Dict[int, RunRecord] = {}
+        hits = 0
+        if cache_dir is not None:
+            for index, spec in enumerate(specs):
+                cached = _load_cached(cache_dir, spec)
+                if cached is not None:
+                    records[index] = cached
+                    hits += 1
 
-    records: Dict[int, RunRecord] = {}
-    hits = 0
-    if cache_dir is not None:
-        for index, spec in enumerate(specs):
-            cached = _load_cached(cache_dir, spec)
-            if cached is not None:
-                records[index] = cached
-                hits += 1
+        missing = [
+            (index, spec) for index, spec in enumerate(specs) if index not in records
+        ]
+        if missing:
+            if jobs == 1 or len(missing) == 1:
+                fresh = [_execute_spec(spec) for _, spec in missing]
+            else:
+                workers = min(jobs, len(missing))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    fresh = list(pool.map(_execute_spec, [spec for _, spec in missing]))
+            for (index, spec), record in zip(missing, fresh):
+                records[index] = record
+                if cache_dir is not None:
+                    _store_cached(cache_dir, spec, record)
 
-    missing = [(index, spec) for index, spec in enumerate(specs) if index not in records]
-    if missing:
-        if jobs == 1 or len(missing) == 1:
-            fresh = [_execute_spec(spec) for _, spec in missing]
-        else:
-            workers = min(jobs, len(missing))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                fresh = list(pool.map(_execute_spec, [spec for _, spec in missing]))
-        for (index, spec), record in zip(missing, fresh):
-            records[index] = record
-            if cache_dir is not None:
-                _store_cached(cache_dir, spec, record)
-
-    ordered = tuple(records[index] for index in range(len(specs)))
+        ordered = tuple(records[index] for index in range(len(specs)))
     return SweepResult(
         records=ordered,
         cache_hits=hits,
         cache_misses=len(missing),
-        elapsed_s=_time.perf_counter() - started,
+        elapsed_s=watch.elapsed_s,
     )
 
 
@@ -176,6 +202,7 @@ def _specs_for_seeds(
     seeds: Sequence[int],
     until: Optional[_dt.datetime],
     config_factory: Optional[Callable[[int], ExperimentConfig]],
+    telemetry: bool = False,
 ) -> List[RunSpec]:
     if not seeds:
         raise ValueError("need at least one seed")
@@ -183,7 +210,12 @@ def _specs_for_seeds(
         lambda seed: ExperimentConfig(seed=seed)
     )
     return [
-        RunSpec(config=factory(seed), until=until, label=f"seed {seed}")
+        RunSpec(
+            config=factory(seed),
+            until=until,
+            label=f"seed {seed}",
+            telemetry=telemetry,
+        )
         for seed in seeds
     ]
 
@@ -194,10 +226,17 @@ def sweep_records(
     config_factory: Optional[Callable[[int], ExperimentConfig]] = None,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
+    telemetry: bool = False,
 ) -> SweepResult:
-    """Run the campaign once per seed; full execution report."""
+    """Run the campaign once per seed; full execution report.
+
+    ``telemetry=True`` collects metrics and spans in every worker;
+    :meth:`SweepResult.merged_telemetry` folds them into one view.
+    """
     return run_specs(
-        _specs_for_seeds(seeds, until, config_factory), jobs=jobs, cache_dir=cache_dir
+        _specs_for_seeds(seeds, until, config_factory, telemetry=telemetry),
+        jobs=jobs,
+        cache_dir=cache_dir,
     )
 
 

@@ -19,7 +19,13 @@ Two supporting pieces:
 
 ``elapsed_s`` is wall-clock bookkeeping: it is excluded from equality
 and from :meth:`RunRecord.canonical_json`, so records from a serial and
-a parallel run of the same campaign compare byte-identical.
+a parallel run of the same campaign compare byte-identical.  The same
+split applies to the optional telemetry snapshot a record carries: span
+fire counts, counters, gauges, and histograms are deterministic and
+compare; per-span wall times do not (see
+:class:`repro.telemetry.hub.TelemetrySnapshot`).  Records produced with
+telemetry off omit the key entirely, staying byte-identical to the
+pre-telemetry layout.
 """
 
 from __future__ import annotations
@@ -34,6 +40,7 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro.analysis.seedsweep import SeedOutcome
 from repro.core.config import ExperimentConfig
+from repro.telemetry.hub import TelemetrySnapshot, snapshot_from_json_dict
 
 #: Bump when the record layout changes; stale cache files are ignored.
 RECORD_SCHEMA = 1
@@ -138,6 +145,12 @@ class RunRecord:
     snapshot_wrong_hashes: Optional[int]
     series: Tuple[SeriesDigest, ...]
     elapsed_s: float = field(compare=False, default=0.0)
+    #: Telemetry snapshot for runs executed with telemetry on; ``None``
+    #: (and absent from the JSON forms) otherwise, which keeps
+    #: telemetry-free records byte-identical to the pre-telemetry layout.
+    #: Snapshot equality already excludes its wall-time fields, so this
+    #: field participates in record comparison.
+    telemetry: Optional[TelemetrySnapshot] = None
 
     def to_outcome(self) -> SeedOutcome:
         """The sweep-facing census view of this record."""
@@ -157,12 +170,23 @@ class RunRecord:
         """Plain-data form, elapsed included (for the cache file)."""
         data = dataclasses.asdict(self)
         data["series"] = [dataclasses.asdict(s) for s in self.series]
+        if self.telemetry is None:
+            data.pop("telemetry")
+        else:
+            data["telemetry"] = self.telemetry.to_json_dict()
         return data
 
     def canonical_json(self) -> str:
-        """Deterministic JSON, wall-clock bookkeeping excluded."""
+        """Deterministic JSON, wall-clock bookkeeping excluded.
+
+        Excluded means ``elapsed_s`` and, inside a telemetry snapshot,
+        the per-span wall times -- everything that survives is a pure
+        function of (config, seed, horizon).
+        """
         data = self.to_json_dict()
         data.pop("elapsed_s")
+        if "telemetry" in data:
+            data["telemetry"].pop("span_wall_s", None)
         return json.dumps(data, sort_keys=True, separators=(",", ":"))
 
 
@@ -178,6 +202,10 @@ def record_from_json_dict(data: Dict[str, Any]) -> RunRecord:
         (str(k), int(v)) for k, v in payload["event_counts"]
     )
     payload["series"] = tuple(SeriesDigest(**s) for s in payload["series"])
+    telemetry = payload.get("telemetry")
+    payload["telemetry"] = (
+        snapshot_from_json_dict(telemetry) if telemetry is not None else None
+    )
     return RunRecord(**payload)
 
 
@@ -200,6 +228,7 @@ def record_from_results(
     for event in results.fault_log.events:
         fault_tally[event.kind.name] = fault_tally.get(event.kind.name, 0) + 1
     snapshot = results.snapshot
+    telemetry = getattr(results, "telemetry", None)
     series = tuple(
         digest_series(name, getattr(results, method)())
         for name, method in (
@@ -233,4 +262,5 @@ def record_from_results(
         snapshot_wrong_hashes=snapshot.wrong_hashes if snapshot is not None else None,
         series=series,
         elapsed_s=elapsed_s,
+        telemetry=telemetry.snapshot() if telemetry is not None else None,
     )

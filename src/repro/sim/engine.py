@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from time import perf_counter
 from typing import Any, Callable, List, Optional
 
 from repro.sim.clock import SimClock
@@ -75,11 +76,17 @@ class Simulator:
         self._queue: List[EventHandle] = []
         self._seq = itertools.count()
         self._events_fired = 0
+        self._events_cancelled = 0
         self._running = False
         #: Optional trace hook ``(time, label)`` called before each event
         #: fires; labels come from the ``label=`` scheduling argument.
         #: Used by tests and by anyone debugging event ordering.
         self.on_event: Optional[Callable[[float, str], None]] = None
+        #: Optional :class:`~repro.telemetry.spans.SpanTracer`.  When set
+        #: (a telemetry-enabled campaign does it), every fired callback is
+        #: wrapped in a span keyed by ``"engine.<label>"``.  When ``None``
+        #: (the default) the fast path pays one attribute check per event.
+        self.tracer: Optional[Any] = None
 
     def __repr__(self) -> str:
         return (
@@ -97,8 +104,13 @@ class Simulator:
 
     @property
     def events_fired(self) -> int:
-        """Total callbacks executed so far."""
+        """Total callbacks executed so far (cancelled events never count)."""
         return self._events_fired
+
+    @property
+    def events_cancelled(self) -> int:
+        """Cancelled handles drained from the queue without firing."""
+        return self._events_cancelled
 
     def schedule(
         self, delay: float, callback: Callable[[], None], label: str = ""
@@ -167,11 +179,26 @@ class Simulator:
         self.now = handle.time
         callback = handle.callback
         handle.callback = None
-        if callback is not None:
-            self._events_fired += 1
-            if self.on_event is not None:
-                self.on_event(handle.time, handle.label)
+        if callback is None:
+            # A handle cancelled after surfacing past _drop_cancelled is
+            # drained here: it never fired, so it must not count as fired.
+            self._events_cancelled += 1
+            return True
+        self._events_fired += 1
+        if self.on_event is not None:
+            self.on_event(handle.time, handle.label)
+        tracer = self.tracer
+        if tracer is None:
             callback()
+        else:
+            started = perf_counter()
+            try:
+                callback()
+            finally:
+                tracer.record(
+                    "engine." + (handle.label or "unlabeled"),
+                    perf_counter() - started,
+                )
         return True
 
     def run_until(self, end: float) -> None:
@@ -206,6 +233,7 @@ class Simulator:
     def _drop_cancelled(self) -> None:
         while self._queue and self._queue[0].cancelled:
             heapq.heappop(self._queue)
+            self._events_cancelled += 1
 
 
 # heapq compares tuples of (time, seq) via EventHandle ordering:

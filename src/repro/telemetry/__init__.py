@@ -1,0 +1,54 @@
+"""Telemetry: the reproduction's own measurement plane.
+
+The paper is a measurement campaign; this package lets the reproduction
+measure *itself* the same way -- metrics, span traces, and structured
+run logs, threaded through the engine, the monitoring host, and the
+sweep runner:
+
+- :mod:`repro.telemetry.metrics` -- counters, gauges, fixed-bucket
+  histograms; deterministic, picklable, mergeable; Prometheus-text and
+  JSON exposition;
+- :mod:`repro.telemetry.spans` -- per-label wall-time aggregation (the
+  engine wraps every event callback; the collector wraps every round)
+  plus the shared :class:`~repro.telemetry.spans.Stopwatch`;
+- :mod:`repro.telemetry.hub` -- :class:`Telemetry` (one run's registry +
+  tracer) and the frozen :class:`TelemetrySnapshot` records carry across
+  process boundaries;
+- :mod:`repro.telemetry.runlog` -- a JSONL
+  :class:`~repro.sim.events.EventBus` sink, one line per campaign event;
+- :mod:`repro.telemetry.report` -- the ``repro telemetry`` hot-label /
+  slowest-span terminal report.
+
+Telemetry is strictly opt-in (``CampaignBuilder.with_telemetry``): a run
+built without it takes a single ``is None`` branch per hook site and
+produces byte-identical results.
+"""
+
+from repro.telemetry.hub import (
+    TELEMETRY_SCHEMA,
+    HistogramSnapshot,
+    Telemetry,
+    TelemetrySnapshot,
+    merge_snapshots,
+    snapshot_from_json_dict,
+)
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.runlog import JsonlRunLog
+from repro.telemetry.spans import SpanStats, SpanTracer, Stopwatch
+
+__all__ = [
+    "TELEMETRY_SCHEMA",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "JsonlRunLog",
+    "MetricsRegistry",
+    "SpanStats",
+    "SpanTracer",
+    "Stopwatch",
+    "Telemetry",
+    "TelemetrySnapshot",
+    "merge_snapshots",
+    "snapshot_from_json_dict",
+]

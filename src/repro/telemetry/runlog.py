@@ -1,0 +1,95 @@
+"""Structured run logs: one JSON line per campaign event.
+
+:class:`JsonlRunLog` is an :class:`~repro.sim.events.EventBus`
+subscriber -- it plugs into a campaign through the same
+``CampaignBuilder.with_subscriber`` hook any observer uses::
+
+    log = JsonlRunLog.open("run.jsonl")
+    builder.with_subscriber(log.subscribe)
+    results = builder.build().run()
+    log.close()
+
+Each line carries the event class name, the simulated time, the wall
+time the line was written, the host id when the event names one, and
+every other JSON-representable payload field.  The sink only observes:
+it draws no randomness, publishes nothing, and schedules nothing, so
+attaching it never perturbs a run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+import time as _time
+from typing import Any, Callable, IO, Optional
+
+from repro.sim.events import Event, EventBus
+
+
+def _json_safe(value: Any) -> Any:
+    """Reduce one payload field to something ``json.dumps`` accepts."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, enum.Enum):
+        return value.name
+    return repr(value)
+
+
+class JsonlRunLog:
+    """EventBus subscriber that appends one JSON object per line.
+
+    Parameters
+    ----------
+    stream:
+        Any writable text stream.  Use :meth:`open` for a file path.
+    wall_clock:
+        Source of the ``wall_time_s`` field; injectable so tests can pin
+        it.  Defaults to :func:`time.time` (epoch seconds).
+    """
+
+    def __init__(
+        self,
+        stream: IO[str],
+        wall_clock: Callable[[], float] = _time.time,
+    ) -> None:
+        self._stream = stream
+        self._wall_clock = wall_clock
+        self._owns_stream = False
+        self.lines_written = 0
+
+    @classmethod
+    def open(cls, path: str, wall_clock: Callable[[], float] = _time.time) -> "JsonlRunLog":
+        """A sink writing to ``path`` (truncates; :meth:`close` closes it)."""
+        log = cls(open(path, "w", encoding="utf-8"), wall_clock)
+        log._owns_stream = True
+        return log
+
+    def __repr__(self) -> str:
+        return f"JsonlRunLog(lines_written={self.lines_written})"
+
+    # ------------------------------------------------------------------
+    # The subscriber protocol
+    # ------------------------------------------------------------------
+    def subscribe(self, bus: EventBus) -> None:
+        """Start logging every event on ``bus`` (the builder hook)."""
+        bus.subscribe(Event, self._emit)
+
+    def _emit(self, event: Event) -> None:
+        payload = {
+            "event": type(event).__name__,
+            "sim_time_s": event.time,
+            "wall_time_s": self._wall_clock(),
+        }
+        for field in dataclasses.fields(event):
+            if field.name == "time":
+                continue
+            payload[field.name] = _json_safe(getattr(event, field.name))
+        self._stream.write(json.dumps(payload, sort_keys=True) + "\n")
+        self.lines_written += 1
+
+    def close(self) -> None:
+        """Flush, and close the stream if :meth:`open` created it."""
+        self._stream.flush()
+        if self._owns_stream:
+            self._stream.close()

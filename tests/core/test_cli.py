@@ -52,6 +52,25 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "--scenario", "lunar"])
 
+    def test_run_telemetry_flags_default_off(self):
+        args = build_parser().parse_args(["run"])
+        assert args.telemetry_out is None
+        assert args.run_log is None
+
+    def test_run_telemetry_out_parses(self):
+        args = build_parser().parse_args(["run", "--telemetry-out", "t.json"])
+        assert args.telemetry_out == "t.json"
+
+    def test_telemetry_defaults(self):
+        args = build_parser().parse_args(["telemetry"])
+        assert args.seed == 7
+        assert args.top == 10
+        assert not args.prometheus
+
+    def test_sweep_telemetry_flag(self):
+        args = build_parser().parse_args(["sweep", "--telemetry"])
+        assert args.telemetry
+
 
 class TestCommands:
     def test_pue_prints_the_paper_number(self, capsys):
@@ -96,6 +115,54 @@ class TestSweepCommand:
         assert main(argv) == 0
         out = capsys.readouterr().out
         assert "0 from cache, 1 computed" in out
+
+
+class TestTelemetryCommands:
+    def test_run_with_telemetry_out_and_run_log(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "t.json"
+        log_path = tmp_path / "run.jsonl"
+        argv = [
+            "run", "--until", "2010-02-22",
+            "--telemetry-out", str(out_path), "--run-log", str(log_path),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "telemetry ->" in out
+        data = json.loads(out_path.read_text())
+        engine_spans = {
+            label: stats
+            for label, stats in data["spans"].items()
+            if label.startswith("engine.")
+        }
+        assert engine_spans
+        assert all(stats["count"] > 0 for stats in engine_spans.values())
+        lines = log_path.read_text().splitlines()
+        assert lines and all(json.loads(line)["sim_time_s"] >= 0 for line in lines)
+
+    def test_telemetry_verb_prints_report(self, capsys):
+        assert main(["telemetry", "--until", "2010-02-22", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Hot labels" in out
+        assert "Slowest spans" in out
+        assert "engine." in out
+
+    def test_telemetry_verb_prometheus(self, capsys):
+        assert main(["telemetry", "--until", "2010-02-22", "--prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "repro_span_fired_total" in out
+        assert "# TYPE repro_monitoring_rounds_total counter" in out
+
+    def test_sweep_telemetry_prints_merged_tallies(self, capsys):
+        argv = [
+            "sweep", "--seeds", "7", "--until", "2010-02-21",
+            "--no-cache", "--telemetry",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "Merged telemetry" in out
+        assert "engine." in out
 
 
 class TestExportCommand:

@@ -152,3 +152,132 @@ class TestStepAndPeek:
         sim.schedule(2.0, lambda: None)
         sim.run()
         assert sim.events_fired == 2
+
+
+class TestFiredAndCancelledCounters:
+    def test_cancelled_events_do_not_count_as_fired(self, sim):
+        sim.schedule(1.0, lambda: None)
+        handle = sim.schedule(2.0, lambda: None)
+        handle.cancel()
+        sim.run_until(10.0)
+        assert sim.events_fired == 1
+        assert sim.events_cancelled == 1
+
+    def test_cancelled_counter_via_step_drain(self, sim):
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        assert sim.step() is False  # only a cancelled handle was queued
+        assert sim.events_fired == 0
+        assert sim.events_cancelled == 1
+
+    def test_cancelled_counter_via_peek(self, sim):
+        sim.schedule(1.0, lambda: None).cancel()
+        sim.schedule(2.0, lambda: None)
+        assert sim.peek_time() == 2.0
+        assert sim.events_cancelled == 1
+        assert sim.events_fired == 0
+
+    def test_counters_start_at_zero(self, sim):
+        assert sim.events_fired == 0
+        assert sim.events_cancelled == 0
+
+    def test_each_cancellation_counted_once(self, sim):
+        handles = [sim.schedule(float(i), lambda: None) for i in range(1, 4)]
+        for handle in handles:
+            handle.cancel()
+            handle.cancel()  # idempotent cancel must not double-count
+        sim.run_until(10.0)
+        assert sim.events_cancelled == 3
+        assert sim.events_fired == 0
+
+    def test_mixed_fired_and_cancelled(self, sim):
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(2.0, lambda: fired.append(2)).cancel()
+        sim.schedule(3.0, lambda: fired.append(3))
+        sim.run_until(10.0)
+        assert fired == [1, 3]
+        assert sim.events_fired == 2
+        assert sim.events_cancelled == 1
+
+
+class TestEventHandleContract:
+    def test_cancel_is_idempotent_and_clears_callback(self, sim):
+        handle = sim.schedule(10.0, lambda: None, label="x")
+        assert handle.callback is not None
+        handle.cancel()
+        first_state = (handle.cancelled, handle.callback)
+        handle.cancel()
+        assert first_state == (handle.cancelled, handle.callback) == (True, None)
+
+    def test_repr_pending_state(self, sim):
+        handle = sim.schedule(90.0, lambda: None, label="webcam")
+        assert repr(handle) == "EventHandle('webcam', at 90.0s)"
+
+    def test_repr_cancelled_state(self, sim):
+        handle = sim.schedule(90.0, lambda: None, label="webcam")
+        handle.cancel()
+        assert repr(handle) == "EventHandle('webcam', cancelled)"
+
+    def test_same_instant_ties_break_by_scheduling_order(self, sim):
+        # The determinism rule from the module docstring: ties in time
+        # break by a monotone sequence number, never by label or hash.
+        order = []
+        for name in ("a", "b", "c", "d"):
+            sim.schedule(10.0, lambda n=name: order.append(n), label=name)
+        sim.run_until(10.0)
+        assert order == ["a", "b", "c", "d"]
+
+    def test_same_instant_spawned_events_run_after_existing_ties(self, sim):
+        order = []
+
+        def first():
+            order.append("first")
+            sim.schedule(0.0, lambda: order.append("spawned"))
+
+        sim.schedule(10.0, first)
+        sim.schedule(10.0, lambda: order.append("second"))
+        sim.run_until(10.0)
+        assert order == ["first", "second", "spawned"]
+
+    def test_cancelling_a_tie_preserves_remaining_order(self, sim):
+        order = []
+        sim.schedule(10.0, lambda: order.append("a"))
+        doomed = sim.schedule(10.0, lambda: order.append("b"))
+        sim.schedule(10.0, lambda: order.append("c"))
+        doomed.cancel()
+        sim.run_until(10.0)
+        assert order == ["a", "c"]
+
+
+class TestEngineTracer:
+    def test_tracer_records_span_per_fired_label(self, sim):
+        from repro.telemetry import SpanTracer
+
+        sim.tracer = SpanTracer()
+        sim.schedule(1.0, lambda: None, label="tick")
+        sim.schedule(2.0, lambda: None, label="tick")
+        sim.schedule(3.0, lambda: None)
+        sim.run_until(10.0)
+        assert sim.tracer.counts() == {"engine.tick": 2, "engine.unlabeled": 1}
+
+    def test_tracer_skips_cancelled_events(self, sim):
+        from repro.telemetry import SpanTracer
+
+        sim.tracer = SpanTracer()
+        sim.schedule(1.0, lambda: None, label="tick").cancel()
+        sim.run_until(10.0)
+        assert sim.tracer.counts() == {}
+
+    def test_tracer_records_even_when_callback_raises(self, sim):
+        from repro.telemetry import SpanTracer
+
+        sim.tracer = SpanTracer()
+
+        def boom():
+            raise RuntimeError("x")
+
+        sim.schedule(1.0, boom, label="boom")
+        with pytest.raises(RuntimeError):
+            sim.run_until(10.0)
+        assert sim.tracer.counts() == {"engine.boom": 1}

@@ -1,0 +1,78 @@
+"""Tests for the JSONL run-log sink."""
+
+import io
+import json
+
+from repro.sim.events import EventBus, HostFailed, HostInstalled, SensorLatched
+from repro.telemetry.runlog import JsonlRunLog
+
+
+def make_log():
+    stream = io.StringIO()
+    ticks = iter(range(1000))
+    return JsonlRunLog(stream, wall_clock=lambda: float(next(ticks))), stream
+
+
+class TestJsonlRunLog:
+    def test_one_line_per_event_with_core_fields(self):
+        log, stream = make_log()
+        bus = EventBus()
+        log.subscribe(bus)
+        bus.publish(HostInstalled(time=10.0, host_id=3, enclosure="tent", group="tent"))
+        bus.publish(SensorLatched(time=20.0, host_id=3))
+        lines = [json.loads(line) for line in stream.getvalue().splitlines()]
+        assert len(lines) == 2
+        assert log.lines_written == 2
+        first, second = lines
+        assert first["event"] == "HostInstalled"
+        assert first["sim_time_s"] == 10.0
+        assert first["wall_time_s"] == 0.0
+        assert first["host_id"] == 3
+        assert first["enclosure"] == "tent"
+        assert second["event"] == "SensorLatched"
+        assert second["wall_time_s"] == 1.0
+
+    def test_non_json_payload_fields_are_reprd(self):
+        log, stream = make_log()
+        bus = EventBus()
+        log.subscribe(bus)
+
+        class Weird:
+            def __repr__(self):
+                return "<weird>"
+
+        bus.publish(HostFailed(time=1.0, host_id=15, kind=Weird()))
+        line = json.loads(stream.getvalue())
+        assert line["kind"] == "<weird>"
+        assert line["host_id"] == 15
+
+    def test_lines_are_machine_parseable_and_sorted(self):
+        log, stream = make_log()
+        bus = EventBus()
+        log.subscribe(bus)
+        bus.publish(HostFailed(time=1.0, host_id=2, detail="strike"))
+        line = stream.getvalue().splitlines()[0]
+        payload = json.loads(line)
+        assert list(payload) == sorted(payload)
+
+    def test_open_close_writes_file(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        log = JsonlRunLog.open(str(path), wall_clock=lambda: 0.0)
+        bus = EventBus()
+        log.subscribe(bus)
+        bus.publish(SensorLatched(time=5.0, host_id=9))
+        log.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["host_id"] == 9
+
+    def test_sink_only_observes(self):
+        # Attaching the sink does not change what other subscribers see.
+        log, _ = make_log()
+        bus = EventBus()
+        seen = []
+        bus.subscribe(SensorLatched, seen.append)
+        log.subscribe(bus)
+        bus.publish(SensorLatched(time=5.0, host_id=9))
+        assert len(seen) == 1
+        assert bus.counts == {"SensorLatched": 1}

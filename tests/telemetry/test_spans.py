@@ -1,0 +1,178 @@
+"""Tests for span tracing, snapshots, and the stopwatch."""
+
+import pickle
+
+import pytest
+
+from repro.telemetry.hub import (
+    HistogramSnapshot,
+    Telemetry,
+    TelemetrySnapshot,
+    merge_snapshots,
+    snapshot_from_json_dict,
+)
+from repro.telemetry.spans import SpanTracer, Stopwatch
+
+
+class TestSpanTracer:
+    def test_record_aggregates_per_label(self):
+        tracer = SpanTracer()
+        tracer.record("a", 0.5)
+        tracer.record("a", 1.5)
+        tracer.record("b", 0.1)
+        stats = tracer.stats("a")
+        assert stats.count == 2
+        assert stats.total_s == pytest.approx(2.0)
+        assert stats.min_s == pytest.approx(0.5)
+        assert stats.max_s == pytest.approx(1.5)
+        assert stats.mean_s == pytest.approx(1.0)
+        assert tracer.counts() == {"a": 2, "b": 1}
+
+    def test_span_context_manager_times_block(self):
+        tracer = SpanTracer()
+        with tracer.span("work"):
+            pass
+        assert tracer.stats("work").count == 1
+        assert tracer.stats("work").total_s >= 0.0
+
+    def test_span_records_even_when_block_raises(self):
+        tracer = SpanTracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        assert tracer.stats("boom").count == 1
+
+    def test_hottest_orders_by_count_then_label(self):
+        tracer = SpanTracer()
+        tracer.record("b", 0.1)
+        tracer.record("a", 0.1)
+        tracer.record("a", 0.1)
+        tracer.record("c", 0.1)
+        labels = [s.label for s in tracer.hottest(2)]
+        assert labels == ["a", "b"]
+
+    def test_slowest_orders_by_max(self):
+        tracer = SpanTracer()
+        tracer.record("fast", 0.001)
+        tracer.record("slow", 2.0)
+        assert [s.label for s in tracer.slowest(1)] == ["slow"]
+
+    def test_merge_folds_aggregates(self):
+        a, b = SpanTracer(), SpanTracer()
+        a.record("x", 1.0)
+        b.record("x", 3.0)
+        b.record("y", 0.5)
+        a.merge(b)
+        assert a.stats("x").count == 2
+        assert a.stats("x").max_s == pytest.approx(3.0)
+        assert a.stats("y").count == 1
+
+
+class TestStopwatch:
+    def test_measures_elapsed(self):
+        with Stopwatch() as watch:
+            pass
+        assert watch.elapsed_s >= 0.0
+
+    def test_reusable(self):
+        watch = Stopwatch()
+        with watch:
+            pass
+        first = watch.elapsed_s
+        with watch:
+            pass
+        assert watch.elapsed_s >= 0.0
+        assert first >= 0.0
+
+
+class TestSnapshot:
+    def make_hub(self):
+        hub = Telemetry()
+        hub.metrics.counter("c").inc(2)
+        hub.metrics.gauge("g").set(5.0)
+        hub.metrics.histogram("h", bounds=(1.0,)).observe(0.5)
+        hub.spans.record("engine.tick", 0.25)
+        return hub
+
+    def test_snapshot_freezes_state(self):
+        snapshot = self.make_hub().snapshot()
+        assert snapshot.counter("c") == 2
+        assert snapshot.span_count("engine.tick") == 1
+        assert dict(snapshot.span_wall_s)["engine.tick"] == pytest.approx(0.25)
+
+    def test_equality_ignores_wall_time(self):
+        a = self.make_hub().snapshot()
+        hub = self.make_hub()
+        hub.spans.record("engine.tick", 10.0)  # wall differs, count differs
+        unequal = hub.snapshot()
+        assert a != unequal  # counts differ -> unequal
+        import dataclasses
+
+        b = dataclasses.replace(a, span_wall_s=(("engine.tick", 99.0),))
+        assert a == b  # only wall differs -> equal
+
+    def test_snapshot_pickles_and_round_trips_json(self):
+        snapshot = self.make_hub().snapshot()
+        assert pickle.loads(pickle.dumps(snapshot)) == snapshot
+        clone = snapshot_from_json_dict(snapshot.to_json_dict())
+        assert clone == snapshot
+        assert clone.span_wall_s == snapshot.span_wall_s
+
+    def test_merge_adds_counts_and_wall(self):
+        a = self.make_hub().snapshot()
+        b = self.make_hub().snapshot()
+        merged = a.merge(b)
+        assert merged.counter("c") == 4
+        assert merged.span_count("engine.tick") == 2
+        assert dict(merged.span_wall_s)["engine.tick"] == pytest.approx(0.5)
+        assert dict(merged.gauges)["g"] == 5.0
+        hist = merged.histograms[0]
+        assert hist.counts == (2, 0)
+        assert hist.sum == pytest.approx(1.0)
+
+    def test_merge_snapshots_helper(self):
+        assert merge_snapshots([]) is None
+        parts = [self.make_hub().snapshot() for _ in range(3)]
+        assert merge_snapshots(parts).counter("c") == 6
+
+    def test_histogram_bounds_mismatch_rejected(self):
+        a = TelemetrySnapshot(
+            counters=(),
+            gauges=(),
+            histograms=(HistogramSnapshot("h", (1.0,), (1, 0), 0.5),),
+            span_counts=(),
+        )
+        b = TelemetrySnapshot(
+            counters=(),
+            gauges=(),
+            histograms=(HistogramSnapshot("h", (2.0,), (1, 0), 0.5),),
+            span_counts=(),
+        )
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+
+class TestTelemetryHub:
+    def test_prometheus_text_includes_spans(self):
+        hub = Telemetry()
+        hub.metrics.counter("c").inc()
+        hub.spans.record("engine.tick", 0.5)
+        text = hub.to_prometheus_text()
+        assert 'repro_span_fired_total{label="engine.tick"} 1' in text
+        assert 'repro_span_wall_seconds_total{label="engine.tick"}' in text
+
+    def test_json_dict_has_schema_and_spans(self):
+        hub = Telemetry()
+        hub.spans.record("engine.tick", 0.5)
+        data = hub.to_json_dict()
+        assert data["schema"] == 1
+        assert data["spans"]["engine.tick"]["count"] == 1
+
+    def test_hub_merge(self):
+        a, b = Telemetry(), Telemetry()
+        a.metrics.counter("c").inc()
+        b.metrics.counter("c").inc()
+        b.spans.record("x", 1.0)
+        a.merge(b)
+        assert a.metrics.counter("c").value == 2
+        assert a.spans.stats("x").count == 1
