@@ -25,7 +25,12 @@ Commands
         python -m repro sweep --seeds 7,11,13,17 --jobs 4 --until 2010-03-01
 
     ``--telemetry`` additionally collects metrics in every worker and
-    prints the merged hot-label tallies.
+    prints the merged hot-label tallies.  Fault tolerance:
+    ``--retries N`` re-runs a crashed or timed-out seed up to N extra
+    times (deterministic exponential backoff), ``--timeout S`` bounds
+    each attempt's wall clock (needs ``--jobs >= 2``), and
+    ``--keep-going`` finishes the surviving seeds when one exhausts its
+    retries, printing a failure table instead of aborting.
 ``telemetry``
     Run the campaign with the telemetry plane on and print the hot-label
     / slowest-span report (where simulated events and wall time go).
@@ -74,6 +79,30 @@ def _parse_seeds(text: str) -> List[int]:
     if not seeds:
         raise argparse.ArgumentTypeError("need at least one seed")
     return seeds
+
+
+def _parse_retries(text: str) -> int:
+    try:
+        retries = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {text!r}"
+        ) from None
+    if retries < 0:
+        raise argparse.ArgumentTypeError("retries cannot be negative")
+    return retries
+
+
+def _parse_timeout(text: str) -> float:
+    try:
+        timeout = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a number of seconds, got {text!r}"
+        ) from None
+    if timeout <= 0:
+        raise argparse.ArgumentTypeError("timeout must be positive")
+    return timeout
 
 
 def _default_cache_dir() -> str:
@@ -167,6 +196,20 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--telemetry", action="store_true",
         help="collect metrics in every worker and print the merged tallies",
+    )
+    sweep.add_argument(
+        "--retries", type=_parse_retries, default=0, metavar="N",
+        help="re-run a crashed or timed-out seed up to N extra times "
+        "(deterministic exponential backoff between attempts)",
+    )
+    sweep.add_argument(
+        "--timeout", type=_parse_timeout, default=None, metavar="SECONDS",
+        help="wall-clock budget per attempt; enforced with --jobs >= 2",
+    )
+    sweep.add_argument(
+        "--keep-going", action="store_true",
+        help="when a seed exhausts its retries, finish the surviving seeds "
+        "and report the failure instead of aborting (exit code 1)",
     )
 
     telemetry = sub.add_parser(
@@ -317,11 +360,14 @@ def _cmd_export(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.core.scenarios import SCENARIOS
-    from repro.runner import sweep_records
+    from repro.runner import RetryPolicy, sweep_records
 
     cache_dir = None
     if not args.no_cache:
         cache_dir = args.cache_dir if args.cache_dir else _default_cache_dir()
+    policy = None
+    if args.retries or args.timeout is not None:
+        policy = RetryPolicy(max_attempts=args.retries + 1, timeout_s=args.timeout)
     factory = SCENARIOS[args.scenario]
     result = sweep_records(
         args.seeds,
@@ -330,13 +376,26 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         cache_dir=cache_dir,
         telemetry=args.telemetry,
+        policy=policy,
+        strict=not args.keep_going,
     )
-    print(result.summary.describe())
+    if result.records:
+        print(result.summary.describe())
+    else:
+        print("no seed survived the sweep")
+    fault_note = ""
+    if result.retries or result.timeouts:
+        fault_note = f", {result.retries} retried, {result.timeouts} timed out"
     print(
         f"{len(result.records)} record(s), {result.cache_hits} from cache, "
         f"{result.cache_misses} computed in {result.elapsed_s:.1f} s "
-        f"(jobs={args.jobs}, scenario={args.scenario})"
+        f"(jobs={args.jobs}, scenario={args.scenario}{fault_note})"
     )
+    if result.failures:
+        print()
+        print(f"failures ({len(result.failures)}):")
+        for failure in result.failures:
+            print(f"  {failure.describe()}")
     if args.telemetry:
         merged = result.merged_telemetry()
         if merged is not None:
@@ -346,7 +405,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             width = max(len(label) for label, _ in hottest) if hottest else 0
             for label, count in hottest:
                 print(f"  {label:<{width}}  {count}")
-    return 0
+    return 1 if result.failures else 0
 
 
 _COMMANDS = {

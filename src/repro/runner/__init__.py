@@ -7,23 +7,37 @@ below imports it back.  That layering is what lets
 :func:`sweep_seeds` from here for backwards compatibility.
 
 - :mod:`repro.runner.records` -- picklable :class:`RunRecord` summaries,
-  series digests, and config digests (the cache key),
+  series digests, config digests (the cache key), and the
+  :class:`FailedRun` tombstones a degraded sweep reports,
 - :mod:`repro.runner.local` -- run one campaign in this process,
+- :mod:`repro.runner.policy` -- :class:`RetryPolicy`: attempts, seeded
+  exponential backoff, per-attempt timeouts,
+- :mod:`repro.runner.faults` -- deterministic fault injection
+  (:class:`FaultPlan`) for testing the degradation paths,
 - :mod:`repro.runner.pool` -- fan out over seeds with
-  :class:`~concurrent.futures.ProcessPoolExecutor` and memoise records
-  on disk.
+  :class:`~concurrent.futures.ProcessPoolExecutor`, survive crashed and
+  wedged workers, and memoise records on disk as they complete.
 """
 
+from repro.runner.faults import (
+    Fault,
+    FaultAction,
+    FaultPlan,
+    InjectedFault,
+)
 from repro.runner.local import run_recorded
+from repro.runner.policy import RetryPolicy, SpecTimeoutError
 from repro.runner.pool import (
     RunSpec,
     SweepResult,
+    WorkItem,
     run_specs,
     sweep_records,
     sweep_seeds,
 )
 from repro.runner.records import (
     RECORD_SCHEMA,
+    FailedRun,
     RunRecord,
     SeriesDigest,
     config_digest,
@@ -34,10 +48,18 @@ from repro.runner.records import (
 
 __all__ = [
     "RECORD_SCHEMA",
+    "FailedRun",
+    "Fault",
+    "FaultAction",
+    "FaultPlan",
+    "InjectedFault",
+    "RetryPolicy",
     "RunRecord",
     "RunSpec",
     "SeriesDigest",
+    "SpecTimeoutError",
     "SweepResult",
+    "WorkItem",
     "config_digest",
     "digest_series",
     "record_from_json_dict",

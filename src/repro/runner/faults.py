@@ -1,0 +1,124 @@
+"""Deterministic fault injection: a test seam for the sweep runner.
+
+The simulation injects PSU deaths and latched sensors into the modelled
+fleet; this module does the same to the *runner itself*, so the retry,
+timeout, and degradation paths in :func:`repro.runner.pool.run_specs`
+can be exercised on schedule instead of by luck.
+
+A :class:`FaultPlan` maps ``(spec seed, attempt number)`` to one
+:class:`Fault`, and :meth:`FaultPlan.wrap` turns the ordinary worker
+callable into a :class:`FaultyWorker` that consults the plan before
+running.  Everything here is a frozen dataclass holding plain values
+and top-level functions, so a wrapped worker pickles cleanly into a
+:class:`~concurrent.futures.ProcessPoolExecutor`.
+
+Actions
+-------
+``RAISE``
+    The attempt raises :class:`InjectedFault` (a crashed run).
+``DELAY``
+    The attempt sleeps ``delay_s`` first, then runs normally (a slow
+    worker -- pair with a generous timeout to test near-misses).
+``STALL``
+    The attempt sleeps ``delay_s`` and then raises (a wedged worker that
+    eventually errors; the usual victim for timeout tests, because the
+    abandoned attempt never runs a full campaign).
+``DIE``
+    The worker process hard-exits (``os._exit``), breaking the pool --
+    the runner must rebuild the executor and re-drive every in-flight
+    spec.  In a serial (in-process) sweep a hard exit would kill the
+    sweep itself, so the action degrades to ``RAISE`` there.
+"""
+
+from __future__ import annotations
+
+import enum
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+
+class InjectedFault(RuntimeError):
+    """The failure a scheduled ``RAISE``/``STALL``/serial-``DIE`` raises."""
+
+
+class FaultAction(enum.Enum):
+    """What a scheduled fault does to its attempt."""
+
+    RAISE = "raise"
+    DELAY = "delay"
+    STALL = "stall"
+    DIE = "die"
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scheduled misbehaviour: spec ``seed``, ``attempt``, action."""
+
+    seed: int
+    attempt: int
+    action: FaultAction
+    delay_s: float = 0.0
+    message: str = "injected fault"
+
+    def __post_init__(self) -> None:
+        if self.attempt < 1:
+            raise ValueError("attempts are counted from 1")
+        if self.delay_s < 0:
+            raise ValueError("fault delay cannot be negative")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The full injection schedule for one sweep."""
+
+    faults: Tuple[Fault, ...] = ()
+
+    @classmethod
+    def of(cls, *faults: Fault) -> "FaultPlan":
+        """A plan from positional faults."""
+        return cls(faults=tuple(faults))
+
+    def lookup(self, seed: int, attempt: int) -> Optional[Fault]:
+        """The fault scheduled for this (seed, attempt), if any."""
+        for fault in self.faults:
+            if fault.seed == seed and fault.attempt == attempt:
+                return fault
+        return None
+
+    def wrap(self, fn: Callable) -> "FaultyWorker":
+        """The injection seam: ``fn`` with this plan consulted first."""
+        return FaultyWorker(plan=self, fn=fn)
+
+
+@dataclass(frozen=True)
+class FaultyWorker:
+    """A picklable worker wrapper that executes the fault plan.
+
+    ``fn`` must be a top-level callable taking one work item with
+    ``spec`` (exposing ``seed``) and ``attempt`` attributes -- the shape
+    :func:`repro.runner.local.execute_attempt` expects.
+    """
+
+    plan: FaultPlan
+    fn: Callable
+
+    def __call__(self, item):
+        fault = self.plan.lookup(item.spec.seed, item.attempt)
+        if fault is not None:
+            if fault.action is FaultAction.DELAY:
+                time.sleep(fault.delay_s)
+            elif fault.action is FaultAction.RAISE:
+                raise InjectedFault(fault.message)
+            elif fault.action is FaultAction.STALL:
+                time.sleep(fault.delay_s)
+                raise InjectedFault(fault.message)
+            elif fault.action is FaultAction.DIE:
+                if multiprocessing.parent_process() is None:
+                    # Serial sweeps run in the main process, where a hard
+                    # exit would kill the sweep instead of one worker.
+                    raise InjectedFault(f"{fault.message} (serial DIE)")
+                os._exit(13)
+        return self.fn(item)

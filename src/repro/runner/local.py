@@ -20,6 +20,7 @@ to the historical output.
 from __future__ import annotations
 
 import datetime as _dt
+import time
 from typing import Optional
 
 from repro.core.builder import CampaignBuilder
@@ -51,3 +52,21 @@ def run_recorded(
         until=until,
         elapsed_s=watch.elapsed_s,
     )
+
+
+def execute_attempt(item) -> RunRecord:
+    """Sweep worker: honour the retry backoff, then run the spec.
+
+    ``item`` is a :class:`repro.runner.pool.WorkItem`; it is duck-typed
+    here (``spec``, ``attempt``, ``backoff_s``) to keep the layering
+    one-way -- pool imports local, never the reverse.  The backoff sleep
+    happens in the worker so the scheduler never blocks: a retried spec
+    waits out its delay in its own slot while other completions keep
+    flowing.  Top-level, hence picklable, and byte-deterministic: the
+    record depends only on (config, seed, horizon), never on which
+    attempt finally succeeded.
+    """
+    if item.backoff_s > 0:
+        time.sleep(item.backoff_s)
+    spec = item.spec
+    return run_recorded(spec.config, until=spec.until, telemetry=spec.telemetry)

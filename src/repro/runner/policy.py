@@ -1,0 +1,100 @@
+"""Retry policies: how a sweep survives a misbehaving worker.
+
+The paper's campaign is a story about faults that did *not* stop the
+measurement -- a dead PSU, a latched sensor, a switch that died
+mid-winter.  :class:`RetryPolicy` holds the runner to the same standard:
+instead of one crashed worker aborting a whole multi-seed sweep, each
+:class:`~repro.runner.pool.RunSpec` gets a bounded number of attempts,
+an exponential backoff between them, and (in pooled mode) a wall-clock
+budget per attempt.
+
+Determinism matters here as everywhere else in the reproduction: the
+backoff jitter is seeded from ``(spec seed, attempt)``, so two sweeps
+that hit the same faults sleep the same delays.  The campaign itself is
+a pure function of (config, seed, horizon), so a retried run returns a
+byte-identical :class:`~repro.runner.records.RunRecord` -- retrying is
+always safe.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+
+class SpecTimeoutError(TimeoutError):
+    """An attempt exceeded its :attr:`RetryPolicy.timeout_s` budget.
+
+    Raised *about* a worker rather than inside it: the parent abandons
+    the attempt and either retries the spec or records a
+    :class:`~repro.runner.records.FailedRun`.  The abandoned worker
+    cannot be preempted; it drains on its own and its late result is
+    discarded.
+    """
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Attempt budget, backoff schedule, and per-attempt timeout.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total tries per spec (1 = the historical run-once behaviour).
+    backoff_base_s / backoff_factor / backoff_max_s:
+        Delay before attempt ``n+1`` grows as
+        ``base * factor**(n-1)``, capped at ``backoff_max_s``.
+    jitter_fraction:
+        Each delay is perturbed by up to this fraction either way, with
+        a deterministic RNG seeded from ``(seed, attempt)`` -- identical
+        sweeps back off identically.
+    timeout_s:
+        Wall-clock budget per attempt, measured from submission.  Only
+        enforced when the sweep runs on a process pool (``jobs >= 2``);
+        a serial in-process run cannot be preempted.
+    """
+
+    max_attempts: int = 1
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 5.0
+    jitter_fraction: float = 0.1
+    timeout_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("need at least one attempt per spec")
+        if self.backoff_base_s < 0:
+            raise ValueError("backoff base cannot be negative")
+        if self.backoff_factor < 1:
+            raise ValueError("backoff factor must be >= 1")
+        if self.backoff_max_s < 0:
+            raise ValueError("backoff cap cannot be negative")
+        if not 0.0 <= self.jitter_fraction <= 1.0:
+            raise ValueError("jitter fraction must be within [0, 1]")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout must be positive when set")
+
+    @property
+    def retries(self) -> int:
+        """Extra tries beyond the first attempt."""
+        return self.max_attempts - 1
+
+    def backoff_s(self, attempt: int, seed: int) -> float:
+        """Delay before the retry that follows failed attempt ``attempt``.
+
+        Deterministic: the jitter RNG is seeded from ``(seed, attempt)``
+        alone, so replaying a sweep replays its exact backoff schedule.
+        """
+        if attempt < 1:
+            raise ValueError("attempts are counted from 1")
+        base = min(
+            self.backoff_max_s,
+            self.backoff_base_s * self.backoff_factor ** (attempt - 1),
+        )
+        if base == 0.0 or self.jitter_fraction == 0.0:
+            return base
+        rng = random.Random(f"repro.retry:{seed}:{attempt}")
+        swing = base * self.jitter_fraction
+        return max(0.0, base + (2.0 * rng.random() - 1.0) * swing)

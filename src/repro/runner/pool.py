@@ -1,4 +1,4 @@
-"""Process-parallel multi-seed campaigns with on-disk memoisation.
+"""Fault-tolerant process-parallel campaigns with on-disk memoisation.
 
 The seed sweep used to be a serial loop buried in the analysis layer.
 This module turns it into a small execution service:
@@ -10,14 +10,39 @@ This module turns it into a small execution service:
 - :func:`sweep_seeds` / :func:`sweep_records` -- the sweep API, now
   living here so neither core nor analysis imports the runner.
 
+The paper's campaign survived dead PSUs and a mid-winter switch death
+without stopping the measurement; the runner holds itself to the same
+standard.  Scheduling is as-completed rather than a blocking ``map``:
+
+- every finished record is written to the cache the moment it lands,
+  so a later crash never discards completed work;
+- a :class:`~repro.runner.policy.RetryPolicy` grants each spec a
+  bounded number of attempts with deterministic seeded backoff and an
+  optional per-attempt timeout (pooled mode only -- a serial run cannot
+  be preempted);
+- a worker that hard-exits breaks the pool; the runner rebuilds the
+  executor and re-drives every in-flight spec as a counted attempt;
+- with ``strict=False`` (the default) a spec that exhausts its attempts
+  becomes a :class:`~repro.runner.records.FailedRun` in
+  :attr:`SweepResult.failures` instead of poisoning the sweep;
+  ``strict=True`` restores the historical fail-fast behaviour.
+
 Determinism: each campaign is a pure function of (config, seed, until),
-so the executor only changes *where* a run happens, never what it
-returns -- serial and parallel sweeps produce byte-identical
+so retries, executors, and caches only change *where and how often* a
+run happens, never what it returns -- serial, parallel, and
+crash-retried sweeps produce byte-identical
 :class:`~repro.runner.records.RunRecord` sequences, and a cache hit is
 indistinguishable from a fresh run (minus the wall-clock field).  The
 guarantee extends to telemetry-enabled sweeps: every record's metric
 and span *counts* are deterministic (only per-span wall times differ),
 so :meth:`SweepResult.merged_telemetry` is identical at any job count.
+
+Cache lifecycle: entries are written atomically (tmp file + rename) on
+run completion, store failures are non-fatal (the run already
+succeeded, and the tmp file never outlives the attempt), and an entry
+that fails JSON/schema/digest validation on load is quarantined to a
+``.corrupt`` sibling and recomputed -- counted as a cache eviction in
+the sweep's runner telemetry rather than re-parsed forever.
 """
 
 from __future__ import annotations
@@ -26,20 +51,56 @@ import datetime as _dt
 import json
 import os
 import tempfile
-from concurrent.futures import ProcessPoolExecutor
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.analysis.seedsweep import SweepSummary
 from repro.core.config import ExperimentConfig
-from repro.runner.local import run_recorded
+from repro.runner.faults import FaultPlan
+from repro.runner.local import execute_attempt
+from repro.runner.policy import RetryPolicy, SpecTimeoutError
 from repro.runner.records import (
     RECORD_SCHEMA,
+    FailedRun,
     RunRecord,
     config_digest,
     record_from_json_dict,
 )
-from repro.telemetry import Stopwatch, TelemetrySnapshot, merge_snapshots
+from repro.telemetry import (
+    Stopwatch,
+    Telemetry,
+    TelemetrySnapshot,
+    merge_snapshots,
+)
+
+
+def _horizon_token(until: Optional[_dt.datetime]) -> str:
+    """Filename-safe horizon component of the cache key.
+
+    Naive horizons keep the historical layout.  Aware horizons are
+    normalised to UTC and marked with a ``Z``, so two horizons naming
+    the same instant through different offsets share one entry, while
+    equal wall times in different zones -- which used to collide -- do
+    not.
+    """
+    if until is None:
+        return "full"
+    if until.tzinfo is not None:
+        return until.astimezone(_dt.timezone.utc).strftime("%Y%m%dT%H%M%SZ")
+    return until.strftime("%Y%m%dT%H%M%S")
 
 
 @dataclass(frozen=True)
@@ -56,6 +117,18 @@ class RunSpec:
     label: str = ""
     telemetry: bool = False
 
+    def __post_init__(self) -> None:
+        if self.until is not None:
+            aware_until = self.until.tzinfo is not None
+            aware_config = self.config.end_date.tzinfo is not None
+            if aware_until != aware_config:
+                raise ValueError(
+                    "mixed naive/aware datetimes: until is "
+                    f"{'aware' if aware_until else 'naive'} but the config's "
+                    f"campaign dates are {'aware' if aware_config else 'naive'}; "
+                    "make both naive or both tz-aware"
+                )
+
     @property
     def seed(self) -> int:
         """The spec's master seed."""
@@ -64,23 +137,53 @@ class RunSpec:
     def cache_key(self) -> str:
         """Filename-safe memoisation key: config digest, seed, horizon."""
         digest = config_digest(self.config)
-        horizon = self.until.strftime("%Y%m%dT%H%M%S") if self.until else "full"
         suffix = "-telemetry" if self.telemetry else ""
-        return f"{digest[:16]}-{self.config.seed}-{horizon}{suffix}"
+        return f"{digest[:16]}-{self.config.seed}-{_horizon_token(self.until)}{suffix}"
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One scheduled attempt at a spec (picklable pool payload)."""
+
+    index: int
+    spec: RunSpec
+    attempt: int = 1
+    backoff_s: float = 0.0
 
 
 @dataclass(frozen=True)
 class SweepResult:
-    """Everything a sweep execution reports."""
+    """Everything a sweep execution reports.
+
+    ``failures`` is empty unless the sweep ran with ``strict=False``
+    and some spec exhausted its attempts; ``retries``/``timeouts``
+    count attempt-level events (a timed-out attempt that later succeeds
+    on retry shows up in both).  ``runner_telemetry`` carries the same
+    tallies through the telemetry plane as ``runner.*`` counters.
+    """
 
     records: Tuple[RunRecord, ...]
     cache_hits: int
     cache_misses: int
     elapsed_s: float
+    failures: Tuple[FailedRun, ...] = ()
+    retries: int = 0
+    timeouts: int = 0
+    cache_evictions: int = 0
+    runner_telemetry: Optional[TelemetrySnapshot] = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether every spec produced a record."""
+        return not self.failures
 
     @property
     def summary(self) -> SweepSummary:
         """The census aggregate the serial sweep always produced."""
+        if not self.records:
+            raise ValueError(
+                "no records survived the sweep; see SweepResult.failures"
+            )
         return SweepSummary(
             outcomes=tuple(record.to_outcome() for record in self.records)
         )
@@ -101,11 +204,6 @@ class SweepResult:
         )
 
 
-def _execute_spec(spec: RunSpec) -> RunRecord:
-    """Pool worker: run one spec (top-level, so it pickles)."""
-    return run_recorded(spec.config, until=spec.until, telemetry=spec.telemetry)
-
-
 # ----------------------------------------------------------------------
 # Cache plumbing
 # ----------------------------------------------------------------------
@@ -113,37 +211,263 @@ def _cache_path(cache_dir: str, spec: RunSpec) -> str:
     return os.path.join(cache_dir, f"{spec.cache_key()}.json")
 
 
-def _load_cached(cache_dir: str, spec: RunSpec) -> Optional[RunRecord]:
+def _quarantine(path: str) -> None:
+    """Move a poisoned entry aside so it is never re-parsed."""
+    try:
+        os.replace(path, path + ".corrupt")
+    except OSError:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+
+def _load_cached(
+    cache_dir: str, spec: RunSpec
+) -> Tuple[Optional[RunRecord], bool]:
+    """``(record, evicted)`` for this spec's cache entry.
+
+    An entry that exists but fails JSON, schema, or seed/digest
+    validation is quarantined (renamed to ``.corrupt``) and reported as
+    evicted; a merely unreadable file (I/O error) is left in place.
+    """
     path = _cache_path(cache_dir, spec)
+    if not os.path.exists(path):
+        return None, False
     try:
         with open(path, "r", encoding="utf-8") as fh:
             data = json.load(fh)
-    except (OSError, ValueError):
-        return None
-    try:
         record = record_from_json_dict(data)
+    except OSError:
+        return None, False
     except (KeyError, TypeError, ValueError):
-        return None
-    if record.schema != RECORD_SCHEMA:
-        return None
-    if record.seed != spec.seed or record.config_digest != config_digest(spec.config):
-        return None
-    return record
+        _quarantine(path)
+        return None, True
+    if (
+        record.schema != RECORD_SCHEMA
+        or record.seed != spec.seed
+        or record.config_digest != config_digest(spec.config)
+    ):
+        _quarantine(path)
+        return None, True
+    return record, False
 
 
-def _store_cached(cache_dir: str, spec: RunSpec, record: RunRecord) -> None:
-    os.makedirs(cache_dir, exist_ok=True)
+def _store_cached(cache_dir: str, spec: RunSpec, record: RunRecord) -> bool:
+    """Best-effort atomic store; returns whether the entry was written.
+
+    A store failure is non-fatal -- the run already succeeded, so a
+    full disk or an unserialisable record must not abort the sweep --
+    and the tmp file never outlives the call, whatever goes wrong
+    between ``mkstemp`` and the final rename.
+    """
     path = _cache_path(cache_dir, spec)
-    fd, tmp_path = tempfile.mkstemp(dir=cache_dir, suffix=".tmp")
+    tmp_path: Optional[str] = None
     try:
+        os.makedirs(cache_dir, exist_ok=True)
+        fd, tmp_path = tempfile.mkstemp(dir=cache_dir, suffix=".tmp")
         with os.fdopen(fd, "w", encoding="utf-8") as fh:
             json.dump(record.to_json_dict(), fh, sort_keys=True)
         os.replace(tmp_path, path)
-    except OSError:
+        tmp_path = None
+        return True
+    except (OSError, TypeError, ValueError):
+        return False
+    finally:
+        if tmp_path is not None:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+
+
+# ----------------------------------------------------------------------
+# Scheduling
+# ----------------------------------------------------------------------
+class _SweepState:
+    """Mutable bookkeeping shared by the serial and pooled drivers."""
+
+    def __init__(
+        self,
+        policy: RetryPolicy,
+        strict: bool,
+        cache_dir: Optional[str],
+    ) -> None:
+        self.policy = policy
+        self.strict = strict
+        self.cache_dir = cache_dir
+        self.records: Dict[int, RunRecord] = {}
+        self.failures: List[FailedRun] = []
+        self.retries = 0
+        self.timeouts = 0
+        self.store_failures = 0
+
+    def success(self, item: WorkItem, record: RunRecord) -> None:
+        """Record a finished attempt; cache it immediately."""
+        self.records[item.index] = record
+        if self.cache_dir is not None:
+            if not _store_cached(self.cache_dir, item.spec, record):
+                self.store_failures += 1
+
+    def failure(
+        self, item: WorkItem, exc: BaseException, timed_out: bool = False
+    ) -> Optional[WorkItem]:
+        """Handle a failed attempt: the retry item, or ``None`` if spent.
+
+        In strict mode an exhausted spec re-raises the original error
+        (the historical fail-fast behaviour); otherwise it becomes a
+        :class:`FailedRun` and the sweep keeps going.
+        """
+        if timed_out:
+            self.timeouts += 1
+        if item.attempt < self.policy.max_attempts:
+            self.retries += 1
+            return WorkItem(
+                index=item.index,
+                spec=item.spec,
+                attempt=item.attempt + 1,
+                backoff_s=self.policy.backoff_s(item.attempt, item.spec.seed),
+            )
+        if self.strict:
+            raise exc
+        self.failures.append(
+            FailedRun(
+                spec=item.spec,
+                attempts=item.attempt,
+                error_type=type(exc).__name__,
+                error_message=str(exc),
+                timed_out=timed_out,
+            )
+        )
+        return None
+
+
+def _retry_or_fail(
+    state: _SweepState,
+    ready: Deque[WorkItem],
+    item: WorkItem,
+    exc: BaseException,
+    timed_out: bool = False,
+) -> None:
+    retry = state.failure(item, exc, timed_out=timed_out)
+    if retry is not None:
+        ready.append(retry)
+
+
+def _run_serial(
+    items: Sequence[WorkItem], worker: Callable, state: _SweepState
+) -> None:
+    """In-process driver: retries inline, spec order preserved."""
+    queue: Deque[WorkItem] = deque(items)
+    while queue:
+        item = queue.popleft()
         try:
-            os.unlink(tmp_path)
-        except OSError:
-            pass
+            record = worker(item)
+        except Exception as exc:
+            retry = state.failure(item, exc)
+            if retry is not None:
+                # Re-drive the same spec before moving on, mirroring the
+                # per-spec ordering of the historical serial loop.
+                queue.appendleft(retry)
+        else:
+            state.success(item, record)
+
+
+def _nearest_deadline_s(
+    in_flight: Dict[Future, Tuple[WorkItem, Optional[float]]],
+) -> Optional[float]:
+    deadlines = [d for _, d in in_flight.values() if d is not None]
+    if not deadlines:
+        return None
+    return max(0.0, min(deadlines) - time.monotonic())
+
+
+def _run_pooled(
+    items: Sequence[WorkItem],
+    worker: Callable,
+    state: _SweepState,
+    workers: int,
+) -> None:
+    """As-completed pool driver: timeouts, retries, pool-breakage repair.
+
+    ``ready`` holds attempts waiting for a slot; ``in_flight`` maps each
+    live future to its work item and (optional) wall-clock deadline.  An
+    attempt past its deadline is abandoned -- the future cannot be
+    preempted, so it keeps its slot (tracked in ``abandoned``) until the
+    worker drains, and any late result is discarded.
+    """
+    ready: Deque[WorkItem] = deque(items)
+    in_flight: Dict[Future, Tuple[WorkItem, Optional[float]]] = {}
+    abandoned: Set[Future] = set()
+    timeout_s = state.policy.timeout_s
+    executor = ProcessPoolExecutor(max_workers=workers)
+    try:
+        while ready or in_flight:
+            abandoned = {f for f in abandoned if not f.done()}
+            while ready and len(in_flight) + len(abandoned) < workers:
+                item = ready.popleft()
+                future = executor.submit(worker, item)
+                deadline = None
+                if timeout_s is not None:
+                    # The budget starts at submission; the worker-side
+                    # backoff sleep is part of the schedule, not the run.
+                    deadline = time.monotonic() + item.backoff_s + timeout_s
+                in_flight[future] = (item, deadline)
+            if not in_flight:
+                # Every slot is wedged on an abandoned attempt; wait for
+                # one to drain before scheduling more work.
+                wait(set(abandoned), timeout=0.05)
+                continue
+
+            done, _ = wait(
+                set(in_flight),
+                timeout=_nearest_deadline_s(in_flight),
+                return_when=FIRST_COMPLETED,
+            )
+            broken: Optional[BrokenProcessPool] = None
+            for future in done:
+                item, _deadline = in_flight.pop(future)
+                try:
+                    record = future.result()
+                except BrokenProcessPool as exc:
+                    broken = exc
+                    _retry_or_fail(state, ready, item, exc)
+                except Exception as exc:
+                    _retry_or_fail(state, ready, item, exc)
+                else:
+                    state.success(item, record)
+            if broken is not None:
+                # A worker hard-exited: the pool and every in-flight
+                # future died with it.  Count an attempt for each victim
+                # and rebuild the executor.
+                for item, _deadline in in_flight.values():
+                    _retry_or_fail(state, ready, item, broken)
+                in_flight.clear()
+                abandoned.clear()
+                executor.shutdown(wait=False, cancel_futures=True)
+                executor = ProcessPoolExecutor(max_workers=workers)
+                continue
+
+            now = time.monotonic()
+            for future, (item, deadline) in list(in_flight.items()):
+                if deadline is None or now < deadline or future.done():
+                    continue
+                del in_flight[future]
+                if not future.cancel():
+                    abandoned.add(future)
+                _retry_or_fail(
+                    state,
+                    ready,
+                    item,
+                    SpecTimeoutError(
+                        f"{item.spec.label or f'seed {item.spec.seed}'} "
+                        f"attempt {item.attempt} exceeded "
+                        f"{timeout_s:.3g} s"
+                    ),
+                    timed_out=True,
+                )
+    finally:
+        executor.shutdown(wait=True, cancel_futures=True)
 
 
 # ----------------------------------------------------------------------
@@ -153,48 +477,86 @@ def run_specs(
     specs: Sequence[RunSpec],
     jobs: int = 1,
     cache_dir: Optional[str] = None,
+    policy: Optional[RetryPolicy] = None,
+    strict: bool = False,
+    faults: Optional[FaultPlan] = None,
 ) -> SweepResult:
-    """Execute every spec and return the records in spec order.
+    """Execute every spec and return the surviving records in spec order.
 
     ``jobs=1`` runs serially in this process; ``jobs>1`` fans out over a
     process pool.  With ``cache_dir`` set, previously-computed records
-    are loaded instead of re-run, and fresh records are stored.
+    are loaded instead of re-run, and every fresh record is stored the
+    moment it completes, so a later fault never discards finished work.
+
+    ``policy`` grants each spec retries, backoff, and (pooled only) a
+    per-attempt timeout; without one, each spec gets a single attempt.
+    With ``strict=False`` a spec that exhausts its attempts lands in
+    :attr:`SweepResult.failures` while its siblings finish;
+    ``strict=True`` re-raises the spec's final error immediately.
+    ``faults`` is the deterministic test seam
+    (:class:`~repro.runner.faults.FaultPlan`) that injects crashes,
+    delays, and worker deaths on schedule.
     """
     if not specs:
         raise ValueError("need at least one run spec")
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
+    policy = policy if policy is not None else RetryPolicy()
     with Stopwatch() as watch:
-        records: Dict[int, RunRecord] = {}
         hits = 0
+        evictions = 0
+        state = _SweepState(policy=policy, strict=strict, cache_dir=cache_dir)
         if cache_dir is not None:
             for index, spec in enumerate(specs):
-                cached = _load_cached(cache_dir, spec)
+                cached, evicted = _load_cached(cache_dir, spec)
+                evictions += int(evicted)
                 if cached is not None:
-                    records[index] = cached
+                    state.records[index] = cached
                     hits += 1
 
         missing = [
-            (index, spec) for index, spec in enumerate(specs) if index not in records
+            WorkItem(index=index, spec=spec)
+            for index, spec in enumerate(specs)
+            if index not in state.records
         ]
+        worker = execute_attempt if faults is None else faults.wrap(execute_attempt)
         if missing:
-            if jobs == 1 or len(missing) == 1:
-                fresh = [_execute_spec(spec) for _, spec in missing]
+            pooled = jobs > 1 and (
+                len(missing) > 1 or policy.timeout_s is not None
+            )
+            if pooled:
+                # With timeouts on, abandoned attempts keep their slots
+                # until the wedged worker drains, so retries may need
+                # more slots than there are specs.
+                workers = (
+                    jobs
+                    if policy.timeout_s is not None
+                    else min(jobs, len(missing))
+                )
+                _run_pooled(missing, worker, state, workers=workers)
             else:
-                workers = min(jobs, len(missing))
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    fresh = list(pool.map(_execute_spec, [spec for _, spec in missing]))
-            for (index, spec), record in zip(missing, fresh):
-                records[index] = record
-                if cache_dir is not None:
-                    _store_cached(cache_dir, spec, record)
+                _run_serial(missing, worker, state)
 
-        ordered = tuple(records[index] for index in range(len(specs)))
+        ordered = tuple(state.records[index] for index in sorted(state.records))
+
+    hub = Telemetry()
+    hub.counter("runner.cache_hits").inc(hits)
+    hub.counter("runner.cache_misses").inc(len(missing))
+    hub.counter("runner.cache_evictions").inc(evictions)
+    hub.counter("runner.cache_store_failures").inc(state.store_failures)
+    hub.counter("runner.retries").inc(state.retries)
+    hub.counter("runner.timeouts").inc(state.timeouts)
+    hub.counter("runner.failures").inc(len(state.failures))
     return SweepResult(
         records=ordered,
         cache_hits=hits,
         cache_misses=len(missing),
         elapsed_s=watch.elapsed_s,
+        failures=tuple(state.failures),
+        retries=state.retries,
+        timeouts=state.timeouts,
+        cache_evictions=evictions,
+        runner_telemetry=hub.snapshot(),
     )
 
 
@@ -227,16 +589,24 @@ def sweep_records(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     telemetry: bool = False,
+    policy: Optional[RetryPolicy] = None,
+    strict: bool = False,
+    faults: Optional[FaultPlan] = None,
 ) -> SweepResult:
     """Run the campaign once per seed; full execution report.
 
     ``telemetry=True`` collects metrics and spans in every worker;
     :meth:`SweepResult.merged_telemetry` folds them into one view.
+    ``policy``/``strict``/``faults`` are passed through to
+    :func:`run_specs` (see there for the fault-tolerance semantics).
     """
     return run_specs(
         _specs_for_seeds(seeds, until, config_factory, telemetry=telemetry),
         jobs=jobs,
         cache_dir=cache_dir,
+        policy=policy,
+        strict=strict,
+        faults=faults,
     )
 
 
@@ -252,8 +622,15 @@ def sweep_seeds(
     The drop-in successor of the serial loop that used to live in
     :mod:`repro.analysis.seedsweep`; ``jobs`` and ``cache_dir`` are the
     new knobs, and the default arguments reproduce the old behaviour
-    exactly.
+    exactly -- including fail-fast on a crashed run (a summary-only API
+    has nowhere to report partial results; use :func:`sweep_records`
+    with ``strict=False`` for graceful degradation).
     """
     return sweep_records(
-        seeds, until=until, config_factory=config_factory, jobs=jobs, cache_dir=cache_dir
+        seeds,
+        until=until,
+        config_factory=config_factory,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        strict=True,
     ).summary

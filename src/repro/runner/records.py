@@ -42,8 +42,41 @@ from repro.analysis.seedsweep import SeedOutcome
 from repro.core.config import ExperimentConfig
 from repro.telemetry.hub import TelemetrySnapshot, snapshot_from_json_dict
 
-#: Bump when the record layout changes; stale cache files are ignored.
+#: Bump when the record layout changes; stale cache files are evicted.
 RECORD_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class FailedRun:
+    """The tombstone of a spec that exhausted its attempts.
+
+    When a sweep runs with ``strict=False`` (the ``--keep-going``
+    semantics), a spec whose every attempt crashed or timed out does not
+    poison the sweep: its surviving siblings still return records, and
+    this entry lands in ``SweepResult.failures`` instead.  ``spec`` is
+    the :class:`~repro.runner.pool.RunSpec` itself (typed loosely here
+    because records sits *below* pool in the layering).
+    """
+
+    spec: Any
+    attempts: int
+    error_type: str
+    error_message: str
+    timed_out: bool = False
+
+    @property
+    def seed(self) -> int:
+        """The failed spec's master seed."""
+        return self.spec.seed
+
+    def describe(self) -> str:
+        """One report line: who failed, how often, and why."""
+        label = self.spec.label or f"seed {self.spec.seed}"
+        note = ", timed out" if self.timed_out else ""
+        return (
+            f"{label}: {self.error_type} after {self.attempts} "
+            f"attempt(s){note}: {self.error_message}"
+        )
 
 
 # ----------------------------------------------------------------------

@@ -52,6 +52,15 @@ class Telemetry:
         """Time a ``with`` block under ``label`` (delegates to the tracer)."""
         return self.spans.span(label)
 
+    def counter(self, name: str, help: str = ""):
+        """Fetch-or-create a counter (delegates to the registry).
+
+        Mirrors :meth:`span` so call sites that only count -- like the
+        sweep runner's retry/timeout/eviction tallies -- don't need to
+        reach through ``metrics``.
+        """
+        return self.metrics.counter(name, help)
+
     def merge(self, other: "Telemetry") -> None:
         """Fold another hub in (counters/histograms/spans add, gauges max)."""
         self.metrics.merge(other.metrics)

@@ -71,6 +71,28 @@ class TestParser:
         args = build_parser().parse_args(["sweep", "--telemetry"])
         assert args.telemetry
 
+    def test_sweep_fault_tolerance_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.retries == 0
+        assert args.timeout is None
+        assert not args.keep_going
+
+    def test_sweep_fault_tolerance_flags_parse(self):
+        args = build_parser().parse_args(
+            ["sweep", "--retries", "2", "--timeout", "1.5", "--keep-going"]
+        )
+        assert args.retries == 2
+        assert args.timeout == 1.5
+        assert args.keep_going
+
+    def test_sweep_negative_retries_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--retries", "-1"])
+
+    def test_sweep_non_positive_timeout_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--timeout", "0"])
+
 
 class TestCommands:
     def test_pue_prints_the_paper_number(self, capsys):
@@ -115,6 +137,17 @@ class TestSweepCommand:
         assert main(argv) == 0
         out = capsys.readouterr().out
         assert "0 from cache, 1 computed" in out
+
+    def test_sweep_with_retries_reports_fault_note(self, capsys):
+        argv = [
+            "sweep", "--seeds", "7", "--until", "2010-02-21", "--no-cache",
+            "--retries", "1", "--keep-going",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        # fault-free run: no retries happened, so no fault note is shown
+        assert "retried" not in out
+        assert "failures" not in out
 
 
 class TestTelemetryCommands:

@@ -1,0 +1,85 @@
+"""Tests for the retry policy: validation, backoff shape, determinism."""
+
+import pytest
+
+from repro.runner.policy import RetryPolicy, SpecTimeoutError
+
+
+class TestValidation:
+    def test_defaults_are_single_attempt(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 1
+        assert policy.retries == 0
+        assert policy.timeout_s is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"backoff_base_s": -0.1},
+            {"backoff_factor": 0.5},
+            {"backoff_max_s": -1.0},
+            {"jitter_fraction": -0.1},
+            {"jitter_fraction": 1.5},
+            {"timeout_s": 0.0},
+            {"timeout_s": -2.0},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_attempts_counted_from_one(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=3).backoff_s(0, seed=7)
+
+
+class TestBackoff:
+    def test_deterministic_for_same_seed_and_attempt(self):
+        policy = RetryPolicy(max_attempts=5)
+        assert policy.backoff_s(2, seed=7) == policy.backoff_s(2, seed=7)
+        assert RetryPolicy(max_attempts=5).backoff_s(2, seed=7) == policy.backoff_s(
+            2, seed=7
+        )
+
+    def test_zero_jitter_is_exact_exponential(self):
+        policy = RetryPolicy(
+            max_attempts=5, backoff_base_s=0.1, backoff_factor=3.0,
+            backoff_max_s=100.0, jitter_fraction=0.0,
+        )
+        assert policy.backoff_s(1, seed=7) == pytest.approx(0.1)
+        assert policy.backoff_s(2, seed=7) == pytest.approx(0.3)
+        assert policy.backoff_s(3, seed=7) == pytest.approx(0.9)
+
+    def test_jitter_stays_within_fraction(self):
+        policy = RetryPolicy(
+            max_attempts=10, backoff_base_s=1.0, backoff_factor=1.0,
+            jitter_fraction=0.25,
+        )
+        for seed in range(20):
+            delay = policy.backoff_s(1, seed=seed)
+            assert 0.75 <= delay <= 1.25
+
+    def test_growth_dominates_jitter(self):
+        # Default 10 % jitter cannot make attempt n+1 back off less than
+        # attempt n when the factor is 2.
+        policy = RetryPolicy(max_attempts=5, backoff_max_s=100.0)
+        assert policy.backoff_s(2, seed=7) > policy.backoff_s(1, seed=7)
+        assert policy.backoff_s(3, seed=7) > policy.backoff_s(2, seed=7)
+
+    def test_cap_applies(self):
+        policy = RetryPolicy(
+            max_attempts=20, backoff_base_s=1.0, backoff_factor=10.0,
+            backoff_max_s=2.0,
+        )
+        assert policy.backoff_s(10, seed=7) <= 2.0 * (1 + policy.jitter_fraction)
+
+    def test_zero_base_means_no_delay(self):
+        policy = RetryPolicy(max_attempts=3, backoff_base_s=0.0)
+        assert policy.backoff_s(1, seed=7) == 0.0
+        assert policy.backoff_s(2, seed=7) == 0.0
+
+
+class TestSpecTimeoutError:
+    def test_is_a_timeout(self):
+        assert issubclass(SpecTimeoutError, TimeoutError)

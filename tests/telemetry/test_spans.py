@@ -85,6 +85,14 @@ class TestStopwatch:
         assert first >= 0.0
 
 
+class TestHubCounterDelegate:
+    def test_counter_reaches_the_registry(self):
+        hub = Telemetry()
+        hub.counter("runner.retries").inc(3)
+        assert hub.counter("runner.retries") is hub.metrics.counter("runner.retries")
+        assert hub.snapshot().counter("runner.retries") == 3
+
+
 class TestSnapshot:
     def make_hub(self):
         hub = Telemetry()
