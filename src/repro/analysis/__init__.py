@@ -26,10 +26,14 @@ from repro.analysis.memory_errors import MemoryErrorEstimate, estimate_memory_er
 from repro.analysis.outliers import detect_removal_outliers, remove_removal_outliers
 from repro.analysis.pue import CoolingPlant, PAPER_CLUSTER_PLANT, PueBreakdown
 from repro.analysis.reliability import (
+    InterpolatedReading,
     Lifetime,
+    ObservationCoverage,
+    interpolate_readings,
     kaplan_meier,
     lifetimes_from_results,
     mtbf_hours,
+    observation_coverage,
     rates_are_consistent,
     wilson_interval,
 )
@@ -59,6 +63,10 @@ __all__ = [
     "Lifetime",
     "kaplan_meier",
     "lifetimes_from_results",
+    "ObservationCoverage",
+    "observation_coverage",
+    "InterpolatedReading",
+    "interpolate_readings",
     "RunComparison",
     "compare_runs",
     "sweep_case_rises",

@@ -7,6 +7,15 @@ for a binomial proportion, a two-proportion comparison, MTBF estimation,
 and a Kaplan-Meier survival curve over host lifetimes -- the machinery a
 longer-running follow-up (the paper's stated future work) needs.
 
+The degraded-mode monitoring plane adds a second concern: the census is
+*observed* through 20-minute collection rounds that can themselves fail
+(SSH timeouts, dead switches), so reliability numbers deserve a
+statement of how much of the campaign was actually watched.
+:func:`observation_coverage` summarises per-host coverage from the
+collection rounds, and :func:`interpolate_readings` fills observation
+gaps in a host's temperature series by linear interpolation -- flagged,
+never silently -- so downstream plots survive missing rounds.
+
 Only :mod:`math`-level numerics are used; no scipy dependency.
 """
 
@@ -144,6 +153,133 @@ def kaplan_meier(lifetimes: Sequence[Lifetime]) -> List[SurvivalPoint]:
             points.append(SurvivalPoint(time_s=t, survival=survival, at_risk=n_risk))
         n_risk -= deaths + censored
     return points
+
+
+# ----------------------------------------------------------------------
+# Observation coverage (gap tolerance)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ObservationCoverage:
+    """How well the monitoring plane actually watched one host.
+
+    ``rounds_expected`` counts the collection rounds in which the host
+    was registered (it shows up in *some* list of the round);
+    ``rounds_observed`` the subset that pulled its telemetry;
+    ``longest_gap_rounds`` the worst consecutive stretch of missed
+    rounds.
+    """
+
+    host_id: int
+    rounds_expected: int
+    rounds_observed: int
+    longest_gap_rounds: int
+
+    @property
+    def coverage(self) -> float:
+        """Observed fraction in [0, 1] (1.0 for a never-expected host)."""
+        if self.rounds_expected == 0:
+            return 1.0
+        return self.rounds_observed / self.rounds_expected
+
+
+def observation_coverage(rounds: Sequence) -> List[ObservationCoverage]:
+    """Per-host observation coverage from the collection rounds.
+
+    ``rounds`` is ``results.monitoring.rounds`` (or any sequence of
+    :class:`~repro.monitoring.collector.CollectionRound`).  A host is
+    *expected* in every round that mentions it at all -- collected,
+    unreachable, down, or merely degraded -- and *observed* when its
+    telemetry was pulled.  Returns one entry per host, ordered by id.
+    """
+    expected: dict = {}
+    observed: dict = {}
+    gap: dict = {}
+    worst_gap: dict = {}
+    for round_ in rounds:
+        missed = (
+            tuple(round_.unreachable_host_ids)
+            + tuple(round_.down_host_ids)
+            + tuple(getattr(round_, "degraded_host_ids", ()))
+        )
+        for host_id in round_.collected_host_ids:
+            expected[host_id] = expected.get(host_id, 0) + 1
+            observed[host_id] = observed.get(host_id, 0) + 1
+            gap[host_id] = 0
+        for host_id in missed:
+            expected[host_id] = expected.get(host_id, 0) + 1
+            gap[host_id] = gap.get(host_id, 0) + 1
+            if gap[host_id] > worst_gap.get(host_id, 0):
+                worst_gap[host_id] = gap[host_id]
+    return [
+        ObservationCoverage(
+            host_id=host_id,
+            rounds_expected=expected[host_id],
+            rounds_observed=observed.get(host_id, 0),
+            longest_gap_rounds=worst_gap.get(host_id, 0),
+        )
+        for host_id in sorted(expected)
+    ]
+
+
+@dataclass(frozen=True)
+class InterpolatedReading:
+    """One point of a gap-filled temperature series.
+
+    ``observed`` is ``False`` for points synthesised between two real
+    readings -- plots can render them differently, and statistics can
+    drop them.
+    """
+
+    time: float
+    cpu_temp_c: float
+    observed: bool
+
+
+def interpolate_readings(
+    records: Sequence,
+    period_s: float = 1200.0,
+    max_gap_rounds: Optional[int] = None,
+) -> List[InterpolatedReading]:
+    """Linear interpolation over missing rounds of one host's series.
+
+    ``records`` are one host's time-sorted
+    :class:`~repro.monitoring.records.SensorRecord` pulls.  Readings
+    with a temperature become anchors; a gap between two anchors wider
+    than one collection period is filled at ``period_s`` cadence with
+    linearly interpolated, ``observed=False`` points.  Mute readings
+    (``cpu_temp_c is None``) anchor nothing and are dropped.  Gaps
+    longer than ``max_gap_rounds`` missed rounds are left open -- a host
+    that vanished for a week should show a hole, not a confident line.
+    """
+    if period_s <= 0:
+        raise ValueError("period must be positive")
+    if max_gap_rounds is not None and max_gap_rounds < 0:
+        raise ValueError("max gap cannot be negative")
+    anchors = [r for r in records if r.cpu_temp_c is not None]
+    out: List[InterpolatedReading] = []
+    for i, anchor in enumerate(anchors):
+        if i > 0:
+            prev = anchors[i - 1]
+            span = anchor.time - prev.time
+            missing = int(round(span / period_s)) - 1
+            if missing > 0 and (max_gap_rounds is None or missing <= max_gap_rounds):
+                for k in range(1, missing + 1):
+                    t = prev.time + k * span / (missing + 1)
+                    frac = (t - prev.time) / span
+                    out.append(
+                        InterpolatedReading(
+                            time=t,
+                            cpu_temp_c=prev.cpu_temp_c
+                            + frac * (anchor.cpu_temp_c - prev.cpu_temp_c),
+                            observed=False,
+                        )
+                    )
+        out.append(
+            InterpolatedReading(
+                time=anchor.time, cpu_temp_c=anchor.cpu_temp_c, observed=True
+            )
+        )
+    return out
 
 
 def lifetimes_from_results(results) -> List[Lifetime]:

@@ -22,7 +22,13 @@ from repro.sim.clock import DAY
 
 @dataclass(frozen=True)
 class CensusPoint:
-    """The cumulative census as of one instant."""
+    """The cumulative census as of one instant.
+
+    ``observed_fraction`` is the cumulative share of expected host
+    observations the monitoring rounds actually pulled by this time --
+    1.0 for a perfectly-watched campaign, lower when SSH timeouts, dead
+    switches, or degraded rounds left gaps.
+    """
 
     time: float
     hosts_installed: int
@@ -30,6 +36,7 @@ class CensusPoint:
     failure_events: int
     wrong_hashes: int
     runs: int
+    observed_fraction: float = 1.0
 
     @property
     def failure_rate_percent(self) -> float:
@@ -57,6 +64,17 @@ def census_timeline(
         if plan.install_date is not None
     }
     wrong_times = sorted(r.time for r in results.ledger.wrong_hash_results)
+    round_ticks = sorted(
+        (
+            r.time,
+            len(r.collected_host_ids),
+            len(r.collected_host_ids)
+            + len(r.unreachable_host_ids)
+            + len(r.down_host_ids)
+            + len(getattr(r, "degraded_host_ids", ())),
+        )
+        for r in results.monitoring.rounds
+    )
     points: List[CensusPoint] = []
     ticks = []
     t = start + period_days * DAY
@@ -73,6 +91,8 @@ def census_timeline(
         census = census_from_events("cumulative", installed, events)
         wrong = sum(1 for w in wrong_times if w <= t)
         runs = _runs_until(results, t)
+        observed = sum(obs for when, obs, _ in round_ticks if when <= t)
+        expected = sum(exp for when, _, exp in round_ticks if when <= t)
         points.append(
             CensusPoint(
                 time=t,
@@ -81,6 +101,7 @@ def census_timeline(
                 failure_events=len(census.failure_events),
                 wrong_hashes=wrong,
                 runs=runs,
+                observed_fraction=observed / expected if expected else 1.0,
             )
         )
     return points
@@ -109,11 +130,15 @@ def _runs_until(results: "ExperimentResults", t: float) -> int:
 
 def describe_timeline(points: Sequence[CensusPoint], clock) -> str:
     """Weekly table of the censuses."""
-    lines = [f"{'date':<12}{'hosts':>7}{'failed':>8}{'rate':>8}{'wrong':>7}{'runs':>9}"]
+    lines = [
+        f"{'date':<12}{'hosts':>7}{'failed':>8}{'rate':>8}{'wrong':>7}{'runs':>9}"
+        f"{'observed':>10}"
+    ]
     for point in points:
         lines.append(
             f"{clock.format(point.time)[:10]:<12}{point.hosts_installed:>7}"
             f"{point.hosts_failed:>8}{point.failure_rate_percent:>7.1f}%"
             f"{point.wrong_hashes:>7}{point.runs:>9}"
+            f"{100.0 * point.observed_fraction:>9.1f}%"
         )
     return "\n".join(lines)

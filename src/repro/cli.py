@@ -105,6 +105,27 @@ def _parse_timeout(text: str) -> float:
     return timeout
 
 
+def _parse_confirm_rounds(text: str) -> int:
+    try:
+        rounds = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {text!r}"
+        ) from None
+    if rounds < 1:
+        raise argparse.ArgumentTypeError("need at least one confirmation round")
+    return rounds
+
+
+def _parse_link_faults(text: str):
+    from repro.monitoring.transport import LinkFaultPlan
+
+    try:
+        return LinkFaultPlan.parse(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
 def _default_cache_dir() -> str:
     import os
 
@@ -139,6 +160,22 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--run-log", default=None, metavar="FILE",
         help="write one JSON line per campaign event (JSONL)",
+    )
+    run.add_argument(
+        "--link-faults", type=_parse_link_faults, default=None, metavar="SPEC",
+        help="inject transport faults into the monitoring rounds; SPEC is "
+        "comma-separated clauses: 'storm:P[:seed=S][:action=A]...' for a "
+        "seeded per-(host,round) storm, or 'HOST:ROUND:ACTION[:key=val]...' "
+        "for an explicit fault (actions: ssh-timeout, partial, slow)",
+    )
+    run.add_argument(
+        "--confirm-rounds", type=_parse_confirm_rounds, default=1, metavar="N",
+        help="consecutive failed rounds before a host outage is confirmed "
+        "and the operator is involved (default: 1, the historical behaviour)",
+    )
+    run.add_argument(
+        "--monitor-retries", type=_parse_retries, default=0, metavar="N",
+        help="extra SSH attempts per host within a round (default: 0)",
     )
 
     figures = sub.add_parser("figures", help="render Figs. 1-4 in the terminal")
@@ -241,6 +278,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from repro.core.builder import CampaignBuilder
 
     builder = CampaignBuilder(ExperimentConfig(seed=args.seed))
+    degraded = args.link_faults is not None or args.confirm_rounds > 1 or args.monitor_retries
+    if args.link_faults is not None:
+        builder.with_link_faults(args.link_faults)
+    if degraded:
+        from repro.monitoring.health import HealthPolicy
+        from repro.runner.policy import RetryPolicy
+
+        builder.with_health_policy(
+            HealthPolicy(
+                confirm_rounds=args.confirm_rounds,
+                retry=RetryPolicy(max_attempts=args.monitor_retries + 1),
+            )
+        )
     telemetry = None
     if args.telemetry_out:
         from repro.telemetry import Telemetry
@@ -264,6 +314,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(full_report(results))
     else:
         print(results.summary())
+    if degraded:
+        mon = results.monitoring
+        print(
+            "degraded-mode: "
+            f"{mon.retries_total} retries, "
+            f"{mon.ssh_timeouts_total} ssh timeouts, "
+            f"{mon.partial_transfers_total} partial transfers, "
+            f"{mon.slow_sessions_total} slow sessions, "
+            f"{mon.false_alarms_suppressed} false alarms suppressed"
+        )
     if telemetry is not None:
         import json
 

@@ -36,8 +36,9 @@ from repro.hardware.host import Host
 from repro.hardware.vendors import VENDOR_A
 from repro.monitoring.collector import MonitoringHost
 from repro.monitoring.datalogger import LascarDataLogger
+from repro.monitoring.health import HealthPolicy
 from repro.monitoring.powermeter import TechnolineCostControl
-from repro.monitoring.transport import TransferLedger
+from repro.monitoring.transport import LinkFaultPlan, TransferLedger
 from repro.monitoring.webcam import TerraceWebcam
 from repro.sim.clock import DAY, MINUTE, SimClock
 from repro.sim.engine import Simulator
@@ -73,6 +74,8 @@ class Campaign:
         extra_instruments: Tuple[Tuple[str, Callable[["Campaign"], object]], ...] = (),
         subscribers: Tuple[Callable[[EventBus], None], ...] = (),
         telemetry=None,
+        link_faults: Optional[LinkFaultPlan] = None,
+        health_policy: Optional[HealthPolicy] = None,
     ) -> None:
         self.config = config
         self._disabled = disabled
@@ -112,6 +115,8 @@ class Campaign:
             workload_ledger=self.fleet.ledger,
             bus=self.bus,
             telemetry=telemetry,
+            link_faults=link_faults,
+            health=health_policy,
         )
         self.policy.bind_monitoring(self.monitoring)
 
@@ -380,6 +385,8 @@ class CampaignBuilder:
         self._extra: List[Tuple[str, Callable[[Campaign], object]]] = []
         self._subscribers: List[Callable[[EventBus], None]] = []
         self._telemetry = None
+        self._link_faults: Optional[LinkFaultPlan] = None
+        self._health_policy: Optional[HealthPolicy] = None
 
     def without(self, name: str) -> "CampaignBuilder":
         """Drop one default instrument (see :data:`DEFAULT_INSTRUMENTS`)."""
@@ -433,6 +440,34 @@ class CampaignBuilder:
         self._telemetry = telemetry
         return self
 
+    def with_link_faults(self, plan: LinkFaultPlan) -> "CampaignBuilder":
+        """Inject a deterministic transport-fault plan into the rounds.
+
+        ``plan`` is a :class:`~repro.monitoring.transport.LinkFaultPlan`
+        (see also :meth:`LinkFaultPlan.parse` for the CLI spec syntax).
+        Faults degrade *observation only*: the simulated hardware and
+        its census are untouched.  Pair a storm with
+        :meth:`with_health_policy` to keep false alarms away from the
+        operator.
+        """
+        if not isinstance(plan, LinkFaultPlan):
+            raise TypeError(f"expected a LinkFaultPlan, got {plan!r}")
+        self._link_faults = plan
+        return self
+
+    def with_health_policy(self, policy: HealthPolicy) -> "CampaignBuilder":
+        """Set the collector's host-health policy.
+
+        ``policy`` is a :class:`~repro.monitoring.health.HealthPolicy`;
+        its ``confirm_rounds`` delays operator interventions until an
+        outage repeats, and its ``retry`` grants in-round SSH retries.
+        The default policy reproduces the historical collector.
+        """
+        if not isinstance(policy, HealthPolicy):
+            raise TypeError(f"expected a HealthPolicy, got {policy!r}")
+        self._health_policy = policy
+        return self
+
     def build(self) -> Campaign:
         """Assemble the campaign (construction wires, nothing runs yet)."""
         return Campaign(
@@ -441,4 +476,6 @@ class CampaignBuilder:
             extra_instruments=tuple(self._extra),
             subscribers=tuple(self._subscribers),
             telemetry=self._telemetry,
+            link_faults=self._link_faults,
+            health_policy=self._health_policy,
         )

@@ -15,9 +15,23 @@ Three instruments from the paper, plus the collection loop:
 
 from repro.monitoring.collector import CollectionRound, MonitoringHost, NetworkPath
 from repro.monitoring.datalogger import LascarDataLogger, LoggerReading, RemovalEpisode
+from repro.monitoring.health import (
+    HealthPolicy,
+    HealthTracker,
+    HostHealth,
+    HostHealthState,
+)
 from repro.monitoring.powermeter import PowerReading, TechnolineCostControl
 from repro.monitoring.records import LoggerRecord, SensorRecord, parse_line, to_line
-from repro.monitoring.transport import RsyncChannel, TransferLedger, TransferRecord
+from repro.monitoring.transport import (
+    LinkFault,
+    LinkFaultAction,
+    LinkFaultPlan,
+    LinkStorm,
+    RsyncChannel,
+    TransferLedger,
+    TransferRecord,
+)
 from repro.monitoring.webcam import TerraceWebcam, WebcamFrame
 
 __all__ = [
@@ -36,6 +50,14 @@ __all__ = [
     "TransferLedger",
     "RsyncChannel",
     "TransferRecord",
+    "LinkFault",
+    "LinkFaultAction",
+    "LinkFaultPlan",
+    "LinkStorm",
+    "HealthPolicy",
+    "HealthTracker",
+    "HostHealth",
+    "HostHealthState",
     "TerraceWebcam",
     "WebcamFrame",
 ]

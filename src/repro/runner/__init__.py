@@ -17,7 +17,18 @@ below imports it back.  That layering is what lets
 - :mod:`repro.runner.pool` -- fan out over seeds with
   :class:`~concurrent.futures.ProcessPoolExecutor`, survive crashed and
   wedged workers, and memoise records on disk as they complete.
+
+Layering note: :mod:`~repro.runner.policy` and
+:mod:`~repro.runner.faults` are dependency-free leaves that layers
+*below* the runner also use (the monitoring plane reuses
+:class:`RetryPolicy` for in-round SSH backoff), so this package must be
+importable without dragging in the driver.  The driver-facing names
+(``run_recorded``, the sweep machinery, the record types) are therefore
+loaded lazily on first attribute access (PEP 562); ``from repro.runner
+import sweep_records`` works exactly as before.
 """
+
+from typing import TYPE_CHECKING
 
 from repro.runner.faults import (
     Fault,
@@ -25,26 +36,62 @@ from repro.runner.faults import (
     FaultPlan,
     InjectedFault,
 )
-from repro.runner.local import run_recorded
 from repro.runner.policy import RetryPolicy, SpecTimeoutError
-from repro.runner.pool import (
-    RunSpec,
-    SweepResult,
-    WorkItem,
-    run_specs,
-    sweep_records,
-    sweep_seeds,
-)
-from repro.runner.records import (
-    RECORD_SCHEMA,
-    FailedRun,
-    RunRecord,
-    SeriesDigest,
-    config_digest,
-    digest_series,
-    record_from_json_dict,
-    record_from_results,
-)
+
+if TYPE_CHECKING:  # pragma: no cover - static-analysis imports only
+    from repro.runner.local import run_recorded
+    from repro.runner.pool import (
+        RunSpec,
+        SweepResult,
+        WorkItem,
+        run_specs,
+        sweep_records,
+        sweep_seeds,
+    )
+    from repro.runner.records import (
+        RECORD_SCHEMA,
+        FailedRun,
+        RunRecord,
+        SeriesDigest,
+        config_digest,
+        digest_series,
+        record_from_json_dict,
+        record_from_results,
+    )
+
+#: Lazily-resolved exports -> the submodule that defines them.
+_LAZY = {
+    "run_recorded": "repro.runner.local",
+    "RunSpec": "repro.runner.pool",
+    "SweepResult": "repro.runner.pool",
+    "WorkItem": "repro.runner.pool",
+    "run_specs": "repro.runner.pool",
+    "sweep_records": "repro.runner.pool",
+    "sweep_seeds": "repro.runner.pool",
+    "RECORD_SCHEMA": "repro.runner.records",
+    "FailedRun": "repro.runner.records",
+    "RunRecord": "repro.runner.records",
+    "SeriesDigest": "repro.runner.records",
+    "config_digest": "repro.runner.records",
+    "digest_series": "repro.runner.records",
+    "record_from_json_dict": "repro.runner.records",
+    "record_from_results": "repro.runner.records",
+}
+
+
+def __getattr__(name: str):
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    value = getattr(importlib.import_module(target), name)
+    globals()[name] = value  # cache: __getattr__ fires once per name
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))
 
 __all__ = [
     "RECORD_SCHEMA",

@@ -43,7 +43,10 @@ from repro.core.config import ExperimentConfig
 from repro.telemetry.hub import TelemetrySnapshot, snapshot_from_json_dict
 
 #: Bump when the record layout changes; stale cache files are evicted.
-RECORD_SCHEMA = 1
+#: 2: the event taxonomy grew SensorMuteObserved (vanished-chip readings
+#: that used to count under SensorAnomalyObserved split out), shifting
+#: ``event_counts`` in otherwise-identical runs.
+RECORD_SCHEMA = 2
 
 
 @dataclass(frozen=True)

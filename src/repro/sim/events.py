@@ -118,6 +118,50 @@ class SensorAnomalyObserved(Event):
     reading_c: Optional[float] = None
 
 
+@dataclass(frozen=True)
+class SensorMuteObserved(SensorAnomalyObserved):
+    """A collection round found the sensor chip absent from the bus.
+
+    The paper's post-redetect state: ``lm-sensors`` returns nothing at
+    all, as opposed to the erratic -111 degC class a plain
+    :class:`SensorAnomalyObserved` reports.  Subscribers to the base
+    class still receive these (bus dispatch walks the MRO), so the
+    operator playbook is unchanged; subscribing to this class alone
+    watches only the vanished-chip case.  ``reading_c`` is ``None``.
+    """
+
+
+@dataclass(frozen=True)
+class HostSuspect(Event):
+    """A failed observation that is not yet confirmed.
+
+    With a health policy demanding ``confirm_rounds >= 2``, the first
+    failed contact(s) raise this instead of
+    :class:`HostDownObserved`/:class:`HostUnreachable` -- the operator
+    is not involved until the outage is confirmed.  ``kind`` is the
+    observed failure mode (``"down"`` or ``"unreachable"``), ``streak``
+    the consecutive failed rounds so far.
+    """
+
+    host_id: int
+    kind: str = "down"
+    streak: int = 1
+
+
+@dataclass(frozen=True)
+class HostRecovered(Event):
+    """A suspect host answered again before its outage was confirmed.
+
+    Published only for SUSPECT -> UP transitions (a suppressed false
+    alarm); a confirmed-down host coming back is an ordinary repair and
+    stays silent, as it always was.  ``rounds_suspect`` is the length
+    of the suppressed suspicion streak.
+    """
+
+    host_id: int
+    rounds_suspect: int = 1
+
+
 # ----------------------------------------------------------------------
 # Operator events
 # ----------------------------------------------------------------------

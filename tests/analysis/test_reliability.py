@@ -3,14 +3,20 @@
 import pytest
 
 from repro.analysis.reliability import (
+    InterpolatedReading,
     Lifetime,
+    ObservationCoverage,
     SurvivalPoint,
+    interpolate_readings,
     kaplan_meier,
     lifetimes_from_results,
     mtbf_hours,
+    observation_coverage,
     rates_are_consistent,
     wilson_interval,
 )
+from repro.monitoring.collector import CollectionRound
+from repro.monitoring.records import SensorRecord
 from repro.sim.clock import DAY
 
 
@@ -151,3 +157,127 @@ class TestFromResults:
         assert any(lt.failed for lt in lifetimes)
         points = kaplan_meier(lifetimes)
         assert points and points[-1].survival < 1.0
+
+
+def _round(time, collected=(), unreachable=(), down=(), degraded=()):
+    return CollectionRound(
+        time=time,
+        collected_host_ids=tuple(collected),
+        unreachable_host_ids=tuple(unreachable),
+        down_host_ids=tuple(down),
+        sensor_anomaly_host_ids=(),
+        degraded_host_ids=tuple(degraded),
+    )
+
+
+class TestObservationCoverage:
+    def test_fully_observed_host(self):
+        rounds = [_round(t * 1200.0, collected=(1,)) for t in range(5)]
+        (cov,) = observation_coverage(rounds)
+        assert cov == ObservationCoverage(1, 5, 5, 0)
+        assert cov.coverage == 1.0
+
+    def test_missed_rounds_lower_coverage(self):
+        rounds = [
+            _round(0.0, collected=(1,)),
+            _round(1200.0, down=(1,)),
+            _round(2400.0, down=(1,)),
+            _round(3600.0, collected=(1,)),
+        ]
+        (cov,) = observation_coverage(rounds)
+        assert cov.rounds_expected == 4
+        assert cov.rounds_observed == 2
+        assert cov.coverage == 0.5
+        assert cov.longest_gap_rounds == 2
+
+    def test_degraded_rounds_count_as_missed(self):
+        rounds = [
+            _round(0.0, collected=(1,)),
+            _round(1200.0, degraded=(1,)),
+            _round(2400.0, collected=(1,)),
+        ]
+        (cov,) = observation_coverage(rounds)
+        assert cov.rounds_expected == 3
+        assert cov.rounds_observed == 2
+        assert cov.longest_gap_rounds == 1
+
+    def test_gap_streak_resets_on_observation(self):
+        rounds = [
+            _round(0.0, down=(1,)),
+            _round(1200.0, collected=(1,)),
+            _round(2400.0, down=(1,)),
+            _round(3600.0, down=(1,)),
+            _round(4800.0, down=(1,)),
+            _round(6000.0, collected=(1,)),
+        ]
+        (cov,) = observation_coverage(rounds)
+        assert cov.longest_gap_rounds == 3
+
+    def test_hosts_ordered_by_id(self):
+        rounds = [_round(0.0, collected=(3, 1), unreachable=(2,))]
+        covs = observation_coverage(rounds)
+        assert [c.host_id for c in covs] == [1, 2, 3]
+
+    def test_never_expected_defaults_to_full_coverage(self):
+        assert ObservationCoverage(9, 0, 0, 0).coverage == 1.0
+
+    def test_campaign_coverage_is_consistent(self, short_results):
+        rounds = short_results.monitoring.rounds
+        covs = observation_coverage(rounds)
+        assert covs
+        for cov in covs:
+            assert 0.0 < cov.coverage <= 1.0
+            # Observed tallies agree with a direct recount.
+            assert cov.rounds_observed == sum(
+                1 for r in rounds if cov.host_id in r.collected_host_ids
+            )
+        # Without link faults the only misses are genuine hardware
+        # outages; most of the fleet is watched every single round.
+        assert sum(1 for c in covs if c.coverage == 1.0) >= len(covs) // 2
+
+
+def _rec(time, temp, host_id=1):
+    return SensorRecord(time=time, host_id=host_id, cpu_temp_c=temp)
+
+
+class TestInterpolateReadings:
+    def test_contiguous_series_passes_through(self):
+        records = [_rec(t * 1200.0, 30.0 + t) for t in range(4)]
+        out = interpolate_readings(records)
+        assert [(p.time, p.cpu_temp_c, p.observed) for p in out] == [
+            (t * 1200.0, 30.0 + t, True) for t in range(4)
+        ]
+
+    def test_single_gap_filled_linearly(self):
+        records = [_rec(0.0, 30.0), _rec(3600.0, 36.0)]  # 2 missed rounds
+        out = interpolate_readings(records)
+        assert len(out) == 4
+        synth = [p for p in out if not p.observed]
+        assert [p.time for p in synth] == [1200.0, 2400.0]
+        assert [p.cpu_temp_c for p in synth] == pytest.approx([32.0, 34.0])
+
+    def test_wide_gap_left_open_when_capped(self):
+        records = [_rec(0.0, 30.0), _rec(12000.0, 40.0)]  # 9 missed rounds
+        out = interpolate_readings(records, max_gap_rounds=3)
+        assert len(out) == 2
+        assert all(p.observed for p in out)
+
+    def test_mute_readings_are_not_anchors(self):
+        records = [_rec(0.0, 30.0), _rec(1200.0, None), _rec(2400.0, 32.0)]
+        out = interpolate_readings(records)
+        times = [p.time for p in out]
+        assert 1200.0 in times  # the hole is interpolated over
+        filled = next(p for p in out if p.time == 1200.0)
+        assert not filled.observed
+        assert filled.cpu_temp_c == pytest.approx(31.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            interpolate_readings([], period_s=0.0)
+        with pytest.raises(ValueError):
+            interpolate_readings([], max_gap_rounds=-1)
+
+    def test_empty_and_single_records(self):
+        assert interpolate_readings([]) == []
+        out = interpolate_readings([_rec(0.0, 30.0)])
+        assert len(out) == 1 and out[0].observed

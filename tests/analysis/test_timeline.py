@@ -59,3 +59,23 @@ class TestCensusTimeline:
         table = describe_timeline(points, full_results.clock)
         assert "failed" in table
         assert "2010-" in table
+
+
+class TestObservedFraction:
+    def test_defaults_to_fully_observed(self):
+        point = CensusPoint(0.0, 18, 1, 2, 5, 1000)
+        assert point.observed_fraction == 1.0
+
+    def test_clean_run_is_nearly_fully_observed(self, full_results):
+        points = census_timeline(full_results)
+        for point in points:
+            assert 0.0 < point.observed_fraction <= 1.0
+        # Hardware outages are rare: the campaign-wide cumulative
+        # fraction stays high even though individual hosts die.
+        assert points[-1].observed_fraction > 0.95
+
+    def test_describe_shows_observed_column(self, full_results):
+        points = census_timeline(full_results)
+        table = describe_timeline(points, full_results.clock)
+        assert "observed" in table
+        assert "%" in table

@@ -62,6 +62,31 @@ class TestBuilderApi:
         with pytest.raises(RuntimeError):
             campaign.run(until=dt.datetime(2010, 2, 17))
 
+    def test_with_link_faults_rejects_wrong_type(self):
+        builder = CampaignBuilder(ExperimentConfig(seed=1))
+        with pytest.raises(TypeError):
+            builder.with_link_faults("storm:0.5")  # spec string, not a plan
+
+    def test_with_health_policy_rejects_wrong_type(self):
+        builder = CampaignBuilder(ExperimentConfig(seed=1))
+        with pytest.raises(TypeError):
+            builder.with_health_policy({"confirm_rounds": 2})
+
+    def test_degraded_wiring_reaches_the_collector(self):
+        from repro.monitoring.health import HealthPolicy
+        from repro.monitoring.transport import LinkFaultPlan, LinkStorm
+
+        plan = LinkFaultPlan(storm=LinkStorm(probability=0.1, seed=2))
+        policy = HealthPolicy(confirm_rounds=2)
+        campaign = (
+            CampaignBuilder(ExperimentConfig(seed=1))
+            .with_link_faults(plan)
+            .with_health_policy(policy)
+            .build()
+        )
+        assert campaign.monitoring.link_faults is plan
+        assert campaign.monitoring.health_policy is policy
+
 
 class TestComposition:
     UNTIL = dt.datetime(2010, 2, 21)

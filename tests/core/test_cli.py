@@ -93,6 +93,43 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "--timeout", "0"])
 
+    def test_run_degraded_flags_default_off(self):
+        args = build_parser().parse_args(["run"])
+        assert args.link_faults is None
+        assert args.confirm_rounds == 1
+        assert args.monitor_retries == 0
+
+    def test_run_link_faults_parses_to_plan(self):
+        from repro.monitoring.transport import LinkFaultAction, LinkFaultPlan
+
+        args = build_parser().parse_args(
+            ["run", "--link-faults", "storm:0.25:seed=3,5:12:partial:fraction=0.3"]
+        )
+        assert isinstance(args.link_faults, LinkFaultPlan)
+        assert args.link_faults.storm.probability == 0.25
+        (fault,) = args.link_faults.faults
+        assert fault.action is LinkFaultAction.PARTIAL_TRANSFER
+
+    def test_run_bad_link_faults_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--link-faults", "bogus"])
+
+    def test_run_confirm_rounds_parses(self):
+        args = build_parser().parse_args(["run", "--confirm-rounds", "3"])
+        assert args.confirm_rounds == 3
+
+    def test_run_zero_confirm_rounds_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--confirm-rounds", "0"])
+
+    def test_run_monitor_retries_parses(self):
+        args = build_parser().parse_args(["run", "--monitor-retries", "2"])
+        assert args.monitor_retries == 2
+
+    def test_run_negative_monitor_retries_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--monitor-retries", "-1"])
+
 
 class TestCommands:
     def test_pue_prints_the_paper_number(self, capsys):
@@ -115,6 +152,20 @@ class TestCommands:
         assert main(["run", "--until", "2010-02-22", "--report"]) == 0
         out = capsys.readouterr().out
         assert "PUE of the new cluster" in out
+
+    def test_run_degraded_prints_summary_line(self, capsys):
+        assert main([
+            "run", "--until", "2010-02-22",
+            "--link-faults", "storm:0.5:seed=3",
+            "--monitor-retries", "2", "--confirm-rounds", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "degraded-mode:" in out
+        assert "ssh timeouts" in out
+
+    def test_run_without_degraded_flags_stays_silent(self, capsys):
+        assert main(["run", "--until", "2010-02-22"]) == 0
+        assert "degraded-mode:" not in capsys.readouterr().out
 
 
 class TestSweepCommand:

@@ -10,6 +10,7 @@ from repro.hardware.host import Host
 from repro.hardware.switch import NetworkSwitch
 from repro.hardware.vendors import VENDOR_A
 from repro.monitoring.collector import COLLECTION_PERIOD_S, MonitoringHost, NetworkPath
+from repro.monitoring.transport import SSH_SESSION_OVERHEAD_BYTES, TransferLedger
 from repro.sim.clock import HOUR, SimClock
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngStreams
@@ -125,6 +126,119 @@ class TestCollection:
         monitoring.collect_round()
         assert len(monitoring.records_for_host(1)) == 2
         assert len(monitoring.records_for_host(2)) == 2
+
+
+class _WorkloadStub:
+    def __init__(self, runs_per_host):
+        self.runs_per_host = dict(runs_per_host)
+
+
+class TestSwitchOutageBacklog:
+    def test_dying_switch_parks_bytes_until_reroute(self):
+        # The paper's defective 8-port switch dies mid-campaign; the host
+        # behind it keeps computing md5sums that nobody can fetch.  The
+        # first round after the operators re-cable it moves exactly the
+        # parked backlog -- payload bytes are conserved across the outage.
+        sim, hosts, switch = make_rig(1)
+        ledger = TransferLedger()
+        workload = _WorkloadStub({1: 4})
+        monitoring = MonitoringHost(sim, transport=ledger, workload_ledger=workload)
+        monitoring.register(hosts[0], [switch])
+
+        monitoring.collect_round()  # healthy: 4 lines + 1 sample move
+        assert ledger.records[-1].complete
+
+        switch.fail(0.0)
+        workload.runs_per_host[1] = 9  # the host keeps working unseen
+        for _ in range(3):
+            round_ = monitoring.collect_round()
+            assert round_.unreachable_host_ids == (1,)
+        outage_sessions = len(ledger.records)
+
+        spare = NetworkSwitch("sw2", np.random.default_rng(5))
+        monitoring.paths[1].reroute([spare])
+        round_ = monitoring.collect_round()
+        assert round_.collected_host_ids == (1,)
+        # No rsync session ran while the path was down...
+        assert len(ledger.records) == outage_sessions + 1
+        # ...and the catch-up session drains exactly the parked pending
+        # bytes (5 new lines, plus the samples the collector archived).
+        catch_up = ledger.records[-1]
+        assert catch_up.new_md5_lines == 5
+        expected_payload = ledger.channel(1).pending(0, 0)
+        assert expected_payload == 0  # backlog fully drained
+        assert catch_up.complete
+        # Conservation: everything produced has now moved, in two
+        # sessions instead of five.
+        total_lines = sum(r.new_md5_lines for r in ledger.records)
+        assert total_lines == 9
+        assert ledger.total_bytes == sum(r.bytes_moved for r in ledger.records)
+        assert ledger.records[-1].bytes_moved > SSH_SESSION_OVERHEAD_BYTES
+
+    def test_unreachable_rounds_freeze_sensor_history(self):
+        # No SSH session means no sensor poll: observation stops, the
+        # host's RNG cadence for *polling* is untouched elsewhere.
+        sim, hosts, switch = make_rig(1)
+        monitoring = MonitoringHost(sim)
+        monitoring.register(hosts[0], [switch])
+        monitoring.collect_round()
+        switch.fail(0.0)
+        monitoring.collect_round()
+        monitoring.collect_round()
+        assert len(hosts[0].sensor.history) == 1
+        assert len(monitoring.sensor_records) == 1
+
+
+class TestLifecycleChurn:
+    def test_detach_then_reattach_resumes_rounds(self):
+        sim, hosts, switch = make_rig(1)
+        monitoring = MonitoringHost(sim)
+        monitoring.register(hosts[0], [switch])
+        monitoring.attach(start=0.0)
+        sim.run_until(HOUR)
+        monitoring.detach()
+        paused = len(monitoring.rounds)
+        sim.run_until(2 * HOUR)
+        assert len(monitoring.rounds) == paused
+        monitoring.attach(start=sim.now)
+        sim.run_until(3 * HOUR)
+        assert len(monitoring.rounds) > paused
+
+    def test_unregister_between_rounds_drops_cleanly(self):
+        sim, hosts, switch = make_rig(2)
+        monitoring = MonitoringHost(sim)
+        for host in hosts:
+            monitoring.register(host, [switch])
+        monitoring.collect_round()
+        monitoring.unregister(hosts[0])
+        round_ = monitoring.collect_round()
+        assert round_.collected_host_ids == (2,)
+        assert not switch.carries(hosts[0].hostname)
+        # Earlier records survive; only future rounds skip the host.
+        assert len(monitoring.records_for_host(1)) == 1
+
+    def test_unregister_forgets_health_standing(self):
+        from repro.monitoring.health import HealthPolicy, HostHealthState
+
+        sim, hosts, switch = make_rig(1)
+        monitoring = MonitoringHost(sim, health=HealthPolicy(confirm_rounds=3))
+        monitoring.register(hosts[0], [switch])
+        hosts[0].retire(0.0)
+        monitoring.collect_round()
+        assert monitoring.tracker.suspects() == {1: 1}
+        monitoring.unregister(hosts[0])
+        assert monitoring.tracker.suspects() == {}
+        assert monitoring.tracker.state_of(1) is HostHealthState.UP
+
+    def test_reregister_after_unregister_starts_fresh(self):
+        sim, hosts, switch = make_rig(1)
+        monitoring = MonitoringHost(sim)
+        monitoring.register(hosts[0], [switch])
+        monitoring.unregister(hosts[0])
+        monitoring.register(hosts[0], [switch])
+        assert switch.carries(hosts[0].hostname)
+        round_ = monitoring.collect_round()
+        assert round_.collected_host_ids == (1,)
 
 
 class TestPeriodicRounds:

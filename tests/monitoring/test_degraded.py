@@ -1,0 +1,365 @@
+"""Integration tests for the degraded-mode monitoring plane.
+
+Unit scenarios drive a small rig round by round; the campaign scenarios
+at the bottom pin the two headline invariants: defaults are
+byte-identical to the historical collector, and link faults degrade
+observation without touching the hardware census.
+"""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.climate.generator import WeatherGenerator
+from repro.climate.profiles import HELSINKI_2010
+from repro.core.builder import CampaignBuilder
+from repro.core.config import ExperimentConfig
+from repro.hardware.faults import TransientFaultModel
+from repro.hardware.host import Host
+from repro.hardware.sensors import SensorState
+from repro.hardware.switch import NetworkSwitch
+from repro.hardware.vendors import VENDOR_A
+from repro.monitoring.collector import MonitoringHost
+from repro.monitoring.health import HealthPolicy
+from repro.monitoring.transport import (
+    LinkFault,
+    LinkFaultAction,
+    LinkFaultPlan,
+    LinkStorm,
+    TransferLedger,
+)
+from repro.runner.policy import RetryPolicy
+from repro.sim.engine import Simulator
+from repro.sim.events import (
+    EventBus,
+    HostDownObserved,
+    HostRecovered,
+    HostSuspect,
+    HostUnreachable,
+    SensorAnomalyObserved,
+    SensorMuteObserved,
+)
+from repro.sim.rng import RngStreams
+from repro.thermal.enclosure import BasementMachineRoom
+
+
+class WorkloadStub:
+    """The slice of the workload ledger the collector reads."""
+
+    def __init__(self, runs_per_host=None):
+        self.runs_per_host = dict(runs_per_host or {})
+
+
+def make_rig(host_count=2, **monitor_kwargs):
+    sim = Simulator()
+    weather = WeatherGenerator(HELSINKI_2010, RngStreams(4))
+    basement = BasementMachineRoom("basement", weather)
+    basement.advance(0.0)
+    switch = NetworkSwitch("sw1", np.random.default_rng(4))
+    bus = EventBus()
+    monitoring = MonitoringHost(sim, bus=bus, **monitor_kwargs)
+    hosts = []
+    for i in range(host_count):
+        host = Host(
+            i + 1, VENDOR_A, RngStreams(4),
+            transient_model=TransientFaultModel(base_rate_per_hour=0.0),
+        )
+        host.install(basement, 0.0)
+        hosts.append(host)
+        monitoring.register(host, [switch])
+    return sim, hosts, switch, bus, monitoring
+
+
+def subscribe_all(bus):
+    seen = {
+        HostSuspect: [], HostRecovered: [],
+        HostDownObserved: [], HostUnreachable: [],
+    }
+    for klass, sink in seen.items():
+        bus.subscribe(klass, sink.append)
+    return seen
+
+
+class TestRetryWithinRound:
+    def test_retry_absorbs_single_attempt_timeout(self):
+        plan = LinkFaultPlan.of(LinkFault(1, 0, LinkFaultAction.SSH_TIMEOUT))
+        sim, hosts, switch, bus, monitoring = make_rig(
+            link_faults=plan,
+            health=HealthPolicy(retry=RetryPolicy(max_attempts=2)),
+        )
+        round_ = monitoring.collect_round()
+        assert round_.collected_host_ids == (1, 2)
+        assert round_.retries == 1
+        assert monitoring.ssh_timeouts_total == 1
+        assert monitoring.retry_backoff_s_total > 0.0
+
+    def test_exhausted_retries_report_the_host_down(self):
+        seen = []
+        plan = LinkFaultPlan.of(
+            LinkFault(1, 0, LinkFaultAction.SSH_TIMEOUT, attempts=2)
+        )
+        sim, hosts, switch, bus, monitoring = make_rig(
+            link_faults=plan,
+            health=HealthPolicy(retry=RetryPolicy(max_attempts=2)),
+        )
+        monitoring.on_down_host = lambda t, h: seen.append(h.host_id)
+        round_ = monitoring.collect_round()
+        assert round_.down_host_ids == (1,)
+        assert round_.collected_host_ids == (2,)
+        assert seen == [1]
+        assert monitoring.ssh_timeouts_total == 2
+
+    def test_failed_contact_still_polls_the_sensor(self):
+        # The host-local sampler fires whether or not SSH connects --
+        # observation failure must not perturb the hardware's RNG
+        # cadence -- but the sample stays out of the archive.
+        plan = LinkFaultPlan.of(
+            LinkFault(1, 0, LinkFaultAction.SSH_TIMEOUT)
+        )
+        sim, hosts, switch, bus, monitoring = make_rig(
+            host_count=1, link_faults=plan
+        )
+        monitoring.collect_round()
+        assert len(hosts[0].sensor.history) == 1
+        assert monitoring.sensor_records == []
+
+
+class TestConfirmationRounds:
+    def test_transient_fault_raises_suspect_not_down(self):
+        operator = []
+        plan = LinkFaultPlan.of(LinkFault(1, 0, LinkFaultAction.SSH_TIMEOUT))
+        sim, hosts, switch, bus, monitoring = make_rig(
+            link_faults=plan, health=HealthPolicy(confirm_rounds=2)
+        )
+        monitoring.on_down_host = lambda t, h: operator.append(h.host_id)
+        seen = subscribe_all(bus)
+        round_ = monitoring.collect_round()
+        assert round_.degraded_host_ids == (1,)
+        assert round_.down_host_ids == ()
+        assert not round_.all_quiet
+        assert operator == []
+        assert [e.host_id for e in seen[HostSuspect]] == [1]
+        assert seen[HostSuspect][0].kind == "down"
+        assert seen[HostDownObserved] == []
+
+    def test_recovery_suppresses_the_false_alarm(self):
+        plan = LinkFaultPlan.of(LinkFault(1, 0, LinkFaultAction.SSH_TIMEOUT))
+        sim, hosts, switch, bus, monitoring = make_rig(
+            link_faults=plan, health=HealthPolicy(confirm_rounds=2)
+        )
+        seen = subscribe_all(bus)
+        monitoring.collect_round()
+        round_ = monitoring.collect_round()  # round 1: no fault scheduled
+        assert round_.collected_host_ids == (1, 2)
+        assert monitoring.false_alarms_suppressed == 1
+        assert [e.host_id for e in seen[HostRecovered]] == [1]
+        assert seen[HostRecovered][0].rounds_suspect == 1
+
+    def test_persistent_outage_confirms_on_schedule(self):
+        operator = []
+        plan = LinkFaultPlan.of(
+            LinkFault(1, 0, LinkFaultAction.SSH_TIMEOUT),
+            LinkFault(1, 1, LinkFaultAction.SSH_TIMEOUT),
+        )
+        sim, hosts, switch, bus, monitoring = make_rig(
+            link_faults=plan, health=HealthPolicy(confirm_rounds=2)
+        )
+        monitoring.on_down_host = lambda t, h: operator.append(h.host_id)
+        seen = subscribe_all(bus)
+        first = monitoring.collect_round()
+        second = monitoring.collect_round()
+        assert first.degraded_host_ids == (1,)
+        assert second.down_host_ids == (1,)
+        assert operator == [1]
+        assert [e.host_id for e in seen[HostDownObserved]] == [1]
+
+    def test_dead_switch_confirms_as_unreachable(self):
+        operator = []
+        sim, hosts, switch, bus, monitoring = make_rig(
+            health=HealthPolicy(confirm_rounds=2)
+        )
+        monitoring.on_unreachable = lambda t, p: operator.append(p.host.host_id)
+        seen = subscribe_all(bus)
+        switch.fail(0.0)
+        first = monitoring.collect_round()
+        second = monitoring.collect_round()
+        assert first.degraded_host_ids == (1, 2)
+        assert {e.kind for e in seen[HostSuspect]} == {"unreachable"}
+        assert second.unreachable_host_ids == (1, 2)
+        assert operator == [1, 2]
+
+
+class TestTransportFaultWiring:
+    def test_partial_transfer_leaves_backlog(self):
+        ledger = TransferLedger()
+        workload = WorkloadStub({1: 10})
+        plan = LinkFaultPlan.of(
+            LinkFault(1, 0, LinkFaultAction.PARTIAL_TRANSFER, fraction=0.5)
+        )
+        sim, hosts, switch, bus, monitoring = make_rig(
+            host_count=1, link_faults=plan,
+            transport=ledger, workload_ledger=workload,
+        )
+        monitoring.collect_round()
+        assert monitoring.partial_transfers_total == 1
+        assert ledger.partial_sessions == 1
+        assert not ledger.records[0].complete
+        monitoring.collect_round()  # fault-free: carries the backlog
+        moved_md5 = sum(r.new_md5_lines for r in ledger.records)
+        moved_samples = sum(r.new_sensor_samples for r in ledger.records)
+        assert moved_md5 == 10
+        assert moved_samples == len(hosts[0].sensor.history)
+
+    def test_slow_session_is_accounted(self):
+        plan = LinkFaultPlan.of(
+            LinkFault(1, 0, LinkFaultAction.SLOW_SESSION, delay_s=45.0)
+        )
+        sim, hosts, switch, bus, monitoring = make_rig(
+            host_count=1, link_faults=plan
+        )
+        round_ = monitoring.collect_round()
+        assert round_.collected_host_ids == (1,)
+        assert monitoring.slow_sessions_total == 1
+        assert monitoring.slow_session_s_total == 45.0
+
+    def test_no_plan_leaves_counters_at_zero(self):
+        ledger = TransferLedger()
+        sim, hosts, switch, bus, monitoring = make_rig(
+            transport=ledger, workload_ledger=WorkloadStub()
+        )
+        monitoring.collect_round()
+        assert monitoring.ssh_timeouts_total == 0
+        assert monitoring.partial_transfers_total == 0
+        assert monitoring.retries_total == 0
+        assert monitoring.false_alarms_suppressed == 0
+
+
+class TestMuteVersusErratic:
+    def test_mute_reading_publishes_subclass_event(self):
+        operator = []
+        sim, hosts, switch, bus, monitoring = make_rig(host_count=1)
+        monitoring.on_sensor_anomaly = lambda t, h: operator.append(h.host_id)
+        exact, base = [], []
+        bus.subscribe(SensorMuteObserved, exact.append)
+        bus.subscribe(SensorAnomalyObserved, base.append)
+        hosts[0].sensor.state = SensorState.UNDETECTED
+        round_ = monitoring.collect_round()
+        assert round_.sensor_anomaly_host_ids == (1,)
+        assert round_.sensor_mute_host_ids == (1,)
+        assert monitoring.sensor_mute_total == 1
+        assert monitoring.sensor_erratic_total == 0
+        assert operator == [1]
+        assert len(exact) == 1 and exact[0].reading_c is None
+        # Base-class subscribers still see the mute (MRO dispatch).
+        assert len(base) == 1
+
+    def test_erratic_reading_keeps_the_base_event(self):
+        sim, hosts, switch, bus, monitoring = make_rig(host_count=1)
+        exact_mute, base = [], []
+        bus.subscribe(SensorMuteObserved, exact_mute.append)
+        bus.subscribe(SensorAnomalyObserved, base.append)
+        hosts[0].sensor.state = SensorState.ERRATIC
+        round_ = monitoring.collect_round()
+        assert round_.sensor_anomaly_host_ids == (1,)
+        assert round_.sensor_mute_host_ids == ()
+        assert monitoring.sensor_erratic_total == 1
+        assert exact_mute == []
+        assert len(base) == 1
+        assert type(base[0]) is SensorAnomalyObserved
+        assert len(monitoring.mute_readings()) == 0
+        assert len(monitoring.erroneous_readings()) == 1
+
+
+UNTIL = dt.datetime(2010, 2, 24)
+
+
+def _census(results):
+    return [
+        (e.time, e.host_id, str(e.kind), e.detail)
+        for e in results.fault_log.events
+    ]
+
+
+def _sensor_records(results):
+    return [
+        (r.time, r.host_id, r.cpu_temp_c)
+        for r in results.monitoring.sensor_records
+    ]
+
+
+class TestCampaignDefaults:
+    def test_explicit_defaults_are_byte_identical(self, short_results):
+        # An empty plan plus the default policy must replay the
+        # fixture's run exactly: rounds, records, census, transfers.
+        explicit = (
+            CampaignBuilder(ExperimentConfig(seed=7))
+            .with_link_faults(LinkFaultPlan())
+            .with_health_policy(HealthPolicy())
+            .build()
+            .run(until=dt.datetime(2010, 3, 3))
+        )
+        assert explicit.monitoring.rounds == short_results.monitoring.rounds
+        assert _sensor_records(explicit) == _sensor_records(short_results)
+        assert _census(explicit) == _census(short_results)
+        assert [
+            (t.time, t.host_id, t.bytes_moved, t.complete)
+            for t in explicit.transfers.records
+        ] == [
+            (t.time, t.host_id, t.bytes_moved, t.complete)
+            for t in short_results.transfers.records
+        ]
+
+    def test_default_rounds_carry_empty_degraded_fields(self, short_results):
+        for round_ in short_results.monitoring.rounds:
+            assert round_.degraded_host_ids == ()
+            assert round_.retries == 0
+        assert short_results.monitoring.false_alarms_suppressed == 0
+
+
+class TestCampaignStorm:
+    def test_absorbed_storm_leaves_ground_truth_untouched(self):
+        base = CampaignBuilder(ExperimentConfig(seed=7)).build().run(until=UNTIL)
+        storm = (
+            CampaignBuilder(ExperimentConfig(seed=7))
+            .with_link_faults(
+                LinkFaultPlan(storm=LinkStorm(probability=0.25, seed=3))
+            )
+            .with_health_policy(HealthPolicy(retry=RetryPolicy(max_attempts=3)))
+            .build()
+            .run(until=UNTIL)
+        )
+        assert storm.monitoring.ssh_timeouts_total > 0
+        assert _census(storm) == _census(base)
+        assert _sensor_records(storm) == _sensor_records(base)
+        assert [
+            (t.time, t.host_id, t.bytes_moved) for t in storm.transfers.records
+        ] == [(t.time, t.host_id, t.bytes_moved) for t in base.transfers.records]
+
+    def test_confirmation_keeps_false_alarms_from_the_operator(self):
+        suspects, recovered = [], []
+        base = CampaignBuilder(ExperimentConfig(seed=7)).build().run(until=UNTIL)
+        degraded = (
+            CampaignBuilder(ExperimentConfig(seed=7))
+            .with_link_faults(
+                LinkFaultPlan(storm=LinkStorm(probability=0.15, seed=5))
+            )
+            .with_health_policy(HealthPolicy(confirm_rounds=2))
+            .with_subscriber(lambda bus: bus.subscribe(HostSuspect, suspects.append))
+            .with_subscriber(lambda bus: bus.subscribe(HostRecovered, recovered.append))
+            .build()
+            .run(until=UNTIL)
+        )
+        monitoring = degraded.monitoring
+        assert suspects, "the storm never produced a suspect"
+        assert recovered, "no suspect ever recovered"
+        assert monitoring.false_alarms_suppressed == len(recovered)
+        # The hardware census is observation-independent.
+        assert _census(degraded) == _census(base)
+        # No operator intervention ever reached a host that never failed:
+        # inspections only proceed for genuinely FAILED hosts.
+        failed_ids = {
+            e.host_id for e in degraded.fault_log.events if e.host_id is not None
+        }
+        assert set(degraded.policy.failure_counts) <= failed_ids
+        assert degraded.policy.replacements == base.policy.replacements

@@ -1,0 +1,119 @@
+"""Tests for the host-health state machine."""
+
+import pytest
+
+from repro.monitoring.health import (
+    HealthPolicy,
+    HealthTracker,
+    HostHealthState,
+)
+from repro.runner.policy import RetryPolicy
+
+
+class TestHealthPolicy:
+    def test_default_is_historical(self):
+        policy = HealthPolicy()
+        assert policy.confirm_rounds == 1
+        assert policy.retry.max_attempts == 1
+
+    def test_zero_confirm_rounds_rejected(self):
+        with pytest.raises(ValueError):
+            HealthPolicy(confirm_rounds=0)
+
+    def test_carries_retry_policy(self):
+        policy = HealthPolicy(retry=RetryPolicy(max_attempts=3))
+        assert policy.retry.retries == 2
+
+
+class TestDefaultConfirmation:
+    def test_first_failure_confirms_immediately(self):
+        tracker = HealthTracker(HealthPolicy())
+        obs = tracker.observe_failure(1, HostHealthState.DOWN)
+        assert obs.confirmed
+        assert obs.state is HostHealthState.DOWN
+        assert tracker.state_of(1) is HostHealthState.DOWN
+
+    def test_no_suspect_state_ever_exists(self):
+        tracker = HealthTracker(HealthPolicy())
+        tracker.observe_failure(1, HostHealthState.UNREACHABLE)
+        assert tracker.suspects() == {}
+
+    def test_recovery_from_confirmed_is_silent(self):
+        tracker = HealthTracker(HealthPolicy())
+        tracker.observe_failure(1, HostHealthState.DOWN)
+        assert tracker.observe_ok(1) == 0
+        assert tracker.false_alarms_suppressed == 0
+        assert tracker.state_of(1) is HostHealthState.UP
+
+
+class TestConfirmationRounds:
+    def test_single_failure_is_only_suspect(self):
+        tracker = HealthTracker(HealthPolicy(confirm_rounds=2))
+        obs = tracker.observe_failure(1, HostHealthState.DOWN)
+        assert not obs.confirmed
+        assert obs.state is HostHealthState.SUSPECT
+        assert obs.streak == 1
+        assert tracker.suspects() == {1: 1}
+
+    def test_streak_reaching_policy_confirms(self):
+        tracker = HealthTracker(HealthPolicy(confirm_rounds=3))
+        assert not tracker.observe_failure(1, HostHealthState.DOWN).confirmed
+        assert not tracker.observe_failure(1, HostHealthState.DOWN).confirmed
+        obs = tracker.observe_failure(1, HostHealthState.DOWN)
+        assert obs.confirmed
+        assert obs.streak == 3
+
+    def test_streak_spans_failure_kinds(self):
+        # A host behind a dead switch that also stops answering is one
+        # continuing outage; the current round's kind is reported.
+        tracker = HealthTracker(HealthPolicy(confirm_rounds=2))
+        tracker.observe_failure(1, HostHealthState.UNREACHABLE)
+        obs = tracker.observe_failure(1, HostHealthState.DOWN)
+        assert obs.confirmed
+        assert obs.state is HostHealthState.DOWN
+
+    def test_recovery_suppresses_false_alarm(self):
+        tracker = HealthTracker(HealthPolicy(confirm_rounds=3))
+        tracker.observe_failure(1, HostHealthState.DOWN)
+        tracker.observe_failure(1, HostHealthState.DOWN)
+        assert tracker.observe_ok(1) == 2
+        assert tracker.false_alarms_suppressed == 1
+        assert tracker.state_of(1) is HostHealthState.UP
+
+    def test_recovery_resets_streak(self):
+        tracker = HealthTracker(HealthPolicy(confirm_rounds=2))
+        tracker.observe_failure(1, HostHealthState.DOWN)
+        tracker.observe_ok(1)
+        obs = tracker.observe_failure(1, HostHealthState.DOWN)
+        assert not obs.confirmed
+        assert obs.streak == 1
+
+    def test_non_failure_kind_rejected(self):
+        tracker = HealthTracker(HealthPolicy())
+        with pytest.raises(ValueError):
+            tracker.observe_failure(1, HostHealthState.SUSPECT)
+
+
+class TestTrackerBookkeeping:
+    def test_unknown_host_is_up(self):
+        tracker = HealthTracker(HealthPolicy())
+        assert tracker.state_of(42) is HostHealthState.UP
+
+    def test_ok_on_unknown_host_is_noop(self):
+        tracker = HealthTracker(HealthPolicy(confirm_rounds=2))
+        assert tracker.observe_ok(42) == 0
+        assert tracker.false_alarms_suppressed == 0
+
+    def test_forget_drops_standing(self):
+        tracker = HealthTracker(HealthPolicy(confirm_rounds=2))
+        tracker.observe_failure(1, HostHealthState.DOWN)
+        tracker.forget(1)
+        assert tracker.state_of(1) is HostHealthState.UP
+        assert tracker.suspects() == {}
+
+    def test_hosts_are_independent(self):
+        tracker = HealthTracker(HealthPolicy(confirm_rounds=2))
+        tracker.observe_failure(1, HostHealthState.DOWN)
+        obs = tracker.observe_failure(2, HostHealthState.DOWN)
+        assert obs.streak == 1
+        assert tracker.suspects() == {1: 1, 2: 1}

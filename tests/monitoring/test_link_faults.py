@@ -1,0 +1,230 @@
+"""Tests for the link-fault plan and partial-transfer accounting."""
+
+import pytest
+
+from repro.monitoring.transport import (
+    MD5_LINE_BYTES,
+    SENSOR_SAMPLE_BYTES,
+    SSH_SESSION_OVERHEAD_BYTES,
+    LinkFault,
+    LinkFaultAction,
+    LinkFaultPlan,
+    LinkStorm,
+    RsyncChannel,
+    TransferLedger,
+)
+
+
+class TestLinkFaultValidation:
+    def test_negative_round_rejected(self):
+        with pytest.raises(ValueError):
+            LinkFault(1, -1, LinkFaultAction.SSH_TIMEOUT)
+
+    def test_zero_attempts_rejected(self):
+        with pytest.raises(ValueError):
+            LinkFault(1, 0, LinkFaultAction.SSH_TIMEOUT, attempts=0)
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            LinkFault(1, 0, LinkFaultAction.PARTIAL_TRANSFER, fraction=1.5)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            LinkFault(1, 0, LinkFaultAction.SLOW_SESSION, delay_s=-1.0)
+
+    def test_storm_probability_bounds(self):
+        with pytest.raises(ValueError):
+            LinkStorm(probability=1.5)
+
+    def test_storm_window_order(self):
+        with pytest.raises(ValueError):
+            LinkStorm(probability=0.5, first_round=10, last_round=5)
+
+
+class TestLinkFaultPlan:
+    def test_empty_plan_is_falsy(self):
+        assert not LinkFaultPlan()
+        assert LinkFaultPlan.of(LinkFault(1, 0, LinkFaultAction.SSH_TIMEOUT))
+        assert LinkFaultPlan(storm=LinkStorm(probability=0.1))
+
+    def test_lookup_matches_host_round_attempt(self):
+        fault = LinkFault(5, 3, LinkFaultAction.SSH_TIMEOUT, attempts=2)
+        plan = LinkFaultPlan.of(fault)
+        assert plan.lookup(5, 3, 1) is fault
+        assert plan.lookup(5, 3, 2) is fault
+        assert plan.lookup(5, 3, 3) is None  # retries past the window win
+        assert plan.lookup(5, 4, 1) is None
+        assert plan.lookup(6, 3, 1) is None
+
+    def test_explicit_fault_wins_over_storm(self):
+        explicit = LinkFault(1, 0, LinkFaultAction.PARTIAL_TRANSFER)
+        plan = LinkFaultPlan(
+            faults=(explicit,),
+            storm=LinkStorm(probability=1.0, action=LinkFaultAction.SSH_TIMEOUT),
+        )
+        assert plan.lookup(1, 0, 1) is explicit
+        storm_fault = plan.lookup(2, 0, 1)
+        assert storm_fault is not None
+        assert storm_fault.action is LinkFaultAction.SSH_TIMEOUT
+
+
+class TestLinkStorm:
+    def test_deterministic_replay(self):
+        a = LinkStorm(probability=0.3, seed=9)
+        b = LinkStorm(probability=0.3, seed=9)
+        hits_a = [(h, r) for h in range(8) for r in range(50) if a.fault_for(h, r)]
+        hits_b = [(h, r) for h in range(8) for r in range(50) if b.fault_for(h, r)]
+        assert hits_a == hits_b
+        assert hits_a  # a 30 % storm over 400 coins strikes
+
+    def test_coins_are_independent_per_host(self):
+        # One host's draw never shifts another's: querying host 1 in any
+        # order leaves host 2's outcomes untouched.
+        storm = LinkStorm(probability=0.5, seed=1)
+        before = [bool(storm.fault_for(2, r)) for r in range(40)]
+        for r in range(40):
+            storm.fault_for(1, r)
+        after = [bool(storm.fault_for(2, r)) for r in range(40)]
+        assert before == after
+
+    def test_window_and_host_filter(self):
+        storm = LinkStorm(
+            probability=1.0, first_round=5, last_round=6, host_ids=(3,)
+        )
+        assert storm.fault_for(3, 4) is None
+        assert storm.fault_for(3, 5) is not None
+        assert storm.fault_for(3, 6) is not None
+        assert storm.fault_for(3, 7) is None
+        assert storm.fault_for(4, 5) is None
+
+    def test_storm_fault_carries_parameters(self):
+        storm = LinkStorm(
+            probability=1.0,
+            action=LinkFaultAction.PARTIAL_TRANSFER,
+            fraction=0.25,
+            attempts=2,
+        )
+        fault = storm.fault_for(1, 0)
+        assert fault.action is LinkFaultAction.PARTIAL_TRANSFER
+        assert fault.fraction == 0.25
+        assert fault.attempts == 2
+
+
+class TestParse:
+    def test_parse_storm(self):
+        plan = LinkFaultPlan.parse("storm:0.25:seed=3:attempts=2:from=1:to=9")
+        assert plan.storm.probability == 0.25
+        assert plan.storm.seed == 3
+        assert plan.storm.attempts == 2
+        assert plan.storm.first_round == 1
+        assert plan.storm.last_round == 9
+        assert plan.faults == ()
+
+    def test_parse_explicit_faults(self):
+        plan = LinkFaultPlan.parse("5:12:partial:fraction=0.3,7:2:slow:delay=30")
+        assert len(plan.faults) == 2
+        first, second = plan.faults
+        assert (first.host_id, first.round_index) == (5, 12)
+        assert first.action is LinkFaultAction.PARTIAL_TRANSFER
+        assert first.fraction == 0.3
+        assert second.action is LinkFaultAction.SLOW_SESSION
+        assert second.delay_s == 30.0
+
+    def test_parse_mixed_clauses(self):
+        plan = LinkFaultPlan.parse("storm:0.1,1:0:ssh-timeout")
+        assert plan.storm is not None
+        assert len(plan.faults) == 1
+
+    def test_parse_rejects_bad_action(self):
+        with pytest.raises(ValueError):
+            LinkFaultPlan.parse("1:0:teleport")
+
+    def test_parse_rejects_unknown_key(self):
+        with pytest.raises(ValueError):
+            LinkFaultPlan.parse("1:0:partial:seed=3")  # seed is storm-only
+
+    def test_parse_rejects_second_storm(self):
+        with pytest.raises(ValueError):
+            LinkFaultPlan.parse("storm:0.1,storm:0.2")
+
+    def test_parse_rejects_short_clause(self):
+        with pytest.raises(ValueError):
+            LinkFaultPlan.parse("5:12")
+
+
+class TestPartialTransfer:
+    def test_cap_moves_whole_record_prefix(self):
+        chan = RsyncChannel(host_id=1)
+        # 4 md5 lines + 3 samples pending; the cap fits 3 whole lines
+        # (md5 first) with 74 bytes left over -- too small for a sample,
+        # and partial records never move.
+        cap = 2 * MD5_LINE_BYTES + 1 * SENSOR_SAMPLE_BYTES + 10
+        record = chan.sync(0.0, 4, 3, max_payload_bytes=cap)
+        assert record.new_md5_lines == 3
+        assert record.new_sensor_samples == 0
+        assert not record.complete
+
+    def test_md5_lines_transfer_first(self):
+        chan = RsyncChannel(host_id=1)
+        record = chan.sync(0.0, 3, 5, max_payload_bytes=3 * MD5_LINE_BYTES)
+        assert record.new_md5_lines == 3
+        assert record.new_sensor_samples == 0
+
+    def test_backlog_carries_to_next_session(self):
+        chan = RsyncChannel(host_id=1)
+        chan.sync(0.0, 4, 3, max_payload_bytes=MD5_LINE_BYTES)
+        record = chan.sync(1200.0, 4, 3)
+        assert record.new_md5_lines == 3
+        assert record.new_sensor_samples == 3
+        assert record.complete
+
+    def test_conservation_with_interruptions(self):
+        # However the sessions are chopped, payload bytes are conserved:
+        # the difference from an uninterrupted twin is session overheads.
+        faulty = RsyncChannel(host_id=1)
+        clean = RsyncChannel(host_id=1)
+        faulty.sync(0.0, 10, 6, max_payload_bytes=2 * MD5_LINE_BYTES)
+        faulty.sync(1200.0, 12, 7, max_payload_bytes=0)
+        faulty.sync(2400.0, 14, 8)
+        clean.sync(2400.0, 14, 8)
+        extra_sessions = faulty.sessions - clean.sessions
+        assert faulty.total_bytes == (
+            clean.total_bytes + extra_sessions * SSH_SESSION_OVERHEAD_BYTES
+        )
+
+    def test_zero_cap_moves_only_overhead(self):
+        chan = RsyncChannel(host_id=1)
+        record = chan.sync(0.0, 5, 5, max_payload_bytes=0)
+        assert record.bytes_moved == SSH_SESSION_OVERHEAD_BYTES
+        assert not record.complete
+
+    def test_negative_cap_rejected(self):
+        chan = RsyncChannel(host_id=1)
+        with pytest.raises(ValueError):
+            chan.sync(0.0, 1, 1, max_payload_bytes=-1)
+
+    def test_ledger_counts_partial_sessions(self):
+        ledger = TransferLedger()
+        ledger.record_sync(0.0, 1, 5, 5, max_payload_bytes=0)
+        ledger.record_sync(0.0, 2, 5, 5)
+        assert ledger.partial_sessions == 1
+
+    def test_full_cap_is_complete(self):
+        chan = RsyncChannel(host_id=1)
+        cap = 5 * MD5_LINE_BYTES + 5 * SENSOR_SAMPLE_BYTES
+        record = chan.sync(0.0, 5, 5, max_payload_bytes=cap)
+        assert record.complete
+
+
+class TestLedgerRunningTotals:
+    def test_totals_match_recomputation(self):
+        ledger = TransferLedger()
+        ledger.record_sync(0.0, 1, 5, 2)
+        ledger.record_sync(0.0, 2, 3, 2)
+        ledger.record_sync(1200.0, 1, 9, 4, max_payload_bytes=2 * MD5_LINE_BYTES)
+        ledger.record_sync(2400.0, 1, 9, 4)
+        assert ledger.total_bytes == sum(r.bytes_moved for r in ledger.records)
+        for host_id in (1, 2, 99):
+            assert ledger.bytes_for_host(host_id) == sum(
+                r.bytes_moved for r in ledger.records if r.host_id == host_id
+            )
