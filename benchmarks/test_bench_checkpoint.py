@@ -1,0 +1,128 @@
+"""P1 -- checkpoint cost: flush and restore overhead vs horizon length.
+
+The resumable-sweep contract only pays off if a checkpoint flush is
+cheap next to the simulation it protects.  This benchmark advances one
+campaign through three horizons, measures the wall cost of simulating
+each segment, of one checkpoint flush (snapshot + atomic write), and of
+one restore at each horizon, then asserts the flush stays under 5 % of
+the stepping time between flushes at the default 14-day resumable-sweep
+cadence.  The figures land in ``BENCH_checkpoint.json`` at the repo
+root.
+
+Also runnable standalone, without pytest:
+``PYTHONPATH=src python benchmarks/test_bench_checkpoint.py``.
+"""
+
+import datetime as dt
+import json
+import os
+import tempfile
+import time
+
+from repro.core.builder import Campaign, CampaignBuilder
+from repro.core.config import ExperimentConfig
+from repro.sim.clock import DAY
+from repro.state.checkpoint import read_checkpoint, write_checkpoint
+
+SEED = 7
+#: The default resumable-sweep cadence (``DEFAULT_CHECKPOINT_EVERY_S``).
+CADENCE_DAYS = 14
+#: Campaign-days past the prototype weekend at which cost is sampled.
+HORIZON_DAYS = (7, 21, 35)
+BUDGET_PCT = 5.0
+OUTPUT = os.path.join(os.path.dirname(__file__), "..", "BENCH_checkpoint.json")
+
+
+def _timed(fn, rounds=3):
+    """Best-of-``rounds`` wall time for ``fn`` (min damps scheduler noise)."""
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def profile_checkpoint_cost():
+    """Advance one campaign through the horizons, costing each layer."""
+    config = ExperimentConfig(seed=SEED)
+    campaign = CampaignBuilder(config).build()
+    tmpdir = tempfile.mkdtemp(prefix="bench-ck-")
+    points = []
+    for index, days in enumerate(HORIZON_DAYS):
+        until = config.prototype_end + dt.timedelta(days=days)
+        sim_before = campaign.sim.now
+        wall_start = time.perf_counter()
+        if index == 0:
+            campaign.run(until=until)
+        else:
+            campaign.continue_run(until=until)
+        segment_wall_s = time.perf_counter() - wall_start
+        segment_sim_days = (campaign.sim.now - sim_before) / DAY
+        wall_per_sim_day = segment_wall_s / segment_sim_days
+
+        path = os.path.join(tmpdir, f"checkpoint_{days:03d}d.json")
+
+        def flush():
+            write_checkpoint(path, campaign.checkpoint())
+
+        flush_s = _timed(flush)
+        restore_s = _timed(lambda: Campaign.restore(read_checkpoint(path)))
+        points.append(
+            {
+                "horizon_days": days,
+                "segment_sim_days": round(segment_sim_days, 3),
+                "segment_wall_s": round(segment_wall_s, 4),
+                "wall_s_per_sim_day": round(wall_per_sim_day, 5),
+                "flush_s": round(flush_s, 5),
+                "restore_s": round(restore_s, 5),
+                "checkpoint_bytes": os.path.getsize(path),
+                # One flush per cadence interval, against the stepping
+                # cost of that same interval.
+                "overhead_pct_at_cadence": round(
+                    100.0 * flush_s / (wall_per_sim_day * CADENCE_DAYS), 3
+                ),
+            }
+        )
+    return {
+        "seed": SEED,
+        "cadence_days": CADENCE_DAYS,
+        "budget_pct": BUDGET_PCT,
+        "points": points,
+        "worst_overhead_pct": max(p["overhead_pct_at_cadence"] for p in points),
+    }
+
+
+def _emit(report):
+    with open(OUTPUT, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def test_bench_checkpoint_overhead(benchmark):
+    from conftest import record
+
+    report = benchmark.pedantic(profile_checkpoint_cost, rounds=1, iterations=1)
+    _emit(report)
+    worst = report["points"][-1]
+    record(
+        benchmark,
+        checkpoint_bytes=worst["checkpoint_bytes"],
+        flush_s=worst["flush_s"],
+        restore_s=worst["restore_s"],
+        worst_overhead_pct=report["worst_overhead_pct"],
+        budget_pct=BUDGET_PCT,
+    )
+    assert report["worst_overhead_pct"] < BUDGET_PCT
+
+
+if __name__ == "__main__":
+    result = profile_checkpoint_cost()
+    _emit(result)
+    print(json.dumps(result, indent=2, sort_keys=True))
+    assert result["worst_overhead_pct"] < BUDGET_PCT, (
+        f"checkpoint overhead {result['worst_overhead_pct']:.2f}% "
+        f"exceeds the {BUDGET_PCT}% budget"
+    )
+    print(f"OK: worst overhead {result['worst_overhead_pct']:.2f}% "
+          f"< {BUDGET_PCT}% budget; wrote {os.path.abspath(OUTPUT)}")

@@ -4,7 +4,11 @@ Commands
 --------
 ``run``
     Run the experiment (optionally truncated) and print the summary or
-    the full paper-style report.
+    the full paper-style report.  ``--checkpoint-every D
+    --checkpoint-dir DIR`` flushes a crash-safe campaign checkpoint
+    every D simulated days; ``--resume FILE`` restores one and continues
+    it -- the finished results are byte-identical to an uninterrupted
+    run.
 ``figures``
     Run the campaign and render Figs. 3 and 4 as terminal charts, plus
     the Fig. 2 install timeline as text.
@@ -31,6 +35,9 @@ Commands
     each attempt's wall clock (needs ``--jobs >= 2``), and
     ``--keep-going`` finishes the surviving seeds when one exhausts its
     retries, printing a failure table instead of aborting.
+    ``--resumable`` checkpoints every attempt under the cache directory
+    so a retried (crashed/preempted) seed resumes from its last flush
+    instead of simulated t=0.
 ``telemetry``
     Run the campaign with the telemetry plane on and print the hot-label
     / slowest-span report (where simulated events and wall time go).
@@ -177,6 +184,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--monitor-retries", type=_parse_retries, default=0, metavar="N",
         help="extra SSH attempts per host within a round (default: 0)",
     )
+    run.add_argument(
+        "--checkpoint-every", type=_parse_timeout, default=None, metavar="DAYS",
+        help="flush a resumable campaign checkpoint every DAYS simulated days",
+    )
+    run.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="directory for checkpoint files (needs --checkpoint-every)",
+    )
+    run.add_argument(
+        "--resume", default=None, metavar="FILE",
+        help="restore a checkpoint file and continue it to the horizon; "
+        "the campaign's config and degraded-mode options ride in the file, "
+        "so builder flags like --seed and --link-faults are ignored",
+    )
 
     figures = sub.add_parser("figures", help="render Figs. 1-4 in the terminal")
     figures.add_argument("--seed", type=int, default=7)
@@ -248,6 +269,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="when a seed exhausts its retries, finish the surviving seeds "
         "and report the failure instead of aborting (exit code 1)",
     )
+    sweep.add_argument(
+        "--resumable", action="store_true",
+        help="flush campaign checkpoints under the cache directory so a "
+        "retried attempt resumes from the dead attempt's last flush "
+        "instead of simulated t=0 (needs the cache; pair with --retries)",
+    )
+    sweep.add_argument(
+        "--checkpoint-every", type=_parse_timeout, default=None, metavar="DAYS",
+        help="checkpoint cadence for --resumable in simulated days "
+        "(default: 14)",
+    )
 
     telemetry = sub.add_parser(
         "telemetry", help="run with telemetry on and print the hot-label report"
@@ -274,9 +306,47 @@ def _scenario_names() -> List[str]:
     return list(SCENARIOS)
 
 
+def _checkpoint_kwargs(args: argparse.Namespace) -> dict:
+    from repro.sim.clock import DAY
+
+    if args.checkpoint_every is None:
+        if args.checkpoint_dir:
+            raise SystemExit("error: --checkpoint-dir needs --checkpoint-every")
+        return {}
+    return {
+        "checkpoint_every": args.checkpoint_every * DAY,
+        "checkpoint_dir": args.checkpoint_dir,
+    }
+
+
+def _cmd_run_resume(args: argparse.Namespace) -> int:
+    from repro.core.builder import Campaign
+    from repro.state.protocol import StateError
+
+    try:
+        campaign, results = Campaign.resume(
+            args.resume, until=args.until, **_checkpoint_kwargs(args)
+        )
+    except StateError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.report:
+        from repro.core.reporting import full_report
+
+        print(full_report(results))
+    else:
+        print(results.summary())
+    print(f"resumed from {args.resume}")
+    for path in campaign.checkpoints_written:
+        print(f"checkpoint -> {path}")
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.core.builder import CampaignBuilder
 
+    if args.resume:
+        return _cmd_run_resume(args)
     builder = CampaignBuilder(ExperimentConfig(seed=args.seed))
     degraded = args.link_faults is not None or args.confirm_rounds > 1 or args.monitor_retries
     if args.link_faults is not None:
@@ -303,8 +373,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         run_log = JsonlRunLog.open(args.run_log)
         builder.with_subscriber(run_log.subscribe)
+    campaign = builder.build()
     try:
-        results = builder.build().run(until=args.until)
+        results = campaign.run(until=args.until, **_checkpoint_kwargs(args))
     finally:
         if run_log is not None:
             run_log.close()
@@ -332,6 +403,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"telemetry -> {args.telemetry_out}")
     if run_log is not None:
         print(f"run log   -> {args.run_log} ({run_log.lines_written} events)")
+    for path in campaign.checkpoints_written:
+        print(f"checkpoint -> {path}")
     return 0
 
 
@@ -425,9 +498,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     cache_dir = None
     if not args.no_cache:
         cache_dir = args.cache_dir if args.cache_dir else _default_cache_dir()
+    if args.resumable and cache_dir is None:
+        print("error: --resumable needs the cache; drop --no-cache", file=sys.stderr)
+        return 2
     policy = None
     if args.retries or args.timeout is not None:
         policy = RetryPolicy(max_attempts=args.retries + 1, timeout_s=args.timeout)
+    checkpoint_every_s = None
+    if args.checkpoint_every is not None:
+        from repro.sim.clock import DAY
+
+        checkpoint_every_s = args.checkpoint_every * DAY
     factory = SCENARIOS[args.scenario]
     result = sweep_records(
         args.seeds,
@@ -438,6 +519,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         telemetry=args.telemetry,
         policy=policy,
         strict=not args.keep_going,
+        resumable=args.resumable,
+        checkpoint_every_s=checkpoint_every_s,
     )
     if result.records:
         print(result.summary.describe())
@@ -446,6 +529,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     fault_note = ""
     if result.retries or result.timeouts:
         fault_note = f", {result.retries} retried, {result.timeouts} timed out"
+    if result.checkpoint_resumes:
+        fault_note += f", {result.checkpoint_resumes} resumed from checkpoint"
     print(
         f"{len(result.records)} record(s), {result.cache_hits} from cache, "
         f"{result.cache_misses} computed in {result.elapsed_s:.1f} s "

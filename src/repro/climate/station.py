@@ -10,14 +10,18 @@ layer can consume.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
 from repro.climate.generator import WeatherGenerator
 from repro.sim.clock import MINUTE
-from repro.sim.engine import EventHandle, Simulator
+from repro.sim.engine import PeriodicTask, Simulator
 from repro.sim.rng import RngStreams
+from repro.state.codec import pack_floats, unpack_floats
+from repro.state.protocol import check_version
+
+_STATE_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -65,7 +69,9 @@ class WeatherStation:
         streams = streams if streams is not None else RngStreams(0)
         self._rng = streams.stream("station.noise")
         self.readings: List[StationReading] = []
-        self._handle: Optional[EventHandle] = None
+        self._handle: Optional[PeriodicTask] = None
+        self._sim: Optional[Simulator] = None
+        self._restore_task_id: Optional[int] = None
 
     def __repr__(self) -> str:
         return f"WeatherStation(period={self.period_s:.0f}s, readings={len(self.readings)})"
@@ -90,8 +96,9 @@ class WeatherStation:
         if self._handle is not None:
             raise RuntimeError("station already attached to a simulator")
         first = sim.now if start is None else start
-        self._handle = sim.every(
-            self.period_s, lambda: self.observe(sim.now), start=first, label="weather-station"
+        self.register_keys(sim)
+        self._handle = sim.every_key(
+            self.period_s, "station.observe", start=first, label="weather-station"
         )
 
     def detach(self) -> None:
@@ -99,6 +106,51 @@ class WeatherStation:
         if self._handle is not None:
             self._handle.cancel()
             self._handle = None
+
+    # ------------------------------------------------------------------
+    # Snapshot protocol
+    # ------------------------------------------------------------------
+    def register_keys(self, sim: Simulator) -> None:
+        """Bind this station's engine registry key on ``sim``."""
+        self._sim = sim
+        sim.register("station.observe", self._observe_now)
+
+    def _observe_now(self) -> None:
+        self.observe(self._sim.now)
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "version": _STATE_VERSION,
+            "task_id": self._handle.task_id if self._handle is not None else None,
+            "readings": {
+                "time": pack_floats([r.time for r in self.readings]),
+                "temp_c": pack_floats([r.temp_c for r in self.readings]),
+                "rh_percent": pack_floats([r.rh_percent for r in self.readings]),
+                "wind_ms": pack_floats([r.wind_ms for r in self.readings]),
+                "solar_wm2": pack_floats([r.solar_wm2 for r in self.readings]),
+            },
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        check_version("station", state, _STATE_VERSION)
+        readings = state["readings"]
+        self.readings = [
+            StationReading(time=t, temp_c=c, rh_percent=rh, wind_ms=w, solar_wm2=s)
+            for t, c, rh, w, s in zip(
+                unpack_floats(readings["time"]),
+                unpack_floats(readings["temp_c"]),
+                unpack_floats(readings["rh_percent"]),
+                unpack_floats(readings["wind_ms"]),
+                unpack_floats(readings["solar_wm2"]),
+            )
+        ]
+        self._restore_task_id = state["task_id"]
+
+    def rebind(self, sim: Simulator) -> None:
+        """Re-link the periodic task after the engine's state is loaded."""
+        if self._restore_task_id is not None:
+            self._handle = sim.periodic_task(int(self._restore_task_id))
+            self._restore_task_id = None
 
     # ------------------------------------------------------------------
     # Analysis accessors

@@ -23,7 +23,8 @@ renumbering anything that remains on the same tick.
 from __future__ import annotations
 
 import datetime as _dt
-from typing import Callable, Dict, List, Optional, Tuple
+import os
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.climate.generator import WeatherGenerator
 from repro.climate.station import WeatherStation
@@ -44,7 +45,11 @@ from repro.sim.clock import DAY, MINUTE, SimClock
 from repro.sim.engine import Simulator
 from repro.sim.events import EventBus, EventRecorder, SnapshotTaken
 from repro.sim.rng import RngStreams
+from repro.state.checkpoint import CampaignCheckpoint, read_checkpoint, write_checkpoint
+from repro.state.codec import decode_value, encode_value
+from repro.state.protocol import StateError
 from repro.thermal.enclosure import PlasticBoxShelter
+from repro.thermal.tent import Modification
 
 #: Instruments a default build schedules, in their historical order.
 DEFAULT_INSTRUMENTS: Tuple[str, ...] = (
@@ -119,6 +124,8 @@ class Campaign:
             health=health_policy,
         )
         self.policy.bind_monitoring(self.monitoring)
+        self._link_faults = link_faults
+        self._health_policy = health_policy
 
         self.lascar = LascarDataLogger(
             self.fleet.tent,
@@ -139,6 +146,23 @@ class Campaign:
         self._snapshot = None
         self._ran = False
 
+        # Prototype-phase scratch state (attribute-held so the prototype
+        # tick can run through the engine registry instead of a closure).
+        self._proto_host: Optional[Host] = None
+        self._proto_shelter: Optional[PlasticBoxShelter] = None
+        self._proto_cpu_temps: List[float] = []
+        self._proto_start: Optional[float] = None
+
+        # Checkpoint plumbing (configured per run()/resume() call).
+        self._end: Optional[float] = None
+        self._checkpoint_every: Optional[float] = None
+        self._checkpoint_dir: Optional[str] = None
+        self._on_checkpoint: Optional[Callable[[Optional[str], CampaignCheckpoint], None]] = None
+        #: Paths of checkpoints flushed by the current run, oldest first.
+        self.checkpoints_written: List[str] = []
+
+        self._register_campaign_keys()
+
     def __repr__(self) -> str:
         state = "finished" if self._ran else "ready"
         return f"Campaign(seed={self.config.seed}, {state})"
@@ -150,11 +174,26 @@ class Campaign:
     # ------------------------------------------------------------------
     # Public driver
     # ------------------------------------------------------------------
-    def run(self, until: Optional[_dt.datetime] = None) -> ExperimentResults:
+    def run(
+        self,
+        until: Optional[_dt.datetime] = None,
+        checkpoint_every: Optional[float] = None,
+        checkpoint_dir: Optional[str] = None,
+        on_checkpoint: Optional[
+            Callable[[Optional[str], CampaignCheckpoint], None]
+        ] = None,
+    ) -> ExperimentResults:
         """Run prototype + campaign and return the results.
 
         ``until`` truncates the campaign (tests use short horizons); the
-        default runs to ``config.end_date``.
+        default runs to ``config.end_date``.  With ``checkpoint_every``
+        (simulated seconds) set, the campaign pauses at each cadence
+        point past the prototype weekend and flushes a
+        :class:`~repro.state.checkpoint.CampaignCheckpoint` -- to
+        ``checkpoint_dir`` (crash-safe atomic writes) and/or the
+        ``on_checkpoint(path, checkpoint)`` callback.  Checkpointing
+        never perturbs the simulation: a checkpointed run's results are
+        byte-identical to an uninterrupted one.
         """
         if self._ran:
             raise RuntimeError("a Campaign instance runs exactly once")
@@ -164,6 +203,7 @@ class Campaign:
         proto_end = self.clock.to_seconds(self.config.prototype_end)
         if end < proto_end:
             raise ValueError("campaign end precedes the prototype weekend")
+        self._configure_checkpoints(checkpoint_every, checkpoint_dir, on_checkpoint)
 
         if self.telemetry is None:
             return self._drive(end)
@@ -172,15 +212,64 @@ class Campaign:
         self._record_run_metrics()
         return results
 
+    def _configure_checkpoints(
+        self,
+        checkpoint_every: Optional[float],
+        checkpoint_dir: Optional[str],
+        on_checkpoint: Optional[Callable[[Optional[str], CampaignCheckpoint], None]],
+    ) -> None:
+        if checkpoint_every is not None and checkpoint_every <= 0:
+            raise ValueError("checkpoint_every must be positive")
+        if checkpoint_every is None and (checkpoint_dir or on_checkpoint):
+            raise ValueError("checkpoint_dir/on_checkpoint need checkpoint_every")
+        self._checkpoint_every = checkpoint_every
+        self._checkpoint_dir = checkpoint_dir
+        self._on_checkpoint = on_checkpoint
+
     def _drive(self, end: float) -> ExperimentResults:
+        self._end = end
         self.station.attach(
             self.sim, start=self.clock.to_seconds(self.config.prototype_start)
         )
         if self.enabled("prototype"):
             self.prototype_result = self._run_prototype()
         self._schedule_campaign(end)
-        self.sim.run_until(end)
+        self._run_to(end)
         return self._build_results(end)
+
+    def _run_to(self, end: float) -> None:
+        """Advance to ``end``, pausing at checkpoint cadence points.
+
+        ``run_until`` fires every event with ``time <= t`` and then sets
+        the clock to ``t``, so splitting the horizon into segments fires
+        the exact same event sequence as one call -- the pause is
+        invisible to the simulation.
+        """
+        every = self._checkpoint_every
+        if every is None:
+            self.sim.run_until(end)
+            return
+        next_cut = self.sim.now + every
+        while next_cut < end:
+            self.sim.run_until(next_cut)
+            self._emit_checkpoint()
+            next_cut += every
+        self.sim.run_until(end)
+
+    def _emit_checkpoint(self) -> None:
+        snapshot = self.checkpoint()
+        path: Optional[str] = None
+        if self._checkpoint_dir is not None:
+            os.makedirs(self._checkpoint_dir, exist_ok=True)
+            path = os.path.join(
+                self._checkpoint_dir, f"checkpoint_{int(self.sim.now):012d}.json"
+            )
+            if write_checkpoint(path, snapshot):
+                self.checkpoints_written.append(path)
+            else:
+                path = None
+        if self._on_checkpoint is not None:
+            self._on_checkpoint(path, snapshot)
 
     def _record_run_metrics(self) -> None:
         """End-of-run engine/bus state, frozen into the metrics registry."""
@@ -188,6 +277,7 @@ class Campaign:
         metrics.gauge("engine.events_fired").set(float(self.sim.events_fired))
         metrics.gauge("engine.events_cancelled").set(float(self.sim.events_cancelled))
         metrics.gauge("engine.pending_at_end").set(float(self.sim.pending_count))
+        metrics.gauge("engine.heap_compactions").set(float(self.sim.heap_compactions))
         metrics.gauge("engine.sim_end_s").set(float(self.sim.now))
         for name, count in sorted(self.bus.counts.items()):
             metrics.counter(f"bus.events.{name}").inc(count)
@@ -198,8 +288,8 @@ class Campaign:
     def _run_prototype(self) -> PrototypeResult:
         start = self.clock.to_seconds(self.config.prototype_start)
         end = self.clock.to_seconds(self.config.prototype_end)
-        shelter = PlasticBoxShelter("plastic-boxes", self.weather)
-        proto_host = Host(
+        self._proto_shelter = PlasticBoxShelter("plastic-boxes", self.weather)
+        self._proto_host = Host(
             host_id=0,
             spec=VENDOR_A,
             streams=self.streams,
@@ -207,25 +297,14 @@ class Campaign:
             memory_fault_ratio=self.config.memory_model.page_fault_ratio,
             bus=self.bus,
         )
-        cpu_temps: List[float] = []
+        self._proto_cpu_temps = []
+        self._proto_start = start
         dt = self.config.tick_interval_s
 
-        def tick() -> None:
-            now = self.sim.now
-            if now == start:
-                proto_host.install(shelter, now)
-            shelter.set_it_load(proto_host.average_power_w)
-            shelter.advance(now)
-            if proto_host.running:
-                proto_host.tick(dt, now, self.fault_log)
-                # The tick itself can fail the host; only a survivor
-                # contributes a CPU sample.
-                if proto_host.running:
-                    cpu_temps.append(proto_host.cpu_temp_c())
-
-        handle = self.sim.every(dt, tick, start=start, label="prototype-tick")
+        task = self.sim.every_key(dt, "prototype.tick", start=start, label="prototype-tick")
         self.sim.run_until(end)
-        handle.cancel()
+        task.cancel()
+        proto_host = self._proto_host
         survived = proto_host.running
         if proto_host.running:
             proto_host.retire(end)  # the borrowed boxes had to be returned
@@ -237,9 +316,23 @@ class Campaign:
             end=end,
             outside_min_c=min(temps) if temps else float("nan"),
             outside_mean_c=sum(temps) / len(temps) if temps else float("nan"),
-            cpu_min_c=min(cpu_temps) if cpu_temps else float("nan"),
+            cpu_min_c=min(self._proto_cpu_temps) if self._proto_cpu_temps else float("nan"),
             survived=survived,
         )
+
+    def _prototype_tick(self) -> None:
+        now = self.sim.now
+        host, shelter = self._proto_host, self._proto_shelter
+        if now == self._proto_start:
+            host.install(shelter, now)
+        shelter.set_it_load(host.average_power_w)
+        shelter.advance(now)
+        if host.running:
+            host.tick(self.config.tick_interval_s, now, self.fault_log)
+            # The tick itself can fail the host; only a survivor
+            # contributes a CPU sample.
+            if host.running:
+                self._proto_cpu_temps.append(host.cpu_temp_c())
 
     # ------------------------------------------------------------------
     # Phase 2: the campaign
@@ -247,18 +340,16 @@ class Campaign:
     def _schedule_campaign(self, end: float) -> None:
         test_start = self.clock.to_seconds(self.config.test_start)
 
-        def erect_tent() -> None:
-            self.fleet.power_tent_switches()
-
-        self.sim.schedule_at(test_start, erect_tent, label="erect-tent")
+        self.sim.schedule_at_key(test_start, "campaign.erect_tent", label="erect-tent")
         self.fleet.start_ticking(test_start)
 
         for plan in self.config.host_plans:
             if plan.install_date is None:
                 continue
-            self.sim.schedule_datetime(
-                plan.install_date,
-                lambda p=plan: self._install(p.host_id, p.group),
+            self.sim.schedule_at_key(
+                self.clock.to_seconds(plan.install_date),
+                "campaign.install",
+                args=(plan.host_id, plan.group),
                 label=f"install.host{plan.host_id:02d}",
             )
 
@@ -266,16 +357,15 @@ class Campaign:
             when = self.clock.to_seconds(mod_plan.date)
             if when > end:
                 continue
-            self.sim.schedule_at(
+            self.sim.schedule_at_key(
                 when,
-                lambda m=mod_plan.modification, t=when: self.fleet.apply_tent_modification(m, t),
+                "campaign.tent_mod",
+                args=(mod_plan.modification.letter, when),
                 label=f"tent-mod.{mod_plan.modification.letter}",
             )
 
         if self.enabled("lascar"):
-            self.sim.schedule_at(
-                test_start, lambda: self.lascar.attach(self.sim), label="lascar"
-            )
+            self.sim.schedule_at_key(test_start, "campaign.lascar_attach", label="lascar")
             trip = self.lascar.arrival_time + self.config.logger_download_interval_days * DAY
             while trip < end:
                 self.lascar.schedule_download_trip(
@@ -284,36 +374,31 @@ class Campaign:
                 trip += self.config.logger_download_interval_days * DAY
 
         if self.enabled("powermeter"):
-            self.sim.schedule_at(
-                test_start, lambda: self.powermeter.attach(self.sim), label="powermeter"
+            self.sim.schedule_at_key(
+                test_start, "campaign.powermeter_attach", label="powermeter"
             )
         if self.enabled("webcam"):
-            self.sim.schedule_at(
-                test_start, lambda: self.webcam.attach(self.sim), label="webcam"
-            )
+            self.sim.schedule_at_key(test_start, "campaign.webcam_attach", label="webcam")
         if self.enabled("collector"):
-            self.sim.schedule_at(
-                test_start + 10 * MINUTE, lambda: self.monitoring.attach(), label="collector"
+            self.sim.schedule_at_key(
+                test_start + 10 * MINUTE, "campaign.collector_attach", label="collector"
             )
         if self.enabled("weekly-review"):
             # Weekly lab review: triage new wrong hashes with S.M.A.R.T. runs.
-            self.sim.every(
-                7 * DAY, self.policy.weekly_review, start=test_start + 7 * DAY,
+            self.sim.every_key(
+                7 * DAY, "campaign.weekly_review", start=test_start + 7 * DAY,
                 label="weekly-review",
             )
 
         if self.enabled("snapshot"):
             snapshot_t = self.clock.to_seconds(self.config.snapshot_date)
             if snapshot_t <= end:
-
-                def freeze_snapshot() -> None:
-                    census = take_snapshot(
-                        self.config, self.fleet.ledger, self.fault_log, snapshot_t
-                    )
-                    self._snapshot = census
-                    self.bus.publish(SnapshotTaken(time=snapshot_t, census=census))
-
-                self.sim.schedule_at(snapshot_t, freeze_snapshot, label="paper-snapshot")
+                self.sim.schedule_at_key(
+                    snapshot_t,
+                    "campaign.snapshot",
+                    args=(snapshot_t,),
+                    label="paper-snapshot",
+                )
 
         # Extra instruments attach strictly after the defaults, so their
         # presence never renumbers the defaults' same-tick tie-breaks.
@@ -334,6 +419,261 @@ class Campaign:
         else:
             chain = [self.fleet.next_basement_switch()]
         self.monitoring.register(host, chain)
+
+    # ------------------------------------------------------------------
+    # Engine registry: every campaign-level schedule goes through a
+    # stable key, so a checkpointed queue re-materializes by name.
+    # ------------------------------------------------------------------
+    def _register_campaign_keys(self) -> None:
+        sim = self.sim
+        sim.register("prototype.tick", self._prototype_tick)
+        sim.register("campaign.erect_tent", self.fleet.power_tent_switches)
+        sim.register("campaign.install", self._install)
+        sim.register("campaign.tent_mod", self._apply_tent_modification)
+        sim.register("campaign.lascar_attach", self._attach_lascar)
+        sim.register("campaign.powermeter_attach", self._attach_powermeter)
+        sim.register("campaign.webcam_attach", self._attach_webcam)
+        sim.register("campaign.collector_attach", self._attach_collector)
+        sim.register("campaign.weekly_review", self.policy.weekly_review)
+        sim.register("campaign.snapshot", self._freeze_snapshot)
+
+    def _apply_tent_modification(self, letter: str, when: float) -> None:
+        self.fleet.apply_tent_modification(Modification(letter), when)
+
+    def _attach_lascar(self) -> None:
+        self.lascar.attach(self.sim)
+
+    def _attach_powermeter(self) -> None:
+        self.powermeter.attach(self.sim)
+
+    def _attach_webcam(self) -> None:
+        self.webcam.attach(self.sim)
+
+    def _attach_collector(self) -> None:
+        self.monitoring.attach()
+
+    def _freeze_snapshot(self, snapshot_t: float) -> None:
+        census = take_snapshot(
+            self.config, self.fleet.ledger, self.fault_log, snapshot_t
+        )
+        self._snapshot = census
+        self.bus.publish(SnapshotTaken(time=snapshot_t, census=census))
+
+    # ------------------------------------------------------------------
+    # Snapshot protocol
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """One versioned state blob per stateful layer, keyed by name."""
+        return {
+            "engine": self.sim.state_dict(),
+            "rng": self.streams.state_dict(),
+            "station": self.station.state_dict(),
+            "lascar": self.lascar.state_dict(),
+            "powermeter": self.powermeter.state_dict(),
+            "webcam": self.webcam.state_dict(),
+            "monitoring": self.monitoring.state_dict(),
+            "transfers": self.transfers.state_dict(),
+            "fleet": self.fleet.state_dict(),
+            "policy": self.policy.state_dict(),
+            "fault_log": self.fault_log.state_dict(),
+            "bus_counts": dict(self.bus.counts),
+            "recorder": [encode_value(event) for event in self.recorder.events],
+            "telemetry": (
+                self.telemetry.state_dict() if self.telemetry is not None else None
+            ),
+        }
+
+    def checkpoint(self) -> CampaignCheckpoint:
+        """Freeze the entire campaign into a :class:`CampaignCheckpoint`.
+
+        The checkpoint is self-describing: it carries the encoded config
+        and builder options, so :meth:`restore` rebuilds the campaign
+        from the file alone.  Extra (user-supplied) instruments have no
+        snapshot protocol, so a build that carries any refuses to
+        checkpoint rather than silently dropping their state.  Bus
+        *subscribers* are observational and do not survive a restore.
+        """
+        if self.instruments:
+            raise StateError(
+                "cannot checkpoint a campaign with extra instruments: "
+                + ", ".join(sorted(self.instruments))
+            )
+        from repro.runner.records import config_digest
+
+        snapshot = CampaignCheckpoint(
+            config_digest=config_digest(self.config),
+            sim_time=self.sim.now,
+            seed=self.config.seed,
+            components=self.state_dict(),
+            meta={
+                "disabled": sorted(self._disabled),
+                "telemetry": self.telemetry is not None,
+                "ran": self._ran,
+                "end": self._end,
+            },
+        )
+        snapshot.encode_meta("config", self.config)
+        snapshot.encode_meta("link_faults", self._link_faults)
+        snapshot.encode_meta("health_policy", self._health_policy)
+        snapshot.encode_meta("prototype_result", self.prototype_result)
+        snapshot.encode_meta("snapshot", self._snapshot)
+        return snapshot
+
+    @classmethod
+    def restore(cls, checkpoint: CampaignCheckpoint) -> "Campaign":
+        """Rebuild a mid-flight campaign from a checkpoint.
+
+        Load order matters and is deliberate:
+
+        1. construct the campaign (construction-time RNG draws and
+           schedules are throwaway -- see steps 4 and 5);
+        2. load the fleet first, so replacement switches exist before the
+           monitoring topology is re-cabled by switch name;
+        3. load every other component (plain data);
+        4. load the engine, which *replaces* the queue wholesale --
+           wiping whatever construction scheduled -- and validates that
+           every queued key is registered;
+        5. load the RNG streams last, so construction draws cannot
+           perturb the restored stream positions;
+        6. rebind periodic-task handles to the restored queue.
+        """
+        from repro.runner.records import config_digest
+
+        config = checkpoint.decode_meta("config")
+        if config is None:
+            raise StateError("checkpoint carries no config")
+        if checkpoint.config_digest != config_digest(config):
+            raise StateError("checkpoint config digest does not match its config")
+        telemetry = None
+        if checkpoint.meta.get("telemetry"):
+            from repro.telemetry import Telemetry
+
+            telemetry = Telemetry()
+        campaign = cls(
+            config,
+            disabled=frozenset(checkpoint.meta.get("disabled", ())),
+            telemetry=telemetry,
+            link_faults=checkpoint.decode_meta("link_faults"),
+            health_policy=checkpoint.decode_meta("health_policy"),
+        )
+        campaign._ran = bool(checkpoint.meta.get("ran", True))
+        end = checkpoint.meta.get("end")
+        campaign._end = None if end is None else float(end)
+        campaign.prototype_result = checkpoint.decode_meta("prototype_result")
+        campaign._snapshot = checkpoint.decode_meta("snapshot")
+
+        components = checkpoint.components
+        campaign.fleet.load_state_dict(components["fleet"])
+        switches = {s.name: s for s in campaign.fleet._all_switches()}
+        for host_id, names in components["monitoring"].get("topology", {}).items():
+            host = campaign.fleet.host(int(host_id))
+            try:
+                chain = [switches[name] for name in names]
+            except KeyError as exc:
+                raise StateError(f"snapshot names unknown switch {exc}") from None
+            campaign.monitoring.register(host, chain)
+        campaign.monitoring.load_state_dict(components["monitoring"])
+        for host_id in components["powermeter"].get("host_ids", ()):
+            campaign.powermeter.plug_in(campaign.fleet.host(int(host_id)))
+        campaign.station.load_state_dict(components["station"])
+        campaign.lascar.load_state_dict(components["lascar"])
+        campaign.powermeter.load_state_dict(components["powermeter"])
+        campaign.webcam.load_state_dict(components["webcam"])
+        campaign.transfers.load_state_dict(components["transfers"])
+        campaign.policy.load_state_dict(components["policy"])
+        campaign.fault_log.load_state_dict(components["fault_log"])
+        campaign.bus.counts.clear()
+        campaign.bus.counts.update(
+            {str(k): int(v) for k, v in components.get("bus_counts", {}).items()}
+        )
+        # In place: the bus subscription holds the list's bound append.
+        campaign.recorder.events[:] = [
+            decode_value(event) for event in components.get("recorder", ())
+        ]
+        if components.get("telemetry") is not None and campaign.telemetry is not None:
+            campaign.telemetry.load_state_dict(components["telemetry"])
+
+        # Instruments normally bind their keys in attach(); a restored
+        # campaign is already past its attach events, so bind them all
+        # up front -- the engine's load validates every queued key.
+        campaign.station.register_keys(campaign.sim)
+        campaign.lascar.register_keys(campaign.sim)
+        campaign.powermeter.register_keys(campaign.sim)
+        campaign.webcam.register_keys(campaign.sim)
+        campaign.monitoring.register_keys(campaign.sim)
+        campaign.fleet.register_keys(campaign.sim)
+
+        campaign.sim.load_state_dict(components["engine"])
+        campaign.streams.load_state_dict(components["rng"])
+
+        campaign.station.rebind(campaign.sim)
+        campaign.lascar.rebind(campaign.sim)
+        campaign.powermeter.rebind(campaign.sim)
+        campaign.webcam.rebind(campaign.sim)
+        campaign.monitoring.rebind(campaign.sim)
+        campaign.fleet.rebind(campaign.sim)
+        return campaign
+
+    def continue_run(
+        self,
+        until: Optional[_dt.datetime] = None,
+        checkpoint_every: Optional[float] = None,
+        checkpoint_dir: Optional[str] = None,
+        on_checkpoint: Optional[
+            Callable[[Optional[str], CampaignCheckpoint], None]
+        ] = None,
+    ) -> ExperimentResults:
+        """Run a restored campaign from its cut point to the horizon.
+
+        Defaults to the original run's horizon (recorded in the
+        checkpoint); ``until`` overrides it.  Because ``run_until`` is
+        segmentation-invariant, the continued run's results are
+        byte-identical to an uninterrupted run at the same horizon.
+        """
+        end = self._end if until is None else self.clock.to_seconds(until)
+        if end is None:
+            raise StateError("checkpoint records no horizon; pass until=")
+        if end < self.sim.now:
+            raise ValueError("resume horizon precedes the checkpoint cut")
+        self._end = end
+        self._configure_checkpoints(checkpoint_every, checkpoint_dir, on_checkpoint)
+        if self.telemetry is None:
+            self._run_to(end)
+            return self._build_results(end)
+        with self.telemetry.span("campaign.run"):
+            self._run_to(end)
+            results = self._build_results(end)
+        self._record_run_metrics()
+        return results
+
+    @classmethod
+    def resume(
+        cls,
+        path: str,
+        until: Optional[_dt.datetime] = None,
+        checkpoint_every: Optional[float] = None,
+        checkpoint_dir: Optional[str] = None,
+        on_checkpoint: Optional[
+            Callable[[Optional[str], CampaignCheckpoint], None]
+        ] = None,
+    ) -> Tuple["Campaign", ExperimentResults]:
+        """Restore from a checkpoint file and run to completion.
+
+        Returns ``(campaign, results)``.  Raises :class:`StateError`
+        when the file is missing, corrupt, or schema-mismatched (the
+        reader quarantines damaged files to a ``.corrupt`` sibling).
+        """
+        snapshot = read_checkpoint(path)
+        if snapshot is None:
+            raise StateError(f"no usable checkpoint at {path}")
+        campaign = cls.restore(snapshot)
+        results = campaign.continue_run(
+            until=until,
+            checkpoint_every=checkpoint_every,
+            checkpoint_dir=checkpoint_dir,
+            on_checkpoint=on_checkpoint,
+        )
+        return campaign, results
 
     # ------------------------------------------------------------------
     def _build_results(self, end: float) -> ExperimentResults:

@@ -16,7 +16,7 @@ and advances all of it on a fixed tick.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.climate.generator import WeatherGenerator
 from repro.hardware.faults import FaultEvent, FaultKind, FaultLog
@@ -24,7 +24,8 @@ from repro.hardware.host import Host
 from repro.hardware.switch import NetworkSwitch
 from repro.hardware.vendors import vendor
 from repro.core.config import ExperimentConfig, HostPlan
-from repro.sim.engine import EventHandle, Simulator
+from repro.sim.engine import PeriodicTask, Simulator
+from repro.state.protocol import StateError, check_version
 from repro.sim.events import EventBus, HostInstalled, SwitchDied, TentModified
 from repro.sim.rng import RngStreams
 from repro.thermal.enclosure import BasementMachineRoom, Enclosure
@@ -32,6 +33,8 @@ from repro.thermal.tent import Tent
 from repro.thermal.twonode import TwoNodeTent
 from repro.workload.archiver import ArchiverProcess, WorkloadLedger
 from repro.workload.kernel_tree import KernelSourceTree
+
+_STATE_VERSION = 1
 
 
 def paper_install_plan(config: Optional[ExperimentConfig] = None) -> List[HostPlan]:
@@ -112,6 +115,7 @@ class Fleet:
         #: Switches currently serving the tent (replacements swap in here).
         self.active_tent_switches: List[NetworkSwitch] = list(self.tent_switches)
         self._replacement_counter = 0
+        self._replacement_switches: List[NetworkSwitch] = []
         self._switch_rng = streams.stream("switch.replacements")
         self._powered_switches: List[NetworkSwitch] = list(self.basement_switches)
         self._basement_switch_rr = 0
@@ -133,7 +137,8 @@ class Fleet:
         self.tree = KernelSourceTree()
         self.ledger = WorkloadLedger(bus=bus)
         self.archivers: Dict[int, ArchiverProcess] = {}
-        self._tick_handle: Optional[EventHandle] = None
+        self._tick_handle: Optional[PeriodicTask] = None
+        self._restore_task_id: Optional[int] = None
         self._tent_switch_rr = 0
 
     def __repr__(self) -> str:
@@ -202,6 +207,7 @@ class Fleet:
             self._switch_rng,
             inherent_defect=False,
         )
+        self._replacement_switches.append(switch)
         self._powered_switches.append(switch)
         return switch
 
@@ -250,8 +256,9 @@ class Fleet:
         """Begin the periodic advance loop at simulated time ``start``."""
         if self._tick_handle is not None:
             raise RuntimeError("fleet already ticking")
-        self._tick_handle = self.sim.every(
-            self.config.tick_interval_s, self._tick, start=start, label="fleet-tick"
+        self.register_keys(self.sim)
+        self._tick_handle = self.sim.every_key(
+            self.config.tick_interval_s, "fleet.tick", start=start, label="fleet-tick"
         )
 
     def stop_ticking(self) -> None:
@@ -295,3 +302,113 @@ class Fleet:
                             detail=switch.name,
                         )
                     )
+
+    # ------------------------------------------------------------------
+    # Snapshot protocol
+    # ------------------------------------------------------------------
+    def register_keys(self, sim: Simulator) -> None:
+        """Bind the fleet's tick key on ``sim`` (archivers bind their own)."""
+        sim.register("fleet.tick", self._tick)
+
+    def _all_switches(self) -> List[NetworkSwitch]:
+        return (
+            self.tent_switches
+            + [self.spare_switch]
+            + self.basement_switches
+            + self._replacement_switches
+        )
+
+    def _enclosure_by_name(self) -> Dict[str, Enclosure]:
+        return {e.name: e for e in self.enclosures}
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Everything physical: enclosures, switches, hosts, workload.
+
+        Replacement switches are recorded by count and reconstructed by
+        name on load (their RNG stream position rides in the campaign's
+        RNG snapshot); host-to-enclosure links are recorded by enclosure
+        name and re-resolved against the rebuilt enclosures.
+        """
+        return {
+            "version": _STATE_VERSION,
+            "enclosures": {e.name: e.state_dict() for e in self.enclosures},
+            "replacement_counter": self._replacement_counter,
+            "switches": {s.name: s.state_dict() for s in self._all_switches()},
+            "active_tent_switches": [s.name for s in self.active_tent_switches],
+            "powered_switches": [s.name for s in self._powered_switches],
+            "basement_switch_rr": self._basement_switch_rr,
+            "tent_switch_rr": self._tent_switch_rr,
+            "switch_failures_logged": sorted(self._switch_failures_logged),
+            "hosts": {
+                str(host_id): self.hosts[host_id].state_dict()
+                for host_id in sorted(self.hosts)
+            },
+            "ledger": self.ledger.state_dict(),
+            "archivers": {
+                str(host_id): self.archivers[host_id].state_dict()
+                for host_id in sorted(self.archivers)
+            },
+            "tick_task_id": (
+                self._tick_handle.task_id if self._tick_handle is not None else None
+            ),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        check_version("fleet", state, _STATE_VERSION)
+        enclosures = self._enclosure_by_name()
+        for name, enclosure_state in state["enclosures"].items():
+            if name not in enclosures:
+                raise StateError(f"snapshot names unknown enclosure {name!r}")
+            enclosures[name].load_state_dict(enclosure_state)
+        # Replacement switches were provisioned at runtime: re-provision
+        # the same count (same names, same shared RNG stream) then load
+        # every switch's recorded state over the fresh objects.
+        self._replacement_counter = 0
+        self._replacement_switches = []
+        self._powered_switches = list(self.basement_switches)
+        for _ in range(int(state["replacement_counter"])):
+            self.provision_replacement_switch()
+        switches = {s.name: s for s in self._all_switches()}
+        for name, switch_state in state["switches"].items():
+            if name not in switches:
+                raise StateError(f"snapshot names unknown switch {name!r}")
+            switches[name].load_state_dict(switch_state)
+        self.active_tent_switches = [
+            switches[name] for name in state["active_tent_switches"]
+        ]
+        self._powered_switches = [
+            switches[name] for name in state["powered_switches"]
+        ]
+        self._basement_switch_rr = int(state["basement_switch_rr"])
+        self._tent_switch_rr = int(state["tent_switch_rr"])
+        self._switch_failures_logged = set(state["switch_failures_logged"])
+        for host_id_str, host_state in state["hosts"].items():
+            host = self.host(int(host_id_str))
+            host.load_state_dict(host_state)
+            enclosure_name = host_state["enclosure"]
+            host.enclosure = (
+                None if enclosure_name is None else enclosures[enclosure_name]
+            )
+        self.ledger.load_state_dict(state["ledger"])
+        for host_id_str, archiver_state in sorted(
+            state["archivers"].items(), key=lambda kv: int(kv[0])
+        ):
+            host_id = int(host_id_str)
+            if host_id not in self.archivers:
+                self.archivers[host_id] = ArchiverProcess(
+                    self.sim,
+                    self.host(host_id),
+                    self.ledger,
+                    tree=self.tree,
+                    fault_log=self.fault_log,
+                )
+            self.archivers[host_id].load_state_dict(archiver_state)
+        self._restore_task_id = state["tick_task_id"]
+
+    def rebind(self, sim: Simulator) -> None:
+        """Re-link tick and archiver sleeps after the engine's state loads."""
+        if self._restore_task_id is not None:
+            self._tick_handle = sim.periodic_task(int(self._restore_task_id))
+            self._restore_task_id = None
+        for host_id in sorted(self.archivers):
+            self.archivers[host_id].rebind(sim)

@@ -19,7 +19,7 @@ Section 4.2.1, turned into policy:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.core.config import ExperimentConfig
 from repro.core.deployment import Fleet
@@ -31,6 +31,9 @@ from repro.monitoring.collector import MonitoringHost, NetworkPath
 from repro.sim.clock import DAY, HOUR
 from repro.sim.engine import Simulator
 from repro.sim.events import EventBus, HostReplaced, SwitchRepaired
+from repro.state.protocol import check_version
+
+_STATE_VERSION = 1
 
 
 class OperatorPolicy:
@@ -69,6 +72,7 @@ class OperatorPolicy:
         self._inspections_pending: Set[int] = set()
         self._sensor_handling: Set[int] = set()
         self._switch_repairs_pending: Set[str] = set()
+        self.register_keys(sim)
 
     def __repr__(self) -> str:
         return (
@@ -82,6 +86,69 @@ class OperatorPolicy:
         self.monitoring = monitoring
 
     # ------------------------------------------------------------------
+    # Snapshot protocol
+    # ------------------------------------------------------------------
+    def register_keys(self, sim: Simulator) -> None:
+        """Bind the playbook's one-shot action keys on ``sim``.
+
+        Every delayed action the policy schedules is keyed with plain
+        host-id/switch-name arguments, so pending interventions survive a
+        checkpoint: the engine re-materializes them against these keys.
+        """
+        sim.register("policy.inspect", self._inspect_host_id)
+        sim.register("policy.finish_boot", self._finish_boot)
+        sim.register("policy.install_spare", self._install_spare)
+        sim.register("policy.handle_sensor", self._handle_sensor_id)
+        sim.register("policy.warm_reboot", self._warm_reboot)
+        sim.register("policy.repair_switch", self._repair_switch_name)
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "version": _STATE_VERSION,
+            "failure_counts": {
+                str(k): v for k, v in sorted(self.failure_counts.items())
+            },
+            "memtest_verdicts": {
+                str(k): v for k, v in sorted(self.memtest_verdicts.items())
+            },
+            "smart_verdicts": {
+                str(k): v for k, v in sorted(self.smart_verdicts.items())
+            },
+            "reviewed_fault_count": self._reviewed_fault_count,
+            "replacements": [list(r) for r in self.replacements],
+            "switch_repairs": [list(r) for r in self.switch_repairs],
+            "spare_bench_result": self.spare_bench_result,
+            "inspections_pending": sorted(self._inspections_pending),
+            "sensor_handling": sorted(self._sensor_handling),
+            "switch_repairs_pending": sorted(self._switch_repairs_pending),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        check_version("operator_policy", state, _STATE_VERSION)
+        self.failure_counts = {
+            int(k): int(v) for k, v in state["failure_counts"].items()
+        }
+        self.memtest_verdicts = {
+            int(k): bool(v) for k, v in state["memtest_verdicts"].items()
+        }
+        self.smart_verdicts = {
+            int(k): bool(v) for k, v in state["smart_verdicts"].items()
+        }
+        self._reviewed_fault_count = int(state["reviewed_fault_count"])
+        self.replacements = [
+            (float(t), int(failed), int(spare))
+            for t, failed, spare in state["replacements"]
+        ]
+        self.switch_repairs = [
+            (float(t), str(dead), str(new))
+            for t, dead, new in state["switch_repairs"]
+        ]
+        self.spare_bench_result = state["spare_bench_result"]
+        self._inspections_pending = {int(i) for i in state["inspections_pending"]}
+        self._sensor_handling = {int(i) for i in state["sensor_handling"]}
+        self._switch_repairs_pending = set(state["switch_repairs_pending"])
+
+    # ------------------------------------------------------------------
     # Down hosts
     # ------------------------------------------------------------------
     def on_down_host(self, time: float, host: Host) -> None:
@@ -92,11 +159,15 @@ class OperatorPolicy:
             return
         self._inspections_pending.add(host.host_id)
         delay = self.config.inspection_delay_hours * HOUR
-        self.sim.schedule(
-            delay, lambda: self._inspect_host(host), label=f"inspect.{host.hostname}"
+        self.sim.schedule_key(
+            delay,
+            "policy.inspect",
+            args=(host.host_id,),
+            label=f"inspect.{host.hostname}",
         )
 
-    def _inspect_host(self, host: Host) -> None:
+    def _inspect_host_id(self, host_id: int) -> None:
+        host = self.fleet.host(host_id)
         time = self.sim.now
         self._inspections_pending.discard(host.host_id)
         if host.state is not HostState.FAILED:
@@ -108,13 +179,17 @@ class OperatorPolicy:
             # resumed normal operations in the tent."  The power cycle
             # itself takes a few minutes of BIOS and OS bring-up.
             host.begin_boot(time)
-            self.sim.schedule(
+            self.sim.schedule_key(
                 self.config.boot_duration_min * 60.0,
-                lambda: host.finish_boot(self.sim.now),
+                "policy.finish_boot",
+                args=(host.host_id,),
                 label=f"boot.{host.hostname}",
             )
             return
         self._take_indoors(host, time)
+
+    def _finish_boot(self, host_id: int) -> None:
+        self.fleet.host(host_id).finish_boot(self.sim.now)
 
     def _take_indoors(self, host: Host, time: float) -> None:
         was_tent_host = host.enclosure is self.fleet.tent
@@ -141,23 +216,28 @@ class OperatorPolicy:
         if spare is None:
             return
         install_at = time + 1 * DAY
+        self.sim.schedule_at_key(
+            install_at,
+            "policy.install_spare",
+            args=(failed_host.host_id, spare.host_id),
+            label=f"replace.{failed_host.hostname}",
+        )
 
-        def install() -> None:
-            now = self.sim.now
-            self.fleet.install(spare.host_id, self.fleet.tent, now)
-            if self.monitoring is not None:
-                self.monitoring.register(spare, [self.fleet.next_tent_switch()])
-            self.replacements.append((now, failed_host.host_id, spare.host_id))
-            if self.bus is not None:
-                self.bus.publish(
-                    HostReplaced(
-                        time=now,
-                        failed_host_id=failed_host.host_id,
-                        replacement_host_id=spare.host_id,
-                    )
+    def _install_spare(self, failed_host_id: int, spare_host_id: int) -> None:
+        now = self.sim.now
+        spare = self.fleet.host(spare_host_id)
+        self.fleet.install(spare.host_id, self.fleet.tent, now)
+        if self.monitoring is not None:
+            self.monitoring.register(spare, [self.fleet.next_tent_switch()])
+        self.replacements.append((now, failed_host_id, spare.host_id))
+        if self.bus is not None:
+            self.bus.publish(
+                HostReplaced(
+                    time=now,
+                    failed_host_id=failed_host_id,
+                    replacement_host_id=spare.host_id,
                 )
-
-        self.sim.schedule_at(install_at, install, label=f"replace.{failed_host.hostname}")
+            )
 
     def _find_spare(self, vendor_id: str) -> Optional[Host]:
         for plan in self.config.plans_by_group("spare"):
@@ -204,26 +284,35 @@ class OperatorPolicy:
             return
         self._sensor_handling.add(host.host_id)
         delay = self.config.inspection_delay_hours * HOUR
-        self.sim.schedule(
-            delay, lambda: self._handle_sensor(host), label=f"sensor.{host.hostname}"
+        self.sim.schedule_key(
+            delay,
+            "policy.handle_sensor",
+            args=(host.host_id,),
+            label=f"sensor.{host.hostname}",
         )
 
-    def _handle_sensor(self, host: Host) -> None:
+    def _handle_sensor_id(self, host_id: int) -> None:
         # "we tried to redetect the sensor chip ... Instead, the opposite
         # resulted, and the sensor chip ceased to be detected at all."
+        host = self.fleet.host(host_id)
         if host.sensor.state is SensorState.ERRATIC:
             host.sensor.redetect()
         if host.sensor.state is SensorState.UNDETECTED:
             delay = self.config.sensor_reboot_delay_days * DAY
-
-            def reboot() -> None:
-                if host.running:
-                    host.warm_reboot(self.sim.now)
-                self._sensor_handling.discard(host.host_id)
-
-            self.sim.schedule(delay, reboot, label=f"warm-reboot.{host.hostname}")
+            self.sim.schedule_key(
+                delay,
+                "policy.warm_reboot",
+                args=(host.host_id,),
+                label=f"warm-reboot.{host.hostname}",
+            )
         else:
             self._sensor_handling.discard(host.host_id)
+
+    def _warm_reboot(self, host_id: int) -> None:
+        host = self.fleet.host(host_id)
+        if host.running:
+            host.warm_reboot(self.sim.now)
+        self._sensor_handling.discard(host.host_id)
 
     # ------------------------------------------------------------------
     # Network repairs
@@ -235,11 +324,16 @@ class OperatorPolicy:
             if switch.name in self._switch_repairs_pending:
                 continue
             self._switch_repairs_pending.add(switch.name)
-            self.sim.schedule(
+            self.sim.schedule_key(
                 self.config.inspection_delay_hours * HOUR,
-                lambda s=switch: self._repair_switch(s),
+                "policy.repair_switch",
+                args=(switch.name,),
                 label=f"repair.{switch.name}",
             )
+
+    def _repair_switch_name(self, switch_name: str) -> None:
+        by_name = {s.name: s for s in self.fleet._all_switches()}
+        self._repair_switch(by_name[switch_name])
 
     def _repair_switch(self, dead_switch: NetworkSwitch) -> None:
         time = self.sim.now

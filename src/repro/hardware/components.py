@@ -13,11 +13,22 @@ Only the behaviour the paper's fault census exercises is modelled:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Dict, Optional
 
 import numpy as np
 
 from repro.hardware.vendors import VendorSpec
+from repro.state.codec import (
+    pack_bools,
+    pack_floats,
+    pack_ints,
+    unpack_bools,
+    unpack_floats,
+    unpack_ints,
+)
+from repro.state.protocol import check_version
+
+_STATE_VERSION = 1
 
 #: The paper's estimated memory fault ratio: "around one in 570 million"
 #: page operations (Section 4.2.2).
@@ -131,6 +142,33 @@ class MemoryBank:
         if self.page_ops_total == 0:
             return None
         return len(self.faults) / self.page_ops_total
+
+    # ------------------------------------------------------------------
+    # Snapshot protocol
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "version": _STATE_VERSION,
+            "page_ops_total": self.page_ops_total,
+            "faults": {
+                "time": pack_floats([f.time for f in self.faults]),
+                "page_index": pack_ints([f.page_index for f in self.faults]),
+                "corrected": pack_bools([f.corrected for f in self.faults]),
+            },
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        check_version("memory", state, _STATE_VERSION)
+        self.page_ops_total = int(state["page_ops_total"])
+        faults = state["faults"]
+        self.faults = [
+            MemoryFaultRecord(time=t, page_index=p, corrected=c)
+            for t, p, c in zip(
+                unpack_floats(faults["time"]),
+                unpack_ints(faults["page_index"]),
+                unpack_bools(faults["corrected"]),
+            )
+        ]
 
 
 @dataclass(frozen=True)

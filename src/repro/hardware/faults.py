@@ -22,11 +22,14 @@ from __future__ import annotations
 import enum
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
 from repro.sim.events import EventBus, HostFailed, SwitchDied, WrongHash
+from repro.state.protocol import check_version
+
+_STATE_VERSION = 1
 
 
 def hazard_probability(rate_per_hour: float, dt_s: float) -> float:
@@ -195,6 +198,29 @@ class FaultLog:
                 detail=event.switch_name,
             )
         )
+
+    # ------------------------------------------------------------------
+    # Snapshot protocol
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "version": _STATE_VERSION,
+            "events": [
+                [e.time, e.kind.name, e.host_id, e.detail] for e in self.events
+            ],
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        check_version("fault_log", state, _STATE_VERSION)
+        self.events = [
+            FaultEvent(
+                time=float(t),
+                kind=FaultKind[k],
+                host_id=None if h is None else int(h),
+                detail=str(d),
+            )
+            for t, k, h, d in state["events"]
+        ]
 
     def of_kind(self, kind: FaultKind) -> List[FaultEvent]:
         """All events of one kind, in order."""

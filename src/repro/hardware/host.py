@@ -18,7 +18,7 @@ and the workload drives its duty cycle.
 from __future__ import annotations
 
 import enum
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.hardware.components import Cpu, MemoryBank, PowerSupply
 from repro.hardware.faults import (
@@ -33,7 +33,10 @@ from repro.hardware.storage import StorageSubsystem
 from repro.hardware.vendors import VendorSpec
 from repro.sim.events import EventBus, HostFailed, SensorLatched
 from repro.sim.rng import RngStreams
+from repro.state.protocol import check_version
 from repro.thermal.enclosure import Enclosure
+
+_STATE_VERSION = 1
 
 #: Water-ingress hazard per (mm/h of precipitation reaching the case) per
 #: hour of powered operation.  A bare host in steady snowfall dies within
@@ -303,6 +306,52 @@ class Host:
             )
         elif fault_log is not None:
             fault_log.record(FaultEvent(time=time, kind=kind, host_id=self.host_id, detail=detail))
+
+    # ------------------------------------------------------------------
+    # Snapshot protocol
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Lifecycle, frailty, operator log, and every component's state.
+
+        The enclosure reference is stored by name; the fleet resolves it
+        against the reconstructed enclosures on restore.  RNG positions
+        are *not* here -- the host's streams are children of the campaign
+        family and ride in its snapshot.
+        """
+        return {
+            "version": _STATE_VERSION,
+            "state": self.state.value,
+            "enclosure": self.enclosure.name if self.enclosure is not None else None,
+            "installed_at": self.installed_at,
+            "retired_at": self.retired_at,
+            "uptime_s": self.uptime_s,
+            "reset_count": self.reset_count,
+            "frailty": self.frailty,
+            "event_log": [[t, note] for t, note in self.event_log],
+            "cpu_busy": self.cpu.busy,
+            "memory": self.memory.state_dict(),
+            "sensor": self.sensor.state_dict(),
+            "storage": self.storage.state_dict(),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore everything except the enclosure link (fleet-resolved)."""
+        check_version(self.hostname, state, _STATE_VERSION)
+        self.state = HostState(state["state"])
+        self.installed_at = (
+            None if state["installed_at"] is None else float(state["installed_at"])
+        )
+        self.retired_at = (
+            None if state["retired_at"] is None else float(state["retired_at"])
+        )
+        self.uptime_s = float(state["uptime_s"])
+        self.reset_count = int(state["reset_count"])
+        self.frailty = float(state["frailty"])
+        self.event_log = [(float(t), str(note)) for t, note in state["event_log"]]
+        self.cpu.busy = bool(state["cpu_busy"])
+        self.memory.load_state_dict(state["memory"])
+        self.sensor.load_state_dict(state["sensor"])
+        self.storage.load_state_dict(state["storage"])
 
     # ------------------------------------------------------------------
     # Diagnostics

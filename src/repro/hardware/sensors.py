@@ -18,11 +18,22 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
 from repro.hardware.faults import hazard_probability
+from repro.state.codec import (
+    pack_floats,
+    pack_ints,
+    pack_optional_floats,
+    unpack_floats,
+    unpack_ints,
+    unpack_optional_floats,
+)
+from repro.state.protocol import check_version
+
+_STATE_VERSION = 1
 
 #: Readings at/below this are physically implausible for a powered CPU and
 #: mark the chip as erratic in the monitoring pipeline.
@@ -35,6 +46,15 @@ class SensorState(enum.Enum):
     OK = "ok"
     ERRATIC = "erratic"  # reports -111 degC
     UNDETECTED = "undetected"  # gone from the bus after re-detection
+
+
+#: Stable small-int codes for packing reading histories into checkpoints.
+_STATE_CODES = {
+    SensorState.OK: 0,
+    SensorState.ERRATIC: 1,
+    SensorState.UNDETECTED: 2,
+}
+_STATES_BY_CODE = {code: state for state, code in _STATE_CODES.items()}
 
 
 @dataclass(frozen=True)
@@ -143,6 +163,46 @@ class SensorChip:
         self.state = SensorState.OK
         self.cold_exposure_s = 0.0
         return self.state
+
+    # ------------------------------------------------------------------
+    # Snapshot protocol
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Latch state plus the full reading history as packed columns.
+
+        The history is the biggest per-host series in a checkpoint (one
+        row per 20-minute poll), hence the columnar encoding.
+        """
+        return {
+            "version": _STATE_VERSION,
+            "state": self.state.value,
+            "cold_exposure_s": self.cold_exposure_s,
+            "latch_time": self.latch_time,
+            "history": {
+                "time": pack_floats([r.time for r in self.history]),
+                "cpu_temp_c": pack_optional_floats(
+                    [r.cpu_temp_c for r in self.history]
+                ),
+                "state": pack_ints([_STATE_CODES[r.state] for r in self.history]),
+            },
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        check_version("sensor", state, _STATE_VERSION)
+        self.state = SensorState(state["state"])
+        self.cold_exposure_s = float(state["cold_exposure_s"])
+        self.latch_time = (
+            None if state["latch_time"] is None else float(state["latch_time"])
+        )
+        history = state["history"]
+        self.history = [
+            SensorReading(time=t, cpu_temp_c=v, state=_STATES_BY_CODE[code])
+            for t, v, code in zip(
+                unpack_floats(history["time"]),
+                unpack_optional_floats(history["cpu_temp_c"]),
+                unpack_ints(history["state"]),
+            )
+        ]
 
     # ------------------------------------------------------------------
     # Census helpers

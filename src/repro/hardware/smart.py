@@ -11,7 +11,11 @@ reallocated sectors, and the long self-test verdict.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
+
+from repro.state.protocol import check_version
+
+_STATE_VERSION = 1
 
 # Canonical attribute ids (subset of the ATA standard set).
 ATTR_REALLOCATED_SECTORS = 5
@@ -118,6 +122,31 @@ class SmartTable:
         # is a common shape.
         attr.value = max(1, 100 - int(attr.raw // 20))
         attr.worst = min(attr.worst, attr.value)
+
+    # ------------------------------------------------------------------
+    # Snapshot protocol
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Mutable attribute rows and the self-test history."""
+        return {
+            "version": _STATE_VERSION,
+            "attrs": {
+                str(a.attr_id): [a.value, a.worst, a.raw] for a in self.attributes()
+            },
+            "self_tests": [[r.time, r.passed, r.detail] for r in self.self_tests],
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        check_version("smart", state, _STATE_VERSION)
+        for attr_id, (value, worst, raw) in state["attrs"].items():
+            attr = self.attribute(int(attr_id))
+            attr.value = int(value)
+            attr.worst = int(worst)
+            attr.raw = float(raw)
+        self.self_tests = [
+            SelfTestResult(time=float(t), passed=bool(p), detail=str(d))
+            for t, p, d in state["self_tests"]
+        ]
 
     # ------------------------------------------------------------------
     def run_long_self_test(self, time: float, media_healthy: bool) -> SelfTestResult:

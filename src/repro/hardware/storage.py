@@ -12,13 +12,16 @@ from __future__ import annotations
 
 import abc
 import enum
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.hardware.faults import hazard_probability
 from repro.hardware.smart import SmartTable
 from repro.hardware.vendors import DiskLayout, VendorSpec
+from repro.state.protocol import StateError, check_version
+
+_STATE_VERSION = 1
 
 
 class DiskState(enum.Enum):
@@ -83,6 +86,25 @@ class Disk:
     def run_long_self_test(self, time: float):
         """S.M.A.R.T. long self-test (passes while the media is healthy)."""
         return self.smart.run_long_self_test(time, media_healthy=self.healthy)
+
+    # ------------------------------------------------------------------
+    # Snapshot protocol
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "version": _STATE_VERSION,
+            "state": self.state.value,
+            "failed_at": self.failed_at,
+            "smart": self.smart.state_dict(),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        check_version(f"disk.{self.serial}", state, _STATE_VERSION)
+        self.state = DiskState(state["state"])
+        self.failed_at = (
+            None if state["failed_at"] is None else float(state["failed_at"])
+        )
+        self.smart.load_state_dict(state["smart"])
 
 
 class RaidArray(abc.ABC):
@@ -231,3 +253,23 @@ class StorageSubsystem:
         """Note a host power cycle on every drive."""
         for disk in self.disks:
             disk.smart.record_power_cycle()
+
+    # ------------------------------------------------------------------
+    # Snapshot protocol
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Per-disk state in member order (layouts are config-fixed)."""
+        return {
+            "version": _STATE_VERSION,
+            "disks": [d.state_dict() for d in self.disks],
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        check_version("storage", state, _STATE_VERSION)
+        if len(state["disks"]) != len(self.disks):
+            raise StateError(
+                f"storage: snapshot has {len(state['disks'])} disks, "
+                f"this subsystem has {len(self.disks)}"
+            )
+        for disk, disk_state in zip(self.disks, state["disks"]):
+            disk.load_state_dict(disk_state)

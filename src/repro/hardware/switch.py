@@ -17,11 +17,14 @@ Healthy switches have an effectively unbounded MTBF on campaign scales.
 from __future__ import annotations
 
 import enum
-from typing import List, Optional, Set
+from typing import Any, Dict, List, Optional, Set
 
 import numpy as np
 
 from repro.hardware.faults import hazard_probability
+from repro.state.protocol import check_version
+
+_STATE_VERSION = 1
 
 
 class SwitchState(enum.Enum):
@@ -118,6 +121,39 @@ class NetworkSwitch:
         """Hard failure: all ports go dark."""
         self.state = SwitchState.FAILED
         self.failed_at = time
+
+    # ------------------------------------------------------------------
+    # Snapshot protocol
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Lifecycle, port map, and the defect parameters.
+
+        Defect flags and the failure rate are serialised too: a
+        replacement switch is created mid-campaign with non-default
+        arguments, and restore rebuilds it generically before loading.
+        """
+        return {
+            "version": _STATE_VERSION,
+            "state": self.state.value,
+            "failed_at": self.failed_at,
+            "powered_hours": self.powered_hours,
+            "inherent_defect": self.inherent_defect,
+            "whines": self.whines,
+            "rate_per_hour": self._rate_per_hour,
+            "ports": sorted(self._ports),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        check_version(f"switch.{self.name}", state, _STATE_VERSION)
+        self.state = SwitchState(state["state"])
+        self.failed_at = (
+            None if state["failed_at"] is None else float(state["failed_at"])
+        )
+        self.powered_hours = float(state["powered_hours"])
+        self.inherent_defect = bool(state["inherent_defect"])
+        self.whines = bool(state["whines"])
+        self._rate_per_hour = float(state["rate_per_hour"])
+        self._ports = set(state["ports"])
 
     def bench_test(self, duration_hours: float, time: float) -> bool:
         """Power the unit on a bench for ``duration_hours``.

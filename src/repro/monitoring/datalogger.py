@@ -16,14 +16,18 @@ Section 3.3 describes the instrument and its two quirks, both reproduced:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
 from repro.sim.clock import MINUTE
-from repro.sim.engine import EventHandle, Simulator
+from repro.sim.engine import PeriodicTask, Simulator
 from repro.sim.rng import RngStreams
+from repro.state.codec import pack_floats, unpack_floats
+from repro.state.protocol import check_version
 from repro.thermal.enclosure import Enclosure
+
+_STATE_VERSION = 1
 
 #: Indoor office conditions the logger sees while being downloaded.
 _INDOOR_TEMP_C = 21.5
@@ -100,7 +104,9 @@ class LascarDataLogger:
         self._rng = streams.stream("lascar.noise")
         self.readings: List[LoggerReading] = []
         self.removal_episodes: List[RemovalEpisode] = []
-        self._handle: Optional[EventHandle] = None
+        self._handle: Optional[PeriodicTask] = None
+        self._sim: Optional[Simulator] = None
+        self._restore_task_id: Optional[int] = None
 
     def __repr__(self) -> str:
         return (
@@ -136,8 +142,9 @@ class LascarDataLogger:
         if self._handle is not None:
             raise RuntimeError("logger already attached")
         start = max(sim.now, self.arrival_time)
-        self._handle = sim.every(
-            self.period_s, lambda: self.sample(sim.now), start=start, label="lascar"
+        self.register_keys(sim)
+        self._handle = sim.every_key(
+            self.period_s, "lascar.sample", start=start, label="lascar"
         )
 
     def detach(self) -> None:
@@ -145,6 +152,54 @@ class LascarDataLogger:
         if self._handle is not None:
             self._handle.cancel()
             self._handle = None
+
+    # ------------------------------------------------------------------
+    # Snapshot protocol
+    # ------------------------------------------------------------------
+    def register_keys(self, sim: Simulator) -> None:
+        """Bind this logger's engine registry key on ``sim``."""
+        self._sim = sim
+        sim.register("lascar.sample", self._sample_now)
+
+    def _sample_now(self) -> None:
+        self.sample(self._sim.now)
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "version": _STATE_VERSION,
+            "task_id": self._handle.task_id if self._handle is not None else None,
+            "readings": {
+                "time": pack_floats([r.time for r in self.readings]),
+                "temp_c": pack_floats([r.temp_c for r in self.readings]),
+                "rh_percent": pack_floats([r.rh_percent for r in self.readings]),
+            },
+            "removal_episodes": [
+                [ep.start, ep.end] for ep in self.removal_episodes
+            ],
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        check_version("lascar", state, _STATE_VERSION)
+        readings = state["readings"]
+        self.readings = [
+            LoggerReading(time=t, temp_c=c, rh_percent=rh)
+            for t, c, rh in zip(
+                unpack_floats(readings["time"]),
+                unpack_floats(readings["temp_c"]),
+                unpack_floats(readings["rh_percent"]),
+            )
+        ]
+        self.removal_episodes = [
+            RemovalEpisode(start=float(s), end=float(e))
+            for s, e in state["removal_episodes"]
+        ]
+        self._restore_task_id = state["task_id"]
+
+    def rebind(self, sim: Simulator) -> None:
+        """Re-link the periodic task after the engine's state is loaded."""
+        if self._restore_task_id is not None:
+            self._handle = sim.periodic_task(int(self._restore_task_id))
+            self._restore_task_id = None
 
     # ------------------------------------------------------------------
     # Download trips

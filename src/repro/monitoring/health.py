@@ -37,9 +37,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict
+from typing import Any, Dict
 
 from repro.runner.policy import RetryPolicy
+from repro.state.protocol import check_version
+
+_STATE_VERSION = 1
 
 
 class HostHealthState(enum.Enum):
@@ -159,6 +162,29 @@ class HealthTracker:
     def forget(self, host_id: int) -> None:
         """Drop a host's standing (unregistered from the collector)."""
         self._hosts.pop(host_id, None)
+
+    # ------------------------------------------------------------------
+    # Snapshot protocol
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "version": _STATE_VERSION,
+            "false_alarms_suppressed": self.false_alarms_suppressed,
+            "hosts": {
+                str(host_id): [h.state.value, h.streak]
+                for host_id, h in sorted(self._hosts.items())
+            },
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        check_version("health_tracker", state, _STATE_VERSION)
+        self.false_alarms_suppressed = int(state["false_alarms_suppressed"])
+        self._hosts = {
+            int(host_id): HostHealth(
+                state=HostHealthState(value), streak=int(streak)
+            )
+            for host_id, (value, streak) in state["hosts"].items()
+        }
 
     def state_of(self, host_id: int) -> HostHealthState:
         """The host's current believed state (UP if never observed)."""

@@ -53,7 +53,19 @@ from __future__ import annotations
 import enum
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.state.codec import (
+    pack_bools,
+    pack_floats,
+    pack_ints,
+    unpack_bools,
+    unpack_floats,
+    unpack_ints,
+)
+from repro.state.protocol import check_version
+
+_STATE_VERSION = 1
 
 #: Fixed per-session cost: TCP + SSH handshake + rsync file-list exchange.
 SSH_SESSION_OVERHEAD_BYTES = 4096
@@ -205,6 +217,74 @@ class TransferLedger:
         if not record.complete:
             self.partial_sessions += 1
         return record
+
+    # ------------------------------------------------------------------
+    # Snapshot protocol
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Channel positions, totals, and the packed transfer history."""
+        return {
+            "version": _STATE_VERSION,
+            "partial_sessions": self.partial_sessions,
+            "total_bytes": self._total_bytes,
+            "bytes_by_host": {
+                str(host_id): n for host_id, n in sorted(self._bytes_by_host.items())
+            },
+            "channels": {
+                str(host_id): [
+                    chan._synced_md5_lines,
+                    chan._synced_sensor_samples,
+                    chan.total_bytes,
+                    chan.sessions,
+                ]
+                for host_id, chan in sorted(self._channels.items())
+            },
+            "records": {
+                "time": pack_floats([r.time for r in self.records]),
+                "host_id": pack_ints([r.host_id for r in self.records]),
+                "new_md5_lines": pack_ints([r.new_md5_lines for r in self.records]),
+                "new_sensor_samples": pack_ints(
+                    [r.new_sensor_samples for r in self.records]
+                ),
+                "bytes_moved": pack_ints([r.bytes_moved for r in self.records]),
+                "complete": pack_bools([r.complete for r in self.records]),
+            },
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        check_version("transfer_ledger", state, _STATE_VERSION)
+        self.partial_sessions = int(state["partial_sessions"])
+        self._total_bytes = int(state["total_bytes"])
+        self._bytes_by_host = {
+            int(host_id): int(n) for host_id, n in state["bytes_by_host"].items()
+        }
+        self._channels = {}
+        for host_id, (md5, samples, total, sessions) in state["channels"].items():
+            chan = RsyncChannel(int(host_id))
+            chan._synced_md5_lines = int(md5)
+            chan._synced_sensor_samples = int(samples)
+            chan.total_bytes = int(total)
+            chan.sessions = int(sessions)
+            self._channels[int(host_id)] = chan
+        records = state["records"]
+        self.records = [
+            TransferRecord(
+                time=t,
+                host_id=h,
+                new_md5_lines=m,
+                new_sensor_samples=s,
+                bytes_moved=b,
+                complete=c,
+            )
+            for t, h, m, s, b, c in zip(
+                unpack_floats(records["time"]),
+                unpack_ints(records["host_id"]),
+                unpack_ints(records["new_md5_lines"]),
+                unpack_ints(records["new_sensor_samples"]),
+                unpack_ints(records["bytes_moved"]),
+                unpack_bools(records["complete"]),
+            )
+        ]
 
     @property
     def total_bytes(self) -> int:

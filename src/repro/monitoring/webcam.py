@@ -17,14 +17,18 @@ that is independent of the thermal chain.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
 from repro.climate.generator import WeatherGenerator
 from repro.sim.clock import HOUR
-from repro.sim.engine import EventHandle, Simulator
+from repro.sim.engine import PeriodicTask, Simulator
 from repro.sim.rng import RngStreams
+from repro.state.codec import pack_bools, pack_floats, unpack_bools, unpack_floats
+from repro.state.protocol import check_version
+
+_STATE_VERSION = 1
 
 #: Solar irradiance that saturates the camera's auto-exposure.
 _FULL_BRIGHT_WM2 = 350.0
@@ -82,7 +86,9 @@ class TerraceWebcam:
         self.frames: List[WebcamFrame] = []
         self._snow_cover = 0.0
         self._last_time: Optional[float] = None
-        self._handle: Optional[EventHandle] = None
+        self._handle: Optional[PeriodicTask] = None
+        self._sim: Optional[Simulator] = None
+        self._restore_task_id: Optional[int] = None
 
     def __repr__(self) -> str:
         return f"TerraceWebcam(frames={len(self.frames)})"
@@ -126,8 +132,9 @@ class TerraceWebcam:
         if self._handle is not None:
             raise RuntimeError("webcam already attached")
         first = sim.now if start is None else start
-        self._handle = sim.every(
-            self.period_s, lambda: self.capture(sim.now), start=first, label="webcam"
+        self.register_keys(sim)
+        self._handle = sim.every_key(
+            self.period_s, "webcam.capture", start=first, label="webcam"
         )
 
     def detach(self) -> None:
@@ -135,6 +142,57 @@ class TerraceWebcam:
         if self._handle is not None:
             self._handle.cancel()
             self._handle = None
+
+    # ------------------------------------------------------------------
+    # Snapshot protocol
+    # ------------------------------------------------------------------
+    def register_keys(self, sim: Simulator) -> None:
+        """Bind this camera's engine registry key on ``sim``."""
+        self._sim = sim
+        sim.register("webcam.capture", self._capture_now)
+
+    def _capture_now(self) -> None:
+        self.capture(self._sim.now)
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "version": _STATE_VERSION,
+            "task_id": self._handle.task_id if self._handle is not None else None,
+            "snow_cover": self._snow_cover,
+            "last_time": self._last_time,
+            "frames": {
+                "time": pack_floats([f.time for f in self.frames]),
+                "brightness": pack_floats([f.brightness for f in self.frames]),
+                "snowing": pack_bools([f.snowing for f in self.frames]),
+                "tent_snow_cover": pack_floats(
+                    [f.tent_snow_cover for f in self.frames]
+                ),
+            },
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        check_version("webcam", state, _STATE_VERSION)
+        self._snow_cover = float(state["snow_cover"])
+        self._last_time = (
+            None if state["last_time"] is None else float(state["last_time"])
+        )
+        frames = state["frames"]
+        self.frames = [
+            WebcamFrame(time=t, brightness=b, snowing=s, tent_snow_cover=c)
+            for t, b, s, c in zip(
+                unpack_floats(frames["time"]),
+                unpack_floats(frames["brightness"]),
+                unpack_bools(frames["snowing"]),
+                unpack_floats(frames["tent_snow_cover"]),
+            )
+        ]
+        self._restore_task_id = state["task_id"]
+
+    def rebind(self, sim: Simulator) -> None:
+        """Re-link the periodic task after the engine's state is loaded."""
+        if self._restore_task_id is not None:
+            self._handle = sim.periodic_task(int(self._restore_task_id))
+            self._restore_task_id = None
 
     # ------------------------------------------------------------------
     # Analysis accessors

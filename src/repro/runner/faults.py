@@ -32,6 +32,7 @@ Actions
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 import multiprocessing
 import os
@@ -55,19 +56,30 @@ class FaultAction(enum.Enum):
 
 @dataclass(frozen=True)
 class Fault:
-    """One scheduled misbehaviour: spec ``seed``, ``attempt``, action."""
+    """One scheduled misbehaviour: spec ``seed``, ``attempt``, action.
+
+    ``after_checkpoints`` defers a ``DIE`` into the run itself: instead
+    of striking before the campaign starts, the worker runs normally and
+    dies right after flushing that many checkpoints -- the seam the
+    preemption-tolerant resume path is tested through.
+    """
 
     seed: int
     attempt: int
     action: FaultAction
     delay_s: float = 0.0
     message: str = "injected fault"
+    after_checkpoints: int = 0
 
     def __post_init__(self) -> None:
         if self.attempt < 1:
             raise ValueError("attempts are counted from 1")
         if self.delay_s < 0:
             raise ValueError("fault delay cannot be negative")
+        if self.after_checkpoints < 0:
+            raise ValueError("after_checkpoints cannot be negative")
+        if self.after_checkpoints and self.action is not FaultAction.DIE:
+            raise ValueError("after_checkpoints only defers DIE faults")
 
 
 @dataclass(frozen=True)
@@ -108,6 +120,15 @@ class FaultyWorker:
     def __call__(self, item):
         fault = self.plan.lookup(item.spec.seed, item.attempt)
         if fault is not None:
+            if fault.after_checkpoints > 0:
+                # Deferred DIE: run normally, die mid-campaign after the
+                # n-th checkpoint flush (execute_attempt pulls the
+                # trigger through its on-checkpoint hook).
+                return self.fn(
+                    dataclasses.replace(
+                        item, die_after_checkpoints=fault.after_checkpoints
+                    )
+                )
             if fault.action is FaultAction.DELAY:
                 time.sleep(fault.delay_s)
             elif fault.action is FaultAction.RAISE:

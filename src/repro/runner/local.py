@@ -15,17 +15,29 @@ wrapped in a ``runner.run`` span, and the resulting
 :class:`~repro.telemetry.hub.TelemetrySnapshot` rides inside the
 returned record.  The default stays telemetry-free and byte-identical
 to the historical output.
+
+Checkpointing rides in the same doorway: ``checkpoint_every`` /
+``checkpoint_dir`` make the campaign flush crash-safe snapshots at a
+simulated-seconds cadence, and ``resume_from`` restores a prior flush
+and continues it instead of starting from scratch.  Because the engine
+fires an identical event sequence whether or not the horizon is
+segmented, a resumed run's record is byte-identical to an
+uninterrupted one -- resume only changes how much work is redone.
 """
 
 from __future__ import annotations
 
 import datetime as _dt
+import multiprocessing
+import os
 import time
-from typing import Optional
+from typing import Callable, Optional
 
-from repro.core.builder import CampaignBuilder
+from repro.core.builder import Campaign, CampaignBuilder
+from repro.runner.faults import InjectedFault
 from repro.core.config import ExperimentConfig
 from repro.runner.records import RunRecord, record_from_results
+from repro.state.protocol import StateError
 from repro.telemetry import Stopwatch, Telemetry
 
 
@@ -33,19 +45,60 @@ def run_recorded(
     config: ExperimentConfig,
     until: Optional[_dt.datetime] = None,
     telemetry: bool = False,
+    checkpoint_every: Optional[float] = None,
+    checkpoint_dir: Optional[str] = None,
+    on_checkpoint: Optional[Callable] = None,
+    resume_from: Optional[str] = None,
 ) -> RunRecord:
-    """Run one campaign and distil it into a :class:`RunRecord`."""
-    builder = CampaignBuilder(config)
-    hub: Optional[Telemetry] = None
-    if telemetry:
-        hub = Telemetry()
-        builder.with_telemetry(hub)
+    """Run one campaign and distil it into a :class:`RunRecord`.
+
+    With ``resume_from`` pointing at a checkpoint file, the campaign is
+    restored and continued from its cut point; a missing, corrupt, or
+    config-mismatched checkpoint falls back to a from-scratch run (the
+    reader quarantines damaged files), so resume is an optimisation,
+    never a new failure mode.
+    """
     with Stopwatch() as watch:
-        if hub is not None:
-            with hub.span("runner.run"):
-                results = builder.build().run(until=until)
-        else:
-            results = builder.build().run(until=until)
+        results = None
+        if resume_from is not None:
+            try:
+                campaign, results = Campaign.resume(
+                    resume_from,
+                    until=until,
+                    checkpoint_every=checkpoint_every,
+                    checkpoint_dir=checkpoint_dir,
+                    on_checkpoint=on_checkpoint,
+                )
+                hub = campaign.telemetry
+                if hub is not None:
+                    # Parity with the from-scratch path below: the
+                    # worker-level span fires exactly once either way.
+                    with hub.span("runner.run"):
+                        pass
+            except StateError:
+                results = None
+        if results is None:
+            builder = CampaignBuilder(config)
+            hub = None
+            if telemetry:
+                hub = Telemetry()
+                builder.with_telemetry(hub)
+            campaign = builder.build()
+            if hub is not None:
+                with hub.span("runner.run"):
+                    results = campaign.run(
+                        until=until,
+                        checkpoint_every=checkpoint_every,
+                        checkpoint_dir=checkpoint_dir,
+                        on_checkpoint=on_checkpoint,
+                    )
+            else:
+                results = campaign.run(
+                    until=until,
+                    checkpoint_every=checkpoint_every,
+                    checkpoint_dir=checkpoint_dir,
+                    on_checkpoint=on_checkpoint,
+                )
     return record_from_results(
         config.seed,
         results,
@@ -58,15 +111,44 @@ def execute_attempt(item) -> RunRecord:
     """Sweep worker: honour the retry backoff, then run the spec.
 
     ``item`` is a :class:`repro.runner.pool.WorkItem`; it is duck-typed
-    here (``spec``, ``attempt``, ``backoff_s``) to keep the layering
-    one-way -- pool imports local, never the reverse.  The backoff sleep
-    happens in the worker so the scheduler never blocks: a retried spec
-    waits out its delay in its own slot while other completions keep
-    flowing.  Top-level, hence picklable, and byte-deterministic: the
-    record depends only on (config, seed, horizon), never on which
-    attempt finally succeeded.
+    here (``spec``, ``attempt``, ``backoff_s``, and the optional
+    checkpoint fields) to keep the layering one-way -- pool imports
+    local, never the reverse.  The backoff sleep happens in the worker
+    so the scheduler never blocks: a retried spec waits out its delay in
+    its own slot while other completions keep flowing.  Top-level, hence
+    picklable, and byte-deterministic: the record depends only on
+    (config, seed, horizon), never on which attempt finally succeeded
+    or where that attempt resumed from.
+
+    ``die_after_checkpoints`` is the deferred-``DIE`` fault seam: the
+    worker hard-exits right after the n-th checkpoint flush (raising
+    :class:`~repro.runner.faults.InjectedFault` in a serial sweep, where
+    a hard exit would kill the sweep itself).
     """
     if item.backoff_s > 0:
         time.sleep(item.backoff_s)
     spec = item.spec
-    return run_recorded(spec.config, until=spec.until, telemetry=spec.telemetry)
+
+    on_checkpoint: Optional[Callable] = None
+    die_after = getattr(item, "die_after_checkpoints", 0)
+    if die_after:
+        flushed = [0]
+
+        def on_checkpoint(path, checkpoint) -> None:
+            flushed[0] += 1
+            if flushed[0] >= die_after:
+                if multiprocessing.parent_process() is None:
+                    raise InjectedFault(
+                        f"injected death after checkpoint {flushed[0]}"
+                    )
+                os._exit(13)
+
+    return run_recorded(
+        spec.config,
+        until=spec.until,
+        telemetry=spec.telemetry,
+        checkpoint_every=getattr(item, "checkpoint_every_s", None),
+        checkpoint_dir=getattr(item, "checkpoint_dir", None),
+        on_checkpoint=on_checkpoint,
+        resume_from=getattr(item, "resume_from", None),
+    )

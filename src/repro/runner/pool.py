@@ -50,6 +50,7 @@ from __future__ import annotations
 import datetime as _dt
 import json
 import os
+import shutil
 import tempfile
 import time
 from collections import deque
@@ -79,12 +80,17 @@ from repro.runner.records import (
     config_digest,
     record_from_json_dict,
 )
+from repro.sim.clock import DAY
+from repro.state.checkpoint import read_checkpoint
 from repro.telemetry import (
     Stopwatch,
     Telemetry,
     TelemetrySnapshot,
     merge_snapshots,
 )
+
+#: Default simulated-seconds checkpoint cadence for resumable sweeps.
+DEFAULT_CHECKPOINT_EVERY_S = 14 * DAY
 
 
 def _horizon_token(until: Optional[_dt.datetime]) -> str:
@@ -143,12 +149,23 @@ class RunSpec:
 
 @dataclass(frozen=True)
 class WorkItem:
-    """One scheduled attempt at a spec (picklable pool payload)."""
+    """One scheduled attempt at a spec (picklable pool payload).
+
+    The checkpoint fields are populated only by resumable sweeps:
+    ``checkpoint_dir``/``checkpoint_every_s`` make the attempt flush
+    snapshots as it runs, ``resume_from`` points a retry at the previous
+    attempt's last flush, and ``die_after_checkpoints`` is the deferred
+    fault seam (see :class:`~repro.runner.faults.Fault`).
+    """
 
     index: int
     spec: RunSpec
     attempt: int = 1
     backoff_s: float = 0.0
+    checkpoint_dir: Optional[str] = None
+    checkpoint_every_s: Optional[float] = None
+    resume_from: Optional[str] = None
+    die_after_checkpoints: int = 0
 
 
 @dataclass(frozen=True)
@@ -170,6 +187,7 @@ class SweepResult:
     retries: int = 0
     timeouts: int = 0
     cache_evictions: int = 0
+    checkpoint_resumes: int = 0
     runner_telemetry: Optional[TelemetrySnapshot] = None
 
     @property
@@ -281,6 +299,31 @@ def _store_cached(cache_dir: str, spec: RunSpec, record: RunRecord) -> bool:
                 pass
 
 
+def _latest_checkpoint(checkpoint_dir: Optional[str]) -> Optional[str]:
+    """The newest *valid* checkpoint in a spec's flush directory.
+
+    Candidates are tried newest-first (the cadence filenames sort by
+    simulated time); :func:`read_checkpoint` quarantines anything
+    corrupt, so a damaged newest flush degrades to the one before it,
+    and a spec with no usable flush restarts from scratch.
+    """
+    if checkpoint_dir is None or not os.path.isdir(checkpoint_dir):
+        return None
+    names = sorted(
+        (
+            name
+            for name in os.listdir(checkpoint_dir)
+            if name.startswith("checkpoint_") and name.endswith(".json")
+        ),
+        reverse=True,
+    )
+    for name in names:
+        path = os.path.join(checkpoint_dir, name)
+        if read_checkpoint(path) is not None:
+            return path
+    return None
+
+
 # ----------------------------------------------------------------------
 # Scheduling
 # ----------------------------------------------------------------------
@@ -301,6 +344,7 @@ class _SweepState:
         self.retries = 0
         self.timeouts = 0
         self.store_failures = 0
+        self.checkpoint_resumes = 0
 
     def success(self, item: WorkItem, record: RunRecord) -> None:
         """Record a finished attempt; cache it immediately."""
@@ -308,6 +352,10 @@ class _SweepState:
         if self.cache_dir is not None:
             if not _store_cached(self.cache_dir, item.spec, record):
                 self.store_failures += 1
+        if item.checkpoint_dir is not None:
+            # The record is cached; the spec's mid-flight snapshots are
+            # spent fuel.
+            shutil.rmtree(item.checkpoint_dir, ignore_errors=True)
 
     def failure(
         self, item: WorkItem, exc: BaseException, timed_out: bool = False
@@ -322,11 +370,17 @@ class _SweepState:
             self.timeouts += 1
         if item.attempt < self.policy.max_attempts:
             self.retries += 1
+            resume_from = _latest_checkpoint(item.checkpoint_dir)
+            if resume_from is not None:
+                self.checkpoint_resumes += 1
             return WorkItem(
                 index=item.index,
                 spec=item.spec,
                 attempt=item.attempt + 1,
                 backoff_s=self.policy.backoff_s(item.attempt, item.spec.seed),
+                checkpoint_dir=item.checkpoint_dir,
+                checkpoint_every_s=item.checkpoint_every_s,
+                resume_from=resume_from,
             )
         if self.strict:
             raise exc
@@ -480,6 +534,8 @@ def run_specs(
     policy: Optional[RetryPolicy] = None,
     strict: bool = False,
     faults: Optional[FaultPlan] = None,
+    resumable: bool = False,
+    checkpoint_every_s: Optional[float] = None,
 ) -> SweepResult:
     """Execute every spec and return the surviving records in spec order.
 
@@ -496,11 +552,28 @@ def run_specs(
     ``faults`` is the deterministic test seam
     (:class:`~repro.runner.faults.FaultPlan`) that injects crashes,
     delays, and worker deaths on schedule.
+
+    ``resumable=True`` makes every attempt flush campaign checkpoints
+    under ``cache_dir/checkpoints/<cache_key>/`` every
+    ``checkpoint_every_s`` simulated seconds (default
+    :data:`DEFAULT_CHECKPOINT_EVERY_S`); a retried attempt then resumes
+    from the dead attempt's last valid flush instead of simulated
+    ``t=0``.  Resume changes how much work a retry redoes, never what
+    it returns: the records stay byte-identical.
     """
     if not specs:
         raise ValueError("need at least one run spec")
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
+    if resumable and cache_dir is None:
+        raise ValueError("resumable sweeps need a cache_dir for checkpoints")
+    if checkpoint_every_s is not None and checkpoint_every_s <= 0:
+        raise ValueError("checkpoint_every_s must be positive")
+    every = (
+        checkpoint_every_s
+        if checkpoint_every_s is not None
+        else DEFAULT_CHECKPOINT_EVERY_S
+    )
     policy = policy if policy is not None else RetryPolicy()
     with Stopwatch() as watch:
         hits = 0
@@ -515,7 +588,16 @@ def run_specs(
                     hits += 1
 
         missing = [
-            WorkItem(index=index, spec=spec)
+            WorkItem(
+                index=index,
+                spec=spec,
+                checkpoint_dir=(
+                    os.path.join(cache_dir, "checkpoints", spec.cache_key())
+                    if resumable
+                    else None
+                ),
+                checkpoint_every_s=every if resumable else None,
+            )
             for index, spec in enumerate(specs)
             if index not in state.records
         ]
@@ -547,6 +629,7 @@ def run_specs(
     hub.counter("runner.retries").inc(state.retries)
     hub.counter("runner.timeouts").inc(state.timeouts)
     hub.counter("runner.failures").inc(len(state.failures))
+    hub.counter("runner.checkpoint_resumes").inc(state.checkpoint_resumes)
     return SweepResult(
         records=ordered,
         cache_hits=hits,
@@ -556,6 +639,7 @@ def run_specs(
         retries=state.retries,
         timeouts=state.timeouts,
         cache_evictions=evictions,
+        checkpoint_resumes=state.checkpoint_resumes,
         runner_telemetry=hub.snapshot(),
     )
 
@@ -592,13 +676,16 @@ def sweep_records(
     policy: Optional[RetryPolicy] = None,
     strict: bool = False,
     faults: Optional[FaultPlan] = None,
+    resumable: bool = False,
+    checkpoint_every_s: Optional[float] = None,
 ) -> SweepResult:
     """Run the campaign once per seed; full execution report.
 
     ``telemetry=True`` collects metrics and spans in every worker;
     :meth:`SweepResult.merged_telemetry` folds them into one view.
-    ``policy``/``strict``/``faults`` are passed through to
-    :func:`run_specs` (see there for the fault-tolerance semantics).
+    ``policy``/``strict``/``faults``/``resumable`` are passed through to
+    :func:`run_specs` (see there for the fault-tolerance and
+    checkpoint-resume semantics).
     """
     return run_specs(
         _specs_for_seeds(seeds, until, config_factory, telemetry=telemetry),
@@ -607,6 +694,8 @@ def sweep_records(
         policy=policy,
         strict=strict,
         faults=faults,
+        resumable=resumable,
+        checkpoint_every_s=checkpoint_every_s,
     )
 
 

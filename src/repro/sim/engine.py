@@ -10,16 +10,44 @@ Determinism rules:
   run is a pure function of (config, master seed);
 - callbacks may schedule further events, including at the current instant,
   but never in the past.
+
+Snapshotting
+------------
+The queue used to hold raw closures, which made a mid-flight simulator
+unserialisable.  Work scheduled through the *registry* instead carries a
+stable ``(key, args)`` spec: :meth:`register` binds a key to a callable
+once per process, :meth:`schedule_key` / :meth:`every_key` enqueue specs,
+and the callable is resolved at fire time.  :meth:`state_dict` then
+externalises the whole engine -- clock position, counters, sequence
+numbers, the heap (cancelled tombstones included, so the
+``events_cancelled`` tally stays byte-identical across a resume), and
+the periodic-task table -- and :meth:`load_state_dict` rebuilds it into
+a fresh simulator whose registry has been populated the same way.
+Closure-scheduled events still work for ad-hoc use; they simply make
+``state_dict`` raise.
+
+Heap hygiene: cancellation is lazy (tombstones drain when they surface),
+but when more than half the queue is tombstones the heap is compacted in
+one pass (counted in :attr:`heap_compactions`), so long campaigns with
+periodic reschedules don't grow the queue unboundedly.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 from time import perf_counter
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.sim.clock import SimClock
+
+#: Registry key the engine itself uses to re-fire periodic tasks.
+_PERIODIC_KEY = "engine.periodic"
+
+#: Compact the heap only past this size (tiny queues aren't worth it).
+_COMPACT_MIN_QUEUE = 8
+
+#: Engine state-dict layout version.
+_STATE_VERSION = 1
 
 
 class SimulationError(RuntimeError):
@@ -30,26 +58,76 @@ class EventHandle:
     """Cancellable reference to a scheduled event.
 
     Cancellation is lazy: the heap entry stays queued and is discarded when
-    it surfaces.  ``handle.cancelled`` is readable at any time.
+    it surfaces (or swept by a compaction pass).  ``handle.cancelled`` is
+    readable at any time.  ``key``/``args`` hold the registry spec for
+    snapshot-safe events; closure events have ``key is None``.
     """
 
-    __slots__ = ("time", "seq", "callback", "cancelled", "label")
+    __slots__ = ("time", "seq", "callback", "cancelled", "label", "key", "args", "_sim")
 
-    def __init__(self, time: float, seq: int, callback: Callable[[], None], label: str) -> None:
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Optional[Callable[[], None]],
+        label: str,
+        key: Optional[str] = None,
+        args: Tuple = (),
+    ) -> None:
         self.time = time
         self.seq = seq
         self.callback: Optional[Callable[[], None]] = callback
         self.cancelled = False
         self.label = label
+        self.key = key
+        self.args = args
+        self._sim: Optional["Simulator"] = None
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
         self.cancelled = True
         self.callback = None
+        sim = self._sim
+        if sim is not None:
+            self._sim = None
+            sim._note_cancel()
 
     def __repr__(self) -> str:
         state = "cancelled" if self.cancelled else f"at {self.time:.1f}s"
         return f"EventHandle({self.label!r}, {state})"
+
+
+class PeriodicTask:
+    """Cancellable reference to an engine-managed recurrence.
+
+    Unlike :class:`EventHandle` this survives snapshot/restore: the task
+    table serialises with the engine, and
+    :meth:`Simulator.periodic_task` rebuilds a handle from its id.
+    """
+
+    __slots__ = ("_sim", "task_id")
+
+    def __init__(self, sim: "Simulator", task_id: int) -> None:
+        self._sim = sim
+        self.task_id = task_id
+
+    @property
+    def cancelled(self) -> bool:
+        return self._sim._periodic[self.task_id]["cancelled"]
+
+    def cancel(self) -> None:
+        """Stop the recurrence.  Idempotent.
+
+        Matches the closure-based :meth:`Simulator.every` semantics: the
+        already-queued next occurrence still surfaces (and counts as
+        fired), sees the flag, and does nothing.
+        """
+        self._sim._periodic[self.task_id]["cancelled"] = True
+
+    def __repr__(self) -> str:
+        task = self._sim._periodic[self.task_id]
+        state = "cancelled" if task["cancelled"] else f"every {task['period']:.0f}s"
+        return f"PeriodicTask({task['label']!r}, {state})"
 
 
 class Simulator:
@@ -74,10 +152,17 @@ class Simulator:
         self.clock = clock if clock is not None else SimClock()
         self.now: float = 0.0
         self._queue: List[EventHandle] = []
-        self._seq = itertools.count()
+        self._seq = 0
         self._events_fired = 0
         self._events_cancelled = 0
+        self._cancelled_pending = 0
+        self._heap_compactions = 0
         self._running = False
+        self._registry: Dict[str, Callable[..., None]] = {
+            _PERIODIC_KEY: self._fire_periodic
+        }
+        self._periodic: Dict[int, Dict[str, Any]] = {}
+        self._periodic_next = 0
         #: Optional trace hook ``(time, label)`` called before each event
         #: fires; labels come from the ``label=`` scheduling argument.
         #: Used by tests and by anyone debugging event ordering.
@@ -100,7 +185,7 @@ class Simulator:
     @property
     def pending_count(self) -> int:
         """Number of queued, non-cancelled events."""
-        return sum(1 for h in self._queue if not h.cancelled)
+        return len(self._queue) - self._cancelled_pending
 
     @property
     def events_fired(self) -> int:
@@ -111,6 +196,11 @@ class Simulator:
     def events_cancelled(self) -> int:
         """Cancelled handles drained from the queue without firing."""
         return self._events_cancelled
+
+    @property
+    def heap_compactions(self) -> int:
+        """Times the queue was swept of cancelled tombstones in one pass."""
+        return self._heap_compactions
 
     def schedule(
         self, delay: float, callback: Callable[[], None], label: str = ""
@@ -127,9 +217,7 @@ class Simulator:
                 f"cannot schedule {label or callback!r} at {time:.1f}s, "
                 f"which is before now ({self.now:.1f}s)"
             )
-        handle = EventHandle(time, next(self._seq), callback, label)
-        heapq.heappush(self._queue, handle)  # type: ignore[arg-type]
-        return handle
+        return self._push(EventHandle(time, self._next_seq(), callback, label))
 
     def schedule_datetime(
         self, when: Any, callback: Callable[[], None], label: str = ""
@@ -148,6 +236,8 @@ class Simulator:
 
         Returns the handle of the *first* occurrence; cancelling it stops
         the whole recurrence (each firing re-checks the shared handle).
+        Closure-based and therefore not snapshot-safe; long-lived
+        campaign recurrences use :meth:`every_key`.
         """
         first = self.now + period if start is None else start
         control = EventHandle(first, -1, lambda: None, label or "periodic")
@@ -163,6 +253,108 @@ class Simulator:
         return control
 
     # ------------------------------------------------------------------
+    # Registry (snapshot-safe scheduling)
+    # ------------------------------------------------------------------
+    def register(self, key: str, fn: Callable[..., None]) -> None:
+        """Bind ``key`` to ``fn`` for spec-based scheduling.
+
+        Keys are stable names (``"fleet.tick"``, ``"policy.inspect"``);
+        the binding is per-process and re-registration overwrites, which
+        is what restore-by-reconstruction needs.
+        """
+        if key == _PERIODIC_KEY and fn is not self._fire_periodic:
+            raise SimulationError(f"{_PERIODIC_KEY!r} is reserved by the engine")
+        self._registry[key] = fn
+
+    def registered(self, key: str) -> bool:
+        """Whether ``key`` is bound."""
+        return key in self._registry
+
+    def schedule_key(
+        self, delay: float, key: str, args: Tuple = (), label: str = ""
+    ) -> EventHandle:
+        """Registry-dispatched :meth:`schedule`."""
+        return self.schedule_at_key(self.now + delay, key, args, label)
+
+    def schedule_at_key(
+        self, time: float, key: str, args: Tuple = (), label: str = ""
+    ) -> EventHandle:
+        """Registry-dispatched :meth:`schedule_at`: snapshot-safe."""
+        if key not in self._registry:
+            raise SimulationError(f"no callback registered under {key!r}")
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule {label or key!r} at {time:.1f}s, "
+                f"which is before now ({self.now:.1f}s)"
+            )
+        handle = EventHandle(
+            time, self._next_seq(), None, label, key=key, args=tuple(args)
+        )
+        return self._push(handle)
+
+    def every_key(
+        self,
+        period: float,
+        key: str,
+        args: Tuple = (),
+        start: Optional[float] = None,
+        label: str = "",
+    ) -> PeriodicTask:
+        """Snapshot-safe :meth:`every`: the recurrence lives in the task table.
+
+        Sequence-number consumption matches :meth:`every` exactly (one
+        per occurrence), so converting a recurrence from closures to
+        keys does not perturb tie-breaking anywhere else in the run.
+        """
+        if period <= 0:
+            raise SimulationError("periodic events need a positive period")
+        if key not in self._registry:
+            raise SimulationError(f"no callback registered under {key!r}")
+        first = self.now + period if start is None else start
+        task_id = self._periodic_next
+        self._periodic_next += 1
+        self._periodic[task_id] = {
+            "period": float(period),
+            "key": key,
+            "args": tuple(args),
+            "label": label,
+            "cancelled": False,
+        }
+        self.schedule_at_key(first, _PERIODIC_KEY, (task_id,), label=label)
+        return PeriodicTask(self, task_id)
+
+    def periodic_task(self, task_id: int) -> PeriodicTask:
+        """Rebuild the handle for an existing recurrence (restore path)."""
+        if task_id not in self._periodic:
+            raise SimulationError(f"no periodic task {task_id}")
+        return PeriodicTask(self, task_id)
+
+    def find_key_handles(
+        self, key: str, args: Optional[Tuple] = None
+    ) -> List[EventHandle]:
+        """Live queued handles for ``key`` (restore-time re-linking)."""
+        return [
+            h
+            for h in self._queue
+            if h.key == key
+            and not h.cancelled
+            and (args is None or h.args == tuple(args))
+        ]
+
+    def _fire_periodic(self, task_id: int) -> None:
+        task = self._periodic[task_id]
+        if task["cancelled"]:
+            return
+        self._registry[task["key"]](*task["args"])
+        if not task["cancelled"]:
+            self.schedule_at_key(
+                self.now + task["period"],
+                _PERIODIC_KEY,
+                (task_id,),
+                label=task["label"],
+            )
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def peek_time(self) -> Optional[float]:
@@ -176,30 +368,45 @@ class Simulator:
         if not self._queue:
             return False
         handle = heapq.heappop(self._queue)
+        handle._sim = None
         self.now = handle.time
-        callback = handle.callback
-        handle.callback = None
-        if callback is None:
+        if handle.cancelled:
             # A handle cancelled after surfacing past _drop_cancelled is
             # drained here: it never fired, so it must not count as fired.
             self._events_cancelled += 1
             return True
+        callback = handle.callback
+        handle.callback = None
         self._events_fired += 1
         if self.on_event is not None:
             self.on_event(handle.time, handle.label)
         tracer = self.tracer
         if tracer is None:
-            callback()
+            self._invoke(handle, callback)
         else:
             started = perf_counter()
             try:
-                callback()
+                self._invoke(handle, callback)
             finally:
                 tracer.record(
                     "engine." + (handle.label or "unlabeled"),
                     perf_counter() - started,
                 )
         return True
+
+    def _invoke(
+        self, handle: EventHandle, callback: Optional[Callable[[], None]]
+    ) -> None:
+        if handle.key is not None:
+            fn = self._registry.get(handle.key)
+            if fn is None:
+                raise SimulationError(
+                    f"event {handle.label or handle.key!r} fired but "
+                    f"{handle.key!r} is no longer registered"
+                )
+            fn(*handle.args)
+        elif callback is not None:
+            callback()
 
     def run_until(self, end: float) -> None:
         """Fire all events with ``time <= end``, then advance the clock to ``end``."""
@@ -228,12 +435,148 @@ class Simulator:
             pass
 
     # ------------------------------------------------------------------
+    # Snapshot protocol
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Serialise clock position, counters, heap, and task table.
+
+        Raises :class:`SimulationError` if the queue still holds live
+        closure-scheduled events -- only registry specs re-materialise.
+        Cancelled closure tombstones are fine: they serialise as counted
+        tombstones and never fire.
+        """
+        opaque = sorted(
+            {
+                h.label or "<unlabeled>"
+                for h in self._queue
+                if not h.cancelled and h.key is None
+            }
+        )
+        if opaque:
+            raise SimulationError(
+                "cannot snapshot: queue holds closure-scheduled events "
+                f"without registry keys: {', '.join(opaque)}"
+            )
+        return {
+            "version": _STATE_VERSION,
+            "now": self.now,
+            "seq": self._seq,
+            "events_fired": self._events_fired,
+            "events_cancelled": self._events_cancelled,
+            "heap_compactions": self._heap_compactions,
+            "queue": [
+                {
+                    "time": h.time,
+                    "seq": h.seq,
+                    "label": h.label,
+                    "cancelled": bool(h.cancelled),
+                    "key": h.key,
+                    "args": list(h.args),
+                }
+                for h in sorted(self._queue, key=lambda h: (h.time, h.seq))
+            ],
+            "periodic_next": self._periodic_next,
+            "periodic": {
+                str(task_id): {
+                    "period": task["period"],
+                    "key": task["key"],
+                    "args": list(task["args"]),
+                    "label": task["label"],
+                    "cancelled": task["cancelled"],
+                }
+                for task_id, task in sorted(self._periodic.items())
+            },
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Replace the queue, counters, and task table wholesale.
+
+        Any event scheduled between construction and this call (e.g. by
+        components re-created during restore) is discarded -- the
+        snapshot is the whole truth.  Registry bindings are left alone;
+        every key named by the snapshot must already be registered.
+        """
+        if state.get("version") != _STATE_VERSION:
+            raise SimulationError(
+                f"cannot load engine state version {state.get('version')!r}"
+            )
+        queue: List[EventHandle] = []
+        for entry in state["queue"]:
+            key = entry["key"]
+            if key is not None and key not in self._registry:
+                raise SimulationError(
+                    f"snapshot queue entry {entry['label'] or key!r} needs "
+                    f"unregistered key {key!r}"
+                )
+            handle = EventHandle(
+                float(entry["time"]),
+                int(entry["seq"]),
+                None,
+                entry["label"],
+                key=key,
+                args=tuple(entry["args"]),
+            )
+            handle.cancelled = bool(entry["cancelled"])
+            if not handle.cancelled:
+                handle._sim = self
+            queue.append(handle)
+        heapq.heapify(queue)
+        self._queue = queue
+        self.now = float(state["now"])
+        self._seq = int(state["seq"])
+        self._events_fired = int(state["events_fired"])
+        self._events_cancelled = int(state["events_cancelled"])
+        self._heap_compactions = int(state.get("heap_compactions", 0))
+        self._cancelled_pending = sum(1 for h in queue if h.cancelled)
+        self._periodic = {
+            int(task_id): {
+                "period": float(task["period"]),
+                "key": task["key"],
+                "args": tuple(task["args"]),
+                "label": task["label"],
+                "cancelled": bool(task["cancelled"]),
+            }
+            for task_id, task in state["periodic"].items()
+        }
+        self._periodic_next = int(state["periodic_next"])
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _next_seq(self) -> int:
+        seq = self._seq
+        self._seq += 1
+        return seq
+
+    def _push(self, handle: EventHandle) -> EventHandle:
+        handle._sim = self
+        heapq.heappush(self._queue, handle)  # type: ignore[arg-type]
+        return handle
+
+    def _note_cancel(self) -> None:
+        """A queued handle was cancelled; maybe compact the heap."""
+        self._cancelled_pending += 1
+        if (
+            len(self._queue) >= _COMPACT_MIN_QUEUE
+            and self._cancelled_pending * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Sweep every cancelled tombstone from the heap in one pass."""
+        keep = [h for h in self._queue if not h.cancelled]
+        dropped = len(self._queue) - len(keep)
+        heapq.heapify(keep)
+        self._queue = keep
+        self._events_cancelled += dropped
+        self._cancelled_pending = 0
+        self._heap_compactions += 1
+
     def _drop_cancelled(self) -> None:
         while self._queue and self._queue[0].cancelled:
             heapq.heappop(self._queue)
             self._events_cancelled += 1
+            self._cancelled_pending -= 1
 
 
 # heapq compares tuples of (time, seq) via EventHandle ordering:

@@ -15,9 +15,13 @@ stable hash of the stream name, so stream identity depends only on the
 from __future__ import annotations
 
 import hashlib
-from typing import Dict
+from typing import Any, Dict
 
 import numpy as np
+
+from repro.state.protocol import StateError, check_version
+
+_STATE_VERSION = 1
 
 
 def _name_key(name: str) -> int:
@@ -53,6 +57,7 @@ class RngStreams:
             raise TypeError(f"master_seed must be an int, got {type(master_seed).__name__}")
         self.master_seed = int(master_seed)
         self._cache: Dict[str, np.random.Generator] = {}
+        self._children: Dict[str, "RngStreams"] = {}
 
     def __repr__(self) -> str:
         return f"RngStreams(master_seed={self.master_seed}, streams={sorted(self._cache)})"
@@ -78,15 +83,91 @@ class RngStreams:
 
         ``streams.spawn("host.03")`` gives an independent family whose
         streams never collide with the parent's or with other children's.
+        The same name always returns the same child object, so child
+        stream positions are part of this family's snapshot.
         """
-        return RngStreams(_mix(self.master_seed, _name_key(name)))
+        child = self._children.get(name)
+        if child is None:
+            child = RngStreams(_mix(self.master_seed, _name_key(name)))
+            self._children[name] = child
+        return child
 
     def fork_seed(self, name: str) -> int:
         """A derived scalar seed for code that wants its own RNG machinery."""
         return _mix(self.master_seed, _name_key(name))
+
+    # ------------------------------------------------------------------
+    # Snapshot protocol
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Positions of every stream created so far, children included.
+
+        A PCG64 ``bit_generator.state`` is a plain dict of ints and
+        strings, so the whole family snapshot is JSON-serialisable.
+        """
+        return {
+            "version": _STATE_VERSION,
+            "master_seed": self.master_seed,
+            "streams": {
+                name: _encode_bitgen_state(gen.bit_generator.state)
+                for name, gen in sorted(self._cache.items())
+            },
+            "children": {
+                name: child.state_dict()
+                for name, child in sorted(self._children.items())
+            },
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Seek every named stream to its recorded position.
+
+        Streams the snapshot names are created on demand; streams created
+        since construction but absent from the snapshot keep their fresh
+        positions (they had drawn nothing when the snapshot was taken).
+        Restore order therefore does not matter as long as this runs
+        *after* any reconstruction-time draws.
+        """
+        check_version("rng", state, _STATE_VERSION)
+        if int(state["master_seed"]) != self.master_seed:
+            raise StateError(
+                f"rng: snapshot was taken under master seed "
+                f"{state['master_seed']}, this family uses {self.master_seed}"
+            )
+        for name, bitgen_state in state["streams"].items():
+            self.stream(name).bit_generator.state = _decode_bitgen_state(
+                bitgen_state
+            )
+        for name, child_state in state["children"].items():
+            self.spawn(name).load_state_dict(child_state)
 
 
 def _mix(seed: int, key: int) -> int:
     """Combine a seed and a name key into a new 63-bit seed."""
     digest = hashlib.sha256(f"{seed}:{key}".encode("ascii")).digest()
     return int.from_bytes(digest[:8], "big") >> 1
+
+
+def _encode_bitgen_state(state: Dict[str, Any]) -> Dict[str, Any]:
+    """A PCG64 state dict with its 128-bit ints rendered as strings.
+
+    Python's ``json`` would round-trip the big ints natively, but decimal
+    strings survive any JSON implementation and make the checkpoint
+    self-describing.
+    """
+    inner = state["state"]
+    return {
+        "bit_generator": state["bit_generator"],
+        "state": {"state": str(inner["state"]), "inc": str(inner["inc"])},
+        "has_uint32": int(state["has_uint32"]),
+        "uinteger": int(state["uinteger"]),
+    }
+
+
+def _decode_bitgen_state(data: Dict[str, Any]) -> Dict[str, Any]:
+    inner = data["state"]
+    return {
+        "bit_generator": data["bit_generator"],
+        "state": {"state": int(inner["state"]), "inc": int(inner["inc"])},
+        "has_uint32": int(data["has_uint32"]),
+        "uinteger": int(data["uinteger"]),
+    }

@@ -1,0 +1,176 @@
+"""The on-disk campaign checkpoint: envelope, checksum, crash-safe IO.
+
+Layout
+------
+A checkpoint file is a small JSON envelope around one big payload
+string::
+
+    {"schema": 1, "checksum": sha256(payload), "payload": "<json>"}
+
+The payload is serialised exactly once; the checksum is computed over
+that byte-for-byte string, so a torn or bit-flipped file can never load
+as a subtly wrong campaign.  Inside the payload:
+
+- ``schema``: checkpoint layout version (bump on incompatible change);
+- ``config``: the full encoded :class:`ExperimentConfig` (a checkpoint
+  is self-describing -- resume needs no side channel);
+- ``config_digest``: the same digest the run-record cache keys on;
+- ``sim_time`` / ``seed``: where and under which master seed the run
+  stood;
+- ``components``: one versioned state blob per snapshottable layer
+  (engine, rng, clock, fleet, thermal, monitoring, policy, telemetry,
+  ...), keyed by component name;
+- ``meta``: builder options (disabled instruments, link-fault plan,
+  health policy, telemetry flag) plus the campaign phase markers.
+
+Crash safety
+------------
+Writes go through the same discipline as the runner's record cache
+(``_store_cached``): serialise to a ``mkstemp`` sibling, atomically
+rename over the target, and unlink the tmp file in a ``finally`` so it
+never outlives the attempt.  Loads quarantine anything corrupt --
+unparsable JSON, checksum mismatch, unknown schema -- to a ``.corrupt``
+sibling and return ``None`` instead of raising, so a damaged checkpoint
+degrades to a from-scratch run rather than a crashed sweep.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.state.codec import decode_value, encode_value
+
+#: Checkpoint layout version; readers reject (quarantine) other values.
+CHECKPOINT_SCHEMA = 1
+
+
+@dataclass
+class CampaignCheckpoint:
+    """Everything needed to rebuild a mid-flight campaign."""
+
+    config_digest: str
+    sim_time: float
+    seed: int
+    components: Dict[str, Dict[str, Any]]
+    meta: Dict[str, Any] = field(default_factory=dict)
+    schema: int = CHECKPOINT_SCHEMA
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The plain-data payload the envelope carries."""
+        return {
+            "schema": self.schema,
+            "config_digest": self.config_digest,
+            "sim_time": self.sim_time,
+            "seed": self.seed,
+            "components": self.components,
+            "meta": self.meta,
+        }
+
+    @classmethod
+    def from_payload(cls, data: Dict[str, Any]) -> "CampaignCheckpoint":
+        return cls(
+            schema=int(data["schema"]),
+            config_digest=str(data["config_digest"]),
+            sim_time=float(data["sim_time"]),
+            seed=int(data["seed"]),
+            components=dict(data["components"]),
+            meta=dict(data.get("meta", {})),
+        )
+
+    # Convenience wrappers over the tagged-value codec, so callers do
+    # not deal in encoded blobs directly.
+    def encode_meta(self, key: str, value: Any) -> None:
+        """Store a config-like value (dataclasses/enums allowed) in meta."""
+        self.meta[key] = encode_value(value)
+
+    def decode_meta(self, key: str, default: Any = None) -> Any:
+        if key not in self.meta:
+            return default
+        return decode_value(self.meta[key])
+
+
+def _quarantine(path: str) -> None:
+    """Move a poisoned checkpoint aside so it is never re-parsed."""
+    try:
+        os.replace(path, path + ".corrupt")
+    except OSError:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+
+def write_checkpoint(path: str, checkpoint: CampaignCheckpoint) -> bool:
+    """Atomically write ``checkpoint`` to ``path``; True when stored.
+
+    Best-effort like the record cache: a full disk must not abort the
+    run the checkpoint was meant to protect.  The tmp file never
+    outlives the call.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    tmp_path: Optional[str] = None
+    try:
+        os.makedirs(directory, exist_ok=True)
+        payload = json.dumps(
+            checkpoint.to_payload(), sort_keys=True, separators=(",", ":")
+        )
+        envelope = {
+            "schema": checkpoint.schema,
+            "checksum": hashlib.sha256(payload.encode("utf-8")).hexdigest(),
+            "payload": payload,
+        }
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(envelope, fh)
+        os.replace(tmp_path, path)
+        tmp_path = None
+        return True
+    except (OSError, TypeError, ValueError):
+        return False
+    finally:
+        if tmp_path is not None:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+
+
+def read_checkpoint(path: str) -> Optional[CampaignCheckpoint]:
+    """Load and verify a checkpoint; ``None`` when unusable.
+
+    A file that exists but fails JSON parsing, checksum verification,
+    or schema validation is quarantined to a ``.corrupt`` sibling; a
+    merely unreadable file (I/O error) is left in place.  Either way
+    the caller sees ``None`` and falls back to a from-scratch run.
+    """
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            envelope = json.load(fh)
+    except OSError:
+        return None
+    except ValueError:
+        _quarantine(path)
+        return None
+    try:
+        payload_str = envelope["payload"]
+        checksum = envelope["checksum"]
+        if not isinstance(payload_str, str):
+            raise ValueError("payload is not a string")
+        actual = hashlib.sha256(payload_str.encode("utf-8")).hexdigest()
+        if actual != checksum:
+            raise ValueError("checksum mismatch")
+        payload = json.loads(payload_str)
+        checkpoint = CampaignCheckpoint.from_payload(payload)
+        if checkpoint.schema != CHECKPOINT_SCHEMA:
+            raise ValueError(f"unknown checkpoint schema {checkpoint.schema}")
+    except (KeyError, TypeError, ValueError):
+        _quarantine(path)
+        return None
+    return checkpoint

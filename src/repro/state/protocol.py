@@ -1,0 +1,58 @@
+"""The :class:`Snapshottable` protocol and the errors the plane raises.
+
+A component is snapshottable when it can externalise every value that
+changes during a run into a plain dict and later restore a freshly
+constructed instance from it.  The protocol is structural
+(:func:`typing.runtime_checkable`): components do not import this
+module, they simply grow the two methods.
+
+Rules every implementation follows:
+
+- the dict carries a ``"version"`` key; ``load_state_dict`` raises
+  :class:`StateError` on a version it does not understand;
+- the dict is JSON-serialisable and picklable: plain scalars,
+  strings, lists, dicts, plus the packed-array blobs from
+  :mod:`repro.state.codec`;
+- object references are stored by stable identity (host id, enclosure
+  name, switch name, engine task id), never by pickling the object --
+  the restoring orchestrator resolves them against the reconstructed
+  campaign;
+- ``load_state_dict`` assumes a *freshly constructed* component (the
+  restore-by-reconstruction contract) and overwrites, never merges.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Protocol, runtime_checkable
+
+
+class StateError(RuntimeError):
+    """A component cannot be snapshotted or a state dict cannot be loaded.
+
+    Raised, for example, when the simulator's queue still holds raw
+    closure callbacks (only key-registered work serialises), or when a
+    state dict's ``version`` is newer than the running code.
+    """
+
+
+def check_version(component: str, state: Dict[str, Any], expected: int) -> None:
+    """Raise :class:`StateError` unless ``state`` carries ``expected``."""
+    version = state.get("version")
+    if version != expected:
+        raise StateError(
+            f"{component}: cannot load state version {version!r} "
+            f"(this build reads version {expected})"
+        )
+
+
+@runtime_checkable
+class Snapshottable(Protocol):
+    """Anything whose mutable state round-trips through a plain dict."""
+
+    def state_dict(self) -> Dict[str, Any]:
+        """A versioned, JSON-serialisable snapshot of all mutable state."""
+        ...
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore a freshly constructed instance to ``state``."""
+        ...

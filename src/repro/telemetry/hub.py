@@ -67,6 +67,19 @@ class Telemetry:
         self.spans.merge(other.spans)
 
     # ------------------------------------------------------------------
+    # Snapshot protocol
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "metrics": self.metrics.to_json_dict(),
+            "spans": self.spans.to_json_dict(),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self.metrics = MetricsRegistry.from_json_dict(state["metrics"])
+        self.spans.load_json_dict(state["spans"])
+
+    # ------------------------------------------------------------------
     # Export
     # ------------------------------------------------------------------
     def snapshot(self) -> "TelemetrySnapshot":

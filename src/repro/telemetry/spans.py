@@ -148,6 +148,22 @@ class SpanTracer:
             for label, stats in sorted(self._spans.items())
         }
 
+    def load_json_dict(self, data: Dict[str, Dict[str, float]]) -> None:
+        """Replace the aggregates with :meth:`to_json_dict` output.
+
+        Fire counts are the deterministic part; the wall-second fields
+        restore as recorded (a zero-count label's ``min_s`` comes back as
+        +inf, matching a fresh :class:`SpanStats`).
+        """
+        self._spans = {}
+        for label, payload in data.items():
+            stats = SpanStats(label)
+            stats.count = int(payload["count"])
+            stats.total_s = float(payload["total_s"])
+            stats.min_s = float(payload["min_s"]) if stats.count else float("inf")
+            stats.max_s = float(payload["max_s"])
+            self._spans[label] = stats
+
 
 class Stopwatch:
     """Context-manager elapsed-time helper.

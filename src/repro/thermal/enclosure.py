@@ -18,11 +18,14 @@ from __future__ import annotations
 
 import abc
 import math
-from typing import Optional
+from typing import Any, Dict, Optional
 
 from repro.climate.generator import WeatherGenerator
 from repro.sim.clock import DAY
+from repro.state.protocol import check_version
 from repro.thermal.heatbalance import LumpedThermalNode, MoistureNode
+
+_STATE_VERSION = 1
 
 
 class Enclosure(abc.ABC):
@@ -83,6 +86,39 @@ class Enclosure(abc.ABC):
     def _update(self, time: float, dt_s: float) -> None:
         """Subclass hook: recompute intake conditions at ``time``."""
 
+    # ------------------------------------------------------------------
+    # Snapshot protocol
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Intake conditions plus whatever the subclass integrates."""
+        return {
+            "version": _STATE_VERSION,
+            "it_load_w": self.it_load_w,
+            "intake_temp_c": self.intake_temp_c,
+            "intake_rh_percent": self.intake_rh_percent,
+            "intake_precip_mm_h": self.intake_precip_mm_h,
+            "last_time": self._last_time,
+            "extra": self._extra_state(),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        check_version(f"enclosure.{self.name}", state, _STATE_VERSION)
+        self.it_load_w = float(state["it_load_w"])
+        self.intake_temp_c = float(state["intake_temp_c"])
+        self.intake_rh_percent = float(state["intake_rh_percent"])
+        self.intake_precip_mm_h = float(state["intake_precip_mm_h"])
+        self._last_time = (
+            None if state["last_time"] is None else float(state["last_time"])
+        )
+        self._load_extra_state(state["extra"])
+
+    def _extra_state(self) -> Dict[str, Any]:
+        """Subclass hook: integrator state beyond the intake conditions."""
+        return {}
+
+    def _load_extra_state(self, extra: Dict[str, Any]) -> None:
+        """Subclass hook mirroring :meth:`_extra_state`."""
+
 
 class OutdoorAmbient(Enclosure):
     """No enclosure at all: intake air is the outside air -- and so is
@@ -135,6 +171,16 @@ class PlasticBoxShelter(Enclosure):
         self._moisture.step(dt_s, 40.0, sample.temp_c, sample.rh_percent)
         self.intake_temp_c = self._node.temp_c
         self.intake_rh_percent = self._moisture.relative_humidity(self._node.temp_c)
+
+    def _extra_state(self) -> Dict[str, Any]:
+        return {
+            "node_temp_c": self._node.temp_c,
+            "vapor_g_m3": self._moisture.vapor_g_m3,
+        }
+
+    def _load_extra_state(self, extra: Dict[str, Any]) -> None:
+        self._node.temp_c = float(extra["node_temp_c"])
+        self._moisture.vapor_g_m3 = float(extra["vapor_g_m3"])
 
 
 class BasementMachineRoom(Enclosure):

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.climate.generator import WeatherGenerator
 from repro.thermal.enclosure import Enclosure
@@ -164,6 +164,34 @@ class ModifiableEnvelopeMixin:
             times.setdefault(mod.letter, time)
         return times
 
+    # ------------------------------------------------------------------
+    # Snapshot support shared by both tent models
+    # ------------------------------------------------------------------
+    def _envelope_state(self) -> Dict[str, Any]:
+        """The mutable part of the envelope (the five flags) plus the log.
+
+        The thermal parameters are construction-fixed; restore re-applies
+        the flags onto the reconstructed envelope with ``replace``.
+        """
+        return {
+            "flags": {
+                "reflective_foil": self.envelope.reflective_foil,
+                "inner_tent_removed": self.envelope.inner_tent_removed,
+                "bottom_tarp_removed": self.envelope.bottom_tarp_removed,
+                "fan_installed": self.envelope.fan_installed,
+                "door_half_open": self.envelope.door_half_open,
+            },
+            "log": [[time, mod.value] for time, mod in self.modification_log],
+        }
+
+    def _load_envelope_state(self, state: Dict[str, Any]) -> None:
+        self.envelope = replace(
+            self.envelope, **{k: bool(v) for k, v in state["flags"].items()}
+        )
+        self.modification_log = [
+            (float(time), Modification(letter)) for time, letter in state["log"]
+        ]
+
 
 class Tent(ModifiableEnvelopeMixin, Enclosure):
     """The roof-terrace tent as a heat-and-moisture balance.
@@ -207,6 +235,21 @@ class Tent(ModifiableEnvelopeMixin, Enclosure):
         self._moisture.step(dt_s, ach, sample.temp_c, sample.rh_percent)
         self.intake_temp_c = self._node.temp_c
         self.intake_rh_percent = self._moisture.relative_humidity(self._node.temp_c)
+
+    # ------------------------------------------------------------------
+    # Snapshot protocol (extends the Enclosure base state)
+    # ------------------------------------------------------------------
+    def _extra_state(self) -> Dict[str, Any]:
+        return {
+            "node_temp_c": self._node.temp_c,
+            "vapor_g_m3": self._moisture.vapor_g_m3,
+            "envelope": self._envelope_state(),
+        }
+
+    def _load_extra_state(self, extra: Dict[str, Any]) -> None:
+        self._node.temp_c = float(extra["node_temp_c"])
+        self._moisture.vapor_g_m3 = float(extra["vapor_g_m3"])
+        self._load_envelope_state(extra["envelope"])
 
     # ------------------------------------------------------------------
     # Introspection used by tests and the ablation benchmarks

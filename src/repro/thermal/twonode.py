@@ -17,7 +17,7 @@ paper's figures, which is what justifies the simpler node.
 from __future__ import annotations
 
 import math
-from typing import Optional
+from typing import Any, Dict, Optional
 
 from repro.climate.generator import WeatherGenerator
 from repro.thermal.enclosure import Enclosure
@@ -107,6 +107,23 @@ class TwoNodeTent(ModifiableEnvelopeMixin, Enclosure):
         self._moisture.step(dt_s, ach, sample.temp_c, sample.rh_percent)
         self.intake_temp_c = self.air_temp_c
         self.intake_rh_percent = self._moisture.relative_humidity(self.air_temp_c)
+
+    # ------------------------------------------------------------------
+    # Snapshot protocol (extends the Enclosure base state)
+    # ------------------------------------------------------------------
+    def _extra_state(self) -> Dict[str, Any]:
+        return {
+            "air_temp_c": self.air_temp_c,
+            "mass_temp_c": self.mass_temp_c,
+            "vapor_g_m3": self._moisture.vapor_g_m3,
+            "envelope": self._envelope_state(),
+        }
+
+    def _load_extra_state(self, extra: Dict[str, Any]) -> None:
+        self.air_temp_c = float(extra["air_temp_c"])
+        self.mass_temp_c = float(extra["mass_temp_c"])
+        self._moisture.vapor_g_m3 = float(extra["vapor_g_m3"])
+        self._load_envelope_state(extra["envelope"])
 
     # ------------------------------------------------------------------
     def steady_state_air_excess_c(self, wind_ms: float, irradiance_wm2: float = 0.0) -> float:

@@ -18,17 +18,19 @@ and a full record of every wrong hash -- the paper's "5 out of a total of
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.hardware.faults import FaultEvent, FaultKind, FaultLog
 from repro.hardware.host import Host
 from repro.sim.clock import MINUTE
-from repro.sim.engine import Simulator
+from repro.sim.engine import EventHandle, Simulator
 from repro.sim.events import EventBus, WrongHash
-from repro.sim.process import Process
+from repro.state.protocol import check_version
 from repro.workload.bzip2 import Archive, Bzip2Model
 from repro.workload.digest import verify_archive
 from repro.workload.kernel_tree import KernelSourceTree
+
+_STATE_VERSION = 1
 
 #: The paper's cycle period: "Each host executes its synthetic load every
 #: 10 minutes."
@@ -116,9 +118,69 @@ class WorkloadLedger:
         """The archive the paper recovered ("the most recent")."""
         return self.stored_archives[-1] if self.stored_archives else None
 
+    # ------------------------------------------------------------------
+    # Snapshot protocol
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "version": _STATE_VERSION,
+            "runs_per_host": {
+                str(k): v for k, v in sorted(self.runs_per_host.items())
+            },
+            "wrong_per_host": {
+                str(k): v for k, v in sorted(self.wrong_per_host.items())
+            },
+            "wrong_hash_results": [
+                [r.time, r.host_id, r.hash_ok, r.corrupted_block_count, r.stored]
+                for r in self.wrong_hash_results
+            ],
+            "stored_archives": [
+                [a.host_id, a.time, a.block_count, sorted(a.corrupted_blocks)]
+                for a in self.stored_archives
+            ],
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        check_version("workload_ledger", state, _STATE_VERSION)
+        self.runs_per_host = {int(k): int(v) for k, v in state["runs_per_host"].items()}
+        self.wrong_per_host = {
+            int(k): int(v) for k, v in state["wrong_per_host"].items()
+        }
+        self.wrong_hash_results = [
+            CycleResult(
+                time=float(t),
+                host_id=int(h),
+                hash_ok=bool(ok),
+                corrupted_block_count=int(blocks),
+                stored=bool(stored),
+            )
+            for t, h, ok, blocks, stored in state["wrong_hash_results"]
+        ]
+        self.stored_archives = [
+            Archive(
+                host_id=int(h),
+                time=float(t),
+                block_count=int(n),
+                corrupted_blocks=frozenset(int(b) for b in blocks),
+            )
+            for h, t, n, blocks in state["stored_archives"]
+        ]
+
 
 class ArchiverProcess:
     """The synthetic-load loop on one host.
+
+    The loop is an explicit two-phase state machine driven through the
+    engine registry (key ``archiver.step.<host_id>``) so its position --
+    which phase the host is in and when the current cycle started -- can
+    be snapshotted and restored mid-cycle:
+
+    - ``cycle-start``: the 10-minute mark.  A running host goes CPU-busy
+      and sleeps ``burst_duration_s`` into the ``burst`` phase; a down
+      host sleeps a whole cycle.
+    - ``burst``: the tar+bzip2+md5sum burst just finished.  A still-running
+      host completes the cycle (hash verify, census record); either way the
+      CPU goes idle and the machine sleeps out the cycle remainder.
 
     Parameters
     ----------
@@ -161,34 +223,89 @@ class ArchiverProcess:
         self.fault_log = fault_log
         self.burst_duration_s = burst_duration_s
         self._rng = host._streams.stream("workload")
-        self.process = Process(sim, self._loop(), name=f"archiver.{host.hostname}")
+        self._key = f"archiver.step.{host.host_id}"
+        self._label = f"archiver.{host.hostname}"
+        self._phase = "cycle-start"
+        self._cycle_start: Optional[float] = None
+        self.alive = True
+        self._pending: Optional[EventHandle] = None
+        sim.register(self._key, self._step)
+        # "some fuzz is added to the starting phase: each host sleeps for
+        # 0 to 119 seconds before commencing the archival process."
+        fuzz = float(self._rng.integers(0, START_FUZZ_MAX_S + 1))
+        self._sleep(fuzz)
 
     def __repr__(self) -> str:
-        return f"ArchiverProcess({self.host.hostname}, alive={self.process.alive})"
+        return f"ArchiverProcess({self.host.hostname}, alive={self.alive})"
 
     def stop(self) -> None:
         """Terminate the loop (host retired or experiment over)."""
-        self.process.stop()
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+        self.alive = False
         self.host.cpu.busy = False
 
     # ------------------------------------------------------------------
-    def _loop(self):
-        # "some fuzz is added to the starting phase: each host sleeps for
-        # 0 to 119 seconds before commencing the archival process."
-        yield float(self._rng.integers(0, START_FUZZ_MAX_S + 1))
-        while True:
-            cycle_start = self.sim.now
+    def _sleep(self, delay_s: float) -> None:
+        self._pending = self.sim.schedule_at_key(
+            self.sim.now + delay_s, self._key, label=self._label
+        )
+
+    def _step(self) -> None:
+        self._pending = None
+        if not self.alive:
+            return
+        if self._phase == "cycle-start":
+            self._cycle_start = self.sim.now
             if self.host.running:
                 self.host.cpu.busy = True
-                yield self.burst_duration_s
-                # The burst may have ended with the host failed mid-cycle;
-                # such a run produces no result (the monitoring host simply
-                # finds no new md5sum).
-                if self.host.running:
-                    self._complete_cycle(self.sim.now)
-                self.host.cpu.busy = False
-            remainder = CYCLE_PERIOD_S - (self.sim.now - cycle_start)
-            yield max(0.0, remainder)
+                self._phase = "burst"
+                self._sleep(self.burst_duration_s)
+                return
+            self._sleep(CYCLE_PERIOD_S)
+            return
+        # burst phase: the tar+bzip2+md5sum run just ended.  The burst may
+        # have ended with the host failed mid-cycle; such a run produces no
+        # result (the monitoring host simply finds no new md5sum).
+        if self.host.running:
+            self._complete_cycle(self.sim.now)
+        self.host.cpu.busy = False
+        remainder = CYCLE_PERIOD_S - (self.sim.now - self._cycle_start)
+        self._phase = "cycle-start"
+        self._sleep(max(0.0, remainder))
+
+    # ------------------------------------------------------------------
+    # Snapshot protocol
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "version": _STATE_VERSION,
+            "phase": self._phase,
+            "cycle_start": self._cycle_start,
+            "alive": self.alive,
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        check_version("archiver", state, _STATE_VERSION)
+        self._phase = state["phase"]
+        self._cycle_start = (
+            None if state["cycle_start"] is None else float(state["cycle_start"])
+        )
+        self.alive = bool(state["alive"])
+        self._pending = None
+
+    def rebind(self, sim: Simulator) -> None:
+        """Re-link the pending sleep after the engine's state is loaded."""
+        if not self.alive:
+            return
+        handles = sim.find_key_handles(self._key)
+        live = [h for h in handles if not h.cancelled]
+        if len(live) != 1:
+            raise RuntimeError(
+                f"{self._label}: expected one pending step, found {len(live)}"
+            )
+        self._pending = live[0]
 
     def _complete_cycle(self, time: float) -> None:
         uncorrected = self.host.memory.perform_page_ops(

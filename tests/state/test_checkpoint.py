@@ -1,0 +1,186 @@
+"""Tests for the checkpoint envelope, tagged codec, and crash-safe IO."""
+
+import datetime as dt
+import json
+import os
+
+import pytest
+
+from repro.core.config import ExperimentConfig
+from repro.state import codec
+from repro.state.checkpoint import (
+    CHECKPOINT_SCHEMA,
+    CampaignCheckpoint,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.state.protocol import StateError, check_version
+
+
+def _checkpoint(**overrides) -> CampaignCheckpoint:
+    base = dict(
+        config_digest="abc123",
+        sim_time=86400.0,
+        seed=7,
+        components={"engine": {"version": 1, "now": 86400.0}},
+        meta={"ran": True},
+    )
+    base.update(overrides)
+    return CampaignCheckpoint(**base)
+
+
+class TestEnvelope:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        original = _checkpoint()
+        assert write_checkpoint(path, original)
+        loaded = read_checkpoint(path)
+        assert loaded is not None
+        assert loaded.config_digest == original.config_digest
+        assert loaded.sim_time == original.sim_time
+        assert loaded.seed == original.seed
+        assert loaded.components == original.components
+        assert loaded.meta == original.meta
+        assert loaded.schema == CHECKPOINT_SCHEMA
+
+    def test_write_is_atomic_no_tmp_left_behind(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        assert write_checkpoint(path, _checkpoint())
+        leftovers = [n for n in os.listdir(tmp_path) if n.endswith(".tmp")]
+        assert leftovers == []
+        assert os.listdir(tmp_path) == ["ck.json"]
+
+    def test_write_creates_parent_directory(self, tmp_path):
+        path = str(tmp_path / "nested" / "deep" / "ck.json")
+        assert write_checkpoint(path, _checkpoint())
+        assert read_checkpoint(path) is not None
+
+    def test_unencodable_component_degrades_to_false(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        bad = _checkpoint(components={"engine": {"fn": object()}})
+        assert write_checkpoint(path, bad) is False
+        assert not os.path.exists(path)
+
+    def test_missing_file_is_none(self, tmp_path):
+        assert read_checkpoint(str(tmp_path / "absent.json")) is None
+
+    def test_meta_codec_round_trips_config(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        original = _checkpoint()
+        config = ExperimentConfig(seed=11)
+        original.encode_meta("config", config)
+        original.encode_meta("when", dt.datetime(2010, 3, 1, 12))
+        write_checkpoint(path, original)
+        loaded = read_checkpoint(path)
+        assert loaded.decode_meta("config") == config
+        assert loaded.decode_meta("when") == dt.datetime(2010, 3, 1, 12)
+        assert loaded.decode_meta("absent", default="x") == "x"
+
+
+class TestQuarantine:
+    def _corrupt_siblings(self, tmp_path):
+        return [n for n in os.listdir(tmp_path) if n.endswith(".corrupt")]
+
+    def test_unparsable_json_quarantined(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        with open(path, "w") as fh:
+            fh.write("{not json at all")
+        assert read_checkpoint(path) is None
+        assert not os.path.exists(path)
+        assert self._corrupt_siblings(tmp_path) == ["ck.json.corrupt"]
+
+    def test_checksum_mismatch_quarantined(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        write_checkpoint(path, _checkpoint())
+        with open(path) as fh:
+            envelope = json.load(fh)
+        envelope["payload"] = envelope["payload"].replace("86400.0", "86400.5")
+        with open(path, "w") as fh:
+            json.dump(envelope, fh)
+        assert read_checkpoint(path) is None
+        assert not os.path.exists(path)
+        assert self._corrupt_siblings(tmp_path) == ["ck.json.corrupt"]
+
+    def test_unknown_schema_quarantined(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        write_checkpoint(path, _checkpoint(schema=CHECKPOINT_SCHEMA + 1))
+        assert read_checkpoint(path) is None
+        assert self._corrupt_siblings(tmp_path) == ["ck.json.corrupt"]
+
+    def test_quarantined_file_never_reparsed(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        with open(path, "w") as fh:
+            fh.write("garbage")
+        assert read_checkpoint(path) is None
+        # A second read sees no file at all (the poison moved aside).
+        assert read_checkpoint(path) is None
+        assert self._corrupt_siblings(tmp_path) == ["ck.json.corrupt"]
+
+
+class TestPackedColumns:
+    def test_floats_round_trip(self):
+        values = [0.0, -1.5, 3.25e17, 1e-300]
+        assert codec.unpack_floats(codec.pack_floats(values)) == values
+
+    def test_ints_round_trip(self):
+        values = [0, -7, 2**53]
+        assert codec.unpack_ints(codec.pack_ints(values)) == values
+
+    def test_bools_round_trip(self):
+        values = [True, False, True, True]
+        assert codec.unpack_bools(codec.pack_bools(values)) == values
+
+    def test_optional_floats_round_trip_none(self):
+        values = [1.0, None, -2.5, None]
+        packed = codec.pack_optional_floats(values)
+        assert codec.unpack_optional_floats(packed) == values
+
+    def test_packed_blob_is_json_serialisable(self):
+        blob = codec.pack_floats([1.0, 2.0])
+        assert json.loads(json.dumps(blob)) == blob
+
+    def test_dtype_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            codec.unpack_ints(codec.pack_floats([1.0]))
+
+
+class TestTaggedValues:
+    def test_dataclass_round_trip(self):
+        config = ExperimentConfig(seed=3)
+        encoded = codec.encode_value(config)
+        assert json.loads(json.dumps(encoded)) == encoded
+        assert codec.decode_value(encoded) == config
+
+    def test_enum_and_datetime_round_trip(self):
+        from repro.thermal.tent import Modification
+
+        for value in (
+            Modification.REFLECTIVE_FOIL,
+            dt.datetime(2010, 4, 1, 9, 30),
+        ):
+            assert codec.decode_value(codec.encode_value(value)) == value
+
+    def test_sequences_decode_to_tuples(self):
+        assert codec.decode_value(codec.encode_value((1, 2, 3))) == (1, 2, 3)
+        assert codec.decode_value(codec.encode_value([1, 2])) == (1, 2)
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ValueError, match="unknown class"):
+            codec.decode_value({"__dataclass__": "EvilClass", "fields": {}})
+
+    def test_unencodable_object_rejected(self):
+        with pytest.raises(TypeError):
+            codec.encode_value(object())
+
+
+class TestProtocol:
+    def test_check_version_accepts_match(self):
+        check_version("widget", {"version": 2}, 2)
+
+    def test_check_version_rejects_mismatch(self):
+        with pytest.raises(StateError, match="widget"):
+            check_version("widget", {"version": 1}, 2)
+
+    def test_check_version_rejects_missing(self):
+        with pytest.raises(StateError):
+            check_version("widget", {}, 1)
