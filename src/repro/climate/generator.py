@@ -197,6 +197,15 @@ class WeatherGenerator:
         intensity = np.maximum(0.0, 0.8 + 1.1 * precip_raw)
         self._precip = np.where(wet_enough, intensity, 0.0)
 
+        # Scalar-query fast path state: the grid is uniform (hourly), so a
+        # scalar lookup can index by division instead of searchsorted, and
+        # the enclosures + station all sample the same instant each tick,
+        # so the last full sample is memoised.
+        self._t0f = float(self._grid_t[0])
+        self._t1f = float(self._grid_t[-1])
+        self._sample_cache_t: Optional[float] = None
+        self._sample_cache: Optional[WeatherSample] = None
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
@@ -248,28 +257,73 @@ class WeatherGenerator:
         return self._interp(time, self._precip)
 
     def sample(self, time: float) -> WeatherSample:
-        """Full atmospheric state at one instant."""
-        temp = float(self.temperature(time))
-        dew = float(self.dewpoint(time))
-        return WeatherSample(
-            time=float(time),
+        """Full atmospheric state at one instant (memoised per instant).
+
+        Every enclosure and the station sample the same tick time, so the
+        last sample is cached; :class:`WeatherSample` is frozen, making
+        the shared instance safe.
+        """
+        t = float(time)
+        if t == self._sample_cache_t and self._sample_cache is not None:
+            return self._sample_cache
+        temp = float(self.temperature(t))
+        dew = float(self.dewpoint(t))
+        sample = WeatherSample(
+            time=t,
             temp_c=temp,
             dewpoint_c=dew,
             rh_percent=float(relative_humidity_from_dewpoint(temp, dew)),
-            wind_ms=float(self.wind_speed(time)),
-            solar_wm2=float(self.solar_irradiance(time)),
-            cloud_fraction=float(self.cloud_fraction(time)),
-            precip_mm_h=float(self.precipitation(time)),
+            wind_ms=float(self.wind_speed(t)),
+            solar_wm2=float(self.solar_irradiance(t)),
+            cloud_fraction=float(self.cloud_fraction(t)),
+            precip_mm_h=float(self.precipitation(t)),
         )
+        self._sample_cache_t = t
+        self._sample_cache = sample
+        return sample
 
     def series(self, times: Sequence[float]) -> "list[WeatherSample]":
         """Samples at each of ``times`` (convenience for analysis code)."""
         return [self.sample(t) for t in times]
 
     def _interp(self, time: ArrayLike, values: np.ndarray) -> ArrayLike:
+        if isinstance(time, (float, int)):
+            return self._interp_scalar(float(time), values)
         t = np.asarray(time, dtype=float)
         self._check_range(t)
         out = np.interp(t, self._grid_t, values)
         if np.isscalar(time):
             return float(out)
         return out
+
+    def _interp_scalar(self, t: float, values: np.ndarray) -> float:
+        """Scalar lerp on the uniform hourly grid.
+
+        Bit-identical to ``np.interp`` (same slope/offset arithmetic on
+        the same bracketing points) but O(1) with no array temporaries --
+        this is the hottest call in the campaign tick.
+        """
+        if t < self._t0f - 1e-6 or t > self._t1f + 1e-6:
+            raise ValueError(
+                f"time outside generated span "
+                f"[{self.start_time:.0f}, {self.end_time:.0f}] s"
+            )
+        if t <= self._t0f:
+            return float(values[0])
+        if t >= self._t1f:
+            return float(values[-1])
+        grid = self._grid_t
+        last = grid.shape[0] - 2
+        i = int((t - self._t0f) / HOUR)
+        if i > last:
+            i = last
+        # Guard the division against float rounding at hour boundaries.
+        while i > 0 and grid[i] > t:
+            i -= 1
+        while i < last and grid[i + 1] <= t:
+            i += 1
+        x_lo = grid[i]
+        if t == x_lo:
+            return float(values[i])
+        slope = (values[i + 1] - values[i]) / (grid[i + 1] - x_lo)
+        return float(slope * (t - x_lo) + values[i])

@@ -45,7 +45,12 @@ from repro.sim.clock import DAY, MINUTE, SimClock
 from repro.sim.engine import Simulator
 from repro.sim.events import EventBus, EventRecorder, SnapshotTaken
 from repro.sim.rng import RngStreams
-from repro.state.checkpoint import CampaignCheckpoint, read_checkpoint, write_checkpoint
+from repro.state.checkpoint import (
+    CampaignCheckpoint,
+    DeltaCheckpointWriter,
+    read_checkpoint,
+    write_checkpoint,
+)
 from repro.state.codec import decode_value, encode_value
 from repro.state.protocol import StateError
 from repro.thermal.enclosure import PlasticBoxShelter
@@ -81,6 +86,7 @@ class Campaign:
         telemetry=None,
         link_faults: Optional[LinkFaultPlan] = None,
         health_policy: Optional[HealthPolicy] = None,
+        fleet_backend: str = "columnar",
     ) -> None:
         self.config = config
         self._disabled = disabled
@@ -105,7 +111,13 @@ class Campaign:
 
         self.station = WeatherStation(self.weather, self.streams)
         self.fleet = Fleet(
-            self.sim, config, self.streams, self.weather, self.fault_log, bus=self.bus
+            self.sim,
+            config,
+            self.streams,
+            self.weather,
+            self.fault_log,
+            bus=self.bus,
+            backend=fleet_backend,
         )
         self.policy = OperatorPolicy(
             self.sim, config, self.fleet, self.fault_log, bus=self.bus
@@ -158,6 +170,7 @@ class Campaign:
         self._checkpoint_every: Optional[float] = None
         self._checkpoint_dir: Optional[str] = None
         self._on_checkpoint: Optional[Callable[[Optional[str], CampaignCheckpoint], None]] = None
+        self._checkpoint_writer = DeltaCheckpointWriter()
         #: Paths of checkpoints flushed by the current run, oldest first.
         self.checkpoints_written: List[str] = []
 
@@ -225,6 +238,9 @@ class Campaign:
         self._checkpoint_every = checkpoint_every
         self._checkpoint_dir = checkpoint_dir
         self._on_checkpoint = on_checkpoint
+        # Fresh chain per configured run: the first cut is always a full
+        # schema-1 file, later cuts are deltas against their predecessor.
+        self._checkpoint_writer = DeltaCheckpointWriter()
 
     def _drive(self, end: float) -> ExperimentResults:
         self._end = end
@@ -264,7 +280,7 @@ class Campaign:
             path = os.path.join(
                 self._checkpoint_dir, f"checkpoint_{int(self.sim.now):012d}.json"
             )
-            if write_checkpoint(path, snapshot):
+            if self._checkpoint_writer.write(path, snapshot):
                 self.checkpoints_written.append(path)
             else:
                 path = None
@@ -510,6 +526,7 @@ class Campaign:
                 "telemetry": self.telemetry is not None,
                 "ran": self._ran,
                 "end": self._end,
+                "fleet_backend": self.fleet.backend,
             },
         )
         snapshot.encode_meta("config", self.config)
@@ -555,6 +572,7 @@ class Campaign:
             telemetry=telemetry,
             link_faults=checkpoint.decode_meta("link_faults"),
             health_policy=checkpoint.decode_meta("health_policy"),
+            fleet_backend=checkpoint.meta.get("fleet_backend", "columnar"),
         )
         campaign._ran = bool(checkpoint.meta.get("ran", True))
         end = checkpoint.meta.get("end")
@@ -727,6 +745,7 @@ class CampaignBuilder:
         self._telemetry = None
         self._link_faults: Optional[LinkFaultPlan] = None
         self._health_policy: Optional[HealthPolicy] = None
+        self._fleet_backend = "columnar"
 
     def without(self, name: str) -> "CampaignBuilder":
         """Drop one default instrument (see :data:`DEFAULT_INSTRUMENTS`)."""
@@ -780,6 +799,25 @@ class CampaignBuilder:
         self._telemetry = telemetry
         return self
 
+    def with_fleet_backend(self, backend: str) -> "CampaignBuilder":
+        """Select the fleet tick backend: ``"columnar"`` or ``"object"``.
+
+        The columnar default runs the tick's thermal/uptime math as
+        vectorized fleet-wide array expressions; ``"object"`` keeps the
+        original per-host loop.  Both are byte-identical (the
+        equivalence tests hold them to that), so this knob exists for
+        A/B verification and for bisecting, not for results.  The choice
+        is carried in checkpoint metadata and survives a restore.
+        """
+        from repro.core.deployment import Fleet
+
+        if backend not in Fleet.BACKENDS:
+            raise ValueError(
+                f"unknown fleet backend {backend!r}; choose from {', '.join(Fleet.BACKENDS)}"
+            )
+        self._fleet_backend = backend
+        return self
+
     def with_link_faults(self, plan: LinkFaultPlan) -> "CampaignBuilder":
         """Inject a deterministic transport-fault plan into the rounds.
 
@@ -818,4 +856,5 @@ class CampaignBuilder:
             telemetry=self._telemetry,
             link_faults=self._link_faults,
             health_policy=self._health_policy,
+            fleet_backend=self._fleet_backend,
         )

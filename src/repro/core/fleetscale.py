@@ -1,0 +1,415 @@
+"""Fleet-scale batch cohorts: the paper's campaign at ``--hosts N``.
+
+The columnar backend keeps the 19-host paper run byte-identical while
+storing fleet state in numpy columns.  This module is the second half of
+the scale story: a *batch* simulator that replays the paper's hardware
+mix, tent physics, and fault models over an arbitrarily large cohort --
+pods of 19 hosts, each pod a replica of the paper's vendor lineup under
+its own tent -- using pure vector arithmetic per tick.
+
+It is an explicitly *approximate* mode and is not draw-compatible with
+the per-object engine:
+
+- RNG draws are pooled (`Generator.random(n)` per hazard family per
+  tick) instead of one named stream per host subsystem.
+- The archiver's two-phase state machine is replaced by its duty cycle:
+  a host is "bursting" for ``burst/600`` of every cycle, so heat uses
+  the duty-averaged power and the cold-latch hazard uses the idle-CPU
+  die temperature (the coldest point of the cycle, i.e. the
+  conservative latch estimate).
+- Install staggering, the two-failures-then-indoors policy, and
+  per-host SMART ledgers are dropped; failures repair after the
+  operator inspection delay and rejoin the fleet.
+- Vendor C's mirror+RAID5 pair is approximated as "survives one disk
+  loss" (the true layout survives one always and some second losses).
+
+What it preserves: the vendor power/thermal coefficients, the two-node
+tent envelope with the R/I/B/F/door modification schedule applied fleet
+wide, the shared weather realisation, the transient/memory/disk/sensor
+hazard rates, and the basement control group.  The point is cohort
+statistics (failure counts, thermal envelopes, energy) at 100k hosts,
+not event-for-event reproduction -- ``docs/architecture.md`` spells out
+the contract.
+
+The per-tick system pass runs in a fixed order on one engine heap entry
+(weather -> thermal -> hazards -> workload), mirroring the batched
+``every_key_group`` dispatch the paper config uses.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import math
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.climate.generator import WeatherGenerator
+from repro.core.config import ExperimentConfig
+from repro.hardware.vendors import vendor
+from repro.sim.clock import SimClock
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngStreams
+from repro.thermal.vectorized import TwoNodeTentBank
+from repro.workload.kernel_tree import KernelSourceTree
+
+POD_SIZE = 19
+CYCLE_PERIOD_S = 600.0
+MONITOR_PERIOD_S = 1200.0
+
+# Host state codes (int8 column).
+STAGED = 0
+RUNNING = 1
+FAILED = 2
+
+_DISK_TOLERANCE = {"A": 1, "B": 0, "C": 1}
+
+
+class FleetScaleCampaign:
+    """Vectorized cohort simulation of ``n_hosts`` paper-style servers.
+
+    Hosts are laid out in pods of 19: each pod replicates the paper's
+    host plan (9 tent hosts, 9 basement twins, 1 staged spare) with the
+    same vendor mix.  A partial final pod truncates that lineup.
+
+    Parameters
+    ----------
+    n_hosts:
+        Cohort size.  ``19`` gives one pod -- the paper's fleet shape.
+    config:
+        Campaign parameters; defaults to the paper configuration.
+    tick_interval_s:
+        Batch step, default three archiver cycles (1800 s).  Must be a
+        whole number of 600 s cycles.  The exponential hazards integrate
+        exactly over any step and the tent integrator picks its own
+        stability substeps, so a coarser tick trades only monitoring
+        granularity for speed.
+    """
+
+    def __init__(
+        self,
+        n_hosts: int,
+        config: Optional[ExperimentConfig] = None,
+        tick_interval_s: float = 3 * CYCLE_PERIOD_S,
+    ) -> None:
+        if n_hosts <= 0:
+            raise ValueError("need at least one host")
+        if tick_interval_s <= 0 or tick_interval_s % CYCLE_PERIOD_S:
+            raise ValueError("tick must be a positive multiple of the 600 s cycle")
+        self.config = config if config is not None else ExperimentConfig()
+        self.n_hosts = int(n_hosts)
+        self.tick_interval_s = float(tick_interval_s)
+        self.clock = SimClock()
+        self.sim = Simulator(self.clock)
+        streams = RngStreams(self.config.seed)
+        self.weather = WeatherGenerator(self.config.climate, streams, self.clock)
+        self._rng = streams.stream("fleetscale.pool")
+        self._start_s = self.clock.to_seconds(self.config.test_start)
+
+        self._build_cohort()
+        self._build_thermal()
+        self._install_frame()
+
+        # Tick-constant hazard probabilities (exact over any step).
+        dt_h = self.tick_interval_s / 3600.0
+        self._p_latch = 1.0 - math.exp(-0.035 * dt_h)
+        self._p_disk = 1.0 - math.exp(-dt_h / 500_000.0)
+        self._p_wrong_dt = 1.0 - (1.0 - self.p_wrong_per_cycle) ** (
+            self.tick_interval_s / CYCLE_PERIOD_S
+        )
+
+        # Census counters.
+        self.transient_failures = 0
+        self.storage_failures = 0
+        self.sensor_latches = 0
+        self.wrong_hashes = 0
+        self.repairs = 0
+        self.workload_runs = 0.0
+        self.energy_kwh = 0.0
+        self.monitor_rounds = 0
+        self._tent_temp_min = math.inf
+        self._tent_temp_max = -math.inf
+        self._tent_temp_sum = 0.0
+        self._ticks = 0
+
+    # ------------------------------------------------------------------
+    # Cohort layout
+    # ------------------------------------------------------------------
+    def _build_cohort(self) -> None:
+        n = self.n_hosts
+        plans = sorted(self.config.host_plans, key=lambda p: p.host_id)[:POD_SIZE]
+        slot = np.arange(n) % len(plans)
+        self.pod = np.arange(n) // POD_SIZE
+        self.n_pods = int(self.pod[-1]) + 1
+
+        vendor_ids = np.array([p.vendor_id for p in plans])[slot]
+        self.vendor_ids = vendor_ids
+        groups = np.array([p.group for p in plans])[slot]
+        self.tent_mask = groups == "tent"
+        self.basement_mask = groups == "basement"
+
+        def per_vendor(attr: str) -> np.ndarray:
+            table = {v: float(getattr(vendor(v), attr)) for v in ("A", "B", "C")}
+            return np.vectorize(table.__getitem__, otypes=[np.float64])(vendor_ids)
+
+        self.idle_power_w = per_vendor("idle_power_w")
+        self.active_power_w = per_vendor("active_power_w")
+        self.cpu_idle_power_w = per_vendor("cpu_idle_power_w")
+        self.case_rise_k_per_w = per_vendor("case_rise_k_per_w")
+        self.cpu_theta_k_per_w = per_vendor("cpu_theta_k_per_w")
+        self.compress_mb_per_s = per_vendor("compress_mb_per_s")
+        self.defective = np.vectorize(
+            {v: vendor(v).defective_series for v in ("A", "B", "C")}.__getitem__,
+            otypes=[np.bool_],
+        )(vendor_ids)
+        self.ecc = np.vectorize(
+            {v: vendor(v).ecc_memory for v in ("A", "B", "C")}.__getitem__,
+            otypes=[np.bool_],
+        )(vendor_ids)
+        self.n_disks = np.vectorize(
+            {v: vendor(v).disk_layout.disk_count for v in ("A", "B", "C")}.__getitem__,
+            otypes=[np.int64],
+        )(vendor_ids)
+        self.disk_tolerance = np.vectorize(
+            _DISK_TOLERANCE.__getitem__, otypes=[np.int64]
+        )(vendor_ids)
+
+        tree = KernelSourceTree()
+        burst_s = (tree.total_bytes / 1e6) / self.compress_mb_per_s
+        self.duty = burst_s / CYCLE_PERIOD_S
+        self.avg_power_w = self.idle_power_w + self.duty * (
+            self.active_power_w - self.idle_power_w
+        )
+        self.page_ops_per_cycle = tree.page_ops_per_cycle()
+        ratio = self.config.memory_model.page_fault_ratio
+        # P(>=1 flip) across one cycle's page ops, non-ECC banks only.
+        self.p_wrong_per_cycle = 1.0 - (1.0 - ratio) ** self.page_ops_per_cycle
+
+        model = self.config.transient_model
+        self.frailty = self._rng.lognormal(
+            mean=0.0, sigma=model.frailty_sigma, size=n
+        )
+        self.base_rate_per_hour = np.where(
+            self.defective, model.defective_rate_per_hour, model.base_rate_per_hour
+        ) * self.frailty
+
+        # Dynamic state columns.
+        self.state = np.where(groups == "spare", STAGED, RUNNING).astype(np.int8)
+        self.uptime_s = np.zeros(n, dtype=np.float64)
+        self.sensor_latched = np.zeros(n, dtype=np.bool_)
+        self.disks_failed = np.zeros(n, dtype=np.int64)
+        self.repair_at = np.full(n, np.inf, dtype=np.float64)
+
+    def _build_thermal(self) -> None:
+        first = self.weather.sample(self._start_s)
+        self.tents = TwoNodeTentBank(self.n_pods, first.temp_c)
+        cfg = self.config
+        for plan in cfg.modification_plans:
+            when = self.clock.to_seconds(plan.date)
+            if when <= self._start_s:
+                self.tents.apply_modification(plan.modification)
+                continue
+            self.sim.schedule_at(
+                when,
+                lambda mod=plan.modification: self.tents.apply_modification(mod),
+                label=f"fleetscale.mod.{plan.modification.name}",
+            )
+        self._sample = first
+        self.intake_temp_c = np.full(self.n_hosts, first.temp_c, dtype=np.float64)
+
+    def _install_frame(self) -> None:
+        dt = self.tick_interval_s
+        self.sim.every_key_group(
+            dt,
+            "fleetscale.frame",
+            (
+                self._frame_weather,
+                self._frame_thermal,
+                self._frame_hazards,
+                self._frame_workload,
+            ),
+            start=self._start_s + dt,
+            label="fleetscale frame",
+        )
+        self.sim.every_key_group(
+            MONITOR_PERIOD_S,
+            "fleetscale.monitor",
+            (self._monitor_round,),
+            start=self._start_s + MONITOR_PERIOD_S,
+            label="fleetscale monitoring",
+        )
+
+    # ------------------------------------------------------------------
+    # The per-tick system pass (fixed order, one heap entry)
+    # ------------------------------------------------------------------
+    def _frame_weather(self) -> None:
+        self._sample = self.weather.sample(self.sim.now)
+
+    def _frame_thermal(self) -> None:
+        dt = self.tick_interval_s
+        s = self._sample
+        running = self.state == RUNNING
+        tent_on = running & self.tent_mask
+        pod_load = np.bincount(
+            self.pod[tent_on],
+            weights=self.avg_power_w[tent_on],
+            minlength=self.n_pods,
+        )
+        self.tents.step(dt, pod_load, s.temp_c, s.wind_ms, s.solar_wm2)
+
+        # Basement CRAC: setpoint plus the same diurnal wiggle as the
+        # object model's BasementMachineRoom.
+        day_frac = (self.sim.now % 86_400.0) / 86_400.0
+        basement_c = 21.0 + 0.4 * math.sin(2.0 * math.pi * day_frac)
+        self.intake_temp_c = np.where(
+            self.tent_mask, self.tents.intake_temp_c[self.pod], basement_c
+        )
+        air = self.tents.air_temp_c
+        self._tent_temp_min = min(self._tent_temp_min, float(air.min()))
+        self._tent_temp_max = max(self._tent_temp_max, float(air.max()))
+        self._tent_temp_sum += float(air.mean())
+        self._ticks += 1
+
+    def _frame_hazards(self) -> None:
+        dt = self.tick_interval_s
+        now = self.sim.now
+        model = self.config.transient_model
+        running = self.state == RUNNING
+        n = self.n_hosts
+
+        case = self.intake_temp_c + self.case_rise_k_per_w * self.avg_power_w
+        cpu_idle = case + self.cpu_theta_k_per_w * self.cpu_idle_power_w
+
+        # Sensor cold-latch: healthy chips below the threshold accrue
+        # the same 0.035/h hazard as SensorChip.exposure_step.
+        exposed = running & ~self.sensor_latched & (cpu_idle < -3.0)
+        if exposed.any():
+            latched = exposed & (self._rng.random(n) < self._p_latch)
+            self.sensor_latched |= latched
+            self.sensor_latches += int(latched.sum())
+
+        # Transient system failures: TransientFaultModel.rate_per_hour,
+        # vectorized (frailty folded into base_rate_per_hour at build).
+        rate = self.base_rate_per_hour
+        hot = case > model.temp_reference_c
+        cold = model.cold_multiplier != 1.0
+        if hot.any() or cold:
+            rate = rate.copy()
+            if hot.any():
+                rate[hot] *= 2.0 ** (
+                    (case[hot] - model.temp_reference_c) / model.temp_doubling_c
+                )
+            if cold:
+                rate[self.intake_temp_c < 0.0] *= model.cold_multiplier
+        p_fail = 1.0 - np.exp(rate * (-dt / 3600.0))
+        struck = running & (self._rng.random(n) < p_fail)
+
+        # Disk attrition: 500k-hour MTBF per healthy drive, doubling
+        # every 15 degC of case air above 45 degC (Disk.tick).
+        disk_hot = case > 45.0
+        if disk_hot.any():
+            disk_rate = np.full(n, 1.0 / 500_000.0)
+            disk_rate[disk_hot] *= 2.0 ** ((case[disk_hot] - 45.0) / 15.0)
+            p_disk = 1.0 - np.exp(disk_rate * (-dt / 3600.0))
+        else:
+            p_disk = self._p_disk
+        healthy_disks = np.where(running, self.n_disks - self.disks_failed, 0)
+        new_losses = self._rng.binomial(healthy_disks, p_disk)
+        self.disks_failed += new_losses
+        storage_dead = running & (self.disks_failed > self.disk_tolerance)
+
+        self.transient_failures += int((struck & ~storage_dead).sum())
+        self.storage_failures += int(storage_dead.sum())
+        down = struck | storage_dead
+        if down.any():
+            self.state[down] = FAILED
+            self.repair_at[down] = now + self.config.inspection_delay_hours * 3600.0
+            # A repair swaps the dead drives too.
+            self.disks_failed[storage_dead] = 0
+
+        due = (self.state == FAILED) & (self.repair_at <= now)
+        if due.any():
+            self.state[due] = RUNNING
+            self.repair_at[due] = np.inf
+            self.repairs += int(due.sum())
+
+    def _frame_workload(self) -> None:
+        dt = self.tick_interval_s
+        running = self.state == RUNNING
+        n_run = int(running.sum())
+        cycles = dt / CYCLE_PERIOD_S
+        self.uptime_s[running] += dt
+        self.workload_runs += n_run * cycles
+        self.energy_kwh += float(self.avg_power_w[running].sum()) * dt / 3.6e6
+
+        flippable = running & ~self.ecc
+        if flippable.any():
+            wrong = flippable & (self._rng.random(self.n_hosts) < self._p_wrong_dt)
+            self.wrong_hashes += int(wrong.sum())
+
+    def _monitor_round(self) -> None:
+        self.monitor_rounds += 1
+        self._reachable_last = int((self.state == RUNNING).sum())
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+    def run(self, days: float) -> Dict[str, Any]:
+        """Advance the cohort ``days`` simulated days and return a census."""
+        if days <= 0:
+            raise ValueError("need a positive horizon")
+        end = min(
+            self._start_s + days * 86_400.0,
+            self.clock.to_seconds(self.config.end_date),
+        )
+        self.sim.run_until(end)
+        return self.summary()
+
+    def step_days(self, days: float) -> None:
+        """Advance by ``days`` from wherever the clock stands (for benches)."""
+        base = max(self.sim.now, self._start_s)
+        self.sim.run_until(base + days * 86_400.0)
+
+    def summary(self) -> Dict[str, Any]:
+        mean_tent = self._tent_temp_sum / self._ticks if self._ticks else math.nan
+        return {
+            "hosts": self.n_hosts,
+            "pods": self.n_pods,
+            "simulated_s": max(0.0, self.sim.now - self._start_s),
+            "ticks": self._ticks,
+            "running": int((self.state == RUNNING).sum()),
+            "transient_failures": self.transient_failures,
+            "storage_failures": self.storage_failures,
+            "sensor_latches": self.sensor_latches,
+            "wrong_hashes": self.wrong_hashes,
+            "repairs": self.repairs,
+            "workload_runs": int(round(self.workload_runs)),
+            "energy_kwh": round(self.energy_kwh, 3),
+            "monitor_rounds": self.monitor_rounds,
+            "tent_air_c": {
+                "min": round(self._tent_temp_min, 3) if self._ticks else None,
+                "mean": round(mean_tent, 3) if self._ticks else None,
+                "max": round(self._tent_temp_max, 3) if self._ticks else None,
+            },
+        }
+
+    def format_summary(self) -> str:
+        s = self.summary()
+        when = self.clock.to_datetime(self.sim.now)
+        tent = s["tent_air_c"]
+        lines = [
+            f"fleet-scale cohort: {s['hosts']} hosts in {s['pods']} pods "
+            f"(through {when:%Y-%m-%d %H:%M})",
+            f"  running {s['running']}  repairs {s['repairs']}",
+            f"  failures: {s['transient_failures']} transient, "
+            f"{s['storage_failures']} storage, {s['sensor_latches']} sensor latches, "
+            f"{s['wrong_hashes']} wrong hashes",
+            f"  workload: {s['workload_runs']} archive cycles, "
+            f"{s['energy_kwh']:.1f} kWh",
+        ]
+        if tent["mean"] is not None:
+            lines.append(
+                f"  tent air: {tent['min']:.1f} .. {tent['mean']:.1f} .. "
+                f"{tent['max']:.1f} degC"
+            )
+        return "\n".join(lines)

@@ -18,6 +18,7 @@ from typing import Any, Dict, Optional
 import numpy as np
 
 from repro.hardware.vendors import VendorSpec
+from repro.sim.columns import ColumnAttr
 from repro.state.codec import (
     pack_bools,
     pack_floats,
@@ -42,6 +43,10 @@ class Cpu:
     reproduction: intake air + case rise + package rise, each proportional
     to the relevant power.
     """
+
+    #: Column-backed when the owning host is bound to a fleet's
+    #: :class:`~repro.sim.columns.FleetColumns`; plain attribute otherwise.
+    busy = ColumnAttr("cpu_busy", bool)
 
     def __init__(self, spec: VendorSpec) -> None:
         self.spec = spec
@@ -83,6 +88,8 @@ class MemoryBank:
         Probability of a fault per page operation.  Defaults to the paper's
         estimate of one in 570 million.
     """
+
+    page_ops_total = ColumnAttr("page_ops_total", int)
 
     def __init__(
         self,

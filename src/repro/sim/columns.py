@@ -1,0 +1,255 @@
+"""Columnar fleet state: one numpy array per attribute, hosts as indices.
+
+The per-object simulation keeps every host attribute on a Python object;
+at fleet scale that is one pointer chase per host per read.  This module
+holds the same state as fleet-wide *columns* -- float64/int64/bool arrays
+keyed by host index (and, for per-drive attributes, by a flat disk
+index) -- so the hot tick path can compute temperatures, uptimes, and
+hazard inputs as single vectorized expressions.
+
+The existing ``Host``/``Cpu``/``SensorChip``/``Disk`` objects stay the
+public API: their columnized attributes are :class:`ColumnAttr`
+descriptors, which read and write the backing array once the object is
+*bound* to a :class:`FleetColumns` (``bind_object``).  Unbound objects
+(unit tests building a bare ``Host``, the prototype host) fall back to
+per-instance storage, so nothing changes for them.
+
+Exactness contract: a column round-trip must never perturb a value.
+Columns are float64/int64/bool; Python floats, ints (within int64), and
+bools round-trip bit-for-bit, and the vectorized expressions the fleet
+tick runs (elementwise ``+``/``*`` and ``np.where`` gathers) are
+IEEE-identical to their scalar counterparts.  Anything that is *not*
+exactly replicable in a batch (``math.exp`` hazards, RNG draws) stays
+scalar and per-host.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from repro.state.codec import pack_floats, unpack_floats
+
+_STATE_VERSION = 1
+
+#: Per-host float columns (allocated lazily, grown by doubling).
+_HOST_FLOAT_COLUMNS = (
+    "uptime_s",
+    "frailty",
+    "cold_exposure_s",
+    # Static vendor parameters, gathered once at bind time so the tick
+    # never touches a VendorSpec object.
+    "idle_power_w",
+    "active_power_w",
+    "cpu_idle_power_w",
+    "cpu_active_power_w",
+    "case_rise_k_per_w",
+    "cpu_theta_k_per_w",
+    "average_power_w",
+    # Scratch written by the vectorized tick (derived, not authoritative).
+    "intake_temp_c",
+    "case_temp_c",
+    "cpu_temp_c",
+    "intake_precip_mm_h",
+)
+_HOST_INT_COLUMNS = ("host_state", "sensor_state", "page_ops_total", "reset_count")
+_HOST_BOOL_COLUMNS = ("cpu_busy", "defective_series")
+
+#: Per-disk columns (flat; each host owns the slice
+#: ``disk_start[i]:disk_start[i]+disk_count[i]``).
+_DISK_FLOAT_COLUMNS = ("disk_power_on_hours", "disk_temp_c")
+_DISK_INT_COLUMNS = ("disk_state",)
+
+
+class ColumnAttr:
+    """Descriptor: an attribute stored in a fleet column when bound.
+
+    ``kind`` is the Python type handed back to callers (``float``,
+    ``int``, or ``bool``), so downstream code never sees numpy scalars.
+    Unbound instances store the value in a private slot on the instance.
+    """
+
+    def __init__(self, column: str, kind: type = float) -> None:
+        self.column = column
+        self.kind = kind
+        self.slot = "_cv_" + column
+
+    def __set_name__(self, owner: type, name: str) -> None:
+        self.name = name
+
+    def __get__(self, obj: Any, objtype: type = None) -> Any:
+        if obj is None:
+            return self
+        cols = getattr(obj, "_columns", None)
+        if cols is None:
+            return getattr(obj, self.slot)
+        return self.kind(getattr(cols, self.column)[obj._column_index])
+
+    def __set__(self, obj: Any, value: Any) -> None:
+        cols = getattr(obj, "_columns", None)
+        if cols is None:
+            object.__setattr__(obj, self.slot, value)
+        else:
+            getattr(cols, self.column)[obj._column_index] = value
+
+
+class EnumColumnAttr:
+    """Descriptor for enum attributes stored as small-int codes."""
+
+    def __init__(self, column: str, codes: Dict[Any, int]) -> None:
+        self.column = column
+        self.codes = dict(codes)
+        self.by_code = {code: member for member, code in codes.items()}
+        self.slot = "_cv_" + column
+
+    def __set_name__(self, owner: type, name: str) -> None:
+        self.name = name
+
+    def __get__(self, obj: Any, objtype: type = None) -> Any:
+        if obj is None:
+            return self
+        cols = getattr(obj, "_columns", None)
+        if cols is None:
+            return getattr(obj, self.slot)
+        return self.by_code[int(getattr(cols, self.column)[obj._column_index])]
+
+    def __set__(self, obj: Any, value: Any) -> None:
+        cols = getattr(obj, "_columns", None)
+        if cols is None:
+            object.__setattr__(obj, self.slot, value)
+        else:
+            getattr(cols, self.column)[obj._column_index] = self.codes[value]
+
+
+def _column_descriptors(cls: type) -> List[Any]:
+    """Every ColumnAttr/EnumColumnAttr on ``cls`` (MRO-wide, name-deduped)."""
+    seen: Dict[str, Any] = {}
+    for klass in reversed(cls.__mro__):
+        for name, attr in vars(klass).items():
+            if isinstance(attr, (ColumnAttr, EnumColumnAttr)):
+                seen[name] = attr
+    return list(seen.values())
+
+
+def bind_object(obj: Any, cols: "FleetColumns", index: int) -> None:
+    """Re-home an object's columnized attributes into ``cols[index]``.
+
+    Current (fallback) values are read first and written back through
+    the descriptors afterwards, so binding is value-preserving at any
+    point in the object's life.
+    """
+    descriptors = _column_descriptors(type(obj))
+    values = [(d, d.__get__(obj)) for d in descriptors]
+    obj._columns = cols
+    obj._column_index = index
+    for descriptor, value in values:
+        descriptor.__set__(obj, value)
+
+
+class FleetColumns:
+    """The fleet's column store.
+
+    Hosts register through :meth:`add_host`, which hands back a host
+    index and a contiguous disk slice.  Arrays grow by doubling;
+    ``n_hosts``/``n_disks`` are the live extents (always slice columns
+    with them -- the tails are uninitialised).
+    """
+
+    def __init__(self, capacity: int = 32, disk_capacity: int = 64) -> None:
+        self._capacity = max(1, capacity)
+        self._disk_capacity = max(1, disk_capacity)
+        self.n_hosts = 0
+        self.n_disks = 0
+        self.host_ids: List[int] = []
+        self.index_of: Dict[int, int] = {}
+        for name in _HOST_FLOAT_COLUMNS:
+            setattr(self, name, np.zeros(self._capacity, dtype=np.float64))
+        for name in _HOST_INT_COLUMNS:
+            setattr(self, name, np.zeros(self._capacity, dtype=np.int64))
+        for name in _HOST_BOOL_COLUMNS:
+            setattr(self, name, np.zeros(self._capacity, dtype=bool))
+        self.disk_start = np.zeros(self._capacity, dtype=np.int64)
+        self.disk_count = np.zeros(self._capacity, dtype=np.int64)
+        for name in _DISK_FLOAT_COLUMNS:
+            setattr(self, name, np.zeros(self._disk_capacity, dtype=np.float64))
+        for name in _DISK_INT_COLUMNS:
+            setattr(self, name, np.zeros(self._disk_capacity, dtype=np.int64))
+
+    def __repr__(self) -> str:
+        return f"FleetColumns(hosts={self.n_hosts}, disks={self.n_disks})"
+
+    # ------------------------------------------------------------------
+    def _grow(self, names: Tuple[str, ...], new_capacity: int) -> None:
+        for name in names:
+            old = getattr(self, name)
+            fresh = np.zeros(new_capacity, dtype=old.dtype)
+            fresh[: old.size] = old
+            setattr(self, name, fresh)
+
+    def ensure_host_capacity(self, n: int) -> None:
+        if n <= self._capacity:
+            return
+        new_capacity = self._capacity
+        while new_capacity < n:
+            new_capacity *= 2
+        self._grow(
+            _HOST_FLOAT_COLUMNS + _HOST_INT_COLUMNS + _HOST_BOOL_COLUMNS
+            + ("disk_start", "disk_count"),
+            new_capacity,
+        )
+        self._capacity = new_capacity
+
+    def ensure_disk_capacity(self, n: int) -> None:
+        if n <= self._disk_capacity:
+            return
+        new_capacity = self._disk_capacity
+        while new_capacity < n:
+            new_capacity *= 2
+        self._grow(_DISK_FLOAT_COLUMNS + _DISK_INT_COLUMNS, new_capacity)
+        self._disk_capacity = new_capacity
+
+    def add_host(self, host_id: int, n_disks: int) -> Tuple[int, int]:
+        """Allocate one host row and ``n_disks`` disk rows.
+
+        Returns ``(host_index, disk_start)``.  Re-adding a host id is an
+        error -- the fleet binds each host exactly once.
+        """
+        if host_id in self.index_of:
+            raise ValueError(f"host {host_id} already has a column index")
+        index = self.n_hosts
+        self.ensure_host_capacity(index + 1)
+        disk_start = self.n_disks
+        self.ensure_disk_capacity(disk_start + n_disks)
+        self.n_hosts = index + 1
+        self.n_disks = disk_start + n_disks
+        self.host_ids.append(host_id)
+        self.index_of[host_id] = index
+        self.disk_start[index] = disk_start
+        self.disk_count[index] = n_disks
+        return index, disk_start
+
+    # ------------------------------------------------------------------
+    # Snapshot protocol.  Columns are *views* over state the owning
+    # objects already serialise (host state dicts), so the checkpoint
+    # carries only the derived scratch columns for inspection purposes;
+    # everything else re-materialises through bind_object on restore.
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        n = self.n_hosts
+        return {
+            "version": _STATE_VERSION,
+            "host_ids": list(self.host_ids),
+            "case_temp_c": pack_floats([float(v) for v in self.case_temp_c[:n]]),
+            "cpu_temp_c": pack_floats([float(v) for v in self.cpu_temp_c[:n]]),
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        if int(state.get("version", 0)) != _STATE_VERSION:
+            raise ValueError(f"unknown columns state version {state.get('version')!r}")
+        ids = [int(i) for i in state["host_ids"]]
+        if ids != self.host_ids:
+            raise ValueError("columns snapshot host order does not match this fleet")
+        for name in ("case_temp_c", "cpu_temp_c"):
+            values = unpack_floats(state[name])
+            getattr(self, name)[: len(values)] = values

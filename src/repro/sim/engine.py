@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import heapq
 from time import perf_counter
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.sim.clock import SimClock
 
@@ -322,6 +322,38 @@ class Simulator:
         }
         self.schedule_at_key(first, _PERIODIC_KEY, (task_id,), label=label)
         return PeriodicTask(self, task_id)
+
+    def every_key_group(
+        self,
+        period: float,
+        key: str,
+        callbacks: Sequence[Callable[[], None]],
+        start: Optional[float] = None,
+        label: str = "",
+    ) -> PeriodicTask:
+        """A batched recurrence: ONE heap entry firing several callbacks.
+
+        Identical-cadence periodic work (clock, thermal, workload,
+        telemetry passes) scheduled as separate ``every_key`` recurrences
+        costs one heap push/pop and one dispatch per subsystem per tick.
+        A group amortises that to a single entry: each occurrence calls
+        every callback once, in the fixed order given -- the RackMind-style
+        per-tick system pass -- before the recurrence re-arms.
+
+        ``key`` is registered to the group dispatcher, so the recurrence
+        is snapshot-safe as long as the restored process re-registers the
+        same group under the same key before ``load_state_dict``.
+        """
+        fns = tuple(callbacks)
+        if not fns:
+            raise SimulationError("a periodic group needs at least one callback")
+
+        def _fire_group() -> None:
+            for fn in fns:
+                fn()
+
+        self.register(key, _fire_group)
+        return self.every_key(period, key, start=start, label=label or key)
 
     def periodic_task(self, task_id: int) -> PeriodicTask:
         """Rebuild the handle for an existing recurrence (restore path)."""

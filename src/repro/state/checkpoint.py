@@ -7,6 +7,22 @@ string::
 
     {"schema": 1, "checksum": sha256(payload), "payload": "<json>"}
 
+A *delta* checkpoint (schema 2) stores, instead of the full payload, a
+structural diff against a sibling file in the same directory::
+
+    {"schema": 2, "checksum": sha256(payload),
+     "payload": "<json of {base: <filename>, delta: <tree>}>"}
+
+:func:`read_checkpoint` resolves the base chain transparently, so any
+cut in a campaign's checkpoint directory loads like a full snapshot.
+Most campaign state between two cuts is either unchanged (config,
+topology, vendor tables) or append-only (series digests, fault logs,
+packed column blobs), so a delta cut costs bytes proportional to the
+*cadence interval* rather than the horizon -- this is what keeps
+long-campaign checkpoint sizes flat instead of superlinear.
+:class:`DeltaCheckpointWriter` drives the chain and rebases with a full
+schema-1 cut every ``rebase_every`` writes to bound reassembly depth.
+
 The payload is serialised exactly once; the checksum is computed over
 that byte-for-byte string, so a torn or bit-flipped file can never load
 as a subtly wrong campaign.  Inside the payload:
@@ -47,6 +63,15 @@ from repro.state.codec import decode_value, encode_value
 
 #: Checkpoint layout version; readers reject (quarantine) other values.
 CHECKPOINT_SCHEMA = 1
+
+#: Envelope schema of a delta segment (diff against a sibling file).
+DELTA_SCHEMA = 2
+
+#: Hard bound on base-chain length during reassembly (a well-formed
+#: writer rebases long before this; the guard breaks reference cycles).
+_MAX_CHAIN_DEPTH = 128
+
+_DELTA_KEY = "__delta__"
 
 
 @dataclass
@@ -94,6 +119,86 @@ class CampaignCheckpoint:
         return decode_value(self.meta[key])
 
 
+def _common_prefix_len(old: str, new: str) -> int:
+    """Length of the shared prefix, scanned in slices (fast on MB blobs)."""
+    limit = min(len(old), len(new))
+    lo = 0
+    chunk = 1 << 16
+    while lo < limit and old[lo : lo + chunk] == new[lo : lo + chunk]:
+        lo += chunk
+    if lo >= limit:
+        return limit
+    # Mismatch inside the last chunk: binary-refine instead of a
+    # per-character scan (these blobs run to megabytes).
+    while chunk > 1:
+        chunk >>= 1
+        if lo < limit and old[lo : lo + chunk] == new[lo : lo + chunk]:
+            lo += chunk
+    return min(lo, limit)
+
+
+def _diff(old: Any, new: Any) -> Optional[Dict[str, Any]]:
+    """Structural delta turning ``old`` into ``new``; ``None`` if equal.
+
+    Dicts diff per key, lists and strings keep their common prefix and
+    replace the tail (the append-only shapes campaign state is made
+    of), everything else is replaced whole.  Payloads never contain the
+    ``__delta__`` sentinel key, so the encoding is unambiguous.
+    """
+    if old is new:
+        return None
+    if isinstance(old, dict) and isinstance(new, dict):
+        sets: Dict[str, Any] = {}
+        for key, value in new.items():
+            if key in old:
+                delta = _diff(old[key], value)
+                if delta is not None:
+                    sets[key] = delta
+            else:
+                sets[key] = {_DELTA_KEY: "full", "value": value}
+        drops = [key for key in old if key not in new]
+        if not sets and not drops:
+            return None
+        return {_DELTA_KEY: "dict", "set": sets, "drop": drops}
+    if isinstance(old, list) and isinstance(new, list):
+        limit = min(len(old), len(new))
+        keep = 0
+        while keep < limit and old[keep] == new[keep]:
+            keep += 1
+        if keep == len(old) == len(new):
+            return None
+        if keep:
+            return {_DELTA_KEY: "tail", "keep": keep, "tail": new[keep:]}
+        return {_DELTA_KEY: "full", "value": new}
+    if isinstance(old, str) and isinstance(new, str):
+        keep = _common_prefix_len(old, new)
+        if keep == len(old) == len(new):
+            return None
+        if keep >= 32:
+            return {_DELTA_KEY: "strtail", "keep": keep, "tail": new[keep:]}
+        return {_DELTA_KEY: "full", "value": new}
+    if old == new:
+        return None
+    return {_DELTA_KEY: "full", "value": new}
+
+
+def _apply(old: Any, delta: Dict[str, Any]) -> Any:
+    """Inverse of :func:`_diff`: rebuild the new value from ``old``."""
+    kind = delta[_DELTA_KEY]
+    if kind == "full":
+        return delta["value"]
+    if kind == "dict":
+        dropped = set(delta["drop"])
+        out = {k: v for k, v in old.items() if k not in dropped}
+        for key, sub in delta["set"].items():
+            out[key] = _apply(old.get(key), sub)
+        return out
+    if kind in ("tail", "strtail"):
+        keep = int(delta["keep"])
+        return old[:keep] + delta["tail"]
+    raise ValueError(f"unknown delta node kind {kind!r}")
+
+
 def _quarantine(path: str) -> None:
     """Move a poisoned checkpoint aside so it is never re-parsed."""
     try:
@@ -112,15 +217,23 @@ def write_checkpoint(path: str, checkpoint: CampaignCheckpoint) -> bool:
     run the checkpoint was meant to protect.  The tmp file never
     outlives the call.
     """
+    try:
+        payload = json.dumps(
+            checkpoint.to_payload(), sort_keys=True, separators=(",", ":")
+        )
+    except (TypeError, ValueError):
+        return False
+    return _write_envelope(path, checkpoint.schema, payload)
+
+
+def _write_envelope(path: str, schema: int, payload: str) -> bool:
+    """Atomic, best-effort write of one checksummed envelope."""
     directory = os.path.dirname(os.path.abspath(path))
     tmp_path: Optional[str] = None
     try:
         os.makedirs(directory, exist_ok=True)
-        payload = json.dumps(
-            checkpoint.to_payload(), sort_keys=True, separators=(",", ":")
-        )
         envelope = {
-            "schema": checkpoint.schema,
+            "schema": schema,
             "checksum": hashlib.sha256(payload.encode("utf-8")).hexdigest(),
             "payload": payload,
         }
@@ -140,6 +253,64 @@ def write_checkpoint(path: str, checkpoint: CampaignCheckpoint) -> bool:
                 pass
 
 
+class DeltaCheckpointWriter:
+    """Emit a chain of checkpoint cuts with delta compression.
+
+    The first cut (and every ``rebase_every``-th thereafter) is a full
+    schema-1 file; cuts in between are schema-2 deltas against the
+    previous cut in the same directory.  A failed write leaves the
+    chain base untouched, so the next cut simply diffs across the gap.
+
+    One writer instance belongs to one campaign run: the chain threads
+    through the files *that run* wrote, and a resumed campaign starts a
+    fresh writer (its first cut is full, so old segments may be pruned
+    once a new full cut lands).
+    """
+
+    def __init__(self, rebase_every: int = 16) -> None:
+        if rebase_every < 0:
+            raise ValueError("rebase_every cannot be negative")
+        self.rebase_every = int(rebase_every)
+        self._base_payload: Optional[Dict[str, Any]] = None
+        self._base_name: Optional[str] = None
+        self._base_dir: Optional[str] = None
+        self._chain_len = 0
+
+    def write(self, path: str, checkpoint: CampaignCheckpoint) -> bool:
+        """Write ``checkpoint`` to ``path`` as a full or delta cut."""
+        payload = checkpoint.to_payload()
+        directory = os.path.dirname(os.path.abspath(path))
+        delta_ok = (
+            self._base_payload is not None
+            and self._base_dir == directory
+            and (self.rebase_every == 0 or self._chain_len + 1 < self.rebase_every)
+        )
+        if delta_ok:
+            delta = _diff(self._base_payload, payload)
+            if delta is None:
+                delta = {_DELTA_KEY: "dict", "set": {}, "drop": []}
+            try:
+                body = json.dumps(
+                    {"base": self._base_name, "delta": delta},
+                    sort_keys=True,
+                    separators=(",", ":"),
+                )
+            except (TypeError, ValueError):
+                return False
+            stored = _write_envelope(path, DELTA_SCHEMA, body)
+            if stored:
+                self._chain_len += 1
+        else:
+            stored = write_checkpoint(path, checkpoint)
+            if stored:
+                self._chain_len = 0
+        if stored:
+            self._base_payload = payload
+            self._base_name = os.path.basename(path)
+            self._base_dir = directory
+        return stored
+
+
 def read_checkpoint(path: str) -> Optional[CampaignCheckpoint]:
     """Load and verify a checkpoint; ``None`` when unusable.
 
@@ -147,6 +318,26 @@ def read_checkpoint(path: str) -> Optional[CampaignCheckpoint]:
     or schema validation is quarantined to a ``.corrupt`` sibling; a
     merely unreadable file (I/O error) is left in place.  Either way
     the caller sees ``None`` and falls back to a from-scratch run.
+    """
+    payload = _read_payload(path, _MAX_CHAIN_DEPTH)
+    if payload is None:
+        return None
+    try:
+        checkpoint = CampaignCheckpoint.from_payload(payload)
+        if checkpoint.schema != CHECKPOINT_SCHEMA:
+            raise ValueError(f"unknown checkpoint schema {checkpoint.schema}")
+    except (KeyError, TypeError, ValueError):
+        _quarantine(path)
+        return None
+    return checkpoint
+
+
+def _read_payload(path: str, depth: int) -> Optional[Dict[str, Any]]:
+    """Verify one envelope and resolve its delta chain to a full payload.
+
+    A corrupt file is quarantined at its own level; a delta whose base
+    is missing or unusable simply returns ``None`` (the delta file
+    itself is intact and may become loadable if the base reappears).
     """
     if not os.path.exists(path):
         return None
@@ -160,17 +351,32 @@ def read_checkpoint(path: str) -> Optional[CampaignCheckpoint]:
         return None
     try:
         payload_str = envelope["payload"]
-        checksum = envelope["checksum"]
+        schema = envelope.get("schema")
         if not isinstance(payload_str, str):
             raise ValueError("payload is not a string")
         actual = hashlib.sha256(payload_str.encode("utf-8")).hexdigest()
-        if actual != checksum:
+        if actual != envelope["checksum"]:
             raise ValueError("checksum mismatch")
-        payload = json.loads(payload_str)
-        checkpoint = CampaignCheckpoint.from_payload(payload)
-        if checkpoint.schema != CHECKPOINT_SCHEMA:
-            raise ValueError(f"unknown checkpoint schema {checkpoint.schema}")
+        body = json.loads(payload_str)
+        if schema == CHECKPOINT_SCHEMA:
+            return body
+        if schema != DELTA_SCHEMA:
+            raise ValueError(f"unknown envelope schema {schema!r}")
+        base_name = body["base"]
+        delta = body["delta"]
+        if not isinstance(base_name, str) or os.path.sep in base_name:
+            raise ValueError("delta base must be a sibling filename")
     except (KeyError, TypeError, ValueError):
         _quarantine(path)
         return None
-    return checkpoint
+    if depth <= 0:
+        return None
+    base_path = os.path.join(os.path.dirname(os.path.abspath(path)), base_name)
+    base_payload = _read_payload(base_path, depth - 1)
+    if base_payload is None:
+        return None
+    try:
+        return _apply(base_payload, delta)
+    except (KeyError, TypeError, ValueError):
+        _quarantine(path)
+        return None

@@ -1,0 +1,121 @@
+"""Object vs columnar backend: byte-identical campaign outcomes.
+
+The columnar refactor's hard invariant: storing fleet state in numpy
+columns must not change a single byte of the paper run.  These tests
+run the seed-7 configuration through both backends -- plain, under a
+degraded-mode link storm, and killed-and-resumed from a mid-flight
+checkpoint -- and compare canonical run-record JSON, sensor records,
+and telemetry counters byte for byte.
+"""
+
+import datetime as dt
+import hashlib
+import os
+
+import pytest
+
+from repro.core.builder import Campaign, CampaignBuilder
+from repro.core.config import ExperimentConfig
+from repro.monitoring.health import HealthPolicy
+from repro.monitoring.transport import LinkFaultPlan, LinkStorm
+from repro.runner.policy import RetryPolicy
+from repro.runner.records import record_from_results
+from repro.telemetry import Telemetry
+
+UNTIL = dt.datetime(2010, 3, 6, 12, 0)
+EVERY = 5 * 86_400.0
+
+
+def _builder(backend, seed=7):
+    return CampaignBuilder(ExperimentConfig(seed=seed)).with_fleet_backend(backend)
+
+
+def _record_json(results):
+    return record_from_results(7, results, until=UNTIL).canonical_json()
+
+
+def _run(backend, *, storm=False, telemetry=None, **run_kwargs):
+    builder = _builder(backend)
+    if storm:
+        builder.with_link_faults(
+            LinkFaultPlan(storm=LinkStorm(probability=0.25, seed=3))
+        ).with_health_policy(HealthPolicy(retry=RetryPolicy(max_attempts=3)))
+    if telemetry is not None:
+        builder.with_telemetry(telemetry)
+    campaign = builder.build()
+    results = campaign.run(until=UNTIL, **run_kwargs)
+    return campaign, results
+
+
+class TestPlainEquivalence:
+    @pytest.fixture(scope="class")
+    def records(self):
+        out = {}
+        for backend in ("object", "columnar"):
+            telemetry = Telemetry()
+            _, results = _run(backend, telemetry=telemetry)
+            out[backend] = (
+                _record_json(results),
+                [(r.time, r.host_id, r.cpu_temp_c)
+                 for r in results.monitoring.sensor_records],
+                [(c.name, c.value) for c in telemetry.metrics.counters()],
+            )
+        return out
+
+    def test_run_records_byte_identical(self, records):
+        assert records["object"][0] == records["columnar"][0]
+
+    def test_sensor_records_identical(self, records):
+        assert records["object"][1] == records["columnar"][1]
+
+    def test_telemetry_counters_identical(self, records):
+        assert records["object"][2] == records["columnar"][2]
+
+
+class TestDegradedEquivalence:
+    def test_link_storm_runs_byte_identical(self):
+        _, obj = _run("object", storm=True)
+        _, col = _run("columnar", storm=True)
+        assert obj.monitoring.ssh_timeouts_total > 0
+        assert _record_json(obj) == _record_json(col)
+
+
+class TestKillAndResume:
+    def test_columnar_resume_matches_object_straight_run(self, tmp_path):
+        _, straight = _run("object")
+        campaign, _ = _run(
+            "columnar", checkpoint_every=EVERY, checkpoint_dir=str(tmp_path)
+        )
+        assert campaign.checkpoints_written
+        # "Kill" after the first cut: resume it cold from disk.
+        resumed, results = Campaign.resume(
+            campaign.checkpoints_written[0], until=UNTIL
+        )
+        assert resumed.fleet.backend == "columnar"
+        assert _record_json(straight) == _record_json(results)
+
+    def test_backend_choice_rides_in_the_checkpoint(self, tmp_path):
+        campaign, _ = _run(
+            "object", checkpoint_every=EVERY, checkpoint_dir=str(tmp_path)
+        )
+        resumed, results = Campaign.resume(campaign.checkpoints_written[0], until=UNTIL)
+        assert resumed.fleet.backend == "object"
+        _, straight = _run("columnar")
+        assert _record_json(straight) == _record_json(results)
+
+
+class TestPinnedDigest:
+    """The seed-7 record digest CI pins (tests/data/seed7_record.sha256)."""
+
+    def test_matches_pinned_sha(self):
+        pin_path = os.path.join(
+            os.path.dirname(__file__), "..", "data", "seed7_record.sha256"
+        )
+        with open(pin_path) as fh:
+            pinned = fh.read().split()[0]
+        _, results = _run("columnar")
+        actual = hashlib.sha256(_record_json(results).encode("utf-8")).hexdigest()
+        assert actual == pinned, (
+            "the seed-7 paper record changed; if intentional, regenerate "
+            "tests/data/seed7_record.sha256"
+        )

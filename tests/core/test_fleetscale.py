@@ -1,0 +1,102 @@
+"""Fleet-scale batch campaign: layout, determinism, and sane dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ExperimentConfig
+from repro.core.fleetscale import (
+    FAILED,
+    POD_SIZE,
+    RUNNING,
+    STAGED,
+    FleetScaleCampaign,
+)
+
+
+class TestCohortLayout:
+    def test_pods_replicate_the_paper_plan(self):
+        fleet = FleetScaleCampaign(3 * POD_SIZE)
+        assert fleet.n_pods == 3
+        # Slot k of every pod shares vendor, location, and fault plan.
+        for k in range(POD_SIZE):
+            slots = np.arange(3) * POD_SIZE + k
+            assert len(set(fleet.vendor_ids[slots])) == 1
+            assert len(set(fleet.tent_mask[slots])) == 1
+            assert len(set(fleet.defective[slots])) == 1
+        # The paper mix: 9 tent, 9 basement, 1 staged spare per pod.
+        assert int(fleet.tent_mask[:POD_SIZE].sum()) == 9
+        assert int((fleet.state[:POD_SIZE] == STAGED).sum()) == 1
+
+    def test_partial_pod_is_allowed(self):
+        fleet = FleetScaleCampaign(POD_SIZE + 5)
+        assert fleet.n_hosts == POD_SIZE + 5
+        assert fleet.n_pods == 2
+        assert fleet.state.shape == (POD_SIZE + 5,)
+
+    def test_tick_must_divide_into_cycles(self):
+        with pytest.raises(ValueError):
+            FleetScaleCampaign(19, tick_interval_s=700.0)
+        with pytest.raises(ValueError):
+            FleetScaleCampaign(0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_summary(self):
+        a = FleetScaleCampaign(200, ExperimentConfig(seed=11))
+        b = FleetScaleCampaign(200, ExperimentConfig(seed=11))
+        assert a.run(days=5.0) == b.run(days=5.0)
+
+    def test_different_seed_diverges(self):
+        a = FleetScaleCampaign(2000, ExperimentConfig(seed=11))
+        b = FleetScaleCampaign(2000, ExperimentConfig(seed=12))
+        sa, sb = a.run(days=5.0), b.run(days=5.0)
+        assert (
+            sa["transient_failures"],
+            sa["wrong_hashes"],
+            sa["energy_kwh"],
+        ) != (sb["transient_failures"], sb["wrong_hashes"], sb["energy_kwh"])
+
+
+class TestDynamics:
+    @pytest.fixture(scope="class")
+    def week(self):
+        fleet = FleetScaleCampaign(5000, ExperimentConfig(seed=7))
+        summary = fleet.run(days=7.0)
+        return fleet, summary
+
+    def test_counters_are_sane(self, week):
+        fleet, s = week
+        assert s["hosts"] == 5000
+        assert s["simulated_s"] == pytest.approx(7 * 86400.0)
+        assert 0 < s["running"] <= 5000
+        assert s["transient_failures"] >= 0
+        assert s["workload_runs"] > 0
+        assert s["energy_kwh"] > 0
+        assert s["monitor_rounds"] > 0
+        assert s["tent_air_c"]["min"] <= s["tent_air_c"]["mean"] <= s["tent_air_c"]["max"]
+
+    def test_failed_hosts_carry_repair_deadlines(self, week):
+        fleet, _ = week
+        down = fleet.state == FAILED
+        if down.any():
+            assert np.all(np.isfinite(fleet.repair_at[down]))
+        up = fleet.state == RUNNING
+        assert np.all(fleet.uptime_s[up] >= 0)
+
+    def test_repairs_do_happen_over_a_long_window(self):
+        fleet = FleetScaleCampaign(5000, ExperimentConfig(seed=7))
+        s = fleet.run(days=21.0)
+        assert s["transient_failures"] > 0
+        assert s["repairs"] > 0
+
+    def test_step_days_accumulates(self):
+        fleet = FleetScaleCampaign(19, ExperimentConfig(seed=7))
+        fleet.step_days(2.0)
+        fleet.step_days(3.0)
+        assert fleet.summary()["simulated_s"] == pytest.approx(5 * 86400.0)
+
+    def test_format_summary_mentions_the_fleet(self):
+        fleet = FleetScaleCampaign(38, ExperimentConfig(seed=7))
+        fleet.run(days=1.0)
+        text = fleet.format_summary()
+        assert "38" in text and "pods" in text.lower()

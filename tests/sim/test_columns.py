@@ -1,0 +1,141 @@
+"""Units for the columnar fleet-state layer (sim/columns.py)."""
+
+import numpy as np
+import pytest
+
+from repro.sim.columns import (
+    ColumnAttr,
+    EnumColumnAttr,
+    FleetColumns,
+    bind_object,
+)
+
+
+class Probe:
+    """Minimal column-backed object for descriptor tests."""
+
+    uptime_s = ColumnAttr("uptime_s", float)
+    reset_count = ColumnAttr("reset_count", int)
+    busy = ColumnAttr("cpu_busy", bool)
+
+    def __init__(self):
+        self.uptime_s = 0.0
+        self.reset_count = 0
+        self.busy = False
+
+
+class TestColumnAttr:
+    def test_unbound_falls_back_to_instance_slot(self):
+        p = Probe()
+        p.uptime_s = 42.5
+        assert p.uptime_s == 42.5
+        assert not hasattr(p, "_columns")
+
+    def test_binding_preserves_preexisting_values(self):
+        p = Probe()
+        p.uptime_s = 7.0
+        p.reset_count = 3
+        p.busy = True
+        cols = FleetColumns(capacity=2)
+        index, _ = cols.add_host(1, 0)
+        bind_object(p, cols, index)
+        assert p.uptime_s == 7.0
+        assert p.reset_count == 3
+        assert p.busy is True
+        assert cols.uptime_s[index] == 7.0
+
+    def test_bound_writes_land_in_the_column(self):
+        p = Probe()
+        cols = FleetColumns(capacity=2)
+        index, _ = cols.add_host(1, 0)
+        bind_object(p, cols, index)
+        p.uptime_s = 123.0
+        assert cols.uptime_s[index] == 123.0
+        cols.uptime_s[index] = 456.0
+        assert p.uptime_s == 456.0
+
+    def test_bound_reads_are_plain_python_scalars(self):
+        p = Probe()
+        cols = FleetColumns(capacity=2)
+        bind_object(p, cols, cols.add_host(1, 0)[0])
+        p.uptime_s = 1.5
+        p.busy = True
+        assert type(p.uptime_s) is float
+        assert type(p.reset_count) is int
+        assert type(p.busy) is bool
+
+
+class TestFleetColumns:
+    def test_add_host_rejects_duplicates(self):
+        cols = FleetColumns(capacity=2)
+        cols.add_host(4, 2)
+        with pytest.raises(ValueError):
+            cols.add_host(4, 1)
+
+    def test_capacity_doubles_transparently(self):
+        cols = FleetColumns(capacity=1, disk_capacity=1)
+        indices = [cols.add_host(i, 3) for i in range(10)]
+        assert [i for i, _ in indices] == list(range(10))
+        # disk ranges are disjoint and consecutive
+        starts = [s for _, s in indices]
+        assert starts == [3 * i for i in range(10)]
+        assert cols.uptime_s.shape[0] >= 10
+        assert cols.disk_temp_c.shape[0] >= 30
+
+    def test_growth_preserves_values(self):
+        cols = FleetColumns(capacity=1)
+        i0, _ = cols.add_host(0, 1)
+        cols.uptime_s[i0] = 99.0
+        for i in range(1, 20):
+            cols.add_host(i, 1)
+        assert cols.uptime_s[i0] == 99.0
+
+    def test_index_of_maps_host_ids(self):
+        cols = FleetColumns(capacity=4)
+        for host_id in (14, 3, 7):
+            cols.add_host(host_id, 0)
+        assert cols.index_of[14] == 0
+        assert cols.index_of[3] == 1
+        assert cols.index_of[7] == 2
+
+    def test_state_roundtrip_restores_scratch_columns(self):
+        cols = FleetColumns(capacity=2)
+        index, _ = cols.add_host(5, 1)
+        cols.case_temp_c[index] = 33.25
+        cols.cpu_temp_c[index] = 47.5
+        blob = cols.state_dict()
+        other = FleetColumns(capacity=2)
+        other.add_host(5, 1)
+        other.load_state_dict(blob)
+        assert other.case_temp_c[index] == 33.25
+        assert other.cpu_temp_c[index] == 47.5
+
+    def test_columns_are_float64_int64_bool(self):
+        cols = FleetColumns(capacity=2)
+        assert cols.uptime_s.dtype == np.float64
+        assert cols.host_state.dtype == np.int64
+        assert cols.cpu_busy.dtype == np.bool_
+        assert cols.disk_power_on_hours.dtype == np.float64
+
+
+class TestEnumColumnAttr:
+    def test_roundtrips_enum_values_through_int_codes(self):
+        import enum
+
+        class Mood(enum.Enum):
+            CALM = "calm"
+            GRUMPY = "grumpy"
+
+        class Holder:
+            mood = EnumColumnAttr("host_state", {Mood.CALM: 0, Mood.GRUMPY: 1})
+
+            def __init__(self):
+                self.mood = Mood.CALM
+
+        h = Holder()
+        assert h.mood is Mood.CALM
+        cols = FleetColumns(capacity=1)
+        bind_object(h, cols, cols.add_host(1, 0)[0])
+        h.mood = Mood.GRUMPY
+        assert cols.host_state[0] == 1
+        assert h.mood is Mood.GRUMPY

@@ -1,0 +1,223 @@
+"""Delta checkpoint chain: diff/apply algebra, writer cadence, recovery."""
+
+import json
+import os
+import random
+import string
+
+import pytest
+
+from repro.state.checkpoint import (
+    CHECKPOINT_SCHEMA,
+    DELTA_SCHEMA,
+    CampaignCheckpoint,
+    DeltaCheckpointWriter,
+    _apply,
+    _common_prefix_len,
+    _diff,
+    read_checkpoint,
+)
+
+
+def _checkpoint(sim_time, components=None, meta=None):
+    return CampaignCheckpoint(
+        config_digest="digest",
+        sim_time=sim_time,
+        seed=7,
+        components=components if components is not None else {},
+        meta=meta if meta is not None else {},
+    )
+
+
+def _schema(path):
+    with open(path) as fh:
+        return json.load(fh)["schema"]
+
+
+class TestDiffApply:
+    CASES = [
+        ({"a": 1}, {"a": 2}),
+        ({"a": 1}, {"a": 1, "b": [1, 2]}),
+        ({"a": 1, "b": 2}, {"b": 2}),
+        ({"nest": {"x": [1, 2, 3]}}, {"nest": {"x": [1, 2, 3, 4]}}),
+        ([1, 2, 3], [1, 2, 9, 10]),
+        ([1, 2], []),
+        ("x" * 100, "x" * 100 + "tail"),
+        ("short", "other"),
+        (1.5, "now a string"),
+        (None, {"k": None}),
+        ({"deep": {"list": [{"a": 1}, {"b": 2}]}}, {"deep": {"list": [{"a": 1}, {"b": 3}]}}),
+    ]
+
+    @pytest.mark.parametrize("old,new", CASES)
+    def test_apply_inverts_diff(self, old, new):
+        delta = _diff(old, new)
+        assert delta is not None
+        assert _apply(old, delta) == new
+
+    def test_equal_values_diff_to_none(self):
+        for value in ({"a": [1, {"b": "c"}]}, [1, 2], "same", 3, None):
+            assert _diff(value, value) is None
+
+    def test_randomized_roundtrip(self):
+        rng = random.Random(42)
+
+        def rand_value(depth=0):
+            kinds = ["int", "str", "list", "dict"] if depth < 3 else ["int", "str"]
+            kind = rng.choice(kinds)
+            if kind == "int":
+                return rng.randrange(100)
+            if kind == "str":
+                return "".join(rng.choices(string.ascii_letters, k=rng.randrange(0, 80)))
+            if kind == "list":
+                return [rand_value(depth + 1) for _ in range(rng.randrange(0, 5))]
+            return {
+                f"k{i}": rand_value(depth + 1) for i in range(rng.randrange(0, 5))
+            }
+
+        for _ in range(200):
+            old, new = rand_value(), rand_value()
+            delta = _diff(old, new)
+            assert (delta is None and old == new) or _apply(old, delta) == new
+
+    def test_common_prefix_len_matches_naive_scan(self):
+        rng = random.Random(9)
+        for _ in range(300):
+            base = "".join(rng.choices("ab", k=rng.randrange(0, 300)))
+            other = base[: rng.randrange(0, len(base) + 1)] + "".join(
+                rng.choices("abc", k=rng.randrange(0, 50))
+            )
+            naive = 0
+            limit = min(len(base), len(other))
+            while naive < limit and base[naive] == other[naive]:
+                naive += 1
+            assert _common_prefix_len(base, other) == naive
+
+    def test_common_prefix_len_on_megabyte_blobs(self):
+        blob = "j" * 3_000_000
+        assert _common_prefix_len(blob, blob) == 3_000_000
+        assert _common_prefix_len(blob, blob + "x") == 3_000_000
+        assert _common_prefix_len(blob[:-1] + "q", blob) == 2_999_999
+        assert _common_prefix_len("", blob) == 0
+
+
+class TestWriterCadence:
+    def test_first_cut_full_then_deltas_then_rebase(self, tmp_path):
+        writer = DeltaCheckpointWriter(rebase_every=4)
+        paths = []
+        for i in range(9):
+            path = str(tmp_path / f"cut{i:02d}.json")
+            assert writer.write(path, _checkpoint(float(i), {"tick": {"i": i}}))
+            paths.append(path)
+        schemas = [_schema(p) for p in paths]
+        assert schemas == [
+            CHECKPOINT_SCHEMA, DELTA_SCHEMA, DELTA_SCHEMA, DELTA_SCHEMA,
+            CHECKPOINT_SCHEMA, DELTA_SCHEMA, DELTA_SCHEMA, DELTA_SCHEMA,
+            CHECKPOINT_SCHEMA,
+        ]
+
+    def test_every_cut_in_the_chain_is_readable(self, tmp_path):
+        writer = DeltaCheckpointWriter(rebase_every=16)
+        paths = []
+        for i in range(6):
+            path = str(tmp_path / f"cut{i:02d}.json")
+            writer.write(
+                path, _checkpoint(float(i), {"log": {"lines": list(range(i + 1))}})
+            )
+            paths.append(path)
+        for i, path in enumerate(paths):
+            loaded = read_checkpoint(path)
+            assert loaded is not None
+            assert loaded.sim_time == float(i)
+            assert loaded.components == {"log": {"lines": list(range(i + 1))}}
+
+    def test_rebase_every_zero_means_never_rebase(self, tmp_path):
+        writer = DeltaCheckpointWriter(rebase_every=0)
+        schemas = []
+        for i in range(5):
+            path = str(tmp_path / f"cut{i}.json")
+            writer.write(path, _checkpoint(float(i)))
+            schemas.append(_schema(path))
+        assert schemas == [CHECKPOINT_SCHEMA] + [DELTA_SCHEMA] * 4
+
+    def test_directory_change_forces_full_cut(self, tmp_path):
+        writer = DeltaCheckpointWriter(rebase_every=16)
+        a, b = tmp_path / "a", tmp_path / "b"
+        a.mkdir(), b.mkdir()
+        writer.write(str(a / "c0.json"), _checkpoint(0.0))
+        writer.write(str(b / "c1.json"), _checkpoint(1.0))
+        assert _schema(str(b / "c1.json")) == CHECKPOINT_SCHEMA
+
+    def test_identical_snapshots_write_an_empty_delta(self, tmp_path):
+        writer = DeltaCheckpointWriter()
+        snap = _checkpoint(5.0, {"k": {"v": 1}})
+        writer.write(str(tmp_path / "c0.json"), snap)
+        writer.write(str(tmp_path / "c1.json"), snap)
+        assert _schema(str(tmp_path / "c1.json")) == DELTA_SCHEMA
+        loaded = read_checkpoint(str(tmp_path / "c1.json"))
+        assert loaded is not None and loaded.components == {"k": {"v": 1}}
+
+
+class TestRecovery:
+    def _chain(self, tmp_path, n=3):
+        writer = DeltaCheckpointWriter(rebase_every=16)
+        paths = []
+        for i in range(n):
+            path = str(tmp_path / f"cut{i}.json")
+            writer.write(path, _checkpoint(float(i), {"t": {"i": i}}))
+            paths.append(path)
+        return paths
+
+    def test_corrupt_delta_is_quarantined(self, tmp_path):
+        paths = self._chain(tmp_path)
+        with open(paths[2], "a") as fh:
+            fh.write("garbage")
+        assert read_checkpoint(paths[2]) is None
+        assert not os.path.exists(paths[2])
+        assert os.path.exists(paths[2] + ".corrupt")
+        # The rest of the chain is untouched.
+        assert read_checkpoint(paths[1]) is not None
+
+    def test_missing_base_leaves_delta_intact(self, tmp_path):
+        paths = self._chain(tmp_path)
+        os.remove(paths[0])
+        assert read_checkpoint(paths[1]) is None
+        # Not quarantined: the delta file itself is fine.
+        assert os.path.exists(paths[1])
+        assert not os.path.exists(paths[1] + ".corrupt")
+
+    def test_corrupt_base_poisons_dependents_but_only_base_quarantined(self, tmp_path):
+        paths = self._chain(tmp_path)
+        with open(paths[0], "a") as fh:
+            fh.write("garbage")
+        assert read_checkpoint(paths[2]) is None
+        assert os.path.exists(paths[0] + ".corrupt")
+        assert os.path.exists(paths[2])
+
+    def test_non_sibling_base_is_rejected(self, tmp_path):
+        paths = self._chain(tmp_path, n=2)
+        with open(paths[1]) as fh:
+            envelope = json.load(fh)
+        body = json.loads(envelope["payload"])
+        body["base"] = os.path.join("..", "evil.json")
+        payload = json.dumps(body, sort_keys=True, separators=(",", ":"))
+        import hashlib
+
+        envelope["payload"] = payload
+        envelope["checksum"] = hashlib.sha256(payload.encode()).hexdigest()
+        with open(paths[1], "w") as fh:
+            json.dump(envelope, fh)
+        assert read_checkpoint(paths[1]) is None
+        assert os.path.exists(paths[1] + ".corrupt")
+
+    def test_failed_write_keeps_the_old_base(self, tmp_path):
+        writer = DeltaCheckpointWriter(rebase_every=16)
+        p0 = str(tmp_path / "c0.json")
+        writer.write(p0, _checkpoint(0.0, {"t": {"i": 0}}))
+        # Unserializable snapshot: write fails, base must survive.
+        bad = _checkpoint(1.0, {"t": {"i": object()}})
+        assert not writer.write(str(tmp_path / "c1.json"), bad)
+        p2 = str(tmp_path / "c2.json")
+        assert writer.write(p2, _checkpoint(2.0, {"t": {"i": 2}}))
+        loaded = read_checkpoint(p2)
+        assert loaded is not None and loaded.components == {"t": {"i": 2}}

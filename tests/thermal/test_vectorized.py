@@ -1,0 +1,99 @@
+"""The vectorized tent bank against the scalar TwoNodeTent reference."""
+
+import numpy as np
+import pytest
+
+from repro.climate.generator import WeatherGenerator
+from repro.thermal.tent import Modification, TentEnvelope
+from repro.thermal.twonode import TwoNodeTent
+from repro.thermal.vectorized import TwoNodeTentBank
+
+
+@pytest.fixture(scope="module")
+def weather():
+    return WeatherGenerator()
+
+
+class TestAgainstScalarReference:
+    def test_single_replica_tracks_twonodetent(self, weather):
+        """One bank replica must integrate exactly like the object tent."""
+        start = weather.start_time
+        reference = TwoNodeTent("ref", weather)
+        first = weather.sample(start)
+        bank = TwoNodeTentBank(1, first.temp_c)
+        load = 600.0
+        reference.it_load_w = load
+        reference.advance(start)  # pin the clock; first advance is dt=0
+        t = start
+        for _ in range(48):
+            t += 1800.0
+            sample = weather.sample(t)
+            reference.advance(t)
+            bank.step(
+                1800.0,
+                np.array([load]),
+                sample.temp_c,
+                sample.wind_ms,
+                sample.solar_wm2,
+            )
+        assert bank.air_temp_c[0] == pytest.approx(reference.air_temp_c, abs=1e-9)
+        assert bank.mass_temp_c[0] == pytest.approx(reference.mass_temp_c, abs=1e-9)
+
+    def test_replicas_with_equal_load_stay_identical(self, weather):
+        start = weather.start_time
+        first = weather.sample(start)
+        bank = TwoNodeTentBank(64, first.temp_c)
+        load = np.full(64, 450.0)
+        t = start
+        for _ in range(24):
+            t += 1800.0
+            s = weather.sample(t)
+            bank.step(1800.0, load, s.temp_c, s.wind_ms, s.solar_wm2)
+        assert np.all(bank.air_temp_c == bank.air_temp_c[0])
+        assert np.all(bank.mass_temp_c == bank.mass_temp_c[0])
+
+    def test_hotter_pod_stays_hotter(self, weather):
+        start = weather.start_time
+        first = weather.sample(start)
+        bank = TwoNodeTentBank(2, first.temp_c)
+        load = np.array([200.0, 1200.0])
+        t = start
+        for _ in range(24):
+            t += 1800.0
+            s = weather.sample(t)
+            bank.step(1800.0, load, s.temp_c, s.wind_ms, s.solar_wm2)
+        assert bank.air_temp_c[1] > bank.air_temp_c[0]
+
+
+class TestEnvelopeModifications:
+    def test_modifications_apply_fleet_wide(self, weather):
+        first = weather.sample(weather.start_time)
+        bank = TwoNodeTentBank(3, first.temp_c)
+        ua_before = bank.envelope.ua_w_per_k(0.0)
+        bank.apply_modification(Modification.INNER_TENT_REMOVED)
+        assert bank.envelope.ua_w_per_k(0.0) > ua_before
+
+    def test_custom_envelope_is_respected(self, weather):
+        envelope = TentEnvelope().with_modification(Modification.FAN_INSTALLED)
+        first = weather.sample(weather.start_time)
+        bank = TwoNodeTentBank(2, first.temp_c, envelope=envelope)
+        assert Modification.FAN_INSTALLED in bank.envelope.active_modifications()
+
+
+class TestValidation:
+    def test_rejects_empty_bank(self):
+        with pytest.raises(ValueError):
+            TwoNodeTentBank(0, 0.0)
+
+    def test_rejects_negative_dt(self, weather):
+        first = weather.sample(weather.start_time)
+        bank = TwoNodeTentBank(1, first.temp_c)
+        with pytest.raises(ValueError):
+            bank.step(-1.0, np.array([0.0]), 0.0, 0.0, 0.0)
+
+    def test_zero_dt_is_a_noop(self, weather):
+        first = weather.sample(weather.start_time)
+        bank = TwoNodeTentBank(1, first.temp_c)
+        before = bank.air_temp_c.copy()
+        bank.step(0.0, np.array([500.0]), 30.0, 0.0, 0.0)
+        assert np.array_equal(bank.air_temp_c, before)
