@@ -1,0 +1,136 @@
+"""P7 -- observatory overhead: series recording must stay under 5%.
+
+The fleet observatory records eleven per-pod signals every frame plus a
+wall-clock heartbeat hook; the acceptance budget says all of it together
+may cost at most **5%** of the plain batch tick's wall time for a
+100k-host simulated day.
+
+Method: build two identical campaigns (same config, same seed), one
+plain and one with ``record_series=True`` plus an armed
+:class:`~repro.telemetry.progress.ProgressMeter`; warm both up for one
+simulated day (weather cache, numpy buffers), then time a multi-day
+steady window for each.  Each window is timed ``REPEATS`` times on a
+fresh pair and the minimum is compared, so scheduler noise inflates
+neither side.  The censuses must also be identical -- the overhead
+number is only meaningful if recording did not perturb the simulation.
+
+The figures land in ``BENCH_observe.json`` at the repo root.
+
+Also runnable standalone, without pytest:
+``PYTHONPATH=src python benchmarks/test_bench_observe.py``.
+"""
+
+import io
+import json
+import os
+import time
+
+from repro.core.config import ExperimentConfig
+from repro.core.fleetscale import FleetScaleCampaign
+from repro.telemetry.progress import ProgressMeter
+
+SEED = 7
+HOSTS = 100_000
+WARMUP_DAYS = 1.0
+WINDOW_DAYS = 2.0
+#: Timed repetitions; the minimum per variant is compared.
+REPEATS = 3
+#: Acceptance ceiling on (recording - plain) / plain for the window.
+OVERHEAD_BUDGET = 0.05
+OUTPUT = os.path.join(os.path.dirname(__file__), "..", "BENCH_observe.json")
+
+
+def _build(recording):
+    fleet = FleetScaleCampaign(
+        HOSTS, ExperimentConfig(seed=SEED), record_series=recording
+    )
+    if recording:
+        meter = ProgressMeter(io.StringIO(), interval_s=2.0, source="bench")
+        fleet.progress = meter
+    return fleet
+
+
+def _timed_window(recording):
+    """Wall seconds for the steady window, one fresh campaign."""
+    fleet = _build(recording)
+    fleet.step_days(WARMUP_DAYS)
+    wall_start = time.perf_counter()
+    fleet.step_days(WINDOW_DAYS)
+    wall = time.perf_counter() - wall_start
+    return wall, fleet
+
+
+def profile_observe_overhead():
+    plain_walls, recording_walls = [], []
+    plain_summary = recording_summary = None
+    samples = stride = 0
+    for _ in range(REPEATS):
+        wall, fleet = _timed_window(recording=False)
+        plain_walls.append(wall)
+        plain_summary = fleet.summary()
+        wall, fleet = _timed_window(recording=True)
+        recording_walls.append(wall)
+        recording_summary = fleet.summary()
+        samples, stride = fleet.series.n_samples, fleet.series.stride
+
+    assert plain_summary == recording_summary, (
+        "recording changed the census -- overhead numbers are meaningless"
+    )
+    plain = min(plain_walls)
+    recording = min(recording_walls)
+    overhead = (recording - plain) / plain
+    return {
+        "seed": SEED,
+        "hosts": HOSTS,
+        "window_days": WINDOW_DAYS,
+        "repeats": REPEATS,
+        "plain_wall_s": round(plain, 4),
+        "recording_wall_s": round(recording, 4),
+        "plain_wall_s_per_sim_day": round(plain / WINDOW_DAYS, 5),
+        "recording_wall_s_per_sim_day": round(recording / WINDOW_DAYS, 5),
+        "overhead_frac": round(overhead, 5),
+        "overhead_budget": OVERHEAD_BUDGET,
+        "series_samples": samples,
+        "series_stride": stride,
+        "census_identical": True,
+    }
+
+
+def _emit(report):
+    with open(OUTPUT, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def _check(report):
+    assert report["overhead_frac"] < OVERHEAD_BUDGET, (
+        f"series recording costs {report['overhead_frac'] * 100:.1f}% of the "
+        f"plain tick (budget {OVERHEAD_BUDGET * 100:.0f}%) for a "
+        f"{HOSTS}-host window"
+    )
+
+
+def test_bench_observe_overhead(benchmark):
+    from conftest import record
+
+    report = benchmark.pedantic(profile_observe_overhead, rounds=1, iterations=1)
+    _emit(report)
+    record(
+        benchmark,
+        plain_wall_s_per_sim_day=report["plain_wall_s_per_sim_day"],
+        recording_wall_s_per_sim_day=report["recording_wall_s_per_sim_day"],
+        overhead_frac=report["overhead_frac"],
+        overhead_budget=OVERHEAD_BUDGET,
+    )
+    _check(report)
+
+
+if __name__ == "__main__":
+    result = profile_observe_overhead()
+    _emit(result)
+    print(json.dumps(result, indent=2, sort_keys=True))
+    _check(result)
+    print(
+        f"OK: {result['overhead_frac'] * 100:.2f}% <= "
+        f"{OVERHEAD_BUDGET * 100:.0f}% overhead; wrote {os.path.abspath(OUTPUT)}"
+    )

@@ -1,0 +1,188 @@
+"""The ``repro observe`` dashboard: fleet medians, drill-down, anomalies.
+
+The paper's Figures 3 and 4 are the tent's vital signs over a winter;
+this module renders the same view for a fleet of pods from a
+:class:`~repro.telemetry.timeseries.SeriesRecorder`:
+
+- an **overview**: one fleet-median sparkline per recorded signal, with
+  min/median/max across the latest frame;
+- an **anomaly table**: pods whose latest value sits a robust z-score
+  (:func:`repro.analysis.outliers.fleet_zscores`, MAD vs the fleet
+  median) away from their siblings -- the batch-mode analogue of the
+  paper's host #15 story;
+- a **drill-down**: one pod's timeline charted against the fleet median
+  (the Fig. 3 dual-series layout via
+  :func:`repro.analysis.asciiplot.dual_series_chart`);
+- a **phase profile**: where the vectorized tick's wall time goes,
+  from the ``fleetscale.*`` spans.
+
+Everything here is pure rendering over recorded data: no simulation,
+no randomness, plain strings out.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.asciiplot import dual_series_chart, sparkline
+from repro.analysis.outliers import DEFAULT_Z_THRESHOLD, fleet_zscores
+from repro.sim.clock import SimClock
+from repro.telemetry.hub import Telemetry
+from repro.telemetry.timeseries import SeriesRecorder, final_values, fleet_median
+
+#: (signal, unit, description) rows of the overview, in display order.
+DASHBOARD_SIGNALS: Tuple[Tuple[str, str, str], ...] = (
+    ("tent_air_c", "degC", "tent air (fleet median)"),
+    ("basement_c", "degC", "basement CRAC"),
+    ("outside_temp_c", "degC", "outside air"),
+    ("outside_rh_pct", "%RH", "outside humidity"),
+    ("hosts_running", "hosts", "running per pod (median)"),
+    ("failures_transient", "cum", "transient failures per pod"),
+    ("failures_storage", "cum", "storage failures per pod"),
+    ("sensor_latches", "cum", "sensor latches per pod"),
+    ("wrong_hashes", "cum", "wrong hashes per pod"),
+    ("energy_kwh", "kWh", "energy per pod"),
+    ("workload_cycles", "cycles", "archive cycles per pod"),
+)
+
+
+def pod_anomalies(
+    recorder: SeriesRecorder,
+    signal: str,
+    z_threshold: float = DEFAULT_Z_THRESHOLD,
+) -> List[Tuple[int, float, float]]:
+    """``(pod, z, latest_value)`` rows for pods past the threshold.
+
+    Scored on each pod's latest committed value with the MAD-robust
+    z-score against the fleet median, sorted by |z| descending.  1-row
+    signals have no fleet to deviate from and return no rows.
+    """
+    if recorder.rows(signal) < 2 or recorder.n_samples == 0:
+        return []
+    latest = final_values(recorder, signal)
+    scores = fleet_zscores(latest)
+    flagged = np.flatnonzero(np.abs(scores) >= z_threshold)
+    rows = [(int(pod), float(scores[pod]), float(latest[pod])) for pod in flagged]
+    rows.sort(key=lambda row: (-abs(row[1]), row[0]))
+    return rows
+
+
+def render_observatory(
+    recorder: SeriesRecorder,
+    clock: Optional[SimClock] = None,
+    width: int = 60,
+    z_threshold: float = DEFAULT_Z_THRESHOLD,
+    top: int = 5,
+) -> str:
+    """The fleet overview: sparklines, spread, and the anomaly table."""
+    lines: List[str] = []
+    n = recorder.n_samples
+    if n == 0:
+        return "fleet observatory: no frames recorded yet"
+    times = recorder.times()
+    span = ""
+    if clock is not None:
+        first = clock.to_datetime(float(times[0]))
+        last = clock.to_datetime(float(times[-1]))
+        span = f"  {first:%Y-%m-%d %H:%M} .. {last:%Y-%m-%d %H:%M}"
+    lines.append(
+        f"fleet observatory: {n} samples, stride {recorder.stride} "
+        f"frame(s)/sample{span}"
+    )
+    known = [row for row in DASHBOARD_SIGNALS if _known(recorder, row[0])]
+    label_width = max((len(desc) for _signal, _unit, desc in known), default=0)
+    for signal, unit, desc in DASHBOARD_SIGNALS:
+        if not _known(recorder, signal):
+            continue
+        values = recorder.values(signal)
+        median_tl = np.median(values, axis=0)
+        latest = values[:, -1]
+        spread = (
+            f"now {np.median(latest):.1f} "
+            f"[{latest.min():.1f}..{latest.max():.1f}] {unit}"
+        )
+        lines.append(
+            f"  {desc:<{label_width}}  {sparkline(median_tl, width)}  {spread}"
+        )
+
+    anomalies: List[Tuple[str, int, float, float]] = []
+    for signal, _unit, _desc in DASHBOARD_SIGNALS:
+        if not _known(recorder, signal):
+            continue
+        for pod, z, value in pod_anomalies(recorder, signal, z_threshold):
+            anomalies.append((signal, pod, z, value))
+    anomalies.sort(key=lambda row: (-abs(row[2]), row[0], row[1]))
+    lines.append("")
+    if anomalies:
+        lines.append(
+            f"pod anomalies (|z| >= {z_threshold:g} vs fleet median, top {top}):"
+        )
+        for signal, pod, z, value in anomalies[:top]:
+            lines.append(
+                f"  pod {pod:>5}  {signal:<20}  z={z:+6.1f}  value {value:.2f}"
+            )
+        if len(anomalies) > top:
+            lines.append(f"  ... and {len(anomalies) - top} more")
+    else:
+        lines.append(
+            f"pod anomalies: none (no pod strays |z| >= {z_threshold:g} "
+            "from the fleet median)"
+        )
+    return "\n".join(lines)
+
+
+def render_pod_drilldown(
+    recorder: SeriesRecorder,
+    signal: str,
+    pod: int,
+    width: int = 72,
+    height: int = 14,
+) -> str:
+    """One pod (``o``) against the fleet median (``.``), Fig. 3 style."""
+    pod_tl = recorder.series(signal, row=pod)
+    median_tl = fleet_median(recorder, signal)
+    header = f"pod {pod} vs fleet median -- {signal} (o = pod, . = median)"
+    chart = dual_series_chart(
+        pod_tl, median_tl, "o", ".", width=width, height=height, y_label=signal
+    )
+    return header + "\n" + chart
+
+
+def render_phase_profile(telemetry: Telemetry, frames: int) -> str:
+    """Where the vectorized tick spends its wall time, per phase."""
+    labels = [
+        label
+        for label in telemetry.spans.labels()
+        if label.startswith("fleetscale.")
+    ]
+    if not labels:
+        return "phase profile: no fleetscale.* spans recorded"
+    total = sum(telemetry.spans.stats(label).total_s for label in labels)
+    lines = [
+        f"phase profile ({frames} frames, {total * 1e3:.1f} ms total frame time):"
+    ]
+    width = max(len(label) for label in labels)
+    for label in sorted(labels, key=lambda l: -telemetry.spans.stats(l).total_s):
+        stats = telemetry.spans.stats(label)
+        share = stats.total_s / total if total > 0 else 0.0
+        bar = "#" * int(round(share * 30))
+        lines.append(
+            f"  {label:<{width}}  {stats.total_s * 1e3:>8.1f} ms "
+            f"{share * 100:>5.1f}%  {bar}"
+        )
+    return "\n".join(lines)
+
+
+def _known(recorder: SeriesRecorder, signal: str) -> bool:
+    return signal in recorder.signals
+
+
+__all__ = [
+    "DASHBOARD_SIGNALS",
+    "pod_anomalies",
+    "render_observatory",
+    "render_phase_profile",
+    "render_pod_drilldown",
+]

@@ -15,6 +15,13 @@ abrupt drop back.  A sample is flagged when both
 
 The jump condition keeps legitimately mild tent afternoons (a slow drift
 into 18-20 degC territory in May) from being discarded.
+
+The fleet observatory adds a second detector family:
+:func:`fleet_zscores` / :func:`flag_fleet_anomalies` score each pod
+against the *fleet median* with a MAD-scaled robust z-score, so the
+``repro observe`` dashboard can flag the one pod whose tent runs hot or
+whose failure tally outpaces its siblings without a handful of bad pods
+dragging the baseline with them.
 """
 
 from __future__ import annotations
@@ -27,6 +34,45 @@ from repro.analysis.series import TimeSeries
 
 #: Office comfort band the logger sees during a download trip.
 DEFAULT_INDOOR_BAND_C = (18.0, 25.0)
+
+#: Consistency factor turning a MAD into a normal-comparable sigma.
+_MAD_SIGMA = 1.4826
+
+#: Default robust-z threshold for a pod-level anomaly flag.
+DEFAULT_Z_THRESHOLD = 3.5
+
+
+def fleet_zscores(values: np.ndarray) -> np.ndarray:
+    """Robust z-score of each element against the population median.
+
+    The scale is the median absolute deviation times 1.4826 (the normal
+    consistency factor); when the MAD degenerates to zero (more than
+    half the fleet shares one value) the standard deviation stands in,
+    and a fully uniform population scores all zeros rather than
+    dividing by nothing.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 1:
+        raise ValueError("fleet values must be 1-D (one entry per pod)")
+    if values.size == 0:
+        return np.zeros(0)
+    median = np.median(values)
+    deviations = values - median
+    scale = _MAD_SIGMA * np.median(np.abs(deviations))
+    if scale == 0.0:
+        scale = float(values.std())
+    if scale == 0.0:
+        return np.zeros(values.size)
+    return deviations / scale
+
+
+def flag_fleet_anomalies(
+    values: np.ndarray, z_threshold: float = DEFAULT_Z_THRESHOLD
+) -> np.ndarray:
+    """Boolean mask of elements whose robust |z| meets the threshold."""
+    if z_threshold <= 0:
+        raise ValueError("z threshold must be positive")
+    return np.abs(fleet_zscores(values)) >= z_threshold
 
 
 def detect_removal_outliers(

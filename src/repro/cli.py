@@ -41,8 +41,21 @@ Commands
 ``telemetry``
     Run the campaign with the telemetry plane on and print the hot-label
     / slowest-span report (where simulated events and wall time go).
+    ``--json`` prints the machine-readable twin; ``--hosts N`` profiles
+    the vectorized fleet tick's phases instead of the paper campaign.
     ``run`` also accepts ``--telemetry-out FILE`` (metrics + spans as
     JSON) and ``--run-log FILE`` (one JSON line per campaign event).
+``observe``
+    The fleet observatory: run the vectorized cohort with per-pod series
+    recording on and render the ASCII dashboard -- fleet-median
+    sparklines per signal, a robust-z pod anomaly table, an optional
+    per-pod drill-down chart, and the per-phase wall-time profile::
+
+        python -m repro observe --hosts 1900 --until 2010-03-01 --pod 13
+
+Live progress: ``run`` and ``observe`` accept ``--progress`` (JSONL
+heartbeats on stderr) or ``--progress-out FILE``; ``sweep`` accepts
+``--progress-out FILE`` for per-seed lifecycle events with an ETA.
 """
 
 from __future__ import annotations
@@ -211,6 +224,15 @@ def build_parser() -> argparse.ArgumentParser:
         "the campaign's config and degraded-mode options ride in the file, "
         "so builder flags like --seed and --link-faults are ignored",
     )
+    run.add_argument(
+        "--progress", action="store_true",
+        help="emit JSONL heartbeats (sim date, sim-days/s, ETA) on stderr "
+        "while the run advances",
+    )
+    run.add_argument(
+        "--progress-out", default=None, metavar="FILE",
+        help="write the heartbeat JSONL to FILE instead of stderr",
+    )
 
     figures = sub.add_parser("figures", help="render Figs. 1-4 in the terminal")
     figures.add_argument("--seed", type=int, default=7)
@@ -293,6 +315,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="checkpoint cadence for --resumable in simulated days "
         "(default: 14)",
     )
+    sweep.add_argument(
+        "--progress-out", default=None, metavar="FILE",
+        help="write one JSONL line per seed lifecycle event "
+        "(cached/completed/retried/failed, with running totals and ETA)",
+    )
 
     telemetry = sub.add_parser(
         "telemetry", help="run with telemetry on and print the hot-label report"
@@ -309,6 +336,62 @@ def build_parser() -> argparse.ArgumentParser:
     telemetry.add_argument(
         "--prometheus", action="store_true",
         help="print the Prometheus text exposition instead of the report",
+    )
+    telemetry.add_argument(
+        "--json", action="store_true",
+        help="print the machine-readable report (repro.telemetry.report"
+        ".report_json) instead of the text report",
+    )
+    telemetry.add_argument(
+        "--hosts", type=int, default=None, metavar="N",
+        help="profile the vectorized fleet-scale cohort with N hosts "
+        "(per-phase frame spans) instead of the per-event paper campaign",
+    )
+
+    observe = sub.add_parser(
+        "observe",
+        help="fleet observatory: per-pod series dashboard with anomaly flags",
+    )
+    observe.add_argument(
+        "--hosts", type=int, default=1900, metavar="N",
+        help="fleet size in hosts, grouped into pods of 19 (default: 1900)",
+    )
+    observe.add_argument("--seed", type=int, default=7, help="master seed")
+    observe.add_argument(
+        "--until", type=_parse_date, default=None,
+        help="truncate the campaign at this date (YYYY-MM-DD)",
+    )
+    observe.add_argument(
+        "--pod", type=int, default=None, metavar="P",
+        help="also chart pod P against the fleet median (see --signal)",
+    )
+    observe.add_argument(
+        "--signal", default="tent_air_c",
+        help="signal for the --pod drill-down chart (default: tent_air_c)",
+    )
+    observe.add_argument(
+        "--capacity", type=int, default=512, metavar="N",
+        help="ring-buffer slots per series; the recorder halves resolution "
+        "instead of growing past this (default: 512)",
+    )
+    observe.add_argument(
+        "--width", type=int, default=60, help="chart width in columns"
+    )
+    observe.add_argument(
+        "--top", type=int, default=5,
+        help="rows in the pod anomaly table (default: 5)",
+    )
+    observe.add_argument(
+        "--z-threshold", type=float, default=None, metavar="Z",
+        help="robust |z| for a pod anomaly flag (default: 3.5)",
+    )
+    observe.add_argument(
+        "--progress", action="store_true",
+        help="emit JSONL heartbeats on stderr while the run advances",
+    )
+    observe.add_argument(
+        "--progress-out", default=None, metavar="FILE",
+        help="write the heartbeat JSONL to FILE instead of stderr",
     )
     return parser
 
@@ -332,9 +415,28 @@ def _checkpoint_kwargs(args: argparse.Namespace) -> dict:
     }
 
 
+def _make_progress(args: argparse.Namespace, **kwargs):
+    """A :class:`ProgressMeter` per the --progress/--progress-out flags."""
+    if not (getattr(args, "progress", False) or args.progress_out):
+        return None
+    from repro.telemetry.progress import ProgressMeter
+
+    if args.progress_out:
+        return ProgressMeter.open(args.progress_out, **kwargs)
+    return ProgressMeter(sys.stderr, **kwargs)
+
+
 def _cmd_run_resume(args: argparse.Namespace) -> int:
     from repro.core.builder import Campaign
     from repro.state.protocol import StateError
+
+    if args.progress or args.progress_out:
+        print(
+            "error: --progress/--progress-out cannot hook a resumed "
+            "campaign; re-run without them",
+            file=sys.stderr,
+        )
+        return 2
 
     try:
         campaign, results = Campaign.resume(
@@ -355,6 +457,31 @@ def _cmd_run_resume(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fleet_sample(campaign, telemetry):
+    """Heartbeat extras for a fleet run: failure count + hottest phase."""
+
+    def sample():
+        summary = campaign.summary()
+        extra = {
+            "failures": summary["transient_failures"]
+            + summary["storage_failures"],
+            "hosts_running": summary["running"],
+        }
+        if telemetry is not None:
+            labels = [
+                label
+                for label in telemetry.spans.labels()
+                if label.startswith("fleetscale.")
+            ]
+            if labels:
+                extra["hottest_span"] = max(
+                    labels, key=lambda l: telemetry.spans.stats(l).total_s
+                )
+        return extra
+
+    return sample
+
+
 def _cmd_run_fleetscale(args: argparse.Namespace) -> int:
     import time
 
@@ -367,7 +494,6 @@ def _cmd_run_fleetscale(args: argparse.Namespace) -> int:
             ("--link-faults", args.link_faults),
             ("--checkpoint-every", args.checkpoint_every),
             ("--checkpoint-dir", args.checkpoint_dir),
-            ("--telemetry-out", args.telemetry_out),
             ("--run-log", args.run_log),
             ("--report", args.report or None),
         )
@@ -386,9 +512,26 @@ def _cmd_run_fleetscale(args: argparse.Namespace) -> int:
     if days <= 0:
         print("error: --until precedes the campaign start", file=sys.stderr)
         return 2
-    campaign = FleetScaleCampaign(args.hosts, config)
+    telemetry = None
+    if args.telemetry_out:
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
+    campaign = FleetScaleCampaign(args.hosts, config, telemetry=telemetry)
+    progress = _make_progress(
+        args,
+        source="fleet",
+        clock=campaign.clock,
+        sim_end_s=campaign.clock.to_seconds(until),
+        sample=_fleet_sample(campaign, telemetry),
+    )
+    campaign.progress = progress
     wall_start = time.perf_counter()
-    campaign.run(days)
+    try:
+        campaign.run(days)
+    finally:
+        if progress is not None:
+            progress.close()
     wall_s = time.perf_counter() - wall_start
     print(campaign.format_summary())
     simulated_days = campaign.summary()["simulated_s"] / 86_400.0
@@ -396,6 +539,14 @@ def _cmd_run_fleetscale(args: argparse.Namespace) -> int:
         f"wall: {wall_s:.2f}s for {simulated_days:.1f} sim-days "
         f"({wall_s / max(simulated_days, 1e-9):.4f} s/sim-day)"
     )
+    if telemetry is not None:
+        import json
+
+        with open(args.telemetry_out, "w", encoding="utf-8") as fh:
+            json.dump(telemetry.to_json_dict(), fh, indent=2, sort_keys=True)
+        print(f"telemetry -> {args.telemetry_out}")
+    if args.progress_out and progress is not None:
+        print(f"progress  -> {args.progress_out} ({progress.lines_emitted} heartbeats)")
     return 0
 
 
@@ -434,11 +585,35 @@ def _cmd_run(args: argparse.Namespace) -> int:
         run_log = JsonlRunLog.open(args.run_log)
         builder.with_subscriber(run_log.subscribe)
     campaign = builder.build()
+    end_date = args.until if args.until is not None else campaign.config.end_date
+
+    def sample():
+        extra = {"failures": len(campaign.fault_log.events)}
+        if telemetry is not None:
+            labels = telemetry.spans.labels()
+            if labels:
+                extra["hottest_span"] = max(
+                    labels, key=lambda l: telemetry.spans.stats(l).total_s
+                )
+        return extra
+
+    progress = _make_progress(
+        args,
+        source="run",
+        clock=campaign.clock,
+        sim_end_s=campaign.clock.to_seconds(end_date),
+        sample=sample,
+    )
+    if progress is not None:
+        campaign.sim.on_event = progress.on_event
     try:
         results = campaign.run(until=args.until, **_checkpoint_kwargs(args))
     finally:
         if run_log is not None:
             run_log.close()
+        if progress is not None:
+            progress.finish(campaign.sim.now)
+            progress.close()
     if args.report:
         from repro.core.reporting import full_report
 
@@ -463,23 +638,125 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"telemetry -> {args.telemetry_out}")
     if run_log is not None:
         print(f"run log   -> {args.run_log} ({run_log.lines_written} events)")
+    if args.progress_out and progress is not None:
+        print(f"progress  -> {args.progress_out} ({progress.lines_emitted} heartbeats)")
     for path in campaign.checkpoints_written:
         print(f"checkpoint -> {path}")
     return 0
 
 
 def _cmd_telemetry(args: argparse.Namespace) -> int:
-    from repro.core.builder import CampaignBuilder
     from repro.telemetry import Telemetry
-    from repro.telemetry.report import render_report
+    from repro.telemetry.report import render_report, report_json
 
+    if args.prometheus and args.json:
+        print("error: pick one of --prometheus / --json", file=sys.stderr)
+        return 2
     telemetry = Telemetry()
-    builder = CampaignBuilder(ExperimentConfig(seed=args.seed))
-    builder.with_telemetry(telemetry).build().run(until=args.until)
+    if args.hosts is not None:
+        from repro.core.fleetscale import FleetScaleCampaign
+
+        config = ExperimentConfig(seed=args.seed)
+        until = args.until if args.until is not None else config.end_date
+        days = (until - config.test_start).total_seconds() / 86_400.0
+        if days <= 0:
+            print("error: --until precedes the campaign start", file=sys.stderr)
+            return 2
+        FleetScaleCampaign(args.hosts, config, telemetry=telemetry).run(days)
+    else:
+        from repro.core.builder import CampaignBuilder
+
+        builder = CampaignBuilder(ExperimentConfig(seed=args.seed))
+        builder.with_telemetry(telemetry).build().run(until=args.until)
     if args.prometheus:
         print(telemetry.to_prometheus_text(), end="")
+    elif args.json:
+        import json
+
+        print(json.dumps(report_json(telemetry, top=args.top), sort_keys=True))
     else:
         print(render_report(telemetry, top=args.top))
+    return 0
+
+
+def _cmd_observe(args: argparse.Namespace) -> int:
+    from repro.analysis.observatory import (
+        render_observatory,
+        render_phase_profile,
+        render_pod_drilldown,
+    )
+    from repro.analysis.outliers import DEFAULT_Z_THRESHOLD
+    from repro.core.fleetscale import FleetScaleCampaign
+    from repro.telemetry import Telemetry
+
+    config = ExperimentConfig(seed=args.seed)
+    until = args.until if args.until is not None else config.end_date
+    days = (until - config.test_start).total_seconds() / 86_400.0
+    if days <= 0:
+        print("error: --until precedes the campaign start", file=sys.stderr)
+        return 2
+    z_threshold = (
+        args.z_threshold if args.z_threshold is not None else DEFAULT_Z_THRESHOLD
+    )
+    telemetry = Telemetry()
+    try:
+        campaign = FleetScaleCampaign(
+            args.hosts,
+            config,
+            record_series=True,
+            series_capacity=args.capacity,
+            telemetry=telemetry,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.pod is not None and not 0 <= args.pod < campaign.n_pods:
+        print(
+            f"error: --pod must be in [0, {campaign.n_pods}) for "
+            f"{args.hosts} hosts",
+            file=sys.stderr,
+        )
+        return 2
+    if args.pod is not None and args.signal not in campaign.series.signals:
+        known = ", ".join(sorted(campaign.series.signals))
+        print(
+            f"error: unknown signal {args.signal!r} (one of: {known})",
+            file=sys.stderr,
+        )
+        return 2
+    progress = _make_progress(
+        args,
+        source="observe",
+        clock=campaign.clock,
+        sim_end_s=campaign.clock.to_seconds(until),
+        sample=_fleet_sample(campaign, telemetry),
+    )
+    campaign.progress = progress
+    try:
+        campaign.run(days)
+    finally:
+        if progress is not None:
+            progress.close()
+    print(
+        render_observatory(
+            campaign.series,
+            clock=campaign.clock,
+            width=args.width,
+            z_threshold=z_threshold,
+            top=args.top,
+        )
+    )
+    if args.pod is not None:
+        print()
+        print(
+            render_pod_drilldown(
+                campaign.series, args.signal, args.pod, width=args.width
+            )
+        )
+    print()
+    print(render_phase_profile(telemetry, campaign.summary()["engine"]["frames"]))
+    if args.progress_out and progress is not None:
+        print(f"progress  -> {args.progress_out} ({progress.lines_emitted} heartbeats)")
     return 0
 
 
@@ -570,18 +847,28 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
         checkpoint_every_s = args.checkpoint_every * DAY
     factory = SCENARIOS[args.scenario]
-    result = sweep_records(
-        args.seeds,
-        until=args.until,
-        config_factory=lambda seed: factory(seed=seed),
-        jobs=args.jobs,
-        cache_dir=cache_dir,
-        telemetry=args.telemetry,
-        policy=policy,
-        strict=not args.keep_going,
-        resumable=args.resumable,
-        checkpoint_every_s=checkpoint_every_s,
-    )
+    progress = None
+    if args.progress_out:
+        from repro.telemetry.progress import SweepProgress
+
+        progress = SweepProgress.open(args.progress_out, total=len(args.seeds))
+    try:
+        result = sweep_records(
+            args.seeds,
+            until=args.until,
+            config_factory=lambda seed: factory(seed=seed),
+            jobs=args.jobs,
+            cache_dir=cache_dir,
+            telemetry=args.telemetry,
+            policy=policy,
+            strict=not args.keep_going,
+            resumable=args.resumable,
+            checkpoint_every_s=checkpoint_every_s,
+            progress=progress.sink if progress is not None else None,
+        )
+    finally:
+        if progress is not None:
+            progress.close()
     if result.records:
         print(result.summary.describe())
     else:
@@ -596,6 +883,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"{result.cache_misses} computed in {result.elapsed_s:.1f} s "
         f"(jobs={args.jobs}, scenario={args.scenario}{fault_note})"
     )
+    if args.progress_out and progress is not None:
+        print(f"progress -> {args.progress_out} ({progress.lines_emitted} events)")
     if result.failures:
         print()
         print(f"failures ({len(result.failures)}):")
@@ -621,6 +910,7 @@ _COMMANDS = {
     "export": _cmd_export,
     "sweep": _cmd_sweep,
     "telemetry": _cmd_telemetry,
+    "observe": _cmd_observe,
 }
 
 

@@ -40,7 +40,8 @@ from __future__ import annotations
 
 import datetime as _dt
 import math
-from typing import Any, Dict, Optional
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -84,6 +85,21 @@ class FleetScaleCampaign:
         exactly over any step and the tent integrator picks its own
         stability substeps, so a coarser tick trades only monitoring
         granularity for speed.
+    record_series:
+        Opt into the fleet observatory: per-pod
+        :class:`~repro.telemetry.timeseries.SeriesRecorder` signals
+        (tent/basement temperature, humidity, cumulative failures by
+        class, energy, throughput) captured each frame.  Off by default;
+        recording draws no randomness, so the census stays identical
+        either way.
+    series_capacity:
+        Stored samples per signal before the recorder's 2:1 fold
+        (default 512; memory is bounded whatever the horizon).
+    telemetry:
+        Optional :class:`~repro.telemetry.hub.Telemetry` hub.  When set,
+        every frame phase (weather/thermal/hazards/workload/observe) is
+        timed into a ``fleetscale.*`` span and the run records engine
+        health gauges -- the ``repro telemetry --hosts N`` profile.
     """
 
     def __init__(
@@ -91,6 +107,9 @@ class FleetScaleCampaign:
         n_hosts: int,
         config: Optional[ExperimentConfig] = None,
         tick_interval_s: float = 3 * CYCLE_PERIOD_S,
+        record_series: bool = False,
+        series_capacity: int = 512,
+        telemetry: Optional["Telemetry"] = None,
     ) -> None:
         if n_hosts <= 0:
             raise ValueError("need at least one host")
@@ -99,6 +118,10 @@ class FleetScaleCampaign:
         self.config = config if config is not None else ExperimentConfig()
         self.n_hosts = int(n_hosts)
         self.tick_interval_s = float(tick_interval_s)
+        self.telemetry = telemetry
+        #: Optional :class:`~repro.telemetry.progress.ProgressMeter`;
+        #: assign one before driving to stream heartbeats per frame.
+        self.progress: Optional["ProgressMeter"] = None
         self.clock = SimClock()
         self.sim = Simulator(self.clock)
         streams = RngStreams(self.config.seed)
@@ -108,6 +131,7 @@ class FleetScaleCampaign:
 
         self._build_cohort()
         self._build_thermal()
+        self._build_series(record_series, series_capacity)
         self._install_frame()
 
         # Tick-constant hazard probabilities (exact over any step).
@@ -215,19 +239,81 @@ class FleetScaleCampaign:
                 label=f"fleetscale.mod.{plan.modification.name}",
             )
         self._sample = first
+        self._basement_c = 21.0
         self.intake_temp_c = np.full(self.n_hosts, first.temp_c, dtype=np.float64)
+
+    def _build_series(self, record_series: bool, series_capacity: int) -> None:
+        """The observatory's recorder and per-pod cumulative tallies."""
+        self.series = None
+        self._pod_transient = None
+        self._pod_storage = None
+        self._pod_latches = None
+        self._pod_wrong = None
+        self._pod_energy = None
+        self._pod_cycles = None
+        self._pod_running = None
+        self._pod_power = None
+        if not record_series:
+            return
+        from repro.telemetry.timeseries import SeriesRecorder
+
+        pods = self.n_pods
+        self.series = SeriesRecorder(
+            {
+                "tent_air_c": pods,
+                "basement_c": 1,
+                "outside_temp_c": 1,
+                "outside_rh_pct": 1,
+                "hosts_running": pods,
+                "failures_transient": pods,
+                "failures_storage": pods,
+                "sensor_latches": pods,
+                "wrong_hashes": pods,
+                "energy_kwh": pods,
+                "workload_cycles": pods,
+            },
+            capacity=series_capacity,
+        )
+        self._pod_transient = np.zeros(pods, dtype=np.float64)
+        self._pod_storage = np.zeros(pods, dtype=np.float64)
+        self._pod_latches = np.zeros(pods, dtype=np.float64)
+        self._pod_wrong = np.zeros(pods, dtype=np.float64)
+        self._pod_energy = np.zeros(pods, dtype=np.float64)
+        self._pod_cycles = np.zeros(pods, dtype=np.float64)
+        # Per-pod running census and running power draw, maintained
+        # incrementally at the (rare) state transitions so the per-frame
+        # recording path never rescans the whole host axis.
+        running = self.state == RUNNING
+        idx = np.flatnonzero(running)
+        self._pod_running = np.bincount(
+            self.pod[idx], minlength=pods
+        ).astype(np.float64)
+        self._pod_power = np.bincount(
+            self.pod[idx], weights=self.avg_power_w[idx], minlength=pods
+        )
 
     def _install_frame(self) -> None:
         dt = self.tick_interval_s
+        callbacks: List[Callable[[], None]] = [
+            self._frame_weather,
+            self._frame_thermal,
+            self._frame_hazards,
+            self._frame_workload,
+        ]
+        names = ["weather", "thermal", "hazards", "workload"]
+        if self.series is not None:
+            callbacks.append(self._frame_observe)
+            names.append("observe")
+        if self.telemetry is not None:
+            tracer = self.telemetry.spans
+            callbacks = [
+                self._timed(tracer, f"fleetscale.{name}", frame)
+                for name, frame in zip(names, callbacks)
+            ]
         self.sim.every_key_group(
             dt,
             "fleetscale.frame",
-            (
-                self._frame_weather,
-                self._frame_thermal,
-                self._frame_hazards,
-                self._frame_workload,
-            ),
+            tuple(callbacks),
             start=self._start_s + dt,
             label="fleetscale frame",
         )
@@ -238,6 +324,21 @@ class FleetScaleCampaign:
             start=self._start_s + MONITOR_PERIOD_S,
             label="fleetscale monitoring",
         )
+
+    @staticmethod
+    def _timed(
+        tracer: Any, label: str, frame: Callable[[], None]
+    ) -> Callable[[], None]:
+        """Wrap one frame phase in a span (only built when telemetry is on)."""
+
+        def timed_frame() -> None:
+            started = perf_counter()
+            try:
+                frame()
+            finally:
+                tracer.record(label, perf_counter() - started)
+
+        return timed_frame
 
     # ------------------------------------------------------------------
     # The per-tick system pass (fixed order, one heap entry)
@@ -261,6 +362,7 @@ class FleetScaleCampaign:
         # object model's BasementMachineRoom.
         day_frac = (self.sim.now % 86_400.0) / 86_400.0
         basement_c = 21.0 + 0.4 * math.sin(2.0 * math.pi * day_frac)
+        self._basement_c = basement_c
         self.intake_temp_c = np.where(
             self.tent_mask, self.tents.intake_temp_c[self.pod], basement_c
         )
@@ -287,6 +389,10 @@ class FleetScaleCampaign:
             latched = exposed & (self._rng.random(n) < self._p_latch)
             self.sensor_latched |= latched
             self.sensor_latches += int(latched.sum())
+            if self._pod_latches is not None and latched.any():
+                self._pod_latches += np.bincount(
+                    self.pod[latched], minlength=self.n_pods
+                )
 
         # Transient system failures: TransientFaultModel.rate_per_hour,
         # vectorized (frailty folded into base_rate_per_hour at build).
@@ -322,6 +428,22 @@ class FleetScaleCampaign:
         self.storage_failures += int(storage_dead.sum())
         down = struck | storage_dead
         if down.any():
+            if self._pod_running is not None:
+                idx = np.flatnonzero(down)
+                pods_down = self.pod[idx]
+                is_storage = storage_dead[idx]
+                self._pod_transient += np.bincount(
+                    pods_down[~is_storage], minlength=self.n_pods
+                )
+                self._pod_storage += np.bincount(
+                    pods_down[is_storage], minlength=self.n_pods
+                )
+                self._pod_running -= np.bincount(
+                    pods_down, minlength=self.n_pods
+                )
+                self._pod_power -= np.bincount(
+                    pods_down, weights=self.avg_power_w[idx], minlength=self.n_pods
+                )
             self.state[down] = FAILED
             self.repair_at[down] = now + self.config.inspection_delay_hours * 3600.0
             # A repair swaps the dead drives too.
@@ -329,6 +451,15 @@ class FleetScaleCampaign:
 
         due = (self.state == FAILED) & (self.repair_at <= now)
         if due.any():
+            if self._pod_running is not None:
+                idx = np.flatnonzero(due)
+                pods_due = self.pod[idx]
+                self._pod_running += np.bincount(
+                    pods_due, minlength=self.n_pods
+                )
+                self._pod_power += np.bincount(
+                    pods_due, weights=self.avg_power_w[idx], minlength=self.n_pods
+                )
             self.state[due] = RUNNING
             self.repair_at[due] = np.inf
             self.repairs += int(due.sum())
@@ -341,11 +472,47 @@ class FleetScaleCampaign:
         self.uptime_s[running] += dt
         self.workload_runs += n_run * cycles
         self.energy_kwh += float(self.avg_power_w[running].sum()) * dt / 3.6e6
+        if self._pod_energy is not None:
+            # The incremental gauges already hold this frame's running
+            # census and power draw (hazards ran earlier in the frame).
+            self._pod_energy += self._pod_power * (dt / 3.6e6)
+            self._pod_cycles += self._pod_running * cycles
 
         flippable = running & ~self.ecc
         if flippable.any():
             wrong = flippable & (self._rng.random(self.n_hosts) < self._p_wrong_dt)
             self.wrong_hashes += int(wrong.sum())
+            if self._pod_wrong is not None and wrong.any():
+                self._pod_wrong += np.bincount(
+                    self.pod[wrong], minlength=self.n_pods
+                )
+        if self.progress is not None:
+            self.progress.tick(self.sim.now)
+
+    def _frame_observe(self) -> None:
+        """Fold the frame's signals into the observatory recorder.
+
+        Runs last in the frame group (only installed with
+        ``record_series=True``); it reads state, draws no randomness,
+        and schedules nothing, so the census is identical either way.
+        """
+        s = self._sample
+        self.series.record(
+            self.sim.now,
+            {
+                "tent_air_c": self.tents.air_temp_c,
+                "basement_c": self._basement_c,
+                "outside_temp_c": s.temp_c,
+                "outside_rh_pct": s.rh_percent,
+                "hosts_running": self._pod_running,
+                "failures_transient": self._pod_transient,
+                "failures_storage": self._pod_storage,
+                "sensor_latches": self._pod_latches,
+                "wrong_hashes": self._pod_wrong,
+                "energy_kwh": self._pod_energy,
+                "workload_cycles": self._pod_cycles,
+            },
+        )
 
     def _monitor_round(self) -> None:
         self.monitor_rounds += 1
@@ -363,7 +530,26 @@ class FleetScaleCampaign:
             self.clock.to_seconds(self.config.end_date),
         )
         self.sim.run_until(end)
+        if self.progress is not None:
+            self.progress.finish(self.sim.now)
+        self._record_run_metrics()
         return self.summary()
+
+    def _record_run_metrics(self) -> None:
+        """End-of-run health gauges (mirrors ``Campaign._record_run_metrics``)."""
+        if self.telemetry is None:
+            return
+        metrics = self.telemetry.metrics
+        metrics.gauge("engine.events_fired").set(self.sim.events_fired)
+        metrics.gauge("engine.heap_compactions").set(self.sim.heap_compactions)
+        metrics.gauge("engine.pending").set(self.sim.pending_count)
+        metrics.gauge("fleet.hosts").set(self.n_hosts)
+        metrics.gauge("fleet.pods").set(self.n_pods)
+        metrics.gauge("fleet.frames").set(self._ticks)
+        metrics.gauge("fleet.transient_failures").set(self.transient_failures)
+        metrics.gauge("fleet.storage_failures").set(self.storage_failures)
+        metrics.gauge("fleet.sensor_latches").set(self.sensor_latches)
+        metrics.gauge("fleet.wrong_hashes").set(self.wrong_hashes)
 
     def step_days(self, days: float) -> None:
         """Advance by ``days`` from wherever the clock stands (for benches)."""
@@ -391,7 +577,25 @@ class FleetScaleCampaign:
                 "mean": round(mean_tent, 3) if self._ticks else None,
                 "max": round(self._tent_temp_max, 3) if self._ticks else None,
             },
+            "engine": {
+                "events_fired": self.sim.events_fired,
+                "pending": self.sim.pending_count,
+                "heap_compactions": self.sim.heap_compactions,
+                "frames": self._ticks,
+            },
         }
+
+    # ------------------------------------------------------------------
+    # Observatory access
+    # ------------------------------------------------------------------
+    def pod_series(self, signal: str, pod: int):
+        """One pod's recorded timeline (needs ``record_series=True``)."""
+        if self.series is None:
+            raise ValueError(
+                "per-pod series were not recorded; build the campaign "
+                "with record_series=True"
+            )
+        return self.series.series(signal, row=pod)
 
     def format_summary(self) -> str:
         s = self.summary()
@@ -406,6 +610,9 @@ class FleetScaleCampaign:
             f"{s['wrong_hashes']} wrong hashes",
             f"  workload: {s['workload_runs']} archive cycles, "
             f"{s['energy_kwh']:.1f} kWh",
+            f"  engine: {s['engine']['events_fired']} events over "
+            f"{s['engine']['frames']} frames, "
+            f"{s['engine']['heap_compactions']} heap compactions",
         ]
         if tent["mean"] is not None:
             lines.append(

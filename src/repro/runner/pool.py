@@ -335,16 +335,32 @@ class _SweepState:
         policy: RetryPolicy,
         strict: bool,
         cache_dir: Optional[str],
+        progress: Optional[Callable[[Dict[str, object]], None]] = None,
     ) -> None:
         self.policy = policy
         self.strict = strict
         self.cache_dir = cache_dir
+        self.progress = progress
         self.records: Dict[int, RunRecord] = {}
         self.failures: List[FailedRun] = []
         self.retries = 0
         self.timeouts = 0
         self.store_failures = 0
         self.checkpoint_resumes = 0
+
+    def notify(self, kind: str, spec: RunSpec, **extra: object) -> None:
+        """Best-effort progress event; a broken sink never kills a sweep."""
+        if self.progress is None:
+            return
+        event: Dict[str, object] = {
+            "kind": kind,
+            "label": spec.label or f"seed {spec.seed}",
+        }
+        event.update(extra)
+        try:
+            self.progress(event)
+        except Exception:
+            pass
 
     def success(self, item: WorkItem, record: RunRecord) -> None:
         """Record a finished attempt; cache it immediately."""
@@ -356,6 +372,7 @@ class _SweepState:
             # The record is cached; the spec's mid-flight snapshots are
             # spent fuel.
             shutil.rmtree(item.checkpoint_dir, ignore_errors=True)
+        self.notify("completed", item.spec, attempt=item.attempt)
 
     def failure(
         self, item: WorkItem, exc: BaseException, timed_out: bool = False
@@ -373,6 +390,9 @@ class _SweepState:
             resume_from = _latest_checkpoint(item.checkpoint_dir)
             if resume_from is not None:
                 self.checkpoint_resumes += 1
+            self.notify(
+                "retried", item.spec, attempt=item.attempt, error=str(exc)
+            )
             return WorkItem(
                 index=item.index,
                 spec=item.spec,
@@ -393,6 +413,7 @@ class _SweepState:
                 timed_out=timed_out,
             )
         )
+        self.notify("failed", item.spec, attempt=item.attempt, error=str(exc))
         return None
 
 
@@ -536,6 +557,7 @@ def run_specs(
     faults: Optional[FaultPlan] = None,
     resumable: bool = False,
     checkpoint_every_s: Optional[float] = None,
+    progress: Optional[Callable[[Dict[str, object]], None]] = None,
 ) -> SweepResult:
     """Execute every spec and return the surviving records in spec order.
 
@@ -560,6 +582,13 @@ def run_specs(
     from the dead attempt's last valid flush instead of simulated
     ``t=0``.  Resume changes how much work a retry redoes, never what
     it returns: the records stay byte-identical.
+
+    ``progress`` is an optional per-spec event sink (e.g.
+    :meth:`repro.telemetry.progress.SweepProgress.sink`) called with one
+    dict per lifecycle event -- ``kind`` is ``"cached"``,
+    ``"completed"``, ``"retried"``, or ``"failed"``, ``label`` names the
+    spec, and retries/failures carry ``attempt`` and ``error``.  Sink
+    exceptions are swallowed: progress never changes sweep results.
     """
     if not specs:
         raise ValueError("need at least one run spec")
@@ -578,7 +607,9 @@ def run_specs(
     with Stopwatch() as watch:
         hits = 0
         evictions = 0
-        state = _SweepState(policy=policy, strict=strict, cache_dir=cache_dir)
+        state = _SweepState(
+            policy=policy, strict=strict, cache_dir=cache_dir, progress=progress
+        )
         if cache_dir is not None:
             for index, spec in enumerate(specs):
                 cached, evicted = _load_cached(cache_dir, spec)
@@ -586,6 +617,7 @@ def run_specs(
                 if cached is not None:
                     state.records[index] = cached
                     hits += 1
+                    state.notify("cached", spec)
 
         missing = [
             WorkItem(
@@ -678,14 +710,15 @@ def sweep_records(
     faults: Optional[FaultPlan] = None,
     resumable: bool = False,
     checkpoint_every_s: Optional[float] = None,
+    progress: Optional[Callable[[Dict[str, object]], None]] = None,
 ) -> SweepResult:
     """Run the campaign once per seed; full execution report.
 
     ``telemetry=True`` collects metrics and spans in every worker;
     :meth:`SweepResult.merged_telemetry` folds them into one view.
-    ``policy``/``strict``/``faults``/``resumable`` are passed through to
-    :func:`run_specs` (see there for the fault-tolerance and
-    checkpoint-resume semantics).
+    ``policy``/``strict``/``faults``/``resumable``/``progress`` are
+    passed through to :func:`run_specs` (see there for the
+    fault-tolerance, checkpoint-resume, and progress-sink semantics).
     """
     return run_specs(
         _specs_for_seeds(seeds, until, config_factory, telemetry=telemetry),
@@ -696,6 +729,7 @@ def sweep_records(
         faults=faults,
         resumable=resumable,
         checkpoint_every_s=checkpoint_every_s,
+        progress=progress,
     )
 
 

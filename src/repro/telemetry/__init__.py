@@ -17,7 +17,12 @@ sweep runner:
 - :mod:`repro.telemetry.runlog` -- a JSONL
   :class:`~repro.sim.events.EventBus` sink, one line per campaign event;
 - :mod:`repro.telemetry.report` -- the ``repro telemetry`` hot-label /
-  slowest-span terminal report.
+  slowest-span terminal report and its ``--json`` twin;
+- :mod:`repro.telemetry.timeseries` -- the fleet observatory's
+  bounded-memory columnar :class:`SeriesRecorder` (per-pod ring buffers
+  with 2:1 downsampling, snapshot-safe);
+- :mod:`repro.telemetry.progress` -- live JSONL heartbeats
+  (:class:`ProgressMeter` for runs, :class:`SweepProgress` for sweeps).
 
 Telemetry is strictly opt-in (``CampaignBuilder.with_telemetry``): a run
 built without it takes a single ``is None`` branch per hook site and
@@ -33,10 +38,13 @@ from repro.telemetry.hub import (
     snapshot_from_json_dict,
 )
 from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.progress import PROGRESS_SCHEMA, ProgressMeter, SweepProgress
 from repro.telemetry.runlog import JsonlRunLog
 from repro.telemetry.spans import SpanStats, SpanTracer, Stopwatch
+from repro.telemetry.timeseries import SeriesRecorder
 
 __all__ = [
+    "PROGRESS_SCHEMA",
     "TELEMETRY_SCHEMA",
     "Counter",
     "Gauge",
@@ -44,9 +52,12 @@ __all__ = [
     "HistogramSnapshot",
     "JsonlRunLog",
     "MetricsRegistry",
+    "ProgressMeter",
+    "SeriesRecorder",
     "SpanStats",
     "SpanTracer",
     "Stopwatch",
+    "SweepProgress",
     "Telemetry",
     "TelemetrySnapshot",
     "merge_snapshots",

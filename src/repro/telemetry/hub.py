@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, Optional, Tuple
 
-from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.metrics import MetricsRegistry, escape_label_value
 from repro.telemetry.spans import SpanTracer
 
 #: Layout version of the ``--telemetry-out`` JSON file.
@@ -115,7 +115,7 @@ class Telemetry:
         lines = [self.metrics.to_prometheus_text(prefix=prefix).rstrip("\n")]
         for label in self.spans.labels():
             stats = self.spans.stats(label)
-            escaped = label.replace("\\", "\\\\").replace('"', '\\"')
+            escaped = escape_label_value(label)
             lines.append(
                 f'{prefix}span_fired_total{{label="{escaped}"}} {stats.count}'
             )

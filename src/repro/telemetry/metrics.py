@@ -39,6 +39,21 @@ def _prom_name(name: str) -> str:
     return _PROM_NAME_RE.sub("_", name)
 
 
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text format.
+
+    The official rules: backslash, double-quote, and line-feed become
+    ``\\\\``, ``\\"``, and ``\\n`` respectively (backslash first, so the
+    other escapes are not themselves re-escaped).
+    """
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def escape_help_text(text: str) -> str:
+    """Escape a ``# HELP`` line's text (backslash and line feed only)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 class Counter:
     """A monotonically increasing integer."""
 
@@ -247,19 +262,19 @@ class MetricsRegistry:
         for counter in self.counters():
             name = prefix + _prom_name(counter.name) + "_total"
             if counter.help:
-                lines.append(f"# HELP {name} {counter.help}")
+                lines.append(f"# HELP {name} {escape_help_text(counter.help)}")
             lines.append(f"# TYPE {name} counter")
             lines.append(f"{name} {counter.value}")
         for gauge in self.gauges():
             name = prefix + _prom_name(gauge.name)
             if gauge.help:
-                lines.append(f"# HELP {name} {gauge.help}")
+                lines.append(f"# HELP {name} {escape_help_text(gauge.help)}")
             lines.append(f"# TYPE {name} gauge")
             lines.append(f"{name} {gauge.value:g}")
         for hist in self.histograms():
             name = prefix + _prom_name(hist.name)
             if hist.help:
-                lines.append(f"# HELP {name} {hist.help}")
+                lines.append(f"# HELP {name} {escape_help_text(hist.help)}")
             lines.append(f"# TYPE {name} histogram")
             cumulative = 0
             for bound, count in zip(hist.bounds, hist.bucket_counts):

@@ -10,9 +10,12 @@ deterministic side of the registry is visible in the same place.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Any, Dict, List
 
 from repro.telemetry.hub import Telemetry
+
+#: Layout version of :func:`report_json` output.
+REPORT_SCHEMA = 1
 
 
 def _format_seconds(seconds: float) -> str:
@@ -83,3 +86,46 @@ def render_report(telemetry: Telemetry, top: int = 10) -> str:
                 lines.append(f"    > {hist.bounds[-1]:g}: {hist.bucket_counts[-1]}")
 
     return "\n".join(lines)
+
+
+def report_json(telemetry: Telemetry, top: int = 10) -> Dict[str, Any]:
+    """Machine-readable twin of :func:`render_report`.
+
+    Same sections, same ordering, plain data: the ``repro telemetry
+    --json`` payload CI and the future service plane consume without
+    scraping the text report.  Wall-second fields ride along for
+    operators; anything comparing reports across runs should stick to
+    the count fields (the deterministic part).
+    """
+    return {
+        "schema": REPORT_SCHEMA,
+        "hot_labels": [
+            {
+                "label": stats.label,
+                "count": stats.count,
+                "total_s": stats.total_s,
+                "mean_s": stats.mean_s,
+            }
+            for stats in telemetry.spans.hottest(top)
+        ],
+        "slowest_spans": [
+            {
+                "label": stats.label,
+                "max_s": stats.max_s,
+                "mean_s": stats.mean_s,
+                "count": stats.count,
+            }
+            for stats in telemetry.spans.slowest(top)
+        ],
+        "counters": {c.name: c.value for c in telemetry.metrics.counters()},
+        "gauges": {g.name: g.value for g in telemetry.metrics.gauges()},
+        "histograms": {
+            h.name: {
+                "bounds": list(h.bounds),
+                "bucket_counts": list(h.bucket_counts),
+                "sum": h.sum,
+                "count": h.count,
+            }
+            for h in telemetry.metrics.histograms()
+        },
+    }

@@ -1,0 +1,292 @@
+"""Bounded-memory per-pod time series: the fleet observatory's storage.
+
+The paper's evidence is time series -- tent temperature, humidity, and
+the failure timeline over a winter -- but the fleet-scale batch mode
+only reported an end-of-run census.  :class:`SeriesRecorder` closes that
+gap without giving up the batch mode's scaling properties:
+
+- **columnar** -- one preallocated ``(capacity, rows)`` float64 array
+  per signal (rows = pods for per-pod signals, 1 for fleet scalars),
+  plus one shared time axis.  Samples are the leading axis so committing
+  a frame is one contiguous row write per signal -- at fleet scale the
+  pod axis spans thousands of entries, and writing a *column* of a
+  ``(rows, capacity)`` array would touch one cache line per pod;
+- **bounded** -- when the buffer fills, adjacent samples are averaged
+  pairwise (2:1 downsampling) and the effective stride doubles: a
+  recorder holds at most ``capacity`` samples whatever the horizon,
+  trading resolution for span exactly the way a round-robin database
+  does.  After ``k`` folds each stored sample is the mean of ``2**k``
+  raw frames, timestamped at their mean time, so the series stays
+  uniformly spaced and strictly increasing;
+- **deterministic** -- the fold is fixed-order float64 arithmetic on
+  values that are themselves pure functions of the simulation, so two
+  runs of the same (config, seed, horizon) produce bitwise-equal
+  buffers;
+- **snapshottable** -- :meth:`state_dict`/:meth:`load_state_dict`
+  round-trip every buffer (including the partial accumulator between
+  commits) through the packed-column codec, so a checkpointed campaign
+  resumes its series byte-identically;
+- **picklable** -- plain attributes and numpy arrays only, so a
+  recorder can ride a :class:`~concurrent.futures.ProcessPoolExecutor`
+  boundary inside a worker's results.
+
+Examples
+--------
+>>> rec = SeriesRecorder({"temp_c": 1}, capacity=8)
+>>> for i in range(20):
+...     rec.record(float(i), {"temp_c": float(i)})
+>>> rec.stride        # the buffer folded twice: 20 frames, 8 slots
+4
+>>> rec.n_samples
+5
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping
+
+import numpy as np
+
+from repro.analysis.series import TimeSeries
+from repro.state.codec import pack_floats, unpack_floats
+from repro.state.protocol import StateError, check_version
+
+#: Version tag of :meth:`SeriesRecorder.state_dict`.
+SERIES_STATE_VERSION = 1
+
+#: Default slot count; at the fleet tick (1800 s) this spans ~10 days
+#: at full resolution before the first fold.
+DEFAULT_CAPACITY = 512
+
+
+class SeriesRecorder:
+    """Fixed-memory recorder for a set of named multi-row signals.
+
+    Parameters
+    ----------
+    signals:
+        Mapping of signal name to row count.  Per-pod signals use
+        ``rows=n_pods``; fleet-wide scalars use ``rows=1``.  The set of
+        signals is fixed at construction (the memory is preallocated).
+    capacity:
+        Maximum stored samples per signal.  Must be an even number of at
+        least 8 so the 2:1 fold always lands on whole pairs.
+    """
+
+    def __init__(
+        self,
+        signals: Mapping[str, int],
+        capacity: int = DEFAULT_CAPACITY,
+    ) -> None:
+        if not signals:
+            raise ValueError("need at least one signal")
+        if capacity < 8 or capacity % 2:
+            raise ValueError("capacity must be an even number >= 8")
+        self.capacity = int(capacity)
+        self.signals: Dict[str, int] = {}
+        self._data: Dict[str, np.ndarray] = {}
+        self._acc: Dict[str, np.ndarray] = {}
+        for name, rows in signals.items():
+            rows = int(rows)
+            if rows < 1:
+                raise ValueError(f"signal {name!r} needs at least one row")
+            self.signals[name] = rows
+            # fill() touches every page now: lazily committed zero pages
+            # would otherwise charge first-touch faults to the hot loop.
+            self._data[name] = np.empty((self.capacity, rows), dtype=np.float64)
+            self._data[name].fill(0.0)
+            self._acc[name] = np.zeros(rows, dtype=np.float64)
+        self._times = np.zeros(self.capacity, dtype=np.float64)
+        self._len = 0
+        self._stride = 1
+        self._acc_n = 0
+        self._acc_t = 0.0
+        self.frames_seen = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"SeriesRecorder(signals={len(self.signals)}, "
+            f"samples={self._len}/{self.capacity}, stride={self._stride})"
+        )
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, time_s: float, values: Mapping[str, Any]) -> None:
+        """Fold one raw frame in (all signals, one shared timestamp).
+
+        ``values`` must name every signal; each value broadcasts to the
+        signal's row count (a scalar fills a 1-row signal).
+        """
+        if len(values) != len(self.signals):
+            missing = set(self.signals) - set(values)
+            extra = set(values) - set(self.signals)
+            raise ValueError(
+                f"frame signal mismatch: missing {sorted(missing)}, "
+                f"unexpected {sorted(extra)}"
+            )
+        if self._stride == 1 and self._acc_n == 0:
+            # Pre-fold fast path: every frame is its own sample, so skip
+            # the accumulator and write the slot directly.  Bitwise
+            # equal to the general path (0.0 + x then x * 1.0 is x).
+            slot = self._len
+            self._times[slot] = float(time_s)
+            for name in self._data:
+                self._data[name][slot] = values[name]
+            self.frames_seen += 1
+            self._len += 1
+            if self._len == self.capacity:
+                self._fold()
+            return
+        for name, acc in self._acc.items():
+            acc += values[name]
+        self._acc_t += float(time_s)
+        self._acc_n += 1
+        self.frames_seen += 1
+        if self._acc_n == self._stride:
+            self._commit()
+
+    def _commit(self) -> None:
+        """Flush the accumulator into the next slot (mean over the stride)."""
+        slot = self._len
+        inv = 1.0 / self._stride
+        self._times[slot] = self._acc_t * inv
+        for name, acc in self._acc.items():
+            np.multiply(acc, inv, out=self._data[name][slot])
+            acc[:] = 0.0
+        self._acc_t = 0.0
+        self._acc_n = 0
+        self._len += 1
+        if self._len == self.capacity:
+            self._fold()
+
+    def _fold(self) -> None:
+        """2:1 downsample in place: pair means, stride doubles."""
+        half = self.capacity // 2
+        self._times[:half] = 0.5 * (self._times[0::2] + self._times[1::2])
+        for arr in self._data.values():
+            arr[:half] = 0.5 * (arr[0::2] + arr[1::2])
+        self._len = half
+        self._stride *= 2
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def n_samples(self) -> int:
+        """Committed samples currently stored (<= capacity)."""
+        return self._len
+
+    @property
+    def stride(self) -> int:
+        """Raw frames folded into each stored sample (doubles per fold)."""
+        return self._stride
+
+    def rows(self, signal: str) -> int:
+        """Row count of one signal (pods, or 1 for fleet scalars)."""
+        return self.signals[signal]
+
+    def times(self) -> np.ndarray:
+        """Copy of the committed time axis (mean time of each stride)."""
+        return self._times[: self._len].copy()
+
+    def values(self, signal: str) -> np.ndarray:
+        """Copy of one signal's committed ``(rows, n_samples)`` block."""
+        return self._data[signal][: self._len].T.copy()
+
+    def series(self, signal: str, row: int = 0) -> TimeSeries:
+        """One row of one signal as an analysis-layer :class:`TimeSeries`."""
+        rows = self.signals[signal]
+        if not 0 <= row < rows:
+            raise ValueError(f"signal {signal!r} has rows 0..{rows - 1}, not {row}")
+        return TimeSeries(
+            self._times[: self._len].copy(),
+            self._data[signal][: self._len, row].copy(),
+        )
+
+    # ------------------------------------------------------------------
+    # Snapshot protocol
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        return {
+            "version": SERIES_STATE_VERSION,
+            "capacity": self.capacity,
+            "signals": dict(self.signals),
+            "len": self._len,
+            "stride": self._stride,
+            "acc_n": self._acc_n,
+            "acc_t": self._acc_t,
+            "frames_seen": self.frames_seen,
+            "times": pack_floats(self._times[: self._len]),
+            "data": {
+                name: pack_floats(self._data[name][: self._len].T.ravel())
+                for name in sorted(self.signals)
+            },
+            "acc": {
+                name: pack_floats(self._acc[name]) for name in sorted(self.signals)
+            },
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        check_version("series recorder", state, SERIES_STATE_VERSION)
+        signals = {str(k): int(v) for k, v in state["signals"].items()}
+        if signals != self.signals or int(state["capacity"]) != self.capacity:
+            raise StateError(
+                "series recorder: state was captured with a different "
+                f"layout (signals {signals}, capacity {state['capacity']}) "
+                f"than this recorder ({self.signals}, {self.capacity})"
+            )
+        length = int(state["len"])
+        if not 0 <= length < self.capacity:
+            raise StateError(f"series recorder: invalid sample count {length}")
+        times = np.asarray(unpack_floats(state["times"]), dtype=np.float64)
+        if times.size != length:
+            raise StateError("series recorder: time axis length mismatch")
+        self._len = length
+        self._stride = int(state["stride"])
+        self._acc_n = int(state["acc_n"])
+        self._acc_t = float(state["acc_t"])
+        self.frames_seen = int(state.get("frames_seen", 0))
+        self._times[:] = 0.0
+        self._times[:length] = times
+        for name, rows in self.signals.items():
+            block = np.asarray(unpack_floats(state["data"][name]), dtype=np.float64)
+            if block.size != rows * length:
+                raise StateError(
+                    f"series recorder: signal {name!r} block length mismatch"
+                )
+            self._data[name][:] = 0.0
+            self._data[name][:length] = block.reshape(rows, length).T
+            acc = np.asarray(unpack_floats(state["acc"][name]), dtype=np.float64)
+            if acc.size != rows:
+                raise StateError(
+                    f"series recorder: signal {name!r} accumulator mismatch"
+                )
+            self._acc[name][:] = acc
+
+
+def fleet_median(recorder: SeriesRecorder, signal: str) -> TimeSeries:
+    """The across-rows median of one signal, as a series.
+
+    For per-pod signals this is the fleet-median timeline the observe
+    dashboard plots; for 1-row signals it degenerates to the signal
+    itself.
+    """
+    values = recorder.values(signal)
+    return TimeSeries(recorder.times(), np.median(values, axis=0))
+
+
+def final_values(recorder: SeriesRecorder, signal: str) -> np.ndarray:
+    """Each row's latest committed value (for end-of-run anomaly scans)."""
+    if recorder.n_samples == 0:
+        return np.zeros(recorder.rows(signal), dtype=np.float64)
+    return recorder.values(signal)[:, -1].copy()
+
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "SERIES_STATE_VERSION",
+    "SeriesRecorder",
+    "final_values",
+    "fleet_median",
+]

@@ -1,0 +1,113 @@
+"""Tests for the fleet-observatory dashboard rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.observatory import (
+    DASHBOARD_SIGNALS,
+    pod_anomalies,
+    render_observatory,
+    render_phase_profile,
+    render_pod_drilldown,
+)
+from repro.sim.clock import SimClock
+from repro.telemetry.hub import Telemetry
+from repro.telemetry.timeseries import SeriesRecorder
+
+
+def make_recorder(n_pods=6, frames=24, hot_pod=None):
+    rec = SeriesRecorder({"tent_air_c": n_pods, "outside_temp_c": 1}, capacity=64)
+    for i in range(frames):
+        temps = np.full(n_pods, 10.0 + 0.1 * (np.arange(n_pods) % 3))
+        if hot_pod is not None:
+            temps[hot_pod] = 35.0
+        rec.record(1800.0 * i, {"tent_air_c": temps, "outside_temp_c": -5.0})
+    return rec
+
+
+class TestPodAnomalies:
+    def test_hot_pod_flagged_first(self):
+        rec = make_recorder(hot_pod=4)
+        rows = pod_anomalies(rec, "tent_air_c")
+        assert rows
+        pod, z, value = rows[0]
+        assert pod == 4
+        assert abs(z) >= 3.5
+        assert value == pytest.approx(35.0)
+
+    def test_healthy_fleet_has_no_rows(self):
+        assert pod_anomalies(make_recorder(), "tent_air_c") == []
+
+    def test_single_row_signals_never_flag(self):
+        rec = make_recorder(hot_pod=2)
+        assert pod_anomalies(rec, "outside_temp_c") == []
+
+    def test_empty_recorder_has_no_rows(self):
+        rec = SeriesRecorder({"tent_air_c": 4}, capacity=8)
+        assert pod_anomalies(rec, "tent_air_c") == []
+
+
+class TestRenderObservatory:
+    def test_mentions_known_signals_and_sample_count(self):
+        rec = make_recorder()
+        text = render_observatory(rec, width=30)
+        assert "24 samples" in text
+        assert "stride 1" in text
+        assert "tent air (fleet median)" in text
+        assert "outside air" in text
+        # Signals the recorder does not carry are simply absent.
+        assert "archive cycles" not in text
+
+    def test_anomaly_table_rendered(self):
+        text = render_observatory(make_recorder(hot_pod=1), width=30)
+        assert "pod anomalies" in text
+        assert "pod     1" in text
+
+    def test_healthy_fleet_says_none(self):
+        text = render_observatory(make_recorder(), width=30)
+        assert "pod anomalies: none" in text
+
+    def test_clock_renders_date_span(self):
+        text = render_observatory(make_recorder(), clock=SimClock(), width=30)
+        assert "2009-" in text or "2010-" in text
+
+    def test_empty_recorder_short_circuits(self):
+        rec = SeriesRecorder({"tent_air_c": 4}, capacity=8)
+        assert "no frames" in render_observatory(rec)
+
+    def test_dashboard_signal_table_is_well_formed(self):
+        names = [signal for signal, _, _ in DASHBOARD_SIGNALS]
+        assert len(names) == len(set(names))
+        for _, unit, desc in DASHBOARD_SIGNALS:
+            assert unit and desc
+
+
+class TestRenderDrilldown:
+    def test_chart_contains_both_glyph_series(self):
+        rec = make_recorder(hot_pod=3)
+        text = render_pod_drilldown(rec, "tent_air_c", 3, width=40, height=10)
+        assert "pod 3 vs fleet median" in text
+        assert "o" in text and "." in text
+
+    def test_bad_row_rejected(self):
+        with pytest.raises(ValueError):
+            render_pod_drilldown(make_recorder(), "tent_air_c", 99)
+
+
+class TestRenderPhaseProfile:
+    def test_phases_sorted_by_total_time(self):
+        telemetry = Telemetry()
+        telemetry.spans.record("fleetscale.weather", 0.010)
+        telemetry.spans.record("fleetscale.thermal", 0.100)
+        telemetry.spans.record("fleetscale.hazards", 0.050)
+        telemetry.spans.record("other.span", 9.0)  # ignored
+        text = render_phase_profile(telemetry, frames=10)
+        lines = [l for l in text.splitlines() if "fleetscale." in l]
+        assert "thermal" in lines[0]
+        assert "hazards" in lines[1]
+        assert "weather" in lines[2]
+        assert "other.span" not in text
+        assert "10 frames" in text
+
+    def test_no_spans_is_a_sentence_not_a_crash(self):
+        assert "no fleetscale" in render_phase_profile(Telemetry(), frames=0)

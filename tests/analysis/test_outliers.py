@@ -94,3 +94,56 @@ class TestRemoval:
         b = TimeSeries(np.arange(3.0) + 1.0, np.zeros(3))
         with pytest.raises(ValueError):
             remove_with_companion(a, b)
+
+
+class TestFleetZScores:
+    def test_single_outlier_flagged(self):
+        from repro.analysis.outliers import flag_fleet_anomalies, fleet_zscores
+
+        values = np.array([10.0, 10.1, 9.9, 10.0, 10.2, 9.8, 25.0])
+        scores = fleet_zscores(values)
+        assert abs(scores[-1]) > 3.5
+        assert np.abs(scores[:-1]).max() < 3.5
+        mask = flag_fleet_anomalies(values)
+        assert mask.tolist() == [False] * 6 + [True]
+
+    def test_robust_to_a_contaminated_tail(self):
+        from repro.analysis.outliers import fleet_zscores
+
+        # A quarter of the fleet misbehaving must not drag the baseline:
+        # the MAD keeps the healthy pods' scores small.
+        values = np.array(
+            [10.0, 10.1, 9.9, 10.05, 9.95, 10.02, 9.98, 10.03, 9.97]
+            + [100.0, 110.0, 120.0]
+        )
+        scores = fleet_zscores(values)
+        assert np.abs(scores[:9]).max() < 3.5
+        assert scores[9:].min() > 3.5
+
+    def test_uniform_fleet_scores_all_zero(self):
+        from repro.analysis.outliers import fleet_zscores
+
+        assert fleet_zscores(np.full(8, 3.0)).tolist() == [0.0] * 8
+
+    def test_mad_zero_falls_back_to_std(self):
+        from repro.analysis.outliers import fleet_zscores
+
+        # More than half the fleet identical -> MAD 0; std still scores
+        # the stragglers instead of dividing by zero.
+        values = np.array([5.0] * 6 + [6.0, 7.0])
+        scores = fleet_zscores(values)
+        assert np.isfinite(scores).all()
+        assert scores[-1] > 0.0
+
+    def test_empty_and_shape_validation(self):
+        from repro.analysis.outliers import fleet_zscores
+
+        assert fleet_zscores(np.zeros(0)).size == 0
+        with pytest.raises(ValueError):
+            fleet_zscores(np.zeros((2, 2)))
+
+    def test_threshold_must_be_positive(self):
+        from repro.analysis.outliers import flag_fleet_anomalies
+
+        with pytest.raises(ValueError):
+            flag_fleet_anomalies(np.zeros(3), z_threshold=0.0)

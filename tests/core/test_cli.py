@@ -256,3 +256,167 @@ class TestExportCommand:
         assert "meta.json" in out
         assert (tmp_path / "dump" / "outside_temperature.csv").exists()
         assert (tmp_path / "dump" / "faults.tsv").exists()
+
+
+class TestObservabilityFlags:
+    def test_run_progress_flags_default_off(self):
+        args = build_parser().parse_args(["run"])
+        assert not args.progress
+        assert args.progress_out is None
+
+    def test_run_progress_out_parses(self):
+        args = build_parser().parse_args(["run", "--progress-out", "hb.jsonl"])
+        assert args.progress_out == "hb.jsonl"
+
+    def test_observe_defaults(self):
+        args = build_parser().parse_args(["observe"])
+        assert args.hosts == 1900
+        assert args.seed == 7
+        assert args.pod is None
+        assert args.signal == "tent_air_c"
+        assert args.capacity == 512
+        assert args.top == 5
+
+    def test_observe_drilldown_flags_parse(self):
+        args = build_parser().parse_args(
+            ["observe", "--pod", "3", "--signal", "energy_kwh", "--capacity", "64"]
+        )
+        assert args.pod == 3
+        assert args.signal == "energy_kwh"
+        assert args.capacity == 64
+
+    def test_telemetry_json_and_hosts_parse(self):
+        args = build_parser().parse_args(["telemetry", "--json", "--hosts", "190"])
+        assert args.json
+        assert args.hosts == 190
+
+    def test_sweep_progress_out_parses(self):
+        args = build_parser().parse_args(["sweep", "--progress-out", "p.jsonl"])
+        assert args.progress_out == "p.jsonl"
+
+
+class TestObservabilityCommands:
+    def test_observe_renders_dashboard(self, capsys):
+        argv = [
+            "observe", "--hosts", "95", "--until", "2010-02-21",
+            "--pod", "2", "--width", "40",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "fleet observatory:" in out
+        assert "tent air (fleet median)" in out
+        assert "pod 2 vs fleet median" in out
+        assert "phase profile" in out
+        assert "fleetscale.thermal" in out
+
+    def test_observe_writes_heartbeat_file(self, tmp_path, capsys):
+        import json
+
+        hb = tmp_path / "hb.jsonl"
+        argv = [
+            "observe", "--hosts", "38", "--until", "2010-02-21",
+            "--progress-out", str(hb),
+        ]
+        assert main(argv) == 0
+        lines = [json.loads(l) for l in hb.read_text().splitlines()]
+        assert lines
+        final = lines[-1]
+        assert final["type"] == "heartbeat"
+        assert final["source"] == "observe"
+        assert final["final"] is True
+        assert final["done_frac"] == 1.0
+        assert "hottest_span" in final
+
+    def test_observe_bad_pod_rejected(self, capsys):
+        argv = ["observe", "--hosts", "38", "--until", "2010-02-21", "--pod", "99"]
+        assert main(argv) == 2
+        assert "--pod must be in" in capsys.readouterr().err
+
+    def test_observe_bad_signal_rejected(self, capsys):
+        argv = [
+            "observe", "--hosts", "38", "--until", "2010-02-21",
+            "--pod", "0", "--signal", "nope",
+        ]
+        assert main(argv) == 2
+        assert "unknown signal" in capsys.readouterr().err
+
+    def test_run_paper_campaign_progress_out(self, tmp_path, capsys):
+        import json
+
+        hb = tmp_path / "hb.jsonl"
+        argv = ["run", "--until", "2010-02-20", "--progress-out", str(hb)]
+        assert main(argv) == 0
+        assert "progress  ->" in capsys.readouterr().out
+        lines = [json.loads(l) for l in hb.read_text().splitlines()]
+        assert lines[-1]["final"] is True
+        assert lines[-1]["source"] == "run"
+        assert "failures" in lines[-1]
+
+    def test_run_fleet_progress_out(self, tmp_path, capsys):
+        import json
+
+        hb = tmp_path / "hb.jsonl"
+        argv = [
+            "run", "--hosts", "38", "--until", "2010-02-21",
+            "--progress-out", str(hb),
+        ]
+        assert main(argv) == 0
+        lines = [json.loads(l) for l in hb.read_text().splitlines()]
+        assert lines[-1]["source"] == "fleet"
+        assert lines[-1]["final"] is True
+
+    def test_run_fleet_telemetry_out_now_supported(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "t.json"
+        argv = [
+            "run", "--hosts", "38", "--until", "2010-02-21",
+            "--telemetry-out", str(path),
+        ]
+        assert main(argv) == 0
+        data = json.loads(path.read_text())
+        assert any(l.startswith("fleetscale.") for l in data["spans"])
+
+    def test_run_resume_rejects_progress(self, tmp_path, capsys):
+        argv = [
+            "run", "--resume", str(tmp_path / "nope.json"), "--progress",
+        ]
+        assert main(argv) == 2
+        assert "--progress" in capsys.readouterr().err
+
+    def test_telemetry_json_output(self, capsys):
+        import json
+
+        assert main(["telemetry", "--until", "2010-02-22", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["schema"] == 1
+        assert data["hot_labels"]
+        assert any(l["label"].startswith("engine.") for l in data["hot_labels"])
+        assert "counters" in data and "gauges" in data
+
+    def test_telemetry_json_and_prometheus_conflict(self, capsys):
+        argv = ["telemetry", "--json", "--prometheus"]
+        assert main(argv) == 2
+        assert "pick one" in capsys.readouterr().err
+
+    def test_telemetry_fleet_profile(self, capsys):
+        argv = ["telemetry", "--hosts", "38", "--until", "2010-02-21"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "fleetscale.thermal" in out
+        assert "Gauges" in out
+
+    def test_sweep_progress_out_writes_events(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "p.jsonl"
+        argv = [
+            "sweep", "--seeds", "3,5", "--until", "2010-02-20",
+            "--no-cache", "--progress-out", str(path),
+        ]
+        assert main(argv) == 0
+        assert "progress ->" in capsys.readouterr().out
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert [l["kind"] for l in lines] == ["completed", "completed"]
+        assert lines[-1]["done"] == 2
+        assert lines[-1]["total"] == 2

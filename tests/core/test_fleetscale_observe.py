@@ -1,0 +1,157 @@
+"""Fleet observatory wiring inside FleetScaleCampaign.
+
+Two invariants matter: recording per-pod series must not change the
+simulation (same census with recording on or off), and the recorded
+series must agree with the campaign's own cumulative counters.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ExperimentConfig
+from repro.core.fleetscale import POD_SIZE, RUNNING, FleetScaleCampaign
+from repro.telemetry.hub import Telemetry
+from repro.telemetry.timeseries import SeriesRecorder, final_values
+
+
+def run_fleet(days=3.0, hosts=10 * POD_SIZE, seed=7, **kwargs):
+    fleet = FleetScaleCampaign(hosts, ExperimentConfig(seed=seed), **kwargs)
+    fleet.run(days=days)
+    return fleet
+
+
+class TestRecordingIsNonPerturbing:
+    def test_census_identical_with_recording_on(self):
+        plain = run_fleet()
+        recorded = run_fleet(record_series=True)
+        assert plain.summary() == recorded.summary()
+
+    def test_census_identical_with_telemetry_and_recording(self):
+        plain = run_fleet()
+        wired = run_fleet(record_series=True, telemetry=Telemetry())
+        assert plain.summary() == wired.summary()
+
+    def test_series_off_by_default(self):
+        fleet = FleetScaleCampaign(POD_SIZE)
+        assert fleet.series is None
+        with pytest.raises(ValueError):
+            fleet.pod_series("tent_air_c", 0)
+
+
+class TestRecordedSeries:
+    @pytest.fixture(scope="class")
+    def fleet(self):
+        return run_fleet(days=4.0, record_series=True)
+
+    def test_one_sample_per_frame_until_first_fold(self, fleet):
+        frames = fleet.summary()["engine"]["frames"]
+        assert fleet.series.frames_seen == frames
+        assert fleet.series.n_samples == frames  # 192 frames < 512 slots
+        assert fleet.series.stride == 1
+
+    def test_per_pod_signals_have_pod_rows(self, fleet):
+        assert fleet.series.rows("tent_air_c") == fleet.n_pods
+        assert fleet.series.rows("hosts_running") == fleet.n_pods
+        assert fleet.series.rows("outside_temp_c") == 1
+        assert fleet.series.rows("basement_c") == 1
+
+    def test_final_cumulative_tallies_match_census(self, fleet):
+        summary = fleet.summary()
+        for signal, key in (
+            ("failures_transient", "transient_failures"),
+            ("failures_storage", "storage_failures"),
+            ("sensor_latches", "sensor_latches"),
+            ("wrong_hashes", "wrong_hashes"),
+        ):
+            per_pod = final_values(fleet.series, signal)
+            assert per_pod.sum() == pytest.approx(summary[key]), signal
+
+    def test_energy_series_sums_to_census_energy(self, fleet):
+        per_pod = final_values(fleet.series, "energy_kwh")
+        assert per_pod.sum() == pytest.approx(
+            fleet.summary()["energy_kwh"], rel=1e-6
+        )
+
+    def test_hosts_running_matches_state_vector(self, fleet):
+        per_pod = final_values(fleet.series, "hosts_running")
+        expected = np.bincount(
+            fleet.pod[fleet.state == RUNNING], minlength=fleet.n_pods
+        )
+        np.testing.assert_array_equal(per_pod, expected)
+
+    def test_tent_air_matches_tent_bank(self, fleet):
+        latest = final_values(fleet.series, "tent_air_c")
+        np.testing.assert_allclose(latest, fleet.tents.air_temp_c)
+
+    def test_pod_series_returns_timeline(self, fleet):
+        series = fleet.pod_series("tent_air_c", 2)
+        assert len(series) == fleet.series.n_samples
+        assert np.all(np.diff(series.times) > 0)
+
+    def test_recording_is_deterministic(self):
+        a = run_fleet(days=2.0, record_series=True)
+        b = run_fleet(days=2.0, record_series=True)
+        np.testing.assert_array_equal(
+            a.series.values("tent_air_c"), b.series.values("tent_air_c")
+        )
+        np.testing.assert_array_equal(
+            a.series.values("energy_kwh"), b.series.values("energy_kwh")
+        )
+
+    def test_capacity_bounds_memory_on_long_runs(self):
+        fleet = run_fleet(
+            days=6.0, hosts=POD_SIZE, record_series=True, series_capacity=64
+        )
+        # 288 frames into 64 slots: folded, stride grew, memory flat.
+        assert fleet.series.n_samples <= 64
+        assert fleet.series.stride > 1
+        assert fleet.series.frames_seen == fleet.summary()["engine"]["frames"]
+
+
+class TestCheckpointRoundTrip:
+    def test_series_survives_state_dict_round_trip(self):
+        fleet = run_fleet(days=3.0, record_series=True)
+        state = fleet.series.state_dict()
+        clone = SeriesRecorder(
+            dict(fleet.series.signals), capacity=fleet.series.capacity
+        )
+        clone.load_state_dict(state)
+        np.testing.assert_array_equal(
+            clone.values("tent_air_c"), fleet.series.values("tent_air_c")
+        )
+        np.testing.assert_array_equal(clone.times(), fleet.series.times())
+
+
+class TestPhaseSpansAndEngineGauges:
+    def test_phase_spans_cover_every_frame(self):
+        telemetry = Telemetry()
+        fleet = run_fleet(days=2.0, record_series=True, telemetry=telemetry)
+        frames = fleet.summary()["engine"]["frames"]
+        for phase in ("weather", "thermal", "hazards", "workload", "observe"):
+            stats = telemetry.spans.stats(f"fleetscale.{phase}")
+            assert stats.count == frames, phase
+
+    def test_observe_span_absent_without_recording(self):
+        telemetry = Telemetry()
+        run_fleet(days=1.0, telemetry=telemetry)
+        assert "fleetscale.observe" not in telemetry.spans.labels()
+
+    def test_end_of_run_gauges_recorded(self):
+        telemetry = Telemetry()
+        fleet = run_fleet(days=2.0, telemetry=telemetry)
+        summary = fleet.summary()
+        gauges = {g.name: g.value for g in telemetry.metrics.gauges()}
+        assert gauges["engine.events_fired"] == summary["engine"]["events_fired"]
+        assert gauges["fleet.frames"] == summary["engine"]["frames"]
+        assert gauges["fleet.hosts"] == fleet.n_hosts
+        assert (
+            gauges["fleet.transient_failures"] == summary["transient_failures"]
+        )
+
+    def test_summary_reports_engine_health(self):
+        fleet = run_fleet(days=1.0)
+        engine = fleet.summary()["engine"]
+        assert engine["events_fired"] > 0
+        assert engine["frames"] == 48
+        assert "heap_compactions" in engine
+        assert "engine:" in fleet.format_summary()

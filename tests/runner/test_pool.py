@@ -106,3 +106,61 @@ class TestCompatReexport:
 
         with pytest.raises(AttributeError):
             seedsweep.does_not_exist
+
+
+class TestProgressCallback:
+    def test_completed_events_in_spec_order_serially(self):
+        events = []
+        sweep_records([7, 11], until=UNTIL, jobs=1, progress=events.append)
+        assert [(e["kind"], e["label"]) for e in events] == [
+            ("completed", "seed 7"),
+            ("completed", "seed 11"),
+        ]
+        assert all(e["attempt"] == 1 for e in events)
+
+    def test_cache_hits_reported_as_cached(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        sweep_records([7], until=UNTIL, cache_dir=cache)
+        events = []
+        sweep_records([7], until=UNTIL, cache_dir=cache, progress=events.append)
+        assert [e["kind"] for e in events] == ["cached"]
+
+    def test_retry_and_failure_events_carry_error(self):
+        from repro.runner.faults import Fault, FaultAction, FaultPlan
+        from repro.runner.policy import RetryPolicy
+
+        plan = FaultPlan.of(
+            Fault(seed=7, attempt=1, action=FaultAction.RAISE),
+            Fault(seed=7, attempt=2, action=FaultAction.RAISE),
+        )
+        events = []
+        result = sweep_records(
+            [7], until=UNTIL, jobs=1,
+            policy=RetryPolicy(
+                max_attempts=2, backoff_base_s=0.01, backoff_max_s=0.05
+            ),
+            faults=plan, strict=False, progress=events.append,
+        )
+        assert result.failures
+        assert [e["kind"] for e in events] == ["retried", "failed"]
+        assert all("error" in e for e in events)
+
+    def test_broken_sink_never_kills_the_sweep(self):
+        def sink(event):
+            raise RuntimeError("telemetry plane down")
+
+        result = sweep_records([7], until=UNTIL, jobs=1, progress=sink)
+        assert len(result.records) == 1
+
+    def test_progress_does_not_change_records(self):
+        quiet = sweep_records([7], until=UNTIL, jobs=1)
+        noisy = sweep_records([7], until=UNTIL, jobs=1, progress=lambda e: None)
+        assert [r.canonical_json() for r in quiet.records] == [
+            r.canonical_json() for r in noisy.records
+        ]
+
+    def test_pooled_sweep_reports_every_spec(self):
+        events = []
+        sweep_records([7, 11, 13], until=UNTIL, jobs=3, progress=events.append)
+        assert sorted(e["label"] for e in events) == ["seed 11", "seed 13", "seed 7"]
+        assert {e["kind"] for e in events} == {"completed"}

@@ -1,0 +1,190 @@
+"""Tests for the live-progress JSONL plane (ProgressMeter, SweepProgress)."""
+
+import io
+import json
+
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.telemetry.progress import PROGRESS_SCHEMA, ProgressMeter, SweepProgress
+
+
+class FakeWall:
+    """Injectable monotonic clock the tests advance by hand."""
+
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+def make_meter(**kwargs):
+    wall = FakeWall()
+    stream = io.StringIO()
+    kwargs.setdefault("interval_s", 2.0)
+    kwargs.setdefault("check_every", 1)
+    meter = ProgressMeter(stream, wall_clock=wall, **kwargs)
+    return meter, stream, wall
+
+
+def lines_of(stream):
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestProgressMeter:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ProgressMeter(io.StringIO(), interval_s=0)
+        with pytest.raises(ValueError):
+            ProgressMeter(io.StringIO(), check_every=0)
+
+    def test_first_observation_arms_without_emitting(self):
+        meter, stream, wall = make_meter()
+        meter.on_event(0.0)
+        assert stream.getvalue() == ""
+        # Before the interval elapses: still quiet.
+        wall.now += 1.0
+        meter.on_event(10.0)
+        assert stream.getvalue() == ""
+
+    def test_emits_after_interval_with_schema_fields(self):
+        meter, stream, wall = make_meter(source="run")
+        meter.on_event(0.0)
+        wall.now += 4.0
+        meter.on_event(86_400.0)
+        (line,) = lines_of(stream)
+        assert line["type"] == "heartbeat"
+        assert line["schema"] == PROGRESS_SCHEMA
+        assert line["source"] == "run"
+        assert line["seq"] == 0
+        assert line["wall_s"] == 4.0
+        assert line["sim_time_s"] == 86_400.0
+        assert line["sim_days_per_s"] == pytest.approx(0.25)
+        assert line["events"] == 2
+        assert line["events_per_s"] == pytest.approx(0.5)
+
+    def test_check_every_batches_wall_clock_checks(self):
+        meter, stream, wall = make_meter(check_every=10)
+        meter.on_event(0.0)  # events 1..9 never touch the wall clock
+        wall.now += 100.0
+        for i in range(8):
+            meter.on_event(float(i))
+        assert stream.getvalue() == ""
+        meter.on_event(9.0)  # 10th event: check fires, arms the meter
+        wall.now += 100.0
+        for i in range(10):
+            meter.on_event(float(i))
+        assert len(lines_of(stream)) == 1
+
+    def test_eta_and_done_frac_with_known_horizon(self):
+        meter, stream, wall = make_meter(sim_start_s=0.0, sim_end_s=4 * 86_400.0)
+        meter.tick(0.0)
+        wall.now += 2.0
+        meter.tick(86_400.0)  # one sim-day in 2 wall seconds
+        (line,) = lines_of(stream)
+        assert line["done_frac"] == pytest.approx(0.25)
+        assert line["eta_s"] == pytest.approx(6.0)
+
+    def test_eta_is_null_when_no_progress(self):
+        meter, stream, wall = make_meter(sim_start_s=0.0, sim_end_s=86_400.0)
+        meter.tick(0.0)
+        wall.now += 5.0
+        meter.tick(0.0)  # sim time has not advanced
+        (line,) = lines_of(stream)
+        assert line["eta_s"] is None
+        assert line["done_frac"] == 0.0
+
+    def test_sim_date_rendered_through_clock(self):
+        clock = SimClock()
+        meter, stream, wall = make_meter(clock=clock)
+        meter.tick(0.0)
+        wall.now += 3.0
+        meter.tick(3600.0)
+        (line,) = lines_of(stream)
+        assert line["sim_date"] == clock.to_datetime(3600.0).isoformat()
+
+    def test_sample_extras_merged_only_at_emission(self):
+        calls = []
+
+        def sample():
+            calls.append(1)
+            return {"failures": 7}
+
+        meter, stream, wall = make_meter(sample=sample)
+        meter.tick(0.0)
+        assert calls == []  # arming does not sample
+        wall.now += 3.0
+        meter.tick(10.0)
+        (line,) = lines_of(stream)
+        assert line["failures"] == 7
+        assert len(calls) == 1
+
+    def test_finish_always_emits_final_line(self):
+        meter, stream, wall = make_meter()
+        meter.finish(86_400.0)  # no prior events at all
+        (line,) = lines_of(stream)
+        assert line["final"] is True
+        assert meter.lines_emitted == 1
+
+    def test_lines_sorted_and_parseable(self):
+        meter, stream, wall = make_meter()
+        meter.finish(0.0)
+        raw = stream.getvalue().splitlines()[0]
+        payload = json.loads(raw)
+        assert list(payload) == sorted(payload)
+
+    def test_open_writes_file_and_close_closes(self, tmp_path):
+        path = tmp_path / "hb.jsonl"
+        meter = ProgressMeter.open(str(path), interval_s=1.0)
+        meter.finish(0.0)
+        meter.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["final"] is True
+
+
+class TestSweepProgress:
+    def test_rejects_empty_sweep(self):
+        with pytest.raises(ValueError):
+            SweepProgress(io.StringIO(), total=0)
+
+    def test_tallies_every_kind(self):
+        wall = FakeWall()
+        stream = io.StringIO()
+        progress = SweepProgress(stream, total=3, wall_clock=wall)
+        progress.sink({"kind": "cached", "label": "seed 1"})
+        progress.sink({"kind": "retried", "label": "seed 2", "attempt": 1, "error": "boom"})
+        progress.sink({"kind": "completed", "label": "seed 2", "attempt": 2})
+        progress.sink({"kind": "failed", "label": "seed 3", "attempt": 2, "error": "dead"})
+        lines = lines_of(stream)
+        assert [l["kind"] for l in lines] == ["cached", "retried", "completed", "failed"]
+        last = lines[-1]
+        assert last["done"] == 2
+        assert last["cached"] == 1
+        assert last["retried"] == 1
+        assert last["failed"] == 1
+        assert last["total"] == 3
+        assert last["error"] == "dead"
+        assert last["eta_s"] == 0.0  # nothing left in flight
+        assert progress.lines_emitted == 4
+
+    def test_eta_projects_completion_rate(self):
+        wall = FakeWall()
+        stream = io.StringIO()
+        progress = SweepProgress(stream, total=4, wall_clock=wall)
+        progress.sink({"kind": "completed", "label": "seed 1"})
+        wall.now += 10.0
+        progress.sink({"kind": "completed", "label": "seed 2"})
+        lines = lines_of(stream)
+        # 2 done in 10 s -> 5 s/spec -> 2 remaining -> 10 s.
+        assert lines[-1]["eta_s"] == pytest.approx(10.0)
+
+    def test_schema_and_label_passthrough(self):
+        stream = io.StringIO()
+        progress = SweepProgress(stream, total=1, wall_clock=FakeWall())
+        progress.sink({"kind": "completed", "label": "seed 42"})
+        (line,) = lines_of(stream)
+        assert line["type"] == "sweep-progress"
+        assert line["schema"] == PROGRESS_SCHEMA
+        assert line["label"] == "seed 42"

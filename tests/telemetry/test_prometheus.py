@@ -1,0 +1,187 @@
+"""Prometheus text-format conformance for the exposition paths.
+
+A small parser enforces the official text-format rules -- metric-line
+grammar, label-value escaping (backslash, double-quote, line feed),
+cumulative non-decreasing ``_bucket`` counts ending at ``+Inf``, and the
+``_sum``/``_count`` pairing -- so anything that actually scrapes the
+output would accept it.
+"""
+
+import re
+
+import pytest
+
+from repro.telemetry.hub import Telemetry
+from repro.telemetry.metrics import (
+    MetricsRegistry,
+    escape_help_text,
+    escape_label_value,
+)
+
+#: One sample line: name{labels} value
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})? "
+    r"(?P<value>[^ ]+)$"
+)
+
+#: One label pair inside the braces, with only legal escapes in the value.
+_LABEL_RE = re.compile(
+    r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\\n]|\\\\|\\"|\\n)*)"'
+)
+
+
+def parse_exposition(text):
+    """Parse exposition text into (samples, types); raise on violations."""
+    samples = []
+    types = {}
+    assert text.endswith("\n"), "exposition must end with a line feed"
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            assert kind in ("counter", "gauge", "histogram", "summary", "untyped")
+            types[name] = kind
+            continue
+        if line.startswith("# HELP "):
+            body = line[len("# HELP ") :]
+            name, _, help_text = body.partition(" ")
+            # Only \\ and \n may appear escaped; a bare backslash that is
+            # not part of a legal escape is a violation.
+            assert re.fullmatch(r"(?:[^\\\n]|\\\\|\\n)*", help_text), (
+                f"illegal HELP escaping: {help_text!r}"
+            )
+            continue
+        assert not line.startswith("#"), f"unknown comment line: {line!r}"
+        match = _SAMPLE_RE.match(line)
+        assert match, f"unparseable sample line: {line!r}"
+        labels = {}
+        if match.group("labels"):
+            body = match.group("labels")
+            consumed = 0
+            for pair in _LABEL_RE.finditer(body):
+                labels[pair.group("key")] = pair.group("value")
+                consumed = pair.end()
+            rest = body[consumed:].strip(",")
+            assert not rest, f"illegal label syntax: {body!r}"
+        float(match.group("value").replace("+Inf", "inf"))
+        samples.append((match.group("name"), labels, match.group("value")))
+    return samples, types
+
+
+def histogram_samples(samples, family):
+    buckets = [
+        (labels["le"], float(value))
+        for name, labels, value in samples
+        if name == f"{family}_bucket"
+    ]
+    total = [float(v) for n, _, v in samples if n == f"{family}_count"]
+    sums = [float(v) for n, _, v in samples if n == f"{family}_sum"]
+    return buckets, total, sums
+
+
+class TestEscaping:
+    def test_label_value_escapes(self):
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+        # Backslash first: an input that already looks escaped survives.
+        assert escape_label_value('\\"') == '\\\\\\"'
+
+    def test_help_text_escapes(self):
+        assert escape_help_text("a\\b\nc") == "a\\\\b\\nc"
+        # Double quotes are legal verbatim in HELP text.
+        assert escape_help_text('say "hi"') == 'say "hi"'
+
+    def test_span_labels_with_hostile_characters_round_trip(self):
+        telemetry = Telemetry()
+        hostile = 'round "7"\nbackslash \\ done'
+        telemetry.spans.record(hostile, 0.25)
+        samples, _ = parse_exposition(telemetry.to_prometheus_text())
+        fired = [
+            labels
+            for name, labels, _ in samples
+            if name == "repro_span_fired_total"
+        ]
+        assert len(fired) == 1
+        unescaped = (
+            fired[0]["label"]
+            .replace("\\n", "\n")
+            .replace('\\"', '"')
+            .replace("\\\\", "\\")
+        )
+        assert unescaped == hostile
+
+    def test_hostile_help_text_stays_single_line(self):
+        registry = MetricsRegistry()
+        registry.counter("odd.one", help="line one\nline \\ two").inc()
+        text = registry.to_prometheus_text()
+        parse_exposition(text)
+        (help_line,) = [l for l in text.splitlines() if l.startswith("# HELP")]
+        assert "\n" not in help_line
+        assert "line one\\nline \\\\ two" in help_line
+
+
+class TestHistogramConformance:
+    def make_registry(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("round.hosts", bounds=(1.0, 5.0, 10.0))
+        for value in (0.0, 1.0, 2.0, 7.0, 50.0):
+            hist.observe(value)
+        return registry
+
+    def test_bucket_counts_are_cumulative_and_non_decreasing(self):
+        samples, _ = parse_exposition(self.make_registry().to_prometheus_text())
+        buckets, _, _ = histogram_samples(samples, "repro_round_hosts")
+        counts = [count for _, count in buckets]
+        assert counts == sorted(counts), "bucket counts must be cumulative"
+        assert counts == [2.0, 3.0, 4.0, 5.0]
+
+    def test_inf_bucket_present_last_and_equals_count(self):
+        samples, _ = parse_exposition(self.make_registry().to_prometheus_text())
+        buckets, totals, _ = histogram_samples(samples, "repro_round_hosts")
+        assert buckets[-1][0] == "+Inf"
+        assert buckets[-1][1] == totals[0] == 5.0
+
+    def test_sum_and_count_lines_present(self):
+        samples, types = parse_exposition(self.make_registry().to_prometheus_text())
+        _, totals, sums = histogram_samples(samples, "repro_round_hosts")
+        assert totals == [5.0]
+        assert sums == [60.0]
+        assert types["repro_round_hosts"] == "histogram"
+
+    def test_le_values_ascend(self):
+        samples, _ = parse_exposition(self.make_registry().to_prometheus_text())
+        buckets, _, _ = histogram_samples(samples, "repro_round_hosts")
+        finite = [float(le) for le, _ in buckets[:-1]]
+        assert finite == sorted(finite)
+
+
+class TestWholeExposition:
+    def test_mixed_registry_parses_under_official_rules(self):
+        telemetry = Telemetry()
+        telemetry.metrics.counter("engine.events", help="events fired").inc(3)
+        telemetry.metrics.gauge("queue.depth").set(17.5)
+        telemetry.metrics.histogram("lat", bounds=(0.5, 1.0)).observe(0.2)
+        telemetry.spans.record("collector.round", 0.001)
+        samples, types = parse_exposition(telemetry.to_prometheus_text())
+        names = {name for name, _, _ in samples}
+        assert "repro_engine_events_total" in names
+        assert "repro_queue_depth" in names
+        assert "repro_lat_bucket" in names
+        assert types["repro_engine_events_total"] == "counter"
+        assert types["repro_queue_depth"] == "gauge"
+
+    def test_counter_sample_matches_type_name(self):
+        # The TYPE line must name exactly the sample family it types.
+        registry = MetricsRegistry()
+        registry.counter("a.b").inc()
+        text = registry.to_prometheus_text()
+        samples, types = parse_exposition(text)
+        for name in types:
+            family = [s for s in samples if s[0].startswith(name)]
+            assert family, f"TYPE line for {name} has no samples"
+
+    def test_empty_registry_is_empty_exposition(self):
+        assert MetricsRegistry().to_prometheus_text() == ""

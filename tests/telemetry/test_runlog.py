@@ -3,8 +3,20 @@
 import io
 import json
 
+import pytest
+
 from repro.sim.events import EventBus, HostFailed, HostInstalled, SensorLatched
 from repro.telemetry.runlog import JsonlRunLog
+
+
+class FlushCountingStream(io.StringIO):
+    def __init__(self):
+        super().__init__()
+        self.flushes = 0
+
+    def flush(self):
+        self.flushes += 1
+        super().flush()
 
 
 def make_log():
@@ -65,6 +77,52 @@ class TestJsonlRunLog:
         lines = path.read_text().splitlines()
         assert len(lines) == 1
         assert json.loads(lines[0])["host_id"] == 9
+
+    def test_flush_every_flushes_periodically(self):
+        stream = FlushCountingStream()
+        log = JsonlRunLog(stream, wall_clock=lambda: 0.0, flush_every=2)
+        bus = EventBus()
+        log.subscribe(bus)
+        for i in range(5):
+            bus.publish(SensorLatched(time=float(i), host_id=i))
+        # Lines 2 and 4 triggered a flush; line 5 is still buffered.
+        assert stream.flushes == 2
+        assert log.lines_written == 5
+
+    def test_default_never_flushes_before_close(self):
+        stream = FlushCountingStream()
+        log = JsonlRunLog(stream, wall_clock=lambda: 0.0)
+        bus = EventBus()
+        log.subscribe(bus)
+        for i in range(5):
+            bus.publish(SensorLatched(time=float(i), host_id=i))
+        assert stream.flushes == 0
+        log.close()
+        assert stream.flushes == 1
+
+    def test_negative_flush_every_rejected(self):
+        with pytest.raises(ValueError):
+            JsonlRunLog(io.StringIO(), flush_every=-1)
+
+    def test_context_manager_closes_file(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with JsonlRunLog.open(str(path), wall_clock=lambda: 0.0) as log:
+            bus = EventBus()
+            log.subscribe(bus)
+            bus.publish(SensorLatched(time=5.0, host_id=9))
+        assert log._stream.closed
+        assert json.loads(path.read_text())["host_id"] == 9
+
+    def test_context_manager_closes_on_error(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with pytest.raises(RuntimeError):
+            with JsonlRunLog.open(str(path), wall_clock=lambda: 0.0) as log:
+                bus = EventBus()
+                log.subscribe(bus)
+                bus.publish(SensorLatched(time=5.0, host_id=9))
+                raise RuntimeError("mid-run crash")
+        # The line written before the crash survived the close-on-exit.
+        assert json.loads(path.read_text())["host_id"] == 9
 
     def test_sink_only_observes(self):
         # Attaching the sink does not change what other subscribers see.

@@ -1,0 +1,195 @@
+"""Tests for the fleet observatory's bounded columnar SeriesRecorder."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.state.protocol import StateError
+from repro.telemetry.timeseries import (
+    DEFAULT_CAPACITY,
+    SeriesRecorder,
+    final_values,
+    fleet_median,
+)
+
+
+def fill(rec, n, start=0.0, dt=1.0):
+    for i in range(n):
+        t = start + i * dt
+        rec.record(t, {"a": np.array([t, 2 * t]), "b": 10.0 + t})
+
+
+class TestConstruction:
+    def test_defaults(self):
+        rec = SeriesRecorder({"x": 3})
+        assert rec.capacity == DEFAULT_CAPACITY
+        assert rec.n_samples == 0
+        assert rec.stride == 1
+        assert rec.rows("x") == 3
+
+    def test_rejects_bad_layouts(self):
+        with pytest.raises(ValueError):
+            SeriesRecorder({})
+        with pytest.raises(ValueError):
+            SeriesRecorder({"x": 0})
+        with pytest.raises(ValueError):
+            SeriesRecorder({"x": 1}, capacity=7)  # odd
+        with pytest.raises(ValueError):
+            SeriesRecorder({"x": 1}, capacity=4)  # too small
+
+    def test_record_requires_exact_signal_set(self):
+        rec = SeriesRecorder({"a": 2, "b": 1}, capacity=8)
+        with pytest.raises(ValueError, match="missing"):
+            rec.record(0.0, {"a": np.zeros(2)})
+        with pytest.raises(ValueError, match="unexpected"):
+            rec.record(0.0, {"a": np.zeros(2), "b": 0.0, "c": 1.0})
+
+
+class TestRecording:
+    def test_stores_raw_frames_below_capacity(self):
+        rec = SeriesRecorder({"a": 2, "b": 1}, capacity=8)
+        fill(rec, 5)
+        assert rec.n_samples == 5
+        assert rec.stride == 1
+        np.testing.assert_array_equal(rec.times(), np.arange(5.0))
+        np.testing.assert_array_equal(rec.values("a")[1], 2 * np.arange(5.0))
+        np.testing.assert_array_equal(rec.values("b")[0], 10.0 + np.arange(5.0))
+
+    def test_fold_halves_samples_and_doubles_stride(self):
+        rec = SeriesRecorder({"a": 2, "b": 1}, capacity=8)
+        fill(rec, 8)
+        # The 8th commit triggers the fold: 4 samples, each a pair mean.
+        assert rec.n_samples == 4
+        assert rec.stride == 2
+        np.testing.assert_array_equal(rec.times(), [0.5, 2.5, 4.5, 6.5])
+        np.testing.assert_array_equal(rec.values("a")[0], [0.5, 2.5, 4.5, 6.5])
+
+    def test_post_fold_commits_average_stride_frames(self):
+        rec = SeriesRecorder({"a": 2, "b": 1}, capacity=8)
+        fill(rec, 10)
+        # Frames 8,9 accumulate into one stride-2 sample at t=8.5.
+        assert rec.n_samples == 5
+        assert rec.times()[-1] == 8.5
+        assert rec.values("b")[0][-1] == 18.5
+
+    def test_memory_stays_bounded_at_any_horizon(self):
+        rec = SeriesRecorder({"a": 2, "b": 1}, capacity=8)
+        fill(rec, 1000)
+        assert rec.n_samples <= 8
+        # Folds at 8, 16, 32, ... raw frames: seven folds by frame 1000.
+        assert rec.stride == 128
+        assert rec.frames_seen == 1000
+        # Times stay strictly increasing through every fold.
+        assert np.all(np.diff(rec.times()) > 0)
+
+    def test_fold_preserves_the_overall_mean(self):
+        rec = SeriesRecorder({"a": 1, "b": 1}, capacity=8)
+        values = np.arange(64.0)
+        for t in values:
+            rec.record(t, {"a": np.array([t]), "b": t})
+        # Pair-mean folding is mean-preserving for a fully folded buffer.
+        assert np.mean(rec.values("a")) == pytest.approx(np.mean(values))
+
+    def test_determinism_bitwise(self):
+        one = SeriesRecorder({"a": 3, "b": 1}, capacity=16)
+        two = SeriesRecorder({"a": 3, "b": 1}, capacity=16)
+        rng = np.random.default_rng(7)
+        frames = rng.normal(size=(100, 3))
+        for rec in (one, two):
+            for i in range(100):
+                rec.record(float(i), {"a": frames[i], "b": frames[i, 0]})
+        np.testing.assert_array_equal(one.values("a"), two.values("a"))
+        np.testing.assert_array_equal(one.times(), two.times())
+
+
+class TestAccess:
+    def test_series_returns_one_row(self):
+        rec = SeriesRecorder({"a": 2, "b": 1}, capacity=8)
+        fill(rec, 4)
+        series = rec.series("a", row=1)
+        np.testing.assert_array_equal(series.values, 2 * np.arange(4.0))
+        with pytest.raises(ValueError):
+            rec.series("a", row=2)
+
+    def test_fleet_median_and_final_values(self):
+        rec = SeriesRecorder({"a": 3}, capacity=8)
+        for i in range(4):
+            rec.record(float(i), {"a": np.array([1.0, 5.0, 100.0 + i])})
+        med = fleet_median(rec, "a")
+        np.testing.assert_array_equal(med.values, [5.0, 5.0, 5.0, 5.0])
+        np.testing.assert_array_equal(final_values(rec, "a"), [1.0, 5.0, 103.0])
+
+    def test_final_values_of_empty_recorder_are_zeros(self):
+        rec = SeriesRecorder({"a": 3}, capacity=8)
+        np.testing.assert_array_equal(final_values(rec, "a"), np.zeros(3))
+
+
+class TestSnapshot:
+    def test_state_dict_round_trip_bitwise(self):
+        rec = SeriesRecorder({"a": 2, "b": 1}, capacity=8)
+        fill(rec, 11)  # folded once, plus a partial accumulator
+        state = rec.state_dict()
+        fresh = SeriesRecorder({"a": 2, "b": 1}, capacity=8)
+        fresh.load_state_dict(state)
+        np.testing.assert_array_equal(fresh.values("a"), rec.values("a"))
+        np.testing.assert_array_equal(fresh.times(), rec.times())
+        assert fresh.stride == rec.stride
+        assert fresh.frames_seen == rec.frames_seen
+
+    def test_resume_mid_run_matches_uninterrupted(self):
+        # The acceptance property: checkpoint at frame 37, restore into a
+        # fresh recorder, replay the remaining frames -> bitwise equal to
+        # a recorder that saw all 90 frames straight through.
+        def frame(i):
+            return {"a": np.array([np.sin(i / 3.0), np.cos(i / 5.0)]), "b": float(i)}
+
+        straight = SeriesRecorder({"a": 2, "b": 1}, capacity=16)
+        for i in range(90):
+            straight.record(float(i), frame(i))
+
+        first = SeriesRecorder({"a": 2, "b": 1}, capacity=16)
+        for i in range(37):
+            first.record(float(i), frame(i))
+        resumed = SeriesRecorder({"a": 2, "b": 1}, capacity=16)
+        resumed.load_state_dict(first.state_dict())
+        for i in range(37, 90):
+            resumed.record(float(i), frame(i))
+
+        np.testing.assert_array_equal(resumed.values("a"), straight.values("a"))
+        np.testing.assert_array_equal(resumed.values("b"), straight.values("b"))
+        np.testing.assert_array_equal(resumed.times(), straight.times())
+        assert resumed.stride == straight.stride
+
+    def test_state_is_json_round_trippable(self):
+        import json
+
+        rec = SeriesRecorder({"a": 2}, capacity=8)
+        for i in range(5):
+            rec.record(float(i), {"a": np.array([i, -i], dtype=float)})
+        state = json.loads(json.dumps(rec.state_dict()))
+        fresh = SeriesRecorder({"a": 2}, capacity=8)
+        fresh.load_state_dict(state)
+        np.testing.assert_array_equal(fresh.values("a"), rec.values("a"))
+
+    def test_layout_mismatch_rejected(self):
+        rec = SeriesRecorder({"a": 2}, capacity=8)
+        state = rec.state_dict()
+        with pytest.raises(StateError):
+            SeriesRecorder({"a": 3}, capacity=8).load_state_dict(state)
+        with pytest.raises(StateError):
+            SeriesRecorder({"a": 2}, capacity=16).load_state_dict(state)
+
+    def test_corrupt_lengths_rejected(self):
+        rec = SeriesRecorder({"a": 2}, capacity=8)
+        fill_state = rec.state_dict()
+        fill_state["len"] = 99
+        with pytest.raises(StateError):
+            SeriesRecorder({"a": 2}, capacity=8).load_state_dict(fill_state)
+
+    def test_picklable(self):
+        rec = SeriesRecorder({"a": 2, "b": 1}, capacity=8)
+        fill(rec, 9)
+        clone = pickle.loads(pickle.dumps(rec))
+        np.testing.assert_array_equal(clone.values("a"), rec.values("a"))
+        clone.record(9.0, {"a": np.zeros(2), "b": 0.0})  # still usable
