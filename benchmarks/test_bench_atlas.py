@@ -1,0 +1,143 @@
+"""P3 -- atlas throughput: the multi-site economics sweep at scale.
+
+The ``repro atlas`` verb scores hundreds of synthetic sites through the
+runner's generic task plane; this benchmark pins the costs that keep the
+200-site acceptance run interactive:
+
+- the per-site scoring cost (a full synthetic weather year plus the
+  economics pass) must stay under ``PER_SITE_BUDGET_S``,
+- a warm cache must serve the whole sweep at least ``CACHE_SPEEDUP_FLOOR``
+  times faster than computing it, and
+- the ranked table must come out byte-identical whether the records were
+  computed serially, in a pool, or replayed from cache -- the property
+  the CI kill-and-resume smoke leans on.
+
+The figures land in ``BENCH_atlas.json`` at the repo root.
+
+Also runnable standalone, without pytest:
+``PYTHONPATH=src python benchmarks/test_bench_atlas.py``.
+"""
+
+import json
+import os
+import tempfile
+import time
+
+from repro.atlas.sweep import run_atlas, specs_for_sites
+from repro.atlas.table import rank_records, render_atlas_table
+
+SEED = 7
+N_SITES = 24
+#: Wall-clock ceiling for scoring one site (weather year + economics).
+PER_SITE_BUDGET_S = 0.5
+#: A warm cache must beat recomputation by at least this factor.
+CACHE_SPEEDUP_FLOOR = 3.0
+OUTPUT = os.path.join(os.path.dirname(__file__), "..", "BENCH_atlas.json")
+
+
+def profile_atlas():
+    specs = specs_for_sites(N_SITES, seed=SEED)
+
+    wall_start = time.perf_counter()
+    serial = run_atlas(specs, jobs=1)
+    serial_s = time.perf_counter() - wall_start
+
+    cache_dir = tempfile.mkdtemp(prefix="bench-atlas-")
+    wall_start = time.perf_counter()
+    pooled = run_atlas(specs, jobs=2, cache_dir=cache_dir)
+    pooled_s = time.perf_counter() - wall_start
+
+    wall_start = time.perf_counter()
+    warm = run_atlas(specs, jobs=2, cache_dir=cache_dir)
+    warm_s = time.perf_counter() - wall_start
+
+    tables = {
+        "serial": render_atlas_table(serial.records),
+        "pooled": render_atlas_table(pooled.records),
+        "warm": render_atlas_table(warm.records),
+    }
+    ranked = rank_records(serial.records)
+    best, worst = ranked[0], ranked[-1]
+    return {
+        "n_sites": N_SITES,
+        "seed": SEED,
+        "serial_wall_s": round(serial_s, 4),
+        "serial_ms_per_site": round(1000.0 * serial_s / N_SITES, 2),
+        "pooled_wall_s": round(pooled_s, 4),
+        "warm_cache_wall_s": round(warm_s, 4),
+        "warm_cache_speedup": round(serial_s / warm_s, 1),
+        "warm_cache_hits": warm.cache_hits,
+        "tables_identical": len(set(tables.values())) == 1,
+        "sites_saving_money": sum(
+            1 for r in ranked if r.savings_usd_per_year > 0
+        ),
+        "best_site": {
+            "name": best.site,
+            "latitude_deg": best.latitude_deg,
+            "free_fraction": round(best.free_fraction, 4),
+            "savings_usd_per_year": round(best.savings_usd_per_year, 2),
+        },
+        "worst_site": {
+            "name": worst.site,
+            "latitude_deg": worst.latitude_deg,
+            "free_fraction": round(worst.free_fraction, 4),
+            "savings_usd_per_year": round(worst.savings_usd_per_year, 2),
+        },
+    }
+
+
+def _emit(report):
+    path = os.path.abspath(OUTPUT)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def _check(report):
+    assert report["tables_identical"], (
+        "serial, pooled, and warm-cache sweeps rendered different tables"
+    )
+    assert report["warm_cache_hits"] == report["n_sites"], (
+        f"warm sweep only hit {report['warm_cache_hits']} of "
+        f"{report['n_sites']} cached sites"
+    )
+    per_site = report["serial_ms_per_site"] / 1000.0
+    assert per_site <= PER_SITE_BUDGET_S, (
+        f"scoring one site took {per_site:.3f} s "
+        f"(budget {PER_SITE_BUDGET_S} s) -- a 200-site atlas would crawl"
+    )
+    assert report["warm_cache_speedup"] >= CACHE_SPEEDUP_FLOOR, (
+        f"warm cache is only {report['warm_cache_speedup']:.1f}x faster "
+        f"than recomputing (floor {CACHE_SPEEDUP_FLOOR}x)"
+    )
+    assert report["best_site"]["free_fraction"] \
+        > report["worst_site"]["free_fraction"]
+
+
+def test_bench_atlas_sweep(benchmark):
+    from conftest import record
+
+    report = benchmark.pedantic(profile_atlas, rounds=1, iterations=1)
+    _emit(report)
+    record(
+        benchmark,
+        serial_ms_per_site=report["serial_ms_per_site"],
+        warm_cache_speedup=report["warm_cache_speedup"],
+        sites_saving_money=f"{report['sites_saving_money']}/{report['n_sites']}",
+        best_site=(
+            f"{report['best_site']['name']} at "
+            f"{report['best_site']['latitude_deg']:+.1f} deg, "
+            f"free {100 * report['best_site']['free_fraction']:.0f} % of hours"
+        ),
+    )
+    _check(report)
+
+
+if __name__ == "__main__":
+    result = profile_atlas()
+    _emit(result)
+    print(json.dumps(result, indent=2, sort_keys=True))
+    _check(result)
+    print(f"OK: {result['n_sites']} sites at "
+          f"{result['serial_ms_per_site']:.0f} ms/site, warm cache "
+          f"{result['warm_cache_speedup']:.1f}x; wrote {os.path.abspath(OUTPUT)}")

@@ -21,6 +21,7 @@ from repro.analysis.failures import (
 from repro.analysis.comparison import RunComparison, compare_runs
 from repro.analysis.condensation import minimum_safe_rise_c, sweep_case_rises
 from repro.analysis.degreedays import DegreeDays, degree_days, profile_degree_days
+from repro.analysis.economics import SiteEconomics, economics_for
 from repro.analysis.freecooling import SiteAssessment, assess_site, compare_sites
 from repro.analysis.memory_errors import MemoryErrorEstimate, estimate_memory_error_ratio
 from repro.analysis.outliers import detect_removal_outliers, remove_removal_outliers
@@ -55,8 +56,10 @@ __all__ = [
     "PueBreakdown",
     "PAPER_CLUSTER_PLANT",
     "SiteAssessment",
+    "SiteEconomics",
     "assess_site",
     "compare_sites",
+    "economics_for",
     "wilson_interval",
     "rates_are_consistent",
     "mtbf_hours",

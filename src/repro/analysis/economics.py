@@ -1,0 +1,99 @@
+"""Cooling economics: turning free-cooling fractions into dollars.
+
+The paper's pitch to operators is ultimately financial -- "energy
+savings from 40 % to 67 %, according to HP and Intel" only matter
+through the utility bill.  This module converts a
+:class:`~repro.analysis.freecooling.SiteAssessment` into annual energy
+and cost figures:
+
+- the *baseline* facility runs the chiller plant year-round and no
+  economizer fans (the same chillers-alone convention as
+  :attr:`SiteAssessment.cooling_energy_savings`, documented there);
+- the *economizer* facility draws the blended load: fans always on,
+  chillers only during the hours outside air cannot carry the site;
+- both are priced at a flat electricity tariff, and PUE is reported for
+  each so the atlas can rank sites on the operator's own metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.freecooling import SiteAssessment
+from repro.analysis.pue import PAPER_CLUSTER_PLANT, CoolingPlant
+from repro.climate.synthesis import DEFAULT_PRICE_USD_PER_KWH
+
+
+@dataclass(frozen=True)
+class SiteEconomics:
+    """Annual cooling energy and cost for one assessed site.
+
+    Energies are cooling-plant only (IT load is identical either way, so
+    it cancels out of the savings); PUE figures include it, since PUE is
+    a whole-facility metric.
+    """
+
+    site: str
+    electricity_price_usd_per_kwh: float
+    baseline_kwh_per_year: float
+    economizer_kwh_per_year: float
+    pue_baseline: float
+    pue_economizer: float
+
+    def __post_init__(self) -> None:
+        if self.electricity_price_usd_per_kwh <= 0:
+            raise ValueError("electricity price must be positive")
+        if self.baseline_kwh_per_year < 0 or self.economizer_kwh_per_year < 0:
+            raise ValueError("annual energies must be >= 0")
+
+    @property
+    def savings_kwh_per_year(self) -> float:
+        """Cooling energy displaced per year; negative when the retrofit
+        only added fan draw (a site with no free hours)."""
+        return self.baseline_kwh_per_year - self.economizer_kwh_per_year
+
+    @property
+    def savings_usd_per_year(self) -> float:
+        """The number the operator signs off on."""
+        return self.savings_kwh_per_year * self.electricity_price_usd_per_kwh
+
+    @property
+    def savings_fraction(self) -> float:
+        """Fractional cooling-energy savings; identical to
+        :attr:`SiteAssessment.cooling_energy_savings` by construction."""
+        if self.baseline_kwh_per_year == 0:
+            return 0.0
+        return self.savings_kwh_per_year / self.baseline_kwh_per_year
+
+
+def economics_for(
+    assessment: SiteAssessment,
+    plant: CoolingPlant = PAPER_CLUSTER_PLANT,
+    electricity_price_usd_per_kwh: float = DEFAULT_PRICE_USD_PER_KWH,
+) -> SiteEconomics:
+    """Price an assessment at a flat tariff.
+
+    ``plant`` supplies the IT load that anchors the PUE figures; its
+    chiller draw must be the one the assessment was scored against,
+    otherwise the energy and PUE columns would describe two different
+    facilities.
+    """
+    if abs(plant.cooling_total_kw - assessment.chiller_cooling_kw) > 1e-9:
+        raise ValueError(
+            f"plant {plant.name!r} draws {plant.cooling_total_kw:.3f} kW but "
+            f"the assessment was scored against "
+            f"{assessment.chiller_cooling_kw:.3f} kW of chillers; price the "
+            "assessment with the plant it was assessed under"
+        )
+    hours = assessment.hours_total
+    baseline_kwh = assessment.chiller_cooling_kw * hours
+    economizer_kwh = assessment.blended_cooling_kw * hours
+    it = plant.it_load_kw
+    return SiteEconomics(
+        site=assessment.site,
+        electricity_price_usd_per_kwh=electricity_price_usd_per_kwh,
+        baseline_kwh_per_year=baseline_kwh,
+        economizer_kwh_per_year=economizer_kwh,
+        pue_baseline=(it + assessment.chiller_cooling_kw) / it,
+        pue_economizer=(it + assessment.blended_cooling_kw) / it,
+    )

@@ -51,14 +51,17 @@ class SiteAssessment:
     fan_kw: float
 
     def __post_init__(self) -> None:
+        if self.hours_total <= 0:
+            raise ValueError(
+                "an assessment needs at least one scored hour; degenerate "
+                "spans are rejected upstream by assess_site"
+            )
         if self.hours_free > self.hours_total:
             raise ValueError("free hours cannot exceed total hours")
 
     @property
     def free_fraction(self) -> float:
         """Fraction of the year unconditioned outside air suffices."""
-        if self.hours_total == 0:
-            return 0.0
         return self.hours_free / self.hours_total
 
     @property
@@ -70,10 +73,32 @@ class SiteAssessment:
 
     @property
     def cooling_energy_savings(self) -> float:
-        """Fraction of cooling energy saved versus chillers year-round."""
+        """Fraction of cooling energy saved versus chillers year-round.
+
+        Baseline convention: the denominator is the chiller plant draw
+        *alone* (``chiller_cooling_kw``), because the conventional
+        facility being displaced runs chillers and no economizer fans.
+        The economizer's fans appear only in the numerator's blended
+        draw, so a site with no free hours shows *negative* savings --
+        the retrofit added fan draw without displacing any chiller
+        energy -- rather than a flattering exact zero.  (An earlier
+        version included ``fan_kw`` in the baseline, understating every
+        site's savings; see the regression pins in
+        ``tests/analysis/test_freecooling.py``.)
+        """
         if self.chiller_cooling_kw == 0:
             return 0.0
-        return 1.0 - self.blended_cooling_kw / (self.chiller_cooling_kw + self.fan_kw)
+        return 1.0 - self.blended_cooling_kw / self.chiller_cooling_kw
+
+    @property
+    def hours_above_limit(self) -> int:
+        """Hours the approach-adjusted intake exceeds the ceiling.
+
+        The atlas uses this as its failure-risk proxy: every such hour
+        the economizer must either fall back to chillers or push air
+        past the rated intake temperature.
+        """
+        return self.hours_total - self.hours_free
 
     def describe(self) -> str:
         """One-line verdict for reports."""
@@ -102,9 +127,19 @@ def assess_site(
         raise ValueError("intake limit implausibly low")
     if approach_c < 0:
         raise ValueError("approach delta cannot be negative")
+    if profile.end <= profile.start:
+        raise ValueError(
+            f"profile {profile.name!r} spans no time "
+            f"({profile.start:%Y-%m-%d} .. {profile.end:%Y-%m-%d}); "
+            "an assessment needs at least one scored hour"
+        )
     clock = SimClock(profile.start)
     weather = WeatherGenerator(profile, RngStreams(seed), clock)
-    times = np.arange(weather.start_time, weather.end_time, HOUR)
+    # Cover the full span *inclusively*: ``np.arange(start, end, HOUR)``
+    # silently dropped the final grid hour (the half-open endpoint), so a
+    # 365-day profile scored 8760 of its 8761 grid points.
+    hours = int((weather.end_time - weather.start_time) / HOUR) + 1
+    times = weather.start_time + HOUR * np.arange(hours)
     temps = np.asarray(weather.temperature(times))
     free = temps + approach_c <= intake_limit_c
     return SiteAssessment(
@@ -128,7 +163,14 @@ def compare_sites(
     fan_kw: float = DEFAULT_FAN_KW,
     seed: int = 0,
 ) -> "list[SiteAssessment]":
-    """Assess every site, best free-cooling fraction first."""
+    """Assess every site, best first, with a deterministic total order.
+
+    The ranking key is ``(-free_fraction, -cooling_energy_savings,
+    name)``: free fraction decides, savings breaks plant-parameter ties,
+    and the site name makes exact ties (two 100 %-free polar sites)
+    independent of input ordering -- the atlas's ranked table must be
+    byte-identical however its sweep happened to complete.
+    """
     assessments = [
         assess_site(
             profile,
@@ -140,7 +182,9 @@ def compare_sites(
         )
         for profile in profiles
     ]
-    assessments.sort(key=lambda a: a.free_fraction, reverse=True)
+    assessments.sort(
+        key=lambda a: (-a.free_fraction, -a.cooling_energy_savings, a.site)
+    )
     return assessments
 
 

@@ -1,0 +1,43 @@
+"""The free-cooling atlas: multi-site economics at sweep scale.
+
+The paper's closing claim is geographic -- free cooling "can be
+extended to most parts of the globe."  The atlas makes that claim an
+artifact: sample hundreds of synthetic sites
+(:mod:`repro.climate.synthesis`), score each one's free-cooling
+feasibility and economics (:mod:`repro.analysis.freecooling`,
+:mod:`repro.analysis.economics`) on the runner's fault-tolerant task
+plane (:func:`repro.runner.pool.run_tasks`), and rank them into one
+deterministic feasibility table.
+
+- :mod:`repro.atlas.records` -- the picklable per-site result,
+- :mod:`repro.atlas.sweep` -- specs, the pool worker, and the driver,
+- :mod:`repro.atlas.table` -- the ranked fixed-width table.
+
+Everything is a pure function of ``(n sites, master seed, scoring
+policy)``: the same invocation produces a byte-identical table whether
+it ran serially, on eight workers, or was killed halfway and resumed
+from the cache.
+"""
+
+from repro.atlas.records import ATLAS_SCHEMA, SiteRecord, site_record_from_json_dict
+from repro.atlas.sweep import (
+    SITE_RECORD_CODEC,
+    AtlasSpec,
+    execute_site_attempt,
+    run_atlas,
+    specs_for_sites,
+)
+from repro.atlas.table import rank_records, render_atlas_table
+
+__all__ = [
+    "ATLAS_SCHEMA",
+    "AtlasSpec",
+    "SITE_RECORD_CODEC",
+    "SiteRecord",
+    "execute_site_attempt",
+    "rank_records",
+    "render_atlas_table",
+    "run_atlas",
+    "site_record_from_json_dict",
+    "specs_for_sites",
+]

@@ -1,0 +1,75 @@
+"""Portable per-site results of an atlas sweep.
+
+A :class:`SiteRecord` is the atlas analogue of
+:class:`~repro.runner.records.RunRecord`: plain picklable values that
+cross process boundaries and live in the runner's on-disk cache.  Each
+one distils a site's assessment and economics into the columns the
+ranked feasibility table prints -- free-cooling fraction, PUE with and
+without the economizer, annual energy and dollar savings, and the
+failure-risk proxy (intake hours above the ceiling).
+
+``elapsed_s`` is wall-clock bookkeeping, excluded from equality, so a
+cached record compares equal to the fresh computation it memoises --
+the property the atlas's kill-and-resume byte-identity test rests on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+#: Bump when the record layout changes; stale cache entries are evicted.
+ATLAS_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class SiteRecord:
+    """The portable summary of one scored atlas site."""
+
+    schema: int
+    site: str
+    spec_digest: str
+    seed: int
+    latitude_deg: float
+    intake_limit_c: float
+    hours_total: int
+    hours_free: int
+    outside_min_c: float
+    outside_max_c: float
+    pue_baseline: float
+    pue_economizer: float
+    electricity_price_usd_per_kwh: float
+    savings_kwh_per_year: float
+    savings_usd_per_year: float
+    savings_fraction: float
+    elapsed_s: float = field(compare=False, default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.hours_total <= 0:
+            raise ValueError("a site record needs at least one scored hour")
+        if not 0 <= self.hours_free <= self.hours_total:
+            raise ValueError("free hours must lie within [0, hours_total]")
+
+    @property
+    def free_fraction(self) -> float:
+        """Fraction of the year outside air alone carries the site."""
+        return self.hours_free / self.hours_total
+
+    @property
+    def hours_above_limit(self) -> int:
+        """The failure-risk proxy: hours the intake ceiling is exceeded."""
+        return self.hours_total - self.hours_free
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """Plain-data form for the runner cache."""
+        return dataclasses.asdict(self)
+
+
+def site_record_from_json_dict(data: Dict[str, Any]) -> SiteRecord:
+    """Rebuild a record from :meth:`SiteRecord.to_json_dict` output.
+
+    Raises ``KeyError``/``TypeError``/``ValueError`` on malformed data,
+    which is exactly what quarantines a poisoned cache entry.
+    """
+    return SiteRecord(**data)

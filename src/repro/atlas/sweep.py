@@ -1,0 +1,195 @@
+"""The atlas sweep: hundreds of sites through the runner's task plane.
+
+Scoring one site is cheap (a year of hourly weather plus arithmetic);
+scoring hundreds deserves the same treatment as the seed sweep -- worker
+pools, retries, incremental caching, progress events.  An
+:class:`AtlasSpec` is the unit of work, :func:`execute_site_attempt` is
+the picklable worker, and :func:`run_atlas` drives them through
+:func:`repro.runner.pool.run_tasks` with a :class:`SiteRecord` codec.
+
+Resumability here is *cache-based*: every scored site is written to the
+cache the moment it lands, so a killed sweep rerun with the same cache
+directory serves the finished sites as hits and only computes the rest
+-- and because each record is a pure function of its spec, the final
+ranked table is byte-identical to an uninterrupted run's.  (Campaign
+checkpoints would be overkill for seconds-long tasks; the checkpoint
+fields a resumable sweep threads into :class:`WorkItem` are simply
+ignored by the worker.)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.economics import economics_for
+from repro.analysis.freecooling import (
+    DEFAULT_APPROACH_C,
+    DEFAULT_INTAKE_LIMIT_C,
+    assess_site,
+)
+from repro.atlas.records import (
+    ATLAS_SCHEMA,
+    SiteRecord,
+    site_record_from_json_dict,
+)
+from repro.climate.profiles import ClimateProfile
+from repro.climate.synthesis import sample_sites
+from repro.runner.policy import RetryPolicy
+from repro.runner.pool import SweepResult, TaskCodec, WorkItem, run_tasks
+from repro.runner.records import _canonicalise
+from repro.sim.rng import RngStreams
+
+
+@dataclass(frozen=True)
+class AtlasSpec:
+    """One unit of atlas work: a site profile plus its scoring policy.
+
+    Carries the full :class:`ClimateProfile` (not just synthesis knobs),
+    so synthetic, stock, and CSV-imported sites all ride the same spec.
+    ``seed`` drives the site's weather draw; :func:`specs_for_sites`
+    derives it per site from the master seed, so no two sites share an
+    anomaly sequence.
+    """
+
+    profile: ClimateProfile
+    electricity_price_usd_per_kwh: float
+    intake_limit_c: float = DEFAULT_INTAKE_LIMIT_C
+    approach_c: float = DEFAULT_APPROACH_C
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.electricity_price_usd_per_kwh <= 0:
+            raise ValueError("electricity price must be positive")
+
+    @property
+    def label(self) -> str:
+        """Progress/report name (the scheduler's duck-typed surface)."""
+        return self.profile.name
+
+    def spec_digest(self) -> str:
+        """Stable sha256 over every field that decides the record."""
+        canonical = json.dumps(
+            _canonicalise(self), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def cache_key(self) -> str:
+        """Filename-safe memoisation key for the runner cache."""
+        safe_name = "".join(
+            ch if ch.isalnum() or ch == "-" else "-" for ch in self.profile.name
+        )[:40]
+        return f"atlas-{safe_name}-{self.spec_digest()[:16]}"
+
+
+#: Cache codec for :class:`SiteRecord` entries.  Validation pins the
+#: schema and the spec digest, so an entry scored under different knobs
+#: (or an older layout) is evicted rather than served.
+SITE_RECORD_CODEC = TaskCodec(
+    encode=lambda record: record.to_json_dict(),
+    decode=site_record_from_json_dict,
+    validate=lambda spec, record: (
+        record.schema == ATLAS_SCHEMA
+        and record.spec_digest == spec.spec_digest()
+    ),
+)
+
+
+def execute_site_attempt(item: WorkItem) -> SiteRecord:
+    """Score one site (the picklable pool worker).
+
+    Honours the scheduler's backoff contract; the checkpoint fields are
+    ignored -- see the module docstring for why cache-based resume is
+    the right granularity here.
+    """
+    if item.backoff_s > 0:
+        time.sleep(item.backoff_s)
+    spec: AtlasSpec = item.spec
+    started = time.perf_counter()
+    assessment = assess_site(
+        spec.profile,
+        intake_limit_c=spec.intake_limit_c,
+        approach_c=spec.approach_c,
+        seed=spec.seed,
+    )
+    economics = economics_for(
+        assessment,
+        electricity_price_usd_per_kwh=spec.electricity_price_usd_per_kwh,
+    )
+    return SiteRecord(
+        schema=ATLAS_SCHEMA,
+        site=assessment.site,
+        spec_digest=spec.spec_digest(),
+        seed=spec.seed,
+        latitude_deg=spec.profile.latitude_deg,
+        intake_limit_c=spec.intake_limit_c,
+        hours_total=assessment.hours_total,
+        hours_free=assessment.hours_free,
+        outside_min_c=assessment.outside_min_c,
+        outside_max_c=assessment.outside_max_c,
+        pue_baseline=economics.pue_baseline,
+        pue_economizer=economics.pue_economizer,
+        electricity_price_usd_per_kwh=spec.electricity_price_usd_per_kwh,
+        savings_kwh_per_year=economics.savings_kwh_per_year,
+        savings_usd_per_year=economics.savings_usd_per_year,
+        savings_fraction=economics.savings_fraction,
+        elapsed_s=time.perf_counter() - started,
+    )
+
+
+def specs_for_sites(
+    n: int,
+    seed: int,
+    intake_limit_c: float = DEFAULT_INTAKE_LIMIT_C,
+    approach_c: float = DEFAULT_APPROACH_C,
+    year: int = 2010,
+) -> List[AtlasSpec]:
+    """Specs for the first ``n`` synthetic sites of the seed's atlas.
+
+    Each site's weather seed is forked from the master seed by site
+    name (:meth:`~repro.sim.rng.RngStreams.fork_seed`), so the whole
+    sweep is a pure function of ``(n, seed)`` and two sites never share
+    an anomaly sequence.
+    """
+    streams = RngStreams(seed)
+    return [
+        AtlasSpec(
+            profile=site.to_profile(),
+            electricity_price_usd_per_kwh=site.electricity_price_usd_per_kwh,
+            intake_limit_c=intake_limit_c,
+            approach_c=approach_c,
+            seed=streams.fork_seed(site.name),
+        )
+        for site in sample_sites(n, seed, year=year)
+    ]
+
+
+def run_atlas(
+    specs: Sequence[AtlasSpec],
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    policy: Optional[RetryPolicy] = None,
+    strict: bool = True,
+    progress: Optional[Callable[[Dict[str, object]], None]] = None,
+) -> SweepResult:
+    """Score every spec on the runner's task plane.
+
+    With ``cache_dir`` set the sweep is resumable by construction:
+    rerunning after a kill serves finished sites from the cache and
+    computes only the remainder.  ``strict=False`` lets a poisoned site
+    land in :attr:`SweepResult.failures` while the rest of the atlas
+    completes.
+    """
+    return run_tasks(
+        specs,
+        execute_site_attempt,
+        codec=SITE_RECORD_CODEC,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        policy=policy,
+        strict=strict,
+        progress=progress,
+    )

@@ -1,0 +1,64 @@
+"""The ranked feasibility table -- the atlas's deliverable.
+
+One fixed-width text table, best site first, with the columns an
+operator shortlists on: free-cooling fraction, economizer PUE, annual
+energy and dollar savings, and the failure-risk proxy (intake hours
+above the ceiling).  The renderer consumes only the deterministic
+fields of :class:`~repro.atlas.records.SiteRecord` (never
+``elapsed_s``), so the same specs always render the same bytes -- the
+CI smoke job diffs an interrupted-and-resumed sweep's table against an
+uninterrupted one's.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.atlas.records import SiteRecord
+
+_HEADER = (
+    f"{'rank':>4}  {'site':<24} {'lat':>6} {'free%':>6} {'PUE':>5} "
+    f"{'kWh/yr saved':>13} {'USD/yr saved':>13} {'hrs>limit':>9}"
+)
+
+
+def rank_records(records: Sequence[SiteRecord]) -> List[SiteRecord]:
+    """Best site first, with a deterministic total order.
+
+    Same convention as
+    :func:`repro.analysis.freecooling.compare_sites`: free fraction
+    decides, dollar savings breaks fraction ties (tariffs differ), and
+    the site name settles exact ties independent of input order.
+    """
+    return sorted(
+        records,
+        key=lambda r: (-r.free_fraction, -r.savings_usd_per_year, r.site),
+    )
+
+
+def render_atlas_table(
+    records: Sequence[SiteRecord], top: Optional[int] = None
+) -> str:
+    """The ranked feasibility table as fixed-width text.
+
+    ``top`` truncates to the best N sites (the full ranking still
+    decides who makes the cut); the truncation is noted in a trailing
+    line so a clipped table never masquerades as the whole atlas.
+    """
+    if not records:
+        raise ValueError("no site records to rank")
+    ranked = rank_records(records)
+    shown = ranked if top is None else ranked[:top]
+    lines = [_HEADER, "-" * len(_HEADER)]
+    for rank, record in enumerate(shown, start=1):
+        lines.append(
+            f"{rank:>4}  {record.site:<24.24} {record.latitude_deg:>+6.1f} "
+            f"{100.0 * record.free_fraction:>6.2f} "
+            f"{record.pue_economizer:>5.3f} "
+            f"{record.savings_kwh_per_year:>13,.0f} "
+            f"{record.savings_usd_per_year:>13,.0f} "
+            f"{record.hours_above_limit:>9}"
+        )
+    if len(shown) < len(ranked):
+        lines.append(f"... {len(ranked) - len(shown)} more site(s) not shown")
+    return "\n".join(lines)

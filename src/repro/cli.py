@@ -17,6 +17,18 @@ Commands
 ``sites``
     The geographic-extension analysis: free-cooling feasibility for
     Helsinki, NE England, New Mexico, and Singapore.
+``atlas``
+    The claim at scale: sample N synthetic sites from one seed, score
+    each one's free-cooling feasibility and economics on the runner's
+    task plane, and print the ranked feasibility table::
+
+        python -m repro atlas --sites 200 --seed 7 --jobs 4 --resumable
+
+    The table is deterministic per ``(sites, seed)``: the same
+    invocation is byte-identical at any job count, and with
+    ``--resumable`` (or ``--cache-dir``) a killed sweep rerun with the
+    same cache serves finished sites from disk and computes only the
+    rest -- the final table matches an uninterrupted run exactly.
 ``export``
     Run the campaign and dump the instrument series, fault log, and
     metadata as CSV/TSV/JSON into a directory.
@@ -125,6 +137,18 @@ def _parse_timeout(text: str) -> float:
     return timeout
 
 
+def _parse_sites(text: str) -> int:
+    try:
+        sites = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer, got {text!r}"
+        ) from None
+    if sites < 1:
+        raise argparse.ArgumentTypeError("need at least one site")
+    return sites
+
+
 def _parse_confirm_rounds(text: str) -> int:
     try:
         rounds = int(text)
@@ -153,6 +177,15 @@ def _default_cache_dir() -> str:
     if env:
         return env
     return os.path.join(os.path.expanduser("~"), ".cache", "repro", "runs")
+
+
+def _default_atlas_cache_dir() -> str:
+    import os
+
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return os.path.join(env, "atlas")
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro", "atlas")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -250,6 +283,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed server intake temperature ceiling (degC)",
     )
     sites.add_argument("--seed", type=int, default=0)
+
+    atlas = sub.add_parser(
+        "atlas",
+        help="multi-site free-cooling economics: rank N synthetic sites",
+    )
+    atlas.add_argument(
+        "--sites", type=_parse_sites, default=100, metavar="N",
+        help="synthetic sites to sample and score (default: 100)",
+    )
+    atlas.add_argument(
+        "--seed", type=int, default=7,
+        help="master seed; site i of a seed's atlas is the same at any N",
+    )
+    atlas.add_argument(
+        "--jobs", type=_parse_jobs, default=1,
+        help="worker processes (1 = serial in this process)",
+    )
+    atlas.add_argument(
+        "--intake-limit", type=float, default=27.0,
+        help="allowed server intake temperature ceiling (degC)",
+    )
+    atlas.add_argument(
+        "--top", type=int, default=None, metavar="N",
+        help="print only the best N sites (ranking still covers all)",
+    )
+    atlas.add_argument(
+        "--cache-dir", default=None,
+        help="site-record cache directory (default with --resumable: "
+        "$REPRO_CACHE_DIR/atlas or ~/.cache/repro/atlas)",
+    )
+    atlas.add_argument(
+        "--resumable", action="store_true",
+        help="cache every scored site as it lands, so a killed sweep "
+        "rerun with the same cache resumes where it stopped and prints "
+        "a byte-identical table",
+    )
+    atlas.add_argument(
+        "--retries", type=_parse_retries, default=0, metavar="N",
+        help="re-score a crashed site up to N extra times",
+    )
+    atlas.add_argument(
+        "--keep-going", action="store_true",
+        help="finish the surviving sites when one exhausts its retries "
+        "and report the failure instead of aborting (exit code 1)",
+    )
+    atlas.add_argument(
+        "--progress-out", default=None, metavar="FILE",
+        help="write one JSONL line per site lifecycle event "
+        "(cached/completed/retried/failed, with running totals and ETA)",
+    )
 
     export = sub.add_parser("export", help="dump a run to flat files")
     export.add_argument("directory", help="output directory")
@@ -818,6 +901,59 @@ def _cmd_sites(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_atlas(args: argparse.Namespace) -> int:
+    from repro.atlas import render_atlas_table, run_atlas, specs_for_sites
+    from repro.runner import RetryPolicy
+
+    cache_dir = args.cache_dir
+    if cache_dir is None and args.resumable:
+        cache_dir = _default_atlas_cache_dir()
+    policy = None
+    if args.retries:
+        policy = RetryPolicy(max_attempts=args.retries + 1)
+    specs = specs_for_sites(
+        args.sites, seed=args.seed, intake_limit_c=args.intake_limit
+    )
+    progress = None
+    if args.progress_out:
+        from repro.telemetry.progress import SweepProgress
+
+        progress = SweepProgress.open(args.progress_out, total=len(specs))
+    try:
+        result = run_atlas(
+            specs,
+            jobs=args.jobs,
+            cache_dir=cache_dir,
+            policy=policy,
+            strict=not args.keep_going,
+            progress=progress.sink if progress is not None else None,
+        )
+    finally:
+        if progress is not None:
+            progress.close()
+    if result.records:
+        print(
+            f"Free-cooling atlas: {args.sites} sites, seed {args.seed}, "
+            f"{args.intake_limit:.0f} degC intake ceiling"
+        )
+        print(render_atlas_table(result.records, top=args.top))
+    else:
+        print("no site survived the sweep")
+    print(
+        f"{len(result.records)} site(s), {result.cache_hits} from cache, "
+        f"{result.cache_misses} computed in {result.elapsed_s:.1f} s "
+        f"(jobs={args.jobs})"
+    )
+    if args.progress_out and progress is not None:
+        print(f"progress -> {args.progress_out} ({progress.lines_emitted} events)")
+    if result.failures:
+        print()
+        print(f"failures ({len(result.failures)}):")
+        for failure in result.failures:
+            print(f"  {failure.describe()}")
+    return 1 if result.failures else 0
+
+
 def _cmd_export(args: argparse.Namespace) -> int:
     from repro.analysis.export import export_run
 
@@ -907,6 +1043,7 @@ _COMMANDS = {
     "figures": _cmd_figures,
     "pue": _cmd_pue,
     "sites": _cmd_sites,
+    "atlas": _cmd_atlas,
     "export": _cmd_export,
     "sweep": _cmd_sweep,
     "telemetry": _cmd_telemetry,

@@ -25,12 +25,22 @@ from repro.climate.psychro import (
     saturation_vapor_pressure,
 )
 from repro.climate.station import StationReading, WeatherStation
+from repro.climate.synthesis import (
+    SiteParameters,
+    profile_from_csv,
+    sample_sites,
+    site_at_index,
+)
 
 __all__ = [
     "WeatherGenerator",
     "WeatherSample",
     "ClimateProfile",
     "HELSINKI_2010",
+    "SiteParameters",
+    "sample_sites",
+    "site_at_index",
+    "profile_from_csv",
     "WeatherStation",
     "StationReading",
     "saturation_vapor_pressure",

@@ -30,14 +30,36 @@ from repro.climate.profiles import ClimateProfile, ColdSnap
 
 
 def _monthly_anchors(year: int, means_c: Sequence[float]) -> Tuple[Tuple[_dt.datetime, float], ...]:
-    """Anchor points on the 15th of each month, plus clamped year ends."""
+    """Anchor points on the 15th of each month, plus clamped year ends.
+
+    Both year-end clamps (Jan 1 of ``year`` and Jan 1 of ``year + 1``)
+    sit at the December/January midpoint, so the seasonal curve is
+    *periodic*: the value entering a New Year equals the value leaving
+    the old one, and profiles stacked across consecutive years stay
+    continuous at the boundary.  (Clamping one end to the January mean
+    and the other to the December mean -- the old behaviour -- made the
+    curve jump by ``means_c[0] - means_c[-1]`` across the wrap.)
+    """
     if len(means_c) != 12:
         raise ValueError("need exactly 12 monthly means")
-    anchors = [(_dt.datetime(year, 1, 1), means_c[0])]
+    wrap_c = 0.5 * (means_c[0] + means_c[-1])
+    anchors = [(_dt.datetime(year, 1, 1), wrap_c)]
     for month, mean in enumerate(means_c, start=1):
         anchors.append((_dt.datetime(year, month, 15), mean))
-    anchors.append((_dt.datetime(year + 1, 1, 1), means_c[-1]))
+    anchors.append((_dt.datetime(year + 1, 1, 1), wrap_c))
     return tuple(anchors)
+
+
+def monthly_anchors(
+    year: int, means_c: Sequence[float]
+) -> Tuple[Tuple[_dt.datetime, float], ...]:
+    """Public seasonal-anchor builder used by the synthetic-site layer.
+
+    See :func:`_monthly_anchors`; exposed so
+    :mod:`repro.climate.synthesis` and CSV-imported sites share the same
+    periodic year-end convention as the stock profiles.
+    """
+    return _monthly_anchors(year, means_c)
 
 
 #: The paper's site across all of 2010 (cold winter, the notable July

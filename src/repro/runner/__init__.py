@@ -41,10 +41,13 @@ from repro.runner.policy import RetryPolicy, SpecTimeoutError
 if TYPE_CHECKING:  # pragma: no cover - static-analysis imports only
     from repro.runner.local import run_recorded
     from repro.runner.pool import (
+        RUN_RECORD_CODEC,
         RunSpec,
         SweepResult,
+        TaskCodec,
         WorkItem,
         run_specs,
+        run_tasks,
         sweep_records,
         sweep_seeds,
     )
@@ -62,10 +65,13 @@ if TYPE_CHECKING:  # pragma: no cover - static-analysis imports only
 #: Lazily-resolved exports -> the submodule that defines them.
 _LAZY = {
     "run_recorded": "repro.runner.local",
+    "RUN_RECORD_CODEC": "repro.runner.pool",
     "RunSpec": "repro.runner.pool",
     "SweepResult": "repro.runner.pool",
+    "TaskCodec": "repro.runner.pool",
     "WorkItem": "repro.runner.pool",
     "run_specs": "repro.runner.pool",
+    "run_tasks": "repro.runner.pool",
     "sweep_records": "repro.runner.pool",
     "sweep_seeds": "repro.runner.pool",
     "RECORD_SCHEMA": "repro.runner.records",
@@ -95,6 +101,7 @@ def __dir__():
 
 __all__ = [
     "RECORD_SCHEMA",
+    "RUN_RECORD_CODEC",
     "FailedRun",
     "Fault",
     "FaultAction",
@@ -106,6 +113,7 @@ __all__ = [
     "SeriesDigest",
     "SpecTimeoutError",
     "SweepResult",
+    "TaskCodec",
     "WorkItem",
     "config_digest",
     "digest_series",
@@ -113,6 +121,7 @@ __all__ = [
     "record_from_results",
     "run_recorded",
     "run_specs",
+    "run_tasks",
     "sweep_records",
     "sweep_seeds",
 ]

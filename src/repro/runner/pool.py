@@ -4,9 +4,17 @@ The seed sweep used to be a serial loop buried in the analysis layer.
 This module turns it into a small execution service:
 
 - :class:`RunSpec` -- one (config, horizon) unit of work, picklable;
-- :func:`run_specs` -- execute many specs, serially (``jobs=1``) or on a
-  :class:`~concurrent.futures.ProcessPoolExecutor`, with an optional
-  on-disk cache keyed by ``(config_digest, seed, until)``;
+- :func:`run_tasks` -- the *generic* execution plane: any picklable
+  spec with a ``cache_key()``/``label``/``seed`` surface plus a
+  top-level worker and a :class:`TaskCodec` for its cache entries gets
+  the full fault-tolerance machinery (as-completed scheduling, retries,
+  timeouts, pool-breakage repair, incremental caching, progress
+  events).  The multi-site atlas sweep (:mod:`repro.atlas`) rides this
+  plane with site-scoring tasks instead of campaigns;
+- :func:`run_specs` -- execute many campaign specs, serially
+  (``jobs=1``) or on a :class:`~concurrent.futures.ProcessPoolExecutor`,
+  with an optional on-disk cache keyed by ``(config_digest, seed,
+  until)``; a thin campaign-flavoured wrapper over :func:`run_tasks`;
 - :func:`sweep_seeds` / :func:`sweep_records` -- the sweep API, now
   living here so neither core nor analysis imports the runner.
 
@@ -56,8 +64,9 @@ import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import (
+    Any,
     Callable,
     Deque,
     Dict,
@@ -151,6 +160,11 @@ class RunSpec:
 class WorkItem:
     """One scheduled attempt at a spec (picklable pool payload).
 
+    ``spec`` is typed loosely: campaign sweeps carry a
+    :class:`RunSpec`, but any :func:`run_tasks` family's spec (e.g. an
+    atlas site task) rides in the same slot -- the scheduler only
+    touches the ``cache_key()``/``label``/``seed`` surface.
+
     The checkpoint fields are populated only by resumable sweeps:
     ``checkpoint_dir``/``checkpoint_every_s`` make the attempt flush
     snapshots as it runs, ``resume_from`` points a retry at the previous
@@ -159,7 +173,7 @@ class WorkItem:
     """
 
     index: int
-    spec: RunSpec
+    spec: Any
     attempt: int = 1
     backoff_s: float = 0.0
     checkpoint_dir: Optional[str] = None
@@ -177,9 +191,14 @@ class SweepResult:
     count attempt-level events (a timed-out attempt that later succeeds
     on retry shows up in both).  ``runner_telemetry`` carries the same
     tallies through the telemetry plane as ``runner.*`` counters.
+
+    ``records`` holds :class:`RunRecord` instances for campaign sweeps;
+    a generic :func:`run_tasks` family returns whatever its worker
+    produces (the census-flavoured :attr:`summary` and
+    :meth:`merged_telemetry` views only make sense for campaigns).
     """
 
-    records: Tuple[RunRecord, ...]
+    records: Tuple[Any, ...]
     cache_hits: int
     cache_misses: int
     elapsed_s: float
@@ -225,7 +244,45 @@ class SweepResult:
 # ----------------------------------------------------------------------
 # Cache plumbing
 # ----------------------------------------------------------------------
-def _cache_path(cache_dir: str, spec: RunSpec) -> str:
+def _always_valid(_spec: Any, _record: Any) -> bool:
+    return True
+
+
+@dataclass(frozen=True)
+class TaskCodec:
+    """How a task family's records cross the on-disk cache boundary.
+
+    ``encode`` turns a finished record into a JSON-serialisable dict;
+    ``decode`` rebuilds it (raising ``KeyError``/``TypeError``/
+    ``ValueError`` on malformed data, which quarantines the entry);
+    ``validate`` gets ``(spec, record)`` after a successful decode and
+    vetoes entries that parse but belong to someone else (schema drift,
+    seed or digest mismatch) -- a veto also quarantines.
+    """
+
+    encode: Callable[[Any], Dict[str, Any]]
+    decode: Callable[[Dict[str, Any]], Any]
+    validate: Callable[[Any, Any], bool] = _always_valid
+
+
+def _validate_run_record(spec: "RunSpec", record: RunRecord) -> bool:
+    return (
+        record.schema == RECORD_SCHEMA
+        and record.seed == spec.seed
+        and record.config_digest == config_digest(spec.config)
+    )
+
+
+#: Cache codec for campaign :class:`RunRecord` entries -- the historical
+#: on-disk layout, byte for byte.
+RUN_RECORD_CODEC = TaskCodec(
+    encode=lambda record: record.to_json_dict(),
+    decode=record_from_json_dict,
+    validate=_validate_run_record,
+)
+
+
+def _cache_path(cache_dir: str, spec: Any) -> str:
     return os.path.join(cache_dir, f"{spec.cache_key()}.json")
 
 
@@ -241,11 +298,11 @@ def _quarantine(path: str) -> None:
 
 
 def _load_cached(
-    cache_dir: str, spec: RunSpec
-) -> Tuple[Optional[RunRecord], bool]:
+    cache_dir: str, spec: Any, codec: TaskCodec
+) -> Tuple[Optional[Any], bool]:
     """``(record, evicted)`` for this spec's cache entry.
 
-    An entry that exists but fails JSON, schema, or seed/digest
+    An entry that exists but fails JSON decoding or the codec's
     validation is quarantined (renamed to ``.corrupt``) and reported as
     evicted; a merely unreadable file (I/O error) is left in place.
     """
@@ -255,23 +312,21 @@ def _load_cached(
     try:
         with open(path, "r", encoding="utf-8") as fh:
             data = json.load(fh)
-        record = record_from_json_dict(data)
+        record = codec.decode(data)
     except OSError:
         return None, False
     except (KeyError, TypeError, ValueError):
         _quarantine(path)
         return None, True
-    if (
-        record.schema != RECORD_SCHEMA
-        or record.seed != spec.seed
-        or record.config_digest != config_digest(spec.config)
-    ):
+    if not codec.validate(spec, record):
         _quarantine(path)
         return None, True
     return record, False
 
 
-def _store_cached(cache_dir: str, spec: RunSpec, record: RunRecord) -> bool:
+def _store_cached(
+    cache_dir: str, spec: Any, record: Any, codec: TaskCodec
+) -> bool:
     """Best-effort atomic store; returns whether the entry was written.
 
     A store failure is non-fatal -- the run already succeeded, so a
@@ -285,7 +340,7 @@ def _store_cached(cache_dir: str, spec: RunSpec, record: RunRecord) -> bool:
         os.makedirs(cache_dir, exist_ok=True)
         fd, tmp_path = tempfile.mkstemp(dir=cache_dir, suffix=".tmp")
         with os.fdopen(fd, "w", encoding="utf-8") as fh:
-            json.dump(record.to_json_dict(), fh, sort_keys=True)
+            json.dump(codec.encode(record), fh, sort_keys=True)
         os.replace(tmp_path, path)
         tmp_path = None
         return True
@@ -336,19 +391,21 @@ class _SweepState:
         strict: bool,
         cache_dir: Optional[str],
         progress: Optional[Callable[[Dict[str, object]], None]] = None,
+        codec: TaskCodec = RUN_RECORD_CODEC,
     ) -> None:
         self.policy = policy
         self.strict = strict
         self.cache_dir = cache_dir
         self.progress = progress
-        self.records: Dict[int, RunRecord] = {}
+        self.codec = codec
+        self.records: Dict[int, Any] = {}
         self.failures: List[FailedRun] = []
         self.retries = 0
         self.timeouts = 0
         self.store_failures = 0
         self.checkpoint_resumes = 0
 
-    def notify(self, kind: str, spec: RunSpec, **extra: object) -> None:
+    def notify(self, kind: str, spec: Any, **extra: object) -> None:
         """Best-effort progress event; a broken sink never kills a sweep."""
         if self.progress is None:
             return
@@ -362,11 +419,11 @@ class _SweepState:
         except Exception:
             pass
 
-    def success(self, item: WorkItem, record: RunRecord) -> None:
+    def success(self, item: WorkItem, record: Any) -> None:
         """Record a finished attempt; cache it immediately."""
         self.records[item.index] = record
         if self.cache_dir is not None:
-            if not _store_cached(self.cache_dir, item.spec, record):
+            if not _store_cached(self.cache_dir, item.spec, record, self.codec):
                 self.store_failures += 1
         if item.checkpoint_dir is not None:
             # The record is cached; the spec's mid-flight snapshots are
@@ -548,18 +605,32 @@ def _run_pooled(
 # ----------------------------------------------------------------------
 # Execution
 # ----------------------------------------------------------------------
-def run_specs(
-    specs: Sequence[RunSpec],
+def run_tasks(
+    specs: Sequence[Any],
+    worker: Callable[[WorkItem], Any],
+    codec: TaskCodec = RUN_RECORD_CODEC,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     policy: Optional[RetryPolicy] = None,
     strict: bool = False,
-    faults: Optional[FaultPlan] = None,
     resumable: bool = False,
     checkpoint_every_s: Optional[float] = None,
     progress: Optional[Callable[[Dict[str, object]], None]] = None,
 ) -> SweepResult:
-    """Execute every spec and return the surviving records in spec order.
+    """Execute every task spec and return surviving records in spec order.
+
+    The generic execution plane behind :func:`run_specs`: any task
+    family gets the fault-tolerant scheduling machinery by providing
+
+    - picklable ``specs``, each exposing ``cache_key() -> str`` (the
+      memoisation key), ``label`` (progress/report naming), and ``seed``
+      (retry-backoff jitter and :class:`FailedRun` reporting);
+    - a top-level (hence picklable) ``worker`` taking one
+      :class:`WorkItem` and returning that family's record; it must
+      honour ``item.backoff_s`` (sleep before working) and may use the
+      checkpoint fields or ignore them;
+    - a :class:`TaskCodec` describing how records round-trip through the
+      on-disk cache (only consulted when ``cache_dir`` is set).
 
     ``jobs=1`` runs serially in this process; ``jobs>1`` fans out over a
     process pool.  With ``cache_dir`` set, previously-computed records
@@ -571,17 +642,15 @@ def run_specs(
     With ``strict=False`` a spec that exhausts its attempts lands in
     :attr:`SweepResult.failures` while its siblings finish;
     ``strict=True`` re-raises the spec's final error immediately.
-    ``faults`` is the deterministic test seam
-    (:class:`~repro.runner.faults.FaultPlan`) that injects crashes,
-    delays, and worker deaths on schedule.
 
-    ``resumable=True`` makes every attempt flush campaign checkpoints
-    under ``cache_dir/checkpoints/<cache_key>/`` every
-    ``checkpoint_every_s`` simulated seconds (default
-    :data:`DEFAULT_CHECKPOINT_EVERY_S`); a retried attempt then resumes
-    from the dead attempt's last valid flush instead of simulated
-    ``t=0``.  Resume changes how much work a retry redoes, never what
-    it returns: the records stay byte-identical.
+    ``resumable=True`` threads per-spec checkpoint directories
+    (``cache_dir/checkpoints/<cache_key>/``, cadence
+    ``checkpoint_every_s``, default
+    :data:`DEFAULT_CHECKPOINT_EVERY_S`) into each :class:`WorkItem`;
+    workers that flush checkpoints (campaigns) then resume retried
+    attempts from the last valid flush, and workers that don't (atlas
+    site scoring is seconds of work) simply ignore the fields -- their
+    resumability comes from the incremental record cache itself.
 
     ``progress`` is an optional per-spec event sink (e.g.
     :meth:`repro.telemetry.progress.SweepProgress.sink`) called with one
@@ -608,11 +677,15 @@ def run_specs(
         hits = 0
         evictions = 0
         state = _SweepState(
-            policy=policy, strict=strict, cache_dir=cache_dir, progress=progress
+            policy=policy,
+            strict=strict,
+            cache_dir=cache_dir,
+            progress=progress,
+            codec=codec,
         )
         if cache_dir is not None:
             for index, spec in enumerate(specs):
-                cached, evicted = _load_cached(cache_dir, spec)
+                cached, evicted = _load_cached(cache_dir, spec, codec)
                 evictions += int(evicted)
                 if cached is not None:
                     state.records[index] = cached
@@ -633,7 +706,6 @@ def run_specs(
             for index, spec in enumerate(specs)
             if index not in state.records
         ]
-        worker = execute_attempt if faults is None else faults.wrap(execute_attempt)
         if missing:
             pooled = jobs > 1 and (
                 len(missing) > 1 or policy.timeout_s is not None
@@ -673,6 +745,50 @@ def run_specs(
         cache_evictions=evictions,
         checkpoint_resumes=state.checkpoint_resumes,
         runner_telemetry=hub.snapshot(),
+    )
+
+
+def run_specs(
+    specs: Sequence[RunSpec],
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    policy: Optional[RetryPolicy] = None,
+    strict: bool = False,
+    faults: Optional[FaultPlan] = None,
+    resumable: bool = False,
+    checkpoint_every_s: Optional[float] = None,
+    progress: Optional[Callable[[Dict[str, object]], None]] = None,
+) -> SweepResult:
+    """Execute every campaign spec; records come back in spec order.
+
+    The campaign-flavoured entry point: :func:`run_tasks` with
+    :func:`~repro.runner.local.execute_attempt` as the worker and
+    :data:`RUN_RECORD_CODEC` for the cache, so the on-disk layout, the
+    byte-identity guarantees, and every fault-tolerance knob are exactly
+    as documented there.  ``faults`` is the deterministic test seam
+    (:class:`~repro.runner.faults.FaultPlan`) that injects crashes,
+    delays, and worker deaths on schedule; it wraps the campaign worker
+    and is the one knob :func:`run_tasks` does not take directly.
+
+    ``resumable=True`` additionally buys campaigns mid-run resume: every
+    attempt flushes checkpoints at the ``checkpoint_every_s`` simulated-
+    seconds cadence (default :data:`DEFAULT_CHECKPOINT_EVERY_S`), and a
+    retried attempt resumes from the dead attempt's last valid flush
+    instead of simulated ``t=0``.  Resume changes how much work a retry
+    redoes, never what it returns: the records stay byte-identical.
+    """
+    worker = execute_attempt if faults is None else faults.wrap(execute_attempt)
+    return run_tasks(
+        specs,
+        worker,
+        codec=RUN_RECORD_CODEC,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        policy=policy,
+        strict=strict,
+        resumable=resumable,
+        checkpoint_every_s=checkpoint_every_s,
+        progress=progress,
     )
 
 

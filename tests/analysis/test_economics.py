@@ -1,0 +1,87 @@
+"""Tests for the site-economics layer."""
+
+import pytest
+
+from repro.analysis.economics import SiteEconomics, economics_for
+from repro.analysis.freecooling import SiteAssessment, assess_site
+from repro.analysis.pue import FREE_AIR_PLANT, PAPER_CLUSTER_PLANT
+from repro.climate.sites import HELSINKI_FULL_YEAR, SINGAPORE_FULL_YEAR
+
+
+def _assessment(hours_free, hours_total=8760):
+    return SiteAssessment(
+        site="x", intake_limit_c=27.0, approach_c=2.0,
+        hours_total=hours_total, hours_free=hours_free,
+        outside_min_c=-10.0, outside_max_c=30.0,
+        chiller_cooling_kw=55.4, fan_kw=3.0,
+    )
+
+
+class TestEconomics:
+    def test_savings_fraction_matches_the_assessment(self):
+        assessment = assess_site(HELSINKI_FULL_YEAR, seed=0)
+        economics = economics_for(assessment)
+        assert economics.savings_fraction == pytest.approx(
+            assessment.cooling_energy_savings
+        )
+
+    def test_baseline_energy_is_chillers_alone(self):
+        # The documented convention: no economizer fans in the baseline.
+        economics = economics_for(_assessment(hours_free=0))
+        assert economics.baseline_kwh_per_year == pytest.approx(55.4 * 8760)
+
+    def test_all_free_year_priced_at_ten_cents(self):
+        economics = economics_for(
+            _assessment(hours_free=8760), electricity_price_usd_per_kwh=0.10
+        )
+        # Saved energy: chillers all year minus fans all year.
+        expected_kwh = (55.4 - 3.0) * 8760
+        assert economics.savings_kwh_per_year == pytest.approx(expected_kwh)
+        assert economics.savings_usd_per_year == pytest.approx(0.10 * expected_kwh)
+
+    def test_no_free_hours_costs_money(self):
+        # Negative savings survive the dollar conversion: the retrofit
+        # only added fan draw.
+        economics = economics_for(_assessment(hours_free=0))
+        assert economics.savings_kwh_per_year == pytest.approx(-3.0 * 8760)
+        assert economics.savings_usd_per_year < 0
+
+    def test_savings_scale_linearly_with_price(self):
+        cheap = economics_for(_assessment(4000), electricity_price_usd_per_kwh=0.05)
+        dear = economics_for(_assessment(4000), electricity_price_usd_per_kwh=0.15)
+        assert dear.savings_usd_per_year == pytest.approx(3 * cheap.savings_usd_per_year)
+        assert dear.savings_kwh_per_year == pytest.approx(cheap.savings_kwh_per_year)
+
+    def test_pue_brackets_the_paper_plants(self):
+        economics = economics_for(_assessment(hours_free=8760))
+        # Fully free cooling approaches the free-air plant's PUE; the
+        # baseline is the retrofitted-CRAC plant's 1.74.
+        assert economics.pue_baseline == pytest.approx(PAPER_CLUSTER_PLANT.pue)
+        assert economics.pue_economizer == pytest.approx(FREE_AIR_PLANT.pue)
+
+    def test_singapore_pue_stays_near_baseline(self):
+        assessment = assess_site(SINGAPORE_FULL_YEAR, seed=0)
+        economics = economics_for(assessment)
+        assert economics.pue_economizer > 1.7
+        # ~9 % of hours are free, so the economizer shaves only a few
+        # hundredths off the chiller-bound PUE.
+        assert economics.pue_baseline - economics.pue_economizer < 0.05
+
+
+class TestValidation:
+    def test_mismatched_plant_rejected(self):
+        assessment = assess_site(HELSINKI_FULL_YEAR, seed=0)
+        with pytest.raises(ValueError, match="assessed under"):
+            economics_for(assessment, plant=FREE_AIR_PLANT)
+
+    def test_non_positive_price_rejected(self):
+        with pytest.raises(ValueError):
+            economics_for(_assessment(100), electricity_price_usd_per_kwh=0.0)
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(ValueError):
+            SiteEconomics(
+                site="x", electricity_price_usd_per_kwh=0.1,
+                baseline_kwh_per_year=-1.0, economizer_kwh_per_year=0.0,
+                pue_baseline=1.7, pue_economizer=1.1,
+            )

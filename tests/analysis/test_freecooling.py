@@ -1,5 +1,7 @@
 """Tests for the free-cooling feasibility analysis."""
 
+import itertools
+
 import pytest
 
 from repro.analysis.freecooling import (
@@ -11,6 +13,7 @@ from repro.analysis.freecooling import (
 from repro.climate.sites import (
     ALL_SITES,
     HELSINKI_FULL_YEAR,
+    NE_ENGLAND_FULL_YEAR,
     NEW_MEXICO_FULL_YEAR,
     SINGAPORE_FULL_YEAR,
 )
@@ -49,8 +52,69 @@ class TestAssessment:
     def test_full_year_swept(self, helsinki):
         assert helsinki.hours_total >= 364 * 24
 
+    def test_grid_covers_span_inclusively(self, helsinki):
+        # 365 days of hourly grid = 8760 intervals = 8761 points; the old
+        # half-open ``np.arange`` silently dropped the final hour.
+        assert helsinki.hours_total == 365 * 24 + 1
+
+    def test_hours_above_limit_complements_free(self, helsinki):
+        assert helsinki.hours_above_limit == (
+            helsinki.hours_total - helsinki.hours_free
+        )
+
     def test_describe_mentions_site(self, helsinki):
         assert "helsinki" in helsinki.describe()
+
+
+class TestSavingsRegression:
+    """Pins for the fixed savings baseline (chillers alone, no fans).
+
+    ``savings = free_fraction - fan_kw / chiller_kw``: the paper-plant
+    numbers put the cold sites comfortably past Intel's ~67 % claim and
+    HP's ~40 % claim, and leave Singapore barely positive.  These values
+    regress only if the baseline convention or the weather grid drifts.
+    """
+
+    EXPECTED = {
+        "ne-england-full-year": (1.0000, 0.9458),
+        "helsinki-2010-full-year": (0.9999, 0.9457),
+        "new-mexico-full-year": (0.8895, 0.8354),
+        "singapore-full-year": (0.0885, 0.0343),
+    }
+
+    def test_stock_site_pins(self):
+        for profile in ALL_SITES:
+            assessment = assess_site(profile, seed=0)
+            fraction, savings = self.EXPECTED[profile.name]
+            assert assessment.free_fraction == pytest.approx(fraction, abs=5e-4)
+            assert assessment.cooling_energy_savings == pytest.approx(
+                savings, abs=5e-4
+            )
+
+    def test_cold_sites_beat_the_industry_claims(self):
+        helsinki = assess_site(HELSINKI_FULL_YEAR, seed=0)
+        ne_england = assess_site(NE_ENGLAND_FULL_YEAR, seed=0)
+        assert helsinki.cooling_energy_savings > 0.67  # Intel's number
+        assert ne_england.cooling_energy_savings > 0.40  # HP's number
+
+    def test_no_free_hours_means_negative_savings(self):
+        # The retrofit adds fan draw without displacing chiller energy.
+        assessment = SiteAssessment(
+            site="x", intake_limit_c=27.0, approach_c=2.0,
+            hours_total=100, hours_free=0, outside_min_c=30.0,
+            outside_max_c=40.0, chiller_cooling_kw=55.4, fan_kw=3.0,
+        )
+        assert assessment.cooling_energy_savings == pytest.approx(-3.0 / 55.4)
+
+    def test_all_free_hours_savings_below_unity_by_fan_share(self):
+        assessment = SiteAssessment(
+            site="x", intake_limit_c=27.0, approach_c=2.0,
+            hours_total=100, hours_free=100, outside_min_c=-20.0,
+            outside_max_c=10.0, chiller_cooling_kw=55.4, fan_kw=3.0,
+        )
+        assert assessment.cooling_energy_savings == pytest.approx(
+            1.0 - 3.0 / 55.4
+        )
 
 
 class TestCompareSites:
@@ -64,6 +128,28 @@ class TestCompareSites:
         ranked = {a.site: a.free_fraction for a in compare_sites(ALL_SITES, seed=0)}
         assert ranked["helsinki-2010-full-year"] > ranked["new-mexico-full-year"]
         assert ranked["new-mexico-full-year"] > ranked["singapore-full-year"]
+
+    def test_ranking_is_permutation_invariant(self):
+        # Ties (two 100 %-free cold sites) used to leave the order at the
+        # mercy of the input ordering; the (-fraction, -savings, name)
+        # key makes it a total order.
+        reference = [a.site for a in compare_sites(ALL_SITES, seed=0)]
+        for ordering in itertools.permutations(ALL_SITES):
+            assert [a.site for a in compare_sites(ordering, seed=0)] == reference
+
+    def test_exact_ties_break_by_name(self):
+        # Two copies of the always-free site under different names must
+        # rank alphabetically regardless of input order.
+        import dataclasses
+
+        clone = dataclasses.replace(
+            NE_ENGLAND_FULL_YEAR, name="aa-clone-of-ne-england"
+        )
+        for pair in ([NE_ENGLAND_FULL_YEAR, clone], [clone, NE_ENGLAND_FULL_YEAR]):
+            ranked = compare_sites(pair, seed=0)
+            assert [a.site for a in ranked] == [
+                "aa-clone-of-ne-england", "ne-england-full-year",
+            ]
 
 
 class TestSensitivity:
@@ -80,6 +166,15 @@ class TestSensitivity:
         )
         assert points[0][1] == pytest.approx(1.0)
 
+    @pytest.mark.parametrize("profile", ALL_SITES, ids=lambda p: p.name)
+    def test_property_higher_ceiling_never_loses_hours(self, profile):
+        # Monotonicity property over a dense ceiling ladder: raising the
+        # intake limit can only admit more outside-air hours.
+        limits = [float(c) for c in range(-5, 46, 2)]
+        points = intake_limit_sensitivity(profile, limits_c=limits, seed=0)
+        fractions = [f for _limit, f in points]
+        assert all(a <= b for a, b in zip(fractions, fractions[1:]))
+
 
 class TestValidation:
     def test_free_hours_bounded(self):
@@ -94,10 +189,28 @@ class TestValidation:
         with pytest.raises(ValueError):
             assess_site(HELSINKI_FULL_YEAR, approach_c=-1.0)
 
-    def test_empty_assessment_fraction_zero(self):
-        assessment = SiteAssessment(
-            site="x", intake_limit_c=27.0, approach_c=2.0,
-            hours_total=0, hours_free=0, outside_min_c=0.0,
-            outside_max_c=1.0, chiller_cooling_kw=55.4, fan_kw=3.0,
+    def test_zero_hour_assessment_rejected(self):
+        # The hours_total == 0 guard in free_fraction was unreachable
+        # from assess_site and silently reported 0.0; degenerate
+        # assessments are now a construction-time error.
+        with pytest.raises(ValueError):
+            SiteAssessment(
+                site="x", intake_limit_c=27.0, approach_c=2.0,
+                hours_total=0, hours_free=0, outside_min_c=0.0,
+                outside_max_c=1.0, chiller_cooling_kw=55.4, fan_kw=3.0,
+            )
+
+    def test_degenerate_profile_span_rejected(self):
+        import datetime as dt
+
+        from repro.climate.profiles import ClimateProfile
+
+        flat = ClimateProfile(
+            name="instant",
+            anchors=(
+                (dt.datetime(2010, 1, 1), 0.0),
+                (dt.datetime(2010, 1, 1), 0.0),
+            ),
         )
-        assert assessment.free_fraction == 0.0
+        with pytest.raises(ValueError, match="spans no time"):
+            assess_site(flat, seed=0)

@@ -1,0 +1,61 @@
+"""Tests for the portable atlas site records."""
+
+import dataclasses
+
+import pytest
+
+from repro.atlas.records import ATLAS_SCHEMA, SiteRecord, site_record_from_json_dict
+
+
+def _record(**overrides):
+    base = dict(
+        schema=ATLAS_SCHEMA,
+        site="site-0001",
+        spec_digest="ab" * 32,
+        seed=42,
+        latitude_deg=51.2,
+        intake_limit_c=27.0,
+        hours_total=8761,
+        hours_free=8000,
+        outside_min_c=-15.0,
+        outside_max_c=31.0,
+        pue_baseline=1.7387,
+        pue_economizer=1.1,
+        electricity_price_usd_per_kwh=0.12,
+        savings_kwh_per_year=400_000.0,
+        savings_usd_per_year=48_000.0,
+        savings_fraction=0.85,
+        elapsed_s=0.25,
+    )
+    base.update(overrides)
+    return SiteRecord(**base)
+
+
+class TestSiteRecord:
+    def test_free_fraction_and_risk_proxy(self):
+        record = _record()
+        assert record.free_fraction == pytest.approx(8000 / 8761)
+        assert record.hours_above_limit == 761
+
+    def test_json_round_trip(self):
+        record = _record()
+        assert site_record_from_json_dict(record.to_json_dict()) == record
+
+    def test_elapsed_excluded_from_equality(self):
+        # A cache hit (elapsed from the original run) must compare equal
+        # to the fresh computation it stands in for.
+        assert _record(elapsed_s=1.0) == _record(elapsed_s=99.0)
+
+    def test_malformed_dict_raises(self):
+        data = _record().to_json_dict()
+        del data["hours_total"]
+        with pytest.raises(TypeError):
+            site_record_from_json_dict(data)
+
+    def test_zero_hours_rejected(self):
+        with pytest.raises(ValueError):
+            _record(hours_total=0, hours_free=0)
+
+    def test_free_hours_bounded(self):
+        with pytest.raises(ValueError):
+            _record(hours_free=9000)

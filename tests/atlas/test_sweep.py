@@ -1,0 +1,139 @@
+"""Tests for the atlas sweep riding the runner's task plane."""
+
+import os
+import pickle
+
+import pytest
+
+from repro.atlas.sweep import (
+    SITE_RECORD_CODEC,
+    AtlasSpec,
+    execute_site_attempt,
+    run_atlas,
+    specs_for_sites,
+)
+from repro.climate.sites import HELSINKI_FULL_YEAR
+from repro.runner.pool import WorkItem
+
+
+@pytest.fixture(scope="module")
+def specs():
+    return specs_for_sites(6, seed=7)
+
+
+@pytest.fixture(scope="module")
+def baseline(specs):
+    return run_atlas(specs, jobs=1)
+
+
+class TestSpecs:
+    def test_specs_are_deterministic(self, specs):
+        assert specs_for_sites(6, seed=7) == specs
+
+    def test_spec_prefix_stable_as_atlas_grows(self, specs):
+        assert specs_for_sites(12, seed=7)[:6] == specs
+
+    def test_sites_get_distinct_weather_seeds(self, specs):
+        seeds = {spec.seed for spec in specs}
+        assert len(seeds) == len(specs)
+
+    def test_cache_keys_distinct_and_filename_safe(self, specs):
+        keys = [spec.cache_key() for spec in specs]
+        assert len(set(keys)) == len(keys)
+        for key in keys:
+            assert all(ch.isalnum() or ch == "-" for ch in key)
+
+    def test_scoring_policy_changes_the_digest(self):
+        lax = AtlasSpec(
+            profile=HELSINKI_FULL_YEAR,
+            electricity_price_usd_per_kwh=0.1,
+            intake_limit_c=35.0,
+        )
+        strict = AtlasSpec(
+            profile=HELSINKI_FULL_YEAR,
+            electricity_price_usd_per_kwh=0.1,
+            intake_limit_c=20.0,
+        )
+        assert lax.spec_digest() != strict.spec_digest()
+
+    def test_spec_is_picklable(self, specs):
+        assert pickle.loads(pickle.dumps(specs[0])) == specs[0]
+
+    def test_label_names_the_site(self, specs):
+        assert specs[0].label == specs[0].profile.name
+
+    def test_non_positive_price_rejected(self):
+        with pytest.raises(ValueError):
+            AtlasSpec(profile=HELSINKI_FULL_YEAR, electricity_price_usd_per_kwh=0.0)
+
+
+class TestWorker:
+    def test_stock_profile_scores_like_the_analysis_layer(self):
+        from repro.analysis.freecooling import assess_site
+
+        spec = AtlasSpec(
+            profile=HELSINKI_FULL_YEAR, electricity_price_usd_per_kwh=0.1, seed=0
+        )
+        record = execute_site_attempt(WorkItem(index=0, spec=spec))
+        assessment = assess_site(HELSINKI_FULL_YEAR, seed=0)
+        assert record.hours_free == assessment.hours_free
+        assert record.savings_fraction == pytest.approx(
+            assessment.cooling_energy_savings
+        )
+        assert record.spec_digest == spec.spec_digest()
+
+    def test_codec_round_trips_and_validates(self):
+        spec = AtlasSpec(
+            profile=HELSINKI_FULL_YEAR, electricity_price_usd_per_kwh=0.1, seed=0
+        )
+        record = execute_site_attempt(WorkItem(index=0, spec=spec))
+        decoded = SITE_RECORD_CODEC.decode(SITE_RECORD_CODEC.encode(record))
+        assert decoded == record
+        assert SITE_RECORD_CODEC.validate(spec, decoded)
+        other = AtlasSpec(
+            profile=HELSINKI_FULL_YEAR,
+            electricity_price_usd_per_kwh=0.1,
+            intake_limit_c=35.0,
+        )
+        assert not SITE_RECORD_CODEC.validate(other, decoded)
+
+
+class TestSweep:
+    def test_records_in_spec_order(self, specs, baseline):
+        assert [r.site for r in baseline.records] == [s.label for s in specs]
+
+    def test_parallel_matches_serial(self, specs, baseline):
+        pooled = run_atlas(specs, jobs=3)
+        assert pooled.records == baseline.records
+
+    def test_cache_serves_identical_records(self, specs, baseline, tmp_path):
+        cache = str(tmp_path / "atlas")
+        cold = run_atlas(specs, jobs=1, cache_dir=cache)
+        assert (cold.cache_hits, cold.cache_misses) == (0, len(specs))
+        warm = run_atlas(specs, jobs=1, cache_dir=cache)
+        assert (warm.cache_hits, warm.cache_misses) == (len(specs), 0)
+        assert warm.records == cold.records == baseline.records
+
+    def test_partial_cache_resumes_to_identical_records(
+        self, specs, baseline, tmp_path
+    ):
+        # The kill-and-resume contract: drop half the cache (as if the
+        # sweep died mid-flight) and rerun -- hits plus recomputation
+        # must reproduce the uninterrupted result exactly.
+        cache = str(tmp_path / "atlas")
+        run_atlas(specs, jobs=1, cache_dir=cache)
+        entries = sorted(
+            n for n in os.listdir(cache) if n.endswith(".json")
+        )
+        for name in entries[: len(entries) // 2]:
+            os.unlink(os.path.join(cache, name))
+        resumed = run_atlas(specs, jobs=2, cache_dir=cache)
+        assert resumed.cache_hits > 0
+        assert resumed.cache_misses > 0
+        assert resumed.records == baseline.records
+
+    def test_progress_events_cover_every_site(self, specs):
+        events = []
+        run_atlas(specs, jobs=1, progress=events.append)
+        assert [e["kind"] for e in events] == ["completed"] * len(specs)
+        assert {e["label"] for e in events} == {s.label for s in specs}

@@ -1,0 +1,80 @@
+"""Tests for the ranked feasibility table."""
+
+import dataclasses
+import itertools
+
+import pytest
+
+from repro.atlas.records import ATLAS_SCHEMA, SiteRecord
+from repro.atlas.table import rank_records, render_atlas_table
+
+
+def _record(site, hours_free, usd=10_000.0):
+    return SiteRecord(
+        schema=ATLAS_SCHEMA,
+        site=site,
+        spec_digest="00" * 32,
+        seed=0,
+        latitude_deg=45.0,
+        intake_limit_c=27.0,
+        hours_total=8760,
+        hours_free=hours_free,
+        outside_min_c=-5.0,
+        outside_max_c=30.0,
+        pue_baseline=1.74,
+        pue_economizer=1.1,
+        electricity_price_usd_per_kwh=0.1,
+        savings_kwh_per_year=100_000.0,
+        savings_usd_per_year=usd,
+        savings_fraction=0.5,
+    )
+
+
+class TestRanking:
+    def test_best_site_first(self):
+        ranked = rank_records(
+            [_record("cold", 8000), _record("hot", 1000), _record("mild", 5000)]
+        )
+        assert [r.site for r in ranked] == ["cold", "mild", "hot"]
+
+    def test_dollar_savings_break_fraction_ties(self):
+        ranked = rank_records(
+            [_record("cheap-power", 8000, usd=5_000.0),
+             _record("dear-power", 8000, usd=50_000.0)]
+        )
+        assert [r.site for r in ranked] == ["dear-power", "cheap-power"]
+
+    def test_permutation_invariant(self):
+        records = [
+            _record("aa", 8000), _record("bb", 8000), _record("cc", 3000)
+        ]
+        reference = [r.site for r in rank_records(records)]
+        for ordering in itertools.permutations(records):
+            assert [r.site for r in rank_records(list(ordering))] == reference
+
+
+class TestRendering:
+    def test_table_lists_every_site_ranked(self):
+        table = render_atlas_table(
+            [_record("worst", 100), _record("best", 8000)]
+        )
+        lines = table.splitlines()
+        assert "free%" in lines[0] and "USD/yr saved" in lines[0]
+        assert lines[2].split()[1] == "best"
+        assert lines[3].split()[1] == "worst"
+
+    def test_top_truncates_but_notes_the_rest(self):
+        table = render_atlas_table(
+            [_record(f"site-{i}", 100 * i) for i in range(5)], top=2
+        )
+        assert len([l for l in table.splitlines() if l.startswith(" ")]) >= 2
+        assert "3 more site(s) not shown" in table
+
+    def test_rendering_ignores_wall_clock(self):
+        fast = _record("x", 4000)
+        slow = dataclasses.replace(fast, elapsed_s=99.9)
+        assert render_atlas_table([fast]) == render_atlas_table([slow])
+
+    def test_empty_records_rejected(self):
+        with pytest.raises(ValueError):
+            render_atlas_table([])

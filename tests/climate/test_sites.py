@@ -36,10 +36,45 @@ class TestMonthlyAnchors:
         with pytest.raises(ValueError):
             _monthly_anchors(2010, [0.0] * 11)
 
-    def test_ends_clamped_to_adjacent_months(self):
+    def test_ends_clamped_to_dec_jan_midpoint(self):
+        # Both year-end clamps sit at the Dec/Jan midpoint so the curve
+        # is periodic; the old Jan-mean/Dec-mean split made the seasonal
+        # curve jump by 2 degC at the wrap for this input.
         anchors = _monthly_anchors(2010, [5.0] + [0.0] * 10 + [7.0])
-        assert anchors[0][1] == 5.0
-        assert anchors[-1][1] == 7.0
+        assert anchors[0][1] == 6.0
+        assert anchors[-1][1] == 6.0
+        assert anchors[0][1] == anchors[-1][1]
+
+    def test_seasonal_curve_periodic_across_year_boundary(self):
+        from repro.climate.profiles import ClimateProfile
+
+        means = [-11.0, -9.0, -4.0, 3.5, 10.5, 14.5,
+                 21.5, 17.0, 11.0, 4.5, -1.0, -7.5]
+        profile = ClimateProfile(
+            name="wrap", anchors=_monthly_anchors(2010, means)
+        )
+        assert profile.seasonal_mean(dt.datetime(2011, 1, 1)) == pytest.approx(
+            profile.seasonal_mean(dt.datetime(2010, 1, 1))
+        )
+
+    def test_stacked_years_continuous_at_the_boundary(self):
+        # A multi-year profile built by concatenating per-year anchors
+        # must not jump across New Year: approach the boundary from
+        # December and leave it into January and compare.
+        from repro.climate.profiles import ClimateProfile
+
+        means = [-11.0, -9.0, -4.0, 3.5, 10.5, 14.5,
+                 21.5, 17.0, 11.0, 4.5, -1.0, -7.5]
+        anchors = _monthly_anchors(2010, means) + _monthly_anchors(2011, means)
+        profile = ClimateProfile(name="two-years", anchors=anchors)
+        boundary = dt.datetime(2011, 1, 1)
+        step = dt.timedelta(hours=1)
+        before = profile.seasonal_mean(boundary - step)
+        at = profile.seasonal_mean(boundary)
+        after = profile.seasonal_mean(boundary + step)
+        slope_per_hour = abs(means[0] - means[11]) / (31 * 24)
+        assert abs(at - before) < 2 * slope_per_hour + 1e-9
+        assert abs(after - at) < 2 * slope_per_hour + 1e-9
 
 
 class TestSiteCharacter:

@@ -1,0 +1,168 @@
+"""Tests for the synthetic-site generator and CSV import."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.climate.generator import WeatherGenerator
+from repro.climate.synthesis import (
+    SiteParameters,
+    profile_from_csv,
+    sample_sites,
+    site_at_index,
+)
+from repro.sim.clock import HOUR, SimClock
+from repro.sim.rng import RngStreams
+
+
+def _params(**overrides):
+    base = dict(
+        name="test-site",
+        latitude_deg=50.0,
+        mean_annual_c=8.0,
+        seasonal_amplitude_c=9.0,
+        diurnal_swing_c=6.0,
+        dewpoint_depression_mean_c=3.0,
+        dewpoint_depression_std_c=1.0,
+        continentality=0.5,
+    )
+    base.update(overrides)
+    return SiteParameters(**base)
+
+
+class TestSiteParameters:
+    def test_monthly_means_average_to_annual_mean(self):
+        means = _params().monthly_means_c()
+        assert np.mean(means) == pytest.approx(8.0, abs=1e-9)
+
+    def test_northern_hemisphere_warmest_in_summer(self):
+        means = _params(latitude_deg=55.0).monthly_means_c()
+        assert max(range(12), key=lambda i: means[i]) in (5, 6, 7)  # Jun-Aug
+
+    def test_southern_hemisphere_phase_flipped(self):
+        means = _params(latitude_deg=-40.0).monthly_means_c()
+        warmest = max(range(12), key=lambda i: means[i])
+        assert warmest in (11, 0, 1)  # Dec-Feb
+
+    def test_profile_round_trips_the_knobs(self):
+        profile = _params(diurnal_swing_c=10.0).to_profile()
+        assert profile.name == "test-site"
+        assert profile.diurnal_amplitude_c == pytest.approx(5.0)
+        assert profile.latitude_deg == 50.0
+        assert (profile.end - profile.start).days >= 364
+
+    def test_profile_is_generatable(self):
+        profile = _params().to_profile()
+        clock = SimClock(profile.start)
+        weather = WeatherGenerator(profile, RngStreams(3), clock)
+        times = np.arange(weather.start_time, weather.end_time, 24 * HOUR)
+        temps = np.asarray(weather.temperature(times))
+        assert np.isfinite(temps).all()
+
+    def test_continental_site_swings_harder_than_maritime(self):
+        maritime = _params(continentality=0.0).to_profile()
+        continental = _params(continentality=1.0).to_profile()
+        assert continental.synoptic_std_c > maritime.synoptic_std_c
+        assert maritime.wind_mean_ms > continental.wind_mean_ms
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("latitude_deg", 91.0),
+            ("seasonal_amplitude_c", -1.0),
+            ("diurnal_swing_c", -0.1),
+            ("dewpoint_depression_mean_c", -1.0),
+            ("continentality", 1.5),
+            ("electricity_price_usd_per_kwh", 0.0),
+        ],
+    )
+    def test_bad_knobs_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            _params(**{field: value})
+
+
+class TestSampling:
+    def test_same_seed_same_sites(self):
+        assert sample_sites(10, seed=7) == sample_sites(10, seed=7)
+
+    def test_different_seeds_differ(self):
+        assert sample_sites(10, seed=7) != sample_sites(10, seed=8)
+
+    def test_site_i_independent_of_n(self):
+        # Growing an atlas must not reshuffle already-scored sites.
+        assert sample_sites(50, seed=7)[13] == site_at_index(13, seed=7)
+
+    def test_sampled_knobs_within_declared_ranges(self):
+        for site in sample_sites(40, seed=3):
+            assert -65.0 <= site.latitude_deg <= 65.0
+            assert 0.0 <= site.continentality <= 1.0
+            assert 0.05 <= site.electricity_price_usd_per_kwh <= 0.20
+            assert site.diurnal_swing_c <= 20.0
+
+    def test_poleward_sites_run_colder(self):
+        sites = sample_sites(120, seed=5)
+        polar = [s.mean_annual_c for s in sites if abs(s.latitude_deg) > 50]
+        tropical = [s.mean_annual_c for s in sites if abs(s.latitude_deg) < 20]
+        assert polar and tropical
+        assert np.mean(polar) < np.mean(tropical)
+
+    def test_zero_sites_rejected(self):
+        with pytest.raises(ValueError):
+            sample_sites(0, seed=7)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            site_at_index(-1, seed=7)
+
+
+class TestCsvImport:
+    def _write_trace(self, path, months=range(1, 13), dewpoint=True):
+        lines = ["timestamp,temp_c,dewpoint_c" if dewpoint else "timestamp,temp_c"]
+        for month in months:
+            for day in (5, 15, 25):
+                for hour in range(0, 24, 3):
+                    when = dt.datetime(2010, month, day, hour)
+                    temp = 10.0 + 8.0 * np.cos(2 * np.pi * (month - 7) / 12) + (
+                        3.0 * np.sin(2 * np.pi * hour / 24)
+                    )
+                    row = f"{when.isoformat()},{temp:.2f}"
+                    if dewpoint:
+                        row += f",{temp - 4.0:.2f}"
+                    lines.append(row)
+        path.write_text("\n".join(lines) + "\n")
+
+    def test_full_year_trace_builds_a_profile(self, tmp_path):
+        trace = tmp_path / "trace.csv"
+        self._write_trace(trace)
+        profile = profile_from_csv(str(trace), name="imported")
+        assert profile.name == "imported"
+        assert (profile.end - profile.start).days >= 364
+        # July is the trace's warmest month; the seasonal curve agrees.
+        july = profile.seasonal_mean(dt.datetime(2010, 7, 15))
+        january = profile.seasonal_mean(dt.datetime(2010, 1, 15))
+        assert july > january
+        assert profile.dewpoint_depression_mean_c == pytest.approx(4.0, abs=0.2)
+
+    def test_default_name_carries_the_year(self, tmp_path):
+        trace = tmp_path / "trace.csv"
+        self._write_trace(trace, dewpoint=False)
+        assert profile_from_csv(str(trace)).name == "csv-2010"
+
+    def test_missing_month_rejected(self, tmp_path):
+        trace = tmp_path / "trace.csv"
+        self._write_trace(trace, months=[1, 2, 3])
+        with pytest.raises(ValueError, match="month"):
+            profile_from_csv(str(trace))
+
+    def test_missing_column_rejected(self, tmp_path):
+        trace = tmp_path / "trace.csv"
+        trace.write_text("when,degrees\n2010-01-01T00:00:00,5.0\n")
+        with pytest.raises(ValueError, match="missing required column"):
+            profile_from_csv(str(trace))
+
+    def test_empty_file_rejected(self, tmp_path):
+        trace = tmp_path / "trace.csv"
+        trace.write_text("timestamp,temp_c\n")
+        with pytest.raises(ValueError, match="no data rows"):
+            profile_from_csv(str(trace))

@@ -93,6 +93,32 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "--timeout", "0"])
 
+    def test_atlas_defaults(self):
+        args = build_parser().parse_args(["atlas"])
+        assert args.sites == 100
+        assert args.seed == 7
+        assert args.jobs == 1
+        assert args.intake_limit == 27.0
+        assert args.top is None
+        assert args.cache_dir is None
+        assert not args.resumable
+        assert not args.keep_going
+
+    def test_atlas_flags_parse(self):
+        args = build_parser().parse_args(
+            ["atlas", "--sites", "200", "--seed", "3", "--jobs", "4",
+             "--resumable", "--top", "10"]
+        )
+        assert args.sites == 200
+        assert args.seed == 3
+        assert args.jobs == 4
+        assert args.resumable
+        assert args.top == 10
+
+    def test_atlas_zero_sites_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["atlas", "--sites", "0"])
+
     def test_run_degraded_flags_default_off(self):
         args = build_parser().parse_args(["run"])
         assert args.link_faults is None
@@ -199,6 +225,46 @@ class TestSweepCommand:
         # fault-free run: no retries happened, so no fault note is shown
         assert "retried" not in out
         assert "failures" not in out
+
+
+class TestAtlasCommand:
+    def test_atlas_prints_ranked_table(self, tmp_path, capsys):
+        argv = [
+            "atlas", "--sites", "4", "--seed", "7",
+            "--cache-dir", str(tmp_path / "atlas"),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "Free-cooling atlas: 4 sites, seed 7" in out
+        assert "USD/yr saved" in out
+        assert "site-0000" in out
+        assert "0 from cache, 4 computed" in out
+        # Rerun: served from cache, table identical.
+        assert main(argv) == 0
+        again = capsys.readouterr().out
+        assert "4 from cache, 0 computed" in again
+        assert again.split("(jobs")[0].rsplit("4 site(s)")[0] == (
+            out.split("(jobs")[0].rsplit("4 site(s)")[0]
+        )
+
+    def test_atlas_top_truncates(self, capsys):
+        assert main(["atlas", "--sites", "5", "--seed", "7", "--top", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "3 more site(s) not shown" in out
+
+    def test_atlas_progress_out_writes_events(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "p.jsonl"
+        argv = [
+            "atlas", "--sites", "3", "--seed", "7",
+            "--progress-out", str(path),
+        ]
+        assert main(argv) == 0
+        assert "progress ->" in capsys.readouterr().out
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert [l["kind"] for l in lines] == ["completed"] * 3
+        assert lines[-1]["done"] == 3
 
 
 class TestTelemetryCommands:

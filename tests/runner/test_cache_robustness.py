@@ -10,6 +10,7 @@ import pytest
 from repro import ExperimentConfig
 from repro.runner import sweep_records
 from repro.runner.pool import (
+    RUN_RECORD_CODEC,
     RunSpec,
     _cache_path,
     _horizon_token,
@@ -71,7 +72,7 @@ class TestEviction:
         data["seed"] = 99
         json.dump(data, open(path, "w", encoding="utf-8"))
         spec = RunSpec(config=ExperimentConfig(seed=7), until=UNTIL)
-        record, evicted = _load_cached(cache, spec)
+        record, evicted = _load_cached(cache, spec, RUN_RECORD_CODEC)
         assert record is None
         assert evicted
         assert os.path.exists(path + ".corrupt")
@@ -83,13 +84,13 @@ class TestEviction:
         data["config_digest"] = "0" * 64
         json.dump(data, open(path, "w", encoding="utf-8"))
         spec = RunSpec(config=ExperimentConfig(seed=7), until=UNTIL)
-        record, evicted = _load_cached(cache, spec)
+        record, evicted = _load_cached(cache, spec, RUN_RECORD_CODEC)
         assert record is None
         assert evicted
 
     def test_missing_entry_is_not_an_eviction(self, tmp_path):
         spec = RunSpec(config=ExperimentConfig(seed=7), until=UNTIL)
-        record, evicted = _load_cached(str(tmp_path), spec)
+        record, evicted = _load_cached(str(tmp_path), spec, RUN_RECORD_CODEC)
         assert record is None
         assert not evicted
 
@@ -103,7 +104,7 @@ class TestStoreHygiene:
         bad = dataclasses.replace(
             result.records[0], fault_counts=(("boom", object()),)
         )
-        assert _store_cached(cache, spec, bad) is False
+        assert _store_cached(cache, spec, bad, RUN_RECORD_CODEC) is False
         _no_tmp_files(cache)
 
     def test_store_failure_is_non_fatal_in_a_sweep(self, tmp_path, monkeypatch):
@@ -122,7 +123,7 @@ class TestStoreHygiene:
     def test_successful_store_round_trips(self, tmp_path):
         cache, result = _seed_cache(tmp_path)
         spec = RunSpec(config=ExperimentConfig(seed=7), until=UNTIL)
-        record, evicted = _load_cached(cache, spec)
+        record, evicted = _load_cached(cache, spec, RUN_RECORD_CODEC)
         assert record == result.records[0]
         assert not evicted
         _no_tmp_files(cache)

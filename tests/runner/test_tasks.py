@@ -1,0 +1,151 @@
+"""Tests for the generic task plane (:func:`repro.runner.pool.run_tasks`).
+
+A deliberately tiny task family -- square a number -- exercises the
+duck-typed spec surface (``cache_key()``/``label``/``seed``), custom
+codecs, retries, and the strict/keep-going split without dragging in
+campaigns or weather.  The campaign wrapper's behaviour is covered by
+the existing ``test_pool``/``test_cache_robustness`` suites; these tests
+pin the contract any *new* task family (like the atlas) builds on.
+"""
+
+import time
+from dataclasses import dataclass
+
+import pytest
+
+from repro.runner import RetryPolicy, TaskCodec, run_tasks
+from repro.runner.pool import RUN_RECORD_CODEC, run_specs
+
+
+@dataclass(frozen=True)
+class SquareSpec:
+    value: int
+    label: str = ""
+
+    @property
+    def seed(self) -> int:
+        return self.value
+
+    def cache_key(self) -> str:
+        return f"square-{self.value}"
+
+
+@dataclass(frozen=True)
+class SquareResult:
+    value: int
+    squared: int
+
+
+SQUARE_CODEC = TaskCodec(
+    encode=lambda r: {"value": r.value, "squared": r.squared},
+    decode=lambda d: SquareResult(value=int(d["value"]), squared=int(d["squared"])),
+    validate=lambda spec, r: r.value == spec.value,
+)
+
+
+def square_worker(item):
+    if item.backoff_s > 0:
+        time.sleep(item.backoff_s)
+    return SquareResult(value=item.spec.value, squared=item.spec.value**2)
+
+
+def flaky_worker(item):
+    # Crashes on the first attempt at every even value; retries succeed.
+    if item.spec.value % 2 == 0 and item.attempt == 1:
+        raise RuntimeError(f"flake at {item.spec.value}")
+    return square_worker(item)
+
+
+class TestRunTasks:
+    def test_records_in_spec_order(self):
+        specs = [SquareSpec(v) for v in (3, 1, 4, 1, 5)]
+        result = run_tasks(specs, square_worker, codec=SQUARE_CODEC)
+        assert [r.squared for r in result.records] == [9, 1, 16, 1, 25]
+        assert result.ok
+
+    def test_pooled_matches_serial(self):
+        specs = [SquareSpec(v) for v in range(8)]
+        serial = run_tasks(specs, square_worker, codec=SQUARE_CODEC, jobs=1)
+        pooled = run_tasks(specs, square_worker, codec=SQUARE_CODEC, jobs=4)
+        assert pooled.records == serial.records
+
+    def test_cache_round_trips_through_the_codec(self, tmp_path):
+        specs = [SquareSpec(v) for v in (2, 7)]
+        cache = str(tmp_path / "squares")
+        cold = run_tasks(specs, square_worker, codec=SQUARE_CODEC, cache_dir=cache)
+        warm = run_tasks(specs, square_worker, codec=SQUARE_CODEC, cache_dir=cache)
+        assert (cold.cache_hits, warm.cache_hits) == (0, 2)
+        assert warm.records == cold.records
+
+    def test_codec_validation_evicts_foreign_entries(self, tmp_path):
+        cache = str(tmp_path / "squares")
+        run_tasks([SquareSpec(2)], square_worker, codec=SQUARE_CODEC, cache_dir=cache)
+        # Same cache key, different spec value: validate() must veto.
+        import json
+        import os
+
+        path = os.path.join(cache, "square-2.json")
+        data = json.load(open(path, encoding="utf-8"))
+        data["value"] = 99
+        json.dump(data, open(path, "w", encoding="utf-8"))
+        again = run_tasks(
+            [SquareSpec(2)], square_worker, codec=SQUARE_CODEC, cache_dir=cache
+        )
+        assert again.cache_evictions == 1
+        assert again.records[0].squared == 4
+
+    def test_retries_heal_flaky_workers(self):
+        specs = [SquareSpec(v) for v in range(5)]
+        policy = RetryPolicy(max_attempts=2, backoff_base_s=0.0)
+        result = run_tasks(specs, flaky_worker, codec=SQUARE_CODEC, policy=policy)
+        assert result.ok
+        assert result.retries == 3  # values 0, 2, 4 each flaked once
+        assert [r.squared for r in result.records] == [0, 1, 4, 9, 16]
+
+    def test_strict_reraises_exhausted_specs(self):
+        with pytest.raises(RuntimeError, match="flake at 2"):
+            run_tasks([SquareSpec(2)], flaky_worker, codec=SQUARE_CODEC, strict=True)
+
+    def test_keep_going_reports_tombstones(self):
+        result = run_tasks(
+            [SquareSpec(2), SquareSpec(3)],
+            flaky_worker,
+            codec=SQUARE_CODEC,
+            strict=False,
+        )
+        assert len(result.records) == 1
+        assert result.records[0].squared == 9
+        (failure,) = result.failures
+        assert failure.spec.value == 2
+        assert failure.error_type == "RuntimeError"
+
+    def test_progress_events_use_the_duck_typed_label(self):
+        events = []
+        run_tasks(
+            [SquareSpec(3, label="three")],
+            square_worker,
+            codec=SQUARE_CODEC,
+            progress=events.append,
+        )
+        assert events == [{"kind": "completed", "label": "three", "attempt": 1}]
+
+    def test_empty_specs_rejected(self):
+        with pytest.raises(ValueError):
+            run_tasks([], square_worker, codec=SQUARE_CODEC)
+
+
+class TestCampaignWrapper:
+    def test_run_specs_still_speaks_run_records(self):
+        # The wrapper's codec is the campaign one; spot-check the seam
+        # rather than re-running a campaign (test_pool covers that).
+        import repro.runner.pool as pool
+
+        assert pool.RUN_RECORD_CODEC is RUN_RECORD_CODEC
+        assert run_specs.__module__ == "repro.runner.pool"
+
+    def test_lazy_exports_resolve(self):
+        import repro.runner as runner
+
+        assert runner.run_tasks is run_tasks
+        assert runner.TaskCodec is TaskCodec
+        assert runner.RUN_RECORD_CODEC is RUN_RECORD_CODEC
