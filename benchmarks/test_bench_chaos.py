@@ -1,0 +1,136 @@
+"""P8 -- chaos-plane overhead: a disarmed plant must stay under 5%.
+
+The plant-fault chaos plane (:mod:`repro.plant`) is wired through the
+fleet-scale frame, but a campaign that never asks for faults must not
+pay for the wiring: with an empty :class:`PlantFaultPlan` and no trip
+policy, no plant object is constructed and the frame keeps its original
+callback list.  The acceptance budget says the *empty-plan* campaign
+may cost at most **5%** more wall time than a plain campaign for a
+100k-host steady window -- and its census must be identical, because a
+disarmed chaos plane that perturbs the simulation is a bug, not an
+overhead.
+
+Method mirrors ``test_bench_observe.py``: build two identical campaigns
+(one plain, one constructed with ``PlantFaultPlan.parse("")``), warm
+both for one simulated day, time a multi-day steady window ``REPEATS``
+times on fresh pairs, and compare the minimums.
+
+The figures land in ``BENCH_chaos.json`` at the repo root.
+
+Also runnable standalone, without pytest:
+``PYTHONPATH=src python benchmarks/test_bench_chaos.py``.
+"""
+
+import json
+import os
+import time
+
+from repro.core.config import ExperimentConfig
+from repro.core.fleetscale import FleetScaleCampaign
+from repro.plant.faults import PlantFaultPlan
+
+SEED = 7
+HOSTS = 100_000
+WARMUP_DAYS = 1.0
+WINDOW_DAYS = 2.0
+#: Timed repetitions; the minimum per variant is compared.
+REPEATS = 3
+#: Acceptance ceiling on (empty-plan - plain) / plain for the window.
+OVERHEAD_BUDGET = 0.05
+OUTPUT = os.path.join(os.path.dirname(__file__), "..", "BENCH_chaos.json")
+
+
+def _build(with_empty_plan):
+    if with_empty_plan:
+        return FleetScaleCampaign(
+            HOSTS,
+            ExperimentConfig(seed=SEED),
+            plant_faults=PlantFaultPlan.parse(""),
+        )
+    return FleetScaleCampaign(HOSTS, ExperimentConfig(seed=SEED))
+
+
+def _timed_window(with_empty_plan):
+    """Wall seconds for the steady window, one fresh campaign."""
+    fleet = _build(with_empty_plan)
+    fleet.step_days(WARMUP_DAYS)
+    wall_start = time.perf_counter()
+    fleet.step_days(WINDOW_DAYS)
+    wall = time.perf_counter() - wall_start
+    return wall, fleet
+
+
+def profile_chaos_overhead():
+    plain_walls, empty_walls = [], []
+    plain_summary = empty_summary = None
+    for _ in range(REPEATS):
+        wall, fleet = _timed_window(with_empty_plan=False)
+        plain_walls.append(wall)
+        plain_summary = fleet.summary()
+        wall, fleet = _timed_window(with_empty_plan=True)
+        empty_walls.append(wall)
+        assert fleet.plant is None, (
+            "an empty fault plan must not construct a plant"
+        )
+        empty_summary = fleet.summary()
+
+    assert plain_summary == empty_summary, (
+        "the disarmed chaos plane changed the census -- overhead numbers "
+        "are meaningless"
+    )
+    plain = min(plain_walls)
+    empty = min(empty_walls)
+    overhead = (empty - plain) / plain
+    return {
+        "seed": SEED,
+        "hosts": HOSTS,
+        "window_days": WINDOW_DAYS,
+        "repeats": REPEATS,
+        "plain_wall_s": round(plain, 4),
+        "empty_plan_wall_s": round(empty, 4),
+        "plain_wall_s_per_sim_day": round(plain / WINDOW_DAYS, 5),
+        "empty_plan_wall_s_per_sim_day": round(empty / WINDOW_DAYS, 5),
+        "overhead_frac": round(overhead, 5),
+        "overhead_budget": OVERHEAD_BUDGET,
+        "census_identical": True,
+    }
+
+
+def _emit(report):
+    with open(OUTPUT, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def _check(report):
+    assert report["overhead_frac"] < OVERHEAD_BUDGET, (
+        f"the disarmed chaos plane costs {report['overhead_frac'] * 100:.1f}% "
+        f"of the plain tick (budget {OVERHEAD_BUDGET * 100:.0f}%) for a "
+        f"{HOSTS}-host window"
+    )
+
+
+def test_bench_chaos_overhead(benchmark):
+    from conftest import record
+
+    report = benchmark.pedantic(profile_chaos_overhead, rounds=1, iterations=1)
+    _emit(report)
+    record(
+        benchmark,
+        plain_wall_s_per_sim_day=report["plain_wall_s_per_sim_day"],
+        empty_plan_wall_s_per_sim_day=report["empty_plan_wall_s_per_sim_day"],
+        overhead_frac=report["overhead_frac"],
+        overhead_budget=OVERHEAD_BUDGET,
+    )
+    _check(report)
+
+
+if __name__ == "__main__":
+    result = profile_chaos_overhead()
+    _emit(result)
+    print(json.dumps(result, indent=2, sort_keys=True))
+    _check(result)
+    print(
+        f"OK: {result['overhead_frac'] * 100:.2f}% <= "
+        f"{OVERHEAD_BUDGET * 100:.0f}% overhead; wrote {os.path.abspath(OUTPUT)}"
+    )

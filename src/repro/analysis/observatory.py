@@ -39,6 +39,7 @@ DASHBOARD_SIGNALS: Tuple[Tuple[str, str, str], ...] = (
     ("outside_temp_c", "degC", "outside air"),
     ("outside_rh_pct", "%RH", "outside humidity"),
     ("hosts_running", "hosts", "running per pod (median)"),
+    ("hosts_shed", "hosts", "shed per pod (load-shed)"),
     ("failures_transient", "cum", "transient failures per pod"),
     ("failures_storage", "cum", "storage failures per pod"),
     ("sensor_latches", "cum", "sensor latches per pod"),
@@ -150,6 +151,117 @@ def render_pod_drilldown(
     return header + "\n" + chart
 
 
+def _plant_event_types():
+    """Display order for chaos-plane incidents (lazy import keeps this
+    module's import cost down for the pure-rendering users)."""
+    from repro.sim import events as ev
+
+    return (
+        ev.PlantFaultInjected,
+        ev.PlantFaultRepaired,
+        ev.ThermalTrip,
+        ev.ThermalTripCleared,
+        ev.LoadShed,
+        ev.LoadRestored,
+        ev.EmergencyFlapOpened,
+        ev.EmergencyFlapClosed,
+    )
+
+
+def _describe_incident(event) -> str:
+    from repro.sim import events as ev
+
+    if isinstance(event, ev.PlantFaultInjected):
+        return (
+            f"fault injected: {event.kind} (domain {event.domain}, "
+            f"severity {event.severity:.2f}, repair {event.repair_s / 3600.0:.1f} h)"
+        )
+    if isinstance(event, ev.PlantFaultRepaired):
+        return f"fault repaired: {event.kind} (domain {event.domain})"
+    if isinstance(event, ev.ThermalTrip):
+        return (
+            f"THERMAL TRIP pod {event.pod} stage {event.stage} "
+            f"(intake {event.intake_c:.1f} degC)"
+        )
+    if isinstance(event, ev.ThermalTripCleared):
+        return f"trip cleared pod {event.pod} (intake {event.intake_c:.1f} degC)"
+    if isinstance(event, ev.LoadShed):
+        return (
+            f"load shed pod {event.pod}: {event.hosts} host(s) "
+            f"[{event.reason}, stage {event.stage}]"
+        )
+    if isinstance(event, ev.LoadRestored):
+        return f"load restored pod {event.pod}: {event.hosts} host(s) [{event.reason}]"
+    if isinstance(event, ev.EmergencyFlapOpened):
+        return f"emergency flap OPEN pod {event.pod}"
+    if isinstance(event, ev.EmergencyFlapClosed):
+        return f"emergency flap closed pod {event.pod}"
+    return type(event).__name__
+
+
+def _incident_stream(recorder) -> List:
+    events: List = []
+    for event_type in _plant_event_types():
+        events.extend(recorder.of_type(event_type))
+    events.sort(key=lambda e: e.time)
+    return events
+
+
+def _stamp(clock: Optional[SimClock], time_s: float) -> str:
+    if clock is None:
+        return f"t={time_s / 86_400.0:8.3f}d"
+    return f"{clock.to_datetime(time_s):%Y-%m-%d %H:%M}"
+
+
+def render_plant_incidents(
+    recorder,
+    clock: Optional[SimClock] = None,
+    top: int = 5,
+) -> str:
+    """The chaos-plane incident log: tallies plus the latest events.
+
+    ``recorder`` is the campaign's plant
+    :class:`~repro.sim.events.EventRecorder`; with no incidents the
+    block says so instead of vanishing, so a chaos run that injected
+    nothing is visibly different from one that was never armed.
+    """
+    events = _incident_stream(recorder)
+    if not events:
+        return "plant incidents: none (chaos plane armed, nothing fired)"
+    shown = events[-max(top, 1):]
+    lines = [f"plant incidents ({len(events)} event(s), last {len(shown)}):"]
+    for event in shown:
+        lines.append(f"  {_stamp(clock, event.time)}  {_describe_incident(event)}")
+    counts = recorder.counts()
+    tally = ", ".join(
+        f"{name} x{counts[name]}"
+        for name in sorted(counts)
+        if any(name == t.__name__ for t in _plant_event_types())
+    )
+    if tally:
+        lines.append(f"  tally: {tally}")
+    return "\n".join(lines)
+
+
+def render_pod_incidents(
+    recorder,
+    pod: int,
+    clock: Optional[SimClock] = None,
+    limit: int = 10,
+) -> str:
+    """The drill-down companion: one pod's trips, sheds, and flaps."""
+    events = [
+        e for e in _incident_stream(recorder) if getattr(e, "pod", None) == pod
+    ]
+    if not events:
+        return f"pod {pod} incidents: none"
+    shown = events[-max(limit, 1):]
+    lines = [f"pod {pod} incidents ({len(events)} event(s), last {len(shown)}):"]
+    for event in shown:
+        lines.append(f"  {_stamp(clock, event.time)}  {_describe_incident(event)}")
+    return "\n".join(lines)
+
+
 def render_phase_profile(telemetry: Telemetry, frames: int) -> str:
     """Where the vectorized tick spends its wall time, per phase."""
     labels = [
@@ -184,5 +296,7 @@ __all__ = [
     "pod_anomalies",
     "render_observatory",
     "render_phase_profile",
+    "render_plant_incidents",
     "render_pod_drilldown",
+    "render_pod_incidents",
 ]

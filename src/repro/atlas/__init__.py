@@ -21,9 +21,14 @@ from the cache.
 
 from repro.atlas.records import ATLAS_SCHEMA, SiteRecord, site_record_from_json_dict
 from repro.atlas.sweep import (
+    RISK_STRESS_DAYS,
+    RISK_STRESS_HOSTS,
+    RISK_STRESS_PLAN,
+    RISK_STRESS_POLICY,
     SITE_RECORD_CODEC,
     AtlasSpec,
     execute_site_attempt,
+    risk_specs,
     run_atlas,
     specs_for_sites,
 )
@@ -32,11 +37,16 @@ from repro.atlas.table import rank_records, render_atlas_table
 __all__ = [
     "ATLAS_SCHEMA",
     "AtlasSpec",
+    "RISK_STRESS_DAYS",
+    "RISK_STRESS_HOSTS",
+    "RISK_STRESS_PLAN",
+    "RISK_STRESS_POLICY",
     "SITE_RECORD_CODEC",
     "SiteRecord",
     "execute_site_attempt",
     "rank_records",
     "render_atlas_table",
+    "risk_specs",
     "run_atlas",
     "site_record_from_json_dict",
     "specs_for_sites",

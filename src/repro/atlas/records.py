@@ -17,10 +17,10 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 #: Bump when the record layout changes; stale cache entries are evicted.
-ATLAS_SCHEMA = 1
+ATLAS_SCHEMA = 2
 
 
 @dataclass(frozen=True)
@@ -43,6 +43,10 @@ class SiteRecord:
     savings_kwh_per_year: float
     savings_usd_per_year: float
     savings_fraction: float
+    #: Survival census of the --risk stress campaign (a plain
+    #: ``SurvivalCensus.to_json_dict()`` mapping), ``None`` when the
+    #: site was scored without a stress run.
+    survival: Optional[Dict[str, Any]] = None
     elapsed_s: float = field(compare=False, default=0.0)
 
     def __post_init__(self) -> None:

@@ -43,6 +43,20 @@ from repro.runner.pool import SweepResult, TaskCodec, WorkItem, run_tasks
 from repro.runner.records import _canonicalise
 from repro.sim.rng import RngStreams
 
+#: The stock stress recipe behind ``repro atlas --risk``: a short
+#: fleet campaign under a fixed plant-fault plan, identical for every
+#: site so the survival column compares like with like.  The census is
+#: a pure function of the spec (site weather seed + these constants),
+#: which is what keeps serial and ``--jobs N`` sweeps byte-identical.
+RISK_STRESS_HOSTS = 76
+RISK_STRESS_DAYS = 8.0
+RISK_STRESS_PLAN = (
+    "crac:outage@day1,repair=12h; "
+    "intake:blockage@day2,repair=18h,severity=1.0; "
+    "feed:drop@day4,repair=6h,feed=0"
+)
+RISK_STRESS_POLICY = "trip=32,clear=27,shed=0.5+1.0,hold=1h,cooldown=6h"
+
 
 @dataclass(frozen=True)
 class AtlasSpec:
@@ -60,6 +74,9 @@ class AtlasSpec:
     intake_limit_c: float = DEFAULT_INTAKE_LIMIT_C
     approach_c: float = DEFAULT_APPROACH_C
     seed: int = 0
+    #: Simulated days of the --risk stress campaign; 0 skips the stress
+    #: run and leaves :attr:`SiteRecord.survival` as ``None``.
+    risk_days: float = 0.0
 
     def __post_init__(self) -> None:
         if self.electricity_price_usd_per_kwh <= 0:
@@ -119,6 +136,7 @@ def execute_site_attempt(item: WorkItem) -> SiteRecord:
         assessment,
         electricity_price_usd_per_kwh=spec.electricity_price_usd_per_kwh,
     )
+    survival = _stress_site(spec) if spec.risk_days > 0 else None
     return SiteRecord(
         schema=ATLAS_SCHEMA,
         site=assessment.site,
@@ -136,8 +154,31 @@ def execute_site_attempt(item: WorkItem) -> SiteRecord:
         savings_kwh_per_year=economics.savings_kwh_per_year,
         savings_usd_per_year=economics.savings_usd_per_year,
         savings_fraction=economics.savings_fraction,
+        survival=survival,
         elapsed_s=time.perf_counter() - started,
     )
+
+
+def _stress_site(spec: AtlasSpec) -> Dict[str, object]:
+    """The --risk stress run: the stock chaos recipe on site weather.
+
+    Imports lazily so plain atlas sweeps never pay for the fleet
+    machinery in their workers.
+    """
+    from repro.analysis.survival import SurvivalCensus
+    from repro.core.config import ExperimentConfig
+    from repro.core.fleetscale import FleetScaleCampaign
+    from repro.plant.faults import PlantFaultPlan
+    from repro.plant.trip import ThermalTripPolicy
+
+    campaign = FleetScaleCampaign(
+        RISK_STRESS_HOSTS,
+        ExperimentConfig(seed=spec.seed, climate=spec.profile),
+        plant_faults=PlantFaultPlan.parse(RISK_STRESS_PLAN),
+        trip_policy=ThermalTripPolicy.parse(RISK_STRESS_POLICY),
+    )
+    campaign.run(spec.risk_days)
+    return SurvivalCensus.from_campaign(campaign).to_json_dict()
 
 
 def specs_for_sites(
@@ -164,6 +205,27 @@ def specs_for_sites(
             seed=streams.fork_seed(site.name),
         )
         for site in sample_sites(n, seed, year=year)
+    ]
+
+
+def risk_specs(
+    specs: Sequence[AtlasSpec],
+    sites: Sequence[str],
+    days: float = RISK_STRESS_DAYS,
+) -> List[AtlasSpec]:
+    """Stress variants of the named sites' specs (input order kept).
+
+    Each variant re-arms the base spec with ``risk_days``; its digest
+    (and so its cache key) differs from the plain spec's, so scored
+    stress records never collide with plain ones in the cache.
+    """
+    import dataclasses
+
+    chosen = set(sites)
+    return [
+        dataclasses.replace(spec, risk_days=days)
+        for spec in specs
+        if spec.profile.name in chosen
     ]
 
 

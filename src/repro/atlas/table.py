@@ -21,6 +21,12 @@ _HEADER = (
     f"{'kWh/yr saved':>13} {'USD/yr saved':>13} {'hrs>limit':>9}"
 )
 
+#: Extra columns when any record carries a --risk survival census:
+#: protective trips fired, host-hours of deliberate shed, and whether
+#: the protective layer held (every shed host restored, every trip
+#: cleared).
+_RISK_HEADER = f" {'trips':>5} {'shed h-h':>8} {'survived':>8}"
+
 
 def rank_records(records: Sequence[SiteRecord]) -> List[SiteRecord]:
     """Best site first, with a deterministic total order.
@@ -49,9 +55,11 @@ def render_atlas_table(
         raise ValueError("no site records to rank")
     ranked = rank_records(records)
     shown = ranked if top is None else ranked[:top]
-    lines = [_HEADER, "-" * len(_HEADER)]
+    with_risk = any(r.survival is not None for r in ranked)
+    header = _HEADER + _RISK_HEADER if with_risk else _HEADER
+    lines = [header, "-" * len(header)]
     for rank, record in enumerate(shown, start=1):
-        lines.append(
+        line = (
             f"{rank:>4}  {record.site:<24.24} {record.latitude_deg:>+6.1f} "
             f"{100.0 * record.free_fraction:>6.2f} "
             f"{record.pue_economizer:>5.3f} "
@@ -59,6 +67,22 @@ def render_atlas_table(
             f"{record.savings_usd_per_year:>13,.0f} "
             f"{record.hours_above_limit:>9}"
         )
+        if with_risk:
+            line += _render_risk_cells(record.survival)
+        lines.append(line)
     if len(shown) < len(ranked):
         lines.append(f"... {len(ranked) - len(shown)} more site(s) not shown")
     return "\n".join(lines)
+
+
+def _render_risk_cells(survival) -> str:
+    """The three --risk cells; dashes for sites never stressed."""
+    if survival is None:
+        return f" {'-':>5} {'-':>8} {'-':>8}"
+    from repro.analysis.survival import SurvivalCensus
+
+    census = SurvivalCensus.from_mapping(survival)
+    verdict = "yes" if census.survived() else "NO"
+    return (
+        f" {census.trips:>5} {census.host_hours_shed:>8.1f} {verdict:>8}"
+    )

@@ -170,6 +170,24 @@ def _parse_link_faults(text: str):
         raise argparse.ArgumentTypeError(str(exc)) from None
 
 
+def _parse_plant_faults(text: str):
+    from repro.plant.faults import PlantFaultPlan
+
+    try:
+        return PlantFaultPlan.parse(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _parse_trip_policy(text: str):
+    from repro.plant.trip import ThermalTripPolicy
+
+    try:
+        return ThermalTripPolicy.parse(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
 def _default_cache_dir() -> str:
     import os
 
@@ -233,6 +251,21 @@ def build_parser() -> argparse.ArgumentParser:
         "comma-separated clauses: 'storm:P[:seed=S][:action=A]...' for a "
         "seeded per-(host,round) storm, or 'HOST:ROUND:ACTION[:key=val]...' "
         "for an explicit fault (actions: ssh-timeout, partial, slow)",
+    )
+    run.add_argument(
+        "--plant-faults", type=_parse_plant_faults, default=None, metavar="SPEC",
+        help="inject cooling/power plant faults; SPEC is ';'-separated "
+        "clauses: 'COMPONENT:EVENT@WHEN[,key=value...]' for a scheduled "
+        "fault (components: fan, crac, intake, heater, feed; WHEN is "
+        "'dayN' or a duration like 36h) or 'storm:COMPONENT:RATE[,...]' "
+        "for a seeded per-day storm; works for both the paper campaign "
+        "and the --hosts fleet cohort",
+    )
+    run.add_argument(
+        "--trip-policy", type=_parse_trip_policy, default=None, metavar="SPEC",
+        help="protective thermal-trip policy; SPEC is comma-separated "
+        "key=value pairs (trip=, clear=, shed=F1+F2+.., hold=, cooldown=, "
+        "flap=on|off); an empty SPEC arms the stock policy",
     )
     run.add_argument(
         "--confirm-rounds", type=_parse_confirm_rounds, default=1, metavar="N",
@@ -332,6 +365,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress-out", default=None, metavar="FILE",
         help="write one JSONL line per site lifecycle event "
         "(cached/completed/retried/failed, with running totals and ETA)",
+    )
+    atlas.add_argument(
+        "--risk", action="store_true",
+        help="after ranking, stress the best sites (see --risk-sites) with "
+        "a short fleet campaign under the stock plant-fault plan and add "
+        "a survival-census column to the table",
+    )
+    atlas.add_argument(
+        "--risk-sites", type=int, default=10, metavar="K",
+        help="how many top-ranked sites get the --risk stress run "
+        "(default: 10)",
     )
 
     export = sub.add_parser("export", help="dump a run to flat files")
@@ -469,6 +513,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="robust |z| for a pod anomaly flag (default: 3.5)",
     )
     observe.add_argument(
+        "--plant-faults", type=_parse_plant_faults, default=None, metavar="SPEC",
+        help="inject cooling/power plant faults into the observed fleet "
+        "(same grammar as 'run --plant-faults'); the dashboard gains a "
+        "shed-hosts row and an incident log",
+    )
+    observe.add_argument(
+        "--trip-policy", type=_parse_trip_policy, default=None, metavar="SPEC",
+        help="protective thermal-trip policy for the observed fleet "
+        "(same grammar as 'run --trip-policy')",
+    )
+    observe.add_argument(
         "--progress", action="store_true",
         help="emit JSONL heartbeats on stderr while the run advances",
     )
@@ -534,6 +589,11 @@ def _cmd_run_resume(args: argparse.Namespace) -> int:
         print(full_report(results))
     else:
         print(results.summary())
+    if campaign.plant is not None:
+        from repro.analysis.survival import SurvivalCensus, render_survival
+
+        print("survival census:")
+        print(render_survival(SurvivalCensus.from_campaign(campaign), indent="  "))
     print(f"resumed from {args.resume}")
     for path in campaign.checkpoints_written:
         print(f"checkpoint -> {path}")
@@ -600,7 +660,13 @@ def _cmd_run_fleetscale(args: argparse.Namespace) -> int:
         from repro.telemetry import Telemetry
 
         telemetry = Telemetry()
-    campaign = FleetScaleCampaign(args.hosts, config, telemetry=telemetry)
+    campaign = FleetScaleCampaign(
+        args.hosts,
+        config,
+        telemetry=telemetry,
+        plant_faults=args.plant_faults,
+        trip_policy=args.trip_policy,
+    )
     progress = _make_progress(
         args,
         source="fleet",
@@ -617,6 +683,12 @@ def _cmd_run_fleetscale(args: argparse.Namespace) -> int:
             progress.close()
     wall_s = time.perf_counter() - wall_start
     print(campaign.format_summary())
+    if campaign.plant is not None:
+        from repro.analysis.survival import SurvivalCensus, render_survival
+
+        census = SurvivalCensus.from_campaign(campaign)
+        print("survival census:")
+        print(render_survival(census, indent="  "))
     simulated_days = campaign.summary()["simulated_s"] / 86_400.0
     print(
         f"wall: {wall_s:.2f}s for {simulated_days:.1f} sim-days "
@@ -645,6 +717,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     degraded = args.link_faults is not None or args.confirm_rounds > 1 or args.monitor_retries
     if args.link_faults is not None:
         builder.with_link_faults(args.link_faults)
+    if args.plant_faults is not None:
+        builder.with_plant_faults(args.plant_faults)
+    if args.trip_policy is not None:
+        builder.with_trip_policy(args.trip_policy)
     if degraded:
         from repro.monitoring.health import HealthPolicy
         from repro.runner.policy import RetryPolicy
@@ -713,6 +789,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"{mon.slow_sessions_total} slow sessions, "
             f"{mon.false_alarms_suppressed} false alarms suppressed"
         )
+    if campaign.plant is not None:
+        from repro.analysis.survival import SurvivalCensus, render_survival
+
+        print("survival census:")
+        print(render_survival(SurvivalCensus.from_campaign(campaign), indent="  "))
     if telemetry is not None:
         import json
 
@@ -789,6 +870,8 @@ def _cmd_observe(args: argparse.Namespace) -> int:
             record_series=True,
             series_capacity=args.capacity,
             telemetry=telemetry,
+            plant_faults=args.plant_faults,
+            trip_policy=args.trip_policy,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -829,6 +912,15 @@ def _cmd_observe(args: argparse.Namespace) -> int:
             top=args.top,
         )
     )
+    if campaign.plant_events is not None:
+        from repro.analysis.observatory import render_plant_incidents
+
+        print()
+        print(
+            render_plant_incidents(
+                campaign.plant_events, clock=campaign.clock, top=args.top
+            )
+        )
     if args.pod is not None:
         print()
         print(
@@ -836,6 +928,15 @@ def _cmd_observe(args: argparse.Namespace) -> int:
                 campaign.series, args.signal, args.pod, width=args.width
             )
         )
+        if campaign.plant_events is not None:
+            from repro.analysis.observatory import render_pod_incidents
+
+            print()
+            print(
+                render_pod_incidents(
+                    campaign.plant_events, args.pod, clock=campaign.clock
+                )
+            )
     print()
     print(render_phase_profile(telemetry, campaign.summary()["engine"]["frames"]))
     if args.progress_out and progress is not None:
@@ -931,12 +1032,41 @@ def _cmd_atlas(args: argparse.Namespace) -> int:
     finally:
         if progress is not None:
             progress.close()
-    if result.records:
+    records = list(result.records)
+    risk_failures = []
+    if args.risk and records:
+        import dataclasses
+
+        from repro.atlas import rank_records, risk_specs
+
+        ranked = rank_records(records)
+        chosen = [r.site for r in ranked[: args.risk_sites]]
+        stress = run_atlas(
+            risk_specs(specs, chosen),
+            jobs=args.jobs,
+            cache_dir=cache_dir,
+            policy=policy,
+            strict=not args.keep_going,
+        )
+        survival_by_site = {r.site: r.survival for r in stress.records}
+        records = [
+            dataclasses.replace(r, survival=survival_by_site[r.site])
+            if r.site in survival_by_site
+            else r
+            for r in records
+        ]
+        risk_failures = list(stress.failures)
+        print(
+            f"risk stress: top {len(chosen)} site(s), "
+            f"{stress.cache_hits} from cache, {stress.cache_misses} "
+            f"computed in {stress.elapsed_s:.1f} s"
+        )
+    if records:
         print(
             f"Free-cooling atlas: {args.sites} sites, seed {args.seed}, "
             f"{args.intake_limit:.0f} degC intake ceiling"
         )
-        print(render_atlas_table(result.records, top=args.top))
+        print(render_atlas_table(records, top=args.top))
     else:
         print("no site survived the sweep")
     print(
@@ -946,12 +1076,13 @@ def _cmd_atlas(args: argparse.Namespace) -> int:
     )
     if args.progress_out and progress is not None:
         print(f"progress -> {args.progress_out} ({progress.lines_emitted} events)")
-    if result.failures:
+    failures = list(result.failures) + risk_failures
+    if failures:
         print()
-        print(f"failures ({len(result.failures)}):")
-        for failure in result.failures:
+        print(f"failures ({len(failures)}):")
+        for failure in failures:
             print(f"  {failure.describe()}")
-    return 1 if result.failures else 0
+    return 1 if failures else 0
 
 
 def _cmd_export(args: argparse.Namespace) -> int:

@@ -41,6 +41,9 @@ from repro.monitoring.health import HealthPolicy
 from repro.monitoring.powermeter import TechnolineCostControl
 from repro.monitoring.transport import LinkFaultPlan, TransferLedger
 from repro.monitoring.webcam import TerraceWebcam
+from repro.plant.controller import PlantController
+from repro.plant.faults import PlantFaultPlan
+from repro.plant.trip import ThermalTripPolicy
 from repro.sim.clock import DAY, MINUTE, SimClock
 from repro.sim.engine import Simulator
 from repro.sim.events import EventBus, EventRecorder, SnapshotTaken
@@ -87,6 +90,8 @@ class Campaign:
         link_faults: Optional[LinkFaultPlan] = None,
         health_policy: Optional[HealthPolicy] = None,
         fleet_backend: str = "columnar",
+        plant_faults: Optional[PlantFaultPlan] = None,
+        trip_policy: Optional[ThermalTripPolicy] = None,
     ) -> None:
         self.config = config
         self._disabled = disabled
@@ -146,6 +151,20 @@ class Campaign:
         )
         self.powermeter = TechnolineCostControl(self.streams)
         self.webcam = TerraceWebcam(self.weather, self.streams)
+
+        # The plant chaos plane: only constructed when a fault plan or
+        # trip policy is armed, so the unarmed campaign keeps its exact
+        # historical bus wiring, key registry, and event sequence.
+        self._plant_faults = plant_faults
+        self._trip_policy = trip_policy
+        plant_armed = bool(plant_faults) or trip_policy is not None
+        self.plant: Optional[PlantController] = (
+            PlantController(
+                self.sim, self.fleet, plant_faults, trip_policy, bus=self.bus
+            )
+            if plant_armed
+            else None
+        )
 
         #: Extra instruments, name -> built instance (attach/detach protocol).
         self.instruments: Dict[str, object] = {}
@@ -358,6 +377,11 @@ class Campaign:
 
         self.sim.schedule_at_key(test_start, "campaign.erect_tent", label="erect-tent")
         self.fleet.start_ticking(test_start)
+        if self.plant is not None:
+            # Scheduled right behind the fleet tick: same period, later
+            # tie-break, so each plant decision sees freshly advanced
+            # enclosures and host states.
+            self.plant.start_ticking(test_start)
 
         for plan in self.config.host_plans:
             if plan.install_date is None:
@@ -452,6 +476,8 @@ class Campaign:
         sim.register("campaign.collector_attach", self._attach_collector)
         sim.register("campaign.weekly_review", self.policy.weekly_review)
         sim.register("campaign.snapshot", self._freeze_snapshot)
+        if self.plant is not None:
+            self.plant.register_keys(sim)
 
     def _apply_tent_modification(self, letter: str, when: float) -> None:
         self.fleet.apply_tent_modification(Modification(letter), when)
@@ -480,7 +506,7 @@ class Campaign:
     # ------------------------------------------------------------------
     def state_dict(self) -> Dict[str, Any]:
         """One versioned state blob per stateful layer, keyed by name."""
-        return {
+        state = {
             "engine": self.sim.state_dict(),
             "rng": self.streams.state_dict(),
             "station": self.station.state_dict(),
@@ -498,6 +524,9 @@ class Campaign:
                 self.telemetry.state_dict() if self.telemetry is not None else None
             ),
         }
+        if self.plant is not None:
+            state["plant"] = self.plant.state_dict()
+        return state
 
     def checkpoint(self) -> CampaignCheckpoint:
         """Freeze the entire campaign into a :class:`CampaignCheckpoint`.
@@ -532,6 +561,8 @@ class Campaign:
         snapshot.encode_meta("config", self.config)
         snapshot.encode_meta("link_faults", self._link_faults)
         snapshot.encode_meta("health_policy", self._health_policy)
+        snapshot.encode_meta("plant_faults", self._plant_faults)
+        snapshot.encode_meta("trip_policy", self._trip_policy)
         snapshot.encode_meta("prototype_result", self.prototype_result)
         snapshot.encode_meta("snapshot", self._snapshot)
         return snapshot
@@ -573,6 +604,8 @@ class Campaign:
             link_faults=checkpoint.decode_meta("link_faults"),
             health_policy=checkpoint.decode_meta("health_policy"),
             fleet_backend=checkpoint.meta.get("fleet_backend", "columnar"),
+            plant_faults=checkpoint.decode_meta("plant_faults"),
+            trip_policy=checkpoint.decode_meta("trip_policy"),
         )
         campaign._ran = bool(checkpoint.meta.get("ran", True))
         end = checkpoint.meta.get("end")
@@ -600,6 +633,8 @@ class Campaign:
         campaign.transfers.load_state_dict(components["transfers"])
         campaign.policy.load_state_dict(components["policy"])
         campaign.fault_log.load_state_dict(components["fault_log"])
+        if campaign.plant is not None and components.get("plant") is not None:
+            campaign.plant.load_state_dict(components["plant"])
         campaign.bus.counts.clear()
         campaign.bus.counts.update(
             {str(k): int(v) for k, v in components.get("bus_counts", {}).items()}
@@ -630,6 +665,8 @@ class Campaign:
         campaign.webcam.rebind(campaign.sim)
         campaign.monitoring.rebind(campaign.sim)
         campaign.fleet.rebind(campaign.sim)
+        if campaign.plant is not None:
+            campaign.plant.rebind(campaign.sim)
         return campaign
 
     def continue_run(
@@ -746,6 +783,8 @@ class CampaignBuilder:
         self._link_faults: Optional[LinkFaultPlan] = None
         self._health_policy: Optional[HealthPolicy] = None
         self._fleet_backend = "columnar"
+        self._plant_faults: Optional[PlantFaultPlan] = None
+        self._trip_policy: Optional[ThermalTripPolicy] = None
 
     def without(self, name: str) -> "CampaignBuilder":
         """Drop one default instrument (see :data:`DEFAULT_INSTRUMENTS`)."""
@@ -833,6 +872,33 @@ class CampaignBuilder:
         self._link_faults = plan
         return self
 
+    def with_plant_faults(self, plan: PlantFaultPlan) -> "CampaignBuilder":
+        """Arm the plant chaos plane with a deterministic fault plan.
+
+        ``plan`` is a :class:`~repro.plant.faults.PlantFaultPlan` (see
+        :meth:`PlantFaultPlan.parse` for the CLI spec syntax).  Unlike
+        link faults, plant faults have *physical* consequences: degraded
+        tent airflow, a drifting machine room, powered-down feed groups.
+        An empty plan (and no trip policy) builds no plant at all and
+        leaves the campaign byte-identical.
+        """
+        if not isinstance(plan, PlantFaultPlan):
+            raise TypeError(f"expected a PlantFaultPlan, got {plan!r}")
+        self._plant_faults = plan
+        return self
+
+    def with_trip_policy(self, policy: ThermalTripPolicy) -> "CampaignBuilder":
+        """Arm protective thermal trips with staged load shedding.
+
+        ``policy`` is a :class:`~repro.plant.trip.ThermalTripPolicy`
+        (see :meth:`ThermalTripPolicy.parse`); it watches the tent
+        intake and powers hosts down in stages on overtemperature.
+        """
+        if not isinstance(policy, ThermalTripPolicy):
+            raise TypeError(f"expected a ThermalTripPolicy, got {policy!r}")
+        self._trip_policy = policy
+        return self
+
     def with_health_policy(self, policy: HealthPolicy) -> "CampaignBuilder":
         """Set the collector's host-health policy.
 
@@ -857,4 +923,6 @@ class CampaignBuilder:
             link_faults=self._link_faults,
             health_policy=self._health_policy,
             fleet_backend=self._fleet_backend,
+            plant_faults=self._plant_faults,
+            trip_policy=self._trip_policy,
         )

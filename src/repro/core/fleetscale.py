@@ -48,6 +48,10 @@ import numpy as np
 from repro.climate.generator import WeatherGenerator
 from repro.core.config import ExperimentConfig
 from repro.hardware.vendors import vendor
+from repro.plant.faults import FEED_GROUP_PODS, PlantFaultPlan
+from repro.plant.fleet import FleetPlant
+from repro.plant.trip import ThermalTripPolicy
+from repro.sim import events as ev
 from repro.sim.clock import SimClock
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngStreams
@@ -62,6 +66,12 @@ MONITOR_PERIOD_S = 1200.0
 STAGED = 0
 RUNNING = 1
 FAILED = 2
+SHED = 3  # powered down by the plant chaos plane (trip or feed drop)
+
+# shed_reason codes (why a SHED host is down).
+_SHED_NONE = 0
+_SHED_TRIP = 1
+_SHED_FEED = 2
 
 _DISK_TOLERANCE = {"A": 1, "B": 0, "C": 1}
 
@@ -100,6 +110,14 @@ class FleetScaleCampaign:
         every frame phase (weather/thermal/hazards/workload/observe) is
         timed into a ``fleetscale.*`` span and the run records engine
         health gauges -- the ``repro telemetry --hosts N`` profile.
+    plant_faults:
+        Optional :class:`~repro.plant.faults.PlantFaultPlan`.  An empty
+        (or absent) plan with no trip policy constructs no plant at all:
+        the frame list, RNG draw sequence, and census stay byte-identical
+        to a plain campaign.
+    trip_policy:
+        Optional :class:`~repro.plant.trip.ThermalTripPolicy` arming
+        per-pod intake-overtemp trips with staged load shedding.
     """
 
     def __init__(
@@ -110,6 +128,8 @@ class FleetScaleCampaign:
         record_series: bool = False,
         series_capacity: int = 512,
         telemetry: Optional["Telemetry"] = None,
+        plant_faults: Optional[PlantFaultPlan] = None,
+        trip_policy: Optional[ThermalTripPolicy] = None,
     ) -> None:
         if n_hosts <= 0:
             raise ValueError("need at least one host")
@@ -131,6 +151,7 @@ class FleetScaleCampaign:
 
         self._build_cohort()
         self._build_thermal()
+        self._build_plant(plant_faults, trip_policy)
         self._build_series(record_series, series_capacity)
         self._install_frame()
 
@@ -242,6 +263,33 @@ class FleetScaleCampaign:
         self._basement_c = 21.0
         self.intake_temp_c = np.full(self.n_hosts, first.temp_c, dtype=np.float64)
 
+    def _build_plant(
+        self,
+        plant_faults: Optional[PlantFaultPlan],
+        trip_policy: Optional[ThermalTripPolicy],
+    ) -> None:
+        """The chaos plane -- only constructed when actually armed.
+
+        ``self.plant is None`` is the global fast-path gate: no extra
+        frame callbacks, no extra columns, no extra RNG draws, so an
+        unarmed campaign is byte-identical to one built before the plant
+        existed.
+        """
+        armed = bool(plant_faults) or trip_policy is not None
+        self.plant: Optional[FleetPlant] = None
+        self.plant_events: Optional[ev.EventRecorder] = None
+        self.shed_reason: Optional[np.ndarray] = None
+        self._n_shed = 0
+        if not armed:
+            return
+        bus = ev.EventBus()
+        self.plant_events = ev.EventRecorder()
+        self.plant_events.attach(bus)
+        self.plant = FleetPlant(
+            plant_faults, trip_policy, self.n_pods, self._start_s, bus=bus
+        )
+        self.shed_reason = np.zeros(self.n_hosts, dtype=np.int8)
+
     def _build_series(self, record_series: bool, series_capacity: int) -> None:
         """The observatory's recorder and per-pod cumulative tallies."""
         self.series = None
@@ -253,6 +301,11 @@ class FleetScaleCampaign:
         self._pod_cycles = None
         self._pod_running = None
         self._pod_power = None
+        self._pod_shed = (
+            np.zeros(self.n_pods, dtype=np.float64)
+            if (self.plant is not None or record_series)
+            else None
+        )
         if not record_series:
             return
         from repro.telemetry.timeseries import SeriesRecorder
@@ -271,6 +324,7 @@ class FleetScaleCampaign:
                 "wrong_hashes": pods,
                 "energy_kwh": pods,
                 "workload_cycles": pods,
+                "hosts_shed": pods,
             },
             capacity=series_capacity,
         )
@@ -294,13 +348,27 @@ class FleetScaleCampaign:
 
     def _install_frame(self) -> None:
         dt = self.tick_interval_s
-        callbacks: List[Callable[[], None]] = [
-            self._frame_weather,
-            self._frame_thermal,
-            self._frame_hazards,
-            self._frame_workload,
-        ]
-        names = ["weather", "thermal", "hazards", "workload"]
+        if self.plant is not None:
+            # Chaos-plane frame: plant faults advance after weather (so
+            # strikes see this frame's sample) and trips evaluate right
+            # after thermal (so they see this frame's intake).
+            callbacks: List[Callable[[], None]] = [
+                self._frame_weather,
+                self._frame_plant,
+                self._frame_thermal,
+                self._frame_trip,
+                self._frame_hazards,
+                self._frame_workload,
+            ]
+            names = ["weather", "plant", "thermal", "trip", "hazards", "workload"]
+        else:
+            callbacks = [
+                self._frame_weather,
+                self._frame_thermal,
+                self._frame_hazards,
+                self._frame_workload,
+            ]
+            names = ["weather", "thermal", "hazards", "workload"]
         if self.series is not None:
             callbacks.append(self._frame_observe)
             names.append("observe")
@@ -346,6 +414,19 @@ class FleetScaleCampaign:
     def _frame_weather(self) -> None:
         self._sample = self.weather.sample(self.sim.now)
 
+    def _frame_plant(self) -> None:
+        """Advance the chaos plane (only installed when armed).
+
+        Fault strikes/repairs land here; feed transitions power whole
+        feed groups down or up before thermal sees their load.
+        """
+        plant = self.plant
+        plant.advance(self.sim.now, self.tick_interval_s, self._sample.temp_c)
+        for feed in plant.feed_dropped_now:
+            self._drop_feed(feed)
+        for feed in plant.feed_restored_now:
+            self._restore_feed(feed)
+
     def _frame_thermal(self) -> None:
         dt = self.tick_interval_s
         s = self._sample
@@ -356,12 +437,21 @@ class FleetScaleCampaign:
             weights=self.avg_power_w[tent_on],
             minlength=self.n_pods,
         )
-        self.tents.step(dt, pod_load, s.temp_c, s.wind_ms, s.solar_wm2)
+        ua_factor = None
+        if self.plant is not None and self.plant.degraded:
+            ua_factor = self.plant.ua_factor
+        self.tents.step(
+            dt, pod_load, s.temp_c, s.wind_ms, s.solar_wm2, ua_factor=ua_factor
+        )
 
         # Basement CRAC: setpoint plus the same diurnal wiggle as the
         # object model's BasementMachineRoom.
         day_frac = (self.sim.now % 86_400.0) / 86_400.0
         basement_c = 21.0 + 0.4 * math.sin(2.0 * math.pi * day_frac)
+        if self.plant is not None:
+            basement_c = self.plant.basement_temp(
+                self.sim.now, dt, self._basement_c, basement_c, s.temp_c
+            )
         self._basement_c = basement_c
         self.intake_temp_c = np.where(
             self.tent_mask, self.tents.intake_temp_c[self.pod], basement_c
@@ -371,6 +461,122 @@ class FleetScaleCampaign:
         self._tent_temp_max = max(self._tent_temp_max, float(air.max()))
         self._tent_temp_sum += float(air.mean())
         self._ticks += 1
+
+    def _frame_trip(self) -> None:
+        """Protective-trip pass (only installed when the plant is armed)."""
+        dt = self.tick_interval_s
+        now = self.sim.now
+        plant = self.plant
+        shed, restore = plant.evaluate(now, dt, self.tents.intake_temp_c)
+        for pod, stage, fraction in shed:
+            self._shed_pod(pod, stage, fraction, now)
+        for pod in restore:
+            self._restore_pod(pod, now)
+        if self._n_shed:
+            plant.host_hours_shed += self._n_shed * dt / 3600.0
+
+    # -- chaos-plane host transitions ----------------------------------
+    def _apply_shed(self, idx: np.ndarray, reason: int) -> None:
+        """Power the hosts at ``idx`` down (they draw nothing, run nothing)."""
+        self.state[idx] = SHED
+        self.shed_reason[idx] = reason
+        self._n_shed += len(idx)
+        self.plant.hosts_shed += len(idx)
+        if self._pod_shed is not None:
+            self._pod_shed += np.bincount(self.pod[idx], minlength=self.n_pods)
+        if self._pod_running is not None:
+            self._pod_running -= np.bincount(self.pod[idx], minlength=self.n_pods)
+            self._pod_power -= np.bincount(
+                self.pod[idx], weights=self.avg_power_w[idx], minlength=self.n_pods
+            )
+
+    def _apply_restore(self, idx: np.ndarray) -> None:
+        self.state[idx] = RUNNING
+        self.shed_reason[idx] = _SHED_NONE
+        self._n_shed -= len(idx)
+        self.plant.hosts_restored += len(idx)
+        if self._pod_shed is not None:
+            self._pod_shed -= np.bincount(self.pod[idx], minlength=self.n_pods)
+        if self._pod_running is not None:
+            self._pod_running += np.bincount(self.pod[idx], minlength=self.n_pods)
+            self._pod_power += np.bincount(
+                self.pod[idx], weights=self.avg_power_w[idx], minlength=self.n_pods
+            )
+
+    def _feed_slice(self, feed: int) -> slice:
+        span = FEED_GROUP_PODS * POD_SIZE
+        return slice(feed * span, min(self.n_hosts, (feed + 1) * span))
+
+    def _drop_feed(self, feed: int) -> None:
+        seg = self._feed_slice(feed)
+        idx = np.flatnonzero(self.state[seg] == RUNNING) + seg.start
+        if not len(idx):
+            return
+        self._apply_shed(idx, _SHED_FEED)
+        now = self.sim.now
+        pods, counts = np.unique(self.pod[idx], return_counts=True)
+        for pod, count in zip(pods, counts):
+            self.plant._publish(
+                ev.LoadShed(
+                    time=now, pod=int(pod), hosts=int(count), stage=0, reason="feed"
+                )
+            )
+
+    def _restore_feed(self, feed: int) -> None:
+        seg = self._feed_slice(feed)
+        mask = (self.state[seg] == SHED) & (self.shed_reason[seg] == _SHED_FEED)
+        idx = np.flatnonzero(mask) + seg.start
+        if not len(idx):
+            return
+        self._apply_restore(idx)
+        now = self.sim.now
+        pods, counts = np.unique(self.pod[idx], return_counts=True)
+        for pod, count in zip(pods, counts):
+            self.plant._publish(
+                ev.LoadRestored(
+                    time=now, pod=int(pod), hosts=int(count), reason="feed"
+                )
+            )
+
+    def _shed_pod(self, pod: int, stage: int, fraction: float, now: float) -> None:
+        """Bring the pod's tent group down to its stage's shed fraction.
+
+        Lowest host index first, so serial and ``--jobs N`` runs shed
+        the same hosts.
+        """
+        lo = pod * POD_SIZE
+        seg = slice(lo, min(self.n_hosts, lo + POD_SIZE))
+        tent = self.tent_mask[seg]
+        target = int(math.ceil(fraction * int(tent.sum())))
+        already = int(
+            ((self.state[seg] == SHED) & (self.shed_reason[seg] == _SHED_TRIP)).sum()
+        )
+        need = target - already
+        if need <= 0:
+            return
+        candidates = np.flatnonzero(tent & (self.state[seg] == RUNNING)) + lo
+        idx = candidates[:need]
+        if not len(idx):
+            return
+        self._apply_shed(idx, _SHED_TRIP)
+        self.plant._publish(
+            ev.LoadShed(
+                time=now, pod=int(pod), hosts=int(len(idx)), stage=int(stage),
+                reason="trip",
+            )
+        )
+
+    def _restore_pod(self, pod: int, now: float) -> None:
+        lo = pod * POD_SIZE
+        seg = slice(lo, min(self.n_hosts, lo + POD_SIZE))
+        mask = (self.state[seg] == SHED) & (self.shed_reason[seg] == _SHED_TRIP)
+        idx = np.flatnonzero(mask) + lo
+        if not len(idx):
+            return
+        self._apply_restore(idx)
+        self.plant._publish(
+            ev.LoadRestored(time=now, pod=int(pod), hosts=int(len(idx)), reason="trip")
+        )
 
     def _frame_hazards(self) -> None:
         dt = self.tick_interval_s
@@ -444,6 +650,14 @@ class FleetScaleCampaign:
                 self._pod_power -= np.bincount(
                     pods_down, weights=self.avg_power_w[idx], minlength=self.n_pods
                 )
+            if self.plant is not None:
+                # Survival census: failures inside an active incident
+                # (fault, trip, or shed in force) count as hosts lost.
+                incident = self.plant.incident_pods(now)
+                if incident.any():
+                    self.plant.hosts_lost += int(
+                        incident[self.pod[np.flatnonzero(down)]].sum()
+                    )
             self.state[down] = FAILED
             self.repair_at[down] = now + self.config.inspection_delay_hours * 3600.0
             # A repair swaps the dead drives too.
@@ -511,6 +725,7 @@ class FleetScaleCampaign:
                 "wrong_hashes": self._pod_wrong,
                 "energy_kwh": self._pod_energy,
                 "workload_cycles": self._pod_cycles,
+                "hosts_shed": self._pod_shed,
             },
         )
 
@@ -556,9 +771,27 @@ class FleetScaleCampaign:
         base = max(self.sim.now, self._start_s)
         self.sim.run_until(base + days * 86_400.0)
 
+    def plant_census(self) -> Optional[Dict[str, Any]]:
+        """The survival census (None when the chaos plane is unarmed)."""
+        if self.plant is None:
+            return None
+        p = self.plant
+        return {
+            "faults_injected": p.faults_injected,
+            "faults_repaired": p.faults_repaired,
+            "trips": p.trips,
+            "trip_clears": p.trip_clears,
+            "hosts_shed": p.hosts_shed,
+            "hosts_restored": p.hosts_restored,
+            "hosts_shed_now": self._n_shed,
+            "host_hours_shed": round(p.host_hours_shed, 3),
+            "excursion_minutes": round(p.excursion_minutes, 3),
+            "hosts_lost": p.hosts_lost,
+        }
+
     def summary(self) -> Dict[str, Any]:
         mean_tent = self._tent_temp_sum / self._ticks if self._ticks else math.nan
-        return {
+        census = {
             "hosts": self.n_hosts,
             "pods": self.n_pods,
             "simulated_s": max(0.0, self.sim.now - self._start_s),
@@ -584,6 +817,9 @@ class FleetScaleCampaign:
                 "frames": self._ticks,
             },
         }
+        if self.plant is not None:
+            census["plant"] = self.plant_census()
+        return census
 
     # ------------------------------------------------------------------
     # Observatory access
@@ -618,5 +854,15 @@ class FleetScaleCampaign:
             lines.append(
                 f"  tent air: {tent['min']:.1f} .. {tent['mean']:.1f} .. "
                 f"{tent['max']:.1f} degC"
+            )
+        plant = s.get("plant")
+        if plant is not None:
+            lines.append(
+                f"  plant: {plant['faults_injected']} faults "
+                f"({plant['faults_repaired']} repaired), {plant['trips']} trips, "
+                f"{plant['hosts_shed']} hosts shed "
+                f"({plant['host_hours_shed']:.1f} host-hours), "
+                f"{plant['excursion_minutes']:.0f} excursion minutes, "
+                f"{plant['hosts_lost']} hosts lost"
             )
         return "\n".join(lines)

@@ -60,6 +60,7 @@ class HostState(enum.Enum):
     BOOTING = "booting"  # power-cycled, BIOS + OS still coming up
     FAILED = "failed"  # down, awaiting operator attention
     RETIRED = "retired"  # withdrawn from the experiment
+    SHED = "shed"  # deliberately powered down (load-shed / feed drop)
 
 
 #: Small-int codes for the ``host_state`` fleet column.  RUNNING is 1 so a
@@ -70,6 +71,7 @@ _HOST_STATE_CODES = {
     HostState.BOOTING: 2,
     HostState.FAILED: 3,
     HostState.RETIRED: 4,
+    HostState.SHED: 5,
 }
 HOST_STATE_RUNNING_CODE = _HOST_STATE_CODES[HostState.RUNNING]
 
@@ -219,6 +221,32 @@ class Host:
         self.sensor.warm_reboot()
         self.storage.record_power_cycle()
         self.event_log.append((time, "warm reboot (sensor chip recovered)"))
+
+    def power_down(self, time: float, reason: str = "load shed") -> None:
+        """Deliberately power off a healthy host (trip shed, feed drop).
+
+        Unlike a failure, a shed host is *intact*: the plant layer
+        powers it back up with :meth:`power_up` once conditions allow,
+        and the operator playbook leaves it alone (it is not FAILED).
+        Only valid from RUNNING.
+        """
+        if self.state is not HostState.RUNNING:
+            raise RuntimeError(
+                f"{self.hostname} cannot be shed from state {self.state.value}"
+            )
+        self.state = HostState.SHED
+        self.cpu.busy = False
+        self.event_log.append((time, f"powered down ({reason})"))
+
+    def power_up(self, time: float) -> None:
+        """Power a shed host back up after cool-down / feed restoration."""
+        if self.state is not HostState.SHED:
+            raise RuntimeError(
+                f"{self.hostname} is not shed (state={self.state.value})"
+            )
+        self.state = HostState.RUNNING
+        self.storage.record_power_cycle()
+        self.event_log.append((time, "powered up after shed"))
 
     def retire(self, time: float) -> None:
         """Withdraw the host from the experiment permanently."""

@@ -1,0 +1,545 @@
+"""Vectorized plant state for the fleet-scale batch campaign.
+
+:class:`FleetPlant` owns everything the chaos plane adds to
+``FleetScaleCampaign``: the fault schedule cursor, per-pod airflow
+degradation, the power-feed masks, CRAC/heater site state, the
+per-pod protective-trip state machine, and the survival-census
+counters.  The campaign calls :meth:`advance` once per frame (after
+weather, before thermal) and :meth:`evaluate` after thermal; both are
+pure vector arithmetic plus short python loops over *transitions*
+(faults striking, trips firing), which are rare by construction.
+
+Determinism: storm coins are stateless (pure functions of
+``(seed, kind, domain, day)``, see :class:`~repro.plant.faults.PlantStorm`),
+scheduled faults are data, and nothing here touches the campaign's
+pooled RNG -- so two runs with the same plan agree fault-for-fault
+regardless of host count, job fan-out, or kill-and-resume.  The whole
+object round-trips through :meth:`state_dict`/:meth:`load_state_dict`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.plant.faults import (
+    BLOCKAGE_ACH_LOSS,
+    BLOCKAGE_UA_LOSS,
+    AIRFLOW_FLOOR,
+    CRAC_OUTAGE_APPROACH_C,
+    CRAC_TAU_S,
+    DAY_S,
+    FAN_ACH_LOSS,
+    FAN_UA_LOSS,
+    FEED_GROUP_PODS,
+    FLAP_ACH_GAIN,
+    FLAP_UA_GAIN,
+    ICE_ACCRETION_PER_H,
+    ICE_SEVERITY_CAP,
+    POD_SCOPED,
+    PlantFault,
+    PlantFaultKind,
+    PlantFaultPlan,
+)
+from repro.plant.trip import ThermalTripPolicy
+from repro.sim import events as ev
+
+_INACTIVE = -math.inf
+
+
+class FleetPlant:
+    """Chaos-plane state for one fleet-scale cohort of ``n_pods`` pods."""
+
+    STATE_VERSION = 1
+
+    def __init__(
+        self,
+        plan: Optional[PlantFaultPlan],
+        policy: Optional[ThermalTripPolicy],
+        n_pods: int,
+        start_s: float,
+        bus: Optional[ev.EventBus] = None,
+    ) -> None:
+        self.plan = plan if plan is not None else PlantFaultPlan()
+        self.policy = policy
+        self.n_pods = int(n_pods)
+        self.n_feeds = (self.n_pods + FEED_GROUP_PODS - 1) // FEED_GROUP_PODS
+        self._start_s = float(start_s)
+        self.bus = bus
+
+        # Airflow faults: per-pod (targeted / storm strikes) plus one
+        # site-wide channel per kind (scheduled faults with pod=None).
+        self.fan_until = np.full(self.n_pods, _INACTIVE)
+        self.fan_severity = np.zeros(self.n_pods)
+        self.block_until = np.full(self.n_pods, _INACTIVE)
+        self.block_severity = np.zeros(self.n_pods)
+        self.fan_all_until = _INACTIVE
+        self.fan_all_severity = 0.0
+        self.block_all_until = _INACTIVE
+        self.block_all_severity = 0.0
+
+        # Power feeds, CRAC, intake heater (site scalars).
+        self.feed_until = np.full(self.n_feeds, _INACTIVE)
+        self.crac_until = _INACTIVE
+        self.crac_recovering = False
+        self.heater_until = _INACTIVE
+        self.ice_severity = 0.0
+
+        # Protective-trip state machine, per pod.
+        self.tripped = np.zeros(self.n_pods, dtype=np.bool_)
+        self.stage = np.zeros(self.n_pods, dtype=np.int8)
+        self.stage_deadline = np.full(self.n_pods, np.inf)
+        self.restore_at = np.full(self.n_pods, np.inf)
+        self.flap = np.zeros(self.n_pods, dtype=np.bool_)
+
+        # Composed airflow factors (recomputed each advance).
+        self.ua_factor = np.ones(self.n_pods)
+        self.ach_factor = np.ones(self.n_pods)
+
+        # Fault-schedule cursors.
+        self._next_fault = 0  # into plan.faults (sorted by start_day)
+        self._storm_day = 0  # next day index to sample
+        self._pending: List[Tuple[float, PlantFault]] = []
+
+        # Feed transitions from the last advance (feed indices).
+        self.feed_dropped_now: List[int] = []
+        self.feed_restored_now: List[int] = []
+
+        # Survival census counters.
+        self.faults_injected = 0
+        self.faults_repaired = 0
+        self.trips = 0
+        self.trip_clears = 0
+        self.hosts_shed = 0
+        self.hosts_restored = 0
+        self.host_hours_shed = 0.0
+        self.excursion_minutes = 0.0
+        self.hosts_lost = 0
+
+    # ------------------------------------------------------------------
+    # Fault schedule
+    # ------------------------------------------------------------------
+    def _publish(self, event: ev.Event) -> None:
+        if self.bus is not None:
+            self.bus.publish(event)
+
+    def _storm_domains(self, kind: PlantFaultKind) -> range:
+        if kind in POD_SCOPED:
+            return range(self.n_pods)
+        if kind is PlantFaultKind.FEED_DROP:
+            return range(self.n_feeds)
+        return range(1)  # site-scoped: one coin per day
+
+    def _sample_storms(self, now: float) -> None:
+        """Flip the daily coins for every campaign day reached so far."""
+        day = int((now - self._start_s) // DAY_S)
+        sampled = False
+        while self._storm_day <= day:
+            d = self._storm_day
+            for storm in self.plan.storms:
+                for domain in self._storm_domains(storm.kind):
+                    fault = storm.fault_for(domain, d)
+                    if fault is not None:
+                        start = self._start_s + fault.start_s
+                        self._pending.append((start, fault))
+                        sampled = True
+            self._storm_day += 1
+        if sampled:
+            self._pending.sort(
+                key=lambda item: (
+                    item[0],
+                    item[1].kind.value,
+                    -1 if item[1].pod is None else item[1].pod,
+                    -1 if item[1].feed is None else item[1].feed,
+                )
+            )
+
+    def _activate(self, fault: PlantFault, start: float, now: float) -> None:
+        """Apply one fault whose start time has arrived."""
+        until = start + fault.repair_s
+        if until <= now:
+            return  # struck and repaired entirely between frames
+        kind = fault.kind
+        domain = -1
+        if kind is PlantFaultKind.FAN_FAILURE:
+            if fault.pod is None:
+                self.fan_all_until = max(self.fan_all_until, until)
+                self.fan_all_severity = max(self.fan_all_severity, fault.severity)
+            elif fault.pod < self.n_pods:
+                domain = fault.pod
+                self.fan_until[domain] = max(self.fan_until[domain], until)
+                self.fan_severity[domain] = max(
+                    self.fan_severity[domain], fault.severity
+                )
+            else:
+                return  # targets a pod this cohort does not have
+        elif kind is PlantFaultKind.INTAKE_BLOCKAGE:
+            if fault.pod is None:
+                self.block_all_until = max(self.block_all_until, until)
+                self.block_all_severity = max(
+                    self.block_all_severity, fault.severity
+                )
+            elif fault.pod < self.n_pods:
+                domain = fault.pod
+                self.block_until[domain] = max(self.block_until[domain], until)
+                self.block_severity[domain] = max(
+                    self.block_severity[domain], fault.severity
+                )
+            else:
+                return
+        elif kind is PlantFaultKind.CRAC_OUTAGE:
+            self.crac_until = max(self.crac_until, until)
+            self.crac_recovering = False
+        elif kind is PlantFaultKind.HEATER_LOSS:
+            self.heater_until = max(self.heater_until, until)
+        elif kind is PlantFaultKind.FEED_DROP:
+            if fault.feed is None:
+                self.feed_until[:] = np.maximum(self.feed_until, until)
+            elif fault.feed < self.n_feeds:
+                domain = fault.feed
+                self.feed_until[domain] = max(self.feed_until[domain], until)
+            else:
+                return
+        self.faults_injected += 1
+        self._publish(
+            ev.PlantFaultInjected(
+                time=now,
+                kind=kind.value,
+                domain=domain,
+                severity=fault.severity,
+                repair_s=fault.repair_s,
+            )
+        )
+
+    def _expire(self, now: float) -> None:
+        """Lift faults whose repair time has passed, publishing repairs."""
+        for arr_until, arr_sev, kind in (
+            (self.fan_until, self.fan_severity, PlantFaultKind.FAN_FAILURE),
+            (self.block_until, self.block_severity, PlantFaultKind.INTAKE_BLOCKAGE),
+        ):
+            expired = np.isfinite(arr_until) & (arr_until <= now)
+            for pod in np.flatnonzero(expired):
+                self.faults_repaired += 1
+                self._publish(
+                    ev.PlantFaultRepaired(time=now, kind=kind.value, domain=int(pod))
+                )
+            arr_until[expired] = _INACTIVE
+            arr_sev[expired] = 0.0
+        if math.isfinite(self.fan_all_until) and self.fan_all_until <= now:
+            self.fan_all_until = _INACTIVE
+            self.fan_all_severity = 0.0
+            self.faults_repaired += 1
+            self._publish(ev.PlantFaultRepaired(time=now, kind="fan", domain=-1))
+        if math.isfinite(self.block_all_until) and self.block_all_until <= now:
+            self.block_all_until = _INACTIVE
+            self.block_all_severity = 0.0
+            self.faults_repaired += 1
+            self._publish(ev.PlantFaultRepaired(time=now, kind="intake", domain=-1))
+        if math.isfinite(self.crac_until) and self.crac_until <= now:
+            self.crac_until = _INACTIVE
+            self.crac_recovering = True
+            self.faults_repaired += 1
+            self._publish(ev.PlantFaultRepaired(time=now, kind="crac", domain=-1))
+        if math.isfinite(self.heater_until) and self.heater_until <= now:
+            self.heater_until = _INACTIVE
+            self.ice_severity = 0.0  # crew clears the accreted ice too
+            self.faults_repaired += 1
+            self._publish(ev.PlantFaultRepaired(time=now, kind="heater", domain=-1))
+        expired = np.isfinite(self.feed_until) & (self.feed_until <= now)
+        for feed in np.flatnonzero(expired):
+            self.faults_repaired += 1
+            self.feed_restored_now.append(int(feed))
+            self._publish(
+                ev.PlantFaultRepaired(time=now, kind="feed", domain=int(feed))
+            )
+        self.feed_until[expired] = _INACTIVE
+
+    def advance(self, now: float, dt_s: float, outside_c: float) -> None:
+        """One frame of fault-schedule progress.
+
+        Samples any newly reached storm days, activates due faults,
+        expires due repairs, accretes intake ice when the heater is
+        down in sub-zero air, and recomposes the per-pod airflow
+        factors.  Feed transitions land in :attr:`feed_dropped_now` /
+        :attr:`feed_restored_now` for the campaign to act on.
+        """
+        self.feed_dropped_now = []
+        self.feed_restored_now = []
+        self._sample_storms(now)
+
+        feed_was_down = self.feed_until > now  # before new activations
+        faults = self.plan.faults
+        while self._next_fault < len(faults):
+            fault = faults[self._next_fault]
+            start = self._start_s + fault.start_s
+            if start > now:
+                break
+            self._activate(fault, start, now)
+            self._next_fault += 1
+        while self._pending and self._pending[0][0] <= now:
+            start, fault = self._pending.pop(0)
+            self._activate(fault, start, now)
+        self._expire(now)
+
+        feed_down = self.feed_until > now
+        for feed in np.flatnonzero(feed_down & ~feed_was_down):
+            self.feed_dropped_now.append(int(feed))
+
+        # Ice accretion on the unheated intake path.
+        if self.heater_until > now and outside_c < 0.0:
+            self.ice_severity = min(
+                ICE_SEVERITY_CAP,
+                self.ice_severity + ICE_ACCRETION_PER_H * dt_s / 3600.0,
+            )
+
+        self._compose_factors(now)
+
+    def _compose_factors(self, now: float) -> None:
+        fan = np.where(self.fan_until > now, self.fan_severity, 0.0)
+        if self.fan_all_until > now:
+            fan = np.maximum(fan, self.fan_all_severity)
+        block = np.where(self.block_until > now, self.block_severity, 0.0)
+        if self.block_all_until > now:
+            block = np.maximum(block, self.block_all_severity)
+        ua = (1.0 - FAN_UA_LOSS * fan) * (1.0 - BLOCKAGE_UA_LOSS * block)
+        ach = (1.0 - FAN_ACH_LOSS * fan) * (1.0 - BLOCKAGE_ACH_LOSS * block)
+        if self.ice_severity > 0.0:
+            ua *= 1.0 - BLOCKAGE_UA_LOSS * self.ice_severity
+            ach *= 1.0 - BLOCKAGE_ACH_LOSS * self.ice_severity
+        if self.flap.any():
+            ua = np.where(self.flap, ua * FLAP_UA_GAIN, ua)
+            ach = np.where(self.flap, ach * FLAP_ACH_GAIN, ach)
+        self.ua_factor = np.maximum(ua, AIRFLOW_FLOOR)
+        self.ach_factor = np.maximum(ach, AIRFLOW_FLOOR)
+
+    @property
+    def degraded(self) -> bool:
+        """True when any airflow factor differs from 1.0 (fast-path gate)."""
+        return bool(
+            (self.ua_factor != 1.0).any() or (self.ach_factor != 1.0).any()
+        )
+
+    # ------------------------------------------------------------------
+    # CRAC consequences
+    # ------------------------------------------------------------------
+    def crac_down(self, now: float) -> bool:
+        return self.crac_until > now
+
+    def basement_temp(
+        self, now: float, dt_s: float, prev_c: float, analytic_c: float,
+        outside_c: float,
+    ) -> float:
+        """Machine-room temperature given the CRAC's state.
+
+        Healthy: the analytic setpoint curve, untouched (the byte-
+        identity fast path).  During an outage the room relaxes first-
+        order toward ``outside + approach``; after repair it relaxes
+        back and snaps onto the curve within 0.05 degC.
+        """
+        if self.crac_down(now):
+            target = outside_c + CRAC_OUTAGE_APPROACH_C
+        elif self.crac_recovering:
+            target = analytic_c
+        else:
+            return analytic_c
+        blend = 1.0 - math.exp(-dt_s / CRAC_TAU_S)
+        temp = prev_c + blend * (target - prev_c)
+        if self.crac_recovering and abs(temp - analytic_c) < 0.05:
+            self.crac_recovering = False
+            return analytic_c
+        return temp
+
+    # ------------------------------------------------------------------
+    # Protective trips
+    # ------------------------------------------------------------------
+    def evaluate(
+        self, now: float, dt_s: float, pod_intake_c: np.ndarray
+    ) -> Tuple[List[Tuple[int, int, float]], List[int]]:
+        """Run the trip state machine against this frame's pod intakes.
+
+        Returns ``(shed, restore)``: ``shed`` lists ``(pod, stage,
+        cumulative_fraction)`` for pods whose shedding should be
+        (re)applied, ``restore`` lists pods whose trip-shed hosts are
+        due to power back up.
+        """
+        pol = self.policy
+        threshold = pol.trip_c if pol is not None else 45.0
+        hot = pod_intake_c >= threshold
+        if hot.any():
+            self.excursion_minutes += float(hot.sum()) * dt_s / 60.0
+        if pol is None:
+            return [], []
+
+        shed: List[Tuple[int, int, float]] = []
+        restore: List[int] = []
+        intake = pod_intake_c
+
+        fire = (~self.tripped) & hot
+        for pod in np.flatnonzero(fire):
+            p = int(pod)
+            self.tripped[p] = True
+            if self.stage[p] == 0:
+                self.stage[p] = 1
+            self.stage_deadline[p] = now + pol.stage_hold_s
+            self.restore_at[p] = np.inf
+            self.trips += 1
+            stage = int(self.stage[p])
+            self._publish(
+                ev.ThermalTrip(
+                    time=now, pod=p, intake_c=float(intake[p]), stage=stage
+                )
+            )
+            if pol.emergency_flap and not self.flap[p]:
+                self.flap[p] = True
+                self._publish(ev.EmergencyFlapOpened(time=now, pod=p))
+            shed.append((p, stage, pol.stage_fraction(stage)))
+
+        escalate = (
+            self.tripped
+            & hot
+            & (self.stage_deadline <= now)
+            & (self.stage < pol.max_stage)
+        )
+        for pod in np.flatnonzero(escalate):
+            p = int(pod)
+            self.stage[p] += 1
+            self.stage_deadline[p] = now + pol.stage_hold_s
+            stage = int(self.stage[p])
+            self._publish(
+                ev.ThermalTrip(
+                    time=now, pod=p, intake_c=float(intake[p]), stage=stage
+                )
+            )
+            shed.append((p, stage, pol.stage_fraction(stage)))
+
+        clear = self.tripped & (intake <= pol.clear_c)
+        for pod in np.flatnonzero(clear):
+            p = int(pod)
+            self.tripped[p] = False
+            self.stage_deadline[p] = np.inf
+            self.restore_at[p] = now + pol.cooldown_s
+            self.trip_clears += 1
+            self._publish(
+                ev.ThermalTripCleared(time=now, pod=p, intake_c=float(intake[p]))
+            )
+            if self.flap[p]:
+                self.flap[p] = False
+                self._publish(ev.EmergencyFlapClosed(time=now, pod=p))
+
+        due = (~self.tripped) & (self.stage > 0) & (self.restore_at <= now)
+        for pod in np.flatnonzero(due):
+            p = int(pod)
+            self.stage[p] = 0
+            self.restore_at[p] = np.inf
+            restore.append(p)
+
+        if clear.any() or due.any():
+            self._compose_factors(now)  # flap changes feed back into airflow
+        return shed, restore
+
+    def incident_pods(self, now: float) -> np.ndarray:
+        """Pods currently inside an incident (for loss attribution)."""
+        active = (
+            (self.fan_until > now)
+            | (self.block_until > now)
+            | self.tripped
+            | (self.stage > 0)
+        )
+        if (
+            self.fan_all_until > now
+            or self.block_all_until > now
+            or self.crac_until > now
+            or self.heater_until > now
+        ):
+            active = np.ones(self.n_pods, dtype=np.bool_)
+            return active
+        feed_down = self.feed_until > now
+        if feed_down.any():
+            pod_feed = np.arange(self.n_pods) // FEED_GROUP_PODS
+            active = active | feed_down[pod_feed]
+        return active
+
+    # ------------------------------------------------------------------
+    # Snapshot plane
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        from repro.state.codec import encode_value, pack_bools, pack_floats, pack_ints
+
+        return {
+            "version": self.STATE_VERSION,
+            "fan_until": pack_floats(self.fan_until.tolist()),
+            "fan_severity": pack_floats(self.fan_severity.tolist()),
+            "block_until": pack_floats(self.block_until.tolist()),
+            "block_severity": pack_floats(self.block_severity.tolist()),
+            "fan_all": [self.fan_all_until, self.fan_all_severity],
+            "block_all": [self.block_all_until, self.block_all_severity],
+            "feed_until": pack_floats(self.feed_until.tolist()),
+            "crac": [self.crac_until, bool(self.crac_recovering)],
+            "heater": [self.heater_until, self.ice_severity],
+            "tripped": pack_bools(self.tripped.tolist()),
+            "stage": pack_ints(self.stage.tolist()),
+            "stage_deadline": pack_floats(self.stage_deadline.tolist()),
+            "restore_at": pack_floats(self.restore_at.tolist()),
+            "flap": pack_bools(self.flap.tolist()),
+            "cursor": [self._next_fault, self._storm_day],
+            "pending": [
+                [start, encode_value(fault)] for start, fault in self._pending
+            ],
+            "census": [
+                self.faults_injected,
+                self.faults_repaired,
+                self.trips,
+                self.trip_clears,
+                self.hosts_shed,
+                self.hosts_restored,
+                self.host_hours_shed,
+                self.excursion_minutes,
+                self.hosts_lost,
+            ],
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        from repro.state.codec import (
+            decode_value,
+            unpack_bools,
+            unpack_floats,
+            unpack_ints,
+        )
+        from repro.state.protocol import check_version
+
+        check_version("FleetPlant", state, self.STATE_VERSION)
+        self.fan_until = np.array(unpack_floats(state["fan_until"]))
+        self.fan_severity = np.array(unpack_floats(state["fan_severity"]))
+        self.block_until = np.array(unpack_floats(state["block_until"]))
+        self.block_severity = np.array(unpack_floats(state["block_severity"]))
+        self.fan_all_until, self.fan_all_severity = state["fan_all"]
+        self.block_all_until, self.block_all_severity = state["block_all"]
+        self.feed_until = np.array(unpack_floats(state["feed_until"]))
+        self.crac_until, self.crac_recovering = state["crac"]
+        self.heater_until, self.ice_severity = state["heater"]
+        self.tripped = np.array(unpack_bools(state["tripped"]), dtype=np.bool_)
+        self.stage = np.array(unpack_ints(state["stage"]), dtype=np.int8)
+        self.stage_deadline = np.array(unpack_floats(state["stage_deadline"]))
+        self.restore_at = np.array(unpack_floats(state["restore_at"]))
+        self.flap = np.array(unpack_bools(state["flap"]), dtype=np.bool_)
+        self._next_fault, self._storm_day = (int(c) for c in state["cursor"])
+        self._pending = [
+            (float(start), decode_value(fault))
+            for start, fault in state["pending"]
+        ]
+        (
+            self.faults_injected,
+            self.faults_repaired,
+            self.trips,
+            self.trip_clears,
+            self.hosts_shed,
+            self.hosts_restored,
+            self.host_hours_shed,
+            self.excursion_minutes,
+            self.hosts_lost,
+        ) = state["census"]
+        self.feed_dropped_now = []
+        self.feed_restored_now = []
+        self._compose_factors(-math.inf)  # factors rebuilt on next advance

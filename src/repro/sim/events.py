@@ -182,6 +182,92 @@ class SwitchRepaired(Event):
 
 
 # ----------------------------------------------------------------------
+# Plant events (cooling/power chaos plane)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PlantFaultInjected(Event):
+    """A cooling/power plant fault became active.
+
+    ``kind`` is the :class:`repro.plant.faults.PlantFaultKind` value
+    string (the bus does not import the plant layer); ``domain`` is the
+    correlated failure domain the fault strikes -- a pod index for
+    fan/intake faults, a power-feed group for feed drops, ``-1`` for
+    site-wide faults (CRAC, heater).
+    """
+
+    kind: str
+    domain: int = -1
+    severity: float = 1.0
+    repair_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class PlantFaultRepaired(Event):
+    """An active plant fault was repaired; its effects lift."""
+
+    kind: str
+    domain: int = -1
+
+
+@dataclass(frozen=True)
+class ThermalTrip(Event):
+    """A pod's intake crossed the protective overtemp threshold.
+
+    The trip layer answers with staged load-shedding (``stage`` starts
+    at 1) and, where configured, the emergency flap.
+    """
+
+    pod: int
+    intake_c: float = 0.0
+    stage: int = 1
+
+
+@dataclass(frozen=True)
+class ThermalTripCleared(Event):
+    """A tripped pod cooled below the clear threshold (hysteresis)."""
+
+    pod: int
+    intake_c: float = 0.0
+
+
+@dataclass(frozen=True)
+class LoadShed(Event):
+    """Hosts were powered down to protect a pod.
+
+    ``reason`` is ``"trip"`` for protective shedding and ``"feed"``
+    for a power-feed drop.
+    """
+
+    pod: int
+    hosts: int = 0
+    stage: int = 1
+    reason: str = "trip"
+
+
+@dataclass(frozen=True)
+class LoadRestored(Event):
+    """Previously shed hosts were powered back up after cool-down."""
+
+    pod: int
+    hosts: int = 0
+    reason: str = "trip"
+
+
+@dataclass(frozen=True)
+class EmergencyFlapOpened(Event):
+    """The trip layer forced the emergency ventilation flap open."""
+
+    pod: int
+
+
+@dataclass(frozen=True)
+class EmergencyFlapClosed(Event):
+    """The emergency flap closed again after the trip cleared."""
+
+    pod: int
+
+
+# ----------------------------------------------------------------------
 # Campaign events
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)

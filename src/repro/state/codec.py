@@ -104,6 +104,8 @@ def _class_registry() -> Dict[str, Type]:
     from repro.hardware import faults as _hwfaults
     from repro.monitoring import health as _health
     from repro.monitoring import transport as _transport
+    from repro.plant import faults as _plant
+    from repro.plant import trip as _trip
     from repro.runner import policy as _policy
     from repro.sim import events as _events
     from repro.thermal import tent as _tent
@@ -124,6 +126,11 @@ def _class_registry() -> Dict[str, Type]:
         _transport.LinkStorm,
         _health.HealthPolicy,
         _policy.RetryPolicy,
+        _plant.PlantFault,
+        _plant.PlantFaultKind,
+        _plant.PlantFaultPlan,
+        _plant.PlantStorm,
+        _trip.ThermalTripPolicy,
     ]
     classes.extend(
         obj

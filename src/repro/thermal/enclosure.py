@@ -191,7 +191,18 @@ class BasementMachineRoom(Enclosure):
     conditions are therefore well within specifications."  The CRAC holds a
     setpoint regardless of the (small) IT load; only a faint diurnal wiggle
     remains.
+
+    The chaos plane can take the CRAC away (:meth:`fail_crac`): the room
+    then relaxes first-order toward outside air plus an approach offset;
+    after :meth:`repair_crac` it relaxes back and snaps onto the setpoint
+    curve.  While the CRAC is healthy the update stays the pure analytic
+    setpoint expression, byte-identical to the historical model.
     """
+
+    #: First-order time constant of the room's drift when the CRAC is out.
+    CRAC_TAU_S = 3600.0
+    #: Outside-air approach the unconditioned room settles toward.
+    CRAC_OUTAGE_APPROACH_C = 16.0
 
     def __init__(
         self,
@@ -209,10 +220,50 @@ class BasementMachineRoom(Enclosure):
         self.diurnal_wiggle_rh = diurnal_wiggle_rh
         self.intake_temp_c = setpoint_c
         self.intake_rh_percent = setpoint_rh_percent
+        self._crac_failed = False
+        self._crac_recovering = False
+
+    def fail_crac(self, time: float) -> None:
+        """The CRAC stops; the room starts drifting toward outside air."""
+        self._crac_failed = True
+        self._crac_recovering = False
+
+    def repair_crac(self, time: float) -> None:
+        """The CRAC returns; the room relaxes back to setpoint."""
+        if self._crac_failed:
+            self._crac_failed = False
+            self._crac_recovering = True
+
+    @property
+    def crac_operational(self) -> bool:
+        return not self._crac_failed
 
     def _update(self, time: float, dt_s: float) -> None:
         phase = 2.0 * math.pi * (time % DAY) / DAY
-        self.intake_temp_c = self.setpoint_c + self.diurnal_wiggle_c * math.sin(phase)
+        setpoint = self.setpoint_c + self.diurnal_wiggle_c * math.sin(phase)
+        if self._crac_failed or self._crac_recovering:
+            if self._crac_failed:
+                outside = self.weather.sample(time).temp_c
+                target = outside + self.CRAC_OUTAGE_APPROACH_C
+            else:
+                target = setpoint
+            blend = 1.0 - math.exp(-dt_s / self.CRAC_TAU_S) if dt_s > 0 else 0.0
+            temp = self.intake_temp_c + blend * (target - self.intake_temp_c)
+            if self._crac_recovering and abs(temp - setpoint) < 0.05:
+                self._crac_recovering = False
+                temp = setpoint
+            self.intake_temp_c = temp
+        else:
+            self.intake_temp_c = setpoint
         self.intake_rh_percent = self.setpoint_rh_percent + self.diurnal_wiggle_rh * math.sin(
             phase + 1.0
         )
+
+    def _extra_state(self) -> Dict[str, Any]:
+        if not (self._crac_failed or self._crac_recovering):
+            return {}
+        return {"crac_failed": self._crac_failed, "crac_recovering": self._crac_recovering}
+
+    def _load_extra_state(self, extra: Dict[str, Any]) -> None:
+        self._crac_failed = bool(extra.get("crac_failed", False))
+        self._crac_recovering = bool(extra.get("crac_recovering", False))

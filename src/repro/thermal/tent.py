@@ -151,6 +151,20 @@ class ModifiableEnvelopeMixin:
     def _init_modifications(self) -> None:
         #: ``(time, Modification)`` log of applied interventions.
         self.modification_log: List[Tuple[float, Modification]] = []
+        #: Plant-fault airflow multipliers (chaos plane): a dead blower
+        #: or blocked intake scales conductance/ventilation below 1.0,
+        #: the emergency flap above it.  1.0 = healthy plant; the update
+        #: loops skip the multiply entirely then, so an unconfigured
+        #: plant leaves the thermal trace byte-identical.
+        self.plant_ua_factor: float = 1.0
+        self.plant_ach_factor: float = 1.0
+
+    def set_plant_airflow(self, ua_factor: float, ach_factor: float) -> None:
+        """Set the chaos plane's airflow degradation (1.0/1.0 = healthy)."""
+        if ua_factor <= 0.0 or ach_factor <= 0.0:
+            raise ValueError("airflow factors must be positive")
+        self.plant_ua_factor = float(ua_factor)
+        self.plant_ach_factor = float(ach_factor)
 
     def apply_modification(self, mod: Modification, time: float) -> None:
         """Apply one intervention (the paper's R/I/B/F events) at ``time``."""
@@ -182,6 +196,7 @@ class ModifiableEnvelopeMixin:
                 "door_half_open": self.envelope.door_half_open,
             },
             "log": [[time, mod.value] for time, mod in self.modification_log],
+            "plant": [self.plant_ua_factor, self.plant_ach_factor],
         }
 
     def _load_envelope_state(self, state: Dict[str, Any]) -> None:
@@ -191,6 +206,9 @@ class ModifiableEnvelopeMixin:
         self.modification_log = [
             (float(time), Modification(letter)) for time, letter in state["log"]
         ]
+        plant = state.get("plant", [1.0, 1.0])
+        self.plant_ua_factor = float(plant[0])
+        self.plant_ach_factor = float(plant[1])
 
 
 class Tent(ModifiableEnvelopeMixin, Enclosure):
@@ -229,9 +247,13 @@ class Tent(ModifiableEnvelopeMixin, Enclosure):
     def _update(self, time: float, dt_s: float) -> None:
         sample = self.weather.sample(time)
         ua = self.envelope.ua_w_per_k(sample.wind_ms)
+        if self.plant_ua_factor != 1.0:
+            ua *= self.plant_ua_factor
         heat_in = self.it_load_w + self.envelope.solar_gain_w(sample.solar_wm2)
         self._node.step(dt_s, heat_in, ua, sample.temp_c)
         ach = self.envelope.air_changes_per_hour(sample.wind_ms)
+        if self.plant_ach_factor != 1.0:
+            ach *= self.plant_ach_factor
         self._moisture.step(dt_s, ach, sample.temp_c, sample.rh_percent)
         self.intake_temp_c = self._node.temp_c
         self.intake_rh_percent = self._moisture.relative_humidity(self._node.temp_c)

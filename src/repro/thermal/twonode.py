@@ -82,6 +82,8 @@ class TwoNodeTent(ModifiableEnvelopeMixin, Enclosure):
     def _update(self, time: float, dt_s: float) -> None:
         sample = self.weather.sample(time)
         ua = self.envelope.ua_w_per_k(sample.wind_ms)
+        if self.plant_ua_factor != 1.0:
+            ua *= self.plant_ua_factor
         solar = self.envelope.solar_gain_w(sample.solar_wm2)
         q_mass = self.mass_heat_fraction * self.it_load_w + solar
         q_air = (1.0 - self.mass_heat_fraction) * self.it_load_w
@@ -104,6 +106,8 @@ class TwoNodeTent(ModifiableEnvelopeMixin, Enclosure):
             self.air_temp_c, self.mass_temp_c = t_a, t_m
 
         ach = self.envelope.air_changes_per_hour(sample.wind_ms)
+        if self.plant_ach_factor != 1.0:
+            ach *= self.plant_ach_factor
         self._moisture.step(dt_s, ach, sample.temp_c, sample.rh_percent)
         self.intake_temp_c = self.air_temp_c
         self.intake_rh_percent = self._moisture.relative_humidity(self.air_temp_c)

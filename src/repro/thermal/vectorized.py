@@ -87,26 +87,37 @@ class TwoNodeTentBank:
         outside_temp_c: float,
         wind_ms: float,
         solar_wm2: float,
+        ua_factor: Optional[np.ndarray] = None,
     ) -> None:
         """Advance every replica by ``dt_s`` under shared weather.
 
         ``it_load_w`` is the per-tent IT dissipation vector (watts,
         shape ``(n_tents,)``); weather inputs are the scalars of the one
         shared :class:`~repro.climate.generator.WeatherSample`.
+
+        ``ua_factor``, when given, is a per-tent multiplier on the
+        envelope conductance (the chaos plane's degraded-airflow /
+        emergency-flap vector).  ``None`` keeps the historical all-scalar
+        fast path byte-identical.
         """
         if dt_s < 0:
             raise ValueError("dt cannot be negative")
         if dt_s == 0:
             return
         ua = self.envelope.ua_w_per_k(wind_ms)
+        ua_max = ua
+        if ua_factor is not None:
+            ua = ua * np.asarray(ua_factor, dtype=np.float64)
+            ua_max = float(ua.max())
         solar = self.envelope.solar_gain_w(solar_wm2)
         q_mass = self.mass_heat_fraction * it_load_w + solar
         q_air = (1.0 - self.mass_heat_fraction) * it_load_w
 
-        # Same explicit-Euler stability bound as TwoNodeTent._update; ua
-        # is shared, so the substep count is one scalar for the bank.
+        # Same explicit-Euler stability bound as TwoNodeTent._update; the
+        # substep count is one scalar for the bank, sized for the
+        # stiffest (largest effective ua) replica.
         max_dt = min(
-            self.air_capacity / (2.0 * (self.coupling + ua)),
+            self.air_capacity / (2.0 * (self.coupling + ua_max)),
             self.mass_capacity / (2.0 * self.coupling),
         )
         substeps = max(1, int(math.ceil(dt_s / max_dt)))

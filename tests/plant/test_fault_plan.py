@@ -1,0 +1,157 @@
+"""The plant fault plan: grammar, storm determinism, physics helpers."""
+
+import pytest
+
+from repro.plant.faults import (
+    DEFAULT_REPAIR_S,
+    AIRFLOW_FLOOR,
+    PlantFault,
+    PlantFaultKind,
+    PlantFaultPlan,
+    PlantStorm,
+    airflow_factors,
+)
+from repro.state.codec import decode_value, encode_value
+
+
+class TestGrammar:
+    def test_empty_plan_is_falsy(self):
+        assert not PlantFaultPlan.parse("")
+        assert not PlantFaultPlan.parse("  ;  ; ")
+        assert not PlantFaultPlan()
+
+    def test_single_crac_outage(self):
+        plan = PlantFaultPlan.parse("crac:outage@day3,repair=6h")
+        assert plan
+        (fault,) = plan.faults
+        assert fault.kind is PlantFaultKind.CRAC_OUTAGE
+        assert fault.start_day == 3.0
+        assert fault.repair_s == 6 * 3600.0
+        assert fault.severity == 1.0
+
+    def test_every_component_parses(self):
+        plan = PlantFaultPlan.parse(
+            "fan:failure@day1,pod=4; crac:outage@day2; "
+            "intake:blockage@36h,severity=0.8; heater:loss@day5; "
+            "feed:drop@day4,feed=1"
+        )
+        kinds = [f.kind for f in plan.faults]
+        assert kinds == [
+            PlantFaultKind.FAN_FAILURE,
+            PlantFaultKind.INTAKE_BLOCKAGE,
+            PlantFaultKind.CRAC_OUTAGE,
+            PlantFaultKind.FEED_DROP,
+            PlantFaultKind.HEATER_LOSS,
+        ]  # sorted by start_day: day1, 1.5, 2, 4, 5
+
+    def test_when_forms_agree(self):
+        by_day = PlantFaultPlan.parse("crac:outage@day1.5").faults[0]
+        by_duration = PlantFaultPlan.parse("crac:outage@36h").faults[0]
+        assert by_day.start_day == by_duration.start_day == 1.5
+
+    def test_default_repair_per_kind(self):
+        for clause, kind in (
+            ("fan:failure@day1", PlantFaultKind.FAN_FAILURE),
+            ("feed:drop@day1", PlantFaultKind.FEED_DROP),
+        ):
+            fault = PlantFaultPlan.parse(clause).faults[0]
+            assert fault.repair_s == DEFAULT_REPAIR_S[kind]
+
+    def test_storm_clause(self):
+        plan = PlantFaultPlan.parse("storm:fan:0.25,seed=11,from=2,to=40")
+        (storm,) = plan.storms
+        assert storm.kind is PlantFaultKind.FAN_FAILURE
+        assert storm.rate_per_day == 0.25
+        assert storm.seed == 11
+        assert storm.first_day == 2.0
+        assert storm.last_day == 40.0
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "crac:outage",  # missing @when
+            "pump:outage@day1",  # unknown component
+            "crac:outage@soon",  # bad when
+            "crac:outage@day1,repair=-3h",  # negative duration
+            "crac:outage@day1,nonsense=1",  # unknown option
+            "intake:blockage@day1,severity=1.5",  # severity out of range
+            "storm:crac:2.0",  # rate out of range
+            "storm:fan:0.1,from=5,to=2",  # inverted window
+        ],
+    )
+    def test_bad_clauses_raise(self, bad):
+        with pytest.raises(ValueError):
+            PlantFaultPlan.parse(bad)
+
+
+class TestStormDeterminism:
+    def test_fault_for_is_pure(self):
+        storm = PlantStorm(PlantFaultKind.FAN_FAILURE, rate_per_day=0.5, seed=3)
+        draws = [storm.fault_for(2, 7) for _ in range(5)]
+        assert all(d == draws[0] for d in draws)
+
+    def test_different_domains_decorrelate(self):
+        storm = PlantStorm(PlantFaultKind.FAN_FAILURE, rate_per_day=0.5, seed=3)
+        outcomes = {
+            domain: storm.fault_for(domain, 10) is not None
+            for domain in range(40)
+        }
+        assert len(set(outcomes.values())) == 2  # some hit, some spared
+
+    def test_rate_one_always_strikes_inside_window(self):
+        storm = PlantStorm(
+            PlantFaultKind.INTAKE_BLOCKAGE, rate_per_day=1.0, seed=0,
+            first_day=3.0, last_day=5.0,
+        )
+        assert storm.fault_for(0, 2) is None
+        assert storm.fault_for(0, 6) is None
+        fault = storm.fault_for(0, 4)
+        assert fault is not None
+        assert 4.0 <= fault.start_day < 5.0
+        assert fault.pod == 0
+        # Repair jitter stays within the documented band.
+        assert 0.5 * storm.repair_s <= fault.repair_s <= 1.5 * storm.repair_s
+
+    def test_independent_of_global_random_state(self):
+        import random as _random
+
+        storm = PlantStorm(PlantFaultKind.FEED_DROP, rate_per_day=0.5, seed=9)
+        first = storm.fault_for(1, 3)
+        _random.seed(12345)
+        _random.random()
+        assert storm.fault_for(1, 3) == first
+
+
+class TestAirflowFactors:
+    def test_healthy_is_identity(self):
+        assert airflow_factors(0.0, 0.0, False) == (1.0, 1.0)
+
+    def test_blockage_reduces_both(self):
+        ua, ach = airflow_factors(0.0, 1.0, False)
+        assert ua < 1.0 and ach < 1.0
+
+    def test_flap_recovers_airflow(self):
+        blocked = airflow_factors(0.0, 1.0, False)
+        flapped = airflow_factors(0.0, 1.0, True)
+        assert flapped[0] > blocked[0]
+        assert flapped[1] > blocked[1]
+
+    def test_floor_holds_under_compound_failure(self):
+        ua, ach = airflow_factors(1.0, 1.0, False)
+        assert ua >= AIRFLOW_FLOOR
+        assert ach >= AIRFLOW_FLOOR
+
+
+class TestCheckpointCodec:
+    def test_plan_roundtrips_through_codec(self):
+        plan = PlantFaultPlan.parse(
+            "crac:outage@day3,repair=6h; fan:failure@day2,pod=4; "
+            "storm:intake:0.1,seed=3,from=2,to=40"
+        )
+        assert decode_value(encode_value(plan)) == plan
+
+    def test_fault_roundtrips(self):
+        fault = PlantFault(
+            PlantFaultKind.HEATER_LOSS, start_day=5.0, severity=0.7
+        )
+        assert decode_value(encode_value(fault)) == fault

@@ -1,0 +1,66 @@
+"""The thermal trip policy: parsing, validation, stage arithmetic."""
+
+import pytest
+
+from repro.plant.trip import ThermalTripPolicy
+from repro.state.codec import decode_value, encode_value
+
+
+class TestDefaults:
+    def test_empty_spec_is_the_stock_policy(self):
+        policy = ThermalTripPolicy.parse("")
+        assert policy == ThermalTripPolicy()
+        assert policy.trip_c == 45.0
+        assert policy.clear_c == 38.0
+        assert policy.shed_stages == (0.5, 1.0)
+        assert policy.emergency_flap is True
+
+
+class TestParse:
+    def test_full_spec(self):
+        policy = ThermalTripPolicy.parse(
+            "trip=40,clear=32,shed=0.3+0.6+1.0,hold=15m,cooldown=2h,flap=off"
+        )
+        assert policy.trip_c == 40.0
+        assert policy.clear_c == 32.0
+        assert policy.shed_stages == (0.3, 0.6, 1.0)
+        assert policy.stage_hold_s == 900.0
+        assert policy.cooldown_s == 7200.0
+        assert policy.emergency_flap is False
+
+    def test_partial_spec_keeps_other_defaults(self):
+        policy = ThermalTripPolicy.parse("trip=50,clear=44")
+        assert policy.trip_c == 50.0
+        assert policy.shed_stages == (0.5, 1.0)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "trip",  # no value
+            "trip=40,clear=42",  # no hysteresis gap
+            "shed=1.0+0.5",  # non-increasing stages
+            "shed=0.5+1.5",  # stage above 1
+            "hold=0",  # non-positive hold
+            "flap=maybe",  # bad flap
+            "volume=11",  # unknown key
+        ],
+    )
+    def test_bad_specs_raise(self, bad):
+        with pytest.raises(ValueError):
+            ThermalTripPolicy.parse(bad)
+
+
+class TestStages:
+    def test_stage_fraction_is_cumulative_and_clamped(self):
+        policy = ThermalTripPolicy.parse("shed=0.3+0.6+1.0")
+        assert policy.max_stage == 3
+        assert policy.stage_fraction(0) == 0.0
+        assert policy.stage_fraction(1) == 0.3
+        assert policy.stage_fraction(3) == 1.0
+        assert policy.stage_fraction(99) == 1.0
+
+
+class TestCheckpointCodec:
+    def test_policy_roundtrips_through_codec(self):
+        policy = ThermalTripPolicy.parse("trip=41,clear=33,shed=0.25+1.0")
+        assert decode_value(encode_value(policy)) == policy

@@ -53,6 +53,79 @@ class TestHeapBounded:
         assert seen == [t for t in range(1, 2000) if t % 2 == 0]
 
 
+class TestMassCancellation:
+    """A staged load-shed abandons thousands of per-host pending
+    occurrences at once; the heap must compact the tombstones away and
+    the survivors must fire exactly as if the dead entries had never
+    been scheduled."""
+
+    N_HOSTS = 4000
+    PERIOD = 300.0
+
+    @staticmethod
+    def _pending_ticks(sim, hosts, fired, at):
+        """One queued keyed occurrence per host -- the shape of a
+        fleet's next tick wave."""
+        return [
+            sim.schedule_at_key(at, "host.tick", args=(h,), label=f"host-{h}")
+            for h in hosts
+        ]
+
+    def test_staged_shed_compacts_and_keeps_draw_order(self):
+        sim = Simulator(SimClock())
+        fired = []
+        sim.register("host.tick", lambda h: fired.append(h))
+        handles = self._pending_ticks(
+            sim, range(self.N_HOSTS), fired, self.PERIOD
+        )
+        before = len(sim._queue)
+        assert before == self.N_HOSTS
+        # Two shed stages: half the fleet, then half the remainder.
+        for h in handles[: self.N_HOSTS // 2]:
+            h.cancel()
+        for h in handles[self.N_HOSTS // 2 : 3 * self.N_HOSTS // 4]:
+            h.cancel()
+        assert sim.heap_compactions > 0
+        # Compaction reclaims the tombstones instead of letting the
+        # queue carry ~3000 dead entries to the next draw.
+        assert len(sim._queue) <= before - self.N_HOSTS // 2
+        sim.run_until(2 * self.PERIOD)
+        survivors = list(range(3 * self.N_HOSTS // 4, self.N_HOSTS))
+        assert fired == survivors
+
+        # Draw-order oracle: a sim that only ever had the survivors.
+        oracle = Simulator(SimClock())
+        oracle_fired = []
+        oracle.register("host.tick", lambda h: oracle_fired.append(h))
+        self._pending_ticks(oracle, survivors, oracle_fired, self.PERIOD)
+        oracle.run_until(2 * self.PERIOD)
+        assert fired == oracle_fired
+
+    def test_periodic_mass_cancel_drains_without_tombstones(self):
+        # PeriodicTask.cancel is a table flag: the queued occurrence
+        # fires lame-duck and simply stops rescheduling, so a mass
+        # cancellation of per-host periodic keys drains the queue by
+        # itself -- no tombstone pile-up, no compaction needed.
+        sim = Simulator(SimClock())
+        fired = []
+        sim.register("host.tick", lambda h: fired.append(h))
+        tasks = [
+            sim.every_key(
+                self.PERIOD, "host.tick", args=(h,), start=self.PERIOD,
+                label=f"host-{h}",
+            )
+            for h in range(self.N_HOSTS)
+        ]
+        for task in tasks[self.N_HOSTS // 4 :]:
+            task.cancel()
+        sim.run_until(2 * self.PERIOD + 1.0)
+        # The lame-duck wave fired once; after it only survivors remain.
+        assert len(sim._queue) == self.N_HOSTS // 4
+        fired.clear()
+        sim.run_until(3 * self.PERIOD + 1.0)
+        assert fired == list(range(self.N_HOSTS // 4))
+
+
 class TestHeapTelemetry:
     def test_heap_compactions_exposed_in_telemetry_snapshot(self):
         telemetry = Telemetry()
