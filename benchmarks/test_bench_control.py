@@ -1,0 +1,146 @@
+"""P1 -- control-plane cost: tick overhead and checkpoint-backed resets.
+
+The closed-loop refactor routes *every* campaign through the
+``ControlPlane``, so its overhead budget is strict on two axes:
+
+- **tick overhead** -- a periodically ticking controller (thermostat at
+  its default 5-minute interval: observe, decide, mostly hold) must cost
+  less than 5 % extra wall time over the paper operator, which schedules
+  pure wakes and never ticks.  The paper-operator campaign *is* the
+  plain step: it produces the pinned digest byte-identically.
+- **episode reset** -- ``ControlEnv.reset()`` restores a cached
+  in-memory checkpoint instead of re-simulating the warm-up; that
+  restore must be at least 10x faster than the cold build it replaces,
+  or thousand-episode training loops pay the warm-up thousands of
+  times.
+
+The figures land in ``BENCH_control.json`` at the repo root.
+
+Also runnable standalone, without pytest:
+``PYTHONPATH=src python benchmarks/test_bench_control.py``.
+"""
+
+import datetime as dt
+import json
+import os
+import time
+
+from repro.control.env import ControlEnv
+from repro.core.builder import CampaignBuilder
+from repro.core.config import ExperimentConfig
+
+SEED = 7
+#: Two weeks of campaign past the prototype weekend: long enough that
+#: per-tick costs dominate construction noise, short enough to iterate.
+UNTIL = dt.datetime(2010, 3, 5, 12, 0)
+TICK_BUDGET_PCT = 5.0
+RESET_SPEEDUP_FLOOR = 10.0
+#: Episode window for the reset benchmark: the env's default start (the
+#: warm-up the cache skips is the 17 days from the Feb 12 epoch).
+EPISODE_START = dt.datetime(2010, 3, 1, 12, 0)
+EPISODE_END = dt.datetime(2010, 3, 2, 12, 0)
+OUTPUT = os.path.join(os.path.dirname(__file__), "..", "BENCH_control.json")
+
+
+def _timed(fn, rounds=3):
+    """Best-of-``rounds`` wall time for ``fn`` (min damps scheduler noise)."""
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _campaign_wall_s(controller):
+    def run():
+        campaign = (
+            CampaignBuilder(ExperimentConfig(seed=SEED))
+            .with_controller(controller)
+            .build()
+        )
+        campaign.run(until=UNTIL)
+        return campaign
+
+    return _timed(run), run()
+
+
+def profile_control_cost():
+    """Cost the tick loop against the wake-only baseline, then resets."""
+    baseline_s, baseline = _campaign_wall_s("paper-operator")
+    ticking_s, ticking = _campaign_wall_s("thermostat")
+    ticks = ticking.control.ticks
+    assert baseline.control.ticks == 0, "the paper operator must not tick"
+    assert ticks > 0, "the thermostat never ticked"
+    overhead_pct = 100.0 * (ticking_s - baseline_s) / baseline_s
+
+    env = ControlEnv(
+        episode_start=EPISODE_START,
+        episode_end=EPISODE_END,
+        interval_s=1800.0,
+    )
+    cold_s = _timed(env.reset, rounds=1)  # builds + simulates the warm-up
+    warm_s = _timed(env.reset)  # restores the cached checkpoint
+    speedup = cold_s / warm_s
+
+    return {
+        "seed": SEED,
+        "tick_budget_pct": TICK_BUDGET_PCT,
+        "reset_speedup_floor": RESET_SPEEDUP_FLOOR,
+        "baseline_wall_s": round(baseline_s, 4),
+        "ticking_wall_s": round(ticking_s, 4),
+        "control_ticks": ticks,
+        "tick_overhead_pct": round(overhead_pct, 3),
+        "tick_overhead_us": round(
+            1e6 * max(ticking_s - baseline_s, 0.0) / ticks, 2
+        ),
+        "cold_reset_s": round(cold_s, 4),
+        "warm_reset_s": round(warm_s, 5),
+        "reset_speedup": round(speedup, 2),
+    }
+
+
+def _emit(report):
+    with open(OUTPUT, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def _check(report):
+    assert report["tick_overhead_pct"] < TICK_BUDGET_PCT, (
+        f"control-tick overhead {report['tick_overhead_pct']:.2f}% "
+        f"exceeds the {TICK_BUDGET_PCT}% budget"
+    )
+    assert report["reset_speedup"] >= RESET_SPEEDUP_FLOOR, (
+        f"checkpoint-backed reset is only {report['reset_speedup']:.1f}x "
+        f"faster than a cold build (floor {RESET_SPEEDUP_FLOOR}x)"
+    )
+
+
+def test_bench_control_plane(benchmark):
+    from conftest import record
+
+    report = benchmark.pedantic(profile_control_cost, rounds=1, iterations=1)
+    _emit(report)
+    record(
+        benchmark,
+        tick_overhead_pct=report["tick_overhead_pct"],
+        tick_overhead_us=report["tick_overhead_us"],
+        control_ticks=report["control_ticks"],
+        cold_reset_s=report["cold_reset_s"],
+        warm_reset_s=report["warm_reset_s"],
+        reset_speedup=report["reset_speedup"],
+    )
+    _check(report)
+
+
+if __name__ == "__main__":
+    result = profile_control_cost()
+    _emit(result)
+    print(json.dumps(result, indent=2, sort_keys=True))
+    _check(result)
+    print(
+        f"OK: tick overhead {result['tick_overhead_pct']:.2f}% "
+        f"< {TICK_BUDGET_PCT}%; reset {result['reset_speedup']:.1f}x "
+        f">= {RESET_SPEEDUP_FLOOR}x; wrote {os.path.abspath(OUTPUT)}"
+    )

@@ -38,11 +38,21 @@ from repro.analysis.reliability import (
     rates_are_consistent,
     wilson_interval,
 )
+from repro.analysis.scorecard import (
+    CLIMATES,
+    ControllerScore,
+    render_scorecard,
+    run_scorecard,
+)
 from repro.analysis.seedsweep import SeedOutcome, SweepSummary
 from repro.analysis.series import TimeSeries
 from repro.analysis.timeline import CensusPoint, census_timeline
 
 __all__ = [
+    "CLIMATES",
+    "ControllerScore",
+    "render_scorecard",
+    "run_scorecard",
     "TimeSeries",
     "detect_removal_outliers",
     "remove_removal_outliers",

@@ -234,6 +234,13 @@ def build_parser() -> argparse.ArgumentParser:
         "both produce byte-identical records",
     )
     run.add_argument(
+        "--controller", default=None, metavar="NAME",
+        help="closed-loop controller for the campaign: 'paper-operator' "
+        "(the default; the historical R/I/B/F/D schedule), 'thermostat' "
+        "(hysteresis flap/fan with min-dwell), or 'model-free' "
+        "(Fliess-style intelligent-P fan duty); see 'repro control list'",
+    )
+    run.add_argument(
         "--report", action="store_true",
         help="print the full paper-style report instead of the summary",
     )
@@ -531,6 +538,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress-out", default=None, metavar="FILE",
         help="write the heartbeat JSONL to FILE instead of stderr",
     )
+
+    scenarios = sub.add_parser(
+        "scenarios", help="list the canned scenarios and controllers"
+    )
+    scenarios.add_argument(
+        "--list", action="store_true",
+        help="print the registries (the default action)",
+    )
+
+    control = sub.add_parser(
+        "control", help="closed-loop controllers: list them or compare them"
+    )
+    control_action = control.add_subparsers(dest="control_command", required=True)
+    control_action.add_parser("list", help="print the controller registry")
+    compare = control_action.add_parser(
+        "compare",
+        help="score controllers on energy / failure census / SLA per climate",
+    )
+    compare.add_argument(
+        "--controllers", default="paper-operator,thermostat,model-free",
+        metavar="A,B,..", help="comma-separated controller names",
+    )
+    compare.add_argument(
+        "--climates", default="helsinki,harsher-winter",
+        metavar="A,B,..", help="comma-separated climate names",
+    )
+    compare.add_argument("--seed", type=int, default=7, help="master seed")
+    compare.add_argument(
+        "--until", type=_parse_date, default=None,
+        help="truncate each campaign at this date (YYYY-MM-DD)",
+    )
     return parser
 
 
@@ -639,6 +677,7 @@ def _cmd_run_fleetscale(args: argparse.Namespace) -> int:
             ("--checkpoint-dir", args.checkpoint_dir),
             ("--run-log", args.run_log),
             ("--report", args.report or None),
+            ("--controller", args.controller),
         )
         if value
     ]
@@ -680,6 +719,7 @@ def _cmd_run_fleetscale(args: argparse.Namespace) -> int:
         campaign.run(days)
     finally:
         if progress is not None:
+            progress.finish(campaign.sim.now)
             progress.close()
     wall_s = time.perf_counter() - wall_start
     print(campaign.format_summary())
@@ -714,6 +754,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return _cmd_run_resume(args)
     builder = CampaignBuilder(ExperimentConfig(seed=args.seed))
     builder.with_fleet_backend(args.fleet_backend)
+    if args.controller is not None:
+        try:
+            builder.with_controller(args.controller)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     degraded = args.link_faults is not None or args.confirm_rounds > 1 or args.monitor_retries
     if args.link_faults is not None:
         builder.with_link_faults(args.link_faults)
@@ -902,6 +948,7 @@ def _cmd_observe(args: argparse.Namespace) -> int:
         campaign.run(days)
     finally:
         if progress is not None:
+            progress.finish(campaign.sim.now)
             progress.close()
     print(
         render_observatory(
@@ -1169,6 +1216,56 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 1 if result.failures else 0
 
 
+def _first_doc_line(obj) -> str:
+    doc = (obj.__doc__ or "").strip()
+    return doc.splitlines()[0] if doc else ""
+
+
+def _cmd_scenarios(_args: argparse.Namespace) -> int:
+    from repro.control.controllers import CONTROLLERS, controller_doc
+    from repro.core.scenarios import SCENARIOS
+
+    print("scenarios (run with: repro sweep --scenario NAME):")
+    width = max(len(name) for name in SCENARIOS)
+    for name, factory in SCENARIOS.items():
+        print(f"  {name:<{width}}  {_first_doc_line(factory)}")
+    print()
+    print("controllers (run with: repro run --controller NAME):")
+    width = max(len(name) for name in CONTROLLERS)
+    for name in sorted(CONTROLLERS):
+        print(f"  {name:<{width}}  {controller_doc(name)}")
+    return 0
+
+
+def _cmd_control(args: argparse.Namespace) -> int:
+    from repro.control.controllers import CONTROLLERS, controller_doc
+
+    if args.control_command == "list":
+        width = max(len(name) for name in CONTROLLERS)
+        for name in sorted(CONTROLLERS):
+            print(f"{name:<{width}}  {controller_doc(name)}")
+        return 0
+
+    from repro.analysis.scorecard import CLIMATES, render_scorecard, run_scorecard
+
+    controllers = [c.strip() for c in args.controllers.split(",") if c.strip()]
+    climates = [c.strip() for c in args.climates.split(",") if c.strip()]
+    unknown = [c for c in controllers if c not in CONTROLLERS]
+    unknown += [c for c in climates if c not in CLIMATES]
+    if unknown:
+        print(f"error: unknown name(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    scores = run_scorecard(
+        controllers=controllers, climates=climates, seed=args.seed, until=args.until
+    )
+    print(
+        f"controller scorecard  seed={args.seed}"
+        + (f"  until={args.until:%Y-%m-%d}" if args.until else "")
+    )
+    print(render_scorecard(scores))
+    return 0
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "figures": _cmd_figures,
@@ -1179,6 +1276,8 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "telemetry": _cmd_telemetry,
     "observe": _cmd_observe,
+    "scenarios": _cmd_scenarios,
+    "control": _cmd_control,
 }
 
 

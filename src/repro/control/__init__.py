@@ -1,0 +1,53 @@
+"""Closed-loop control plane: actuators, controllers, and the RL facade.
+
+The package splits control into four layers:
+
+- :mod:`repro.control.actuators` -- the :class:`ActuatorBus` of typed,
+  bounds-clamped knobs over one campaign fleet;
+- :mod:`repro.control.observation` -- the frozen per-tick
+  :class:`ControlObservation`;
+- :mod:`repro.control.controllers` -- the :class:`Controller` protocol
+  and the shipped policies (paper operator, thermostat, model-free);
+- :mod:`repro.control.plane` -- the :class:`ControlPlane` wiring a
+  controller into a campaign's engine and snapshot machinery;
+- :mod:`repro.control.env` -- the gym-style :class:`ControlEnv`.
+"""
+
+from repro.control.actuators import ActuatorBus, clamp, clamp_fraction
+from repro.control.controllers import (
+    CONTROLLERS,
+    ControlAction,
+    Controller,
+    ControllerSpec,
+    ModelFreeSetpointController,
+    PaperOperatorController,
+    ThermostatController,
+    controller_doc,
+    controller_from_spec,
+    controller_names,
+    resolve_controller,
+)
+from repro.control.env import ControlEnv, RewardSpec
+from repro.control.observation import ControlObservation
+from repro.control.plane import ControlPlane
+
+__all__ = [
+    "ActuatorBus",
+    "CONTROLLERS",
+    "ControlAction",
+    "ControlEnv",
+    "ControlObservation",
+    "ControlPlane",
+    "Controller",
+    "ControllerSpec",
+    "ModelFreeSetpointController",
+    "PaperOperatorController",
+    "RewardSpec",
+    "ThermostatController",
+    "clamp",
+    "clamp_fraction",
+    "controller_doc",
+    "controller_from_spec",
+    "controller_names",
+    "resolve_controller",
+]

@@ -1,0 +1,351 @@
+"""Controllers: policies that observe the campaign and command actuators.
+
+Three ship with the repo:
+
+``paper-operator``
+    The historical open-loop schedule -- the paper's R/I/B/F/D
+    interventions replayed at their recorded dates.  This is the default
+    controller and must leave the pinned seed-7 digest byte-identical.
+
+``thermostat``
+    Hysteresis control of the emergency flap and economizer fan with a
+    minimum dwell time, the classic anti-chatter bang-bang loop.
+
+``model-free``
+    The intelligent-P ("iP") model-free setpoint synthesis of Fliess et
+    al.: estimate the unmodelled dynamics from the last measurement and
+    the last command, cancel them, and add a proportional correction.
+
+A controller is two things to the control plane: a set of *wakes*
+(absolute-time one-shot callbacks, how the paper operator replays its
+schedule off the periodic grid) and an optional periodic ``act`` driven
+every ``interval_s`` seconds.  Controllers are snapshottable so a killed
+campaign resumes mid-episode byte-identically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from repro.control.actuators import clamp_fraction
+from repro.state.protocol import StateError
+from repro.thermal.tent import Modification
+
+
+@dataclasses.dataclass(frozen=True)
+class ControllerSpec:
+    """Codec-friendly identity of a controller: name plus numeric params.
+
+    Stored in checkpoint metadata so :meth:`Campaign.restore` can
+    reconstruct the same policy before loading its state.
+    """
+
+    name: str
+    params: Tuple[Tuple[str, float], ...] = ()
+
+    def as_kwargs(self) -> Dict[str, float]:
+        return {key: value for key, value in self.params}
+
+
+@dataclasses.dataclass(frozen=True)
+class ControlAction:
+    """One bundle of actuator commands; ``None`` fields are "no change"."""
+
+    flap: Optional[bool] = None
+    fan_duty: Optional[float] = None
+    crac_setpoint_c: Optional[float] = None
+    shed_fraction: Optional[float] = None
+    dvfs_scale: Optional[float] = None
+    #: Envelope modification letters to apply, in order.
+    modifications: Tuple[str, ...] = ()
+
+
+class Controller:
+    """Base controller: periodic ``act`` plus scheduled one-shot wakes.
+
+    Subclasses override :meth:`act` (called every ``interval_s`` with a
+    frozen observation) and/or :meth:`wakes`/:meth:`on_wake` (absolute-
+    time callbacks that survive off-grid schedule times).  ``act``
+    returning ``None`` means "no command this tick".
+    """
+
+    STATE_VERSION = 1
+    name = "controller"
+    #: Seconds between periodic act() calls; None disables the tick.
+    interval_s: Optional[float] = None
+
+    def wakes(self, clock) -> Tuple[Tuple[float, str], ...]:
+        """(absolute seconds, tag) pairs to schedule at campaign start."""
+        return ()
+
+    def on_wake(self, actuators, tag: str, when: float) -> None:
+        """Handle one scheduled wake (tag is controller-defined)."""
+
+    def act(self, obs) -> Optional[ControlAction]:
+        """Periodic policy step; return commands or None."""
+        return None
+
+    @property
+    def spec(self) -> ControllerSpec:
+        return ControllerSpec(name=self.name)
+
+    def state_dict(self) -> Dict[str, Any]:
+        return {"version": self.STATE_VERSION}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        version = int(state.get("version", 0))
+        if version != self.STATE_VERSION:
+            raise StateError(
+                f"{type(self).__name__} snapshot version {version} "
+                f"unsupported (expected {self.STATE_VERSION})"
+            )
+
+
+class PaperOperatorController(Controller):
+    """The paper's by-hand intervention schedule, replayed verbatim.
+
+    Wraps the :class:`~repro.core.config.TentModificationPlan` sequence
+    as wake events so the historical run stays byte-identical: same
+    key, same times, same application order as the old open-loop replay
+    in the campaign builder.
+    """
+
+    name = "paper-operator"
+
+    def __init__(self, plans: Tuple) -> None:
+        self.plans = tuple(plans)
+        self.applied: List[str] = []
+
+    @classmethod
+    def from_config(cls, config) -> "PaperOperatorController":
+        return cls(config.modification_plans)
+
+    def wakes(self, clock) -> Tuple[Tuple[float, str], ...]:
+        return tuple(
+            (clock.to_seconds(plan.date), plan.modification.letter)
+            for plan in self.plans
+        )
+
+    def on_wake(self, actuators, tag: str, when: float) -> None:
+        actuators.apply_modification(Modification(tag), when)
+        self.applied.append(tag)
+
+    def state_dict(self) -> Dict[str, Any]:
+        state = super().state_dict()
+        state["applied"] = list(self.applied)
+        return state
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        super().load_state_dict(state)
+        self.applied = [str(letter) for letter in state["applied"]]
+
+
+class ThermostatController(Controller):
+    """Hysteresis flap/fan control with a minimum dwell time.
+
+    Calls for cooling when the tent runs hotter than
+    ``setpoint_c + band_c / 2`` (flap open, fan at full duty) and stands
+    down below ``setpoint_c - band_c / 2``; inside the band it holds the
+    last decision.  A switch is only honoured once ``min_dwell_s`` has
+    elapsed since the previous one, so adversarial weather oscillating
+    across the band cannot chatter the actuators.
+    """
+
+    name = "thermostat"
+    interval_s = 300.0
+
+    def __init__(
+        self,
+        setpoint_c: float = 26.0,
+        band_c: float = 4.0,
+        min_dwell_s: float = 3600.0,
+        interval_s: float = 300.0,
+    ) -> None:
+        self.setpoint_c = float(setpoint_c)
+        self.band_c = float(band_c)
+        self.min_dwell_s = float(min_dwell_s)
+        self.interval_s = float(interval_s)
+        self.cooling = False
+        #: Time of the last honoured switch; -inf means "never switched"
+        #: so the first decision is always free.
+        self.last_switch_s = float("-inf")
+
+    @property
+    def spec(self) -> ControllerSpec:
+        return ControllerSpec(
+            name=self.name,
+            params=(
+                ("setpoint_c", self.setpoint_c),
+                ("band_c", self.band_c),
+                ("min_dwell_s", self.min_dwell_s),
+                ("interval_s", self.interval_s),
+            ),
+        )
+
+    def act(self, obs) -> Optional[ControlAction]:
+        half_band = self.band_c / 2.0
+        want = self.cooling
+        if obs.tent_temp_c > self.setpoint_c + half_band:
+            want = True
+        elif obs.tent_temp_c < self.setpoint_c - half_band:
+            want = False
+        if want == self.cooling:
+            return None
+        if obs.time_s - self.last_switch_s < self.min_dwell_s:
+            return None
+        self.cooling = want
+        self.last_switch_s = obs.time_s
+        return ControlAction(flap=want, fan_duty=1.0 if want else 0.0)
+
+    def state_dict(self) -> Dict[str, Any]:
+        state = super().state_dict()
+        state["cooling"] = self.cooling
+        state["last_switch_s"] = self.last_switch_s
+        return state
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        super().load_state_dict(state)
+        self.cooling = bool(state["cooling"])
+        self.last_switch_s = float(state["last_switch_s"])
+
+
+class ModelFreeSetpointController(Controller):
+    """Model-free intelligent-P setpoint control after Fliess et al.
+
+    The tent is treated as the ultra-local model ``ydot = F + alpha * u``
+    where ``u`` is economizer fan duty and ``F`` absorbs everything
+    unmodelled (weather, IT load, envelope state).  Each tick the
+    controller estimates ``F`` from the last measured slope and its own
+    previous command, then synthesises the duty that cancels ``F`` and
+    closes a proportional loop on the setpoint error::
+
+        F_hat = ydot_measured - alpha * u_prev
+        u     = clamp((-F_hat + kp * (setpoint - y)) / alpha, 0, 1)
+
+    ``alpha_c`` is the assumed cooling authority in degC/hour at full
+    duty; cooling means ``alpha`` enters negatively, hence the sign
+    arrangement below.
+    """
+
+    name = "model-free"
+    interval_s = 300.0
+
+    def __init__(
+        self,
+        setpoint_c: float = 24.0,
+        kp: float = 0.4,
+        alpha_c: float = 3.0,
+        interval_s: float = 300.0,
+    ) -> None:
+        self.setpoint_c = float(setpoint_c)
+        self.kp = float(kp)
+        #: Cooling authority, degC per hour at full fan duty (positive).
+        self.alpha_c = float(alpha_c)
+        self.interval_s = float(interval_s)
+        self.prev_temp_c: Optional[float] = None
+        self.prev_time_s: Optional[float] = None
+        self.duty = 0.0
+
+    @property
+    def spec(self) -> ControllerSpec:
+        return ControllerSpec(
+            name=self.name,
+            params=(
+                ("setpoint_c", self.setpoint_c),
+                ("kp", self.kp),
+                ("alpha_c", self.alpha_c),
+                ("interval_s", self.interval_s),
+            ),
+        )
+
+    def act(self, obs) -> Optional[ControlAction]:
+        if self.prev_temp_c is None or self.prev_time_s is None:
+            self.prev_temp_c = obs.tent_temp_c
+            self.prev_time_s = obs.time_s
+            return None
+        dt_h = (obs.time_s - self.prev_time_s) / 3600.0
+        if dt_h <= 0.0:
+            return None
+        ydot = (obs.tent_temp_c - self.prev_temp_c) / dt_h
+        # Full duty cools: the ultra-local model is ydot = F - alpha*u.
+        f_hat = ydot + self.alpha_c * self.duty
+        error = obs.tent_temp_c - self.setpoint_c
+        duty = clamp_fraction((f_hat + self.kp * error) / self.alpha_c)
+        self.prev_temp_c = obs.tent_temp_c
+        self.prev_time_s = obs.time_s
+        if duty == self.duty:
+            return None
+        self.duty = duty
+        return ControlAction(fan_duty=duty)
+
+    def state_dict(self) -> Dict[str, Any]:
+        state = super().state_dict()
+        state["prev_temp_c"] = self.prev_temp_c
+        state["prev_time_s"] = self.prev_time_s
+        state["duty"] = self.duty
+        return state
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        super().load_state_dict(state)
+        prev_temp = state["prev_temp_c"]
+        prev_time = state["prev_time_s"]
+        self.prev_temp_c = None if prev_temp is None else float(prev_temp)
+        self.prev_time_s = None if prev_time is None else float(prev_time)
+        self.duty = float(state["duty"])
+
+
+def _make_paper_operator(config, **params) -> Controller:
+    """Replay the paper's recorded R/I/B/F/D schedule (the default)."""
+    return PaperOperatorController.from_config(config)
+
+
+def _make_thermostat(config, **params) -> Controller:
+    """Hysteresis flap/fan thermostat with anti-chatter min-dwell."""
+    return ThermostatController(**params)
+
+
+def _make_model_free(config, **params) -> Controller:
+    """Model-free intelligent-P fan-duty synthesis (Fliess et al.)."""
+    return ModelFreeSetpointController(**params)
+
+
+#: Controller registry: name -> factory(config, **params).
+CONTROLLERS: Dict[str, Callable[..., Controller]] = {
+    "paper-operator": _make_paper_operator,
+    "thermostat": _make_thermostat,
+    "model-free": _make_model_free,
+}
+
+
+def controller_names() -> Tuple[str, ...]:
+    return tuple(sorted(CONTROLLERS))
+
+
+def controller_doc(name: str) -> str:
+    """First docstring line of a registered controller factory."""
+    doc = CONTROLLERS[name].__doc__ or ""
+    return doc.strip().splitlines()[0] if doc.strip() else ""
+
+
+def controller_from_spec(spec: ControllerSpec, config) -> Controller:
+    """Rebuild a controller from its checkpointed spec."""
+    if spec.name not in CONTROLLERS:
+        raise StateError(f"unknown controller in checkpoint: {spec.name!r}")
+    return CONTROLLERS[spec.name](config, **spec.as_kwargs())
+
+
+def resolve_controller(
+    controller: Union[None, str, Controller], config
+) -> Controller:
+    """Accept a name, an instance, or None (the paper-operator default)."""
+    if controller is None:
+        controller = "paper-operator"
+    if isinstance(controller, str):
+        if controller not in CONTROLLERS:
+            known = ", ".join(controller_names())
+            raise ValueError(
+                f"unknown controller {controller!r} (known: {known})"
+            )
+        return CONTROLLERS[controller](config)
+    return controller

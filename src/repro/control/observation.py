@@ -1,0 +1,49 @@
+"""The frozen observation a controller sees each control tick.
+
+A :class:`ControlObservation` is a value object: everything a closed-loop
+policy may condition on, sampled at one instant, with no live references
+back into the simulation.  Freezing the observation keeps controllers
+honest (they cannot reach around the actuator bus and poke the plant)
+and keeps episodes replayable -- the observation trace plus the action
+trace fully determine a run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class ControlObservation:
+    """One frozen sample of campaign state for a controller.
+
+    Weather comes from the synthetic station (deterministic per seed),
+    thermal readings from the enclosure models, census numbers from the
+    fleet, and actuator echoes from the bus so a policy can see its own
+    previous commands without keeping private state.
+    """
+
+    #: Simulation time, seconds since campaign start.
+    time_s: float
+    # Weather at the site.
+    outside_temp_c: float
+    outside_rh_percent: float
+    wind_ms: float
+    solar_wm2: float
+    # Enclosure readings.
+    tent_temp_c: float
+    tent_rh_percent: float
+    basement_temp_c: float
+    # Fleet census.
+    hosts_running: int
+    hosts_shed: int
+    failures_total: int
+    # Actuator echoes and plant status.
+    flap_open: bool
+    fan_duty: float
+    tripped: bool
+    #: Cumulative metered energy so reward deltas need no second probe.
+    energy_kwh: float
+    #: Letters of envelope modifications applied so far, in order.
+    modifications: Tuple[str, ...] = ()

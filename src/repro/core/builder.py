@@ -28,6 +28,13 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.climate.generator import WeatherGenerator
 from repro.climate.station import WeatherStation
+from repro.control.controllers import (
+    CONTROLLERS,
+    Controller,
+    controller_from_spec,
+    resolve_controller,
+)
+from repro.control.plane import ControlPlane
 from repro.core.config import ExperimentConfig
 from repro.core.deployment import Fleet
 from repro.core.protocol import OperatorPolicy
@@ -57,7 +64,6 @@ from repro.state.checkpoint import (
 from repro.state.codec import decode_value, encode_value
 from repro.state.protocol import StateError
 from repro.thermal.enclosure import PlasticBoxShelter
-from repro.thermal.tent import Modification
 
 #: Instruments a default build schedules, in their historical order.
 DEFAULT_INSTRUMENTS: Tuple[str, ...] = (
@@ -92,6 +98,7 @@ class Campaign:
         fleet_backend: str = "columnar",
         plant_faults: Optional[PlantFaultPlan] = None,
         trip_policy: Optional[ThermalTripPolicy] = None,
+        controller=None,
     ) -> None:
         self.config = config
         self._disabled = disabled
@@ -152,6 +159,19 @@ class Campaign:
         self.powermeter = TechnolineCostControl(self.streams)
         self.webcam = TerraceWebcam(self.weather, self.streams)
 
+        # The control plane: one actuator bus plus the campaign's
+        # controller (the paper's open-loop schedule by default).  Built
+        # before the plant so the chaos plane can route its physical
+        # actions through the same bus.
+        self.control = ControlPlane(
+            self.sim,
+            self.fleet,
+            resolve_controller(controller, config),
+            self.clock,
+            powermeter=self.powermeter,
+            telemetry=telemetry,
+        )
+
         # The plant chaos plane: only constructed when a fault plan or
         # trip policy is armed, so the unarmed campaign keeps its exact
         # historical bus wiring, key registry, and event sequence.
@@ -160,11 +180,17 @@ class Campaign:
         plant_armed = bool(plant_faults) or trip_policy is not None
         self.plant: Optional[PlantController] = (
             PlantController(
-                self.sim, self.fleet, plant_faults, trip_policy, bus=self.bus
+                self.sim,
+                self.fleet,
+                plant_faults,
+                trip_policy,
+                bus=self.bus,
+                actuators=self.control.actuators,
             )
             if plant_armed
             else None
         )
+        self.control.plant = self.plant
 
         #: Extra instruments, name -> built instance (attach/detach protocol).
         self.instruments: Dict[str, object] = {}
@@ -262,6 +288,12 @@ class Campaign:
         self._checkpoint_writer = DeltaCheckpointWriter()
 
     def _drive(self, end: float) -> ExperimentResults:
+        self._begin(end)
+        self._run_to(end)
+        return self._build_results(end)
+
+    def _begin(self, end: float) -> None:
+        """Attach the station, run the prototype, schedule the campaign."""
         self._end = end
         self.station.attach(
             self.sim, start=self.clock.to_seconds(self.config.prototype_start)
@@ -269,8 +301,47 @@ class Campaign:
         if self.enabled("prototype"):
             self.prototype_result = self._run_prototype()
         self._schedule_campaign(end)
-        self._run_to(end)
-        return self._build_results(end)
+
+    # ------------------------------------------------------------------
+    # Stepped driver (the ControlEnv facade): begin once, advance in
+    # arbitrary increments, build results at the horizon.  run() is the
+    # one-shot composition of the same pieces, so a stepped campaign
+    # fires the exact event sequence a run() campaign does.
+    # ------------------------------------------------------------------
+    def begin(self, until: Optional[_dt.datetime] = None) -> float:
+        """Schedule the full campaign without running it; returns the
+        horizon in simulated seconds.  Drive with :meth:`advance_to`."""
+        if self._ran:
+            raise RuntimeError("a Campaign instance runs exactly once")
+        self._ran = True
+        end_date = until if until is not None else self.config.end_date
+        end = self.clock.to_seconds(end_date)
+        proto_end = self.clock.to_seconds(self.config.prototype_end)
+        if end < proto_end:
+            raise ValueError("campaign end precedes the prototype weekend")
+        self._configure_checkpoints(None, None, None)
+        self._begin(end)
+        return end
+
+    def advance_to(self, when) -> float:
+        """Advance to ``when`` (datetime or simulated seconds).
+
+        ``run_until`` is segmentation-invariant, so any sequence of
+        advances fires the same events as one call to the horizon.
+        """
+        target = (
+            float(when)
+            if isinstance(when, (int, float))
+            else self.clock.to_seconds(when)
+        )
+        self.sim.run_until(target)
+        return target
+
+    def finish(self) -> ExperimentResults:
+        """Results at the horizon recorded by :meth:`begin`/restore."""
+        if self._end is None:
+            raise RuntimeError("begin() the campaign before finish()")
+        return self._build_results(self._end)
 
     def _run_to(self, end: float) -> None:
         """Advance to ``end``, pausing at checkpoint cadence points.
@@ -382,6 +453,10 @@ class Campaign:
             # tie-break, so each plant decision sees freshly advanced
             # enclosures and host states.
             self.plant.start_ticking(test_start)
+        # Closed-loop controllers tick after fleet and plant for the
+        # same freshness reason; the default paper operator declares no
+        # interval, so this is a no-op on the historical campaign.
+        self.control.start_ticking(test_start)
 
         for plan in self.config.host_plans:
             if plan.install_date is None:
@@ -393,16 +468,10 @@ class Campaign:
                 label=f"install.host{plan.host_id:02d}",
             )
 
-        for mod_plan in self.config.modification_plans:
-            when = self.clock.to_seconds(mod_plan.date)
-            if when > end:
-                continue
-            self.sim.schedule_at_key(
-                when,
-                "campaign.tent_mod",
-                args=(mod_plan.modification.letter, when),
-                label=f"tent-mod.{mod_plan.modification.letter}",
-            )
+        # Controller wakes replace the old open-loop TentModificationPlan
+        # replay: the paper operator schedules the identical events under
+        # the identical key and labels.
+        self.control.schedule_wakes(end)
 
         if self.enabled("lascar"):
             self.sim.schedule_at_key(test_start, "campaign.lascar_attach", label="lascar")
@@ -469,7 +538,7 @@ class Campaign:
         sim.register("prototype.tick", self._prototype_tick)
         sim.register("campaign.erect_tent", self.fleet.power_tent_switches)
         sim.register("campaign.install", self._install)
-        sim.register("campaign.tent_mod", self._apply_tent_modification)
+        self.control.register_keys(sim)
         sim.register("campaign.lascar_attach", self._attach_lascar)
         sim.register("campaign.powermeter_attach", self._attach_powermeter)
         sim.register("campaign.webcam_attach", self._attach_webcam)
@@ -478,9 +547,6 @@ class Campaign:
         sim.register("campaign.snapshot", self._freeze_snapshot)
         if self.plant is not None:
             self.plant.register_keys(sim)
-
-    def _apply_tent_modification(self, letter: str, when: float) -> None:
-        self.fleet.apply_tent_modification(Modification(letter), when)
 
     def _attach_lascar(self) -> None:
         self.lascar.attach(self.sim)
@@ -516,6 +582,7 @@ class Campaign:
             "monitoring": self.monitoring.state_dict(),
             "transfers": self.transfers.state_dict(),
             "fleet": self.fleet.state_dict(),
+            "control": self.control.state_dict(),
             "policy": self.policy.state_dict(),
             "fault_log": self.fault_log.state_dict(),
             "bus_counts": dict(self.bus.counts),
@@ -563,6 +630,7 @@ class Campaign:
         snapshot.encode_meta("health_policy", self._health_policy)
         snapshot.encode_meta("plant_faults", self._plant_faults)
         snapshot.encode_meta("trip_policy", self._trip_policy)
+        snapshot.encode_meta("controller", self.control.controller.spec)
         snapshot.encode_meta("prototype_result", self.prototype_result)
         snapshot.encode_meta("snapshot", self._snapshot)
         return snapshot
@@ -597,6 +665,12 @@ class Campaign:
             from repro.telemetry import Telemetry
 
             telemetry = Telemetry()
+        controller_spec = checkpoint.decode_meta("controller")
+        controller = (
+            controller_from_spec(controller_spec, config)
+            if controller_spec is not None
+            else None
+        )
         campaign = cls(
             config,
             disabled=frozenset(checkpoint.meta.get("disabled", ())),
@@ -606,6 +680,7 @@ class Campaign:
             fleet_backend=checkpoint.meta.get("fleet_backend", "columnar"),
             plant_faults=checkpoint.decode_meta("plant_faults"),
             trip_policy=checkpoint.decode_meta("trip_policy"),
+            controller=controller,
         )
         campaign._ran = bool(checkpoint.meta.get("ran", True))
         end = checkpoint.meta.get("end")
@@ -633,6 +708,8 @@ class Campaign:
         campaign.transfers.load_state_dict(components["transfers"])
         campaign.policy.load_state_dict(components["policy"])
         campaign.fault_log.load_state_dict(components["fault_log"])
+        if components.get("control") is not None:
+            campaign.control.load_state_dict(components["control"])
         if campaign.plant is not None and components.get("plant") is not None:
             campaign.plant.load_state_dict(components["plant"])
         campaign.bus.counts.clear()
@@ -665,6 +742,7 @@ class Campaign:
         campaign.webcam.rebind(campaign.sim)
         campaign.monitoring.rebind(campaign.sim)
         campaign.fleet.rebind(campaign.sim)
+        campaign.control.rebind()
         if campaign.plant is not None:
             campaign.plant.rebind(campaign.sim)
         return campaign
@@ -785,6 +863,7 @@ class CampaignBuilder:
         self._fleet_backend = "columnar"
         self._plant_faults: Optional[PlantFaultPlan] = None
         self._trip_policy: Optional[ThermalTripPolicy] = None
+        self._controller = None
 
     def without(self, name: str) -> "CampaignBuilder":
         """Drop one default instrument (see :data:`DEFAULT_INSTRUMENTS`)."""
@@ -899,6 +978,28 @@ class CampaignBuilder:
         self._trip_policy = policy
         return self
 
+    def with_controller(self, controller) -> "CampaignBuilder":
+        """Select the campaign's closed-loop controller.
+
+        ``controller`` is a registry name (``"paper-operator"``,
+        ``"thermostat"``, ``"model-free"`` -- see
+        :data:`repro.control.CONTROLLERS`) or a
+        :class:`~repro.control.Controller` instance.  The default is the
+        paper operator: the historical R/I/B/F/D schedule, which leaves
+        the pinned seed-7 digest byte-identical.
+        """
+        if controller is not None and not isinstance(controller, (str, Controller)):
+            raise TypeError(
+                f"expected a controller name or Controller, got {controller!r}"
+            )
+        if isinstance(controller, str) and controller not in CONTROLLERS:
+            known = ", ".join(sorted(CONTROLLERS))
+            raise ValueError(
+                f"unknown controller {controller!r} (known: {known})"
+            )
+        self._controller = controller
+        return self
+
     def with_health_policy(self, policy: HealthPolicy) -> "CampaignBuilder":
         """Set the collector's host-health policy.
 
@@ -925,4 +1026,5 @@ class CampaignBuilder:
             fleet_backend=self._fleet_backend,
             plant_faults=self._plant_faults,
             trip_policy=self._trip_policy,
+            controller=self._controller,
         )

@@ -22,7 +22,12 @@ import numpy as np
 
 from repro.climate.generator import WeatherGenerator
 from repro.hardware.faults import FaultEvent, FaultKind, FaultLog
-from repro.hardware.host import HOST_STATE_RUNNING_CODE, Host
+from repro.hardware.host import (
+    HOST_STATE_RUNNING_CODE,
+    HOST_STATE_SHED_CODE,
+    Host,
+    HostState,
+)
 from repro.hardware.switch import NetworkSwitch
 from repro.hardware.vendors import vendor
 from repro.core.config import ExperimentConfig, HostPlan
@@ -84,6 +89,7 @@ class Fleet:
             raise ValueError(f"unknown fleet backend {backend!r}")
         self.sim = sim
         self.config = config
+        self.weather = weather
         self.fault_log = fault_log
         self.bus = bus
         self.backend = backend
@@ -185,6 +191,28 @@ class Fleet:
     def hosts_in_group(self, group: str) -> List[Host]:
         """Hosts planned into ``group`` ("tent", "basement", "spare")."""
         return [self.hosts[p.host_id] for p in self.config.plans_by_group(group)]
+
+    def host_census(self) -> "tuple[int, int]":
+        """``(running, shed)`` counts across the fleet.
+
+        On the control-tick hot path every 5 simulated minutes, so the
+        columnar backend answers with two array comparisons instead of a
+        per-host property walk.
+        """
+        if self.columns is not None:
+            state = self.columns.host_state[: self.columns.n_hosts]
+            return (
+                int(np.count_nonzero(state == HOST_STATE_RUNNING_CODE)),
+                int(np.count_nonzero(state == HOST_STATE_SHED_CODE)),
+            )
+        running = 0
+        shed = 0
+        for host in self.hosts.values():
+            if host.state is HostState.RUNNING:
+                running += 1
+            elif host.state is HostState.SHED:
+                shed += 1
+        return running, shed
 
     def enclosure_for_group(self, group: str) -> Enclosure:
         """The enclosure a group's hosts are installed into."""

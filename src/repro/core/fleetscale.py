@@ -744,9 +744,13 @@ class FleetScaleCampaign:
             self._start_s + days * 86_400.0,
             self.clock.to_seconds(self.config.end_date),
         )
-        self.sim.run_until(end)
-        if self.progress is not None:
-            self.progress.finish(self.sim.now)
+        try:
+            self.sim.run_until(end)
+        finally:
+            # A raising campaign still owes its final: true heartbeat so
+            # tail -f consumers see the run close.
+            if self.progress is not None:
+                self.progress.finish(self.sim.now)
         self._record_run_metrics()
         return self.summary()
 

@@ -74,6 +74,7 @@ _HOST_STATE_CODES = {
     HostState.SHED: 5,
 }
 HOST_STATE_RUNNING_CODE = _HOST_STATE_CODES[HostState.RUNNING]
+HOST_STATE_SHED_CODE = _HOST_STATE_CODES[HostState.SHED]
 
 
 class Host:

@@ -32,7 +32,7 @@ so the seeded baseline records stay byte-identical.
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro.hardware.host import Host, HostState
 from repro.plant.faults import (
@@ -43,7 +43,6 @@ from repro.plant.faults import (
     PlantFaultKind,
     PlantFaultPlan,
     POD_SCOPED,
-    airflow_factors,
 )
 from repro.plant.trip import ThermalTripPolicy
 from repro.sim.events import (
@@ -59,6 +58,9 @@ from repro.sim.events import (
 )
 from repro.state.codec import decode_value, encode_value
 from repro.state.protocol import check_version
+
+if TYPE_CHECKING:
+    from repro.control.actuators import ActuatorBus
 
 #: Power-feed domains of the paper site: feed 0 carries the tent pod,
 #: feed 1 the basement control group.
@@ -83,12 +85,18 @@ class PlantController:
         plan: Optional[PlantFaultPlan] = None,
         policy: Optional[ThermalTripPolicy] = None,
         bus=None,
+        actuators: Optional["ActuatorBus"] = None,
     ) -> None:
+        from repro.control.actuators import ActuatorBus
+
         self.sim = sim
         self.fleet = fleet
         self.plan = plan if plan is not None else PlantFaultPlan()
         self.policy = policy
         self.bus = bus
+        # Physical actions route through the campaign's actuator bus; a
+        # standalone controller (tests, ad-hoc harnesses) gets its own.
+        self.actuators = actuators if actuators is not None else ActuatorBus(fleet)
         self._start_s: Optional[float] = None
         self._last_now: Optional[float] = None
         self._tick_handle = None
@@ -104,12 +112,12 @@ class PlantController:
         self.ice_severity = 0.0
         self.feed_until: List[float] = [_INACTIVE] * len(FEED_GROUPS)
 
-        # Protective-trip runtime for the one tent pod.
+        # Protective-trip runtime for the one tent pod.  The emergency
+        # flap itself lives on the actuator bus; see the property below.
         self.tripped = False
         self.stage = 0
         self.stage_deadline = math.inf
         self.restore_at = math.inf
-        self.flap_open = False
 
         # Hosts we powered down, in shed order, per cause.
         self._shed_trip: List[int] = []
@@ -194,6 +202,11 @@ class PlantController:
 
     def shed_host_count(self) -> int:
         return len(self._shed_trip) + sum(len(ids) for ids in self._shed_feed)
+
+    @property
+    def flap_open(self) -> bool:
+        """The emergency flap, delegated to the actuator bus."""
+        return self.actuators.flap_open
 
     # ------------------------------------------------------------------
     # The tick
@@ -339,8 +352,7 @@ class PlantController:
 
     def _apply_airflow(self) -> None:
         blockage = max(self.block_severity, self.ice_severity)
-        ua, ach = airflow_factors(self.fan_severity, blockage, self.flap_open)
-        self.fleet.tent.set_plant_airflow(ua, ach)
+        self.actuators.set_plant_degradation(self.fan_severity, blockage)
 
     # -- power feeds ----------------------------------------------------
     def _group_hosts(self, feed: int) -> List[Host]:
@@ -350,7 +362,7 @@ class PlantController:
         shed = self._shed_feed[feed]
         for host in self._group_hosts(feed):
             if host.state is HostState.RUNNING:
-                host.power_down(now, reason="feed drop")
+                self.actuators.power_down(host, now, reason="feed drop")
                 shed.append(host.host_id)
         if shed:
             self.census["hosts_shed"] += len(shed)
@@ -365,7 +377,7 @@ class PlantController:
         for host_id in shed:
             host = self.fleet.host(host_id)
             if host.state is HostState.SHED:
-                host.power_up(now)
+                self.actuators.power_up(host, now)
                 restored += 1
         self._shed_feed[feed] = []
         if restored:
@@ -397,10 +409,9 @@ class PlantController:
                     ThermalTrip(time=now, pod=0, intake_c=intake, stage=self.stage)
                 )
             if policy.emergency_flap and not self.flap_open:
-                self.flap_open = True
                 if self.bus is not None:
                     self.bus.publish(EmergencyFlapOpened(time=now, pod=0))
-                self._apply_airflow()
+                self.actuators.set_flap(True, now)
             self._shed_to_stage(now)
         elif self.tripped and hot and self.stage_deadline <= now and self.stage < policy.max_stage:
             self.stage += 1
@@ -418,10 +429,9 @@ class PlantController:
             if self.bus is not None:
                 self.bus.publish(ThermalTripCleared(time=now, pod=0, intake_c=intake))
             if self.flap_open:
-                self.flap_open = False
                 if self.bus is not None:
                     self.bus.publish(EmergencyFlapClosed(time=now, pod=0))
-                self._apply_airflow()
+                self.actuators.set_flap(False, now)
         elif not self.tripped and self.stage > 0 and self.restore_at <= now:
             self.stage = 0
             self.restore_at = math.inf
@@ -429,7 +439,7 @@ class PlantController:
             for host_id in self._shed_trip:
                 host = self.fleet.host(host_id)
                 if host.state is HostState.SHED:
-                    host.power_up(now)
+                    self.actuators.power_up(host, now)
                     restored += 1
             self._shed_trip = []
             if restored:
@@ -452,7 +462,7 @@ class PlantController:
             if len(self._shed_trip) >= target:
                 break
             if host.state is HostState.RUNNING and host.host_id not in self._shed_trip:
-                host.power_down(now, reason="thermal trip")
+                self.actuators.power_down(host, now, reason="thermal trip")
                 self._shed_trip.append(host.host_id)
                 shed_now += 1
         if shed_now:
@@ -512,7 +522,12 @@ class PlantController:
         self.stage = int(trip["stage"])
         self.stage_deadline = float(trip["stage_deadline"])
         self.restore_at = float(trip["restore_at"])
-        self.flap_open = bool(trip["flap_open"])
+        # The flap lives on the bus; set the fields directly (the tent's
+        # airflow factors are restored by the fleet's own snapshot, so
+        # nothing should be re-applied here).
+        self.actuators.flap_open = bool(trip["flap_open"])
+        self.actuators.fan_severity = self.fan_severity
+        self.actuators.blockage = max(self.block_severity, self.ice_severity)
         self._shed_trip = [int(v) for v in state["shed_trip"]]
         self._shed_feed = [[int(v) for v in ids] for ids in state["shed_feed"]]
         self._next_fault = int(state["next_fault"])

@@ -99,6 +99,8 @@ def _class_registry() -> Dict[str, Type]:
     cycles (core and monitoring import it back).
     """
     from repro.climate import profiles as _profiles
+    from repro.control import controllers as _controllers
+    from repro.control import observation as _observation
     from repro.core import config as _config
     from repro.core import results as _results
     from repro.hardware import faults as _hwfaults
@@ -131,6 +133,9 @@ def _class_registry() -> Dict[str, Type]:
         _plant.PlantFaultPlan,
         _plant.PlantStorm,
         _trip.ThermalTripPolicy,
+        _controllers.ControllerSpec,
+        _controllers.ControlAction,
+        _observation.ControlObservation,
     ]
     classes.extend(
         obj

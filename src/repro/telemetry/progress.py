@@ -105,6 +105,7 @@ class ProgressMeter:
         self._since_check = 0
         self._events = 0
         self._seq = 0
+        self._finished = False
         self.lines_emitted = 0
 
     @classmethod
@@ -190,7 +191,15 @@ class ProgressMeter:
         self.lines_emitted += 1
 
     def finish(self, sim_now: float) -> None:
-        """Force one final heartbeat (always emits, even on short runs)."""
+        """Force one final heartbeat (always emits, even on short runs).
+
+        Idempotent: drivers call this from try/finally *and* from their
+        success paths, and a crash cleanup must not write two ``final``
+        lines.
+        """
+        if self._finished:
+            return
+        self._finished = True
         now = self._wall_clock()
         if self._wall0 is None:
             self._wall0 = now

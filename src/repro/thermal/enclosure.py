@@ -45,6 +45,9 @@ class Enclosure(abc.ABC):
         self.name = name
         self.weather = weather
         self.it_load_w = 0.0
+        #: DVFS/server-fan power scale commanded by the control plane's
+        #: actuator bus (which also persists it); 1.0 = rated draw.
+        self.it_load_scale = 1.0
         self.intake_temp_c = 0.0
         self.intake_rh_percent = 50.0
         #: Water reaching the equipment right now (mm/h).
@@ -61,6 +64,10 @@ class Enclosure(abc.ABC):
         """Update the dissipated IT load (W)."""
         if watts < 0:
             raise ValueError("IT load cannot be negative")
+        # Guarded multiply: the untouched default must stay IEEE
+        # byte-identical to the pre-DVFS load path.
+        if self.it_load_scale != 1.0:
+            watts *= self.it_load_scale
         self.it_load_w = watts
 
     def advance(self, time: float) -> None:

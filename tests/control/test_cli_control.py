@@ -1,0 +1,76 @@
+"""CLI surface of the control plane: scenarios, control list/compare."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_scenarios_list_flag(self):
+        args = build_parser().parse_args(["scenarios", "--list"])
+        assert args.command == "scenarios"
+
+    def test_control_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["control"])
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["control", "compare"])
+        assert args.controllers == "paper-operator,thermostat,model-free"
+        assert args.climates == "helsinki,harsher-winter"
+        assert args.seed == 7
+        assert args.until is None
+
+    def test_run_takes_a_controller(self):
+        args = build_parser().parse_args(["run", "--controller", "thermostat"])
+        assert args.controller == "thermostat"
+
+
+class TestScenariosVerb:
+    def test_lists_scenarios_and_controllers(self, capsys):
+        assert main(["scenarios", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "scenarios" in out
+        assert "paper" in out
+        assert "controllers" in out
+        for name in ("paper-operator", "thermostat", "model-free"):
+            assert name in out
+
+
+class TestControlVerb:
+    def test_list_names_every_controller(self, capsys):
+        assert main(["control", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("paper-operator", "thermostat", "model-free"):
+            assert name in out
+
+    def test_compare_rejects_unknown_names(self, capsys):
+        assert main(["control", "compare", "--controllers", "pid-9000"]) == 2
+        assert "pid-9000" in capsys.readouterr().err
+        assert main(["control", "compare", "--climates", "lunar"]) == 2
+        assert "lunar" in capsys.readouterr().err
+
+    def test_compare_emits_a_scorecard(self, capsys):
+        code = main(
+            [
+                "control",
+                "compare",
+                "--until",
+                "2010-02-21",
+                "--climates",
+                "helsinki",
+                "--controllers",
+                "paper-operator,thermostat",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "controller scorecard" in out
+        assert "seed=7" in out
+        assert "energy kWh" in out
+        rows = [line for line in out.splitlines() if line.startswith("helsinki")]
+        assert len(rows) == 2
+
+    def test_run_rejects_unknown_controller(self, capsys):
+        assert main(["run", "--controller", "pid-9000"]) == 2
+        assert "pid-9000" in capsys.readouterr().err

@@ -1,0 +1,237 @@
+"""Controller contracts: anti-chatter, snapshot roundtrips, the registry.
+
+The snapshot tests follow the kill-and-resume discipline used everywhere
+else in the repo: drive a controller halfway through a synthetic
+episode, snapshot it, rebuild a fresh instance from its checkpointable
+spec, load the state, and require the copy to emit the *same actions*
+as the original for the rest of the episode.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.control.controllers import (
+    CONTROLLERS,
+    ControlAction,
+    ControllerSpec,
+    ModelFreeSetpointController,
+    PaperOperatorController,
+    ThermostatController,
+    controller_doc,
+    controller_from_spec,
+    controller_names,
+    resolve_controller,
+)
+from repro.control.observation import ControlObservation
+from repro.core.config import ExperimentConfig
+from repro.sim.clock import SimClock
+from repro.state.protocol import StateError
+
+
+def make_obs(time_s, tent_temp_c, **overrides):
+    """A synthetic observation; only the fields under test vary."""
+    fields = dict(
+        time_s=float(time_s),
+        outside_temp_c=-5.0,
+        outside_rh_percent=80.0,
+        wind_ms=3.0,
+        solar_wm2=0.0,
+        tent_temp_c=float(tent_temp_c),
+        tent_rh_percent=40.0,
+        basement_temp_c=21.0,
+        hosts_running=45,
+        hosts_shed=0,
+        failures_total=0,
+        flap_open=False,
+        fan_duty=0.0,
+        tripped=False,
+        energy_kwh=0.0,
+    )
+    fields.update(overrides)
+    return ControlObservation(**fields)
+
+
+class FakeActuators:
+    """Records modification letters instead of touching a fleet."""
+
+    def __init__(self):
+        self.letters = []
+
+    def apply_modification(self, mod, now):
+        self.letters.append(mod.letter)
+
+
+class TestThermostat:
+    def test_first_switch_is_free(self):
+        ctrl = ThermostatController(setpoint_c=26.0, band_c=4.0)
+        action = ctrl.act(make_obs(0.0, 30.0))
+        assert action == ControlAction(flap=True, fan_duty=1.0)
+
+    def test_holds_inside_the_band(self):
+        ctrl = ThermostatController(setpoint_c=26.0, band_c=4.0)
+        assert ctrl.act(make_obs(0.0, 26.5)) is None
+        assert ctrl.act(make_obs(300.0, 25.5)) is None
+        assert ctrl.cooling is False
+
+    def test_stand_down_below_the_band(self):
+        ctrl = ThermostatController(
+            setpoint_c=26.0, band_c=4.0, min_dwell_s=600.0
+        )
+        assert ctrl.act(make_obs(0.0, 30.0)).flap is True
+        # Still dwelling: the cold reading cannot flip it yet.
+        assert ctrl.act(make_obs(300.0, 20.0)) is None
+        action = ctrl.act(make_obs(900.0, 20.0))
+        assert action == ControlAction(flap=False, fan_duty=0.0)
+
+    def test_adversarial_square_wave_respects_dwell(self):
+        ctrl = ThermostatController(
+            setpoint_c=26.0, band_c=4.0, min_dwell_s=3600.0
+        )
+        switches = []
+        for i in range(48):
+            temp = 30.0 if i % 2 == 0 else 20.0
+            if ctrl.act(make_obs(i * 300.0, temp)) is not None:
+                switches.append(i * 300.0)
+        assert len(switches) > 1
+        assert all(b - a >= 3600.0 for a, b in zip(switches, switches[1:]))
+
+    @given(
+        temps=st.lists(
+            st.floats(min_value=-20.0, max_value=60.0, allow_nan=False),
+            min_size=4,
+            max_size=80,
+        ),
+        dwell_ticks=st.integers(min_value=1, max_value=20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_switch_spacing_never_beats_dwell(self, temps, dwell_ticks):
+        """Property: however the tent temperature dances across the band,
+        honoured switches are at least ``min_dwell_s`` apart."""
+        dwell = dwell_ticks * 300.0
+        ctrl = ThermostatController(
+            setpoint_c=26.0, band_c=4.0, min_dwell_s=dwell
+        )
+        switches = []
+        for i, temp in enumerate(temps):
+            if ctrl.act(make_obs(i * 300.0, temp)) is not None:
+                switches.append(i * 300.0)
+        assert all(b - a >= dwell for a, b in zip(switches, switches[1:]))
+
+
+def _drive(ctrl, temps, start_index=0):
+    """Feed a temperature trace; return the emitted actions."""
+    return [
+        ctrl.act(make_obs((start_index + i) * 300.0, temp))
+        for i, temp in enumerate(temps)
+    ]
+
+
+class TestSnapshotRoundtrip:
+    #: A trace that forces switches, duty changes, and quiet stretches.
+    TEMPS = [30.0, 31.0, 20.0, 19.0, 30.5, 29.0, 21.0, 30.0, 22.0, 28.5]
+
+    @pytest.mark.parametrize("name", ["thermostat", "model-free"])
+    def test_mid_episode_resume_replays_identically(self, name):
+        config = ExperimentConfig(seed=7)
+        original = CONTROLLERS[name](config)
+        _drive(original, self.TEMPS[:5])
+        state = original.state_dict()
+
+        clone = controller_from_spec(original.spec, config)
+        clone.load_state_dict(state)
+        assert clone.state_dict() == state
+
+        tail_a = _drive(original, self.TEMPS[5:], start_index=5)
+        tail_b = _drive(clone, self.TEMPS[5:], start_index=5)
+        assert tail_a == tail_b
+        assert original.state_dict() == clone.state_dict()
+
+    def test_paper_operator_roundtrip(self):
+        config = ExperimentConfig(seed=7)
+        original = PaperOperatorController.from_config(config)
+        actuators = FakeActuators()
+        wakes = original.wakes(SimClock())
+        for when, tag in wakes[:2]:
+            original.on_wake(actuators, tag, when)
+        state = original.state_dict()
+
+        clone = controller_from_spec(original.spec, config)
+        clone.load_state_dict(state)
+        assert clone.applied == original.applied
+        assert clone.wakes(SimClock()) == wakes
+        # Replaying the remaining schedule keeps the copies in lockstep.
+        clone_actuators = FakeActuators()
+        for when, tag in wakes[2:]:
+            original.on_wake(actuators, tag, when)
+            clone.on_wake(clone_actuators, tag, when)
+        assert clone.applied == original.applied
+
+    def test_version_mismatch_is_refused(self):
+        ctrl = ThermostatController()
+        state = ctrl.state_dict()
+        state["version"] = 99
+        with pytest.raises(StateError):
+            ctrl.load_state_dict(state)
+
+    def test_model_free_pristine_state_roundtrips(self):
+        ctrl = ModelFreeSetpointController()
+        clone = ModelFreeSetpointController()
+        clone.load_state_dict(ctrl.state_dict())
+        assert clone.prev_temp_c is None
+        assert clone.duty == 0.0
+
+
+class TestModelFree:
+    def test_first_tick_only_primes(self):
+        ctrl = ModelFreeSetpointController()
+        assert ctrl.act(make_obs(0.0, 30.0)) is None
+        assert ctrl.prev_temp_c == 30.0
+
+    def test_hot_and_rising_commands_duty(self):
+        ctrl = ModelFreeSetpointController(setpoint_c=24.0)
+        ctrl.act(make_obs(0.0, 28.0))
+        action = ctrl.act(make_obs(300.0, 30.0))
+        assert action is not None
+        assert action.fan_duty == 1.0
+
+    def test_cold_tent_stays_quiet(self):
+        ctrl = ModelFreeSetpointController(setpoint_c=24.0)
+        ctrl.act(make_obs(0.0, 3.0))
+        assert ctrl.act(make_obs(300.0, 3.1)) is None
+        assert ctrl.duty == 0.0
+
+
+class TestRegistry:
+    def test_names_are_sorted_and_complete(self):
+        assert controller_names() == ("model-free", "paper-operator", "thermostat")
+
+    def test_every_factory_documents_itself(self):
+        for name in controller_names():
+            assert controller_doc(name)
+
+    def test_resolve_default_is_the_paper_operator(self):
+        config = ExperimentConfig(seed=7)
+        ctrl = resolve_controller(None, config)
+        assert isinstance(ctrl, PaperOperatorController)
+        assert ctrl.interval_s is None
+
+    def test_resolve_passes_instances_through(self):
+        ctrl = ThermostatController()
+        assert resolve_controller(ctrl, ExperimentConfig(seed=7)) is ctrl
+
+    def test_resolve_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown controller"):
+            resolve_controller("pid-9000", ExperimentConfig(seed=7))
+
+    def test_spec_rebuild_preserves_parameters(self):
+        ctrl = ThermostatController(setpoint_c=30.0, band_c=2.0)
+        clone = controller_from_spec(ctrl.spec, ExperimentConfig(seed=7))
+        assert clone.setpoint_c == 30.0
+        assert clone.band_c == 2.0
+
+    def test_spec_with_unknown_name_raises_state_error(self):
+        with pytest.raises(StateError, match="unknown controller"):
+            controller_from_spec(
+                ControllerSpec(name="lost"), ExperimentConfig(seed=7)
+            )

@@ -100,3 +100,26 @@ class TestDynamics:
         fleet.run(days=1.0)
         text = fleet.format_summary()
         assert "38" in text and "pods" in text.lower()
+
+
+class TestProgressGuard:
+    def test_raising_run_still_writes_final_heartbeat(self):
+        """A crash inside run() may not swallow the closing heartbeat."""
+        import io
+        import json
+
+        from repro.telemetry.progress import ProgressMeter
+
+        fleet = FleetScaleCampaign(19, ExperimentConfig(seed=7))
+        stream = io.StringIO()
+        fleet.progress = ProgressMeter(stream, interval_s=1.0, source="fleet")
+
+        def boom(end):
+            raise RuntimeError("disk died mid-campaign")
+
+        fleet.sim.run_until = boom
+        with pytest.raises(RuntimeError, match="disk died"):
+            fleet.run(days=1.0)
+        lines = [json.loads(line) for line in stream.getvalue().splitlines()]
+        assert lines, "no heartbeat written by the crashing run"
+        assert lines[-1]["final"] is True

@@ -127,6 +127,33 @@ class TestProgressMeter:
         assert line["final"] is True
         assert meter.lines_emitted == 1
 
+    def test_finish_is_idempotent(self):
+        # Drivers call finish() from try/finally *and* their success
+        # paths; a crash cleanup must not write two final lines.
+        meter, stream, wall = make_meter()
+        meter.finish(3600.0)
+        meter.finish(7200.0)
+        meter.finish(7200.0)
+        (line,) = lines_of(stream)
+        assert line["final"] is True
+        assert meter.lines_emitted == 1
+
+    def test_raising_driver_still_writes_final_line(self):
+        meter, stream, wall = make_meter()
+
+        def drive():
+            try:
+                meter.tick(0.0)
+                raise RuntimeError("campaign exploded mid-run")
+            finally:
+                meter.finish(1234.0)
+
+        with pytest.raises(RuntimeError):
+            drive()
+        lines = lines_of(stream)
+        assert lines[-1]["final"] is True
+        assert lines[-1]["sim_time_s"] == 1234.0
+
     def test_lines_sorted_and_parseable(self):
         meter, stream, wall = make_meter()
         meter.finish(0.0)
